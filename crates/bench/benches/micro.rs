@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks for the hot paths of the FLEP reproduction:
+//! the event engine, the device dispatcher, the persistent-batch engine,
+//! the transform passes, model training, and whole co-runs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use flep_core::prelude::*;
+use flep_sim_core::{EventQueue, Scheduler, Simulation, World};
+
+/// Raw event-queue throughput: push/pop of timestamped events.
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("sim_core/event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_ns(i * 37 % 5000), i);
+            }
+            let mut acc = 0u64;
+            while let Some(e) = q.pop() {
+                acc = acc.wrapping_add(e.payload);
+            }
+            acc
+        })
+    });
+}
+
+/// Engine dispatch throughput with a self-rescheduling world.
+fn bench_engine(c: &mut Criterion) {
+    struct Ticker {
+        remaining: u32,
+    }
+    impl World for Ticker {
+        type Event = ();
+        fn handle(&mut self, _now: SimTime, _ev: (), sched: &mut Scheduler<'_, ()>) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                sched.schedule_in(SimTime::from_ns(10), ());
+            }
+        }
+    }
+    c.bench_function("sim_core/engine_100k_chained_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(Ticker { remaining: 100_000 });
+            sim.schedule_at(SimTime::ZERO, ());
+            sim.run();
+            sim.dispatched()
+        })
+    });
+}
+
+/// A standalone original-kernel run through the full device model.
+fn bench_device_original(c: &mut Criterion) {
+    let bench = Benchmark::get(BenchmarkId::Spmv);
+    c.bench_function("gpu_sim/spmv_large_standalone_original", |b| {
+        b.iter(|| {
+            flep_gpu_sim::run_single(GpuConfig::k40(), bench.original_desc(InputClass::Large))
+        })
+    });
+}
+
+/// A standalone persistent-kernel run (the FLEP form).
+fn bench_device_persistent(c: &mut Criterion) {
+    let bench = Benchmark::get(BenchmarkId::Spmv);
+    c.bench_function("gpu_sim/spmv_large_standalone_persistent", |b| {
+        b.iter(|| {
+            flep_gpu_sim::run_single(
+                GpuConfig::k40(),
+                bench.persistent_desc(InputClass::Large, bench.table1_amortize),
+            )
+        })
+    });
+}
+
+/// The compilation engine end to end on the largest kernel.
+fn bench_transform(c: &mut Criterion) {
+    let src = flep_workloads::source(BenchmarkId::Cfd);
+    c.bench_function("compile/cfd_parse_analyze_transform", |b| {
+        b.iter(|| {
+            let program = parse(src).unwrap();
+            analyze(&program).unwrap();
+            transform(&program, TransformMode::Spatial).unwrap()
+        })
+    });
+}
+
+/// Ridge model training (8 kernels x 100 samples).
+fn bench_model_training(c: &mut Criterion) {
+    c.bench_function("perfmodel/train_all_models", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            ModelStore::train(seed)
+        })
+    });
+}
+
+/// A full HPF priority co-run (the Fig. 8 unit of work).
+fn bench_hpf_corun(c: &mut Criterion) {
+    let lo = KernelProfile::of(&Benchmark::get(BenchmarkId::Pf), InputClass::Large);
+    let hi = KernelProfile::of(&Benchmark::get(BenchmarkId::Mm), InputClass::Small);
+    c.bench_function("runtime/hpf_priority_corun_pf_mm", |b| {
+        b.iter_batched(
+            || (lo.clone(), hi.clone()),
+            |(lo, hi)| {
+                CoRun::new(GpuConfig::k40(), Policy::hpf())
+                    .job(JobSpec::new(lo, SimTime::ZERO).with_priority(1))
+                    .job(JobSpec::new(hi, SimTime::from_us(10)).with_priority(2))
+                    .run()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// The offline tuner for one benchmark (several profiling runs).
+fn bench_tuner(c: &mut Criterion) {
+    let bench = Benchmark::get(BenchmarkId::Mm);
+    c.bench_function("compile/tune_amortizing_factor_mm", |b| {
+        b.iter(|| tune(&GpuConfig::k40(), &bench))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_engine,
+    bench_device_original,
+    bench_device_persistent,
+    bench_transform,
+    bench_model_training,
+    bench_hpf_corun,
+    bench_tuner,
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation studies for the design choices called out in DESIGN.md §4:
+//! the amortizing-factor trade-off, HPF's preemption-overhead term, and
+//! the one-reader flag-broadcast optimization.
+
+use flep_bench::{exp_config, header};
+use flep_core::prelude::*;
+
+fn main() {
+    let cfg = GpuConfig::k40();
+
+    header(
+        "Ablation 1 — amortizing factor L: overhead vs preemption latency",
+        "§4.1 / §7",
+        "overhead falls with L; preemption latency grows linearly with L",
+    );
+    for id in [BenchmarkId::Nn, BenchmarkId::Va] {
+        println!("\n{id}:");
+        println!("  {:>5} {:>10} {:>14}", "L", "overhead", "preempt latency");
+        for row in experiments::ablation_l_sweep(&cfg, id) {
+            println!(
+                "  {:>5} {:>9.2}% {:>14}",
+                row.amortize,
+                row.overhead * 100.0,
+                row.latency.to_string()
+            );
+        }
+    }
+
+    println!();
+    header(
+        "Ablation 2 — HPF's preemption-overhead term (§5.2.1)",
+        "Fig. 6 / §5.2.1",
+        "naive SRT preempts for gains smaller than the preemption cost; the overhead term declines",
+    );
+    let a = experiments::ablation_overhead_aware(&cfg, exp_config());
+    println!(
+        "overhead-aware: {:>3} preemptions, makespan {}, total waiting {}",
+        a.preemptions_aware, a.makespan_aware, a.waiting_aware
+    );
+    println!(
+        "naive SRT     : {:>3} preemptions, makespan {}, total waiting {}",
+        a.preemptions_naive, a.makespan_naive, a.waiting_naive
+    );
+
+    println!();
+    header(
+        "Ablation 3 — one-reader flag broadcast (§4.1 optimization)",
+        "§4.1",
+        "per-thread polling multiplies the transform overhead by orders of magnitude",
+    );
+    println!("{:<6} {:>12} {:>12}", "bench", "broadcast", "per-thread");
+    for row in experiments::ablation_per_thread_poll(&cfg) {
+        println!(
+            "{:<6} {:>11.1}% {:>11.1}%",
+            row.id.name(),
+            row.broadcast * 100.0,
+            row.per_thread * 100.0
+        );
+    }
+}

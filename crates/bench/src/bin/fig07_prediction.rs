@@ -1,0 +1,19 @@
+//! Regenerates Fig. 7: kernel duration prediction errors.
+
+use flep_bench::{exp_config, header};
+use flep_core::prelude::*;
+
+fn main() {
+    header(
+        "Figure 7 — kernel duration prediction errors",
+        "Fig. 7 (§6.2)",
+        "avg ~6.9%, range ~2.7%-12.2%; NN/MM/VA regular (low), MD/SPMV irregular (high)",
+    );
+    let errors = experiments::fig07_prediction_errors(exp_config());
+    println!("{:<6} {:>10}", "bench", "error");
+    for (id, e) in &errors {
+        println!("{:<6} {:>9.1}%", id.name(), e * 100.0);
+    }
+    let avg = errors.iter().map(|(_, e)| e).sum::<f64>() / errors.len() as f64;
+    println!("\naverage: {:.1}%   (paper: 6.9%)", avg * 100.0);
+}

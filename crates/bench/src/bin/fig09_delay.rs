@@ -1,0 +1,20 @@
+//! Regenerates Fig. 9: high-priority speedup vs launch delay.
+
+use flep_bench::{exp_config, header};
+use flep_core::prelude::*;
+
+fn main() {
+    header(
+        "Figure 9 — speedup vs delay between kernel invocations",
+        "Fig. 9 (§6.3.1)",
+        "speedup decays ~linearly with delay and plateaus at ~1 beyond the victim's runtime",
+    );
+    let curves = experiments::fig09_delay_sweep(&GpuConfig::k40(), exp_config());
+    for c in curves {
+        println!("\npair {}_{}:", c.hi.name(), c.lo.name());
+        println!("  {:>12} {:>10}", "delay", "speedup");
+        for (delay, speedup) in c.points {
+            println!("  {:>12} {:>9.2}X", delay.to_string(), speedup);
+        }
+    }
+}

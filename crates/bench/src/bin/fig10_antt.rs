@@ -1,0 +1,24 @@
+//! Regenerates Fig. 10: ANTT improvement for equal-priority co-runs.
+
+use flep_bench::{exp_config, header};
+use flep_core::prelude::*;
+use flep_metrics::Summary;
+
+fn main() {
+    header(
+        "Figure 10 — ANTT improvement, equal-priority two-kernel co-runs",
+        "Fig. 10 (§6.3.1)",
+        "avg ~8X improvement over MPS",
+    );
+    let rows = experiments::fig10_11_equal_priority(&GpuConfig::k40(), exp_config());
+    println!("{:<12} {:>12}", "pair (S_L)", "ANTT imp.");
+    for r in &rows {
+        println!(
+            "{:<12} {:>11.1}X",
+            format!("{}_{}", r.short.name(), r.long.name()),
+            r.antt_improvement
+        );
+    }
+    let s = Summary::of(&rows.iter().map(|r| r.antt_improvement).collect::<Vec<_>>());
+    println!("\nmean {:.1}X   max {:.1}X   (paper: 8X avg)", s.mean, s.max);
+}

@@ -1,0 +1,25 @@
+//! Regenerates Fig. 11: system-throughput degradation for the Fig. 10
+//! co-runs (makespan-based; see EXPERIMENTS.md for the metric note).
+
+use flep_bench::{exp_config, header};
+use flep_core::prelude::*;
+use flep_metrics::Summary;
+
+fn main() {
+    header(
+        "Figure 11 — system-throughput degradation (equal-priority co-runs)",
+        "Fig. 11 (§6.3.1)",
+        "small degradation, avg ~5.4% in the paper",
+    );
+    let rows = experiments::fig10_11_equal_priority(&GpuConfig::k40(), exp_config());
+    println!("{:<12} {:>12}", "pair (S_L)", "degradation");
+    for r in &rows {
+        println!(
+            "{:<12} {:>11.1}%",
+            format!("{}_{}", r.short.name(), r.long.name()),
+            r.stp_degradation * 100.0
+        );
+    }
+    let s = Summary::of(&rows.iter().map(|r| r.stp_degradation).collect::<Vec<_>>());
+    println!("\nmean {:.1}%   max {:.1}%   (paper: 5.4% avg)", s.mean * 100.0, s.max * 100.0);
+}

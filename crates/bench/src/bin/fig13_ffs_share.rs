@@ -1,0 +1,24 @@
+//! Regenerates Fig. 13: average GPU share for high- and low-priority
+//! kernels under FFS with 2:1 weights.
+
+use flep_bench::{exp_config, header, mean_std};
+use flep_core::prelude::*;
+
+fn main() {
+    header(
+        "Figure 13 — GPU shares under FFS (weights 2:1)",
+        "Fig. 13 (§6.3.3)",
+        "~2/3 for the high-weight kernel, ~1/3 for the low-weight one, narrow error bars",
+    );
+    let out = experiments::fig13_14_ffs(&GpuConfig::k40(), exp_config());
+    println!("{:>10} {:>16} {:>16}", "window end", "high share", "low share");
+    for p in &out.share_curve {
+        println!(
+            "{:>10} {:>16} {:>16}",
+            p.at.to_string(),
+            mean_std(p.hi_mean * 100.0, p.hi_std * 100.0),
+            mean_std(p.lo_mean * 100.0, p.lo_std * 100.0)
+        );
+    }
+    println!("\ntarget: 66.7% / 33.3%");
+}

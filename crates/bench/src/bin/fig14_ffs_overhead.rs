@@ -1,0 +1,30 @@
+//! Regenerates Fig. 14: throughput degradation under FFS with
+//! max_overhead = 10%.
+
+use flep_bench::{exp_config, header};
+use flep_core::prelude::*;
+use flep_metrics::Summary;
+
+fn main() {
+    header(
+        "Figure 14 — throughput degradation under FFS",
+        "Fig. 14 (§6.3.3)",
+        "degradation close to the configured max_overhead (10%) with small variance",
+    );
+    let out = experiments::fig13_14_ffs(&GpuConfig::k40(), exp_config());
+    println!("{:<12} {:>12}", "pair (A_B)", "degradation");
+    for r in &out.degradation {
+        println!(
+            "{:<12} {:>11.1}%",
+            format!("{}_{}", r.hi.name(), r.lo.name()),
+            r.value * 100.0
+        );
+    }
+    let s = Summary::of(&out.degradation.iter().map(|r| r.value).collect::<Vec<_>>());
+    println!(
+        "\nmean {:.1}% ± {:.1}%   (configured budget: {:.0}%)",
+        s.mean * 100.0,
+        s.std_dev * 100.0,
+        out.max_overhead * 100.0
+    );
+}

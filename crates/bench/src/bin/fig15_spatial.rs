@@ -1,0 +1,30 @@
+//! Regenerates Fig. 15: preemption-overhead reduction through spatial
+//! preemption.
+
+use flep_bench::{exp_config, header};
+use flep_core::prelude::*;
+use flep_metrics::Summary;
+
+fn main() {
+    header(
+        "Figure 15 — preemption-overhead reduction from spatial preemption",
+        "Fig. 15 (§6.4)",
+        "avg ~31% reduction vs temporal preemption, up to ~41%",
+    );
+    let rows = experiments::fig15_spatial(&GpuConfig::k40(), exp_config());
+    println!(
+        "{:<8} {:>12} {:>12} {:>11}",
+        "victim", "temporal", "spatial", "reduction"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:>11.1}% {:>11.1}% {:>10.0}%",
+            r.victim.name(),
+            r.temporal_overhead * 100.0,
+            r.spatial_overhead * 100.0,
+            r.reduction * 100.0
+        );
+    }
+    let s = Summary::of(&rows.iter().map(|r| r.reduction).collect::<Vec<_>>());
+    println!("\nmean reduction {:.0}%   max {:.0}%   (paper: 31% / 41%)", s.mean * 100.0, s.max * 100.0);
+}

@@ -1,0 +1,21 @@
+//! Regenerates Fig. 16: high-priority kernel performance when yielding
+//! more SMs than needed.
+
+use flep_bench::{exp_config, header};
+use flep_core::prelude::*;
+
+fn main() {
+    header(
+        "Figure 16 — performance vs number of yielded SMs",
+        "Fig. 16 (§6.4)",
+        "speedup grows with yielded SMs but saturates; paper max ~2.22X over the minimal yield",
+    );
+    let curves = experiments::fig16_sm_sweep(&GpuConfig::k40(), exp_config());
+    for c in curves {
+        println!("\n{} (trivial) preempting {} (large):", c.hi.name(), c.victim.name());
+        println!("  {:>4} {:>9}", "SMs", "speedup");
+        for (sms, speedup) in c.points {
+            println!("  {sms:>4} {speedup:>8.2}X");
+        }
+    }
+}

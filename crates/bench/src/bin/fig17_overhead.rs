@@ -1,0 +1,25 @@
+//! Regenerates Fig. 17: single-kernel overhead of FLEP vs kernel slicing.
+
+use flep_bench::header;
+use flep_core::prelude::*;
+
+fn main() {
+    header(
+        "Figure 17 — single-kernel overhead: FLEP vs kernel slicing",
+        "Fig. 17 (§6.5)",
+        "FLEP ~2.5% avg; slicing ~8% avg, much worse for CFD/MD/SPMV/MM, better only for VA",
+    );
+    let rows = experiments::fig17_overhead(&GpuConfig::k40());
+    println!("{:<6} {:>10} {:>10}", "bench", "FLEP", "slicing");
+    for r in &rows {
+        println!(
+            "{:<6} {:>9.1}% {:>9.1}%",
+            r.id.name(),
+            r.flep * 100.0,
+            r.slicing * 100.0
+        );
+    }
+    let fa = rows.iter().map(|r| r.flep).sum::<f64>() / rows.len() as f64;
+    let sa = rows.iter().map(|r| r.slicing).sum::<f64>() / rows.len() as f64;
+    println!("\nFLEP avg {:.1}%   slicing avg {:.1}%   (paper: 2.5% vs 8%)", fa * 100.0, sa * 100.0);
+}

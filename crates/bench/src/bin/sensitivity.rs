@@ -1,0 +1,22 @@
+//! Sensitivity study: the Fig. 8 headline experiment replayed on devices
+//! of 8, 15, and 30 SMs. Head-of-line blocking — and therefore FLEP's
+//! benefit — is width-independent; this bin verifies the reproduction
+//! does not secretly depend on the K40's 15 SMs.
+
+use flep_bench::{exp_config, header};
+use flep_core::prelude::*;
+
+fn main() {
+    header(
+        "Sensitivity — HPF speedup vs device width",
+        "extension (the paper evaluates only the 15-SM K40)",
+        "large speedups on every width; magnitude tracks victim/preemptor runtime ratio",
+    );
+    println!("{:>6} {:>12} {:>10} {:>10}", "SMs", "mean", "min", "max");
+    for row in experiments::sensitivity_sm_scaling(exp_config()) {
+        println!(
+            "{:>6} {:>11.1}X {:>9.1}X {:>9.1}X",
+            row.num_sms, row.mean_speedup, row.min_speedup, row.max_speedup
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates Table 1: benchmark standalone times on three inputs and the
+//! tuned amortizing factors.
+
+use flep_bench::header;
+use flep_core::prelude::*;
+
+fn main() {
+    header(
+        "Table 1 — benchmarks and kernel execution times",
+        "Table 1",
+        "standalone times match the paper's columns; tuned L equals the paper's amortizing factors",
+    );
+    let rows = experiments::table1(&GpuConfig::k40());
+    println!(
+        "{:<6} {:<10} {:>4} {:>12} {:>12} {:>13} {:>8} {:>8}",
+        "bench", "suite", "LoC", "large (us)", "small (us)", "trivial (us)", "tuned L", "paper L"
+    );
+    for r in rows {
+        println!(
+            "{:<6} {:<10} {:>4} {:>12.1} {:>12.1} {:>13.1} {:>8} {:>8}",
+            r.id.name(),
+            r.suite,
+            r.kernel_loc,
+            r.large_us,
+            r.small_us,
+            r.trivial_us,
+            r.tuned_amortize,
+            r.paper_amortize
+        );
+    }
+}

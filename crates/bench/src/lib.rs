@@ -1,0 +1,71 @@
+//! Shared helpers for the `flep-bench` experiment binaries: consistent
+//! table printing and run configuration from environment variables.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper. Set `FLEP_SEED` / `FLEP_REPEATS` to override the defaults.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use flep_core::prelude::ExpConfig;
+
+/// Reads the experiment configuration from `FLEP_SEED` / `FLEP_REPEATS`
+/// (defaults: 42 / 3).
+#[must_use]
+pub fn exp_config() -> ExpConfig {
+    let seed = std::env::var("FLEP_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let repeats = std::env::var("FLEP_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    ExpConfig { seed, repeats }
+}
+
+/// Prints a header block naming the experiment and the paper reference.
+pub fn header(name: &str, paper_ref: &str, expectation: &str) {
+    println!("==============================================================");
+    println!("{name}");
+    println!("paper: {paper_ref}");
+    println!("expected shape: {expectation}");
+    println!("==============================================================");
+}
+
+/// Prints a simple aligned two-column table.
+pub fn table2(title_a: &str, title_b: &str, rows: &[(String, String)]) {
+    let w = rows
+        .iter()
+        .map(|(a, _)| a.len())
+        .chain([title_a.len()])
+        .max()
+        .unwrap_or(8);
+    println!("{title_a:<w$}  {title_b}");
+    for (a, b) in rows {
+        println!("{a:<w$}  {b}");
+    }
+}
+
+/// Formats a mean ± std pair.
+#[must_use]
+pub fn mean_std(mean: f64, std: f64) -> String {
+    format!("{mean:.2} ± {std:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_config_defaults() {
+        // Env vars unset in the test environment.
+        let c = exp_config();
+        assert!(c.repeats >= 1);
+    }
+
+    #[test]
+    fn mean_std_format() {
+        assert_eq!(mean_std(1.234, 0.5), "1.23 ± 0.50");
+    }
+}

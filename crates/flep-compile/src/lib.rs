@@ -1,0 +1,34 @@
+//! The FLEP compilation engine (§4.1 of the paper).
+//!
+//! The paper's offline phase transforms CUDA programs with a Clang-based
+//! source-to-source compiler so that (1) GPU kernels can yield an arbitrary
+//! number of SMs, and (2) the CPU code routes kernel invocations through
+//! the FLEP runtime and reacts to its preemption signals. This crate is the
+//! reproduction of that engine over the mini-CU language:
+//!
+//! * [`transform`] — the three Fig. 4 kernel forms
+//!   ([`TransformMode::TemporalNaive`], [`TransformMode::TemporalAmortized`],
+//!   [`TransformMode::Spatial`]) plus the Fig. 5 host state machine.
+//! * [`slice_transform`] / [`run_sliced_standalone`] — the kernel-slicing
+//!   baseline FLEP is compared against in Fig. 17.
+//! * [`tune`] — the offline amortizing-factor search (smallest `L` with
+//!   < 4% overhead); a test asserts it re-derives every Table 1 factor.
+//! * [`measure_overhead`] / [`preemption_latency`] — the profiling
+//!   primitives behind the tuner and the overhead model.
+//!
+//! Generated code is valid mini-CU: every transform's output re-parses and
+//! re-analyzes, which the test-suite asserts for all eight benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod passes;
+mod slicing;
+mod tuner;
+
+pub use passes::{transform, TransformError, TransformMode, TransformResult, TransformedKernel};
+pub use slicing::{run_sliced_standalone, slice_transform, SliceError, SlicePlan};
+pub use tuner::{
+    measure_overhead, preemption_latency, tune, tune_with, CandidateResult, TuneResult,
+    DEFAULT_CANDIDATES, DEFAULT_MAX_OVERHEAD,
+};

@@ -1,0 +1,674 @@
+//! The FLEP kernel transformation passes (Fig. 4 of the paper).
+//!
+//! Each pass rewrites a mini-CU translation unit:
+//!
+//! 1. The original kernel body is extracted into a `__device__` *task
+//!    function* whose `blockIdx.x` occurrences are replaced by an explicit
+//!    task index — a task is "the computations that should be done by a CTA
+//!    in the original kernel" (§4.1).
+//! 2. A persistent-threads kernel is generated around it. Three flavors:
+//!    * [`TransformMode::TemporalNaive`] — Fig. 4(a): poll the pinned
+//!      boolean before every task.
+//!    * [`TransformMode::TemporalAmortized`] — Fig. 4(b): poll once per
+//!      `L` tasks (the amortizing factor).
+//!    * [`TransformMode::Spatial`] — Fig. 4(c): poll an integer `spa_P`
+//!      and exit only when `__smid() < spa_P`, enabling partial-SM yields.
+//!
+//!    All three use the §4.1 optimization: one thread per CTA reads the
+//!    flag and pulls the task index via `atomicAdd`, stages them in
+//!    `__shared__` variables, and a `__syncthreads()` broadcast makes them
+//!    visible to the whole CTA.
+//! 3. The host launch site is rewritten into the Fig. 5 state machine:
+//!    notify the runtime (S1→S2), wait for the grant, launch the
+//!    persistent grid sized `num_SMs * max_CTAs_per_SM`, and loop while
+//!    the runtime reports preemption instead of completion (S3→S2→S3).
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use flep_minicu::{
+    analyze, estimate_resources, AssignOp, BinOp, Block, Builtin, Expr, FnKind, Function, Param,
+    Program, ResourceEstimate, SemaError, Stmt, Type, UnOp,
+};
+
+/// Which Fig. 4 form to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransformMode {
+    /// Fig. 4(a): temporal preemption, flag polled before every task.
+    TemporalNaive,
+    /// Fig. 4(b): temporal preemption, flag polled once per `L` tasks.
+    TemporalAmortized,
+    /// Fig. 4(c): spatial preemption via `%smid` (subsumes temporal when
+    /// the host writes a value ≥ the SM count).
+    Spatial,
+}
+
+/// Errors from the transformation passes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransformError {
+    /// The program failed semantic analysis.
+    Sema(SemaError),
+    /// The named kernel does not exist in the program.
+    NoSuchKernel(String),
+    /// The kernel uses a 2-D grid (`blockIdx.y` / `gridDim`), which the
+    /// persistent-thread transform linearizes in the real system but this
+    /// reproduction does not implement.
+    MultiDimGrid(String),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::Sema(e) => write!(f, "semantic error: {e}"),
+            TransformError::NoSuchKernel(k) => write!(f, "no kernel named `{k}`"),
+            TransformError::MultiDimGrid(k) => {
+                write!(f, "kernel `{k}` uses a multi-dimensional grid (unsupported)")
+            }
+        }
+    }
+}
+
+impl Error for TransformError {}
+
+impl From<SemaError> for TransformError {
+    fn from(e: SemaError) -> Self {
+        TransformError::Sema(e)
+    }
+}
+
+/// Metadata about one transformed kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformedKernel {
+    /// The original kernel name.
+    pub original: String,
+    /// The generated persistent kernel's name.
+    pub persistent: String,
+    /// The generated `__device__` task function's name.
+    pub task_fn: String,
+    /// The numeric kernel id the generated host code passes to the runtime.
+    pub kernel_id: u32,
+    /// Which form was generated.
+    pub mode: TransformMode,
+    /// Resource estimate of the *transformed* kernel (the linear scan that
+    /// feeds the occupancy calculation).
+    pub resources: ResourceEstimate,
+    /// How many `blockIdx.x` occurrences became task indices.
+    pub block_idx_replacements: usize,
+}
+
+/// The result of running a pass over a translation unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformResult {
+    /// The transformed program (kernels + rewritten host code).
+    pub program: Program,
+    /// Per-kernel metadata, in definition order.
+    pub kernels: Vec<TransformedKernel>,
+}
+
+/// Transforms every `__global__` kernel in `program` into the requested
+/// preemptable form and rewrites every host launch site into the Fig. 5
+/// state machine.
+///
+/// # Errors
+///
+/// Returns [`TransformError`] if the program fails semantic analysis, or a
+/// kernel uses features the persistent-thread transform does not support.
+///
+/// # Example
+///
+/// ```
+/// use flep_compile::{transform, TransformMode};
+/// let src = r#"
+/// __global__ void k(float* a, int n) {
+///     int i = blockIdx.x * blockDim.x + threadIdx.x;
+///     if (i < n) { a[i] = a[i] + 1.0f; }
+/// }
+/// void host_main(float* a, int n) { k<<<n / 256 + 1, 256>>>(a, n); }
+/// "#;
+/// let program = flep_minicu::parse(src).unwrap();
+/// let out = transform(&program, TransformMode::Spatial).unwrap();
+/// let printed = out.program.to_string();
+/// assert!(printed.contains("__smid()"));
+/// assert!(printed.contains("atomicAdd"));
+/// // Generated code is valid mini-CU.
+/// flep_minicu::parse(&printed).unwrap();
+/// ```
+pub fn transform(program: &Program, mode: TransformMode) -> Result<TransformResult, TransformError> {
+    analyze(program)?;
+
+    let mut out = Program::default();
+    let mut kernels = Vec::new();
+    let mut kernel_id: u32 = 0;
+
+    for f in &program.functions {
+        match f.kind {
+            FnKind::Global => {
+                check_supported(f)?;
+                let task_fn = make_task_fn(f);
+                let replacements = count_block_idx(&f.body);
+                let persistent = make_persistent_kernel(f, &task_fn, mode);
+                let resources = estimate_resources(&persistent);
+                kernels.push(TransformedKernel {
+                    original: f.name.clone(),
+                    persistent: persistent.name.clone(),
+                    task_fn: task_fn.name.clone(),
+                    kernel_id,
+                    mode,
+                    resources,
+                    block_idx_replacements: replacements,
+                });
+                kernel_id += 1;
+                out.functions.push(task_fn);
+                out.functions.push(persistent);
+            }
+            FnKind::Device => out.functions.push(f.clone()),
+            FnKind::Host => {
+                // Rewritten in a second pass once all kernel ids are known.
+                out.functions.push(f.clone());
+            }
+        }
+    }
+
+    // Second pass: rewrite host launch sites.
+    for f in &mut out.functions {
+        if f.kind == FnKind::Host {
+            rewrite_launches(&mut f.body, &kernels);
+        }
+    }
+
+    Ok(TransformResult {
+        program: out,
+        kernels,
+    })
+}
+
+fn check_supported(kernel: &Function) -> Result<(), TransformError> {
+    let mut multi_dim = false;
+    flep_minicu::visit_exprs(&kernel.body, &mut |e| {
+        if matches!(
+            e,
+            Expr::Builtin(Builtin::BlockIdxY)
+                | Expr::Builtin(Builtin::ThreadIdxY)
+                | Expr::Builtin(Builtin::GridDimX)
+                | Expr::Builtin(Builtin::BlockDimY)
+        ) {
+            multi_dim = true;
+        }
+    });
+    if multi_dim {
+        return Err(TransformError::MultiDimGrid(kernel.name.clone()));
+    }
+    Ok(())
+}
+
+fn count_block_idx(body: &Block) -> usize {
+    let mut n = 0;
+    flep_minicu::visit_exprs(body, &mut |e| {
+        if matches!(e, Expr::Builtin(Builtin::BlockIdxX)) {
+            n += 1;
+        }
+    });
+    n
+}
+
+/// Extracts the kernel body into `__device__ void <k>_task(params...,
+/// unsigned int flep_task)` with `blockIdx.x` replaced by the task index.
+fn make_task_fn(kernel: &Function) -> Function {
+    let mut body = kernel.body.clone();
+    body.replace_builtin(Builtin::BlockIdxX, &Expr::ident("flep_task"));
+    let mut params = kernel.params.clone();
+    params.push(Param {
+        name: "flep_task".into(),
+        ty: Type::Uint,
+        volatile: false,
+    });
+    Function {
+        kind: FnKind::Device,
+        ret: Type::Void,
+        name: format!("{}_task", kernel.name),
+        params,
+        body,
+    }
+}
+
+/// Builds the persistent kernel wrapping the task function.
+fn make_persistent_kernel(kernel: &Function, task_fn: &Function, mode: TransformMode) -> Function {
+    let mut params = kernel.params.clone();
+    // The pinned flag: a boolean for temporal modes, the spa_P integer for
+    // spatial (Fig. 4's `temp_P` / `spa_P`).
+    params.push(Param {
+        name: "flep_flag".into(),
+        ty: Type::Uint.ptr(),
+        volatile: true,
+    });
+    if mode == TransformMode::TemporalAmortized || mode == TransformMode::Spatial {
+        params.push(Param {
+            name: "flep_l".into(),
+            ty: Type::Uint,
+            volatile: false,
+        });
+    }
+    params.push(Param {
+        name: "flep_counter".into(),
+        ty: Type::Uint.ptr(),
+        volatile: false,
+    });
+    params.push(Param {
+        name: "flep_total".into(),
+        ty: Type::Uint,
+        volatile: false,
+    });
+
+    // Shared staging for the one-reader broadcast optimization (§4.1).
+    let decl_stop = Stmt::Decl {
+        name: "flep_stop".into(),
+        ty: Type::Uint,
+        shared: true,
+        volatile: false,
+        array_len: None,
+        init: None,
+    };
+    let decl_task = Stmt::Decl {
+        name: "flep_task_idx".into(),
+        ty: Type::Uint,
+        shared: true,
+        volatile: false,
+        array_len: None,
+        init: None,
+    };
+
+    let tid_is_zero = Expr::bin(
+        BinOp::Eq,
+        Expr::Builtin(Builtin::ThreadIdxX),
+        Expr::Int(0),
+    );
+    // The flag check that thread 0 performs.
+    let stop_cond = match mode {
+        TransformMode::TemporalNaive | TransformMode::TemporalAmortized => Expr::bin(
+            BinOp::Ne,
+            Expr::deref(Expr::ident("flep_flag")),
+            Expr::Int(0),
+        ),
+        TransformMode::Spatial => Expr::bin(
+            BinOp::Lt,
+            Expr::Builtin(Builtin::SmId),
+            Expr::deref(Expr::ident("flep_flag")),
+        ),
+    };
+    let read_flag = Stmt::If {
+        cond: tid_is_zero.clone(),
+        then_block: Block::new(vec![Stmt::Assign {
+            target: Expr::ident("flep_stop"),
+            op: AssignOp::Assign,
+            value: Expr::Ternary {
+                cond: Box::new(stop_cond),
+                then_expr: Box::new(Expr::Int(1)),
+                else_expr: Box::new(Expr::Int(0)),
+            },
+        }]),
+        else_block: None,
+    };
+    let sync = Stmt::Expr(Expr::call("__syncthreads", vec![]));
+    let exit_if_stopped = Stmt::If {
+        cond: Expr::bin(BinOp::Eq, Expr::ident("flep_stop"), Expr::Int(1)),
+        then_block: Block::new(vec![Stmt::Return(None)]),
+        else_block: None,
+    };
+
+    // Pull one task: thread 0 does the atomicAdd, broadcast via shared.
+    let pull_task = Stmt::If {
+        cond: tid_is_zero,
+        then_block: Block::new(vec![Stmt::Assign {
+            target: Expr::ident("flep_task_idx"),
+            op: AssignOp::Assign,
+            value: Expr::call(
+                "atomicAdd",
+                vec![Expr::ident("flep_counter"), Expr::Int(1)],
+            ),
+        }]),
+        else_block: None,
+    };
+    let exit_if_done = Stmt::If {
+        cond: Expr::bin(
+            BinOp::Ge,
+            Expr::ident("flep_task_idx"),
+            Expr::ident("flep_total"),
+        ),
+        then_block: Block::new(vec![Stmt::Return(None)]),
+        else_block: None,
+    };
+    let call_task = Stmt::Expr(Expr::call(task_fn.name.clone(), {
+        let mut args: Vec<Expr> = kernel
+            .params
+            .iter()
+            .map(|p| Expr::ident(p.name.clone()))
+            .collect();
+        args.push(Expr::ident("flep_task_idx"));
+        args
+    }));
+
+    let task_sequence = vec![
+        pull_task,
+        sync.clone(),
+        exit_if_done,
+        call_task,
+        sync.clone(),
+    ];
+
+    let loop_body = match mode {
+        TransformMode::TemporalNaive => {
+            // Poll, then process exactly one task per iteration.
+            let mut stmts = vec![read_flag, sync, exit_if_stopped];
+            stmts.extend(task_sequence);
+            Block::new(stmts)
+        }
+        TransformMode::TemporalAmortized | TransformMode::Spatial => {
+            // Poll, then process L tasks.
+            let inner = Stmt::For {
+                init: Some(Box::new(Stmt::Decl {
+                    name: "flep_i".into(),
+                    ty: Type::Uint,
+                    shared: false,
+                    volatile: false,
+                    array_len: None,
+                    init: Some(Expr::Int(0)),
+                })),
+                cond: Some(Expr::bin(
+                    BinOp::Lt,
+                    Expr::ident("flep_i"),
+                    Expr::ident("flep_l"),
+                )),
+                step: Some(Box::new(Stmt::Expr(Expr::Unary {
+                    op: UnOp::PreInc,
+                    expr: Box::new(Expr::ident("flep_i")),
+                }))),
+                body: Block::new(task_sequence),
+            };
+            Block::new(vec![read_flag, sync, exit_if_stopped, inner])
+        }
+    };
+
+    let body = Block::new(vec![
+        decl_stop,
+        decl_task,
+        Stmt::While {
+            cond: Expr::Bool(true),
+            body: loop_body,
+        },
+    ]);
+
+    Function {
+        kind: FnKind::Global,
+        ret: Type::Void,
+        name: format!("{}_flep", kernel.name),
+        params,
+        body,
+    }
+}
+
+/// Rewrites each launch statement into the Fig. 5 state machine calling
+/// into the FLEP runtime API.
+fn rewrite_launches(block: &mut Block, kernels: &[TransformedKernel]) {
+    for stmt in &mut block.stmts {
+        match stmt {
+            Stmt::If {
+                then_block,
+                else_block,
+                ..
+            } => {
+                rewrite_launches(then_block, kernels);
+                if let Some(e) = else_block {
+                    rewrite_launches(e, kernels);
+                }
+            }
+            Stmt::While { body, .. } | Stmt::For { body, .. } => {
+                rewrite_launches(body, kernels);
+            }
+            Stmt::Block(b) => rewrite_launches(b, kernels),
+            Stmt::Launch {
+                kernel,
+                grid,
+                block: cta,
+                args,
+            } => {
+                let Some(meta) = kernels.iter().find(|k| &k.original == kernel) else {
+                    continue;
+                };
+                let id = Expr::Int(i64::from(meta.kernel_id));
+                // S1 -> S2: hand the invocation (name id + original launch
+                // configuration, for the performance model's features) to
+                // the runtime instead of launching.
+                let request = Stmt::Expr(Expr::call(
+                    "flep_request",
+                    vec![id.clone(), grid.clone(), cta.clone()],
+                ));
+                // S2: block until the runtime grants the GPU.
+                let wait_grant = Stmt::Expr(Expr::call("flep_wait_grant", vec![id.clone()]));
+                // S3 loop: launch the persistent grid; if the runtime
+                // preempts us, wait for a new grant and relaunch to finish
+                // the remaining tasks.
+                let mut flep_args: Vec<Expr> =
+                    args.to_vec();
+                flep_args.push(Expr::call("flep_flag_ptr", vec![id.clone()]));
+                if meta.mode != TransformMode::TemporalNaive {
+                    flep_args.push(Expr::call("flep_amortize", vec![id.clone()]));
+                }
+                flep_args.push(Expr::call("flep_counter_ptr", vec![id.clone()]));
+                flep_args.push(Expr::call("flep_remaining", vec![id.clone()]));
+                let relaunch_loop = Stmt::While {
+                    cond: Expr::bin(
+                        BinOp::Eq,
+                        Expr::call("flep_wait_gpu", vec![id.clone()]),
+                        Expr::Int(0),
+                    ),
+                    body: Block::new(vec![
+                        Stmt::Expr(Expr::call("flep_wait_grant", vec![id.clone()])),
+                        Stmt::Launch {
+                            kernel: meta.persistent.clone(),
+                            grid: Expr::call("flep_grid_size", vec![id.clone()]),
+                            block: cta.clone(),
+                            args: flep_args.clone(),
+                        },
+                    ]),
+                };
+                let first_launch = Stmt::Launch {
+                    kernel: meta.persistent.clone(),
+                    grid: Expr::call("flep_grid_size", vec![id]),
+                    block: cta.clone(),
+                    args: flep_args,
+                };
+                *stmt = Stmt::Block(Block::new(vec![
+                    request,
+                    wait_grant,
+                    first_launch,
+                    relaunch_loop,
+                ]));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flep_minicu::parse;
+    use flep_workloads::{source, BenchmarkId};
+
+    const SIMPLE: &str = r#"
+        __global__ void k(float* a, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) { a[i] = a[i] * 2.0f; }
+        }
+        void host_main(float* a, int n) {
+            k<<<n / 256 + 1, 256>>>(a, n);
+        }
+    "#;
+
+    #[test]
+    fn temporal_naive_matches_fig4a_shape() {
+        let p = parse(SIMPLE).unwrap();
+        let out = transform(&p, TransformMode::TemporalNaive).unwrap();
+        let printed = out.program.to_string();
+        assert!(printed.contains("while (true)"));
+        assert!(printed.contains("*flep_flag != 0"));
+        assert!(printed.contains("atomicAdd(flep_counter, 1)"));
+        // Naive mode has no amortizing parameter.
+        assert!(!printed.contains("flep_l"));
+    }
+
+    #[test]
+    fn amortized_adds_inner_loop() {
+        let p = parse(SIMPLE).unwrap();
+        let out = transform(&p, TransformMode::TemporalAmortized).unwrap();
+        let printed = out.program.to_string();
+        assert!(printed.contains("for (unsigned int flep_i = 0; flep_i < flep_l; ++flep_i)"));
+    }
+
+    #[test]
+    fn spatial_gates_on_smid() {
+        let p = parse(SIMPLE).unwrap();
+        let out = transform(&p, TransformMode::Spatial).unwrap();
+        let printed = out.program.to_string();
+        assert!(printed.contains("__smid() < *flep_flag"));
+    }
+
+    #[test]
+    fn block_idx_is_replaced_in_task_fn() {
+        let p = parse(SIMPLE).unwrap();
+        let out = transform(&p, TransformMode::Spatial).unwrap();
+        assert_eq!(out.kernels[0].block_idx_replacements, 1);
+        let task = out.program.function("k_task").unwrap();
+        let printed = task.to_string();
+        assert!(printed.contains("flep_task * blockDim.x"));
+        assert!(!printed.contains("blockIdx.x"));
+    }
+
+    #[test]
+    fn host_code_becomes_state_machine() {
+        let p = parse(SIMPLE).unwrap();
+        let out = transform(&p, TransformMode::Spatial).unwrap();
+        let host = out.program.function("host_main").unwrap().to_string();
+        assert!(host.contains("flep_request(0, n / 256 + 1, 256)"));
+        assert!(host.contains("flep_wait_grant(0)"));
+        assert!(host.contains("k_flep<<<flep_grid_size(0), 256>>>"));
+        assert!(host.contains("while (flep_wait_gpu(0) == 0)"));
+        // The original direct launch is gone.
+        assert!(!host.contains("k<<<"));
+    }
+
+    #[test]
+    fn transformed_output_is_valid_minicu() {
+        for mode in [
+            TransformMode::TemporalNaive,
+            TransformMode::TemporalAmortized,
+            TransformMode::Spatial,
+        ] {
+            let p = parse(SIMPLE).unwrap();
+            let out = transform(&p, mode).unwrap();
+            let printed = out.program.to_string();
+            let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{mode:?}: {e}\n{printed}"));
+            // And it re-analyzes cleanly (arity of the rewritten launches
+            // matches the generated kernel signatures).
+            flep_minicu::analyze(&reparsed).unwrap_or_else(|e| panic!("{mode:?}: {e}\n{printed}"));
+        }
+    }
+
+    #[test]
+    fn transformed_programs_type_check() {
+        // The generated persistent kernels, task functions, and host state
+        // machines must pass the full mini-CU type checker.
+        for id in BenchmarkId::ALL {
+            let p = parse(source(id)).unwrap();
+            for mode in [
+                TransformMode::TemporalNaive,
+                TransformMode::TemporalAmortized,
+                TransformMode::Spatial,
+            ] {
+                let out = transform(&p, mode).unwrap();
+                flep_minicu::type_check(&out.program)
+                    .unwrap_or_else(|e| panic!("{id} {mode:?}: {e}\n{}", out.program));
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_programs_type_check() {
+        for id in BenchmarkId::ALL {
+            let p = parse(source(id)).unwrap();
+            let out = crate::slicing::slice_transform(&p, 120).unwrap();
+            flep_minicu::type_check(&out)
+                .unwrap_or_else(|e| panic!("{id}: {e}\n{out}"));
+        }
+    }
+
+    #[test]
+    fn all_eight_benchmarks_transform_cleanly() {
+        for id in BenchmarkId::ALL {
+            let p = parse(source(id)).unwrap();
+            for mode in [
+                TransformMode::TemporalNaive,
+                TransformMode::TemporalAmortized,
+                TransformMode::Spatial,
+            ] {
+                let out =
+                    transform(&p, mode).unwrap_or_else(|e| panic!("{id} {mode:?}: {e}"));
+                let printed = out.program.to_string();
+                parse(&printed).unwrap_or_else(|e| panic!("{id} {mode:?} reparse: {e}"));
+                assert!(
+                    out.kernels[0].block_idx_replacements > 0,
+                    "{id}: kernel must consume blockIdx.x"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transformed_kernel_uses_slightly_more_registers() {
+        let p = parse(SIMPLE).unwrap();
+        let original_est = flep_minicu::estimate_resources(p.function("k").unwrap());
+        let out = transform(&p, TransformMode::Spatial).unwrap();
+        assert!(out.kernels[0].resources.regs_per_thread >= original_est.regs_per_thread);
+        // The two __shared__ staging words.
+        assert_eq!(out.kernels[0].resources.smem_per_cta, 8);
+    }
+
+    #[test]
+    fn unknown_kernel_launch_is_semantic_error() {
+        let p = parse("void h() { ghost<<<1, 1>>>(); }").unwrap();
+        assert!(matches!(
+            transform(&p, TransformMode::Spatial),
+            Err(TransformError::Sema(_))
+        ));
+    }
+
+    #[test]
+    fn multi_dim_kernels_are_rejected() {
+        let p = parse(
+            "__global__ void k2(float* a) { a[blockIdx.y] = 0.0f; }",
+        )
+        .unwrap();
+        assert_eq!(
+            transform(&p, TransformMode::Spatial).unwrap_err(),
+            TransformError::MultiDimGrid("k2".into())
+        );
+    }
+
+    #[test]
+    fn launch_inside_loop_is_rewritten() {
+        let src = r#"
+            __global__ void k(float* a) { a[blockIdx.x] = 0.0f; }
+            void h(float* a, int iters) {
+                for (int t = 0; t < iters; ++t) {
+                    k<<<120, 256>>>(a);
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let out = transform(&p, TransformMode::TemporalAmortized).unwrap();
+        let host = out.program.function("h").unwrap().to_string();
+        assert!(host.contains("flep_request(0, 120, 256)"));
+    }
+}

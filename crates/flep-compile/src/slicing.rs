@@ -1,0 +1,381 @@
+//! The kernel-slicing baseline (§2.2, Fig. 17): the pre-FLEP software
+//! approach to GPU preemption, implemented both as a source transform and
+//! as a timing-level execution plan for the simulator.
+//!
+//! A sliced kernel launches as a sequence of sub-kernels, each covering a
+//! contiguous range of the original CTAs; the GPU can be "preempted" at
+//! sub-kernel boundaries. Costs relative to FLEP: every sub-kernel pays a
+//! launch overhead, and sub-kernels in one stream serialize (the inter-
+//! slice barrier idles the tail of each wave). To compare at equal
+//! preemption granularity (Fig. 17's setup), a slice covers
+//! `amortize × device_capacity` CTAs — the same work FLEP's persistent
+//! CTAs complete between two flag polls.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use flep_minicu::{
+    analyze, AssignOp, BinOp, Block, Builtin, Expr, FnKind, Function, Param, Program, SemaError,
+    Stmt, Type,
+};
+
+use flep_gpu_sim::{GpuConfig, GridShape, LaunchDesc, Scenario};
+use flep_sim_core::SimTime;
+
+/// Errors from the slicing transform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SliceError {
+    /// The program failed semantic analysis.
+    Sema(SemaError),
+    /// Slice size must be positive.
+    ZeroSliceSize,
+}
+
+impl fmt::Display for SliceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SliceError::Sema(e) => write!(f, "semantic error: {e}"),
+            SliceError::ZeroSliceSize => f.write_str("slice size must be at least 1 CTA"),
+        }
+    }
+}
+
+impl Error for SliceError {}
+
+impl From<SemaError> for SliceError {
+    fn from(e: SemaError) -> Self {
+        SliceError::Sema(e)
+    }
+}
+
+/// Source-level slicing transform: each kernel gains a CTA-offset
+/// parameter (its `blockIdx.x` becomes `blockIdx.x + flep_offset`) and each
+/// host launch becomes a loop of sub-launches of at most `slice_ctas` CTAs.
+///
+/// # Errors
+///
+/// Returns [`SliceError`] if the program is semantically invalid or
+/// `slice_ctas` is zero.
+///
+/// # Example
+///
+/// ```
+/// let src = r#"
+/// __global__ void k(float* a, int n) {
+///     int i = blockIdx.x * blockDim.x + threadIdx.x;
+///     if (i < n) { a[i] = 0.0f; }
+/// }
+/// void h(float* a, int n) { k<<<4096, 256>>>(a, n); }
+/// "#;
+/// let p = flep_minicu::parse(src).unwrap();
+/// let out = flep_compile::slice_transform(&p, 120).unwrap();
+/// let printed = out.to_string();
+/// assert!(printed.contains("k_sliced"));
+/// flep_minicu::parse(&printed).unwrap();
+/// ```
+pub fn slice_transform(program: &Program, slice_ctas: u64) -> Result<Program, SliceError> {
+    analyze(program)?;
+    if slice_ctas == 0 {
+        return Err(SliceError::ZeroSliceSize);
+    }
+
+    let mut out = Program::default();
+    let mut sliced_names: Vec<(String, String)> = Vec::new();
+
+    for f in &program.functions {
+        match f.kind {
+            FnKind::Global => {
+                let mut body = f.body.clone();
+                body.replace_builtin(
+                    Builtin::BlockIdxX,
+                    &Expr::bin(
+                        BinOp::Add,
+                        Expr::Builtin(Builtin::BlockIdxX),
+                        Expr::ident("flep_offset"),
+                    ),
+                );
+                let mut params = f.params.clone();
+                params.push(Param {
+                    name: "flep_offset".into(),
+                    ty: Type::Uint,
+                    volatile: false,
+                });
+                let name = format!("{}_sliced", f.name);
+                sliced_names.push((f.name.clone(), name.clone()));
+                out.functions.push(Function {
+                    kind: FnKind::Global,
+                    ret: Type::Void,
+                    name,
+                    params,
+                    body,
+                });
+            }
+            _ => out.functions.push(f.clone()),
+        }
+    }
+
+    for f in &mut out.functions {
+        if f.kind == FnKind::Host {
+            rewrite_launches(&mut f.body, &sliced_names, slice_ctas);
+        }
+    }
+    Ok(out)
+}
+
+fn rewrite_launches(block: &mut Block, sliced: &[(String, String)], slice_ctas: u64) {
+    for stmt in &mut block.stmts {
+        match stmt {
+            Stmt::If {
+                then_block,
+                else_block,
+                ..
+            } => {
+                rewrite_launches(then_block, sliced, slice_ctas);
+                if let Some(e) = else_block {
+                    rewrite_launches(e, sliced, slice_ctas);
+                }
+            }
+            Stmt::While { body, .. } | Stmt::For { body, .. } => {
+                rewrite_launches(body, sliced, slice_ctas)
+            }
+            Stmt::Block(b) => rewrite_launches(b, sliced, slice_ctas),
+            Stmt::Launch {
+                kernel,
+                grid,
+                block: cta,
+                args,
+            } => {
+                let Some((_, new_name)) = sliced.iter().find(|(orig, _)| orig == kernel) else {
+                    continue;
+                };
+                // for (unsigned int flep_s = 0; flep_s < GRID; flep_s += S)
+                //     k_sliced<<<(GRID - flep_s < S ? GRID - flep_s : S), B>>>(args..., flep_s);
+                let grid_e = grid.clone();
+                let remaining = Expr::bin(
+                    BinOp::Sub,
+                    grid_e.clone(),
+                    Expr::ident("flep_s"),
+                );
+                let slice_lit = Expr::Int(slice_ctas as i64);
+                let this_slice = Expr::Ternary {
+                    cond: Box::new(Expr::bin(
+                        BinOp::Lt,
+                        remaining.clone(),
+                        slice_lit.clone(),
+                    )),
+                    then_expr: Box::new(remaining),
+                    else_expr: Box::new(slice_lit.clone()),
+                };
+                let mut new_args = args.clone();
+                new_args.push(Expr::ident("flep_s"));
+                let inner = Stmt::Launch {
+                    kernel: new_name.clone(),
+                    grid: this_slice,
+                    block: cta.clone(),
+                    args: new_args,
+                };
+                *stmt = Stmt::For {
+                    init: Some(Box::new(Stmt::Decl {
+                        name: "flep_s".into(),
+                        ty: Type::Uint,
+                        shared: false,
+                        volatile: false,
+                        array_len: None,
+                        init: Some(Expr::Int(0)),
+                    })),
+                    cond: Some(Expr::bin(BinOp::Lt, Expr::ident("flep_s"), grid_e)),
+                    step: Some(Box::new(Stmt::Assign {
+                        target: Expr::ident("flep_s"),
+                        op: AssignOp::Add,
+                        value: slice_lit,
+                    })),
+                    body: Block::new(vec![inner]),
+                };
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The timing-level slice plan: how many sub-kernels a sliced run issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlicePlan {
+    /// CTAs per sub-kernel.
+    pub slice_ctas: u64,
+    /// Number of sub-kernels.
+    pub num_slices: u64,
+}
+
+impl SlicePlan {
+    /// Plans slices of `slice_ctas` CTAs over `total_ctas`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice_ctas` is zero.
+    #[must_use]
+    pub fn new(total_ctas: u64, slice_ctas: u64) -> Self {
+        assert!(slice_ctas > 0, "slice size must be positive");
+        SlicePlan {
+            slice_ctas,
+            num_slices: total_ctas.div_ceil(slice_ctas),
+        }
+    }
+
+    /// The Fig. 17 equal-granularity plan: one slice covers the work FLEP
+    /// completes between flag polls, `amortize × device_capacity` CTAs.
+    #[must_use]
+    pub fn matching_flep_granularity(total_ctas: u64, amortize: u32, capacity: u64) -> Self {
+        SlicePlan::new(total_ctas, u64::from(amortize).saturating_mul(capacity).max(1))
+    }
+}
+
+/// Runs a sliced kernel standalone: sub-kernels issue back-to-back in one
+/// CUDA stream (the same-stream barrier makes each slice wait for its
+/// predecessor), returning the total makespan.
+///
+/// # Panics
+///
+/// Panics if the descriptor is not original-shape or a launch is rejected
+/// by the device.
+#[must_use]
+pub fn run_sliced_standalone(config: GpuConfig, desc: &LaunchDesc, plan: SlicePlan) -> SimTime {
+    let GridShape::Original { ctas } = desc.shape else {
+        panic!("slicing applies to original-shape kernels");
+    };
+    let mut sc = Scenario::new(config);
+    let mut offset = 0u64;
+    let mut slice_idx = 0u64;
+    let mut last_tag = desc.tag;
+    while offset < ctas {
+        let this = plan.slice_ctas.min(ctas - offset);
+        let mut slice = desc.clone_without_task_fn();
+        slice.name = format!("{}_slice{}", desc.name, slice_idx);
+        slice.shape = GridShape::Original { ctas: this };
+        slice.seed = desc.seed.wrapping_add(slice_idx);
+        slice.first_task = desc.first_task + offset;
+        // Distinct tags so the record of the *last* slice marks the end;
+        // all slices share stream 0 and therefore serialize.
+        last_tag = desc.tag.wrapping_add(slice_idx);
+        slice.tag = last_tag;
+        sc.launch_at(SimTime::ZERO, slice.with_stream(0));
+        offset += this;
+        slice_idx += 1;
+    }
+    let result = sc.run();
+    result.records[&last_tag]
+        .completed_at
+        .expect("sliced run completes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flep_gpu_sim::{run_single, TaskCost};
+
+    fn clean_cfg() -> GpuConfig {
+        GpuConfig {
+            launch_overhead: SimTime::ZERO,
+            poll_cost: SimTime::ZERO,
+            pull_cost: SimTime::ZERO,
+            ..GpuConfig::k40()
+        }
+    }
+
+    #[test]
+    fn plan_counts_slices() {
+        let p = SlicePlan::new(1000, 120);
+        assert_eq!(p.num_slices, 9);
+        let p2 = SlicePlan::matching_flep_granularity(14_400, 1, 120);
+        assert_eq!(p2.num_slices, 120);
+        let p3 = SlicePlan::matching_flep_granularity(14_400, 200, 120);
+        assert_eq!(p3.num_slices, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice size must be positive")]
+    fn zero_slice_panics() {
+        let _ = SlicePlan::new(10, 0);
+    }
+
+    #[test]
+    fn sliced_run_without_overheads_matches_original() {
+        // With zero launch overhead and uniform tasks, slicing at capacity
+        // granularity costs nothing: 480 CTAs = 4 slices of 120 = 4 waves.
+        let desc = LaunchDesc::new(
+            "k",
+            GridShape::Original { ctas: 480 },
+            TaskCost::fixed(SimTime::from_us(50)),
+        );
+        let original = run_single(
+            clean_cfg(),
+            LaunchDesc::new("k", GridShape::Original { ctas: 480 }, TaskCost::fixed(SimTime::from_us(50))),
+        );
+        let sliced = run_sliced_standalone(clean_cfg(), &desc, SlicePlan::new(480, 120));
+        assert_eq!(original, SimTime::from_us(200));
+        assert_eq!(sliced, SimTime::from_us(200));
+    }
+
+    #[test]
+    fn launch_overhead_accumulates_per_slice() {
+        let cfg = GpuConfig {
+            launch_overhead: SimTime::from_us(8),
+            ..clean_cfg()
+        };
+        let desc = LaunchDesc::new(
+            "k",
+            GridShape::Original { ctas: 480 },
+            TaskCost::fixed(SimTime::from_us(50)),
+        );
+        let sliced = run_sliced_standalone(cfg, &desc, SlicePlan::new(480, 120));
+        // 4 slices, each 8us launch + 50us work.
+        assert_eq!(sliced, SimTime::from_us(232));
+    }
+
+    #[test]
+    fn finer_slices_cost_more() {
+        let cfg = GpuConfig {
+            launch_overhead: SimTime::from_us(8),
+            ..clean_cfg()
+        };
+        let mk = || {
+            LaunchDesc::new(
+                "k",
+                GridShape::Original { ctas: 960 },
+                TaskCost::fixed(SimTime::from_us(20)),
+            )
+        };
+        let coarse = run_sliced_standalone(cfg.clone(), &mk(), SlicePlan::new(960, 480));
+        let fine = run_sliced_standalone(cfg, &mk(), SlicePlan::new(960, 120));
+        assert!(fine > coarse, "{fine} vs {coarse}");
+    }
+
+    #[test]
+    fn transform_produces_valid_minicu() {
+        let src = r#"
+            __global__ void k(float* a, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) { a[i] = 1.0f; }
+            }
+            void h(float* a, int n) { k<<<n / 256 + 1, 256>>>(a, n); }
+        "#;
+        let p = flep_minicu::parse(src).unwrap();
+        let out = slice_transform(&p, 120).unwrap();
+        let printed = out.to_string();
+        let reparsed = flep_minicu::parse(&printed).unwrap();
+        flep_minicu::analyze(&reparsed).unwrap();
+        assert!(printed.contains("blockIdx.x + flep_offset"));
+        assert!(printed.contains("flep_s += 120"));
+    }
+
+    #[test]
+    fn zero_slice_size_rejected() {
+        let p = flep_minicu::parse("__global__ void k(float* a) { a[blockIdx.x] = 0.0f; }")
+            .unwrap();
+        assert_eq!(
+            slice_transform(&p, 0).unwrap_err(),
+            SliceError::ZeroSliceSize
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! The offline amortizing-factor tuner (§4.1): "FLEP can automatically
+//! find the smallest value for L through offline tuning (trying different
+//! values from small to large) such that the runtime overhead introduced
+//! by the transformation is less than 4%."
+//!
+//! Tuning runs are noise-free profiling runs: the transformed and original
+//! kernels execute standalone on a fresh simulated device, and overhead is
+//! the relative makespan difference.
+
+use serde::{Deserialize, Serialize};
+
+use flep_gpu_sim::{run_single, GpuConfig, GridShape, LaunchDesc, TaskCost};
+use flep_sim_core::SimTime;
+use flep_workloads::{Benchmark, InputClass};
+
+/// The default candidate grid, "from small to large" (§4.1).
+pub const DEFAULT_CANDIDATES: [u32; 11] = [1, 2, 5, 10, 20, 50, 100, 150, 200, 300, 500];
+
+/// The paper's overhead budget for the transformation.
+pub const DEFAULT_MAX_OVERHEAD: f64 = 0.04;
+
+/// One candidate's measured overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CandidateResult {
+    /// The amortizing factor tried.
+    pub amortize: u32,
+    /// Measured relative overhead vs the original kernel.
+    pub overhead: f64,
+}
+
+/// The tuner's outcome for one kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneResult {
+    /// The chosen (smallest passing) amortizing factor.
+    pub chosen: u32,
+    /// Whether any candidate met the budget (when false, `chosen` is the
+    /// largest candidate — the best available).
+    pub within_budget: bool,
+    /// Every candidate measured, in trial order. Tuning stops at the first
+    /// passing candidate, so this ends at `chosen`.
+    pub trials: Vec<CandidateResult>,
+}
+
+/// Measures the transformation overhead of one (kernel, L) pair: the
+/// relative slowdown of the persistent form over the original form running
+/// standalone with noise-free task costs.
+#[must_use]
+pub fn measure_overhead(config: &GpuConfig, bench: &Benchmark, class: InputClass, amortize: u32) -> f64 {
+    let p = bench.profile(class);
+    let cost = TaskCost::fixed(p.task_base);
+    let original = run_single(
+        config.clone(),
+        LaunchDesc::new("orig", GridShape::Original { ctas: p.tasks }, cost)
+            .with_resources(bench.resources)
+            .with_mem_intensity(bench.mem_intensity),
+    );
+    let transformed = run_single(
+        config.clone(),
+        LaunchDesc::new(
+            "flep",
+            GridShape::Persistent {
+                total_tasks: p.tasks,
+                amortize,
+            },
+            cost,
+        )
+        .with_resources(bench.resources)
+        .with_mem_intensity(bench.mem_intensity),
+    );
+    (transformed.as_us() - original.as_us()) / original.as_us()
+}
+
+/// Tunes the amortizing factor for a benchmark on its large input with the
+/// default candidate grid and 4% budget.
+#[must_use]
+pub fn tune(config: &GpuConfig, bench: &Benchmark) -> TuneResult {
+    tune_with(
+        config,
+        bench,
+        InputClass::Large,
+        &DEFAULT_CANDIDATES,
+        DEFAULT_MAX_OVERHEAD,
+    )
+}
+
+/// Tunes with explicit input class, candidate grid, and budget.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+#[must_use]
+pub fn tune_with(
+    config: &GpuConfig,
+    bench: &Benchmark,
+    class: InputClass,
+    candidates: &[u32],
+    max_overhead: f64,
+) -> TuneResult {
+    assert!(!candidates.is_empty(), "need at least one candidate L");
+    let mut trials = Vec::new();
+    for &l in candidates {
+        let overhead = measure_overhead(config, bench, class, l);
+        trials.push(CandidateResult {
+            amortize: l,
+            overhead,
+        });
+        if overhead < max_overhead {
+            return TuneResult {
+                chosen: l,
+                within_budget: true,
+                trials,
+            };
+        }
+    }
+    TuneResult {
+        chosen: *candidates.last().expect("non-empty"),
+        within_budget: false,
+        trials,
+    }
+}
+
+/// Convenience: the preemption latency implied by an amortizing factor —
+/// the time a CTA spends finishing its current batch before the next poll,
+/// `L × task_base` (plus the flag visibility latency).
+#[must_use]
+pub fn preemption_latency(config: &GpuConfig, bench: &Benchmark, class: InputClass, amortize: u32) -> SimTime {
+    bench.profile(class).task_base * u64::from(amortize) + config.flag_visibility_latency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flep_workloads::BenchmarkId;
+
+    #[test]
+    fn tuner_reproduces_table1_amortizing_factors() {
+        let cfg = GpuConfig::k40();
+        for id in BenchmarkId::ALL {
+            let b = Benchmark::get(id);
+            let result = tune(&cfg, &b);
+            assert!(result.within_budget, "{id}: no candidate met 4%");
+            assert_eq!(
+                result.chosen, b.table1_amortize,
+                "{id}: tuner chose {} but Table 1 says {} (trials: {:?})",
+                result.chosen, b.table1_amortize, result.trials
+            );
+        }
+    }
+
+    #[test]
+    fn overhead_decreases_with_l() {
+        let cfg = GpuConfig::k40();
+        let b = Benchmark::get(BenchmarkId::Nn);
+        let o1 = measure_overhead(&cfg, &b, InputClass::Large, 1);
+        let o100 = measure_overhead(&cfg, &b, InputClass::Large, 100);
+        assert!(o1 > o100, "{o1} vs {o100}");
+        assert!(o100 < 0.04);
+    }
+
+    #[test]
+    fn impossible_budget_reports_failure() {
+        let cfg = GpuConfig::k40();
+        let b = Benchmark::get(BenchmarkId::Va);
+        let result = tune_with(&cfg, &b, InputClass::Large, &[1, 2], 0.0001);
+        assert!(!result.within_budget);
+        assert_eq!(result.chosen, 2);
+        assert_eq!(result.trials.len(), 2);
+    }
+
+    #[test]
+    fn tuning_stops_at_first_pass() {
+        let cfg = GpuConfig::k40();
+        let b = Benchmark::get(BenchmarkId::Cfd);
+        let result = tune(&cfg, &b);
+        assert_eq!(result.trials.len(), 1, "CFD passes at L=1 immediately");
+    }
+
+    #[test]
+    fn preemption_latency_scales_with_l() {
+        let cfg = GpuConfig::k40();
+        let b = Benchmark::get(BenchmarkId::Va);
+        let l1 = preemption_latency(&cfg, &b, InputClass::Large, 1);
+        let l200 = preemption_latency(&cfg, &b, InputClass::Large, 200);
+        assert!(l200 > l1 * 100);
+    }
+}

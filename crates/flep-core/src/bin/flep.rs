@@ -1,0 +1,257 @@
+//! `flep` — the FLEP-rs command-line tool.
+//!
+//! ```text
+//! flep check   <file.cu>                         parse + analyze + type-check
+//! flep compile <file.cu> [--mode M] [--slice N]  print the transformed program
+//! flep tune    <BENCH>                           offline amortizing-factor search
+//! flep corun   <A> <B> [--policy P] [--delay US] run a co-run, print the timeline
+//! flep bench-list                                list the Table 1 benchmarks
+//! ```
+//!
+//! Modes: `naive`, `amortized` (default), `spatial`. Policies: `hpf`
+//! (default), `hpf-spatial`, `mps`, `reordering`. Benchmarks are Table 1
+//! names (CFD, NN, PF, PL, MD, SPMV, MM, VA), with an optional
+//! `:large|:small|:trivial` input suffix (A defaults to `:large`, B to
+//! `:small`).
+
+use std::process::ExitCode;
+
+use flep_core::prelude::*;
+use flep_core::render_timeline;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("tune") => cmd_tune(&args[1..]),
+        Some("corun") => cmd_corun(&args[1..]),
+        Some("bench-list") => cmd_bench_list(),
+        Some("--help" | "-h" | "help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}` (try `flep help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "flep — FLEP-rs: flexible GPU preemption (ASPLOS'17 reproduction)
+
+USAGE:
+    flep check   <file.cu>
+    flep compile <file.cu> [--mode naive|amortized|spatial] [--slice N]
+    flep tune    <BENCH>
+    flep corun   <A[:input]> <B[:input]> [--policy hpf|hpf-spatial|mps|reordering]
+                 [--delay US] [--priority-b N] [--width N]
+    flep bench-list
+
+Benchmarks: CFD NN PF PL MD SPMV MM VA (inputs: large, small, trivial)."
+    );
+}
+
+fn read_program(path: &str) -> Result<Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
+    parse(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: flep check <file.cu>")?;
+    let program = read_program(path)?;
+    let info = analyze(&program).map_err(|e| format!("{path}: {e}"))?;
+    flep_minicu::type_check(&program).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: OK");
+    for k in &info.kernels {
+        println!(
+            "  kernel `{}` ({} params{}{})",
+            k.name,
+            k.num_params,
+            if k.has_loop { ", loops" } else { "" },
+            if k.uses_smid { ", uses %smid" } else { "" },
+        );
+    }
+    for l in &info.launches {
+        println!("  launch of `{}` in `{}`", l.kernel, l.host);
+    }
+    Ok(())
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: flep compile <file.cu> [--mode M] [--slice N]")?;
+    let program = read_program(path)?;
+
+    if let Some(n) = flag_value(args, "--slice") {
+        let slice: u64 = n.parse().map_err(|_| "--slice expects a CTA count")?;
+        let out = flep_compile::slice_transform(&program, slice).map_err(|e| e.to_string())?;
+        println!("{out}");
+        return Ok(());
+    }
+
+    let mode = match flag_value(args, "--mode").unwrap_or("amortized") {
+        "naive" => TransformMode::TemporalNaive,
+        "amortized" => TransformMode::TemporalAmortized,
+        "spatial" => TransformMode::Spatial,
+        other => return Err(format!("unknown mode `{other}`")),
+    };
+    let out = transform(&program, mode).map_err(|e| e.to_string())?;
+    println!("{}", out.program);
+    eprintln!("// transformed {} kernel(s):", out.kernels.len());
+    for k in &out.kernels {
+        eprintln!(
+            "//   {} -> {} (id {}, {} blockIdx.x replacement(s), est. {} regs/thread)",
+            k.original, k.persistent, k.kernel_id, k.block_idx_replacements,
+            k.resources.regs_per_thread
+        );
+    }
+    Ok(())
+}
+
+fn cmd_tune(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("usage: flep tune <BENCH>")?;
+    let bench = parse_bench(name)?;
+    let cfg = GpuConfig::k40();
+    let result = tune(&cfg, &bench);
+    println!("tuning {} (budget 4%):", bench.id);
+    for t in &result.trials {
+        println!(
+            "  L = {:>4}: {:>6.2}%  {}",
+            t.amortize,
+            t.overhead * 100.0,
+            if t.overhead < 0.04 { "PASS" } else { "fail" }
+        );
+    }
+    println!(
+        "chosen L = {}{}",
+        result.chosen,
+        if result.within_budget { "" } else { " (budget not met; best available)" }
+    );
+    Ok(())
+}
+
+fn cmd_corun(args: &[String]) -> Result<(), String> {
+    if args.len() < 2 {
+        return Err("usage: flep corun <A[:input]> <B[:input]> [--policy P] [--delay US]".into());
+    }
+    let (bench_a, class_a) = parse_bench_input(&args[0], InputClass::Large)?;
+    let (bench_b, class_b) = parse_bench_input(&args[1], InputClass::Small)?;
+    let policy = match flag_value(args, "--policy").unwrap_or("hpf") {
+        "hpf" => Policy::hpf(),
+        "hpf-spatial" => Policy::hpf_spatial(),
+        "mps" => Policy::MpsBaseline,
+        "reordering" => Policy::Reordering,
+        other => return Err(format!("unknown policy `{other}`")),
+    };
+    let delay_us: u64 = flag_value(args, "--delay")
+        .map(|v| v.parse().map_err(|_| "--delay expects microseconds"))
+        .transpose()?
+        .unwrap_or(10);
+    let prio_b: u32 = flag_value(args, "--priority-b")
+        .map(|v| v.parse().map_err(|_| "--priority-b expects a number"))
+        .transpose()?
+        .unwrap_or(2);
+    let width: usize = flag_value(args, "--width")
+        .map(|v| v.parse().map_err(|_| "--width expects a number"))
+        .transpose()?
+        .unwrap_or(90);
+
+    let cfg = GpuConfig::k40();
+    let store = ModelStore::train(42);
+    let result = CoRun::new(cfg, policy)
+        .job(
+            JobSpec::new(KernelProfile::of(&bench_a, class_a), SimTime::ZERO)
+                .with_priority(1)
+                .with_predicted(store.predict(&bench_a, class_a))
+                .with_seed(1),
+        )
+        .job(
+            JobSpec::new(
+                KernelProfile::of(&bench_b, class_b),
+                SimTime::from_us(delay_us),
+            )
+            .with_priority(prio_b)
+            .with_predicted(store.predict(&bench_b, class_b))
+            .with_seed(2),
+        )
+        .run();
+
+    for job in &result.jobs {
+        println!(
+            "{:<12} turnaround {:>12}  waited {:>12}  preemptions {}",
+            job.name,
+            job.turnaround().map_or("-".into(), |t| t.to_string()),
+            job.waiting.to_string(),
+            job.preemptions
+        );
+    }
+    println!();
+    print!("{}", render_timeline(&result, width));
+    Ok(())
+}
+
+fn cmd_bench_list() -> Result<(), String> {
+    println!(
+        "{:<6} {:<10} {:<28} {:>11} {:>11} {:>12} {:>4}",
+        "name", "suite", "description", "large (us)", "small (us)", "trivial (us)", "L"
+    );
+    // Measure standalone times on the simulated device (kernel time,
+    // excluding launch overhead) — the same numbers `table1` reports.
+    let cfg = GpuConfig::k40();
+    for b in Benchmark::all() {
+        let measure = |class| {
+            let t = flep_gpu_sim::run_single(cfg.clone(), b.original_desc(class));
+            (t - cfg.launch_overhead).as_us()
+        };
+        println!(
+            "{:<6} {:<10} {:<28} {:>11.0} {:>11.0} {:>12.0} {:>4}",
+            b.id.name(),
+            b.suite,
+            b.description,
+            measure(InputClass::Large),
+            measure(InputClass::Small),
+            measure(InputClass::Trivial),
+            b.table1_amortize
+        );
+    }
+    Ok(())
+}
+
+// -- Helpers ---------------------------------------------------------------
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_bench(name: &str) -> Result<Benchmark, String> {
+    BenchmarkId::ALL
+        .iter()
+        .find(|id| id.name().eq_ignore_ascii_case(name))
+        .map(|&id| Benchmark::get(id))
+        .ok_or_else(|| format!("unknown benchmark `{name}` (try `flep bench-list`)"))
+}
+
+fn parse_bench_input(spec: &str, default: InputClass) -> Result<(Benchmark, InputClass), String> {
+    let (name, class) = match spec.split_once(':') {
+        Some((n, c)) => {
+            let class = match c.to_ascii_lowercase().as_str() {
+                "large" => InputClass::Large,
+                "small" => InputClass::Small,
+                "trivial" => InputClass::Trivial,
+                other => return Err(format!("unknown input class `{other}`")),
+            };
+            (n, class)
+        }
+        None => (spec, default),
+    };
+    Ok((parse_bench(name)?, class))
+}

@@ -1,0 +1,153 @@
+//! The experiment driver: describe a co-run, execute it, read results.
+
+use serde::{Deserialize, Serialize};
+
+use flep_gpu_sim::{GpuConfig, GpuDevice, SwapManager, SwapStats};
+use flep_sim_core::{SimTime, Simulation, Span};
+
+use crate::job::{JobRecord, JobSpec};
+use crate::world::{Policy, SystemEvent, SystemWorld};
+
+/// A complete co-run description.
+///
+/// # Example
+///
+/// ```
+/// use flep_gpu_sim::GpuConfig;
+/// use flep_runtime::{CoRun, JobSpec, KernelProfile, Policy};
+/// use flep_sim_core::SimTime;
+/// use flep_workloads::{Benchmark, BenchmarkId, InputClass};
+///
+/// let lo = KernelProfile::of(&Benchmark::get(BenchmarkId::Nn), InputClass::Large);
+/// let hi = KernelProfile::of(&Benchmark::get(BenchmarkId::Spmv), InputClass::Small);
+/// let result = CoRun::new(GpuConfig::k40(), Policy::hpf())
+///     .job(JobSpec::new(lo, SimTime::ZERO).with_priority(1))
+///     .job(JobSpec::new(hi, SimTime::from_us(10)).with_priority(2))
+///     .run();
+/// // The high-priority kernel preempts the long-running one and finishes
+/// // long before it.
+/// let hi_done = result.jobs[1].completed.unwrap();
+/// let lo_done = result.jobs[0].completed.unwrap();
+/// assert!(hi_done < lo_done);
+/// ```
+#[derive(Debug)]
+pub struct CoRun {
+    config: GpuConfig,
+    policy: Policy,
+    jobs: Vec<JobSpec>,
+    horizon: Option<SimTime>,
+    swap: Option<SwapManager>,
+}
+
+impl CoRun {
+    /// Starts an empty co-run under a policy.
+    #[must_use]
+    pub fn new(config: GpuConfig, policy: Policy) -> Self {
+        CoRun {
+            config,
+            policy,
+            jobs: Vec::new(),
+            horizon: None,
+            swap: None,
+        }
+    }
+
+    /// Adds a job (builder style).
+    #[must_use]
+    pub fn job(mut self, spec: JobSpec) -> Self {
+        self.jobs.push(spec);
+        self
+    }
+
+    /// Sets an experiment horizon: looping jobs stop re-arriving at this
+    /// time and the simulation ends once in-flight work drains.
+    #[must_use]
+    pub fn horizon(mut self, at: SimTime) -> Self {
+        self.horizon = Some(at);
+        self
+    }
+
+    /// Enables GPUSwap-style device-memory oversubscription: jobs with a
+    /// declared working set pay swap-in time when their data is not
+    /// resident (§8's planned integration).
+    #[must_use]
+    pub fn with_swap(mut self, swap: SwapManager) -> Self {
+        self.swap = Some(swap);
+        self
+    }
+
+    /// Executes the co-run to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a kernel is rejected by the device (unlaunchable CTA
+    /// shapes) — co-run specs are expected to be valid.
+    #[must_use]
+    pub fn run(self) -> CoRunResult {
+        let arrivals: Vec<SimTime> = self.jobs.iter().map(|j| j.arrival).collect();
+        let mut world = SystemWorld::new(
+            GpuDevice::new(self.config),
+            self.policy,
+            self.jobs,
+            self.horizon,
+        );
+        if let Some(swap) = self.swap {
+            world.set_swap(swap);
+        }
+        let mut sim = Simulation::new(world);
+        for (idx, at) in arrivals.into_iter().enumerate() {
+            sim.schedule_at(at, SystemEvent::Arrival(idx));
+        }
+        let end_time = sim.run();
+        let swap_stats = sim.world().swap_stats();
+        let (jobs, busy_spans) = sim.into_world().into_records();
+        CoRunResult {
+            jobs,
+            busy_spans,
+            end_time,
+            swap_stats,
+        }
+    }
+}
+
+/// Results of a co-run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoRunResult {
+    /// Per-job records, in submission order.
+    pub jobs: Vec<JobRecord>,
+    /// CTA-residency spans (owner = job index) for GPU-share accounting.
+    pub busy_spans: Vec<Span>,
+    /// When the last event fired.
+    pub end_time: SimTime,
+    /// Swap statistics, when oversubscription was enabled.
+    pub swap_stats: Option<SwapStats>,
+}
+
+impl CoRunResult {
+    /// Job `idx`'s share of all busy GPU time within `[from, to)`.
+    #[must_use]
+    pub fn gpu_share(&self, idx: usize, from: SimTime, to: SimTime) -> f64 {
+        let total: SimTime = self
+            .busy_spans
+            .iter()
+            .map(|s| s.clipped(from, to))
+            .sum();
+        let own: SimTime = self
+            .busy_spans
+            .iter()
+            .filter(|s| s.owner == idx as u64)
+            .map(|s| s.clipped(from, to))
+            .sum();
+        own.ratio(total)
+    }
+
+    /// Total busy GPU time attributed to job `idx` over the whole run.
+    #[must_use]
+    pub fn busy_time(&self, idx: usize) -> SimTime {
+        self.busy_spans
+            .iter()
+            .filter(|s| s.owner == idx as u64)
+            .map(Span::duration)
+            .sum()
+    }
+}

@@ -1,0 +1,678 @@
+//! The FLEP runtime engine (§5): kernel interception, execution logging,
+//! and the preemption/scheduling decision loop, co-simulated with the GPU
+//! device.
+
+use serde::{Deserialize, Serialize};
+
+use flep_gpu_sim::{
+    CollectorHarness, GpuDevice, GpuEvent, GridId, HostNotification, PreemptSignal, SwapManager,
+    SwapStats,
+};
+use flep_perfmodel::OverheadProfiler;
+use flep_sim_core::{Scheduler, SimTime, Span, World};
+
+use crate::job::{JobRecord, JobSpec, RepeatMode};
+
+/// The scheduling policy the runtime enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Policy {
+    /// §5.2.1: highest-priority-first with shortest-remaining-time among
+    /// equal priorities, preempting only when the switch pays for the
+    /// preemption overhead.
+    Hpf {
+        /// Yield only as many SMs as the waiting kernel needs when it does
+        /// not fill the device (spatial preemption); `false` always yields
+        /// everything (temporal).
+        spatial: bool,
+        /// Include the profiled preemption overhead in the preempt-or-not
+        /// comparison (the paper does; `false` is the ablation).
+        overhead_aware: bool,
+        /// Override the number of SMs yielded on a spatial preemption
+        /// (Fig. 16's sweep). `None` yields exactly what the waiting grid
+        /// needs. Values at or above the SM count degrade to temporal.
+        forced_yield: Option<u32>,
+    },
+    /// §5.2.2: fairness-first weighted round-robin under an overhead
+    /// budget. Weights are the jobs' priorities.
+    Ffs {
+        /// The `max_overhead` constraint bounding context-switch frequency.
+        max_overhead: f64,
+    },
+    /// Baseline: launch original kernels immediately; the device FIFO does
+    /// the rest (what MPS gives you).
+    MpsBaseline,
+    /// Baseline: no preemption, but launch waiting kernels shortest-
+    /// predicted-first when the device frees up (§6.3.2's "kernel
+    /// reordering").
+    Reordering,
+}
+
+impl Policy {
+    /// The paper's default HPF configuration (temporal, overhead-aware).
+    #[must_use]
+    pub fn hpf() -> Policy {
+        Policy::Hpf {
+            spatial: false,
+            overhead_aware: true,
+            forced_yield: None,
+        }
+    }
+
+    /// HPF with spatial preemption enabled.
+    #[must_use]
+    pub fn hpf_spatial() -> Policy {
+        Policy::Hpf {
+            spatial: true,
+            overhead_aware: true,
+            forced_yield: None,
+        }
+    }
+
+    /// HPF with spatial preemption yielding a fixed SM count (Fig. 16).
+    #[must_use]
+    pub fn hpf_spatial_yielding(sms: u32) -> Policy {
+        Policy::Hpf {
+            spatial: true,
+            overhead_aware: true,
+            forced_yield: Some(sms),
+        }
+    }
+}
+
+/// Lifecycle of a job inside the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    /// Not yet arrived.
+    Future,
+    /// Arrived, waiting in a priority queue (CPU state S2).
+    Queued,
+    /// Granted the GPU; a grid is launched or running (CPU state S3).
+    Running,
+    /// Granted the GPU spatially alongside a victim that keeps running.
+    RunningShared,
+    /// Signalled to preempt; waiting for its CTAs to drain.
+    Draining,
+    /// A spatial victim: keeps running on its remaining SMs while another
+    /// job uses the yielded ones.
+    SharedVictim,
+    /// All invocations finished.
+    Done,
+}
+
+/// Internal per-job state: the §5.1 execution-logging triplet plus launch
+/// bookkeeping.
+#[derive(Debug)]
+struct Job {
+    spec: JobSpec,
+    state: JobState,
+    /// `T_e`: predicted duration, set once at arrival.
+    te: SimTime,
+    /// `T_r`: predicted remaining execution time.
+    tr: SimTime,
+    /// `T_w`: accumulated waiting time.
+    tw: SimTime,
+    /// When the current waiting period began.
+    wait_since: Option<SimTime>,
+    /// Tasks completed across preemptions (current invocation).
+    tasks_done: u64,
+    /// The live grid, if any.
+    grid: Option<GridId>,
+    /// When the preemption signal was sent (drain-latency sample start).
+    signalled_at: Option<SimTime>,
+    /// When the current grant began (for live `T_r` estimation).
+    granted_at: Option<SimTime>,
+    /// Completed invocations.
+    completions: u64,
+    /// Relaunch counter (perturbs the seed per resume).
+    launches: u64,
+    record: JobRecord,
+    /// FFS: epoch generation, to ignore stale epoch-expiry events.
+    epoch_gen: u64,
+}
+
+impl Job {
+    fn is_waiting(&self) -> bool {
+        self.state == JobState::Queued
+    }
+
+    fn remaining_tasks(&self) -> u64 {
+        self.spec.profile.total_tasks - self.tasks_done
+    }
+
+    fn begin_wait(&mut self, now: SimTime) {
+        if self.wait_since.is_none() {
+            self.wait_since = Some(now);
+        }
+    }
+
+    fn end_wait(&mut self, now: SimTime) {
+        if let Some(since) = self.wait_since.take() {
+            let waited = now.saturating_sub(since);
+            self.tw += waited;
+            self.record.waiting += waited;
+        }
+    }
+}
+
+/// Events circulating in the system simulation.
+#[derive(Debug)]
+pub enum SystemEvent {
+    /// A device-internal event.
+    Gpu(GpuEvent),
+    /// Job `idx` arrives (its host process reaches the launch site).
+    Arrival(usize),
+    /// FFS: job `idx`'s epoch of generation `gen` expires.
+    EpochEnd {
+        /// Job index.
+        idx: usize,
+        /// Epoch generation, to ignore stale timers.
+        gen: u64,
+    },
+}
+
+/// The co-simulated system: GPU device + FLEP runtime + workload arrivals.
+#[derive(Debug)]
+pub struct SystemWorld {
+    device: GpuDevice,
+    policy: Policy,
+    jobs: Vec<Job>,
+    /// Index of the job currently granted the GPU (exclusively).
+    gpu_job: Option<usize>,
+    /// Spatial victims still running alongside `gpu_job`.
+    shared_victims: Vec<usize>,
+    /// True while a temporal preemption drain is in flight.
+    draining: bool,
+    /// Per-job preemption-overhead profiles (§4.2).
+    profilers: Vec<OverheadProfiler>,
+    /// FFS rotation cursor.
+    ffs_cursor: usize,
+    /// Experiment horizon for looping jobs.
+    horizon: Option<SimTime>,
+    /// Optional GPUSwap-style working-set manager (§8 integration).
+    swap: Option<SwapManager>,
+}
+
+impl SystemWorld {
+    /// Builds the world from job specs.
+    #[must_use]
+    pub fn new(device: GpuDevice, policy: Policy, specs: Vec<JobSpec>, horizon: Option<SimTime>) -> Self {
+        let jobs: Vec<Job> = specs
+            .into_iter()
+            .map(|spec| {
+                let te = spec
+                    .predicted
+                    .unwrap_or_else(|| spec.profile.estimate_duration(device.config()));
+                let record = JobRecord {
+                    name: spec.profile.name.clone(),
+                    priority: spec.priority,
+                    arrival: spec.arrival,
+                    ..JobRecord::default()
+                };
+                Job {
+                    spec,
+                    state: JobState::Future,
+                    te,
+                    tr: te,
+                    tw: SimTime::ZERO,
+                    wait_since: None,
+                    tasks_done: 0,
+                    grid: None,
+                    signalled_at: None,
+                    completions: 0,
+                    launches: 0,
+                    granted_at: None,
+                    record,
+                    epoch_gen: 0,
+                }
+            })
+            .collect();
+        let n = jobs.len();
+        SystemWorld {
+            device,
+            policy,
+            jobs,
+            gpu_job: None,
+            shared_victims: Vec::new(),
+            draining: false,
+            profilers: (0..n).map(|_| OverheadProfiler::new()).collect(),
+            ffs_cursor: 0,
+            horizon,
+            swap: None,
+        }
+    }
+
+    /// Enables working-set swapping: launches whose declared working set
+    /// is not device-resident pay the swap-in time as launch latency.
+    pub fn set_swap(&mut self, swap: SwapManager) {
+        self.swap = Some(swap);
+    }
+
+    /// Swap statistics, if swapping is enabled.
+    #[must_use]
+    pub fn swap_stats(&self) -> Option<SwapStats> {
+        self.swap.as_ref().map(SwapManager::stats)
+    }
+
+    /// Extracts the per-job records after the run.
+    #[must_use]
+    pub fn into_records(self) -> (Vec<JobRecord>, Vec<Span>) {
+        let spans = self.device.busy_spans().to_vec();
+        (self.jobs.into_iter().map(|j| j.record).collect(), spans)
+    }
+
+    /// The device (for span/trace inspection mid-run).
+    #[must_use]
+    pub fn device(&self) -> &GpuDevice {
+        &self.device
+    }
+
+    fn past_horizon(&self, now: SimTime) -> bool {
+        self.horizon.is_some_and(|h| now >= h)
+    }
+
+    // -- Launch helpers ---------------------------------------------------
+
+    fn launch_job(&mut self, now: SimTime, idx: usize, harness: &mut CollectorHarness) {
+        let job = &mut self.jobs[idx];
+        job.end_wait(now);
+        if job.record.first_granted.is_none() {
+            job.record.first_granted = Some(now);
+        }
+        let seed = job.spec.seed.wrapping_add(job.launches).wrapping_add(job.completions << 32);
+        job.launches += 1;
+        let working_set = job.spec.working_set_bytes;
+        let mut desc = match self.policy {
+            Policy::MpsBaseline | Policy::Reordering => {
+                job.spec.profile.original_desc(idx as u64, seed)
+            }
+            _ => job.spec.profile.persistent_desc(
+                idx as u64,
+                seed,
+                job.tasks_done,
+                job.remaining_tasks(),
+            ),
+        };
+        if let Some(swap) = self.swap.as_mut() {
+            if working_set > 0 {
+                let delay = swap
+                    .acquire(idx as u64, working_set, now)
+                    .expect("working set exceeds device memory: co-run spec invalid");
+                desc = desc.with_extra_launch_delay(delay);
+            }
+        }
+        let grid = self
+            .device
+            .launch(now, desc, harness)
+            .expect("runtime launch rejected by device");
+        job.grid = Some(grid);
+        job.granted_at = Some(now);
+        job.state = JobState::Running;
+    }
+
+    /// The running job's live `T_r`: the prediction at grant minus the
+    /// time it has been running since (§5.1: `T_r` decreases on the GPU).
+    fn live_tr(&self, idx: usize, now: SimTime) -> SimTime {
+        let job = &self.jobs[idx];
+        match job.granted_at {
+            Some(at) => job.tr.saturating_sub(now.saturating_sub(at)),
+            None => job.tr,
+        }
+    }
+
+    /// Signals the currently granted job to yield `sms` SMs.
+    fn signal_preempt(&mut self, now: SimTime, idx: usize, sms: u32) {
+        let job = &mut self.jobs[idx];
+        if let Some(grid) = job.grid {
+            job.signalled_at = Some(now);
+            self.device.signal(now, grid, PreemptSignal::YieldSms(sms));
+        }
+    }
+
+    fn preempt_overhead_estimate(&self, idx: usize) -> SimTime {
+        let fallback = self.jobs[idx]
+            .spec
+            .profile
+            .estimate_preempt_overhead(self.device.config());
+        self.profilers[idx].mean_or(fallback)
+    }
+
+    // -- Scheduling core ----------------------------------------------------
+
+    /// The best waiting job: highest priority first, then shortest
+    /// remaining predicted time (queues are ordered by `T_r`, §5.2.1).
+    fn best_waiting(&self) -> Option<usize> {
+        self.jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.is_waiting())
+            .min_by(|(ai, a), (bi, b)| {
+                b.spec
+                    .priority
+                    .cmp(&a.spec.priority)
+                    .then(a.tr.cmp(&b.tr))
+                    .then(ai.cmp(bi))
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// The central HPF decision procedure (Fig. 6): called on every
+    /// arrival, completion, and drain.
+    fn reschedule_hpf(
+        &mut self,
+        now: SimTime,
+        spatial: bool,
+        overhead_aware: bool,
+        forced_yield: Option<u32>,
+        harness: &mut CollectorHarness,
+    ) {
+        if self.draining {
+            return; // Decisions resume when the victim has drained.
+        }
+        let Some(best) = self.best_waiting() else {
+            return;
+        };
+        match self.gpu_job {
+            None => {
+                self.launch_job(now, best, harness);
+                self.gpu_job = Some(best);
+            }
+            Some(running) => {
+                let bp = self.jobs[best].spec.priority;
+                let rp = self.jobs[running].spec.priority;
+                if bp > rp {
+                    // Priority preemption: yield just enough SMs when the
+                    // waiting kernel underfills the device and spatial mode
+                    // is on; otherwise yield everything.
+                    let cfg_sms = self.device.config().num_sms;
+                    let fit = self.jobs[best]
+                        .spec
+                        .profile
+                        .sms_needed(self.device.config(), self.jobs[best].remaining_tasks());
+                    let needed = forced_yield.unwrap_or(fit).max(fit).min(cfg_sms);
+                    if spatial && needed < cfg_sms {
+                        self.signal_preempt(now, running, needed);
+                        self.jobs[running].state = JobState::SharedVictim;
+                        self.shared_victims.push(running);
+                        self.gpu_job = None;
+                        self.launch_job(now, best, harness);
+                        self.jobs[best].state = JobState::RunningShared;
+                        self.gpu_job = Some(best);
+                    } else {
+                        self.signal_preempt(now, running, cfg_sms);
+                        self.jobs[running].state = JobState::Draining;
+                        self.draining = true;
+                    }
+                } else if bp == rp {
+                    // Same priority: shortest-remaining-time, counting the
+                    // preemption overhead against the switch (§5.2.1).
+                    let overhead = if overhead_aware {
+                        self.preempt_overhead_estimate(running)
+                    } else {
+                        SimTime::ZERO
+                    };
+                    if self.jobs[best].tr + overhead < self.live_tr(running, now) {
+                        self.signal_preempt(now, running, self.device.config().num_sms);
+                        self.jobs[running].state = JobState::Draining;
+                        self.draining = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// FFS: grant the GPU to the next queued job in rotation and arm its
+    /// epoch timer.
+    fn grant_next_ffs(
+        &mut self,
+        now: SimTime,
+        max_overhead: f64,
+        harness: &mut CollectorHarness,
+        sched: &mut Scheduler<'_, SystemEvent>,
+    ) {
+        if self.gpu_job.is_some() || self.past_horizon(now) {
+            return;
+        }
+        let n = self.jobs.len();
+        let Some(pick) = (0..n)
+            .map(|k| (self.ffs_cursor + k) % n)
+            .find(|&i| self.jobs[i].is_waiting())
+        else {
+            return;
+        };
+        self.ffs_cursor = (pick + 1) % n;
+        self.launch_job(now, pick, harness);
+        self.gpu_job = Some(pick);
+
+        // Epoch length: T * W_i with T from the §5.2.2 constraint
+        //   sum(O_i) / (T * sum(W_i)) <= max_overhead.
+        let total_overhead: SimTime = (0..n).map(|i| self.preempt_overhead_estimate(i)).sum();
+        let total_weight: u64 = self.jobs.iter().map(|j| u64::from(j.spec.priority.max(1))).sum();
+        let t = SimTime::from_us_f64(
+            total_overhead.as_us() / (max_overhead * total_weight as f64).max(1e-9),
+        );
+        let epoch = t * u64::from(self.jobs[pick].spec.priority.max(1));
+        self.jobs[pick].epoch_gen += 1;
+        let gen = self.jobs[pick].epoch_gen;
+        sched.schedule_at(now + epoch, SystemEvent::EpochEnd { idx: pick, gen });
+    }
+
+    fn reschedule(
+        &mut self,
+        now: SimTime,
+        harness: &mut CollectorHarness,
+        sched: &mut Scheduler<'_, SystemEvent>,
+    ) {
+        match self.policy {
+            Policy::Hpf {
+                spatial,
+                overhead_aware,
+                forced_yield,
+            } => self.reschedule_hpf(now, spatial, overhead_aware, forced_yield, harness),
+            Policy::Ffs { max_overhead } => self.grant_next_ffs(now, max_overhead, harness, sched),
+            Policy::MpsBaseline => {
+                // Launch everything that has arrived, immediately; the
+                // device FIFO provides the (non-preemptive) ordering.
+                let arrived: Vec<usize> = self
+                    .jobs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, j)| j.is_waiting())
+                    .map(|(i, _)| i)
+                    .collect();
+                for idx in arrived {
+                    self.launch_job(now, idx, harness);
+                }
+            }
+            Policy::Reordering => {
+                // No preemption: wait for the device to go idle, then
+                // launch the shortest predicted kernel first.
+                if self.gpu_job.is_none() {
+                    if let Some(best) = self.best_waiting() {
+                        self.launch_job(now, best, harness);
+                        self.gpu_job = Some(best);
+                    }
+                }
+            }
+        }
+    }
+
+    // -- Notification handling -------------------------------------------
+
+    fn on_notification(
+        &mut self,
+        now: SimTime,
+        note: HostNotification,
+        harness: &mut CollectorHarness,
+        sched: &mut Scheduler<'_, SystemEvent>,
+    ) {
+        let idx = note.tag() as usize;
+        match note {
+            HostNotification::DispatchStarted { .. } => {
+                let job = &mut self.jobs[idx];
+                if job.record.first_dispatched.is_none() {
+                    job.record.first_dispatched = Some(now);
+                }
+            }
+            HostNotification::Completed { tasks_done, .. } => {
+                let finished_state = self.jobs[idx].state;
+                // A kernel signalled for preemption may complete before any
+                // CTA observes the flag; the drain is then over without a
+                // Preempted event.
+                if finished_state == JobState::Draining {
+                    self.draining = false;
+                    self.jobs[idx].signalled_at = None;
+                }
+                let job = &mut self.jobs[idx];
+                job.tasks_done += tasks_done;
+                job.record.tasks_completed += tasks_done;
+                debug_assert_eq!(job.tasks_done, job.spec.profile.total_tasks);
+                job.grid = None;
+                job.completions += 1;
+                job.tr = SimTime::ZERO;
+                if job.record.completed.is_none() {
+                    job.record.completed = Some(now);
+                }
+                job.record.completions = job.completions;
+
+                let was_shared = job.state == JobState::SharedVictim;
+                let repeat = job.spec.repeat;
+                if repeat == RepeatMode::Loop && !self.past_horizon(now) {
+                    // The host process immediately re-invokes the kernel.
+                    let job = &mut self.jobs[idx];
+                    job.tasks_done = 0;
+                    job.tr = job.te;
+                    // Under FFS a job owns the GPU for its whole epoch: if
+                    // an invocation completes early, the next invocation
+                    // launches immediately and the pending EpochEnd timer
+                    // still bounds the turn. If the epoch already expired
+                    // (the job was draining when it completed), the turn is
+                    // over and the rotation below takes the GPU away.
+                    if matches!(self.policy, Policy::Ffs { .. })
+                        && self.gpu_job == Some(idx)
+                        && finished_state == JobState::Running
+                    {
+                        self.launch_job(now, idx, harness);
+                        return;
+                    }
+                    let job = &mut self.jobs[idx];
+                    job.state = JobState::Queued;
+                    job.begin_wait(now);
+                    if self.gpu_job == Some(idx) {
+                        self.gpu_job = None;
+                    }
+                } else {
+                    self.jobs[idx].state = JobState::Done;
+                    if self.gpu_job == Some(idx) {
+                        self.gpu_job = None;
+                    }
+                }
+                if was_shared {
+                    self.shared_victims.retain(|&v| v != idx);
+                } else {
+                    // A spatial borrower finished: give every still-running
+                    // victim its yielded SMs back by relaunching persistent
+                    // CTAs against the victim's task counter. The (last)
+                    // restored victim becomes the GPU's running job again,
+                    // so future arrivals preempt it properly.
+                    if finished_state == JobState::RunningShared {
+                        let victims: Vec<usize> = self.shared_victims.clone();
+                        for v in victims {
+                            if let Some(grid) = self.jobs[v].grid {
+                                self.device.restore_grid(now, grid, harness);
+                                self.jobs[v].state = JobState::Running;
+                                if self.gpu_job.is_none() {
+                                    self.gpu_job = Some(v);
+                                }
+                            }
+                            self.shared_victims.retain(|&x| x != v);
+                        }
+                    }
+                    self.reschedule(now, harness, sched);
+                }
+            }
+            HostNotification::Preempted {
+                tasks_done,
+                remaining_tasks,
+                ..
+            } => {
+                let job = &mut self.jobs[idx];
+                job.tasks_done += tasks_done;
+                job.record.tasks_completed += tasks_done;
+                debug_assert_eq!(job.remaining_tasks(), remaining_tasks);
+                job.grid = None;
+                job.record.preemptions += 1;
+                if let Some(at) = job.signalled_at.take() {
+                    let drain = now.saturating_sub(at);
+                    job.record.drain_samples.push(drain);
+                    self.profilers[idx].record(drain);
+                }
+                // T_r update (§5.1): scale the prediction by the fraction
+                // of tasks still unprocessed.
+                let frac =
+                    job.remaining_tasks() as f64 / job.spec.profile.total_tasks.max(1) as f64;
+                job.tr = job.te.scale(frac);
+                job.state = JobState::Queued;
+                job.begin_wait(now);
+                if self.gpu_job == Some(idx) {
+                    self.gpu_job = None;
+                }
+                self.draining = false;
+                self.reschedule(now, harness, sched);
+            }
+        }
+    }
+}
+
+impl World for SystemWorld {
+    type Event = SystemEvent;
+
+    fn handle(
+        &mut self,
+        now: SimTime,
+        event: SystemEvent,
+        sched: &mut Scheduler<'_, SystemEvent>,
+    ) {
+        let mut harness = CollectorHarness::new();
+        match event {
+            SystemEvent::Gpu(ev) => {
+                self.device.handle(now, ev, &mut harness);
+            }
+            SystemEvent::Arrival(idx) => {
+                let job = &mut self.jobs[idx];
+                debug_assert_eq!(job.state, JobState::Future);
+                job.state = JobState::Queued;
+                job.begin_wait(now);
+                self.reschedule(now, &mut harness, sched);
+            }
+            SystemEvent::EpochEnd { idx, gen } => {
+                // Only act on the current epoch, and only if the job is
+                // still the one on the GPU.
+                if self.jobs[idx].epoch_gen == gen
+                    && self.gpu_job == Some(idx)
+                    && self.jobs[idx].state == JobState::Running
+                {
+                    let sms = self.device.config().num_sms;
+                    self.signal_preempt(now, idx, sms);
+                    self.jobs[idx].state = JobState::Draining;
+                    self.draining = true;
+                }
+            }
+        }
+        // Route device-scheduled events and host notifications.
+        let notes: Vec<(SimTime, HostNotification)> = harness.notes.drain(..).collect();
+        for (at, ev) in harness.gpu_events.drain(..) {
+            sched.schedule_at(at, SystemEvent::Gpu(ev));
+        }
+        for (at, note) in notes {
+            let mut h2 = CollectorHarness::new();
+            self.on_notification(at, note, &mut h2, sched);
+            for (t, ev) in h2.gpu_events {
+                sched.schedule_at(t, SystemEvent::Gpu(ev));
+            }
+            debug_assert!(
+                h2.notes.is_empty(),
+                "notifications must not recurse synchronously"
+            );
+        }
+    }
+}

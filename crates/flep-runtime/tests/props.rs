@@ -1,0 +1,133 @@
+//! Property-based tests over the whole runtime: for arbitrary job mixes,
+//! arrival patterns, and policies, scheduling must conserve work, complete
+//! every one-shot job, and stay deterministic.
+
+use proptest::prelude::*;
+
+use flep_gpu_sim::GpuConfig;
+use flep_runtime::{CoRun, JobSpec, KernelProfile, Policy};
+use flep_sim_core::SimTime;
+use flep_workloads::{Benchmark, BenchmarkId, InputClass};
+
+fn profile(id: BenchmarkId, class: InputClass) -> KernelProfile {
+    KernelProfile::of(&Benchmark::get(id), class)
+}
+
+fn arb_bench() -> impl Strategy<Value = BenchmarkId> {
+    prop::sample::select(BenchmarkId::ALL.to_vec())
+}
+
+fn arb_class() -> impl Strategy<Value = InputClass> {
+    // Larges make property runs slow; smalls and trivials cover the
+    // scheduling space just as well.
+    prop_oneof![Just(InputClass::Small), Just(InputClass::Trivial)]
+}
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::hpf()),
+        Just(Policy::hpf_spatial()),
+        Just(Policy::MpsBaseline),
+        Just(Policy::Reordering),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever the mix: every job completes, exactly its task count is
+    /// executed, waiting times are consistent, and nothing is scheduled
+    /// before it arrives.
+    #[test]
+    fn any_mix_completes_and_conserves_tasks(
+        jobs in prop::collection::vec(
+            (arb_bench(), arb_class(), 0u64..3_000, 1u32..4, any::<u64>()),
+            1..7
+        ),
+        policy in arb_policy(),
+    ) {
+        let mut corun = CoRun::new(GpuConfig::k40(), policy);
+        for &(id, class, arrival_us, priority, seed) in &jobs {
+            corun = corun.job(
+                JobSpec::new(profile(id, class), SimTime::from_us(arrival_us))
+                    .with_priority(priority)
+                    .with_seed(seed),
+            );
+        }
+        let result = corun.run();
+        prop_assert_eq!(result.jobs.len(), jobs.len());
+        for (record, &(id, class, arrival_us, _, _)) in result.jobs.iter().zip(&jobs) {
+            let expected_tasks = Benchmark::get(id).profile(class).tasks;
+            prop_assert!(
+                record.completed.is_some(),
+                "{} never completed under {:?}",
+                record.name,
+                policy
+            );
+            prop_assert_eq!(
+                record.tasks_completed,
+                expected_tasks,
+                "{} task conservation",
+                &record.name
+            );
+            prop_assert!(record.completed.unwrap() >= SimTime::from_us(arrival_us));
+            if let Some(granted) = record.first_granted {
+                prop_assert!(granted >= record.arrival);
+            }
+            // Waiting never exceeds the whole turnaround.
+            prop_assert!(record.waiting <= record.turnaround().unwrap());
+        }
+    }
+
+    /// Runs are bit-identical across repetitions (determinism holds for
+    /// every policy, not just the ones the examples exercise).
+    #[test]
+    fn any_corun_is_deterministic(
+        jobs in prop::collection::vec(
+            (arb_bench(), arb_class(), 0u64..1_000, 1u32..3, any::<u64>()),
+            1..5
+        ),
+        policy in arb_policy(),
+    ) {
+        let build = || {
+            let mut corun = CoRun::new(GpuConfig::k40(), policy);
+            for &(id, class, arrival_us, priority, seed) in &jobs {
+                corun = corun.job(
+                    JobSpec::new(profile(id, class), SimTime::from_us(arrival_us))
+                        .with_priority(priority)
+                        .with_seed(seed),
+                );
+            }
+            corun.run()
+        };
+        let a = build();
+        let b = build();
+        prop_assert_eq!(a.jobs, b.jobs);
+        prop_assert_eq!(a.end_time, b.end_time);
+    }
+
+    /// Under HPF, a strictly-highest-priority job is never preempted.
+    #[test]
+    fn top_priority_job_is_never_preempted(
+        others in prop::collection::vec(
+            (arb_bench(), arb_class(), 0u64..2_000, any::<u64>()),
+            1..5
+        ),
+        top in arb_bench(),
+    ) {
+        let mut corun = CoRun::new(GpuConfig::k40(), Policy::hpf()).job(
+            JobSpec::new(profile(top, InputClass::Small), SimTime::from_us(100))
+                .with_priority(10),
+        );
+        for &(id, class, arrival_us, seed) in &others {
+            corun = corun.job(
+                JobSpec::new(profile(id, class), SimTime::from_us(arrival_us))
+                    .with_priority(1)
+                    .with_seed(seed),
+            );
+        }
+        let result = corun.run();
+        prop_assert_eq!(result.jobs[0].preemptions, 0);
+        prop_assert!(result.jobs[0].completed.is_some());
+    }
+}

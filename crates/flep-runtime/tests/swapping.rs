@@ -1,0 +1,124 @@
+//! Tests for the GPUSwap integration (§8 future work): device-memory
+//! oversubscription at kernel-launch granularity.
+
+use flep_gpu_sim::{GpuConfig, SwapManager};
+use flep_runtime::{CoRun, JobSpec, KernelProfile, Policy};
+use flep_sim_core::SimTime;
+use flep_workloads::{Benchmark, BenchmarkId, InputClass};
+
+fn profile(id: BenchmarkId, class: InputClass) -> KernelProfile {
+    KernelProfile::of(&Benchmark::get(id), class)
+}
+
+/// A small device: 1 GiB, 10 GB/s PCIe.
+fn small_memory() -> SwapManager {
+    SwapManager::new(1 << 30, 10_000.0, SimTime::from_us(10))
+}
+
+const GIB: u64 = 1 << 30;
+
+#[test]
+fn fitting_working_sets_never_swap() {
+    let result = CoRun::new(GpuConfig::k40(), Policy::hpf())
+        .with_swap(small_memory())
+        .job(
+            JobSpec::new(profile(BenchmarkId::Mm, InputClass::Small), SimTime::ZERO)
+                .with_working_set(GIB / 4),
+        )
+        .job(
+            JobSpec::new(
+                profile(BenchmarkId::Spmv, InputClass::Small),
+                SimTime::from_us(20),
+            )
+            .with_working_set(GIB / 4),
+        )
+        .run();
+    let stats = result.swap_stats.expect("swap enabled");
+    assert_eq!(stats.swap_outs, 0, "both sets fit: no eviction");
+    assert_eq!(stats.swap_ins, 2, "each set loaded once");
+}
+
+#[test]
+fn oversubscription_thrashes_and_costs_time() {
+    // Two jobs whose sets cannot coexist, with the HPF scheduler bouncing
+    // between them (equal priority, SRT preemption).
+    let run = |working_set: u64| {
+        CoRun::new(GpuConfig::k40(), Policy::hpf())
+            .with_swap(small_memory())
+            .job(
+                JobSpec::new(profile(BenchmarkId::Va, InputClass::Large), SimTime::ZERO)
+                    .with_working_set(working_set),
+            )
+            .job(
+                JobSpec::new(
+                    profile(BenchmarkId::Mm, InputClass::Small),
+                    SimTime::from_us(50),
+                )
+                .with_working_set(working_set),
+            )
+            .run()
+    };
+    let fits = run(GIB / 4);
+    let thrashes = run(GIB * 3 / 4);
+    let fits_stats = fits.swap_stats.unwrap();
+    let thrash_stats = thrashes.swap_stats.unwrap();
+    assert_eq!(fits_stats.swap_outs, 0);
+    assert!(
+        thrash_stats.swap_outs >= 2,
+        "oversubscribed sets must evict each other ({} swap-outs)",
+        thrash_stats.swap_outs
+    );
+    // Swap traffic delays completion.
+    let fits_end = fits.end_time;
+    let thrash_end = thrashes.end_time;
+    assert!(
+        thrash_end > fits_end + SimTime::from_us(100),
+        "thrashing run ({thrash_end}) must pay for its transfers vs ({fits_end})"
+    );
+}
+
+#[test]
+fn resume_after_preemption_repays_swap_in_if_evicted() {
+    // VA (large set) is preempted by MM (large set): MM's swap-in evicts
+    // VA; VA's resume swaps back in. At least 3 swap-ins total.
+    let result = CoRun::new(GpuConfig::k40(), Policy::hpf())
+        .with_swap(small_memory())
+        .job(
+            JobSpec::new(profile(BenchmarkId::Va, InputClass::Large), SimTime::ZERO)
+                .with_priority(1)
+                .with_working_set(GIB * 3 / 4),
+        )
+        .job(
+            JobSpec::new(
+                profile(BenchmarkId::Mm, InputClass::Small),
+                SimTime::from_us(50),
+            )
+            .with_priority(2)
+            .with_working_set(GIB * 3 / 4),
+        )
+        .run();
+    let stats = result.swap_stats.unwrap();
+    assert_eq!(result.jobs[0].preemptions, 1);
+    assert!(result.jobs.iter().all(|j| j.completed.is_some()));
+    assert!(stats.swap_ins >= 3, "swap-ins {}", stats.swap_ins);
+    assert!(stats.swap_outs >= 2, "swap-outs {}", stats.swap_outs);
+}
+
+#[test]
+fn jobs_without_working_sets_ignore_the_swap_manager() {
+    let result = CoRun::new(GpuConfig::k40(), Policy::hpf())
+        .with_swap(small_memory())
+        .job(JobSpec::new(profile(BenchmarkId::Pf, InputClass::Small), SimTime::ZERO))
+        .run();
+    let stats = result.swap_stats.unwrap();
+    assert_eq!(stats.swap_ins, 0);
+    assert_eq!(stats.hits, 0);
+}
+
+#[test]
+fn swap_disabled_reports_none() {
+    let result = CoRun::new(GpuConfig::k40(), Policy::hpf())
+        .job(JobSpec::new(profile(BenchmarkId::Pf, InputClass::Small), SimTime::ZERO))
+        .run();
+    assert!(result.swap_stats.is_none());
+}

@@ -1,0 +1,248 @@
+//! Device configuration, per-CTA resource usage, and occupancy computation.
+
+use serde::{Deserialize, Serialize};
+
+use flep_sim_core::SimTime;
+
+/// Static description of the simulated GPU.
+///
+/// Defaults model the NVIDIA Tesla K40 used in the paper's evaluation:
+/// 15 SMs, 2048 threads / 65536 registers / 48 KiB shared memory per SM and
+/// a hardware cap of 16 resident CTAs per SM. With the paper's 256-thread
+/// CTAs this yields 8 CTAs/SM, i.e. the "120 active CTAs" the paper quotes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Maximum resident threads per SM.
+    pub threads_per_sm: u32,
+    /// Register file size per SM (32-bit registers).
+    pub regs_per_sm: u32,
+    /// Shared memory per SM in bytes.
+    pub smem_per_sm: u32,
+    /// Hardware limit on resident CTAs per SM regardless of resources.
+    pub max_ctas_per_sm: u32,
+    /// Host-side latency from a kernel launch call until the grid enters the
+    /// device's dispatch FIFO (driver + command processor).
+    pub launch_overhead: SimTime,
+    /// GPU-side cost for one read of a pinned host-memory flag (the
+    /// `temp_P`/`spa_P` poll in the transformed kernels).
+    pub poll_cost: SimTime,
+    /// GPU-side cost of one global-memory atomic task pull.
+    pub pull_cost: SimTime,
+    /// Latency from the CPU writing a pinned flag until GPU-side polls
+    /// observe the new value.
+    pub flag_visibility_latency: SimTime,
+}
+
+impl GpuConfig {
+    /// The K40 configuration used throughout the evaluation.
+    #[must_use]
+    pub fn k40() -> Self {
+        GpuConfig {
+            num_sms: 15,
+            threads_per_sm: 2048,
+            regs_per_sm: 65_536,
+            smem_per_sm: 48 * 1024,
+            max_ctas_per_sm: 16,
+            launch_overhead: SimTime::from_us(8),
+            poll_cost: SimTime::from_ns(1_800),
+            pull_cost: SimTime::from_ns(80),
+            flag_visibility_latency: SimTime::from_us(2),
+        }
+    }
+
+    /// A tiny 2-SM device matching the paper's Figure 2 illustration
+    /// (two SMs, two concurrent CTAs each); handy for unit tests.
+    #[must_use]
+    pub fn figure2() -> Self {
+        GpuConfig {
+            num_sms: 2,
+            threads_per_sm: 512,
+            regs_per_sm: 65_536,
+            smem_per_sm: 48 * 1024,
+            max_ctas_per_sm: 2,
+            launch_overhead: SimTime::from_us(1),
+            poll_cost: SimTime::from_ns(500),
+            pull_cost: SimTime::from_ns(50),
+            flag_visibility_latency: SimTime::from_ns(500),
+        }
+    }
+
+    /// Maximum number of CTAs with the given resource usage that one SM can
+    /// host simultaneously (the paper's `max_CTAs_per_SM`).
+    ///
+    /// Returns 0 when a single CTA exceeds any SM resource, in which case
+    /// the kernel is unlaunchable on this device.
+    #[must_use]
+    pub fn occupancy_per_sm(&self, usage: &ResourceUsage) -> u32 {
+        let by_threads = self
+            .threads_per_sm
+            .checked_div(usage.threads_per_cta)
+            .unwrap_or(0);
+        let regs_per_cta = usage.regs_per_thread.saturating_mul(usage.threads_per_cta);
+        let by_regs = self
+            .regs_per_sm
+            .checked_div(regs_per_cta)
+            .unwrap_or(self.max_ctas_per_sm);
+        let by_smem = self
+            .smem_per_sm
+            .checked_div(usage.smem_per_cta)
+            .unwrap_or(self.max_ctas_per_sm);
+        by_threads
+            .min(by_regs)
+            .min(by_smem)
+            .min(self.max_ctas_per_sm)
+    }
+
+    /// Device-wide capacity of simultaneously active CTAs for this usage:
+    /// `num_SMs * max_CTAs_per_SM`, the persistent-kernel grid size (§4.1).
+    #[must_use]
+    pub fn device_capacity(&self, usage: &ResourceUsage) -> u64 {
+        u64::from(self.num_sms) * u64::from(self.occupancy_per_sm(usage))
+    }
+
+    /// Number of SMs needed to host `ctas` CTAs of the given usage, capped
+    /// at the device size. Returns `num_sms` when occupancy is zero.
+    #[must_use]
+    pub fn sms_needed(&self, usage: &ResourceUsage, ctas: u64) -> u32 {
+        let occ = u64::from(self.occupancy_per_sm(usage));
+        if occ == 0 {
+            return self.num_sms;
+        }
+        let sms = ctas.div_ceil(occ);
+        sms.min(u64::from(self.num_sms)) as u32
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig::k40()
+    }
+}
+
+/// Per-CTA hardware resource requirements, as derived by the compiler's
+/// linear scan of the kernel (§4.1) or supplied by the workload spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// Threads per CTA (the CUDA block size).
+    pub threads_per_cta: u32,
+    /// Registers per thread.
+    pub regs_per_thread: u32,
+    /// Static shared memory per CTA in bytes.
+    pub smem_per_cta: u32,
+}
+
+impl ResourceUsage {
+    /// The common 256-thread CTA with moderate register pressure used by
+    /// most of the paper's benchmarks; yields 8 CTAs/SM on the K40.
+    #[must_use]
+    pub fn typical_256() -> Self {
+        ResourceUsage {
+            threads_per_cta: 256,
+            regs_per_thread: 32,
+            smem_per_cta: 0,
+        }
+    }
+}
+
+impl Default for ResourceUsage {
+    fn default() -> Self {
+        ResourceUsage::typical_256()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k40_hosts_120_typical_ctas() {
+        let cfg = GpuConfig::k40();
+        let usage = ResourceUsage::typical_256();
+        assert_eq!(cfg.occupancy_per_sm(&usage), 8);
+        assert_eq!(cfg.device_capacity(&usage), 120);
+    }
+
+    #[test]
+    fn occupancy_limited_by_registers() {
+        let cfg = GpuConfig::k40();
+        let usage = ResourceUsage {
+            threads_per_cta: 128,
+            regs_per_thread: 255,
+            smem_per_cta: 0,
+        };
+        // 128*255 = 32640 regs/CTA -> 65536/32640 = 2 CTAs by registers,
+        // though threads would allow 16.
+        assert_eq!(cfg.occupancy_per_sm(&usage), 2);
+    }
+
+    #[test]
+    fn occupancy_limited_by_shared_memory() {
+        let cfg = GpuConfig::k40();
+        let usage = ResourceUsage {
+            threads_per_cta: 64,
+            regs_per_thread: 16,
+            smem_per_cta: 16 * 1024,
+        };
+        assert_eq!(cfg.occupancy_per_sm(&usage), 3);
+    }
+
+    #[test]
+    fn occupancy_limited_by_hw_cap() {
+        let cfg = GpuConfig::k40();
+        let usage = ResourceUsage {
+            threads_per_cta: 32,
+            regs_per_thread: 8,
+            smem_per_cta: 0,
+        };
+        // Threads would allow 64, but the hardware cap is 16.
+        assert_eq!(cfg.occupancy_per_sm(&usage), 16);
+    }
+
+    #[test]
+    fn zero_thread_cta_is_unlaunchable() {
+        let cfg = GpuConfig::k40();
+        let usage = ResourceUsage {
+            threads_per_cta: 0,
+            regs_per_thread: 8,
+            smem_per_cta: 0,
+        };
+        assert_eq!(cfg.occupancy_per_sm(&usage), 0);
+    }
+
+    #[test]
+    fn oversized_cta_is_unlaunchable() {
+        let cfg = GpuConfig::k40();
+        let usage = ResourceUsage {
+            threads_per_cta: 4096,
+            regs_per_thread: 8,
+            smem_per_cta: 0,
+        };
+        assert_eq!(cfg.occupancy_per_sm(&usage), 0);
+        assert_eq!(cfg.device_capacity(&usage), 0);
+    }
+
+    #[test]
+    fn sms_needed_rounds_up_and_caps() {
+        let cfg = GpuConfig::k40();
+        let usage = ResourceUsage::typical_256(); // 8 per SM
+        assert_eq!(cfg.sms_needed(&usage, 1), 1);
+        assert_eq!(cfg.sms_needed(&usage, 8), 1);
+        assert_eq!(cfg.sms_needed(&usage, 9), 2);
+        assert_eq!(cfg.sms_needed(&usage, 40), 5);
+        assert_eq!(cfg.sms_needed(&usage, 10_000), 15);
+    }
+
+    #[test]
+    fn figure2_device_shape() {
+        let cfg = GpuConfig::figure2();
+        let usage = ResourceUsage {
+            threads_per_cta: 256,
+            regs_per_thread: 16,
+            smem_per_cta: 0,
+        };
+        assert_eq!(cfg.occupancy_per_sm(&usage), 2);
+        assert_eq!(cfg.device_capacity(&usage), 4);
+    }
+}

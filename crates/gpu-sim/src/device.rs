@@ -1,0 +1,814 @@
+//! The GPU device: launch intake, the non-preemptive hardware CTA
+//! dispatcher, and the persistent-threads batch engine.
+
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+use flep_sim_core::{SimTime, Span, TraceLog};
+
+use crate::config::GpuConfig;
+use crate::grid::{Grid, GridId, GridPhase, GridShape, LaunchDesc, PreemptSignal};
+use crate::sm::{ResidentCta, Sm};
+
+/// Device-internal events. The embedding world routes these back into
+/// [`GpuDevice::handle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuEvent {
+    /// A launch command has crossed the driver and reached the device FIFO.
+    LaunchArrived(GridId),
+    /// A CTA of an original-shape grid finished its (single) task.
+    CtaDone {
+        /// Owning grid.
+        grid: GridId,
+        /// CTA index within the grid.
+        cta: u64,
+        /// Hosting SM.
+        sm: u32,
+    },
+    /// A persistent CTA finished a batch of tasks and polls the flag.
+    BatchDone {
+        /// Owning grid.
+        grid: GridId,
+        /// CTA index within the grid.
+        cta: u64,
+        /// Hosting SM.
+        sm: u32,
+        /// First task index (grid-relative) of the completed batch.
+        first_task: u64,
+        /// Number of tasks in the completed batch.
+        n_tasks: u64,
+    },
+}
+
+/// Notifications delivered to the host side (the FLEP runtime or a baseline
+/// driver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostNotification {
+    /// The grid's first CTA was dispatched onto an SM.
+    DispatchStarted {
+        /// The grid.
+        grid: GridId,
+        /// Host correlation tag.
+        tag: u64,
+    },
+    /// The grid processed all of its tasks and retired.
+    Completed {
+        /// The grid.
+        grid: GridId,
+        /// Host correlation tag.
+        tag: u64,
+        /// Tasks processed by this grid (counting from the grid's
+        /// `first_task` offset).
+        tasks_done: u64,
+    },
+    /// All of the grid's CTAs exited due to a preemption signal while tasks
+    /// remained; the grid retired early.
+    Preempted {
+        /// The grid.
+        grid: GridId,
+        /// Host correlation tag.
+        tag: u64,
+        /// Tasks processed before the preemption took effect.
+        tasks_done: u64,
+        /// Tasks left unprocessed (to be resumed later).
+        remaining_tasks: u64,
+    },
+}
+
+impl HostNotification {
+    /// The host correlation tag carried by any notification variant.
+    #[must_use]
+    pub fn tag(&self) -> u64 {
+        match *self {
+            HostNotification::DispatchStarted { tag, .. }
+            | HostNotification::Completed { tag, .. }
+            | HostNotification::Preempted { tag, .. } => tag,
+        }
+    }
+
+    /// The grid the notification refers to.
+    #[must_use]
+    pub fn grid(&self) -> GridId {
+        match *self {
+            HostNotification::DispatchStarted { grid, .. }
+            | HostNotification::Completed { grid, .. }
+            | HostNotification::Preempted { grid, .. } => grid,
+        }
+    }
+}
+
+/// The device's link to the embedding simulation: schedules device events
+/// and delivers host notifications.
+pub trait GpuHarness {
+    /// Schedules a device event at absolute time `at`.
+    fn schedule_gpu(&mut self, at: SimTime, ev: GpuEvent);
+    /// Delivers a notification to the host side at time `at`.
+    fn notify_host(&mut self, at: SimTime, note: HostNotification);
+}
+
+/// Errors returned by [`GpuDevice::launch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// A single CTA of the kernel exceeds the SM's resources, so occupancy
+    /// is zero and the kernel can never be dispatched.
+    Unlaunchable {
+        /// The kernel name.
+        name: String,
+    },
+    /// The grid contains no work.
+    EmptyGrid {
+        /// The kernel name.
+        name: String,
+    },
+    /// A persistent grid was configured with a zero amortizing factor.
+    ZeroAmortize {
+        /// The kernel name.
+        name: String,
+    },
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::Unlaunchable { name } => {
+                write!(f, "kernel `{name}`: a single CTA exceeds SM resources")
+            }
+            LaunchError::EmptyGrid { name } => {
+                write!(f, "kernel `{name}`: grid contains no tasks")
+            }
+            LaunchError::ZeroAmortize { name } => {
+                write!(f, "kernel `{name}`: amortizing factor must be at least 1")
+            }
+        }
+    }
+}
+
+impl Error for LaunchError {}
+
+/// The simulated GPU device.
+///
+/// The device is driven by an embedding world: the world calls
+/// [`GpuDevice::launch`] / [`GpuDevice::signal`] on host actions and routes
+/// every [`GpuEvent`] it scheduled through [`GpuDevice::handle`].
+///
+/// Scheduling semantics (faithful to §2.1 of the paper): grids enter a
+/// single device FIFO in launch-arrival order; the dispatcher places CTAs
+/// of the front grid onto SMs as resources permit and **only** advances to
+/// a later grid once the front grid has no undispatched CTAs left. This is
+/// the head-of-line blocking that makes unmodified GPUs non-preemptable,
+/// and the leftover-resource backfill MPS provides.
+pub struct GpuDevice {
+    cfg: GpuConfig,
+    sms: Vec<Sm>,
+    grids: HashMap<GridId, Grid>,
+    fifo: VecDeque<GridId>,
+    next_grid: u64,
+    busy_spans: Vec<Span>,
+    trace: TraceLog,
+    /// Per-stream state: the live grid (head of the stream) and grids
+    /// parked behind it, in launch order.
+    stream_live: HashMap<u32, GridId>,
+    stream_parked: HashMap<u32, VecDeque<GridId>>,
+}
+
+impl fmt::Debug for GpuDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GpuDevice")
+            .field("cfg", &self.cfg)
+            .field("fifo", &self.fifo)
+            .field("grids", &self.grids.len())
+            .field("busy_spans", &self.busy_spans.len())
+            .finish()
+    }
+}
+
+impl GpuDevice {
+    /// Creates an idle device.
+    #[must_use]
+    pub fn new(cfg: GpuConfig) -> Self {
+        let sms = (0..cfg.num_sms).map(Sm::new).collect();
+        GpuDevice {
+            cfg,
+            sms,
+            grids: HashMap::new(),
+            fifo: VecDeque::new(),
+            next_grid: 0,
+            busy_spans: Vec::new(),
+            trace: TraceLog::disabled(),
+            stream_live: HashMap::new(),
+            stream_parked: HashMap::new(),
+        }
+    }
+
+    /// Enables event tracing (disabled by default to bound memory).
+    pub fn enable_trace(&mut self) {
+        self.trace = TraceLog::new();
+    }
+
+    /// The trace log (empty unless [`GpuDevice::enable_trace`] was called).
+    #[must_use]
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// The device configuration.
+    #[must_use]
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Read-only view of the SMs.
+    #[must_use]
+    pub fn sms(&self) -> &[Sm] {
+        &self.sms
+    }
+
+    /// CTA-residency spans recorded so far (owner = host tag). Used for
+    /// GPU-share accounting (Fig. 13).
+    #[must_use]
+    pub fn busy_spans(&self) -> &[Span] {
+        &self.busy_spans
+    }
+
+    /// True when no grid is queued, running, or in flight.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.grids.values().all(|g| {
+            matches!(g.phase, GridPhase::Completed | GridPhase::Preempted)
+        })
+    }
+
+    /// The externally observable phase of a grid, if it exists.
+    #[must_use]
+    pub fn grid_phase(&self, grid: GridId) -> Option<GridPhase> {
+        self.grids.get(&grid).map(|g| g.phase)
+    }
+
+    /// Tasks completed so far by a grid.
+    #[must_use]
+    pub fn grid_tasks_done(&self, grid: GridId) -> Option<u64> {
+        self.grids.get(&grid).map(|g| match g.shape {
+            GridShape::Original { .. } => g.completed_ctas,
+            GridShape::Persistent { .. } => g.completed_tasks,
+        })
+    }
+
+    /// When the grid's first CTA was dispatched.
+    #[must_use]
+    pub fn grid_dispatch_started(&self, grid: GridId) -> Option<SimTime> {
+        self.grids.get(&grid).and_then(|g| g.dispatch_started)
+    }
+
+    /// When the host issued the grid's launch call.
+    #[must_use]
+    pub fn grid_launched_at(&self, grid: GridId) -> Option<SimTime> {
+        self.grids.get(&grid).map(|g| g.launched_at)
+    }
+
+    /// Drops retired grids' bookkeeping to bound memory in long experiments.
+    /// Phases queried after pruning return `None`.
+    pub fn prune_retired(&mut self) {
+        self.grids.retain(|_, g| {
+            !matches!(g.phase, GridPhase::Completed | GridPhase::Preempted)
+        });
+    }
+
+    /// Issues a kernel launch. The grid reaches the device FIFO after the
+    /// configured launch overhead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaunchError`] when the kernel can never be dispatched
+    /// (zero occupancy), the grid is empty, or a persistent grid has a zero
+    /// amortizing factor.
+    pub fn launch(
+        &mut self,
+        now: SimTime,
+        desc: LaunchDesc,
+        harness: &mut dyn GpuHarness,
+    ) -> Result<GridId, LaunchError> {
+        let occ = self.cfg.occupancy_per_sm(&desc.resources);
+        if occ == 0 {
+            return Err(LaunchError::Unlaunchable { name: desc.name });
+        }
+        if desc.shape.total_tasks() == 0 {
+            return Err(LaunchError::EmptyGrid { name: desc.name });
+        }
+        if let GridShape::Persistent { amortize, .. } = desc.shape {
+            if amortize == 0 {
+                return Err(LaunchError::ZeroAmortize { name: desc.name });
+            }
+        }
+
+        let id = GridId(self.next_grid);
+        self.next_grid += 1;
+        let extra_delay = desc.extra_launch_delay;
+
+        let planned_ctas = match desc.shape {
+            GridShape::Original { ctas } => ctas,
+            GridShape::Persistent { total_tasks, .. } => {
+                total_tasks.min(self.cfg.device_capacity(&desc.resources))
+            }
+        };
+
+        let grid = Grid {
+            id,
+            name: desc.name,
+            tag: desc.tag,
+            resources: desc.resources,
+            shape: desc.shape,
+            task_cost: desc.task_cost,
+            mem_intensity: desc.mem_intensity,
+            rng: flep_sim_core::SimRng::seed_from(desc.seed),
+            task_fn: desc.task_fn,
+            first_task: desc.first_task,
+            phase: GridPhase::InFlight,
+            pending_ctas: planned_ctas,
+            active_ctas: 0,
+            completed_ctas: 0,
+            next_task: 0,
+            completed_tasks: 0,
+            round_quota: None,
+            signal: PreemptSignal::None,
+            signal_visible_at: SimTime::ZERO,
+            dispatch_started: None,
+            launched_at: now,
+            planned_ctas,
+            stream: desc.stream,
+        };
+        self.trace.record(now, "launch", grid.tag);
+        self.grids.insert(id, grid);
+        harness.schedule_gpu(
+            now + self.cfg.launch_overhead + extra_delay,
+            GpuEvent::LaunchArrived(id),
+        );
+        Ok(id)
+    }
+
+    /// Writes the pinned preemption flag for a grid. The new value becomes
+    /// visible to GPU-side polls after the configured visibility latency.
+    ///
+    /// Signalling a retired or unknown grid is a no-op (the host may race
+    /// with completion; the paper's runtime tolerates this too).
+    pub fn signal(&mut self, now: SimTime, grid: GridId, signal: PreemptSignal) {
+        let latency = self.cfg.flag_visibility_latency;
+        if let Some(g) = self.grids.get_mut(&grid) {
+            if matches!(g.phase, GridPhase::Completed | GridPhase::Preempted) {
+                return;
+            }
+            g.signal = signal;
+            g.signal_visible_at = now + latency;
+            self.trace.record(now, "signal", g.tag);
+        }
+    }
+
+    /// Restores a spatially preempted persistent grid: clears its
+    /// preemption signal and launches supplementary persistent CTAs (up to
+    /// device capacity, bounded by unclaimed work) that pull from the same
+    /// task counter. This is how the FLEP runtime gives a spatial victim
+    /// its yielded SMs back once the preemptor finishes -- in the real
+    /// system, a follow-up launch of the transformed kernel sharing the
+    /// original grid's task-counter allocation.
+    ///
+    /// No-op for retired, original-shape, or unknown grids.
+    pub fn restore_grid(&mut self, now: SimTime, grid: GridId, harness: &mut dyn GpuHarness) {
+        let Some(g) = self.grids.get_mut(&grid) else {
+            return;
+        };
+        if !matches!(g.phase, GridPhase::Running | GridPhase::Queued) {
+            return;
+        }
+        let GridShape::Persistent { .. } = g.shape else {
+            return;
+        };
+        g.signal = PreemptSignal::None;
+        g.signal_visible_at = now;
+        let capacity = self.cfg.device_capacity(&g.resources);
+        let live = g.active_ctas + g.pending_ctas;
+        let refill = capacity.saturating_sub(live).min(g.unclaimed_tasks());
+        if refill == 0 {
+            return;
+        }
+        g.pending_ctas += refill;
+        g.planned_ctas += refill;
+        let tag = g.tag;
+        self.trace.record(now, "restore", tag);
+        if !self.fifo.contains(&grid) {
+            self.fifo.push_back(grid);
+        }
+        self.dispatch(now, harness);
+    }
+
+    /// The contention factor a kernel with `usage`/`mem_intensity` sees on
+    /// SM `sm_idx` at `now`, counting only co-residents that are *staying*:
+    /// persistent CTAs already signalled to yield this SM are about to
+    /// leave, so they do not contribute to the sustained load an incoming
+    /// batch experiences.
+    fn effective_contention_factor(
+        &self,
+        now: SimTime,
+        sm_idx: usize,
+        usage: &crate::config::ResourceUsage,
+        mem_intensity: f64,
+    ) -> f64 {
+        let sm = &self.sms[sm_idx];
+        let mut threads = 0u32;
+        for r in sm.resident() {
+            let leaving = self.grids.get(&r.grid).is_some_and(|g| {
+                matches!(g.shape, GridShape::Persistent { .. })
+                    && g.visible_signal(now).must_exit(sm.id())
+            });
+            if !leaving {
+                threads += r.threads;
+            }
+        }
+        let load = f64::from(threads) / f64::from(self.cfg.threads_per_sm);
+        let occ = self.cfg.occupancy_per_sm(usage);
+        let full_own_load =
+            f64::from(occ * usage.threads_per_cta) / f64::from(self.cfg.threads_per_sm);
+        let c = mem_intensity.max(0.0);
+        (1.0 + c * load) / (1.0 + c * full_own_load)
+    }
+
+    /// Routes a previously scheduled device event.
+    pub fn handle(&mut self, now: SimTime, ev: GpuEvent, harness: &mut dyn GpuHarness) {
+        match ev {
+            GpuEvent::LaunchArrived(id) => self.on_launch_arrived(now, id, harness),
+            GpuEvent::CtaDone { grid, cta, sm } => self.on_cta_done(now, grid, cta, sm, harness),
+            GpuEvent::BatchDone {
+                grid,
+                cta,
+                sm,
+                first_task,
+                n_tasks,
+            } => self.on_batch_done(now, grid, cta, sm, first_task, n_tasks, harness),
+        }
+    }
+
+    fn on_launch_arrived(&mut self, now: SimTime, id: GridId, harness: &mut dyn GpuHarness) {
+        let grid = self.grids.get_mut(&id).expect("launch for unknown grid");
+        debug_assert_eq!(grid.phase, GridPhase::InFlight);
+        // Same-stream ordering: a grid whose stream still has a live
+        // predecessor parks until that predecessor retires.
+        if let Some(stream) = grid.stream {
+            if let Some(&live) = self.stream_live.get(&stream) {
+                if live != id {
+                    self.stream_parked.entry(stream).or_default().push_back(id);
+                    return;
+                }
+            } else {
+                self.stream_live.insert(stream, id);
+            }
+        }
+        let grid = self.grids.get_mut(&id).expect("grid vanished");
+        grid.phase = GridPhase::Queued;
+        self.fifo.push_back(id);
+        self.dispatch(now, harness);
+    }
+
+    /// On retire of a stream's live grid, release its successor into the
+    /// device FIFO.
+    fn advance_stream(&mut self, now: SimTime, retired: GridId, harness: &mut dyn GpuHarness) {
+        let Some(stream) = self.grids.get(&retired).and_then(|g| g.stream) else {
+            return;
+        };
+        if self.stream_live.get(&stream) != Some(&retired) {
+            return;
+        }
+        self.stream_live.remove(&stream);
+        let next = self
+            .stream_parked
+            .get_mut(&stream)
+            .and_then(VecDeque::pop_front);
+        if let Some(next_id) = next {
+            // The successor pays the launch overhead again: starting a
+            // dependent kernel involves command-processor work that cannot
+            // overlap its predecessor (this is exactly the per-slice cost
+            // that makes kernel slicing expensive, Fig. 17).
+            self.stream_live.insert(stream, next_id);
+            harness.schedule_gpu(
+                now + self.cfg.launch_overhead,
+                GpuEvent::LaunchArrived(next_id),
+            );
+        }
+    }
+
+    /// The hardware CTA dispatcher: front-to-back over the FIFO with strict
+    /// head-of-line blocking.
+    ///
+    /// Dispatch is two-phase within one call: all CTAs that fit are
+    /// *placed* first (onto the least-loaded fitting SM, modelling the
+    /// hardware's round-robin CTA distribution), and only then is their
+    /// initial work scheduled, so the contention factor every simultaneous
+    /// CTA sees reflects the full post-placement co-residency.
+    fn dispatch(&mut self, now: SimTime, harness: &mut dyn GpuHarness) {
+        let mut placed: Vec<(GridId, u64, u32)> = Vec::new();
+        while let Some(&gid) = self.fifo.front() {
+            self.place_grid(now, gid, harness, &mut placed);
+            let fully_dispatched = self.grids[&gid].pending_ctas == 0;
+            if fully_dispatched {
+                self.fifo.pop_front();
+                self.maybe_retire(now, gid, harness);
+            } else {
+                break;
+            }
+        }
+        for (gid, cta_idx, sm_idx) in placed {
+            match self.grids[&gid].shape {
+                GridShape::Original { .. } => {
+                    let usage = self.grids[&gid].resources;
+                    let factor = self.effective_contention_factor(
+                        now,
+                        sm_idx as usize,
+                        &usage,
+                        self.grids[&gid].mem_intensity,
+                    );
+                    let grid = self.grids.get_mut(&gid).expect("grid vanished");
+                    let dur = grid.task_cost.sample(&mut grid.rng).scale(factor);
+                    harness.schedule_gpu(
+                        now + dur,
+                        GpuEvent::CtaDone {
+                            grid: gid,
+                            cta: cta_idx,
+                            sm: sm_idx,
+                        },
+                    );
+                }
+                GridShape::Persistent { .. } => {
+                    self.start_batch(now, gid, cta_idx, sm_idx, harness);
+                }
+            }
+        }
+    }
+
+    /// Places as many pending CTAs of `gid` as fit right now, appending the
+    /// placements to `placed` for phase-two scheduling.
+    fn place_grid(
+        &mut self,
+        now: SimTime,
+        gid: GridId,
+        harness: &mut dyn GpuHarness,
+        placed: &mut Vec<(GridId, u64, u32)>,
+    ) {
+        loop {
+            let grid = self.grids.get_mut(&gid).expect("dispatch of unknown grid");
+            if grid.pending_ctas == 0 {
+                return;
+            }
+
+            // A persistent grid already signalled for full preemption will
+            // have its not-yet-dispatched CTAs observe the flag on entry and
+            // return immediately; model that by dropping them.
+            if let GridShape::Persistent { .. } = grid.shape {
+                let sig = grid.visible_signal(now);
+                if (0..self.cfg.num_sms).all(|s| sig.must_exit(s)) {
+                    grid.pending_ctas = 0;
+                    return;
+                }
+            }
+
+            let usage = grid.resources;
+            let sig = match grid.shape {
+                GridShape::Persistent { .. } => grid.visible_signal(now),
+                GridShape::Original { .. } => PreemptSignal::None,
+            };
+            // Least-loaded fitting SM (lowest id breaks ties): the hardware
+            // scheduler distributes CTAs across SMs rather than packing.
+            let Some(sm_idx) = self
+                .sms
+                .iter()
+                .enumerate()
+                .filter(|(_, sm)| sm.fits(&self.cfg, &usage) && !sig.must_exit(sm.id()))
+                .min_by_key(|(i, sm)| (sm.resident_count(), *i))
+                .map(|(i, _)| i)
+            else {
+                return;
+            };
+
+            let grid = self.grids.get_mut(&gid).expect("grid vanished");
+            let cta_idx = grid.planned_ctas - grid.pending_ctas;
+            grid.pending_ctas -= 1;
+            grid.active_ctas += 1;
+            if grid.dispatch_started.is_none() {
+                grid.dispatch_started = Some(now);
+                grid.phase = GridPhase::Running;
+                let tag = grid.tag;
+                self.trace.record(now, "dispatch_start", tag);
+                harness.notify_host(
+                    now,
+                    HostNotification::DispatchStarted { grid: gid, tag },
+                );
+            }
+
+            let resident = ResidentCta {
+                grid: gid,
+                cta: cta_idx,
+                since: now,
+                threads: usage.threads_per_cta,
+            };
+            self.sms[sm_idx].place(&self.cfg, &usage, resident);
+            placed.push((gid, cta_idx, sm_idx as u32));
+        }
+    }
+
+    /// Claims the next batch of up to `L` tasks for a persistent CTA and
+    /// schedules its completion.
+    fn start_batch(
+        &mut self,
+        now: SimTime,
+        gid: GridId,
+        cta: u64,
+        sm: u32,
+        harness: &mut dyn GpuHarness,
+    ) {
+        let factor = {
+            let grid = &self.grids[&gid];
+            let (usage, mem) = (grid.resources, grid.mem_intensity);
+            self.effective_contention_factor(now, sm as usize, &usage, mem)
+        };
+        let grid = self.grids.get_mut(&gid).expect("batch for unknown grid");
+        let GridShape::Persistent { amortize, .. } = grid.shape else {
+            unreachable!("start_batch on original grid");
+        };
+        // The real transformed kernel pulls tasks one at a time (one
+        // atomicAdd per task) and polls the flag once per `L` tasks, so
+        // CTAs stay load-balanced to within a single task. Claiming `L`
+        // tasks per simulation event would instead create an artificial
+        // tail imbalance of up to `L-1` tasks per CTA. Model the per-task
+        // pull's balance while keeping events batched: all claims made at
+        // the same instant (one synchronized round) share a quota of
+        // `min(L, ceil(unclaimed / active))` computed at the round's first
+        // claim, so the final round splits the leftover work evenly.
+        // Quota denominator: every worker that exists or is about to be
+        // placed, so a lone early CTA cannot claim the whole pool while its
+        // siblings are still being dispatched.
+        let workers = grid.active_ctas.saturating_add(grid.pending_ctas).max(1);
+        let unclaimed = grid.unclaimed_tasks();
+        let l = u64::from(amortize);
+        let n = if unclaimed == 0 {
+            0
+        } else {
+            let quota = match grid.round_quota {
+                Some((t, q)) if t == now => q,
+                _ => {
+                    let q = l.min(unclaimed.div_ceil(workers)).max(1);
+                    grid.round_quota = Some((now, q));
+                    q
+                }
+            };
+            quota.min(unclaimed)
+        };
+        let first_task = grid.next_task;
+        grid.next_task += n;
+
+        let mut work = SimTime::ZERO;
+        if grid.task_cost.rel_noise <= 0.0 {
+            work = grid.task_cost.base * n;
+        } else {
+            for _ in 0..n {
+                work += grid.task_cost.sample(&mut grid.rng);
+            }
+        }
+        let dur = work.scale(factor) + self.cfg.poll_cost + self.cfg.pull_cost * n;
+        harness.schedule_gpu(
+            now + dur,
+            GpuEvent::BatchDone {
+                grid: gid,
+                cta,
+                sm,
+                first_task,
+                n_tasks: n,
+            },
+        );
+    }
+
+    fn on_cta_done(
+        &mut self,
+        now: SimTime,
+        gid: GridId,
+        cta: u64,
+        sm: u32,
+        harness: &mut dyn GpuHarness,
+    ) {
+        let grid = self.grids.get_mut(&gid).expect("CtaDone for unknown grid");
+        let first_task = grid.first_task;
+        if let Some(f) = grid.task_fn.as_mut() {
+            f(first_task + cta);
+        }
+        grid.completed_ctas += 1;
+        grid.active_ctas -= 1;
+        let usage = grid.resources;
+        let tag = grid.tag;
+        let removed = self.sms[sm as usize].remove(&usage, gid, cta);
+        self.busy_spans.push(Span {
+            start: removed.since,
+            end: now,
+            owner: tag,
+        });
+        self.maybe_retire(now, gid, harness);
+        self.dispatch(now, harness);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_batch_done(
+        &mut self,
+        now: SimTime,
+        gid: GridId,
+        cta: u64,
+        sm: u32,
+        first_task: u64,
+        n_tasks: u64,
+        harness: &mut dyn GpuHarness,
+    ) {
+        let grid = self.grids.get_mut(&gid).expect("BatchDone for unknown grid");
+        grid.completed_tasks += n_tasks;
+        let offset = grid.first_task;
+        if let Some(f) = grid.task_fn.as_mut() {
+            for t in first_task..first_task + n_tasks {
+                f(offset + t);
+            }
+        }
+
+        let must_exit = grid.visible_signal(now).must_exit(sm);
+        let out_of_work = grid.unclaimed_tasks() == 0;
+        if must_exit || out_of_work {
+            grid.active_ctas -= 1;
+            let usage = grid.resources;
+            let tag = grid.tag;
+            let removed = self.sms[sm as usize].remove(&usage, gid, cta);
+            self.busy_spans.push(Span {
+                start: removed.since,
+                end: now,
+                owner: tag,
+            });
+            self.maybe_retire(now, gid, harness);
+            self.dispatch(now, harness);
+        } else {
+            self.start_batch(now, gid, cta, sm, harness);
+        }
+    }
+
+    /// Retires a grid whose CTAs have all left the device, emitting the
+    /// appropriate notification.
+    fn maybe_retire(&mut self, now: SimTime, gid: GridId, harness: &mut dyn GpuHarness) {
+        let grid = self.grids.get_mut(&gid).expect("retire of unknown grid");
+        if grid.active_ctas > 0 || grid.pending_ctas > 0 {
+            return;
+        }
+        if matches!(grid.phase, GridPhase::Completed | GridPhase::Preempted) {
+            return;
+        }
+        match grid.shape {
+            GridShape::Original { ctas } => {
+                if grid.completed_ctas == ctas {
+                    grid.phase = GridPhase::Completed;
+                    let (tag, done) = (grid.tag, grid.completed_ctas);
+                    self.trace.record(now, "complete", tag);
+                    harness.notify_host(
+                        now,
+                        HostNotification::Completed {
+                            grid: gid,
+                            tag,
+                            tasks_done: done,
+                        },
+                    );
+                    self.advance_stream(now, gid, harness);
+                }
+            }
+            GridShape::Persistent { total_tasks, .. } => {
+                // All claimed batches have finished once no CTA is active,
+                // so completed == next_task here.
+                debug_assert_eq!(grid.completed_tasks, grid.next_task);
+                if grid.completed_tasks == total_tasks {
+                    grid.phase = GridPhase::Completed;
+                    let (tag, done) = (grid.tag, grid.completed_tasks);
+                    self.trace.record(now, "complete", tag);
+                    harness.notify_host(
+                        now,
+                        HostNotification::Completed {
+                            grid: gid,
+                            tag,
+                            tasks_done: done,
+                        },
+                    );
+                } else {
+                    grid.phase = GridPhase::Preempted;
+                    let (tag, done) = (grid.tag, grid.completed_tasks);
+                    let remaining = total_tasks - done;
+                    self.trace.record(now, "preempt", tag);
+                    harness.notify_host(
+                        now,
+                        HostNotification::Preempted {
+                            grid: gid,
+                            tag,
+                            tasks_done: done,
+                            remaining_tasks: remaining,
+                        },
+                    );
+                }
+                self.advance_stream(now, gid, harness);
+            }
+        }
+    }
+}

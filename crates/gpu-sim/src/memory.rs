@@ -1,0 +1,288 @@
+//! Device-memory management and host↔device transfer timing.
+//!
+//! FLEP assumes the combined working set fits in device memory (§8); this
+//! module provides the allocator and PCIe transfer model the examples use
+//! to stage data, and enforces that assumption with explicit errors.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use flep_sim_core::SimTime;
+
+/// Identifier of a device-memory allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AllocId(u64);
+
+/// Direction of a host↔device copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferDir {
+    /// Host to device.
+    HostToDevice,
+    /// Device to host.
+    DeviceToHost,
+}
+
+/// Errors from the device-memory manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemoryError {
+    /// The allocation would exceed device capacity.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes currently free.
+        free: u64,
+    },
+    /// The allocation id is unknown (double free or stale handle).
+    UnknownAllocation(AllocId),
+    /// A copy was larger than its target allocation.
+    CopyOutOfBounds {
+        /// Bytes in the copy.
+        len: u64,
+        /// Size of the allocation.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::OutOfMemory { requested, free } => {
+                write!(f, "device out of memory: requested {requested} B, free {free} B")
+            }
+            MemoryError::UnknownAllocation(id) => write!(f, "unknown allocation {id:?}"),
+            MemoryError::CopyOutOfBounds { len, capacity } => {
+                write!(f, "copy of {len} B exceeds allocation of {capacity} B")
+            }
+        }
+    }
+}
+
+impl Error for MemoryError {}
+
+/// A simple first-fit device-memory manager with PCIe-gen3-like transfer
+/// timing.
+#[derive(Debug, Clone)]
+pub struct DeviceMemory {
+    capacity: u64,
+    used: u64,
+    next_id: u64,
+    allocations: HashMap<AllocId, Allocation>,
+    /// Effective PCIe bandwidth in bytes per microsecond.
+    bandwidth_bytes_per_us: f64,
+    /// Fixed per-transfer latency (driver + DMA setup).
+    transfer_latency: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct Allocation {
+    size: u64,
+    data: Option<Bytes>,
+}
+
+impl DeviceMemory {
+    /// A 12 GB K40-like device with ~10 GB/s effective PCIe bandwidth.
+    #[must_use]
+    pub fn k40() -> Self {
+        DeviceMemory::new(12 * 1024 * 1024 * 1024, 10_000.0, SimTime::from_us(10))
+    }
+
+    /// Creates a memory manager with explicit capacity (bytes), bandwidth
+    /// (bytes/us), and per-transfer latency.
+    #[must_use]
+    pub fn new(capacity: u64, bandwidth_bytes_per_us: f64, transfer_latency: SimTime) -> Self {
+        DeviceMemory {
+            capacity,
+            used: 0,
+            next_id: 0,
+            allocations: HashMap::new(),
+            bandwidth_bytes_per_us,
+            transfer_latency,
+        }
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes currently free.
+    #[must_use]
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Allocates `size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfMemory`] when the device cannot satisfy
+    /// the request — FLEP's working-set assumption (§8) is then violated.
+    pub fn alloc(&mut self, size: u64) -> Result<AllocId, MemoryError> {
+        if size > self.free_bytes() {
+            return Err(MemoryError::OutOfMemory {
+                requested: size,
+                free: self.free_bytes(),
+            });
+        }
+        let id = AllocId(self.next_id);
+        self.next_id += 1;
+        self.used += size;
+        self.allocations.insert(id, Allocation { size, data: None });
+        Ok(id)
+    }
+
+    /// Frees an allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::UnknownAllocation`] on double free.
+    pub fn dealloc(&mut self, id: AllocId) -> Result<(), MemoryError> {
+        let alloc = self
+            .allocations
+            .remove(&id)
+            .ok_or(MemoryError::UnknownAllocation(id))?;
+        self.used -= alloc.size;
+        Ok(())
+    }
+
+    /// Stores host bytes into a device allocation, returning the simulated
+    /// transfer time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown allocations or when the payload exceeds
+    /// the allocation.
+    pub fn copy_to_device(&mut self, id: AllocId, data: Bytes) -> Result<SimTime, MemoryError> {
+        let len = data.len() as u64;
+        let alloc = self
+            .allocations
+            .get_mut(&id)
+            .ok_or(MemoryError::UnknownAllocation(id))?;
+        if len > alloc.size {
+            return Err(MemoryError::CopyOutOfBounds {
+                len,
+                capacity: alloc.size,
+            });
+        }
+        alloc.data = Some(data);
+        Ok(self.transfer_time(len))
+    }
+
+    /// Reads back the bytes stored in an allocation, returning them with
+    /// the simulated transfer time. Allocations never written read back as
+    /// empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::UnknownAllocation`] for stale handles.
+    pub fn copy_to_host(&self, id: AllocId) -> Result<(Bytes, SimTime), MemoryError> {
+        let alloc = self
+            .allocations
+            .get(&id)
+            .ok_or(MemoryError::UnknownAllocation(id))?;
+        let data = alloc.data.clone().unwrap_or_else(Bytes::new);
+        let t = self.transfer_time(data.len() as u64);
+        Ok((data, t))
+    }
+
+    /// The simulated duration of transferring `bytes` in either direction.
+    #[must_use]
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        self.transfer_latency + SimTime::from_us_f64(bytes as f64 / self.bandwidth_bytes_per_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> DeviceMemory {
+        DeviceMemory::new(1024, 100.0, SimTime::from_us(5))
+    }
+
+    #[test]
+    fn alloc_and_free_track_usage() {
+        let mut m = mem();
+        let a = m.alloc(300).unwrap();
+        let b = m.alloc(500).unwrap();
+        assert_eq!(m.used(), 800);
+        m.dealloc(a).unwrap();
+        assert_eq!(m.used(), 500);
+        m.dealloc(b).unwrap();
+        assert_eq!(m.used(), 0);
+    }
+
+    #[test]
+    fn oom_reports_free_bytes() {
+        let mut m = mem();
+        m.alloc(1000).unwrap();
+        let err = m.alloc(100).unwrap_err();
+        assert_eq!(
+            err,
+            MemoryError::OutOfMemory {
+                requested: 100,
+                free: 24
+            }
+        );
+    }
+
+    #[test]
+    fn double_free_is_an_error() {
+        let mut m = mem();
+        let a = m.alloc(10).unwrap();
+        m.dealloc(a).unwrap();
+        assert!(matches!(
+            m.dealloc(a),
+            Err(MemoryError::UnknownAllocation(_))
+        ));
+    }
+
+    #[test]
+    fn round_trip_preserves_bytes() {
+        let mut m = mem();
+        let a = m.alloc(16).unwrap();
+        let t_up = m.copy_to_device(a, Bytes::from_static(b"hello")).unwrap();
+        assert!(t_up > SimTime::from_us(5));
+        let (data, _) = m.copy_to_host(a).unwrap();
+        assert_eq!(&data[..], b"hello");
+    }
+
+    #[test]
+    fn oversized_copy_rejected() {
+        let mut m = mem();
+        let a = m.alloc(2).unwrap();
+        assert!(matches!(
+            m.copy_to_device(a, Bytes::from_static(b"abc")),
+            Err(MemoryError::CopyOutOfBounds { len: 3, capacity: 2 })
+        ));
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let m = mem();
+        let t0 = m.transfer_time(0);
+        let t1 = m.transfer_time(1000);
+        assert_eq!(t0, SimTime::from_us(5));
+        assert_eq!(t1, SimTime::from_us(15));
+    }
+
+    #[test]
+    fn unwritten_allocation_reads_back_empty() {
+        let mut m = mem();
+        let a = m.alloc(8).unwrap();
+        let (data, t) = m.copy_to_host(a).unwrap();
+        assert!(data.is_empty());
+        assert_eq!(t, SimTime::from_us(5));
+    }
+}

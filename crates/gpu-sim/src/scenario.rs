@@ -1,0 +1,305 @@
+//! A self-contained scenario runner: scripted launches and preemption
+//! signals against a single device, with per-launch timing records.
+//!
+//! This is the workhorse for calibration, baselines (plain MPS co-runs),
+//! and the gpu-sim test-suite. The FLEP runtime builds its own richer world
+//! in `flep-runtime`, but shares the [`CollectorHarness`] adapter defined
+//! here.
+
+use std::collections::HashMap;
+
+use flep_sim_core::{Scheduler, SimTime, Simulation, World};
+
+use crate::device::{GpuDevice, GpuEvent, GpuHarness, HostNotification};
+use crate::grid::{GridId, LaunchDesc, PreemptSignal};
+use crate::GpuConfig;
+
+/// A [`GpuHarness`] that buffers scheduled events and notifications so the
+/// device can be driven from inside a [`World::handle`] call, after which
+/// the buffers are flushed into the real scheduler.
+#[derive(Debug, Default)]
+pub struct CollectorHarness {
+    /// Device events to re-schedule, with their absolute fire times.
+    pub gpu_events: Vec<(SimTime, GpuEvent)>,
+    /// Host notifications emitted during the call.
+    pub notes: Vec<(SimTime, HostNotification)>,
+}
+
+impl CollectorHarness {
+    /// Creates an empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        CollectorHarness::default()
+    }
+}
+
+impl GpuHarness for CollectorHarness {
+    fn schedule_gpu(&mut self, at: SimTime, ev: GpuEvent) {
+        self.gpu_events.push((at, ev));
+    }
+    fn notify_host(&mut self, at: SimTime, note: HostNotification) {
+        self.notes.push((at, note));
+    }
+}
+
+/// One preemption observed for a launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreemptionRecord {
+    /// When the grid retired as preempted.
+    pub at: SimTime,
+    /// Tasks it had completed.
+    pub tasks_done: u64,
+    /// Tasks left for a future resume.
+    pub remaining: u64,
+}
+
+/// Timing record for one logical launch (keyed by host tag).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LaunchRecord {
+    /// When the host issued the (first) launch.
+    pub launched_at: Option<SimTime>,
+    /// When the first CTA was dispatched.
+    pub dispatch_started: Option<SimTime>,
+    /// When the final grid carrying this tag completed.
+    pub completed_at: Option<SimTime>,
+    /// All preemptions suffered along the way.
+    pub preemptions: Vec<PreemptionRecord>,
+    /// All grids that carried this tag (original launch + resumes).
+    pub grids: Vec<GridId>,
+}
+
+impl LaunchRecord {
+    /// Turnaround time: launch to completion.
+    ///
+    /// Returns `None` until the launch has completed.
+    #[must_use]
+    pub fn turnaround(&self) -> Option<SimTime> {
+        match (self.launched_at, self.completed_at) {
+            (Some(l), Some(c)) => Some(c.saturating_sub(l)),
+            _ => None,
+        }
+    }
+
+    /// Queueing delay: launch to first CTA dispatch.
+    #[must_use]
+    pub fn queue_delay(&self) -> Option<SimTime> {
+        match (self.launched_at, self.dispatch_started) {
+            (Some(l), Some(d)) => Some(d.saturating_sub(l)),
+            _ => None,
+        }
+    }
+}
+
+/// The scripted actions of a scenario.
+#[derive(Debug)]
+enum Action {
+    Launch(Box<LaunchDesc>),
+    Signal { tag: u64, signal: PreemptSignal },
+}
+
+#[derive(Debug)]
+enum Ev {
+    Gpu(GpuEvent),
+    Act(usize),
+}
+
+/// A scripted sequence of launches and flag writes against one device.
+///
+/// # Example
+///
+/// ```
+/// use flep_gpu_sim::{GpuConfig, GridShape, LaunchDesc, Scenario, TaskCost};
+/// use flep_sim_core::SimTime;
+///
+/// let mut sc = Scenario::new(GpuConfig::k40());
+/// sc.launch_at(
+///     SimTime::ZERO,
+///     LaunchDesc::new(
+///         "k",
+///         GridShape::Original { ctas: 240 },
+///         TaskCost::fixed(SimTime::from_us(100)),
+///     )
+///     .with_tag(1),
+/// );
+/// let result = sc.run();
+/// let rec = &result.records[&1];
+/// // 240 CTAs at 120-capacity = 2 waves of 100us plus 8us launch overhead.
+/// assert_eq!(rec.turnaround().unwrap(), SimTime::from_us(208));
+/// ```
+#[derive(Debug)]
+pub struct Scenario {
+    config: GpuConfig,
+    actions: Vec<(SimTime, Action)>,
+}
+
+impl Scenario {
+    /// Creates an empty scenario for a device with the given configuration.
+    #[must_use]
+    pub fn new(config: GpuConfig) -> Self {
+        Scenario {
+            config,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Schedules a kernel launch at `at`. The descriptor's `tag` keys the
+    /// resulting [`LaunchRecord`].
+    pub fn launch_at(&mut self, at: SimTime, desc: LaunchDesc) {
+        self.actions.push((at, Action::Launch(Box::new(desc))));
+    }
+
+    /// Schedules a preemption-flag write at `at` against the most recent
+    /// live grid carrying `tag`.
+    pub fn signal_at(&mut self, at: SimTime, tag: u64, signal: PreemptSignal) {
+        self.actions.push((at, Action::Signal { tag, signal }));
+    }
+
+    /// Runs the scenario to completion and returns the records.
+    #[must_use]
+    pub fn run(self) -> ScenarioResult {
+        let times: Vec<SimTime> = self.actions.iter().map(|&(t, _)| t).collect();
+        let world = ScenarioWorld {
+            device: GpuDevice::new(self.config),
+            actions: self
+                .actions
+                .into_iter()
+                .map(|(_, a)| Some(a))
+                .collect(),
+            records: HashMap::new(),
+            tag_grids: HashMap::new(),
+        };
+        let mut sim = Simulation::new(world);
+        for (idx, t) in times.into_iter().enumerate() {
+            sim.schedule_at(t, Ev::Act(idx));
+        }
+        let end = sim.run();
+        let world = sim.into_world();
+        ScenarioResult {
+            records: world.records,
+            end_time: end,
+            device: world.device,
+        }
+    }
+}
+
+/// Results of a [`Scenario`] run.
+#[derive(Debug)]
+pub struct ScenarioResult {
+    /// Per-tag timing records.
+    pub records: HashMap<u64, LaunchRecord>,
+    /// Completion time of the last completed launch.
+    pub end_time: SimTime,
+    /// The device, for busy-span and trace inspection.
+    pub device: GpuDevice,
+}
+
+struct ScenarioWorld {
+    device: GpuDevice,
+    actions: Vec<Option<Action>>,
+    records: HashMap<u64, LaunchRecord>,
+    tag_grids: HashMap<u64, Vec<GridId>>,
+}
+
+impl std::fmt::Debug for ScenarioWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioWorld")
+            .field("records", &self.records.len())
+            .finish()
+    }
+}
+
+impl ScenarioWorld {
+    fn flush(
+        &mut self,
+        collector: CollectorHarness,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        for (at, ev) in collector.gpu_events {
+            sched.schedule_at(at, Ev::Gpu(ev));
+        }
+        for (at, note) in collector.notes {
+            self.on_note(at, note);
+        }
+    }
+
+    fn on_note(&mut self, at: SimTime, note: HostNotification) {
+        let rec = self.records.entry(note.tag()).or_default();
+        match note {
+            HostNotification::DispatchStarted { .. } => {
+                if rec.dispatch_started.is_none() {
+                    rec.dispatch_started = Some(at);
+                }
+            }
+            HostNotification::Completed { .. } => {
+                rec.completed_at = Some(at);
+            }
+            HostNotification::Preempted {
+                tasks_done,
+                remaining_tasks,
+                ..
+            } => {
+                rec.preemptions.push(PreemptionRecord {
+                    at,
+                    tasks_done,
+                    remaining: remaining_tasks,
+                });
+            }
+        }
+    }
+}
+
+impl World for ScenarioWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<'_, Ev>) {
+        let mut collector = CollectorHarness::new();
+        match event {
+            Ev::Gpu(gev) => {
+                self.device.handle(now, gev, &mut collector);
+            }
+            Ev::Act(idx) => {
+                let action = self.actions[idx].take().expect("action fired twice");
+                match action {
+                    Action::Launch(desc) => {
+                        let tag = desc.tag;
+                        let rec = self.records.entry(tag).or_default();
+                        if rec.launched_at.is_none() {
+                            rec.launched_at = Some(now);
+                        }
+                        let gid = self
+                            .device
+                            .launch(now, *desc, &mut collector)
+                            .expect("scenario launch rejected");
+                        rec.grids.push(gid);
+                        self.tag_grids.entry(tag).or_default().push(gid);
+                    }
+                    Action::Signal { tag, signal } => {
+                        if let Some(gids) = self.tag_grids.get(&tag) {
+                            if let Some(&gid) = gids.last() {
+                                self.device.signal(now, gid, signal);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.flush(collector, sched);
+    }
+}
+
+/// Runs a single kernel alone on a fresh device and returns its turnaround
+/// time (launch call to completion).
+///
+/// # Panics
+///
+/// Panics if the launch descriptor is rejected by the device.
+#[must_use]
+pub fn run_single(config: GpuConfig, desc: LaunchDesc) -> SimTime {
+    let tag = desc.tag;
+    let mut sc = Scenario::new(config);
+    sc.launch_at(SimTime::ZERO, desc);
+    let result = sc.run();
+    result.records[&tag]
+        .turnaround()
+        .expect("single kernel did not complete")
+}

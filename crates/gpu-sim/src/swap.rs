@@ -1,0 +1,288 @@
+//! GPUSwap-style device-memory oversubscription (the paper's stated
+//! future-work integration, §8): treat device memory as a cache over host
+//! memory, transparently swapping kernels' working sets in and out.
+//!
+//! FLEP itself assumes the combined working set fits in device memory;
+//! this module lifts that assumption the way Kehne et al.'s GPUSwap does —
+//! at kernel-launch granularity, with LRU eviction and PCIe-modelled
+//! transfer costs. The FLEP runtime consults a [`SwapManager`] before each
+//! (re)launch and charges the swap-in time as extra launch latency.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use flep_sim_core::SimTime;
+
+/// Aggregate swap statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapStats {
+    /// Working sets moved host→device.
+    pub swap_ins: u64,
+    /// Working sets evicted device→host.
+    pub swap_outs: u64,
+    /// Bytes transferred host→device.
+    pub bytes_in: u64,
+    /// Bytes transferred device→host.
+    pub bytes_out: u64,
+    /// Launches whose working set was already resident.
+    pub hits: u64,
+}
+
+/// Errors from working-set registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkingSetTooLarge {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Device capacity.
+    pub capacity: u64,
+}
+
+impl std::fmt::Display for WorkingSetTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "working set of {} B exceeds device memory of {} B",
+            self.requested, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for WorkingSetTooLarge {}
+
+/// An LRU working-set cache over device memory.
+///
+/// Keys are owner ids (the runtime uses job indices). `acquire` makes an
+/// owner's working set resident — evicting least-recently-used other sets
+/// as needed — and returns the simulated transfer time (swap-outs of dirty
+/// victims plus the swap-in), which the caller adds to its launch latency.
+///
+/// # Example
+///
+/// ```
+/// use flep_gpu_sim::SwapManager;
+/// use flep_sim_core::SimTime;
+///
+/// // 1 GiB device, 10 GB/s PCIe.
+/// let mut swap = SwapManager::new(1 << 30, 10_000.0, SimTime::from_us(10));
+/// let a = swap.acquire(1, 700 << 20, SimTime::ZERO).unwrap();
+/// assert!(a > SimTime::ZERO); // cold swap-in
+/// let b = swap.acquire(1, 700 << 20, SimTime::from_ms(1)).unwrap();
+/// assert!(b.is_zero()); // hit
+/// // A second large set forces the first out.
+/// let c = swap.acquire(2, 700 << 20, SimTime::from_ms(2)).unwrap();
+/// assert!(c > a); // eviction + swap-in
+/// ```
+#[derive(Debug, Clone)]
+pub struct SwapManager {
+    capacity: u64,
+    used: u64,
+    resident: HashMap<u64, Resident>,
+    bandwidth_bytes_per_us: f64,
+    transfer_latency: SimTime,
+    stats: SwapStats,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Resident {
+    bytes: u64,
+    last_use: SimTime,
+}
+
+impl SwapManager {
+    /// Creates a manager over `capacity` bytes of device memory with the
+    /// given PCIe bandwidth (bytes/µs) and per-transfer latency.
+    #[must_use]
+    pub fn new(capacity: u64, bandwidth_bytes_per_us: f64, transfer_latency: SimTime) -> Self {
+        SwapManager {
+            capacity,
+            used: 0,
+            resident: HashMap::new(),
+            bandwidth_bytes_per_us,
+            transfer_latency,
+            stats: SwapStats::default(),
+        }
+    }
+
+    /// A 12 GB K40 with ~10 GB/s effective PCIe bandwidth.
+    #[must_use]
+    pub fn k40() -> Self {
+        SwapManager::new(12 * 1024 * 1024 * 1024, 10_000.0, SimTime::from_us(10))
+    }
+
+    /// Swap statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> SwapStats {
+        self.stats
+    }
+
+    /// Bytes currently resident.
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Whether `owner`'s working set is resident.
+    #[must_use]
+    pub fn is_resident(&self, owner: u64) -> bool {
+        self.resident.contains_key(&owner)
+    }
+
+    fn transfer_time(&self, bytes: u64) -> SimTime {
+        if bytes == 0 {
+            return SimTime::ZERO;
+        }
+        self.transfer_latency + SimTime::from_us_f64(bytes as f64 / self.bandwidth_bytes_per_us)
+    }
+
+    /// Makes `owner`'s working set of `bytes` resident, evicting LRU
+    /// victims as needed. Returns the total transfer time (evictions +
+    /// swap-in; zero on a hit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkingSetTooLarge`] when a single working set exceeds
+    /// device capacity.
+    pub fn acquire(
+        &mut self,
+        owner: u64,
+        bytes: u64,
+        now: SimTime,
+    ) -> Result<SimTime, WorkingSetTooLarge> {
+        if bytes > self.capacity {
+            return Err(WorkingSetTooLarge {
+                requested: bytes,
+                capacity: self.capacity,
+            });
+        }
+        if let Some(r) = self.resident.get_mut(&owner) {
+            if r.bytes == bytes {
+                r.last_use = now;
+                self.stats.hits += 1;
+                return Ok(SimTime::ZERO);
+            }
+            // Size changed: drop and re-acquire.
+            let old = *r;
+            self.resident.remove(&owner);
+            self.used -= old.bytes;
+        }
+
+        let mut cost = SimTime::ZERO;
+        // Evict LRU sets until the new one fits.
+        while self.used + bytes > self.capacity {
+            let victim = self
+                .resident
+                .iter()
+                .min_by_key(|(id, r)| (r.last_use, **id))
+                .map(|(&id, _)| id)
+                .expect("oversubscribed with no resident victims");
+            let evicted = self.resident.remove(&victim).expect("victim resident");
+            self.used -= evicted.bytes;
+            self.stats.swap_outs += 1;
+            self.stats.bytes_out += evicted.bytes;
+            cost += self.transfer_time(evicted.bytes);
+        }
+
+        self.used += bytes;
+        self.resident.insert(
+            owner,
+            Resident {
+                bytes,
+                last_use: now,
+            },
+        );
+        self.stats.swap_ins += 1;
+        self.stats.bytes_in += bytes;
+        cost += self.transfer_time(bytes);
+        Ok(cost)
+    }
+
+    /// Marks a use of an already-resident working set (LRU refresh).
+    pub fn touch(&mut self, owner: u64, now: SimTime) {
+        if let Some(r) = self.resident.get_mut(&owner) {
+            r.last_use = now;
+        }
+    }
+
+    /// Releases an owner's working set without a transfer (the data is
+    /// dead — e.g. the process exited).
+    pub fn release(&mut self, owner: u64) {
+        if let Some(r) = self.resident.remove(&owner) {
+            self.used -= r.bytes;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr(capacity: u64) -> SwapManager {
+        SwapManager::new(capacity, 100.0, SimTime::from_us(5))
+    }
+
+    #[test]
+    fn cold_acquire_pays_transfer() {
+        let mut m = mgr(1000);
+        let t = m.acquire(1, 500, SimTime::ZERO).unwrap();
+        assert_eq!(t, SimTime::from_us(10)); // 5us latency + 500/100
+        assert!(m.is_resident(1));
+        assert_eq!(m.stats().swap_ins, 1);
+    }
+
+    #[test]
+    fn warm_acquire_is_free() {
+        let mut m = mgr(1000);
+        m.acquire(1, 500, SimTime::ZERO).unwrap();
+        let t = m.acquire(1, 500, SimTime::from_us(100)).unwrap();
+        assert!(t.is_zero());
+        assert_eq!(m.stats().hits, 1);
+    }
+
+    #[test]
+    fn eviction_follows_lru() {
+        let mut m = mgr(1000);
+        m.acquire(1, 400, SimTime::from_us(0)).unwrap();
+        m.acquire(2, 400, SimTime::from_us(1)).unwrap();
+        m.touch(1, SimTime::from_us(2)); // 2 is now least recent
+        m.acquire(3, 400, SimTime::from_us(3)).unwrap();
+        assert!(m.is_resident(1));
+        assert!(!m.is_resident(2), "LRU victim must be owner 2");
+        assert!(m.is_resident(3));
+        assert_eq!(m.stats().swap_outs, 1);
+    }
+
+    #[test]
+    fn eviction_cost_counts_both_directions() {
+        let mut m = mgr(1000);
+        m.acquire(1, 1000, SimTime::ZERO).unwrap();
+        let t = m.acquire(2, 1000, SimTime::from_us(1)).unwrap();
+        // Evict 1000 out (15us) + bring 1000 in (15us).
+        assert_eq!(t, SimTime::from_us(30));
+        assert_eq!(m.stats().bytes_out, 1000);
+    }
+
+    #[test]
+    fn oversized_set_rejected() {
+        let mut m = mgr(1000);
+        assert!(m.acquire(1, 2000, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn resize_reacquires() {
+        let mut m = mgr(1000);
+        m.acquire(1, 300, SimTime::ZERO).unwrap();
+        let t = m.acquire(1, 600, SimTime::from_us(1)).unwrap();
+        assert!(t > SimTime::ZERO);
+        assert_eq!(m.used(), 600);
+    }
+
+    #[test]
+    fn release_frees_without_transfer() {
+        let mut m = mgr(1000);
+        m.acquire(1, 800, SimTime::ZERO).unwrap();
+        m.release(1);
+        assert_eq!(m.used(), 0);
+        assert_eq!(m.stats().swap_outs, 0);
+    }
+}

@@ -1,0 +1,612 @@
+//! Integration tests for the GPU device model: dispatcher semantics,
+//! preemption, resume correctness, and the contention model.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use flep_gpu_sim::{
+    run_single, GpuConfig, GridShape, LaunchDesc, PreemptSignal, ResourceUsage, Scenario,
+    TaskCost,
+};
+use flep_sim_core::SimTime;
+
+fn fixed(us: u64) -> TaskCost {
+    TaskCost::fixed(SimTime::from_us(us))
+}
+
+/// A zero-overhead config so timing assertions are exact.
+fn clean_k40() -> GpuConfig {
+    GpuConfig {
+        launch_overhead: SimTime::ZERO,
+        poll_cost: SimTime::ZERO,
+        pull_cost: SimTime::ZERO,
+        flag_visibility_latency: SimTime::ZERO,
+        ..GpuConfig::k40()
+    }
+}
+
+#[test]
+fn original_kernel_runs_in_waves() {
+    // 360 CTAs at 120 device capacity = 3 waves of 50us.
+    let t = run_single(
+        clean_k40(),
+        LaunchDesc::new("waves", GridShape::Original { ctas: 360 }, fixed(50)),
+    );
+    assert_eq!(t, SimTime::from_us(150));
+}
+
+#[test]
+fn launch_overhead_delays_dispatch() {
+    let cfg = GpuConfig {
+        launch_overhead: SimTime::from_us(8),
+        ..clean_k40()
+    };
+    let mut sc = Scenario::new(cfg);
+    sc.launch_at(
+        SimTime::ZERO,
+        LaunchDesc::new("k", GridShape::Original { ctas: 1 }, fixed(10)).with_tag(1),
+    );
+    let res = sc.run();
+    let rec = &res.records[&1];
+    assert_eq!(rec.queue_delay().unwrap(), SimTime::from_us(8));
+    assert_eq!(rec.turnaround().unwrap(), SimTime::from_us(18));
+}
+
+#[test]
+fn head_of_line_blocking_delays_second_kernel() {
+    // K1: 240 CTAs of 100us (2 full waves). K2 launched right after: its
+    // first CTA cannot dispatch until K1's last CTA is dispatched at t=100.
+    let mut sc = Scenario::new(clean_k40());
+    sc.launch_at(
+        SimTime::ZERO,
+        LaunchDesc::new("k1", GridShape::Original { ctas: 240 }, fixed(100)).with_tag(1),
+    );
+    sc.launch_at(
+        SimTime::from_us(1),
+        LaunchDesc::new("k2", GridShape::Original { ctas: 1 }, fixed(10)).with_tag(2),
+    );
+    let res = sc.run();
+    let k2 = &res.records[&2];
+    // K1's wave 1 ends at t=100; K1 wave 2 dispatches, leaving no slots.
+    // But K1 then has zero pending CTAs, so K2 backfills... only if a slot
+    // is free. All 120 slots are taken by K1's wave 2, so K2 waits until
+    // t=200.
+    assert_eq!(k2.dispatch_started.unwrap(), SimTime::from_us(200));
+}
+
+#[test]
+fn mps_backfill_uses_leftover_resources() {
+    // K1: 130 CTAs -> wave 1 = 120, wave 2 = 10 CTAs. Once K1 is fully
+    // dispatched at t=100, K2's CTAs backfill the 110 free slots.
+    let mut sc = Scenario::new(clean_k40());
+    sc.launch_at(
+        SimTime::ZERO,
+        LaunchDesc::new("k1", GridShape::Original { ctas: 130 }, fixed(100)).with_tag(1),
+    );
+    sc.launch_at(
+        SimTime::from_us(1),
+        LaunchDesc::new("k2", GridShape::Original { ctas: 10 }, fixed(10)).with_tag(2),
+    );
+    let res = sc.run();
+    let k2 = &res.records[&2];
+    assert_eq!(k2.dispatch_started.unwrap(), SimTime::from_us(100));
+    assert_eq!(k2.completed_at.unwrap(), SimTime::from_us(110));
+}
+
+#[test]
+fn small_corun_shares_device_without_blocking() {
+    // Two small kernels that together fit: the second starts immediately.
+    let mut sc = Scenario::new(clean_k40());
+    sc.launch_at(
+        SimTime::ZERO,
+        LaunchDesc::new("a", GridShape::Original { ctas: 40 }, fixed(100)).with_tag(1),
+    );
+    sc.launch_at(
+        SimTime::ZERO,
+        LaunchDesc::new("b", GridShape::Original { ctas: 40 }, fixed(100)).with_tag(2),
+    );
+    let res = sc.run();
+    assert_eq!(res.records[&2].dispatch_started.unwrap(), SimTime::ZERO);
+}
+
+#[test]
+fn persistent_kernel_completes_all_tasks() {
+    // 600 tasks on 120 persistent CTAs, 5 tasks each.
+    let t = run_single(
+        clean_k40(),
+        LaunchDesc::new(
+            "pt",
+            GridShape::Persistent {
+                total_tasks: 600,
+                amortize: 1,
+            },
+            fixed(10),
+        ),
+    );
+    assert_eq!(t, SimTime::from_us(50));
+}
+
+#[test]
+fn persistent_kernel_with_fewer_tasks_than_capacity() {
+    let t = run_single(
+        clean_k40(),
+        LaunchDesc::new(
+            "small",
+            GridShape::Persistent {
+                total_tasks: 40,
+                amortize: 1,
+            },
+            fixed(10),
+        ),
+    );
+    assert_eq!(t, SimTime::from_us(10));
+}
+
+#[test]
+fn poll_and_pull_costs_add_overhead() {
+    let base = run_single(
+        clean_k40(),
+        LaunchDesc::new(
+            "pt",
+            GridShape::Persistent {
+                total_tasks: 1200,
+                amortize: 10,
+            },
+            fixed(10),
+        ),
+    );
+    let cfg = GpuConfig {
+        poll_cost: SimTime::from_ns(2_000),
+        pull_cost: SimTime::from_ns(100),
+        ..clean_k40()
+    };
+    let with_overhead = run_single(
+        cfg,
+        LaunchDesc::new(
+            "pt",
+            GridShape::Persistent {
+                total_tasks: 1200,
+                amortize: 10,
+            },
+            fixed(10),
+        ),
+    );
+    // Each of the 120 CTAs runs one 10-task batch: 100us work, plus with
+    // overheads one 2us poll and ten 0.1us pulls = 103us.
+    assert_eq!(base, SimTime::from_us(100));
+    assert_eq!(with_overhead, SimTime::from_us(103));
+}
+
+#[test]
+fn larger_amortize_factor_reduces_overhead() {
+    let cfg = GpuConfig {
+        poll_cost: SimTime::from_ns(2_000),
+        ..clean_k40()
+    };
+    let run = |l: u32| {
+        run_single(
+            cfg.clone(),
+            LaunchDesc::new(
+                "pt",
+                GridShape::Persistent {
+                    total_tasks: 12_000,
+                    amortize: l,
+                },
+                fixed(1),
+            ),
+        )
+    };
+    let t1 = run(1);
+    let t10 = run(10);
+    let t100 = run(100);
+    assert!(t1 > t10, "{t1} vs {t10}");
+    assert!(t10 > t100, "{t10} vs {t100}");
+}
+
+#[test]
+fn temporal_preemption_drains_within_one_batch() {
+    // Tasks of 10us, amortize 2 => batches of 20us. Signal at t=25us: CTAs
+    // are mid-second-batch (ends t=40us), so the grid drains at t=40us.
+    let mut sc = Scenario::new(clean_k40());
+    sc.launch_at(
+        SimTime::ZERO,
+        LaunchDesc::new(
+            "victim",
+            GridShape::Persistent {
+                total_tasks: 120_000,
+                amortize: 2,
+            },
+            fixed(10),
+        )
+        .with_tag(1),
+    );
+    sc.signal_at(SimTime::from_us(25), 1, PreemptSignal::YieldSms(15));
+    let res = sc.run();
+    let rec = &res.records[&1];
+    assert_eq!(rec.preemptions.len(), 1);
+    let p = rec.preemptions[0];
+    assert_eq!(p.at, SimTime::from_us(40));
+    // Two batches of 2 tasks on each of 120 CTAs.
+    assert_eq!(p.tasks_done, 480);
+    assert_eq!(p.remaining, 120_000 - 480);
+    assert!(rec.completed_at.is_none());
+}
+
+#[test]
+fn spatial_preemption_frees_only_signalled_sms() {
+    // Signal spa_P = 5: SMs 0..5 drain, SMs 5..15 keep running.
+    let mut sc = Scenario::new(clean_k40());
+    sc.launch_at(
+        SimTime::ZERO,
+        LaunchDesc::new(
+            "victim",
+            GridShape::Persistent {
+                total_tasks: 1200,
+                amortize: 1,
+            },
+            fixed(10),
+        )
+        .with_tag(1),
+    );
+    sc.signal_at(SimTime::from_us(5), 1, PreemptSignal::YieldSms(5));
+    let res = sc.run();
+    let rec = &res.records[&1];
+    // The victim is never "preempted" as a grid: its remaining CTAs finish
+    // all tasks (Fig. 4c semantics).
+    assert!(rec.preemptions.is_empty());
+    let done = rec.completed_at.unwrap();
+    // 1200 tasks; 40 CTAs on yielded SMs exit after 1 task each (40 tasks),
+    // leaving 1160 tasks for 80 CTAs -> 15 rounds of 10us: ends ~150us.
+    assert!(done > SimTime::from_us(100), "{done}");
+    // And the freed SMs can host a new kernel quickly.
+    assert!(done < SimTime::from_us(300), "{done}");
+}
+
+#[test]
+fn spatial_preemption_lets_waiting_kernel_start_early() {
+    let mut sc = Scenario::new(clean_k40());
+    sc.launch_at(
+        SimTime::ZERO,
+        LaunchDesc::new(
+            "victim",
+            GridShape::Persistent {
+                total_tasks: 12_000,
+                amortize: 1,
+            },
+            fixed(10),
+        )
+        .with_tag(1),
+    );
+    sc.signal_at(SimTime::from_us(5), 1, PreemptSignal::YieldSms(5));
+    // The waiting kernel needs 40 CTAs = 5 SMs.
+    sc.launch_at(
+        SimTime::from_us(6),
+        LaunchDesc::new("hi", GridShape::Original { ctas: 40 }, fixed(10)).with_tag(2),
+    );
+    let res = sc.run();
+    let hi = &res.records[&2];
+    // Freed at the next batch boundary (t=10us); dispatched right after.
+    assert_eq!(hi.dispatch_started.unwrap(), SimTime::from_us(10));
+    // The victim still completes everything.
+    assert!(res.records[&1].completed_at.is_some());
+}
+
+#[test]
+fn flag_visibility_latency_delays_preemption() {
+    let cfg = GpuConfig {
+        flag_visibility_latency: SimTime::from_us(15),
+        ..clean_k40()
+    };
+    let mut sc = Scenario::new(cfg);
+    sc.launch_at(
+        SimTime::ZERO,
+        LaunchDesc::new(
+            "victim",
+            GridShape::Persistent {
+                total_tasks: 120_000,
+                amortize: 1,
+            },
+            fixed(10),
+        )
+        .with_tag(1),
+    );
+    // Written at t=5, visible at t=20: the t=10 poll must NOT see it; the
+    // t=20 poll does.
+    sc.signal_at(SimTime::from_us(5), 1, PreemptSignal::YieldSms(15));
+    let res = sc.run();
+    assert_eq!(res.records[&1].preemptions[0].at, SimTime::from_us(20));
+}
+
+#[test]
+fn resume_completes_exactly_the_remaining_tasks() {
+    let total_tasks = 10_000u64;
+    let counter = Arc::new(AtomicU64::new(0));
+    let sum = Arc::new(AtomicU64::new(0));
+
+    // First run: preempt partway.
+    let (c1, s1) = (counter.clone(), sum.clone());
+    let mut sc = Scenario::new(clean_k40());
+    sc.launch_at(
+        SimTime::ZERO,
+        LaunchDesc::new(
+            "func",
+            GridShape::Persistent {
+                total_tasks,
+                amortize: 1,
+            },
+            fixed(10),
+        )
+        .with_tag(1)
+        .with_task_fn(Box::new(move |t| {
+            c1.fetch_add(1, Ordering::Relaxed);
+            s1.fetch_add(t, Ordering::Relaxed);
+        })),
+    );
+    sc.signal_at(SimTime::from_us(55), 1, PreemptSignal::YieldSms(15));
+    let res = sc.run();
+    let p = res.records[&1].preemptions[0];
+    assert_eq!(p.tasks_done + p.remaining, total_tasks);
+    assert_eq!(counter.load(Ordering::Relaxed), p.tasks_done);
+
+    // Resume: a fresh launch carrying the offset processes the rest.
+    let (c2, s2) = (counter.clone(), sum.clone());
+    let mut sc2 = Scenario::new(clean_k40());
+    sc2.launch_at(
+        SimTime::ZERO,
+        LaunchDesc::new(
+            "func-resume",
+            GridShape::Persistent {
+                total_tasks: p.remaining,
+                amortize: 1,
+            },
+            fixed(10),
+        )
+        .with_tag(1)
+        .with_first_task(p.tasks_done)
+        .with_task_fn(Box::new(move |t| {
+            c2.fetch_add(1, Ordering::Relaxed);
+            s2.fetch_add(t, Ordering::Relaxed);
+        })),
+    );
+    let res2 = sc2.run();
+    assert!(res2.records[&1].completed_at.is_some());
+
+    // Every task ran exactly once: the task-index sum matches 0+1+..+N-1.
+    assert_eq!(counter.load(Ordering::Relaxed), total_tasks);
+    assert_eq!(
+        sum.load(Ordering::Relaxed),
+        total_tasks * (total_tasks - 1) / 2
+    );
+}
+
+#[test]
+fn contention_speeds_up_underloaded_sms() {
+    // A memory-intensive trivial kernel: 16 CTAs (2 SMs at occupancy 8).
+    // Forcing it onto many SMs via low occupancy is not possible directly,
+    // but a single-CTA kernel on an empty device runs faster than at full
+    // occupancy.
+    let usage = ResourceUsage::typical_256();
+    let cfg = clean_k40();
+    let one = run_single(
+        cfg.clone(),
+        LaunchDesc::new("one", GridShape::Original { ctas: 1 }, fixed(80))
+            .with_resources(usage)
+            .with_mem_intensity(1.4),
+    );
+    let full = run_single(
+        cfg,
+        LaunchDesc::new("full", GridShape::Original { ctas: 120 }, fixed(80))
+            .with_resources(usage)
+            .with_mem_intensity(1.4),
+    );
+    assert!(one < full, "{one} vs {full}");
+    // Bounded by the model: speedup <= (1 + c) / (1 + c/8) ~ 2.17.
+    let speedup = full.as_us() / one.as_us();
+    assert!(speedup > 1.5 && speedup < 2.3, "{speedup}");
+}
+
+#[test]
+fn busy_spans_attribute_time_to_tags() {
+    let mut sc = Scenario::new(clean_k40());
+    sc.launch_at(
+        SimTime::ZERO,
+        LaunchDesc::new("a", GridShape::Original { ctas: 8 }, fixed(100)).with_tag(1),
+    );
+    let res = sc.run();
+    let spans = res.device.busy_spans();
+    assert_eq!(spans.len(), 8);
+    assert!(spans.iter().all(|s| s.owner == 1));
+    let total: SimTime = spans.iter().map(|s| s.duration()).sum();
+    assert_eq!(total, SimTime::from_us(800));
+}
+
+#[test]
+fn unlaunchable_kernel_rejected() {
+    use flep_gpu_sim::{GpuDevice, LaunchError};
+    let mut dev = GpuDevice::new(clean_k40());
+    let mut harness = flep_gpu_sim::CollectorHarness::new();
+    let desc = LaunchDesc::new("huge", GridShape::Original { ctas: 1 }, fixed(1))
+        .with_resources(ResourceUsage {
+            threads_per_cta: 4096,
+            regs_per_thread: 32,
+            smem_per_cta: 0,
+        });
+    let err = dev.launch(SimTime::ZERO, desc, &mut harness).unwrap_err();
+    assert!(matches!(err, LaunchError::Unlaunchable { .. }));
+
+    let empty = LaunchDesc::new("empty", GridShape::Original { ctas: 0 }, fixed(1));
+    assert!(matches!(
+        dev.launch(SimTime::ZERO, empty, &mut harness),
+        Err(LaunchError::EmptyGrid { .. })
+    ));
+
+    let zero_l = LaunchDesc::new(
+        "zl",
+        GridShape::Persistent {
+            total_tasks: 10,
+            amortize: 0,
+        },
+        fixed(1),
+    );
+    assert!(matches!(
+        dev.launch(SimTime::ZERO, zero_l, &mut harness),
+        Err(LaunchError::ZeroAmortize { .. })
+    ));
+}
+
+#[test]
+fn signal_after_completion_is_ignored() {
+    let mut sc = Scenario::new(clean_k40());
+    sc.launch_at(
+        SimTime::ZERO,
+        LaunchDesc::new(
+            "quick",
+            GridShape::Persistent {
+                total_tasks: 120,
+                amortize: 1,
+            },
+            fixed(10),
+        )
+        .with_tag(1),
+    );
+    sc.signal_at(SimTime::from_ms(5), 1, PreemptSignal::YieldSms(15));
+    let res = sc.run();
+    let rec = &res.records[&1];
+    assert!(rec.completed_at.is_some());
+    assert!(rec.preemptions.is_empty());
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let build = || {
+        let mut sc = Scenario::new(GpuConfig::k40());
+        sc.launch_at(
+            SimTime::ZERO,
+            LaunchDesc::new(
+                "noisy",
+                GridShape::Persistent {
+                    total_tasks: 5_000,
+                    amortize: 7,
+                },
+                TaskCost {
+                    base: SimTime::from_us(3),
+                    rel_noise: 0.25,
+                },
+            )
+            .with_tag(1)
+            .with_seed(99),
+        );
+        sc.signal_at(SimTime::from_us(40), 1, PreemptSignal::YieldSms(6));
+        sc.run()
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a.records[&1], b.records[&1]);
+    assert_eq!(a.end_time, b.end_time);
+}
+
+#[test]
+fn restore_grid_refills_spatially_yielded_sms() {
+    // Victim yields 5 SMs; later the host restores it: supplementary CTAs
+    // are placed and pull from the same task pool, so the grid finishes
+    // with full parallelism and exact task conservation.
+    let counter = Arc::new(AtomicU64::new(0));
+    let c = counter.clone();
+    let total_tasks = 60_000u64;
+    let mut sc = Scenario::new(clean_k40());
+    sc.launch_at(
+        SimTime::ZERO,
+        LaunchDesc::new(
+            "victim",
+            GridShape::Persistent {
+                total_tasks,
+                amortize: 1,
+            },
+            fixed(10),
+        )
+        .with_tag(1)
+        .with_task_fn(Box::new(move |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        })),
+    );
+    sc.signal_at(SimTime::from_us(25), 1, PreemptSignal::YieldSms(5));
+    // Restore shortly after: Scenario has no restore action, so drive the
+    // equivalent through the signal API (clearing the signal) — the
+    // runtime's restore also relaunches CTAs, tested at the runtime level;
+    // here we assert the clear-signal half: no further CTAs exit.
+    sc.signal_at(SimTime::from_us(60), 1, PreemptSignal::None);
+    let res = sc.run();
+    let rec = &res.records[&1];
+    assert!(rec.completed_at.is_some(), "victim completes");
+    assert_eq!(counter.load(Ordering::Relaxed), total_tasks);
+    // With 40 of 120 CTAs gone for most of the run, the makespan sits
+    // between the full-parallel (5ms) and 80-CTA (7.5ms) bounds.
+    let t = rec.completed_at.unwrap();
+    assert!(t > SimTime::from_us(5_000), "{t}");
+    assert!(t < SimTime::from_us(7_800), "{t}");
+}
+
+#[test]
+fn restore_grid_via_device_api_reaches_full_occupancy() {
+    use flep_gpu_sim::{CollectorHarness, GpuDevice, GpuEvent};
+
+    // Drive the device manually: launch, spatially preempt, restore, and
+    // check CTA residency returns to capacity.
+    let mut dev = GpuDevice::new(clean_k40());
+    let mut pending: Vec<(SimTime, GpuEvent)> = Vec::new();
+    let mut now = SimTime::ZERO;
+
+    let mut harness = CollectorHarness::new();
+    let grid = dev
+        .launch(
+            now,
+            LaunchDesc::new(
+                "victim",
+                GridShape::Persistent {
+                    total_tasks: 1_000_000,
+                    amortize: 1,
+                },
+                fixed(10),
+            ),
+            &mut harness,
+        )
+        .unwrap();
+    pending.extend(harness.gpu_events.drain(..));
+
+    let mut resident = |dev: &GpuDevice| -> u32 {
+        dev.sms().iter().map(|sm| sm.resident_count()).sum()
+    };
+
+    // Helper: run the event loop until a deadline.
+    let mut run_until = |dev: &mut GpuDevice,
+                         pending: &mut Vec<(SimTime, GpuEvent)>,
+                         now: &mut SimTime,
+                         deadline: SimTime| {
+        loop {
+            pending.sort_by_key(|&(t, _)| t);
+            let Some(&(t, ev)) = pending.first() else { break };
+            if t > deadline {
+                break;
+            }
+            pending.remove(0);
+            *now = t;
+            let mut h = CollectorHarness::new();
+            dev.handle(t, ev, &mut h);
+            pending.extend(h.gpu_events);
+        }
+        *now = deadline;
+    };
+
+    run_until(&mut dev, &mut pending, &mut now, SimTime::from_us(15));
+    assert_eq!(resident(&dev), 120, "full occupancy before preemption");
+
+    dev.signal(now, grid, PreemptSignal::YieldSms(5));
+    run_until(&mut dev, &mut pending, &mut now, SimTime::from_us(40));
+    assert_eq!(resident(&dev), 80, "5 SMs (40 CTAs) drained");
+
+    let mut h = CollectorHarness::new();
+    dev.restore_grid(now, grid, &mut h);
+    pending.extend(h.gpu_events.drain(..));
+    run_until(&mut dev, &mut pending, &mut now, SimTime::from_us(41));
+    assert_eq!(resident(&dev), 120, "restore refills to capacity");
+}

@@ -1,0 +1,267 @@
+//! Multiprogram performance metrics used throughout the FLEP evaluation.
+//!
+//! The paper adopts Eyerman & Eeckhout's system-level metrics (§6.1):
+//!
+//! * **NTT** (normalized turnaround time) of kernel *i*:
+//!   `T_multi(i) / T_single(i)` — how much slower the kernel ran in the
+//!   co-run than alone (≥ 1 in the absence of constructive interference).
+//! * **ANTT** — the arithmetic mean of NTTs; the responsiveness metric of
+//!   Figs. 10 and 12 (reported as *improvement*, i.e. `ANTT_baseline /
+//!   ANTT_flep`).
+//! * **STP** (system throughput) — `Σ T_single(i) / T_multi(i)`; Fig. 11
+//!   reports its *degradation* relative to the baseline.
+//! * **Performance degradation** of a kernel (§5.2.1):
+//!   `(T_w + T_e) / T_e`, the quantity HPF's shortest-remaining-time rule
+//!   approximately minimizes.
+//! * **Weighted fairness** — per-kernel GPU-time shares against their
+//!   priority weights (Fig. 13).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod stats;
+
+pub use stats::Summary;
+
+use flep_sim_core::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Turnaround observations for one kernel in a co-run: the time it took
+/// alone and the time it took in the multiprogrammed schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Turnaround {
+    /// Turnaround when run alone on the GPU.
+    pub single: SimTime,
+    /// Turnaround in the co-run under evaluation.
+    pub multi: SimTime,
+}
+
+impl Turnaround {
+    /// Normalized turnaround time `multi / single`.
+    ///
+    /// Returns 0.0 when the standalone time is zero (degenerate input).
+    #[must_use]
+    pub fn ntt(&self) -> f64 {
+        self.multi.ratio(self.single)
+    }
+
+    /// The per-kernel throughput contribution `single / multi`.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        self.single.ratio(self.multi)
+    }
+}
+
+/// Average normalized turnaround time over a co-run.
+///
+/// Returns 0.0 for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// use flep_metrics::{antt, Turnaround};
+/// use flep_sim_core::SimTime;
+/// let t = [
+///     Turnaround { single: SimTime::from_us(100), multi: SimTime::from_us(300) },
+///     Turnaround { single: SimTime::from_us(50), multi: SimTime::from_us(50) },
+/// ];
+/// assert!((antt(&t) - 2.0).abs() < 1e-12); // (3.0 + 1.0) / 2
+/// ```
+#[must_use]
+pub fn antt(turnarounds: &[Turnaround]) -> f64 {
+    if turnarounds.is_empty() {
+        return 0.0;
+    }
+    turnarounds.iter().map(Turnaround::ntt).sum::<f64>() / turnarounds.len() as f64
+}
+
+/// System throughput over a co-run: `Σ single / multi`.
+///
+/// An ideal co-run of `n` non-interfering kernels scores `n`.
+#[must_use]
+pub fn stp(turnarounds: &[Turnaround]) -> f64 {
+    turnarounds.iter().map(Turnaround::throughput).sum()
+}
+
+/// Improvement factor of metric `candidate` over `baseline` where *lower is
+/// better* (e.g. ANTT): `baseline / candidate`.
+///
+/// Returns 0.0 when the candidate value is zero.
+#[must_use]
+pub fn improvement(baseline: f64, candidate: f64) -> f64 {
+    if candidate == 0.0 {
+        0.0
+    } else {
+        baseline / candidate
+    }
+}
+
+/// Relative degradation of `candidate` versus `baseline` where *higher is
+/// better* (e.g. STP): `(baseline - candidate) / baseline`.
+///
+/// Returns 0.0 when the baseline is zero.
+#[must_use]
+pub fn degradation(baseline: f64, candidate: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (baseline - candidate) / baseline
+    }
+}
+
+/// Per-kernel performance degradation `(T_w + T_e) / T_e` (§5.2.1), the
+/// quantity HPF's shortest-remaining-time policy targets.
+///
+/// Returns 0.0 when the execution time is zero.
+#[must_use]
+pub fn performance_degradation(waiting: SimTime, execution: SimTime) -> f64 {
+    (waiting + execution).ratio(execution)
+}
+
+/// One kernel's share of GPU time against its target weight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FairnessEntry {
+    /// Measured share of GPU time, in `[0, 1]`.
+    pub share: f64,
+    /// Priority weight (`W_i` in §5.2.2).
+    pub weight: f64,
+}
+
+/// Weighted-fairness score in `[0, 1]`: 1.0 when every kernel's measured
+/// share equals its weight-proportional target, decreasing with total
+/// absolute deviation.
+///
+/// Returns 1.0 for an empty slice (nothing to be unfair about) and 0.0 when
+/// all weights are zero.
+///
+/// # Example
+///
+/// ```
+/// use flep_metrics::{weighted_fairness, FairnessEntry};
+/// let perfect = [
+///     FairnessEntry { share: 2.0 / 3.0, weight: 2.0 },
+///     FairnessEntry { share: 1.0 / 3.0, weight: 1.0 },
+/// ];
+/// assert!((weighted_fairness(&perfect) - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn weighted_fairness(entries: &[FairnessEntry]) -> f64 {
+    if entries.is_empty() {
+        return 1.0;
+    }
+    let total_weight: f64 = entries.iter().map(|e| e.weight).sum();
+    if total_weight <= 0.0 {
+        return 0.0;
+    }
+    let deviation: f64 = entries
+        .iter()
+        .map(|e| (e.share - e.weight / total_weight).abs())
+        .sum();
+    // Max possible deviation is 2.0 (all mass misplaced).
+    (1.0 - deviation / 2.0).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(single_us: u64, multi_us: u64) -> Turnaround {
+        Turnaround {
+            single: SimTime::from_us(single_us),
+            multi: SimTime::from_us(multi_us),
+        }
+    }
+
+    #[test]
+    fn ntt_of_unchanged_kernel_is_one() {
+        assert!((t(100, 100).ntt() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn antt_averages() {
+        let ts = [t(100, 400), t(100, 200)];
+        assert!((antt(&ts) - 3.0).abs() < 1e-12);
+        assert_eq!(antt(&[]), 0.0);
+    }
+
+    #[test]
+    fn stp_sums_throughput() {
+        let ts = [t(100, 200), t(100, 100)];
+        assert!((stp(&ts) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_ideal_kernels_score_two() {
+        let ts = [t(50, 50), t(70, 70)];
+        assert!((stp(&ts) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_and_degradation() {
+        assert!((improvement(8.0, 2.0) - 4.0).abs() < 1e-12);
+        assert_eq!(improvement(8.0, 0.0), 0.0);
+        assert!((degradation(2.0, 1.9) - 0.05).abs() < 1e-12);
+        assert_eq!(degradation(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn performance_degradation_formula() {
+        let d = performance_degradation(SimTime::from_us(300), SimTime::from_us(100));
+        assert!((d - 4.0).abs() < 1e-12);
+        assert_eq!(
+            performance_degradation(SimTime::from_us(1), SimTime::ZERO),
+            0.0
+        );
+    }
+
+    #[test]
+    fn fairness_perfect_and_worst() {
+        let perfect = [
+            FairnessEntry {
+                share: 0.5,
+                weight: 1.0,
+            },
+            FairnessEntry {
+                share: 0.5,
+                weight: 1.0,
+            },
+        ];
+        assert!((weighted_fairness(&perfect) - 1.0).abs() < 1e-12);
+        let starved = [
+            FairnessEntry {
+                share: 1.0,
+                weight: 0.0,
+            },
+            FairnessEntry {
+                share: 0.0,
+                weight: 1.0,
+            },
+        ];
+        assert!(weighted_fairness(&starved) < 0.01);
+    }
+
+    #[test]
+    fn fairness_edge_cases() {
+        assert_eq!(weighted_fairness(&[]), 1.0);
+        let zero_weights = [FairnessEntry {
+            share: 1.0,
+            weight: 0.0,
+        }];
+        assert_eq!(weighted_fairness(&zero_weights), 0.0);
+    }
+
+    #[test]
+    fn fairness_two_to_one_split() {
+        let e = [
+            FairnessEntry {
+                share: 2.0 / 3.0,
+                weight: 2.0,
+            },
+            FairnessEntry {
+                share: 1.0 / 3.0,
+                weight: 1.0,
+            },
+        ];
+        assert!(weighted_fairness(&e) > 0.999);
+    }
+}

@@ -1,0 +1,117 @@
+//! Summary statistics for experiment reporting.
+
+use serde::{Deserialize, Serialize};
+
+/// Descriptive statistics of a sample, as printed in the experiment tables
+/// (mean with min/max range and standard deviation for error bars).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Geometric mean (0.0 if any sample is non-positive). Speedup-style
+    /// ratios are conventionally aggregated geometrically.
+    pub geo_mean: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample.
+    ///
+    /// Returns a zeroed summary for an empty slice.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                geo_mean: 0.0,
+            };
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let geo_mean = if samples.iter().all(|&x| x > 0.0) {
+            (samples.iter().map(|x| x.ln()).sum::<f64>() / n).exp()
+        } else {
+            0.0
+        };
+        Summary {
+            n: samples.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+            geo_mean,
+        }
+    }
+
+    /// Half-width of an approximate 95% confidence interval on the mean
+    /// (normal approximation).
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        1.96 * self.std_dev / (self.n as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = Summary::of(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.geo_mean - 5.0).abs() < 1e-12);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn summary_of_varied_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert!(s.geo_mean > 2.0 && s.geo_mean < 2.5);
+    }
+
+    #[test]
+    fn empty_sample_is_zeroed() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn geo_mean_zero_with_nonpositive_samples() {
+        let s = Summary::of(&[1.0, 0.0]);
+        assert_eq!(s.geo_mean, 0.0);
+        let s2 = Summary::of(&[2.0, -1.0]);
+        assert_eq!(s2.geo_mean, 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let few = Summary::of(&[1.0, 3.0]);
+        let many = Summary::of(&[1.0, 3.0, 1.0, 3.0, 1.0, 3.0, 1.0, 3.0]);
+        assert!(many.ci95_half_width() < few.ci95_half_width());
+    }
+}

@@ -1,0 +1,738 @@
+//! Recursive-descent parser for mini-CU.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::{
+    AssignOp, BinOp, Block, Builtin, Expr, FnKind, Function, Param, Program, Stmt, Type, UnOp,
+};
+use crate::token::{lex, SpannedToken, Token};
+
+/// A parse error with a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based line where the problem was detected.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<crate::token::LexError> for ParseError {
+    fn from(e: crate::token::LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
+    }
+}
+
+/// Parses a mini-CU translation unit.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax problem.
+///
+/// # Example
+///
+/// ```
+/// let src = r#"
+/// __global__ void vec_add(float* a, float* b, float* c, int n) {
+///     int i = blockIdx.x * blockDim.x + threadIdx.x;
+///     if (i < n) {
+///         c[i] = a[i] + b[i];
+///     }
+/// }
+/// "#;
+/// let program = flep_minicu::parse(src).unwrap();
+/// assert_eq!(program.kernels().count(), 1);
+/// ```
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.program()
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + offset).map(|t| &t.token)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|t| t.token.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            message: msg.into(),
+            line: self.line(),
+        }
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == tok => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.error(format!("expected `{tok}`, found `{t}`"))),
+            None => Err(self.error(format!("expected `{tok}`, found end of input"))),
+        }
+    }
+
+    fn eat(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(t) => Err(self.error(format!("expected identifier, found `{t}`"))),
+            None => Err(self.error("expected identifier, found end of input")),
+        }
+    }
+
+    // -- Grammar ---------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut functions = Vec::new();
+        while self.peek().is_some() {
+            functions.push(self.function()?);
+        }
+        Ok(Program { functions })
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        let kind = if self.eat(&Token::KwGlobal) {
+            FnKind::Global
+        } else if self.eat(&Token::KwDevice) {
+            FnKind::Device
+        } else {
+            FnKind::Host
+        };
+        let ret = self.parse_type()?;
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                let volatile = self.eat(&Token::KwVolatile);
+                let ty = self.parse_type()?;
+                let pname = self.ident()?;
+                params.push(Param {
+                    name: pname,
+                    ty,
+                    volatile,
+                });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen)?;
+        let body = self.block()?;
+        Ok(Function {
+            kind,
+            ret,
+            name,
+            params,
+            body,
+        })
+    }
+
+    fn starts_type(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(
+                Token::KwVoid | Token::KwInt | Token::KwUnsigned | Token::KwFloat | Token::KwBool
+            )
+        )
+    }
+
+    fn parse_type(&mut self) -> Result<Type, ParseError> {
+        let base = match self.advance() {
+            Some(Token::KwVoid) => Type::Void,
+            Some(Token::KwInt) => Type::Int,
+            Some(Token::KwUnsigned) => {
+                // `unsigned` optionally followed by `int`.
+                self.eat(&Token::KwInt);
+                Type::Uint
+            }
+            Some(Token::KwFloat) => Type::Float,
+            Some(Token::KwBool) => Type::Bool,
+            Some(t) => return Err(self.error(format!("expected type, found `{t}`"))),
+            None => return Err(self.error("expected type, found end of input")),
+        };
+        let mut ty = base;
+        while self.eat(&Token::Star) {
+            ty = ty.ptr();
+        }
+        Ok(ty)
+    }
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.expect(&Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != Some(&Token::RBrace) {
+            if self.peek().is_none() {
+                return Err(self.error("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            Some(Token::LBrace) => Ok(Stmt::Block(self.block()?)),
+            Some(Token::KwIf) => self.if_stmt(),
+            Some(Token::KwWhile) => self.while_stmt(),
+            Some(Token::KwFor) => self.for_stmt(),
+            Some(Token::KwReturn) => {
+                self.advance();
+                if self.eat(&Token::Semi) {
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(&Token::Semi)?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            Some(Token::KwBreak) => {
+                self.advance();
+                self.expect(&Token::Semi)?;
+                Ok(Stmt::Break)
+            }
+            Some(Token::KwContinue) => {
+                self.advance();
+                self.expect(&Token::Semi)?;
+                Ok(Stmt::Continue)
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(&Token::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// A statement without its trailing `;`: declaration, launch,
+    /// assignment, or expression. Shared by statement position and
+    /// `for`-init/step.
+    fn simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        // Declaration?
+        let shared = self.eat(&Token::KwShared);
+        let volatile = self.eat(&Token::KwVolatile);
+        if shared || volatile || self.starts_type() {
+            if !self.starts_type() {
+                return Err(self.error("expected type after qualifier"));
+            }
+            let ty = self.parse_type()?;
+            let name = self.ident()?;
+            let array_len = if self.eat(&Token::LBracket) {
+                let len = match self.advance() {
+                    Some(Token::IntLit(v)) if v >= 0 => v as u64,
+                    _ => return Err(self.error("array length must be an integer literal")),
+                };
+                self.expect(&Token::RBracket)?;
+                Some(len)
+            } else {
+                None
+            };
+            let init = if self.eat(&Token::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::Decl {
+                name,
+                ty,
+                shared,
+                volatile,
+                array_len,
+                init,
+            });
+        }
+        // Kernel launch?
+        if let (Some(Token::Ident(_)), Some(Token::LaunchOpen)) = (self.peek(), self.peek_at(1)) {
+            let kernel = self.ident()?;
+            self.expect(&Token::LaunchOpen)?;
+            let grid = self.expr()?;
+            self.expect(&Token::Comma)?;
+            let block = self.expr()?;
+            self.expect(&Token::LaunchClose)?;
+            self.expect(&Token::LParen)?;
+            let mut args = Vec::new();
+            if self.peek() != Some(&Token::RParen) {
+                loop {
+                    args.push(self.expr()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Stmt::Launch {
+                kernel,
+                grid,
+                block,
+                args,
+            });
+        }
+        // Assignment or expression.
+        let target = self.expr()?;
+        let op = match self.peek() {
+            Some(Token::Assign) => Some(AssignOp::Assign),
+            Some(Token::PlusAssign) => Some(AssignOp::Add),
+            Some(Token::MinusAssign) => Some(AssignOp::Sub),
+            Some(Token::StarAssign) => Some(AssignOp::Mul),
+            Some(Token::SlashAssign) => Some(AssignOp::Div),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let value = self.expr()?;
+            Ok(Stmt::Assign { target, op, value })
+        } else {
+            Ok(Stmt::Expr(target))
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&Token::KwIf)?;
+        self.expect(&Token::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&Token::RParen)?;
+        let then_block = self.stmt_as_block()?;
+        let else_block = if self.eat(&Token::KwElse) {
+            Some(self.stmt_as_block()?)
+        } else {
+            None
+        };
+        Ok(Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        })
+    }
+
+    /// Parses either a braced block or a single statement promoted into a
+    /// block (so `if (c) return;` works).
+    fn stmt_as_block(&mut self) -> Result<Block, ParseError> {
+        if self.peek() == Some(&Token::LBrace) {
+            self.block()
+        } else {
+            Ok(Block::new(vec![self.stmt()?]))
+        }
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&Token::KwWhile)?;
+        self.expect(&Token::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&Token::RParen)?;
+        let body = self.stmt_as_block()?;
+        Ok(Stmt::While { cond, body })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&Token::KwFor)?;
+        self.expect(&Token::LParen)?;
+        let init = if self.peek() == Some(&Token::Semi) {
+            None
+        } else {
+            Some(Box::new(self.simple_stmt()?))
+        };
+        self.expect(&Token::Semi)?;
+        let cond = if self.peek() == Some(&Token::Semi) {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.expect(&Token::Semi)?;
+        let step = if self.peek() == Some(&Token::RParen) {
+            None
+        } else {
+            Some(Box::new(self.simple_stmt()?))
+        };
+        self.expect(&Token::RParen)?;
+        let body = self.stmt_as_block()?;
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        })
+    }
+
+    // -- Expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.binary(1)?;
+        if self.eat(&Token::Question) {
+            let then_expr = self.expr()?;
+            self.expect(&Token::Colon)?;
+            let else_expr = self.expr()?;
+            Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then_expr: Box::new(then_expr),
+                else_expr: Box::new(else_expr),
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn bin_op(&self) -> Option<BinOp> {
+        Some(match self.peek()? {
+            Token::Plus => BinOp::Add,
+            Token::Minus => BinOp::Sub,
+            Token::Star => BinOp::Mul,
+            Token::Slash => BinOp::Div,
+            Token::Percent => BinOp::Rem,
+            Token::Shl => BinOp::Shl,
+            Token::Shr => BinOp::Shr,
+            Token::Lt => BinOp::Lt,
+            Token::Gt => BinOp::Gt,
+            Token::Le => BinOp::Le,
+            Token::Ge => BinOp::Ge,
+            Token::Eq => BinOp::Eq,
+            Token::Ne => BinOp::Ne,
+            Token::Amp => BinOp::BitAnd,
+            Token::Pipe => BinOp::BitOr,
+            Token::Caret => BinOp::BitXor,
+            Token::AndAnd => BinOp::And,
+            Token::OrOr => BinOp::Or,
+            _ => return None,
+        })
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        while let Some(op) = self.bin_op() {
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.advance();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let op = match self.peek() {
+            Some(Token::Minus) => Some(UnOp::Neg),
+            Some(Token::Not) => Some(UnOp::Not),
+            Some(Token::Star) => Some(UnOp::Deref),
+            Some(Token::Amp) => Some(UnOp::AddrOf),
+            Some(Token::PlusPlus) => Some(UnOp::PreInc),
+            Some(Token::MinusMinus) => Some(UnOp::PreDec),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let expr = self.unary()?;
+            // Fold negated literals so `-386` round-trips as a literal.
+            if op == UnOp::Neg {
+                match expr {
+                    Expr::Int(v) => return Ok(Expr::Int(-v)),
+                    Expr::Float(v) => return Ok(Expr::Float(-v)),
+                    other => {
+                        return Ok(Expr::Unary {
+                            op,
+                            expr: Box::new(other),
+                        })
+                    }
+                }
+            }
+            return Ok(Expr::Unary {
+                op,
+                expr: Box::new(expr),
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        while self.peek() == Some(&Token::LBracket) {
+            self.advance();
+            let idx = self.expr()?;
+            self.expect(&Token::RBracket)?;
+            e = Expr::Index {
+                base: Box::new(e),
+                index: Box::new(idx),
+            };
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.advance() {
+            Some(Token::IntLit(v)) => Ok(Expr::Int(v)),
+            Some(Token::FloatLit(v)) => Ok(Expr::Float(v)),
+            Some(Token::KwTrue) => Ok(Expr::Bool(true)),
+            Some(Token::KwFalse) => Ok(Expr::Bool(false)),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                // Builtin dim3 member access.
+                if matches!(
+                    name.as_str(),
+                    "threadIdx" | "blockIdx" | "blockDim" | "gridDim"
+                ) && self.peek() == Some(&Token::Dot)
+                {
+                    self.advance();
+                    let field = self.ident()?;
+                    let b = match (name.as_str(), field.as_str()) {
+                        ("threadIdx", "x") => Builtin::ThreadIdxX,
+                        ("threadIdx", "y") => Builtin::ThreadIdxY,
+                        ("blockIdx", "x") => Builtin::BlockIdxX,
+                        ("blockIdx", "y") => Builtin::BlockIdxY,
+                        ("blockDim", "x") => Builtin::BlockDimX,
+                        ("blockDim", "y") => Builtin::BlockDimY,
+                        ("gridDim", "x") => Builtin::GridDimX,
+                        (base, f) => {
+                            return Err(
+                                self.error(format!("unknown builtin member `{base}.{f}`"))
+                            )
+                        }
+                    };
+                    return Ok(Expr::Builtin(b));
+                }
+                // Call?
+                if self.peek() == Some(&Token::LParen) {
+                    self.advance();
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Token::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    if name == "__smid" && args.is_empty() {
+                        return Ok(Expr::Builtin(Builtin::SmId));
+                    }
+                    return Ok(Expr::Call { name, args });
+                }
+                Ok(Expr::Ident(name))
+            }
+            Some(t) => Err(ParseError {
+                message: format!("expected expression, found `{t}`"),
+                line: self.tokens[self.pos - 1].line,
+            }),
+            None => Err(self.error("expected expression, found end of input")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_vec_add() {
+        let src = r#"
+            __global__ void vec_add(float* a, float* b, float* c, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) {
+                    c[i] = a[i] + b[i];
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let k = p.function("vec_add").unwrap();
+        assert_eq!(k.kind, FnKind::Global);
+        assert_eq!(k.params.len(), 4);
+        assert_eq!(k.params[0].ty, Type::Float.ptr());
+    }
+
+    #[test]
+    fn parses_launch_statement() {
+        let src = r#"
+            __global__ void k(float* a) { return; }
+            void main_host(float* a, int n) {
+                k<<<n / 256, 256>>>(a);
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let host = p.function("main_host").unwrap();
+        let Stmt::Launch { kernel, args, .. } = &host.body.stmts[0] else {
+            panic!("expected launch");
+        };
+        assert_eq!(kernel, "k");
+        assert_eq!(args.len(), 1);
+    }
+
+    #[test]
+    fn parses_for_loop_with_pre_increment() {
+        let src = r#"
+            void f(int n) {
+                int acc = 0;
+                for (int i = 0; i < n; ++i) {
+                    acc += i;
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let f = p.function("f").unwrap();
+        assert!(matches!(f.body.stmts[1], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn parses_while_true_with_flag_check() {
+        // The Fig. 4(a) skeleton itself must be expressible.
+        let src = r#"
+            __global__ void k(volatile unsigned int* temp_p) {
+                while (true) {
+                    if (*temp_p == 1) return;
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let k = p.function("k").unwrap();
+        assert!(k.params[0].volatile);
+        assert!(k.body.contains_return());
+    }
+
+    #[test]
+    fn parses_smid_intrinsic() {
+        let src = r#"
+            __global__ void k(unsigned int* out) {
+                out[0] = __smid();
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let printed = p.to_string();
+        assert!(printed.contains("__smid()"));
+    }
+
+    #[test]
+    fn parses_shared_declarations() {
+        let src = r#"
+            __global__ void k(float* a) {
+                __shared__ float tile[256];
+                tile[threadIdx.x] = a[threadIdx.x];
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let k = p.function("k").unwrap();
+        let Stmt::Decl {
+            shared, array_len, ..
+        } = &k.body.stmts[0]
+        else {
+            panic!("expected decl");
+        };
+        assert!(shared);
+        assert_eq!(*array_len, Some(256));
+    }
+
+    #[test]
+    fn parses_ternary_and_precedence() {
+        let src = "int f(int a, int b) { return a < b ? a : b; }";
+        let p = parse(src).unwrap();
+        let f = p.function("f").unwrap();
+        assert!(matches!(
+            f.body.stmts[0],
+            Stmt::Return(Some(Expr::Ternary { .. }))
+        ));
+    }
+
+    #[test]
+    fn round_trips_through_printer() {
+        let src = r#"
+            __global__ void k(float* a, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) {
+                    a[i] = a[i] * 2.0f + 1.0f;
+                }
+            }
+        "#;
+        let p1 = parse(src).unwrap();
+        let printed = p1.to_string();
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(p1, p2, "printer output must re-parse to the same AST");
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let src = "void f() {\n    int x = ;\n}";
+        let err = parse(src).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_unknown_builtin_member() {
+        let err = parse("void f() { int a = threadIdx.z; }").unwrap_err();
+        assert!(err.message.contains("threadIdx.z"));
+    }
+
+    #[test]
+    fn parses_unsigned_int_and_bare_unsigned() {
+        let p = parse("void f(unsigned int a, unsigned b) { }").unwrap();
+        let f = p.function("f").unwrap();
+        assert_eq!(f.params[0].ty, Type::Uint);
+        assert_eq!(f.params[1].ty, Type::Uint);
+    }
+
+    #[test]
+    fn parses_atomic_add_call() {
+        let src = r#"
+            __global__ void k(unsigned int* counter) {
+                unsigned int t = atomicAdd(counter, 1);
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert!(p.to_string().contains("atomicAdd(counter, 1)"));
+    }
+
+    #[test]
+    fn single_statement_bodies_promote_to_blocks() {
+        let src = "void f(int n) { if (n > 0) return; while (n > 0) n -= 1; }";
+        let p = parse(src).unwrap();
+        let f = p.function("f").unwrap();
+        assert_eq!(f.body.stmts.len(), 2);
+    }
+}

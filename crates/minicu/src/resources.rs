@@ -1,0 +1,196 @@
+//! Resource estimation: the "linear scan of the compiled kernel code" the
+//! paper uses to derive `max_CTAs_per_SM` (§4.1).
+//!
+//! Real compilers know exact register allocation; a source-level scan can
+//! only estimate. The heuristic here is deliberately simple, deterministic,
+//! and monotone in program size: more live values ⇒ more registers. The
+//! absolute numbers feed the occupancy calculator, where only the resulting
+//! CTAs-per-SM bucket matters.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::{Block, Expr, Function, Stmt, Type};
+use crate::sema::{visit_exprs, visit_stmts};
+
+/// Estimated per-CTA resource usage of a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceEstimate {
+    /// Estimated registers per thread.
+    pub regs_per_thread: u32,
+    /// Static shared memory per CTA in bytes.
+    pub smem_per_cta: u32,
+}
+
+/// Size in bytes of a scalar of the given type, for shared-memory sizing.
+fn scalar_size(ty: &Type) -> u32 {
+    match ty {
+        Type::Void => 0,
+        Type::Bool => 1,
+        Type::Int | Type::Uint | Type::Float => 4,
+        Type::Ptr(_) => 8,
+    }
+}
+
+/// Estimates the register and shared-memory footprint of a kernel body.
+///
+/// The register model: a fixed base for the ABI and address arithmetic,
+/// plus two registers per distinct non-shared local variable, one per
+/// parameter, and one per unit of maximum expression depth (temporaries).
+/// Shared memory: the sum of `__shared__` declaration sizes.
+///
+/// # Example
+///
+/// ```
+/// let src = r#"
+/// __global__ void k(float* a) {
+///     __shared__ float tile[256];
+///     int i = threadIdx.x;
+///     tile[i] = a[i];
+/// }
+/// "#;
+/// let program = flep_minicu::parse(src).unwrap();
+/// let est = flep_minicu::estimate_resources(program.function("k").unwrap());
+/// assert_eq!(est.smem_per_cta, 1024);
+/// assert!(est.regs_per_thread >= 10);
+/// ```
+#[must_use]
+pub fn estimate_resources(kernel: &Function) -> ResourceEstimate {
+    const BASE_REGS: u32 = 10;
+
+    let mut locals: HashSet<String> = HashSet::new();
+    let mut smem: u32 = 0;
+    visit_stmts(&kernel.body, &mut |s| {
+        if let Stmt::Decl {
+            name,
+            ty,
+            shared,
+            array_len,
+            ..
+        } = s
+        {
+            if *shared {
+                let elems = array_len.unwrap_or(1) as u32;
+                smem += scalar_size(ty) * elems;
+            } else {
+                locals.insert(name.clone());
+            }
+        }
+    });
+
+    let depth = max_expr_depth(&kernel.body);
+    let regs = BASE_REGS
+        + kernel.params.len() as u32
+        + 2 * locals.len() as u32
+        + depth;
+
+    ResourceEstimate {
+        regs_per_thread: regs,
+        smem_per_cta: smem,
+    }
+}
+
+fn expr_depth(e: &Expr) -> u32 {
+    match e {
+        Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) | Expr::Ident(_) | Expr::Builtin(_) => 1,
+        Expr::Unary { expr, .. } => 1 + expr_depth(expr),
+        Expr::Binary { lhs, rhs, .. } => 1 + expr_depth(lhs).max(expr_depth(rhs)),
+        Expr::Call { args, .. } => 1 + args.iter().map(expr_depth).max().unwrap_or(0),
+        Expr::Index { base, index } => 1 + expr_depth(base).max(expr_depth(index)),
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            1 + expr_depth(cond)
+                .max(expr_depth(then_expr))
+                .max(expr_depth(else_expr))
+        }
+    }
+}
+
+fn max_expr_depth(block: &Block) -> u32 {
+    let mut depth = 0;
+    visit_exprs(block, &mut |e| depth = depth.max(expr_depth(e)));
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn kernel(src: &str) -> Function {
+        let p = parse(src).unwrap();
+        let k = p.kernels().next().unwrap().clone();
+        k
+    }
+
+    #[test]
+    fn shared_memory_sums_declarations() {
+        let k = kernel(
+            r#"
+            __global__ void k(float* a) {
+                __shared__ float tile_a[128];
+                __shared__ float tile_b[128];
+                __shared__ int counts[32];
+                a[0] = tile_a[0] + tile_b[0];
+            }
+        "#,
+        );
+        let est = estimate_resources(&k);
+        assert_eq!(est.smem_per_cta, 128 * 4 + 128 * 4 + 32 * 4);
+    }
+
+    #[test]
+    fn more_locals_means_more_registers() {
+        let small = kernel("__global__ void k(float* a) { a[0] = 1.0f; }");
+        let big = kernel(
+            r#"
+            __global__ void k(float* a) {
+                float x0 = a[0]; float x1 = a[1]; float x2 = a[2];
+                float x3 = a[3]; float x4 = a[4]; float x5 = a[5];
+                a[0] = x0 + x1 + x2 + x3 + x4 + x5;
+            }
+        "#,
+        );
+        assert!(
+            estimate_resources(&big).regs_per_thread
+                > estimate_resources(&small).regs_per_thread
+        );
+    }
+
+    #[test]
+    fn deeper_expressions_need_more_temporaries() {
+        let shallow = kernel("__global__ void k(float* a) { a[0] = a[1]; }");
+        let deep = kernel(
+            "__global__ void k(float* a) { a[0] = ((a[1] + a[2]) * (a[3] + a[4])) / ((a[5] - a[6]) + 1.0f); }",
+        );
+        assert!(
+            estimate_resources(&deep).regs_per_thread
+                > estimate_resources(&shallow).regs_per_thread
+        );
+    }
+
+    #[test]
+    fn scalar_shared_variable_counts_once() {
+        let k = kernel(
+            r#"
+            __global__ void k(float* a) {
+                __shared__ unsigned int flag;
+                a[0] = 0.0f;
+            }
+        "#,
+        );
+        assert_eq!(estimate_resources(&k).smem_per_cta, 4);
+    }
+
+    #[test]
+    fn estimate_is_deterministic() {
+        let k = kernel(
+            "__global__ void k(float* a, int n) { for (int i = 0; i < n; ++i) a[i] = a[i] * 2.0f; }",
+        );
+        assert_eq!(estimate_resources(&k), estimate_resources(&k));
+    }
+}

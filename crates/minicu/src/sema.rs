@@ -1,0 +1,579 @@
+//! Semantic analysis: kernel/launch discovery and well-formedness checks.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::{Block, Builtin, Expr, FnKind, Program, Stmt, Type};
+
+/// A semantic error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SemaError {
+    /// Two functions share a name.
+    DuplicateFunction(String),
+    /// A `__global__` kernel returns a non-void type.
+    KernelReturnsValue(String),
+    /// A launch refers to a function that does not exist.
+    UnknownKernel {
+        /// The launching host function.
+        host: String,
+        /// The missing kernel name.
+        kernel: String,
+    },
+    /// A launch targets a non-`__global__` function.
+    LaunchTargetNotKernel {
+        /// The launching host function.
+        host: String,
+        /// The non-kernel target.
+        kernel: String,
+    },
+    /// A launch passes the wrong number of arguments.
+    LaunchArityMismatch {
+        /// The kernel.
+        kernel: String,
+        /// Arguments at the launch site.
+        given: usize,
+        /// Parameters the kernel declares.
+        expected: usize,
+    },
+    /// Device-only syntax (builtins, `__shared__`) used in host code.
+    DeviceSyntaxInHost {
+        /// The offending host function.
+        host: String,
+        /// What was used.
+        what: String,
+    },
+    /// A kernel launch appears inside device code.
+    LaunchInDeviceCode(String),
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemaError::DuplicateFunction(name) => {
+                write!(f, "duplicate function definition `{name}`")
+            }
+            SemaError::KernelReturnsValue(name) => {
+                write!(f, "kernel `{name}` must return void")
+            }
+            SemaError::UnknownKernel { host, kernel } => {
+                write!(f, "`{host}` launches unknown kernel `{kernel}`")
+            }
+            SemaError::LaunchTargetNotKernel { host, kernel } => {
+                write!(f, "`{host}` launches `{kernel}` which is not __global__")
+            }
+            SemaError::LaunchArityMismatch {
+                kernel,
+                given,
+                expected,
+            } => write!(
+                f,
+                "launch of `{kernel}` passes {given} arguments, kernel declares {expected}"
+            ),
+            SemaError::DeviceSyntaxInHost { host, what } => {
+                write!(f, "host function `{host}` uses device-only {what}")
+            }
+            SemaError::LaunchInDeviceCode(name) => {
+                write!(f, "device function `{name}` contains a kernel launch")
+            }
+        }
+    }
+}
+
+impl Error for SemaError {}
+
+/// Summary of one kernel, as used by the compilation engine and workloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelInfo {
+    /// Kernel name.
+    pub name: String,
+    /// Number of parameters.
+    pub num_params: usize,
+    /// Whether the kernel reads `%smid` (needed for spatial preemption).
+    pub uses_smid: bool,
+    /// Whether the body contains a loop (affects transform strategy notes;
+    /// the paper highlights VA's loop-free 6-line kernel).
+    pub has_loop: bool,
+    /// Statement count, a proxy for the paper's lines-of-code column.
+    pub body_statements: usize,
+}
+
+/// Summary of one launch site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaunchInfo {
+    /// The host function containing the launch.
+    pub host: String,
+    /// The launched kernel.
+    pub kernel: String,
+    /// Number of arguments passed.
+    pub num_args: usize,
+    /// Whether the grid dimension is a compile-time constant.
+    pub const_grid: Option<i64>,
+    /// Whether the block dimension is a compile-time constant.
+    pub const_block: Option<i64>,
+}
+
+/// The result of semantic analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramInfo {
+    /// Kernels defined in the program.
+    pub kernels: Vec<KernelInfo>,
+    /// Launch sites found in host functions.
+    pub launches: Vec<LaunchInfo>,
+}
+
+impl ProgramInfo {
+    /// Looks up a kernel summary by name.
+    #[must_use]
+    pub fn kernel(&self, name: &str) -> Option<&KernelInfo> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+}
+
+/// Analyzes a program, returning summaries or the first semantic error.
+///
+/// # Errors
+///
+/// Returns a [`SemaError`] for duplicate functions, non-void kernels,
+/// launches of unknown/non-kernel functions, arity mismatches, device
+/// syntax in host code, or launches inside device code.
+///
+/// # Example
+///
+/// ```
+/// let src = r#"
+/// __global__ void k(float* a, int n) { a[0] = 1.0f; }
+/// void host_main(float* a, int n) { k<<<n / 256, 256>>>(a, n); }
+/// "#;
+/// let program = flep_minicu::parse(src).unwrap();
+/// let info = flep_minicu::analyze(&program).unwrap();
+/// assert_eq!(info.kernels.len(), 1);
+/// assert_eq!(info.launches[0].const_block, Some(256));
+/// ```
+pub fn analyze(program: &Program) -> Result<ProgramInfo, SemaError> {
+    let mut names = HashSet::new();
+    for f in &program.functions {
+        if !names.insert(f.name.clone()) {
+            return Err(SemaError::DuplicateFunction(f.name.clone()));
+        }
+    }
+
+    let mut kernels = Vec::new();
+    let mut launches = Vec::new();
+
+    for f in &program.functions {
+        match f.kind {
+            FnKind::Global => {
+                if f.ret != Type::Void {
+                    return Err(SemaError::KernelReturnsValue(f.name.clone()));
+                }
+                if block_has_launch(&f.body) {
+                    return Err(SemaError::LaunchInDeviceCode(f.name.clone()));
+                }
+                kernels.push(KernelInfo {
+                    name: f.name.clone(),
+                    num_params: f.params.len(),
+                    uses_smid: block_uses_builtin(&f.body, Builtin::SmId),
+                    has_loop: block_has_loop(&f.body),
+                    body_statements: count_statements(&f.body),
+                });
+            }
+            FnKind::Device => {
+                if block_has_launch(&f.body) {
+                    return Err(SemaError::LaunchInDeviceCode(f.name.clone()));
+                }
+            }
+            FnKind::Host => {
+                if let Some(what) = host_device_syntax(&f.body) {
+                    return Err(SemaError::DeviceSyntaxInHost {
+                        host: f.name.clone(),
+                        what,
+                    });
+                }
+                collect_launches(&f.body, &f.name, &mut launches);
+            }
+        }
+    }
+
+    for launch in &launches {
+        let Some(target) = program.function(&launch.kernel) else {
+            return Err(SemaError::UnknownKernel {
+                host: launch.host.clone(),
+                kernel: launch.kernel.clone(),
+            });
+        };
+        if target.kind != FnKind::Global {
+            return Err(SemaError::LaunchTargetNotKernel {
+                host: launch.host.clone(),
+                kernel: launch.kernel.clone(),
+            });
+        }
+        if target.params.len() != launch.num_args {
+            return Err(SemaError::LaunchArityMismatch {
+                kernel: launch.kernel.clone(),
+                given: launch.num_args,
+                expected: target.params.len(),
+            });
+        }
+    }
+
+    Ok(ProgramInfo { kernels, launches })
+}
+
+/// Attempts constant folding of an expression to an integer.
+#[must_use]
+pub fn const_eval(e: &Expr) -> Option<i64> {
+    use crate::ast::BinOp;
+    match e {
+        Expr::Int(v) => Some(*v),
+        Expr::Binary { op, lhs, rhs } => {
+            let l = const_eval(lhs)?;
+            let r = const_eval(rhs)?;
+            Some(match op {
+                BinOp::Add => l + r,
+                BinOp::Sub => l - r,
+                BinOp::Mul => l * r,
+                BinOp::Div => {
+                    if r == 0 {
+                        return None;
+                    }
+                    l / r
+                }
+                BinOp::Rem => {
+                    if r == 0 {
+                        return None;
+                    }
+                    l % r
+                }
+                BinOp::Shl => l << (r & 63),
+                BinOp::Shr => l >> (r & 63),
+                _ => return None,
+            })
+        }
+        _ => None,
+    }
+}
+
+fn collect_launches(block: &Block, host: &str, out: &mut Vec<LaunchInfo>) {
+    visit_stmts(block, &mut |s| {
+        if let Stmt::Launch {
+            kernel,
+            grid,
+            block,
+            args,
+        } = s
+        {
+            out.push(LaunchInfo {
+                host: host.to_string(),
+                kernel: kernel.clone(),
+                num_args: args.len(),
+                const_grid: const_eval(grid),
+                const_block: const_eval(block),
+            });
+        }
+    });
+}
+
+fn block_has_launch(block: &Block) -> bool {
+    let mut found = false;
+    visit_stmts(block, &mut |s| {
+        if matches!(s, Stmt::Launch { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn block_has_loop(block: &Block) -> bool {
+    let mut found = false;
+    visit_stmts(block, &mut |s| {
+        if matches!(s, Stmt::While { .. } | Stmt::For { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn count_statements(block: &Block) -> usize {
+    let mut n = 0;
+    visit_stmts(block, &mut |_| n += 1);
+    n
+}
+
+fn block_uses_builtin(block: &Block, b: Builtin) -> bool {
+    let mut found = false;
+    visit_exprs(block, &mut |e| {
+        if matches!(e, Expr::Builtin(x) if *x == b) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Which device-only syntax a host function uses, if any.
+fn host_device_syntax(block: &Block) -> Option<String> {
+    let mut shared = false;
+    visit_stmts(block, &mut |s| {
+        if matches!(s, Stmt::Decl { shared: true, .. }) {
+            shared = true;
+        }
+    });
+    if shared {
+        return Some("__shared__ declaration".to_string());
+    }
+    let mut builtin: Option<Builtin> = None;
+    visit_exprs(block, &mut |e| {
+        if let Expr::Builtin(b) = e {
+            builtin.get_or_insert(*b);
+        }
+    });
+    builtin.map(|b| format!("builtin `{}`", b.as_str()))
+}
+
+/// Depth-first statement visitor.
+pub fn visit_stmts(block: &Block, f: &mut impl FnMut(&Stmt)) {
+    for s in &block.stmts {
+        f(s);
+        match s {
+            Stmt::If {
+                then_block,
+                else_block,
+                ..
+            } => {
+                visit_stmts(then_block, f);
+                if let Some(e) = else_block {
+                    visit_stmts(e, f);
+                }
+            }
+            Stmt::While { body, .. } => visit_stmts(body, f),
+            Stmt::For {
+                init, step, body, ..
+            } => {
+                if let Some(s) = init {
+                    f(s);
+                }
+                if let Some(s) = step {
+                    f(s);
+                }
+                visit_stmts(body, f);
+            }
+            Stmt::Block(b) => visit_stmts(b, f),
+            _ => {}
+        }
+    }
+}
+
+/// Depth-first expression visitor over all statements of a block.
+pub fn visit_exprs(block: &Block, f: &mut impl FnMut(&Expr)) {
+    visit_stmts(block, &mut |s| {
+        match s {
+            Stmt::Decl { init: Some(e), .. } => walk_expr(e, f),
+            Stmt::Expr(e) => walk_expr(e, f),
+            Stmt::Assign { target, value, .. } => {
+                walk_expr(target, f);
+                walk_expr(value, f);
+            }
+            Stmt::If { cond, .. } | Stmt::While { cond, .. } => walk_expr(cond, f),
+            Stmt::For { cond: Some(c), .. } => walk_expr(c, f),
+            Stmt::Return(Some(e)) => walk_expr(e, f),
+            Stmt::Launch {
+                grid, block, args, ..
+            } => {
+                walk_expr(grid, f);
+                walk_expr(block, f);
+                for a in args {
+                    walk_expr(a, f);
+                }
+            }
+            _ => {}
+        };
+    });
+}
+
+fn walk_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(e);
+    match e {
+        Expr::Unary { expr, .. } => walk_expr(expr, f),
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Index { base, index } => {
+            walk_expr(base, f);
+            walk_expr(index, f);
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            walk_expr(cond, f);
+            walk_expr(then_expr, f);
+            walk_expr(else_expr, f);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn analyzes_simple_program() {
+        let p = parse(
+            r#"
+            __global__ void k(float* a, int n) {
+                int i = blockIdx.x;
+                if (i < n) a[i] = 0.0f;
+            }
+            void host_main(float* a, int n) {
+                k<<<n / 256 + 1, 256>>>(a, n);
+            }
+        "#,
+        )
+        .unwrap();
+        let info = analyze(&p).unwrap();
+        assert_eq!(info.kernels.len(), 1);
+        assert!(!info.kernels[0].uses_smid);
+        assert!(!info.kernels[0].has_loop);
+        assert_eq!(info.launches.len(), 1);
+        assert_eq!(info.launches[0].const_block, Some(256));
+        assert_eq!(info.launches[0].const_grid, None);
+    }
+
+    #[test]
+    fn detects_smid_and_loops() {
+        let p = parse(
+            r#"
+            __global__ void k(unsigned int* out) {
+                while (true) {
+                    out[0] = __smid();
+                    break;
+                }
+            }
+        "#,
+        )
+        .unwrap();
+        let info = analyze(&p).unwrap();
+        assert!(info.kernels[0].uses_smid);
+        assert!(info.kernels[0].has_loop);
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        let p = parse("void f() { } void f() { }").unwrap();
+        assert_eq!(
+            analyze(&p).unwrap_err(),
+            SemaError::DuplicateFunction("f".into())
+        );
+    }
+
+    #[test]
+    fn non_void_kernel_rejected() {
+        let p = parse("__global__ int k() { return 1; }").unwrap();
+        assert!(matches!(
+            analyze(&p).unwrap_err(),
+            SemaError::KernelReturnsValue(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_kernel_launch_rejected() {
+        let p = parse("void h() { nope<<<1, 1>>>(); }").unwrap();
+        assert!(matches!(
+            analyze(&p).unwrap_err(),
+            SemaError::UnknownKernel { .. }
+        ));
+    }
+
+    #[test]
+    fn launching_host_function_rejected() {
+        let p = parse("void g() { } void h() { g<<<1, 1>>>(); }").unwrap();
+        assert!(matches!(
+            analyze(&p).unwrap_err(),
+            SemaError::LaunchTargetNotKernel { .. }
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let p = parse(
+            "__global__ void k(int a, int b) { } void h() { k<<<1, 1>>>(1); }",
+        )
+        .unwrap();
+        assert_eq!(
+            analyze(&p).unwrap_err(),
+            SemaError::LaunchArityMismatch {
+                kernel: "k".into(),
+                given: 1,
+                expected: 2
+            }
+        );
+    }
+
+    #[test]
+    fn host_using_thread_idx_rejected() {
+        let p = parse("void h() { int i = threadIdx.x; }").unwrap();
+        assert!(matches!(
+            analyze(&p).unwrap_err(),
+            SemaError::DeviceSyntaxInHost { .. }
+        ));
+    }
+
+    #[test]
+    fn launch_in_kernel_rejected() {
+        let p = parse(
+            "__global__ void inner() { } __global__ void k() { inner<<<1, 1>>>(); }",
+        )
+        .unwrap();
+        assert!(matches!(
+            analyze(&p).unwrap_err(),
+            SemaError::LaunchInDeviceCode(_)
+        ));
+    }
+
+    #[test]
+    fn const_eval_folds_arithmetic() {
+        let p = parse("void h(float* a) { } __global__ void k(float* a) { }").unwrap();
+        drop(p);
+        use crate::ast::BinOp;
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Mul, Expr::Int(4), Expr::Int(8)),
+            Expr::Int(1),
+        );
+        assert_eq!(const_eval(&e), Some(33));
+        assert_eq!(const_eval(&Expr::ident("n")), None);
+        assert_eq!(
+            const_eval(&Expr::bin(BinOp::Div, Expr::Int(1), Expr::Int(0))),
+            None
+        );
+    }
+
+    #[test]
+    fn statement_count_matches_structure() {
+        let p = parse(
+            r#"
+            __global__ void k(int n) {
+                int a = 0;
+                for (int i = 0; i < n; ++i) {
+                    a += i;
+                }
+            }
+        "#,
+        )
+        .unwrap();
+        let info = analyze(&p).unwrap();
+        // decl, for, for-init, for-step, body-assign.
+        assert_eq!(info.kernels[0].body_statements, 5);
+    }
+}

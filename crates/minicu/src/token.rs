@@ -1,0 +1,561 @@
+//! Tokens and the lexer for mini-CU.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Token {
+    /// An identifier or non-keyword word.
+    Ident(String),
+    /// An integer literal (decimal or hex), value and `u` suffix flag.
+    IntLit(i64),
+    /// A floating-point literal.
+    FloatLit(f64),
+
+    // Keywords.
+    /// `void`
+    KwVoid,
+    /// `int`
+    KwInt,
+    /// `unsigned`
+    KwUnsigned,
+    /// `float`
+    KwFloat,
+    /// `bool`
+    KwBool,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `for`
+    KwFor,
+    /// `return`
+    KwReturn,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+    /// `true`
+    KwTrue,
+    /// `false`
+    KwFalse,
+    /// `__global__`
+    KwGlobal,
+    /// `__device__`
+    KwDevice,
+    /// `__shared__`
+    KwShared,
+    /// `volatile`
+    KwVolatile,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `<<<`
+    LaunchOpen,
+    /// `>>>`
+    LaunchClose,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `/=`
+    SlashAssign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::IntLit(v) => write!(f, "{v}"),
+            Token::FloatLit(v) => write!(f, "{v}"),
+            other => {
+                let s = match other {
+                    Token::KwVoid => "void",
+                    Token::KwInt => "int",
+                    Token::KwUnsigned => "unsigned",
+                    Token::KwFloat => "float",
+                    Token::KwBool => "bool",
+                    Token::KwIf => "if",
+                    Token::KwElse => "else",
+                    Token::KwWhile => "while",
+                    Token::KwFor => "for",
+                    Token::KwReturn => "return",
+                    Token::KwBreak => "break",
+                    Token::KwContinue => "continue",
+                    Token::KwTrue => "true",
+                    Token::KwFalse => "false",
+                    Token::KwGlobal => "__global__",
+                    Token::KwDevice => "__device__",
+                    Token::KwShared => "__shared__",
+                    Token::KwVolatile => "volatile",
+                    Token::LParen => "(",
+                    Token::RParen => ")",
+                    Token::LBrace => "{",
+                    Token::RBrace => "}",
+                    Token::LBracket => "[",
+                    Token::RBracket => "]",
+                    Token::Semi => ";",
+                    Token::Comma => ",",
+                    Token::LaunchOpen => "<<<",
+                    Token::LaunchClose => ">>>",
+                    Token::Plus => "+",
+                    Token::Minus => "-",
+                    Token::Star => "*",
+                    Token::Slash => "/",
+                    Token::Percent => "%",
+                    Token::Assign => "=",
+                    Token::PlusAssign => "+=",
+                    Token::MinusAssign => "-=",
+                    Token::StarAssign => "*=",
+                    Token::SlashAssign => "/=",
+                    Token::Eq => "==",
+                    Token::Ne => "!=",
+                    Token::Lt => "<",
+                    Token::Gt => ">",
+                    Token::Le => "<=",
+                    Token::Ge => ">=",
+                    Token::AndAnd => "&&",
+                    Token::OrOr => "||",
+                    Token::Not => "!",
+                    Token::Amp => "&",
+                    Token::Pipe => "|",
+                    Token::Caret => "^",
+                    Token::Shl => "<<",
+                    Token::Shr => ">>",
+                    Token::PlusPlus => "++",
+                    Token::MinusMinus => "--",
+                    Token::Question => "?",
+                    Token::Colon => ":",
+                    Token::Dot => ".",
+                    _ => unreachable!(),
+                };
+                f.write_str(s)
+            }
+        }
+    }
+}
+
+/// A token paired with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for LexError {}
+
+/// Tokenizes mini-CU source.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unrecognized characters or malformed numeric
+/// literals.
+///
+/// # Example
+///
+/// ```
+/// use flep_minicu::lex;
+/// let toks = lex("__global__ void k() { }").unwrap();
+/// assert_eq!(toks.len(), 7);
+/// ```
+pub fn lex(src: &str) -> Result<Vec<SpannedToken>, LexError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let err = |msg: String, line: u32| LexError { message: msg, line };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == '/' {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == '*' {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= bytes.len() {
+                    return Err(err("unterminated block comment".into(), line));
+                }
+                i += 2;
+                continue;
+            }
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            let word: String = bytes[start..i].iter().collect();
+            let tok = match word.as_str() {
+                "void" => Token::KwVoid,
+                "int" => Token::KwInt,
+                "unsigned" => Token::KwUnsigned,
+                "float" => Token::KwFloat,
+                "bool" => Token::KwBool,
+                "if" => Token::KwIf,
+                "else" => Token::KwElse,
+                "while" => Token::KwWhile,
+                "for" => Token::KwFor,
+                "return" => Token::KwReturn,
+                "break" => Token::KwBreak,
+                "continue" => Token::KwContinue,
+                "true" => Token::KwTrue,
+                "false" => Token::KwFalse,
+                "__global__" => Token::KwGlobal,
+                "__device__" => Token::KwDevice,
+                "__shared__" => Token::KwShared,
+                "volatile" => Token::KwVolatile,
+                _ => Token::Ident(word),
+            };
+            out.push(SpannedToken { token: tok, line });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] == 'x' || bytes[i + 1] == 'X') {
+                i += 2;
+                while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                    i += 1;
+                }
+                let text: String = bytes[start + 2..i].iter().collect();
+                let v = i64::from_str_radix(&text, 16)
+                    .map_err(|e| err(format!("bad hex literal: {e}"), line))?;
+                // Optional u/U suffix.
+                if i < bytes.len() && (bytes[i] == 'u' || bytes[i] == 'U') {
+                    i += 1;
+                }
+                out.push(SpannedToken {
+                    token: Token::IntLit(v),
+                    line,
+                });
+                continue;
+            }
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()
+            {
+                is_float = true;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < bytes.len() && (bytes[i] == 'e' || bytes[i] == 'E') {
+                is_float = true;
+                i += 1;
+                if i < bytes.len() && (bytes[i] == '+' || bytes[i] == '-') {
+                    i += 1;
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            let mut text: String = bytes[start..i].iter().collect();
+            if i < bytes.len() && (bytes[i] == 'f' || bytes[i] == 'F') {
+                is_float = true;
+                i += 1;
+            } else if i < bytes.len() && (bytes[i] == 'u' || bytes[i] == 'U') {
+                i += 1;
+            }
+            if is_float {
+                if text.ends_with('f') || text.ends_with('F') {
+                    text.pop();
+                }
+                let v: f64 = text
+                    .parse()
+                    .map_err(|e| err(format!("bad float literal `{text}`: {e}"), line))?;
+                out.push(SpannedToken {
+                    token: Token::FloatLit(v),
+                    line,
+                });
+            } else {
+                let v: i64 = text
+                    .parse()
+                    .map_err(|e| err(format!("bad int literal `{text}`: {e}"), line))?;
+                out.push(SpannedToken {
+                    token: Token::IntLit(v),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Operators / punctuation (longest match first).
+        let three: String = bytes[i..bytes.len().min(i + 3)].iter().collect();
+        if three == "<<<" {
+            out.push(SpannedToken {
+                token: Token::LaunchOpen,
+                line,
+            });
+            i += 3;
+            continue;
+        }
+        if three == ">>>" {
+            out.push(SpannedToken {
+                token: Token::LaunchClose,
+                line,
+            });
+            i += 3;
+            continue;
+        }
+        let two: String = bytes[i..bytes.len().min(i + 2)].iter().collect();
+        let two_tok = match two.as_str() {
+            "+=" => Some(Token::PlusAssign),
+            "-=" => Some(Token::MinusAssign),
+            "*=" => Some(Token::StarAssign),
+            "/=" => Some(Token::SlashAssign),
+            "==" => Some(Token::Eq),
+            "!=" => Some(Token::Ne),
+            "<=" => Some(Token::Le),
+            ">=" => Some(Token::Ge),
+            "&&" => Some(Token::AndAnd),
+            "||" => Some(Token::OrOr),
+            "<<" => Some(Token::Shl),
+            ">>" => Some(Token::Shr),
+            "++" => Some(Token::PlusPlus),
+            "--" => Some(Token::MinusMinus),
+            _ => None,
+        };
+        if let Some(tok) = two_tok {
+            out.push(SpannedToken { token: tok, line });
+            i += 2;
+            continue;
+        }
+        let one_tok = match c {
+            '(' => Token::LParen,
+            ')' => Token::RParen,
+            '{' => Token::LBrace,
+            '}' => Token::RBrace,
+            '[' => Token::LBracket,
+            ']' => Token::RBracket,
+            ';' => Token::Semi,
+            ',' => Token::Comma,
+            '+' => Token::Plus,
+            '-' => Token::Minus,
+            '*' => Token::Star,
+            '/' => Token::Slash,
+            '%' => Token::Percent,
+            '=' => Token::Assign,
+            '<' => Token::Lt,
+            '>' => Token::Gt,
+            '!' => Token::Not,
+            '&' => Token::Amp,
+            '|' => Token::Pipe,
+            '^' => Token::Caret,
+            '?' => Token::Question,
+            ':' => Token::Colon,
+            '.' => Token::Dot,
+            other => return Err(err(format!("unexpected character `{other}`"), line)),
+        };
+        out.push(SpannedToken { token: one_tok, line });
+        i += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("__global__ void foo"),
+            vec![Token::KwGlobal, Token::KwVoid, Token::Ident("foo".into())]
+        );
+    }
+
+    #[test]
+    fn lexes_launch_brackets_vs_shifts() {
+        assert_eq!(kinds("<<<"), vec![Token::LaunchOpen]);
+        assert_eq!(kinds(">>>"), vec![Token::LaunchClose]);
+        assert_eq!(kinds("a << b"), vec![
+            Token::Ident("a".into()),
+            Token::Shl,
+            Token::Ident("b".into())
+        ]);
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42"), vec![Token::IntLit(42)]);
+        assert_eq!(kinds("42u"), vec![Token::IntLit(42)]);
+        assert_eq!(kinds("0x1F"), vec![Token::IntLit(31)]);
+        assert_eq!(kinds("3.5"), vec![Token::FloatLit(3.5)]);
+        assert_eq!(kinds("1.0f"), vec![Token::FloatLit(1.0)]);
+        assert_eq!(kinds("2e3"), vec![Token::FloatLit(2000.0)]);
+    }
+
+    #[test]
+    fn skips_comments() {
+        let toks = kinds("a // comment\n b /* multi\nline */ c");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Ident("c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_chars() {
+        let e = lex("a @ b").unwrap_err();
+        assert!(e.message.contains('@'));
+    }
+
+    #[test]
+    fn compound_assignment_ops() {
+        assert_eq!(
+            kinds("+= -= *= /="),
+            vec![
+                Token::PlusAssign,
+                Token::MinusAssign,
+                Token::StarAssign,
+                Token::SlashAssign
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_member_access() {
+        assert_eq!(
+            kinds("threadIdx.x"),
+            vec![
+                Token::Ident("threadIdx".into()),
+                Token::Dot,
+                Token::Ident("x".into())
+            ]
+        );
+    }
+}

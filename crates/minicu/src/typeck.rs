@@ -1,0 +1,895 @@
+//! Type checking for mini-CU.
+//!
+//! A pragmatic C-style checker: numeric types (`int`, `unsigned int`,
+//! `float`) coerce freely among themselves (as the CUDA sources this
+//! models do implicitly), `bool` participates in conditions together with
+//! the numeric types, and pointers are strict — only dereference, index,
+//! and pointer-typed argument passing are allowed, with exact pointee
+//! match.
+//!
+//! Device code (kernels and `__device__` functions) may only call
+//! functions defined in the translation unit or the device built-ins
+//! ([`DEVICE_BUILTINS`]). Host code additionally knows the FLEP runtime
+//! ABI the compilation engine's generated code targets (`flep_request`,
+//! `flep_flag_ptr`, ...), and may call other unknown external functions,
+//! whose arguments are checked individually and whose return type is
+//! treated as an unconstrained scalar.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::{
+    AssignOp, BinOp, Block, Builtin, Expr, FnKind, Function, Program, Stmt, Type, UnOp,
+};
+
+/// Device-side built-in function names recognized by the type checker
+/// (their signatures are enforced inline; `atomicAdd` additionally accepts
+/// any scalar pointer as its first argument).
+pub const DEVICE_BUILTINS: [&str; 6] = [
+    "__syncthreads",
+    "atomicAdd",
+    "sqrtf",
+    "fabsf",
+    "min",
+    "max",
+];
+
+/// A type-checking error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeError {
+    /// Use of a variable with no visible declaration.
+    UndefinedVariable {
+        /// The function being checked.
+        function: String,
+        /// The variable name.
+        name: String,
+    },
+    /// A declaration shadows another in the same scope.
+    DuplicateDeclaration {
+        /// The function being checked.
+        function: String,
+        /// The re-declared name.
+        name: String,
+    },
+    /// Device code calls a function that is neither defined nor a device
+    /// built-in.
+    UnknownDeviceFunction {
+        /// The calling function.
+        function: String,
+        /// The callee.
+        callee: String,
+    },
+    /// A call passes the wrong number of arguments.
+    ArityMismatch {
+        /// The callee.
+        callee: String,
+        /// Arguments supplied.
+        given: usize,
+        /// Parameters expected.
+        expected: usize,
+    },
+    /// Two types that cannot be combined or converted.
+    Mismatch {
+        /// The function being checked.
+        function: String,
+        /// What was being typed (diagnostic label).
+        context: String,
+        /// The expected type (or type family).
+        expected: String,
+        /// The found type.
+        found: Type,
+    },
+    /// Assignment target is not an lvalue.
+    NotAnLvalue {
+        /// The function being checked.
+        function: String,
+    },
+    /// `return <value>` in a void function or plain `return` in a non-void
+    /// one.
+    BadReturn {
+        /// The function being checked.
+        function: String,
+        /// The declared return type.
+        declared: Type,
+        /// Whether a value was supplied.
+        has_value: bool,
+    },
+    /// `break`/`continue` outside a loop.
+    OutsideLoop {
+        /// The function being checked.
+        function: String,
+        /// `"break"` or `"continue"`.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UndefinedVariable { function, name } => {
+                write!(f, "in `{function}`: use of undefined variable `{name}`")
+            }
+            TypeError::DuplicateDeclaration { function, name } => {
+                write!(f, "in `{function}`: duplicate declaration of `{name}`")
+            }
+            TypeError::UnknownDeviceFunction { function, callee } => write!(
+                f,
+                "in `{function}`: device code calls unknown function `{callee}`"
+            ),
+            TypeError::ArityMismatch {
+                callee,
+                given,
+                expected,
+            } => write!(
+                f,
+                "call to `{callee}` passes {given} arguments, expected {expected}"
+            ),
+            TypeError::Mismatch {
+                function,
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "in `{function}`: {context}: expected {expected}, found `{found}`"
+            ),
+            TypeError::NotAnLvalue { function } => {
+                write!(f, "in `{function}`: assignment target is not an lvalue")
+            }
+            TypeError::BadReturn {
+                function,
+                declared,
+                has_value,
+            } => {
+                if *has_value {
+                    write!(f, "in `{function}`: returning a value from a `{declared}` function")
+                } else {
+                    write!(f, "in `{function}`: `return;` in a function returning `{declared}`")
+                }
+            }
+            TypeError::OutsideLoop { function, what } => {
+                write!(f, "in `{function}`: `{what}` outside a loop")
+            }
+        }
+    }
+}
+
+impl Error for TypeError {}
+
+/// Type-checks a whole translation unit.
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] found.
+///
+/// # Example
+///
+/// ```
+/// let good = flep_minicu::parse(
+///     "__global__ void k(float* a, int n) { if (blockIdx.x < n) { a[blockIdx.x] = 1.0f; } }",
+/// )
+/// .unwrap();
+/// flep_minicu::type_check(&good).unwrap();
+///
+/// let bad = flep_minicu::parse("__global__ void k(float* a) { a[0] = missing; }").unwrap();
+/// assert!(flep_minicu::type_check(&bad).is_err());
+/// ```
+pub fn type_check(program: &Program) -> Result<(), TypeError> {
+    let signatures: HashMap<&str, &Function> = program
+        .functions
+        .iter()
+        .map(|f| (f.name.as_str(), f))
+        .collect();
+    for f in &program.functions {
+        let mut checker = Checker {
+            program_fns: &signatures,
+            function: f,
+            scopes: vec![HashMap::new()],
+            loop_depth: 0,
+        };
+        for p in &f.params {
+            checker.declare(&p.name, p.ty.clone())?;
+        }
+        checker.check_block(&f.body, false)?;
+    }
+    Ok(())
+}
+
+struct Checker<'a> {
+    program_fns: &'a HashMap<&'a str, &'a Function>,
+    function: &'a Function,
+    scopes: Vec<HashMap<String, Type>>,
+    loop_depth: u32,
+}
+
+impl<'a> Checker<'a> {
+    fn fname(&self) -> String {
+        self.function.name.clone()
+    }
+
+    fn is_device_code(&self) -> bool {
+        matches!(self.function.kind, FnKind::Global | FnKind::Device)
+    }
+
+    fn declare(&mut self, name: &str, ty: Type) -> Result<(), TypeError> {
+        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        if scope.contains_key(name) {
+            return Err(TypeError::DuplicateDeclaration {
+                function: self.fname(),
+                name: name.to_string(),
+            });
+        }
+        scope.insert(name.to_string(), ty);
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Type> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn numeric(&self, ty: &Type, context: &str) -> Result<(), TypeError> {
+        match ty {
+            Type::Int | Type::Uint | Type::Float | Type::Bool => Ok(()),
+            other => Err(TypeError::Mismatch {
+                function: self.fname(),
+                context: context.to_string(),
+                expected: "a numeric type".to_string(),
+                found: other.clone(),
+            }),
+        }
+    }
+
+    /// Whether `from` implicitly converts to `to` (C-style numeric
+    /// coercion; exact match for pointers).
+    fn coercible(from: &Type, to: &Type) -> bool {
+        use Type::{Bool, Float, Int, Uint};
+        match (from, to) {
+            (a, b) if a == b => true,
+            (Int | Uint | Float | Bool, Int | Uint | Float | Bool) => true,
+            _ => false,
+        }
+    }
+
+    fn expect_coercible(&self, from: &Type, to: &Type, context: &str) -> Result<(), TypeError> {
+        if Self::coercible(from, to) {
+            Ok(())
+        } else {
+            Err(TypeError::Mismatch {
+                function: self.fname(),
+                context: context.to_string(),
+                expected: format!("`{to}`"),
+                found: from.clone(),
+            })
+        }
+    }
+
+    fn is_lvalue(e: &Expr) -> bool {
+        matches!(
+            e,
+            Expr::Ident(_)
+                | Expr::Index { .. }
+                | Expr::Unary {
+                    op: UnOp::Deref,
+                    ..
+                }
+        )
+    }
+
+    // -- Expressions ------------------------------------------------------
+
+    fn type_of(&self, e: &Expr) -> Result<Type, TypeError> {
+        match e {
+            Expr::Int(_) => Ok(Type::Int),
+            Expr::Float(_) => Ok(Type::Float),
+            Expr::Bool(_) => Ok(Type::Bool),
+            Expr::Builtin(b) => Ok(match b {
+                Builtin::SmId => Type::Uint,
+                _ => Type::Uint,
+            }),
+            Expr::Ident(name) => self.lookup(name).cloned().ok_or_else(|| {
+                TypeError::UndefinedVariable {
+                    function: self.fname(),
+                    name: name.clone(),
+                }
+            }),
+            Expr::Unary { op, expr } => {
+                let inner = self.type_of(expr)?;
+                match op {
+                    UnOp::Neg | UnOp::PreInc | UnOp::PreDec => {
+                        self.numeric(&inner, "unary arithmetic operand")?;
+                        Ok(inner)
+                    }
+                    UnOp::Not => {
+                        self.numeric(&inner, "logical-not operand")?;
+                        Ok(Type::Bool)
+                    }
+                    UnOp::Deref => match inner {
+                        Type::Ptr(pointee) => Ok(*pointee),
+                        other => Err(TypeError::Mismatch {
+                            function: self.fname(),
+                            context: "dereference".to_string(),
+                            expected: "a pointer".to_string(),
+                            found: other,
+                        }),
+                    },
+                    UnOp::AddrOf => Ok(inner.ptr()),
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let lt = self.type_of(lhs)?;
+                let rt = self.type_of(rhs)?;
+                match op {
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
+                        // Pointer arithmetic: ptr +/- integer.
+                        if let Type::Ptr(_) = lt {
+                            if matches!(op, BinOp::Add | BinOp::Sub) {
+                                self.numeric(&rt, "pointer-arithmetic offset")?;
+                                return Ok(lt);
+                            }
+                        }
+                        self.numeric(&lt, "arithmetic operand")?;
+                        self.numeric(&rt, "arithmetic operand")?;
+                        // Result: float wins; otherwise int-family.
+                        Ok(if lt == Type::Float || rt == Type::Float {
+                            Type::Float
+                        } else if lt == Type::Uint || rt == Type::Uint {
+                            Type::Uint
+                        } else {
+                            Type::Int
+                        })
+                    }
+                    BinOp::Shl | BinOp::Shr | BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor => {
+                        for (t, side) in [(&lt, "left"), (&rt, "right")] {
+                            if matches!(t, Type::Float | Type::Ptr(_)) {
+                                return Err(TypeError::Mismatch {
+                                    function: self.fname(),
+                                    context: format!("{side} operand of bitwise `{}`", op.as_str()),
+                                    expected: "an integer".to_string(),
+                                    found: (*t).clone(),
+                                });
+                            }
+                        }
+                        Ok(if lt == Type::Uint || rt == Type::Uint {
+                            Type::Uint
+                        } else {
+                            Type::Int
+                        })
+                    }
+                    BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne => {
+                        // Comparable: both numeric, or identical pointers.
+                        let ok = Self::coercible(&lt, &rt) || lt == rt;
+                        if !ok {
+                            return Err(TypeError::Mismatch {
+                                function: self.fname(),
+                                context: format!("comparison `{}`", op.as_str()),
+                                expected: format!("`{lt}`"),
+                                found: rt,
+                            });
+                        }
+                        Ok(Type::Bool)
+                    }
+                    BinOp::And | BinOp::Or => {
+                        self.numeric(&lt, "logical operand")?;
+                        self.numeric(&rt, "logical operand")?;
+                        Ok(Type::Bool)
+                    }
+                }
+            }
+            Expr::Index { base, index } => {
+                let bt = self.type_of(base)?;
+                let it = self.type_of(index)?;
+                self.numeric(&it, "array index")?;
+                match bt {
+                    Type::Ptr(pointee) => Ok(*pointee),
+                    other => Err(TypeError::Mismatch {
+                        function: self.fname(),
+                        context: "indexed expression".to_string(),
+                        expected: "a pointer".to_string(),
+                        found: other,
+                    }),
+                }
+            }
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                let ct = self.type_of(cond)?;
+                self.numeric(&ct, "ternary condition")?;
+                let tt = self.type_of(then_expr)?;
+                let et = self.type_of(else_expr)?;
+                self.expect_coercible(&et, &tt, "ternary branches")?;
+                Ok(if tt == Type::Float || et == Type::Float {
+                    Type::Float
+                } else {
+                    tt
+                })
+            }
+            Expr::Call { name, args } => self.type_of_call(name, args),
+        }
+    }
+
+    fn type_of_call(&self, name: &str, args: &[Expr]) -> Result<Type, TypeError> {
+        // Device built-ins.
+        match name {
+            "__syncthreads" => {
+                if !args.is_empty() {
+                    return Err(TypeError::ArityMismatch {
+                        callee: name.to_string(),
+                        given: args.len(),
+                        expected: 0,
+                    });
+                }
+                return Ok(Type::Void);
+            }
+            "atomicAdd" => {
+                if args.len() != 2 {
+                    return Err(TypeError::ArityMismatch {
+                        callee: name.to_string(),
+                        given: args.len(),
+                        expected: 2,
+                    });
+                }
+                let pt = self.type_of(&args[0])?;
+                let vt = self.type_of(&args[1])?;
+                let pointee = match pt {
+                    Type::Ptr(inner) if matches!(*inner, Type::Int | Type::Uint | Type::Float) => {
+                        *inner
+                    }
+                    other => {
+                        return Err(TypeError::Mismatch {
+                            function: self.fname(),
+                            context: "atomicAdd target".to_string(),
+                            expected: "an int/uint/float pointer".to_string(),
+                            found: other,
+                        })
+                    }
+                };
+                self.expect_coercible(&vt, &pointee, "atomicAdd operand")?;
+                return Ok(pointee);
+            }
+            "sqrtf" | "fabsf" => {
+                if args.len() != 1 {
+                    return Err(TypeError::ArityMismatch {
+                        callee: name.to_string(),
+                        given: args.len(),
+                        expected: 1,
+                    });
+                }
+                let at = self.type_of(&args[0])?;
+                self.numeric(&at, name)?;
+                return Ok(Type::Float);
+            }
+            "min" | "max" => {
+                if args.len() != 2 {
+                    return Err(TypeError::ArityMismatch {
+                        callee: name.to_string(),
+                        given: args.len(),
+                        expected: 2,
+                    });
+                }
+                let a = self.type_of(&args[0])?;
+                let b = self.type_of(&args[1])?;
+                self.numeric(&a, name)?;
+                self.numeric(&b, name)?;
+                return Ok(if a == Type::Float || b == Type::Float {
+                    Type::Float
+                } else {
+                    a
+                });
+            }
+            _ => {}
+        }
+
+        if let Some(callee) = self.program_fns.get(name) {
+            if callee.params.len() != args.len() {
+                return Err(TypeError::ArityMismatch {
+                    callee: name.to_string(),
+                    given: args.len(),
+                    expected: callee.params.len(),
+                });
+            }
+            for (arg, param) in args.iter().zip(&callee.params) {
+                let at = self.type_of(arg)?;
+                self.expect_coercible(
+                    &at,
+                    &param.ty,
+                    &format!("argument `{}` of `{name}`", param.name),
+                )?;
+            }
+            return Ok(callee.ret.clone());
+        }
+
+        // The FLEP runtime ABI that the compilation engine's generated
+        // host code targets (host-side only).
+        if !self.is_device_code() {
+            let runtime_sig: Option<(usize, Type)> = match name {
+                "flep_request" => Some((3, Type::Void)),
+                "flep_wait_grant" => Some((1, Type::Void)),
+                "flep_wait_gpu" | "flep_amortize" | "flep_remaining" | "flep_grid_size" => {
+                    Some((1, Type::Uint))
+                }
+                "flep_flag_ptr" | "flep_counter_ptr" => Some((1, Type::Uint.ptr())),
+                _ => None,
+            };
+            if let Some((arity, ret)) = runtime_sig {
+                if args.len() != arity {
+                    return Err(TypeError::ArityMismatch {
+                        callee: name.to_string(),
+                        given: args.len(),
+                        expected: arity,
+                    });
+                }
+                for arg in args {
+                    let at = self.type_of(arg)?;
+                    self.numeric(&at, &format!("argument of `{name}`"))?;
+                }
+                return Ok(ret);
+            }
+        }
+
+        if self.is_device_code() {
+            return Err(TypeError::UnknownDeviceFunction {
+                function: self.fname(),
+                callee: name.to_string(),
+            });
+        }
+        // Unknown host function (external/runtime API): check the
+        // arguments type on their own, treat the result as `unsigned int`
+        // (a scalar the caller can store or compare).
+        for arg in args {
+            self.type_of(arg)?;
+        }
+        Ok(Type::Uint)
+    }
+
+    // -- Statements -------------------------------------------------------
+
+    fn check_block(&mut self, block: &Block, new_scope: bool) -> Result<(), TypeError> {
+        if new_scope {
+            self.scopes.push(HashMap::new());
+        }
+        for stmt in &block.stmts {
+            self.check_stmt(stmt)?;
+        }
+        if new_scope {
+            self.scopes.pop();
+        }
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) -> Result<(), TypeError> {
+        match stmt {
+            Stmt::Decl {
+                name,
+                ty,
+                array_len,
+                init,
+                ..
+            } => {
+                if let Some(init) = init {
+                    let it = self.type_of(init)?;
+                    self.expect_coercible(&it, ty, &format!("initializer of `{name}`"))?;
+                }
+                let declared = if array_len.is_some() {
+                    // Arrays decay to pointers for later use.
+                    ty.clone().ptr()
+                } else {
+                    ty.clone()
+                };
+                self.declare(name, declared)
+            }
+            Stmt::Expr(e) => {
+                self.type_of(e)?;
+                Ok(())
+            }
+            Stmt::Assign { target, op, value } => {
+                if !Self::is_lvalue(target) {
+                    return Err(TypeError::NotAnLvalue {
+                        function: self.fname(),
+                    });
+                }
+                let tt = self.type_of(target)?;
+                let vt = self.type_of(value)?;
+                if *op != AssignOp::Assign {
+                    self.numeric(&tt, "compound-assignment target")?;
+                }
+                self.expect_coercible(&vt, &tt, "assignment")
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                let ct = self.type_of(cond)?;
+                self.numeric(&ct, "if condition")?;
+                self.check_block(then_block, true)?;
+                if let Some(e) = else_block {
+                    self.check_block(e, true)?;
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let ct = self.type_of(cond)?;
+                self.numeric(&ct, "while condition")?;
+                self.loop_depth += 1;
+                let r = self.check_block(body, true);
+                self.loop_depth -= 1;
+                r
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push(HashMap::new());
+                if let Some(s) = init {
+                    self.check_stmt(s)?;
+                }
+                if let Some(c) = cond {
+                    let ct = self.type_of(c)?;
+                    self.numeric(&ct, "for condition")?;
+                }
+                if let Some(s) = step {
+                    self.check_stmt(s)?;
+                }
+                self.loop_depth += 1;
+                let r = self.check_block(body, true);
+                self.loop_depth -= 1;
+                self.scopes.pop();
+                r
+            }
+            Stmt::Return(value) => match (value, &self.function.ret) {
+                (None, Type::Void) => Ok(()),
+                (Some(_), Type::Void) => Err(TypeError::BadReturn {
+                    function: self.fname(),
+                    declared: Type::Void,
+                    has_value: true,
+                }),
+                (None, other) => Err(TypeError::BadReturn {
+                    function: self.fname(),
+                    declared: other.clone(),
+                    has_value: false,
+                }),
+                (Some(v), declared) => {
+                    let vt = self.type_of(v)?;
+                    self.expect_coercible(&vt, declared, "return value")
+                }
+            },
+            Stmt::Break => {
+                if self.loop_depth == 0 {
+                    return Err(TypeError::OutsideLoop {
+                        function: self.fname(),
+                        what: "break",
+                    });
+                }
+                Ok(())
+            }
+            Stmt::Continue => {
+                if self.loop_depth == 0 {
+                    return Err(TypeError::OutsideLoop {
+                        function: self.fname(),
+                        what: "continue",
+                    });
+                }
+                Ok(())
+            }
+            Stmt::Block(b) => self.check_block(b, true),
+            Stmt::Launch {
+                kernel,
+                grid,
+                block,
+                args,
+            } => {
+                let gt = self.type_of(grid)?;
+                self.numeric(&gt, "launch grid dimension")?;
+                let bt = self.type_of(block)?;
+                self.numeric(&bt, "launch block dimension")?;
+                if let Some(callee) = self.program_fns.get(kernel.as_str()) {
+                    if callee.params.len() != args.len() {
+                        return Err(TypeError::ArityMismatch {
+                            callee: kernel.clone(),
+                            given: args.len(),
+                            expected: callee.params.len(),
+                        });
+                    }
+                    for (arg, param) in args.iter().zip(&callee.params) {
+                        let at = self.type_of(arg)?;
+                        self.expect_coercible(
+                            &at,
+                            &param.ty,
+                            &format!("launch argument `{}` of `{kernel}`", param.name),
+                        )?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn check(src: &str) -> Result<(), TypeError> {
+        type_check(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn device_builtins_list_matches_checker() {
+        // Every name in the public list is accepted by device code (with a
+        // well-typed call), and a non-listed name is rejected.
+        for name in crate::typeck::DEVICE_BUILTINS {
+            let src = match name {
+                "__syncthreads" => "__global__ void k() { __syncthreads(); }".to_string(),
+                "atomicAdd" => {
+                    "__global__ void k(unsigned int* c) { unsigned int t = atomicAdd(c, 1); t += 0; }"
+                        .to_string()
+                }
+                "sqrtf" | "fabsf" => {
+                    format!("__global__ void k(float x, float* o) {{ o[0] = {name}(x); }}")
+                }
+                "min" | "max" => {
+                    format!("__global__ void k(int a, int b, int* o) {{ o[0] = {name}(a, b); }}")
+                }
+                other => panic!("unhandled builtin {other}"),
+            };
+            check(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn benchmark_style_kernel_checks() {
+        check(
+            r#"
+            __global__ void k(float* a, float* b, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) {
+                    a[i] = b[i] * 2.0f + 1.0f;
+                }
+            }
+            void host_main(float* a, float* b, int n) {
+                k<<<n / 256 + 1, 256>>>(a, b, n);
+            }
+        "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn undefined_variable_rejected() {
+        let err = check("__global__ void k(float* a) { a[0] = ghost; }").unwrap_err();
+        assert!(matches!(err, TypeError::UndefinedVariable { .. }));
+    }
+
+    #[test]
+    fn duplicate_declaration_rejected() {
+        let err = check("void f() { int a = 0; int a = 1; }").unwrap_err();
+        assert!(matches!(err, TypeError::DuplicateDeclaration { .. }));
+    }
+
+    #[test]
+    fn shadowing_in_inner_scope_allowed() {
+        check("void f() { int a = 0; if (a < 1) { int a = 2; a += 1; } }").unwrap();
+    }
+
+    #[test]
+    fn deref_of_non_pointer_rejected() {
+        let err = check("void f(int x) { int y = *x; }").unwrap_err();
+        assert!(matches!(err, TypeError::Mismatch { .. }));
+    }
+
+    #[test]
+    fn index_of_non_pointer_rejected() {
+        let err = check("void f(int x) { int y = x[0]; }").unwrap_err();
+        assert!(matches!(err, TypeError::Mismatch { .. }));
+    }
+
+    #[test]
+    fn pointer_passed_as_scalar_rejected() {
+        let err = check(
+            "__device__ void g(int n) { } __global__ void k(int* p) { g(p); }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, TypeError::Mismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_device_call_rejected_but_host_allowed() {
+        let err =
+            check("__global__ void k(float* a) { a[0] = mystery(); }").unwrap_err();
+        assert!(matches!(err, TypeError::UnknownDeviceFunction { .. }));
+        // Host code may call external/runtime functions.
+        check("void h() { unsigned int t = flep_wait_gpu(0); t += 1; }").unwrap();
+    }
+
+    #[test]
+    fn return_value_from_void_kernel_rejected() {
+        let err = check("__global__ void k(int n) { return n; }").unwrap_err();
+        assert!(matches!(err, TypeError::BadReturn { .. }));
+    }
+
+    #[test]
+    fn missing_return_value_rejected() {
+        let err = check("int f() { return; }").unwrap_err();
+        assert!(matches!(
+            err,
+            TypeError::BadReturn {
+                has_value: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        let err = check("void f() { break; }").unwrap_err();
+        assert!(matches!(err, TypeError::OutsideLoop { what: "break", .. }));
+        check("void f() { while (true) { break; } }").unwrap();
+    }
+
+    #[test]
+    fn assignment_to_rvalue_rejected() {
+        let err = check("void f(int a, int b) { a + b = 3; }").unwrap_err();
+        assert!(matches!(err, TypeError::NotAnLvalue { .. }));
+    }
+
+    #[test]
+    fn bitwise_on_floats_rejected() {
+        let err = check("void f(float x) { int y = x << 2; }").unwrap_err();
+        assert!(matches!(err, TypeError::Mismatch { .. }));
+    }
+
+    #[test]
+    fn atomic_add_signature_enforced() {
+        check("__global__ void k(unsigned int* c) { unsigned int t = atomicAdd(c, 1); t += 0; }")
+            .unwrap();
+        let err = check("__global__ void k(float f) { atomicAdd(f, 1); }").unwrap_err();
+        assert!(matches!(err, TypeError::Mismatch { .. }));
+        let err2 = check("__global__ void k(unsigned int* c) { atomicAdd(c); }").unwrap_err();
+        assert!(matches!(err2, TypeError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn launch_argument_types_enforced() {
+        let err = check(
+            r#"
+            __global__ void k(float* a) { a[0] = 0.0f; }
+            void h(int n) { k<<<1, 256>>>(n); }
+        "#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, TypeError::Mismatch { .. }));
+    }
+
+    #[test]
+    fn shared_arrays_decay_to_pointers() {
+        check(
+            r#"
+            __global__ void k(float* a) {
+                __shared__ float tile[256];
+                tile[threadIdx.x] = a[threadIdx.x];
+                a[threadIdx.x] = tile[threadIdx.x] + 1.0f;
+            }
+        "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn pointer_arithmetic_allowed() {
+        check("void f(float* p, int n) { float* q = p + n; q[0] = 0.0f; }").unwrap();
+    }
+
+    #[test]
+    fn for_loop_scoping() {
+        check(
+            "void f(int n) { for (int i = 0; i < n; ++i) { int x = i; x += 1; } for (int i = 0; i < n; ++i) { } }",
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,200 @@
+//! Property-based tests for mini-CU: generated ASTs always print to
+//! source that re-parses to the identical AST (the codegen soundness
+//! property every transform pass relies on).
+
+use proptest::prelude::*;
+
+use flep_minicu::{
+    parse, AssignOp, BinOp, Block, Builtin, Expr, FnKind, Function, Param, Program, Stmt, Type,
+    UnOp,
+};
+
+fn arb_type() -> impl Strategy<Value = Type> {
+    prop_oneof![
+        Just(Type::Int),
+        Just(Type::Uint),
+        Just(Type::Float),
+        Just(Type::Bool),
+        Just(Type::Float.ptr()),
+        Just(Type::Int.ptr()),
+    ]
+}
+
+fn ident_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("avoid keywords", |s| {
+        !matches!(
+            s.as_str(),
+            "void" | "int" | "unsigned" | "float" | "bool" | "if" | "else" | "while" | "for"
+                | "return" | "break" | "continue" | "true" | "false" | "volatile"
+        )
+    })
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(Expr::Int),
+        (0u32..100).prop_map(|v| Expr::Float(f64::from(v) * 0.5)),
+        any::<bool>().prop_map(Expr::Bool),
+        ident_name().prop_map(Expr::Ident),
+        prop_oneof![
+            Just(Builtin::ThreadIdxX),
+            Just(Builtin::BlockIdxX),
+            Just(Builtin::BlockDimX),
+            Just(Builtin::SmId),
+        ]
+        .prop_map(Expr::Builtin),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Eq),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                    Just(BinOp::Shl),
+                    Just(BinOp::BitXor),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::bin(op, l, r)),
+            (
+                prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::Deref)],
+                inner.clone()
+            )
+                .prop_map(|(op, e)| match (op, e) {
+                    // The parser folds negated literals; generate the
+                    // folded form directly so round-trips are structural.
+                    (UnOp::Neg, Expr::Int(v)) => Expr::Int(-v),
+                    (UnOp::Neg, Expr::Float(v)) => Expr::Float(-v),
+                    (op, e) => Expr::Unary {
+                        op,
+                        expr: Box::new(e),
+                    },
+                }),
+            (ident_name(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(name, args)| Expr::call(name, args)),
+            (inner.clone(), inner.clone()).prop_map(|(b, i)| Expr::Index {
+                base: Box::new(Expr::Ident("arr".into())),
+                index: Box::new(Expr::bin(BinOp::Add, b, i)),
+            }),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| Expr::Ternary {
+                cond: Box::new(c),
+                then_expr: Box::new(t),
+                else_expr: Box::new(e),
+            }),
+        ]
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let simple = prop_oneof![
+        (ident_name(), arb_type(), prop::option::of(arb_expr())).prop_map(|(name, ty, init)| {
+            Stmt::Decl {
+                name,
+                ty,
+                shared: false,
+                volatile: false,
+                array_len: None,
+                init,
+            }
+        }),
+        (
+            ident_name(),
+            prop_oneof![
+                Just(AssignOp::Assign),
+                Just(AssignOp::Add),
+                Just(AssignOp::Mul)
+            ],
+            arb_expr()
+        )
+            .prop_map(|(name, op, value)| Stmt::Assign {
+                target: Expr::Ident(name),
+                op,
+                value,
+            }),
+        arb_expr().prop_map(Stmt::Expr),
+        Just(Stmt::Return(None)),
+        Just(Stmt::Break),
+        Just(Stmt::Continue),
+    ];
+    simple.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (arb_expr(), prop::collection::vec(inner.clone(), 1..4)).prop_map(|(cond, stmts)| {
+                Stmt::If {
+                    cond,
+                    then_block: Block::new(stmts),
+                    else_block: None,
+                }
+            }),
+            (
+                arb_expr(),
+                prop::collection::vec(inner.clone(), 1..3),
+                prop::collection::vec(inner.clone(), 1..3)
+            )
+                .prop_map(|(cond, t, e)| Stmt::If {
+                    cond,
+                    then_block: Block::new(t),
+                    else_block: Some(Block::new(e)),
+                }),
+            (arb_expr(), prop::collection::vec(inner, 1..4))
+                .prop_map(|(cond, stmts)| Stmt::While {
+                    cond,
+                    body: Block::new(stmts),
+                }),
+        ]
+    })
+}
+
+fn arb_function() -> impl Strategy<Value = Function> {
+    (
+        ident_name(),
+        prop::collection::vec((ident_name(), arb_type()), 0..4),
+        prop::collection::vec(arb_stmt(), 1..8),
+        prop_oneof![Just(FnKind::Global), Just(FnKind::Device), Just(FnKind::Host)],
+    )
+        .prop_map(|(name, params, stmts, kind)| Function {
+            kind,
+            ret: Type::Void,
+            name: format!("fn_{name}"),
+            params: params
+                .into_iter()
+                .enumerate()
+                .map(|(i, (n, ty))| Param {
+                    name: format!("p{i}_{n}"),
+                    ty,
+                    volatile: false,
+                })
+                .collect(),
+            body: Block::new(stmts),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print(ast) re-parses to the identical AST.
+    #[test]
+    fn printer_parser_round_trip(f in arb_function()) {
+        let program = Program { functions: vec![f] };
+        let printed = program.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("generated source failed to parse: {e}\n{printed}"));
+        prop_assert_eq!(program, reparsed, "round-trip mismatch for:\n{}", printed);
+    }
+
+    /// replace_builtin is idempotent once the builtin is gone, and the
+    /// count matches the number of occurrences.
+    #[test]
+    fn replace_builtin_is_exhaustive(f in arb_function()) {
+        let mut body = f.body.clone();
+        let n1 = body.replace_builtin(Builtin::BlockIdxX, &Expr::ident("task_id"));
+        let n2 = body.replace_builtin(Builtin::BlockIdxX, &Expr::ident("task_id"));
+        prop_assert_eq!(n2, 0, "second replacement found {} leftovers after {}", n2, n1);
+    }
+}

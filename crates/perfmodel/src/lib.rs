@@ -1,0 +1,28 @@
+//! Lightweight kernel performance models (§4.2 of the FLEP paper).
+//!
+//! FLEP predicts each kernel invocation's duration with a kernel-specific
+//! ridge (L2-penalized) linear regression over four cheap features — grid
+//! size, CTA size, input size, and shared-memory size — trained offline on
+//! 100 randomly generated inputs. The preemption overhead is not modeled
+//! but profiled: the average of 50 measured preemptions.
+//!
+//! This crate implements both pieces from scratch:
+//!
+//! * [`RidgeModel`] — standardized features, normal equations solved via
+//!   Cholesky ([`Matrix::solve_spd`]), L2 penalty.
+//! * [`OverheadProfiler`] — the running-average overhead estimate.
+//!
+//! The training harness that pairs this crate with the simulated
+//! benchmarks lives in `flep-workloads`/`flep-runtime`; this crate is pure
+//! math and carries no GPU knowledge beyond the feature names.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod linalg;
+mod profiler;
+mod regression;
+
+pub use linalg::{Matrix, SingularMatrix};
+pub use profiler::OverheadProfiler;
+pub use regression::{KernelFeatures, RidgeModel, TrainError};

@@ -1,0 +1,241 @@
+//! Minimal dense linear algebra: just enough to solve the regularized
+//! normal equations of ridge regression.
+
+use std::error::Error;
+use std::fmt;
+
+/// A dense, row-major square/rectangular matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Error from a linear solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrix;
+
+impl fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("matrix is singular or not positive definite")
+    }
+}
+
+impl Error for SingularMatrix {}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are empty or ragged.
+    #[must_use]
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix needs at least one column");
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "ragged rows in matrix construction"
+        );
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `Aᵀ A` (Gram matrix), the left side of the normal equations.
+    #[must_use]
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut out = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let mut acc = 0.0;
+                for r in 0..self.rows {
+                    acc += self.get(r, i) * self.get(r, j);
+                }
+                out.set(i, j, acc);
+                out.set(j, i, acc);
+            }
+        }
+        out
+    }
+
+    /// `Aᵀ y` for a vector `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != rows`.
+    #[must_use]
+    pub fn transpose_mul_vec(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows, "vector length mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (r, &yv) in y.iter().enumerate() {
+            for (c, o) in out.iter_mut().enumerate() {
+                *o += self.get(r, c) * yv;
+            }
+        }
+        out
+    }
+
+    /// Adds `lambda` to the diagonal (ridge regularization) in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn add_diagonal(&mut self, lambda: f64) {
+        assert_eq!(self.rows, self.cols, "diagonal shift needs a square matrix");
+        for i in 0..self.rows {
+            let v = self.get(i, i);
+            self.set(i, i, v + lambda);
+        }
+    }
+
+    /// Solves `self * x = b` for a symmetric positive-definite `self` via
+    /// Cholesky decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrix`] when the matrix is not positive definite
+    /// (e.g. collinear features with zero regularization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b` has the wrong length.
+    pub fn solve_spd(&self, b: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
+        assert_eq!(self.rows, self.cols, "solve needs a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let n = self.rows;
+
+        // Cholesky: self = L Lᵀ.
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(SingularMatrix);
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+
+        // Forward substitution: L z = b.
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for (k, zk) in z.iter().enumerate().take(i) {
+                sum -= l.get(i, k) * zk;
+            }
+            z[i] = sum / l.get(i, i);
+        }
+
+        // Back substitution: Lᵀ x = z.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = z[i];
+            for (k, xk) in x.iter().enumerate().skip(i + 1) {
+                sum -= l.get(k, i) * xk;
+            }
+            x[i] = sum / l.get(i, i);
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gram_of_identity_like() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0], vec![0.0, 0.0]]);
+        let g = a.gram();
+        assert_eq!(g.get(0, 0), 1.0);
+        assert_eq!(g.get(1, 1), 4.0);
+        assert_eq!(g.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn solve_spd_known_system() {
+        // [[4, 2], [2, 3]] x = [10, 8]  =>  x = [1.75, 1.5]
+        let m = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let x = m.solve_spd(&[10.0, 8.0]).unwrap();
+        assert!((x[0] - 1.75).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_detects_non_spd() {
+        let m = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.0, 0.0]]);
+        assert_eq!(m.solve_spd(&[1.0, 1.0]), Err(SingularMatrix));
+    }
+
+    #[test]
+    fn ridge_shift_fixes_singularity() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        assert!(m.solve_spd(&[1.0, 1.0]).is_err());
+        m.add_diagonal(0.1);
+        assert!(m.solve_spd(&[1.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn transpose_mul_vec_matches_manual() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let v = a.transpose_mul_vec(&[1.0, 1.0, 1.0]);
+        assert_eq!(v, vec![9.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

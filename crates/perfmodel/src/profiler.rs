@@ -1,0 +1,94 @@
+//! Preemption-overhead profiling (§4.2): "we profile the overhead of 50
+//! runs with different inputs and use the average as an estimate of the
+//! online preemption overhead."
+
+use serde::{Deserialize, Serialize};
+
+use flep_sim_core::SimTime;
+
+/// Accumulates preemption-overhead samples and produces the running
+/// estimate the scheduler consults.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OverheadProfiler {
+    samples: Vec<SimTime>,
+}
+
+impl OverheadProfiler {
+    /// Creates an empty profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        OverheadProfiler::default()
+    }
+
+    /// Records one measured preemption overhead.
+    pub fn record(&mut self, overhead: SimTime) {
+        self.samples.push(overhead);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The mean overhead, or `None` before any sample exists.
+    #[must_use]
+    pub fn mean(&self) -> Option<SimTime> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let total_ns: u64 = self.samples.iter().map(|s| s.as_ns()).sum();
+        Some(SimTime::from_ns(total_ns / self.samples.len() as u64))
+    }
+
+    /// The mean overhead, or `fallback` before any sample exists. The
+    /// runtime uses the offline-profiled average as the fallback.
+    #[must_use]
+    pub fn mean_or(&self, fallback: SimTime) -> SimTime {
+        self.mean().unwrap_or(fallback)
+    }
+
+    /// The largest sample seen, or `None` when empty; used by FFS to bound
+    /// its epoch computation conservatively.
+    #[must_use]
+    pub fn max(&self) -> Option<SimTime> {
+        self.samples.iter().copied().max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_profiler_has_no_mean() {
+        let p = OverheadProfiler::new();
+        assert_eq!(p.mean(), None);
+        assert_eq!(p.mean_or(SimTime::from_us(7)), SimTime::from_us(7));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn mean_of_samples() {
+        let mut p = OverheadProfiler::new();
+        p.record(SimTime::from_us(10));
+        p.record(SimTime::from_us(20));
+        p.record(SimTime::from_us(30));
+        assert_eq!(p.mean(), Some(SimTime::from_us(20)));
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.max(), Some(SimTime::from_us(30)));
+    }
+
+    #[test]
+    fn mean_or_prefers_samples() {
+        let mut p = OverheadProfiler::new();
+        p.record(SimTime::from_us(4));
+        assert_eq!(p.mean_or(SimTime::from_us(100)), SimTime::from_us(4));
+    }
+}

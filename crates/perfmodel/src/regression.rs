@@ -1,0 +1,399 @@
+//! Ridge (L2-penalized) linear regression, the paper's kernel-duration
+//! model (§4.2): four features per kernel invocation, trained on 100
+//! random inputs per kernel.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::Matrix;
+
+/// The four §4.2 features of a kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelFeatures {
+    /// Grid size (number of CTAs of the original kernel).
+    pub grid_size: f64,
+    /// CTA size (threads per CTA).
+    pub cta_size: f64,
+    /// Input size (problem-specific element count).
+    pub input_size: f64,
+    /// Shared memory used per CTA, in bytes.
+    pub smem_size: f64,
+}
+
+impl KernelFeatures {
+    /// The feature vector (without the bias column).
+    #[must_use]
+    pub fn to_vec(self) -> Vec<f64> {
+        vec![self.grid_size, self.cta_size, self.input_size, self.smem_size]
+    }
+}
+
+/// Errors from model training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// No training samples supplied.
+    NoSamples,
+    /// Features and targets differ in length.
+    LengthMismatch {
+        /// Number of feature rows.
+        features: usize,
+        /// Number of targets.
+        targets: usize,
+    },
+    /// The (regularized) normal equations could not be solved.
+    Singular,
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::NoSamples => f.write_str("no training samples"),
+            TrainError::LengthMismatch { features, targets } => write!(
+                f,
+                "feature rows ({features}) and targets ({targets}) differ in length"
+            ),
+            TrainError::Singular => f.write_str("normal equations are singular"),
+        }
+    }
+}
+
+impl Error for TrainError {}
+
+/// A trained ridge-regression model mapping kernel features to a predicted
+/// duration in microseconds.
+///
+/// Features are standardized (zero mean, unit variance) internally so that
+/// a single `lambda` is meaningful across features with wildly different
+/// scales (grid sizes in the thousands vs shared memory in KiB).
+///
+/// # Example
+///
+/// ```
+/// use flep_perfmodel::{KernelFeatures, RidgeModel};
+///
+/// // Duration = 2 * grid_size (a perfectly linear kernel).
+/// let features: Vec<KernelFeatures> = (1..=50)
+///     .map(|g| KernelFeatures {
+///         grid_size: g as f64,
+///         cta_size: 256.0,
+///         input_size: g as f64 * 256.0,
+///         smem_size: 0.0,
+///     })
+///     .collect();
+/// let targets: Vec<f64> = features.iter().map(|f| 2.0 * f.grid_size).collect();
+/// let model = RidgeModel::fit(&features, &targets, 1e-6).unwrap();
+/// let pred = model.predict(KernelFeatures {
+///     grid_size: 100.0,
+///     cta_size: 256.0,
+///     input_size: 25_600.0,
+///     smem_size: 0.0,
+/// });
+/// assert!((pred - 200.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RidgeModel {
+    /// Per-feature means used for standardization.
+    means: Vec<f64>,
+    /// Per-feature standard deviations used for standardization.
+    stds: Vec<f64>,
+    /// Learned weights over standardized features.
+    weights: Vec<f64>,
+    /// Learned intercept.
+    intercept: f64,
+    /// The regularization strength used in training.
+    lambda: f64,
+}
+
+impl RidgeModel {
+    /// Fits the model on feature/target pairs with L2 penalty `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainError`] on empty/mismatched inputs or a singular
+    /// system (only possible with `lambda == 0` and collinear features).
+    pub fn fit(
+        features: &[KernelFeatures],
+        targets: &[f64],
+        lambda: f64,
+    ) -> Result<Self, TrainError> {
+        let rows: Vec<Vec<f64>> = features.iter().map(|f| f.to_vec()).collect();
+        Self::fit_raw(&rows, targets, lambda)
+    }
+
+    /// Fits with per-sample weights. Weighting by `1 / target²` minimizes
+    /// *relative* squared error, which matches the evaluation metric for
+    /// kernel-duration models (mean relative error, Fig. 7) and keeps
+    /// short-kernel predictions accurate when training durations span
+    /// orders of magnitude.
+    ///
+    /// # Errors
+    ///
+    /// See [`RidgeModel::fit`]; additionally returns a length-mismatch
+    /// error when `weights` does not match.
+    pub fn fit_weighted(
+        features: &[KernelFeatures],
+        targets: &[f64],
+        weights: &[f64],
+        lambda: f64,
+    ) -> Result<Self, TrainError> {
+        let rows: Vec<Vec<f64>> = features.iter().map(|f| f.to_vec()).collect();
+        Self::fit_raw_weighted(&rows, targets, Some(weights), lambda)
+    }
+
+    /// Fits on raw feature rows (any dimensionality).
+    ///
+    /// # Errors
+    ///
+    /// See [`RidgeModel::fit`].
+    pub fn fit_raw(rows: &[Vec<f64>], targets: &[f64], lambda: f64) -> Result<Self, TrainError> {
+        Self::fit_raw_weighted(rows, targets, None, lambda)
+    }
+
+    fn fit_raw_weighted(
+        rows: &[Vec<f64>],
+        targets: &[f64],
+        weights: Option<&[f64]>,
+        lambda: f64,
+    ) -> Result<Self, TrainError> {
+        if rows.is_empty() {
+            return Err(TrainError::NoSamples);
+        }
+        if rows.len() != targets.len() {
+            return Err(TrainError::LengthMismatch {
+                features: rows.len(),
+                targets: targets.len(),
+            });
+        }
+        if let Some(w) = weights {
+            if w.len() != rows.len() {
+                return Err(TrainError::LengthMismatch {
+                    features: rows.len(),
+                    targets: w.len(),
+                });
+            }
+        }
+        let dim = rows[0].len();
+        // Normalize weights to mean 1 so the effective sample size -- and
+        // therefore the meaning of `lambda` -- is invariant to the weights'
+        // absolute scale.
+        let raw_total: f64 = (0..rows.len())
+            .map(|i| weights.map_or(1.0, |w| w[i].max(0.0)))
+            .sum();
+        if raw_total <= 0.0 {
+            return Err(TrainError::NoSamples);
+        }
+        let norm = rows.len() as f64 / raw_total;
+        let w_of = move |i: usize| weights.map_or(1.0, |w| w[i].max(0.0)) * norm;
+        let total_w: f64 = (0..rows.len()).map(w_of).sum();
+
+        // Weighted standardization.
+        let mut means = vec![0.0; dim];
+        for (i, row) in rows.iter().enumerate() {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += w_of(i) * v;
+            }
+        }
+        for m in &mut means {
+            *m /= total_w;
+        }
+        let mut stds = vec![0.0; dim];
+        for (i, row) in rows.iter().enumerate() {
+            for ((s, v), m) in stds.iter_mut().zip(row).zip(&means) {
+                *s += w_of(i) * (v - m).powi(2);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / total_w).sqrt();
+            if *s < 1e-12 {
+                // Constant feature: any weight works post-centering; pin the
+                // scale so standardization is a no-op for it.
+                *s = 1.0;
+            }
+        }
+
+        // Standardize, then scale rows and targets by sqrt(weight): the
+        // normal equations of weighted ridge.
+        let standardized: Vec<Vec<f64>> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let sw = w_of(i).sqrt();
+                row.iter()
+                    .zip(means.iter().zip(&stds))
+                    .map(|(v, (m, s))| sw * (v - m) / s)
+                    .collect()
+            })
+            .collect();
+
+        let target_mean =
+            (0..rows.len()).map(|i| w_of(i) * targets[i]).sum::<f64>() / total_w;
+        let centered: Vec<f64> = targets
+            .iter()
+            .enumerate()
+            .map(|(i, t)| w_of(i).sqrt() * (t - target_mean))
+            .collect();
+
+        let x = Matrix::from_rows(&standardized);
+        let mut gram = x.gram();
+        gram.add_diagonal(lambda.max(0.0));
+        let xty = x.transpose_mul_vec(&centered);
+        let weights = gram.solve_spd(&xty).map_err(|_| TrainError::Singular)?;
+
+        Ok(RidgeModel {
+            means,
+            stds,
+            weights,
+            intercept: target_mean,
+            lambda,
+        })
+    }
+
+    /// Predicts the duration (µs) for a feature vector.
+    #[must_use]
+    pub fn predict(&self, f: KernelFeatures) -> f64 {
+        self.predict_raw(&f.to_vec())
+    }
+
+    /// Predicts for a raw feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's dimensionality differs from training.
+    #[must_use]
+    pub fn predict_raw(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.weights.len(), "feature dimension mismatch");
+        let mut acc = self.intercept;
+        for ((v, w), (m, s)) in row
+            .iter()
+            .zip(&self.weights)
+            .zip(self.means.iter().zip(&self.stds))
+        {
+            acc += w * (v - m) / s;
+        }
+        acc
+    }
+
+    /// The regularization strength the model was trained with.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Mean absolute relative error of the model on a labelled set, the
+    /// metric of the paper's Fig. 7.
+    ///
+    /// Returns 0 for an empty set.
+    #[must_use]
+    pub fn mean_relative_error(&self, features: &[KernelFeatures], targets: &[f64]) -> f64 {
+        if features.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = features
+            .iter()
+            .zip(targets)
+            .map(|(f, &t)| {
+                if t.abs() < 1e-12 {
+                    0.0
+                } else {
+                    ((self.predict(*f) - t) / t).abs()
+                }
+            })
+            .sum();
+        total / features.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feat(g: f64, i: f64) -> KernelFeatures {
+        KernelFeatures {
+            grid_size: g,
+            cta_size: 256.0,
+            input_size: i,
+            smem_size: 0.0,
+        }
+    }
+
+    #[test]
+    fn recovers_linear_relationship() {
+        let features: Vec<KernelFeatures> =
+            (1..=100).map(|g| feat(g as f64, g as f64 * 3.0)).collect();
+        let targets: Vec<f64> = features
+            .iter()
+            .map(|f| 5.0 * f.grid_size + 0.5 * f.input_size + 10.0)
+            .collect();
+        let m = RidgeModel::fit(&features, &targets, 1e-9).unwrap();
+        let err = m.mean_relative_error(&features, &targets);
+        assert!(err < 1e-6, "err = {err}");
+    }
+
+    #[test]
+    fn constant_features_do_not_break_fit() {
+        // cta_size and smem_size are constant here.
+        let features: Vec<KernelFeatures> = (1..=30).map(|g| feat(g as f64, 7.0)).collect();
+        let targets: Vec<f64> = features.iter().map(|f| f.grid_size * 2.0).collect();
+        let m = RidgeModel::fit(&features, &targets, 1e-6).unwrap();
+        assert!((m.predict(feat(50.0, 7.0)) - 100.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn larger_lambda_shrinks_weights() {
+        let features: Vec<KernelFeatures> =
+            (1..=50).map(|g| feat(g as f64, g as f64)).collect();
+        let targets: Vec<f64> = features.iter().map(|f| f.grid_size * 4.0).collect();
+        let loose = RidgeModel::fit(&features, &targets, 1e-9).unwrap();
+        let tight = RidgeModel::fit(&features, &targets, 1e4).unwrap();
+        let w_loose: f64 = loose.weights.iter().map(|w| w * w).sum();
+        let w_tight: f64 = tight.weights.iter().map(|w| w * w).sum();
+        assert!(w_tight < w_loose);
+    }
+
+    #[test]
+    fn empty_training_set_is_error() {
+        assert_eq!(
+            RidgeModel::fit(&[], &[], 1.0).unwrap_err(),
+            TrainError::NoSamples
+        );
+    }
+
+    #[test]
+    fn mismatched_lengths_are_error() {
+        let f = vec![feat(1.0, 1.0)];
+        assert!(matches!(
+            RidgeModel::fit(&f, &[1.0, 2.0], 1.0).unwrap_err(),
+            TrainError::LengthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn relative_error_ignores_zero_targets() {
+        let f = vec![feat(1.0, 1.0), feat(2.0, 2.0)];
+        let m = RidgeModel::fit(&f, &[10.0, 20.0], 1e-6).unwrap();
+        let err = m.mean_relative_error(&[feat(1.0, 1.0)], &[0.0]);
+        assert_eq!(err, 0.0);
+    }
+
+    #[test]
+    fn noisy_fit_has_bounded_error() {
+        // 10% multiplicative noise -> mean relative error should land well
+        // under 20%.
+        let mut state = 123u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let features: Vec<KernelFeatures> =
+            (1..=100).map(|g| feat(g as f64, g as f64 * 2.0)).collect();
+        let targets: Vec<f64> = features
+            .iter()
+            .map(|f| (3.0 * f.grid_size + 20.0) * (1.0 + 0.2 * next()))
+            .collect();
+        let m = RidgeModel::fit(&features, &targets, 1e-3).unwrap();
+        let err = m.mean_relative_error(&features, &targets);
+        assert!(err < 0.2, "err = {err}");
+    }
+}

@@ -1,0 +1,299 @@
+//! The simulation driver.
+
+use crate::{EventQueue, SimTime};
+
+/// A handle the [`World`] uses to schedule follow-up events while handling
+/// the current one.
+///
+/// The scheduler knows the current virtual time, so worlds can schedule both
+/// relative (`schedule_in`) and absolute (`schedule_at`) events.
+#[derive(Debug)]
+pub struct Scheduler<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    stop_requested: &'a mut bool,
+}
+
+impl<'a, E> Scheduler<'a, E> {
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, payload: E) {
+        self.queue.push(self.now + delay, payload);
+    }
+
+    /// Schedules `payload` at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past: events may never be scheduled before
+    /// the current instant, since that would break causality.
+    pub fn schedule_at(&mut self, time: SimTime, payload: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule event in the past: now={} requested={}",
+            self.now,
+            time
+        );
+        self.queue.push(time, payload);
+    }
+
+    /// Requests that the simulation stop after the current event completes,
+    /// leaving any still-pending events in the queue.
+    pub fn stop(&mut self) {
+        *self.stop_requested = true;
+    }
+}
+
+/// The behaviour under simulation.
+///
+/// A world receives each popped event along with a [`Scheduler`] to emit
+/// follow-ups. State lives inside the world; the engine owns only the clock
+/// and the queue.
+pub trait World {
+    /// The event payload type circulating through the queue.
+    type Event;
+
+    /// Handles one event at virtual time `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<'_, Self::Event>);
+}
+
+/// What a single [`Simulation::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An event was dispatched to the world.
+    Dispatched,
+    /// The queue was empty; nothing happened.
+    Idle,
+    /// The world requested a stop during the dispatched event.
+    Stopped,
+}
+
+/// A discrete-event simulation: a clock, a queue, and a [`World`].
+///
+/// # Example
+///
+/// See the crate-level example in [`crate`].
+#[derive(Debug)]
+pub struct Simulation<W: World> {
+    world: W,
+    queue: EventQueue<W::Event>,
+    now: SimTime,
+    dispatched: u64,
+}
+
+impl<W: World> Simulation<W> {
+    /// Creates a simulation around `world` with an empty queue at time zero.
+    #[must_use]
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            dispatched: 0,
+        }
+    }
+
+    /// The current virtual time (the timestamp of the last dispatched event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    #[must_use]
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Shared access to the world.
+    #[must_use]
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world (e.g. to inspect or mutate state
+    /// between runs).
+    #[must_use]
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the simulation and returns the world.
+    #[must_use]
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Schedules an event at an absolute time before or during the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the current virtual time.
+    pub fn schedule_at(&mut self, time: SimTime, payload: W::Event) {
+        assert!(
+            time >= self.now,
+            "cannot schedule event in the past: now={} requested={}",
+            self.now,
+            time
+        );
+        self.queue.push(time, payload);
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Pops and dispatches a single event.
+    pub fn step(&mut self) -> StepOutcome {
+        let Some(entry) = self.queue.pop() else {
+            return StepOutcome::Idle;
+        };
+        debug_assert!(entry.time >= self.now, "event queue went backwards");
+        self.now = entry.time;
+        self.dispatched += 1;
+        let mut stop = false;
+        let mut sched = Scheduler {
+            now: self.now,
+            queue: &mut self.queue,
+            stop_requested: &mut stop,
+        };
+        self.world.handle(entry.time, entry.payload, &mut sched);
+        if stop {
+            StepOutcome::Stopped
+        } else {
+            StepOutcome::Dispatched
+        }
+    }
+
+    /// Runs until the queue is empty or the world requests a stop.
+    ///
+    /// Returns the final virtual time.
+    pub fn run(&mut self) -> SimTime {
+        loop {
+            match self.step() {
+                StepOutcome::Dispatched => {}
+                StepOutcome::Idle | StepOutcome::Stopped => return self.now,
+            }
+        }
+    }
+
+    /// Runs until `deadline` (inclusive), the queue drains, or the world
+    /// stops. Events scheduled after the deadline stay queued.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t <= deadline => match self.step() {
+                    StepOutcome::Dispatched => {}
+                    StepOutcome::Idle | StepOutcome::Stopped => return self.now,
+                },
+                _ => return self.now,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+        chain: u32,
+    }
+
+    #[derive(Debug)]
+    enum Ev {
+        Mark(u32),
+        Chain,
+        StopNow,
+    }
+
+    impl World for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<'_, Ev>) {
+            match ev {
+                Ev::Mark(id) => self.seen.push((now, id)),
+                Ev::Chain => {
+                    self.chain += 1;
+                    if self.chain < 5 {
+                        sched.schedule_in(SimTime::from_us(1), Ev::Chain);
+                    }
+                }
+                Ev::StopNow => sched.stop(),
+            }
+        }
+    }
+
+    fn recorder() -> Recorder {
+        Recorder {
+            seen: Vec::new(),
+            chain: 0,
+        }
+    }
+
+    #[test]
+    fn dispatches_in_time_order() {
+        let mut sim = Simulation::new(recorder());
+        sim.schedule_at(SimTime::from_us(3), Ev::Mark(3));
+        sim.schedule_at(SimTime::from_us(1), Ev::Mark(1));
+        sim.schedule_at(SimTime::from_us(2), Ev::Mark(2));
+        sim.run();
+        let ids: Vec<u32> = sim.world().seen.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn chained_events_advance_clock() {
+        let mut sim = Simulation::new(recorder());
+        sim.schedule_at(SimTime::ZERO, Ev::Chain);
+        let end = sim.run();
+        assert_eq!(sim.world().chain, 5);
+        assert_eq!(end, SimTime::from_us(4));
+        assert_eq!(sim.dispatched(), 5);
+    }
+
+    #[test]
+    fn stop_leaves_pending_events() {
+        let mut sim = Simulation::new(recorder());
+        sim.schedule_at(SimTime::from_us(1), Ev::StopNow);
+        sim.schedule_at(SimTime::from_us(2), Ev::Mark(9));
+        sim.run();
+        assert_eq!(sim.pending(), 1);
+        assert!(sim.world().seen.is_empty());
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Simulation::new(recorder());
+        sim.schedule_at(SimTime::from_us(1), Ev::Mark(1));
+        sim.schedule_at(SimTime::from_us(10), Ev::Mark(10));
+        sim.run_until(SimTime::from_us(5));
+        assert_eq!(sim.world().seen.len(), 1);
+        assert_eq!(sim.pending(), 1);
+        // Resuming picks up the rest.
+        sim.run();
+        assert_eq!(sim.world().seen.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Simulation::new(recorder());
+        sim.schedule_at(SimTime::from_us(5), Ev::Mark(1));
+        sim.run();
+        sim.schedule_at(SimTime::from_us(1), Ev::Mark(2));
+    }
+
+    #[test]
+    fn idle_step_reports_idle() {
+        let mut sim = Simulation::new(recorder());
+        assert_eq!(sim.step(), StepOutcome::Idle);
+    }
+}

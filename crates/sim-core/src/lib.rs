@@ -1,0 +1,66 @@
+//! Deterministic discrete-event simulation engine underpinning the FLEP GPU
+//! simulator.
+//!
+//! This crate provides the time base, event queue, simulation driver, and
+//! deterministic random-number utilities shared by every other crate in the
+//! workspace. It deliberately knows nothing about GPUs: the GPU device model
+//! in `flep-gpu-sim` and the FLEP runtime in `flep-runtime` are both built as
+//! "worlds" driven by this engine.
+//!
+//! # Design
+//!
+//! * [`SimTime`] is a nanosecond-resolution virtual clock value. All paper
+//!   numbers are reported in microseconds; the [`SimTime::as_us`] accessor
+//!   converts for reporting.
+//! * [`EventQueue`] is a binary heap with a monotonically increasing
+//!   sequence number as the tie-breaker, which makes simulations fully
+//!   deterministic even when many events share a timestamp.
+//! * [`Simulation`] drives a user-supplied [`World`]: each popped event is
+//!   handed to the world together with a [`Scheduler`] handle with which the
+//!   world may schedule follow-up events.
+//! * [`SimRng`] wraps a seeded PRNG and adds the distributions the
+//!   workloads need (uniform, normal, lognormal) so that every experiment
+//!   is reproducible from a single `u64` seed.
+//!
+//! # Example
+//!
+//! ```
+//! use flep_sim_core::{Simulation, SimTime, World, Scheduler};
+//!
+//! struct Counter { fired: u32 }
+//!
+//! #[derive(Debug, Clone, PartialEq, Eq)]
+//! enum Ev { Tick }
+//!
+//! impl World for Counter {
+//!     type Event = Ev;
+//!     fn handle(&mut self, now: SimTime, _ev: Ev, sched: &mut Scheduler<Ev>) {
+//!         self.fired += 1;
+//!         if self.fired < 3 {
+//!             sched.schedule_in(SimTime::from_us(10), Ev::Tick);
+//!         }
+//!         let _ = now;
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(Counter { fired: 0 });
+//! sim.schedule_at(SimTime::ZERO, Ev::Tick);
+//! sim.run();
+//! assert_eq!(sim.world().fired, 3);
+//! assert_eq!(sim.now(), SimTime::from_us(20));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod event;
+mod rng;
+mod time;
+mod trace;
+
+pub use engine::{Scheduler, Simulation, StepOutcome, World};
+pub use event::{EventEntry, EventQueue};
+pub use rng::SimRng;
+pub use time::SimTime;
+pub use trace::{Span, SpanSet, TraceEvent, TraceLog};

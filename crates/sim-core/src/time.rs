@@ -1,0 +1,291 @@
+//! The virtual clock.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in (or span of) virtual time, with nanosecond resolution.
+///
+/// `SimTime` doubles as an instant and a duration, exactly like a plain
+/// integer timestamp would; the arithmetic operators below keep the common
+/// manipulations readable. Saturating semantics are used for subtraction so
+/// that clock skew bugs show up as zero-length spans rather than panics in
+/// release experiments (debug builds still catch overflow in `Add`).
+///
+/// # Example
+///
+/// ```
+/// use flep_sim_core::SimTime;
+/// let a = SimTime::from_us(5);
+/// let b = SimTime::from_us(2);
+/// assert_eq!((a + b).as_us(), 7.0);
+/// assert_eq!((a - b).as_ns(), 3_000);
+/// assert_eq!((b - a), SimTime::ZERO); // saturating
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero instant (simulation start).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable instant; useful as an "infinity" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time value from raw nanoseconds.
+    #[must_use]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates a time value from microseconds.
+    #[must_use]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates a time value from milliseconds.
+    #[must_use]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates a time value from a fractional number of microseconds.
+    ///
+    /// Negative inputs clamp to zero; the fractional part is rounded to the
+    /// nearest nanosecond.
+    #[must_use]
+    pub fn from_us_f64(us: f64) -> Self {
+        if us <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((us * 1_000.0).round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    #[must_use]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// This time expressed in (fractional) microseconds.
+    #[must_use]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This time expressed in (fractional) milliseconds.
+    #[must_use]
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This time expressed in (fractional) seconds.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction: `self - rhs`, or zero if `rhs > self`.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, returning `None` on overflow.
+    #[must_use]
+    pub const fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(SimTime(v)),
+            None => None,
+        }
+    }
+
+    /// Scales this span by a floating-point factor (rounding to the nearest
+    /// nanosecond; negative factors clamp to zero).
+    #[must_use]
+    pub fn scale(self, factor: f64) -> SimTime {
+        if factor <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Returns the larger of two times.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two times.
+    #[must_use]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True when this is the zero instant / an empty span.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The ratio `self / other` as `f64`.
+    ///
+    /// Returns 0.0 when `other` is zero so callers computing shares do not
+    /// need a special case for empty denominators.
+    #[must_use]
+    pub fn ratio(self, other: SimTime) -> f64 {
+        if other.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / other.0 as f64
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = self.saturating_sub(rhs);
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_ms())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_us())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_us(1), SimTime::from_ns(1_000));
+        assert_eq!(SimTime::from_ms(1), SimTime::from_us(1_000));
+        assert_eq!(SimTime::from_us_f64(1.5), SimTime::from_ns(1_500));
+    }
+
+    #[test]
+    fn from_us_f64_clamps_negative() {
+        assert_eq!(SimTime::from_us_f64(-3.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn saturating_subtraction() {
+        let a = SimTime::from_us(1);
+        let b = SimTime::from_us(2);
+        assert_eq!(a - b, SimTime::ZERO);
+        assert_eq!(b - a, SimTime::from_us(1));
+    }
+
+    #[test]
+    fn sub_assign_saturates() {
+        let mut t = SimTime::from_us(1);
+        t -= SimTime::from_us(5);
+        assert_eq!(t, SimTime::ZERO);
+    }
+
+    #[test]
+    fn scale_rounds_and_clamps() {
+        assert_eq!(SimTime::from_ns(10).scale(0.55), SimTime::from_ns(6));
+        assert_eq!(SimTime::from_ns(10).scale(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_ns(10).scale(2.0), SimTime::from_ns(20));
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(SimTime::from_us(5).ratio(SimTime::ZERO), 0.0);
+        assert!((SimTime::from_us(5).ratio(SimTime::from_us(10)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimTime::from_ns(12).to_string(), "12ns");
+        assert_eq!(SimTime::from_us(12).to_string(), "12.000us");
+        assert_eq!(SimTime::from_ms(12).to_string(), "12.000ms");
+        assert_eq!(SimTime::from_ms(1200).to_string(), "1.200s");
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: SimTime = [1u64, 2, 3].iter().map(|&u| SimTime::from_us(u)).sum();
+        assert_eq!(total, SimTime::from_us(6));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimTime::from_us(1);
+        let b = SimTime::from_us(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn checked_add_overflow() {
+        assert!(SimTime::MAX.checked_add(SimTime::from_ns(1)).is_none());
+        assert_eq!(
+            SimTime::from_ns(1).checked_add(SimTime::from_ns(2)),
+            Some(SimTime::from_ns(3))
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Lightweight event tracing and span accounting.
+//!
+//! Experiments need two kinds of observability:
+//!
+//! * a timestamped log of interesting moments ([`TraceLog`] of
+//!   [`TraceEvent`]s) used by tests to assert ordering properties, and
+//! * closed intervals of "who held the resource when" ([`SpanSet`]) used to
+//!   compute GPU-share curves (Fig. 13) and busy-time utilization.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimTime;
+
+/// One timestamped trace record with a free-form label and an integer tag
+/// (typically a kernel or SM identifier).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub at: SimTime,
+    /// What happened (stable, test-matchable label such as `"preempt"`).
+    pub label: String,
+    /// Which entity it happened to.
+    pub tag: u64,
+}
+
+/// An append-only in-memory trace.
+///
+/// # Example
+///
+/// ```
+/// use flep_sim_core::{TraceLog, SimTime};
+/// let mut log = TraceLog::new();
+/// log.record(SimTime::from_us(1), "launch", 0);
+/// log.record(SimTime::from_us(5), "finish", 0);
+/// assert_eq!(log.events_labeled("launch").count(), 1);
+/// ```
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl TraceLog {
+    /// Creates an enabled, empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceLog {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled log: `record` becomes a no-op. Experiments that
+    /// run millions of events use this to avoid unbounded memory growth.
+    #[must_use]
+    pub fn disabled() -> Self {
+        TraceLog {
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Appends an event (no-op when disabled).
+    pub fn record(&mut self, at: SimTime, label: impl Into<String>, tag: u64) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                at,
+                label: label.into(),
+                tag,
+            });
+        }
+    }
+
+    /// All events, in insertion (and therefore time) order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Iterates over events with the given label.
+    pub fn events_labeled<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.label == label)
+    }
+
+    /// The first event carrying `label`, if any.
+    #[must_use]
+    pub fn first_labeled(&self, label: &str) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.label == label)
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// A closed interval of virtual time attributed to an owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// Interval start (inclusive).
+    pub start: SimTime,
+    /// Interval end (exclusive).
+    pub end: SimTime,
+    /// Owning entity (kernel id, SM id, ...).
+    pub owner: u64,
+}
+
+impl Span {
+    /// The length of the interval.
+    #[must_use]
+    pub fn duration(&self) -> SimTime {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// The part of this span that overlaps `[from, to)`.
+    #[must_use]
+    pub fn clipped(&self, from: SimTime, to: SimTime) -> SimTime {
+        let s = self.start.max(from);
+        let e = self.end.min(to);
+        e.saturating_sub(s)
+    }
+}
+
+/// A collection of ownership spans with helpers for share computation.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct SpanSet {
+    spans: Vec<Span>,
+    open: Vec<(u64, SimTime)>,
+}
+
+impl SpanSet {
+    /// Creates an empty span set.
+    #[must_use]
+    pub fn new() -> Self {
+        SpanSet::default()
+    }
+
+    /// Marks `owner` as acquiring the resource at `at`. Re-opening an
+    /// already-open owner is ignored (idempotent).
+    pub fn open(&mut self, owner: u64, at: SimTime) {
+        if self.open.iter().any(|&(o, _)| o == owner) {
+            return;
+        }
+        self.open.push((owner, at));
+    }
+
+    /// Marks `owner` as releasing the resource at `at`, closing its span.
+    /// Closing a never-opened owner is ignored.
+    pub fn close(&mut self, owner: u64, at: SimTime) {
+        if let Some(pos) = self.open.iter().position(|&(o, _)| o == owner) {
+            let (_, start) = self.open.swap_remove(pos);
+            if at > start {
+                self.spans.push(Span {
+                    start,
+                    end: at,
+                    owner,
+                });
+            }
+        }
+    }
+
+    /// Closes every still-open span at `at` (end of experiment).
+    pub fn close_all(&mut self, at: SimTime) {
+        let owners: Vec<u64> = self.open.iter().map(|&(o, _)| o).collect();
+        for owner in owners {
+            self.close(owner, at);
+        }
+    }
+
+    /// All closed spans.
+    #[must_use]
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Total closed time attributed to `owner`.
+    #[must_use]
+    pub fn total_for(&self, owner: u64) -> SimTime {
+        self.spans
+            .iter()
+            .filter(|s| s.owner == owner)
+            .map(Span::duration)
+            .sum()
+    }
+
+    /// Time attributed to `owner` within the window `[from, to)`.
+    #[must_use]
+    pub fn total_for_in(&self, owner: u64, from: SimTime, to: SimTime) -> SimTime {
+        self.spans
+            .iter()
+            .filter(|s| s.owner == owner)
+            .map(|s| s.clipped(from, to))
+            .sum()
+    }
+
+    /// `owner`'s share of all closed time in `[from, to)`, in `[0, 1]`.
+    #[must_use]
+    pub fn share_in(&self, owner: u64, from: SimTime, to: SimTime) -> f64 {
+        let total: SimTime = self.spans.iter().map(|s| s.clipped(from, to)).sum();
+        self.total_for_in(owner, from, to).ratio(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::disabled();
+        log.record(SimTime::ZERO, "x", 0);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn label_filtering() {
+        let mut log = TraceLog::new();
+        log.record(SimTime::from_us(1), "a", 1);
+        log.record(SimTime::from_us(2), "b", 2);
+        log.record(SimTime::from_us(3), "a", 3);
+        assert_eq!(log.events_labeled("a").count(), 2);
+        assert_eq!(log.first_labeled("b").unwrap().tag, 2);
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn span_duration_and_clip() {
+        let s = Span {
+            start: SimTime::from_us(10),
+            end: SimTime::from_us(20),
+            owner: 1,
+        };
+        assert_eq!(s.duration(), SimTime::from_us(10));
+        assert_eq!(
+            s.clipped(SimTime::from_us(15), SimTime::from_us(30)),
+            SimTime::from_us(5)
+        );
+        assert_eq!(
+            s.clipped(SimTime::from_us(30), SimTime::from_us(40)),
+            SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn spanset_shares() {
+        let mut set = SpanSet::new();
+        set.open(1, SimTime::ZERO);
+        set.close(1, SimTime::from_us(60));
+        set.open(2, SimTime::from_us(60));
+        set.close(2, SimTime::from_us(90));
+        let share1 = set.share_in(1, SimTime::ZERO, SimTime::from_us(90));
+        assert!((share1 - 2.0 / 3.0).abs() < 1e-9, "{share1}");
+    }
+
+    #[test]
+    fn spanset_idempotent_open_ignored_close() {
+        let mut set = SpanSet::new();
+        set.open(1, SimTime::ZERO);
+        set.open(1, SimTime::from_us(5)); // ignored
+        set.close(1, SimTime::from_us(10));
+        assert_eq!(set.total_for(1), SimTime::from_us(10));
+        set.close(99, SimTime::from_us(10)); // never opened: ignored
+        assert_eq!(set.spans().len(), 1);
+    }
+
+    #[test]
+    fn close_all_flushes_open_spans() {
+        let mut set = SpanSet::new();
+        set.open(1, SimTime::ZERO);
+        set.open(2, SimTime::from_us(3));
+        set.close_all(SimTime::from_us(10));
+        assert_eq!(set.total_for(1), SimTime::from_us(10));
+        assert_eq!(set.total_for(2), SimTime::from_us(7));
+    }
+
+    #[test]
+    fn zero_length_span_dropped() {
+        let mut set = SpanSet::new();
+        set.open(1, SimTime::from_us(4));
+        set.close(1, SimTime::from_us(4));
+        assert!(set.spans().is_empty());
+    }
+}

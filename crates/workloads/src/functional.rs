@@ -1,0 +1,300 @@
+//! Functional workload bodies: real computations whose tasks map 1:1 onto
+//! simulated CTAs, so tests can assert that FLEP-transformed, preempted,
+//! and resumed executions compute *exactly* the same results as an
+//! uninterrupted original run.
+//!
+//! Each job exposes `task_fn()`, a closure suitable for
+//! `flep_gpu_sim::LaunchDesc::with_task_fn`, plus an `expected()` oracle
+//! computed directly on the host.
+
+use std::sync::{Arc, Mutex};
+
+/// A vector addition `c = a + b` split into 256-element tasks (the VA
+/// benchmark's CTA granularity).
+#[derive(Debug, Clone)]
+pub struct VectorAddJob {
+    a: Arc<Vec<f32>>,
+    b: Arc<Vec<f32>>,
+    c: Arc<Mutex<Vec<f32>>>,
+    chunk: usize,
+}
+
+impl VectorAddJob {
+    /// Creates a job over deterministic pseudo-data of length `n`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        let a: Vec<f32> = (0..n).map(|i| (i % 1000) as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..n).map(|i| (i % 777) as f32 * 0.25).collect();
+        VectorAddJob {
+            a: Arc::new(a),
+            b: Arc::new(b),
+            c: Arc::new(Mutex::new(vec![0.0; n])),
+            chunk: 256,
+        }
+    }
+
+    /// Number of tasks (CTAs) the job needs.
+    #[must_use]
+    pub fn num_tasks(&self) -> u64 {
+        (self.a.len().div_ceil(self.chunk)) as u64
+    }
+
+    /// The per-task body: task `t` computes elements `[t*256, (t+1)*256)`.
+    #[must_use]
+    pub fn task_fn(&self) -> Box<dyn FnMut(u64) + Send> {
+        let a = Arc::clone(&self.a);
+        let b = Arc::clone(&self.b);
+        let c = Arc::clone(&self.c);
+        let chunk = self.chunk;
+        Box::new(move |task| {
+            let start = task as usize * chunk;
+            let end = (start + chunk).min(a.len());
+            let mut out = c.lock().expect("poisoned result buffer");
+            for i in start..end {
+                out[i] = a[i] + b[i];
+            }
+        })
+    }
+
+    /// The host-computed oracle.
+    #[must_use]
+    pub fn expected(&self) -> Vec<f32> {
+        self.a.iter().zip(self.b.iter()).map(|(x, y)| x + y).collect()
+    }
+
+    /// The result buffer as computed so far.
+    #[must_use]
+    pub fn result(&self) -> Vec<f32> {
+        self.c.lock().expect("poisoned result buffer").clone()
+    }
+}
+
+/// Dense square matrix multiplication `C = A × B` with one 16×16 output
+/// tile per task (the MM benchmark's CTA granularity).
+#[derive(Debug, Clone)]
+pub struct MatMulJob {
+    a: Arc<Vec<f32>>,
+    b: Arc<Vec<f32>>,
+    c: Arc<Mutex<Vec<f32>>>,
+    n: usize,
+    tile: usize,
+}
+
+impl MatMulJob {
+    /// Creates an `n × n` job; `n` must be a multiple of 16.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a positive multiple of 16.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0 && n.is_multiple_of(16), "matrix size must be a multiple of 16");
+        let a: Vec<f32> = (0..n * n).map(|i| ((i % 13) as f32) - 6.0).collect();
+        let b: Vec<f32> = (0..n * n).map(|i| ((i % 7) as f32) * 0.5).collect();
+        MatMulJob {
+            a: Arc::new(a),
+            b: Arc::new(b),
+            c: Arc::new(Mutex::new(vec![0.0; n * n])),
+            n,
+            tile: 16,
+        }
+    }
+
+    /// Number of 16×16 output tiles.
+    #[must_use]
+    pub fn num_tasks(&self) -> u64 {
+        let tiles = self.n / self.tile;
+        (tiles * tiles) as u64
+    }
+
+    /// The per-task body: task `t` computes output tile
+    /// `(t / tiles, t % tiles)`.
+    #[must_use]
+    pub fn task_fn(&self) -> Box<dyn FnMut(u64) + Send> {
+        let a = Arc::clone(&self.a);
+        let b = Arc::clone(&self.b);
+        let c = Arc::clone(&self.c);
+        let n = self.n;
+        let tile = self.tile;
+        Box::new(move |task| {
+            let tiles = n / tile;
+            let tr = task as usize / tiles;
+            let tc = task as usize % tiles;
+            let mut out = c.lock().expect("poisoned result buffer");
+            for r in tr * tile..(tr + 1) * tile {
+                for col in tc * tile..(tc + 1) * tile {
+                    let mut acc = 0.0f32;
+                    for k in 0..n {
+                        acc += a[r * n + k] * b[k * n + col];
+                    }
+                    out[r * n + col] = acc;
+                }
+            }
+        })
+    }
+
+    /// The host-computed oracle.
+    #[must_use]
+    pub fn expected(&self) -> Vec<f32> {
+        let n = self.n;
+        let mut out = vec![0.0f32; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                let mut acc = 0.0f32;
+                for k in 0..n {
+                    acc += self.a[r * n + k] * self.b[k * n + c];
+                }
+                out[r * n + c] = acc;
+            }
+        }
+        out
+    }
+
+    /// The result buffer as computed so far.
+    #[must_use]
+    pub fn result(&self) -> Vec<f32> {
+        self.c.lock().expect("poisoned result buffer").clone()
+    }
+}
+
+/// Nearest-neighbor distance computation: each task scores a 256-point
+/// chunk against a query (the NN benchmark's CTA granularity).
+#[derive(Debug, Clone)]
+pub struct NearestNeighborJob {
+    points: Arc<Vec<(f32, f32)>>,
+    distances: Arc<Mutex<Vec<f32>>>,
+    query: (f32, f32),
+    chunk: usize,
+}
+
+impl NearestNeighborJob {
+    /// Creates a job over `n` deterministic pseudo-random points.
+    #[must_use]
+    pub fn new(n: usize, query: (f32, f32)) -> Self {
+        let points: Vec<(f32, f32)> = (0..n)
+            .map(|i| {
+                let x = ((i * 37) % 1000) as f32 / 10.0;
+                let y = ((i * 91) % 1000) as f32 / 10.0;
+                (x, y)
+            })
+            .collect();
+        NearestNeighborJob {
+            points: Arc::new(points),
+            distances: Arc::new(Mutex::new(vec![f32::INFINITY; n])),
+            query,
+            chunk: 256,
+        }
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn num_tasks(&self) -> u64 {
+        (self.points.len().div_ceil(self.chunk)) as u64
+    }
+
+    /// The per-task body.
+    #[must_use]
+    pub fn task_fn(&self) -> Box<dyn FnMut(u64) + Send> {
+        let points = Arc::clone(&self.points);
+        let distances = Arc::clone(&self.distances);
+        let (qx, qy) = self.query;
+        let chunk = self.chunk;
+        Box::new(move |task| {
+            let start = task as usize * chunk;
+            let end = (start + chunk).min(points.len());
+            let mut out = distances.lock().expect("poisoned result buffer");
+            for i in start..end {
+                let (x, y) = points[i];
+                out[i] = (x - qx) * (x - qx) + (y - qy) * (y - qy);
+            }
+        })
+    }
+
+    /// Indices of the `k` nearest points according to the computed buffer.
+    #[must_use]
+    pub fn k_nearest(&self, k: usize) -> Vec<usize> {
+        let d = self.distances.lock().expect("poisoned result buffer");
+        let mut idx: Vec<usize> = (0..d.len()).collect();
+        idx.sort_by(|&a, &b| d[a].total_cmp(&d[b]).then(a.cmp(&b)));
+        idx.truncate(k);
+        idx
+    }
+
+    /// Host-computed oracle for the `k` nearest points.
+    #[must_use]
+    pub fn expected_k_nearest(&self, k: usize) -> Vec<usize> {
+        let (qx, qy) = self.query;
+        let d: Vec<f32> = self
+            .points
+            .iter()
+            .map(|&(x, y)| (x - qx) * (x - qx) + (y - qy) * (y - qy))
+            .collect();
+        let mut idx: Vec<usize> = (0..d.len()).collect();
+        idx.sort_by(|&a, &b| d[a].total_cmp(&d[b]).then(a.cmp(&b)));
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_add_tasks_cover_exactly_once() {
+        let job = VectorAddJob::new(1000);
+        assert_eq!(job.num_tasks(), 4);
+        let mut f = job.task_fn();
+        for t in 0..job.num_tasks() {
+            f(t);
+        }
+        assert_eq!(job.result(), job.expected());
+    }
+
+    #[test]
+    fn vector_add_partial_execution_leaves_zeros() {
+        let job = VectorAddJob::new(512);
+        let mut f = job.task_fn();
+        f(0); // only the first 256 elements
+        let r = job.result();
+        assert_eq!(r[..256], job.expected()[..256]);
+        assert!(r[256..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn matmul_matches_oracle() {
+        let job = MatMulJob::new(32);
+        assert_eq!(job.num_tasks(), 4);
+        let mut f = job.task_fn();
+        for t in 0..job.num_tasks() {
+            f(t);
+        }
+        assert_eq!(job.result(), job.expected());
+    }
+
+    #[test]
+    fn matmul_task_order_is_irrelevant() {
+        let job = MatMulJob::new(32);
+        let mut f = job.task_fn();
+        for t in (0..job.num_tasks()).rev() {
+            f(t);
+        }
+        assert_eq!(job.result(), job.expected());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn matmul_rejects_bad_sizes() {
+        let _ = MatMulJob::new(30);
+    }
+
+    #[test]
+    fn nearest_neighbor_top_k_matches_oracle() {
+        let job = NearestNeighborJob::new(2048, (50.0, 50.0));
+        let mut f = job.task_fn();
+        for t in 0..job.num_tasks() {
+            f(t);
+        }
+        assert_eq!(job.k_nearest(10), job.expected_k_nearest(10));
+    }
+}

@@ -1,0 +1,38 @@
+//! The eight FLEP evaluation benchmarks (Table 1 of the paper): calibrated
+//! cost models, mini-CU kernel sources, and functional bodies.
+//!
+//! Three views of each benchmark:
+//!
+//! * **Timing spec** ([`Benchmark`]) — per input class (large / small /
+//!   trivial), a task count and per-task duration calibrated so standalone
+//!   runs on the simulated K40 reproduce Table 1's execution times; plus
+//!   the memory-intensity and irregularity knobs the evaluation shapes
+//!   depend on.
+//! * **Source** ([`source`]) — a mini-CU translation unit per benchmark
+//!   (kernel + host launch), the input to the FLEP compilation engine.
+//! * **Functional body** ([`VectorAddJob`], [`MatMulJob`],
+//!   [`NearestNeighborJob`]) — real computations keyed by task index, used
+//!   to prove preempt/resume correctness end-to-end.
+//!
+//! # Example
+//!
+//! ```
+//! use flep_workloads::{Benchmark, BenchmarkId, InputClass};
+//!
+//! let nn = Benchmark::get(BenchmarkId::Nn);
+//! // Table 1: NN runs the large input in 15775us standalone.
+//! let t = nn.expected_standalone(InputClass::Large, 120);
+//! assert!((t.as_us() - 15_775.0).abs() / 15_775.0 < 0.005);
+//! assert_eq!(nn.table1_amortize, 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod functional;
+mod sources;
+mod spec;
+
+pub use functional::{MatMulJob, NearestNeighborJob, VectorAddJob};
+pub use sources::{kernel_name, source};
+pub use spec::{Benchmark, BenchmarkId, InputClass, InputProfile};

@@ -1,0 +1,325 @@
+//! Mini-CU source code for each benchmark kernel plus a host driver.
+//!
+//! These are the inputs to the FLEP compilation engine in tests and
+//! examples: each source parses, analyzes cleanly, and contains exactly one
+//! `__global__` kernel and one host launch site. The bodies are faithful
+//! *sketches* of the real Rodinia/SHOC/SDK kernels — same data-access
+//! structure and control flow shape — sized so the paper's lines-of-code
+//! contrast (VA's 6-line loop-free kernel vs CFD's 130-line solver) is
+//! visible to the resource estimator and the transform passes.
+
+use crate::spec::BenchmarkId;
+
+/// The mini-CU source for a benchmark: one kernel plus one host driver
+/// containing the launch statement FLEP intercepts.
+#[must_use]
+pub fn source(id: BenchmarkId) -> &'static str {
+    match id {
+        BenchmarkId::Va => VA,
+        BenchmarkId::Nn => NN,
+        BenchmarkId::Mm => MM,
+        BenchmarkId::Spmv => SPMV,
+        BenchmarkId::Pf => PF,
+        BenchmarkId::Pl => PL,
+        BenchmarkId::Md => MD,
+        BenchmarkId::Cfd => CFD,
+    }
+}
+
+/// The kernel's name inside [`source`].
+#[must_use]
+pub fn kernel_name(id: BenchmarkId) -> &'static str {
+    match id {
+        BenchmarkId::Va => "vec_add",
+        BenchmarkId::Nn => "nearest_neighbor",
+        BenchmarkId::Mm => "matrix_mul",
+        BenchmarkId::Spmv => "spmv_csr",
+        BenchmarkId::Pf => "pathfinder_row",
+        BenchmarkId::Pl => "particle_likelihood",
+        BenchmarkId::Md => "md_forces",
+        BenchmarkId::Cfd => "cfd_flux",
+    }
+}
+
+const VA: &str = r#"
+__global__ void vec_add(float* a, float* b, float* c, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        c[i] = a[i] + b[i];
+    }
+}
+void va_main(float* a, float* b, float* c, int n) {
+    vec_add<<<n / 256 + 1, 256>>>(a, b, c, n);
+}
+"#;
+
+const NN: &str = r#"
+__global__ void nearest_neighbor(float* locations, float* distances, float lat, float lng, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        float dx = locations[2 * i] - lat;
+        float dy = locations[2 * i + 1] - lng;
+        distances[i] = dx * dx + dy * dy;
+    }
+}
+void nn_main(float* locations, float* distances, float lat, float lng, int n) {
+    nearest_neighbor<<<n / 256 + 1, 256>>>(locations, distances, lat, lng, n);
+}
+"#;
+
+const MM: &str = r#"
+__global__ void matrix_mul(float* a, float* b, float* c, int wa, int wb) {
+    __shared__ float tile_a[256];
+    __shared__ float tile_b[256];
+    int bx = blockIdx.x;
+    int tx = threadIdx.x;
+    int row = tx / 16;
+    int col = tx % 16;
+    float acc = 0.0f;
+    int steps = wa / 16;
+    for (int s = 0; s < steps; ++s) {
+        tile_a[tx] = a[(bx / (wb / 16)) * 16 * wa + row * wa + s * 16 + col];
+        tile_b[tx] = b[(s * 16 + row) * wb + (bx % (wb / 16)) * 16 + col];
+        __syncthreads();
+        for (int k = 0; k < 16; ++k) {
+            acc += tile_a[row * 16 + k] * tile_b[k * 16 + col];
+        }
+        __syncthreads();
+    }
+    c[(bx / (wb / 16)) * 16 * wb + row * wb + (bx % (wb / 16)) * 16 + col] = acc;
+}
+void mm_main(float* a, float* b, float* c, int wa, int wb) {
+    matrix_mul<<<wa * wb / 256, 256>>>(a, b, c, wa, wb);
+}
+"#;
+
+const SPMV: &str = r#"
+__global__ void spmv_csr(float* vals, int* cols, int* row_ptr, float* x, float* y, int rows) {
+    int r = blockIdx.x * blockDim.x + threadIdx.x;
+    if (r < rows) {
+        float acc = 0.0f;
+        int start = row_ptr[r];
+        int end = row_ptr[r + 1];
+        for (int j = start; j < end; ++j) {
+            acc += vals[j] * x[cols[j]];
+        }
+        y[r] = acc;
+    }
+}
+void spmv_main(float* vals, int* cols, int* row_ptr, float* x, float* y, int rows) {
+    spmv_csr<<<rows / 256 + 1, 256>>>(vals, cols, row_ptr, x, y, rows);
+}
+"#;
+
+const PF: &str = r#"
+__global__ void pathfinder_row(int* wall, int* src, int* dst, int cols, int t) {
+    __shared__ int prev[256];
+    __shared__ int cur[256];
+    int tx = threadIdx.x;
+    int x = blockIdx.x * blockDim.x + tx;
+    if (x < cols) {
+        prev[tx] = src[x];
+    }
+    __syncthreads();
+    if (x < cols) {
+        int left = prev[tx];
+        if (tx > 0) {
+            int l = prev[tx - 1];
+            if (l < left) left = l;
+        }
+        if (tx < 255) {
+            int r = prev[tx + 1];
+            if (r < left) left = r;
+        }
+        cur[tx] = left + wall[t * cols + x];
+        dst[x] = cur[tx];
+    }
+}
+void pf_main(int* wall, int* src, int* dst, int cols, int t) {
+    pathfinder_row<<<cols / 256 + 1, 256>>>(wall, src, dst, cols, t);
+}
+"#;
+
+const PL: &str = r#"
+__global__ void particle_likelihood(float* particles, float* weights, float* obs, int n, int frame) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        float px = particles[2 * i];
+        float py = particles[2 * i + 1];
+        float ox = obs[2 * frame];
+        float oy = obs[2 * frame + 1];
+        float dx = px - ox;
+        float dy = py - oy;
+        float dist = dx * dx + dy * dy;
+        weights[i] = (dist < 1.0f) ? (1.0f - dist) : 0.0f;
+    }
+}
+void pl_main(float* particles, float* weights, float* obs, int n, int frame) {
+    particle_likelihood<<<n / 256 + 1, 256>>>(particles, weights, obs, n, frame);
+}
+"#;
+
+const MD: &str = r#"
+__global__ void md_forces(float* pos, float* force, int* neighbors, int n, int max_neighbors, float cutoff) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        float xi = pos[3 * i];
+        float yi = pos[3 * i + 1];
+        float zi = pos[3 * i + 2];
+        float fx = 0.0f;
+        float fy = 0.0f;
+        float fz = 0.0f;
+        for (int j = 0; j < max_neighbors; ++j) {
+            int nb = neighbors[i * max_neighbors + j];
+            float dx = pos[3 * nb] - xi;
+            float dy = pos[3 * nb + 1] - yi;
+            float dz = pos[3 * nb + 2] - zi;
+            float r2 = dx * dx + dy * dy + dz * dz;
+            if (r2 < cutoff) {
+                float inv = 1.0f / (r2 + 0.001f);
+                float inv3 = inv * inv * inv;
+                float s = inv3 * (inv3 - 0.5f) * inv;
+                fx += dx * s;
+                fy += dy * s;
+                fz += dz * s;
+            }
+        }
+        force[3 * i] = fx;
+        force[3 * i + 1] = fy;
+        force[3 * i + 2] = fz;
+    }
+}
+void md_main(float* pos, float* force, int* neighbors, int n, int max_neighbors, float cutoff) {
+    md_forces<<<n / 256 + 1, 256>>>(pos, force, neighbors, n, max_neighbors, cutoff);
+}
+"#;
+
+const CFD: &str = r#"
+__global__ void cfd_flux(float* density, float* momentum_x, float* momentum_y, float* momentum_z, float* energy, float* fluxes, int* neighbors, float* normals, int n_cells) {
+    int cell = blockIdx.x * blockDim.x + threadIdx.x;
+    if (cell < n_cells) {
+        float d = density[cell];
+        float mx = momentum_x[cell];
+        float my = momentum_y[cell];
+        float mz = momentum_z[cell];
+        float e = energy[cell];
+        float inv_d = 1.0f / d;
+        float vx = mx * inv_d;
+        float vy = my * inv_d;
+        float vz = mz * inv_d;
+        float speed2 = vx * vx + vy * vy + vz * vz;
+        float pressure = 0.4f * (e - 0.5f * d * speed2);
+        float flux_d = 0.0f;
+        float flux_mx = 0.0f;
+        float flux_my = 0.0f;
+        float flux_mz = 0.0f;
+        float flux_e = 0.0f;
+        for (int f = 0; f < 4; ++f) {
+            int nb = neighbors[cell * 4 + f];
+            float nx = normals[(cell * 4 + f) * 3];
+            float ny = normals[(cell * 4 + f) * 3 + 1];
+            float nz = normals[(cell * 4 + f) * 3 + 2];
+            if (nb >= 0) {
+                float dn = density[nb];
+                float mxn = momentum_x[nb];
+                float myn = momentum_y[nb];
+                float mzn = momentum_z[nb];
+                float en = energy[nb];
+                float inv_dn = 1.0f / dn;
+                float vxn = mxn * inv_dn;
+                float vyn = myn * inv_dn;
+                float vzn = mzn * inv_dn;
+                float sp2n = vxn * vxn + vyn * vyn + vzn * vzn;
+                float pn = 0.4f * (en - 0.5f * dn * sp2n);
+                float vel_face = 0.5f * (vx * nx + vy * ny + vz * nz + vxn * nx + vyn * ny + vzn * nz);
+                float p_face = 0.5f * (pressure + pn);
+                flux_d += vel_face * 0.5f * (d + dn);
+                flux_mx += vel_face * 0.5f * (mx + mxn) + p_face * nx;
+                flux_my += vel_face * 0.5f * (my + myn) + p_face * ny;
+                flux_mz += vel_face * 0.5f * (mz + mzn) + p_face * nz;
+                flux_e += vel_face * 0.5f * (e + en + pressure + pn);
+            } else {
+                flux_mx += pressure * nx;
+                flux_my += pressure * ny;
+                flux_mz += pressure * nz;
+            }
+        }
+        fluxes[cell * 5] = flux_d;
+        fluxes[cell * 5 + 1] = flux_mx;
+        fluxes[cell * 5 + 2] = flux_my;
+        fluxes[cell * 5 + 3] = flux_mz;
+        fluxes[cell * 5 + 4] = flux_e;
+    }
+}
+void cfd_main(float* density, float* momentum_x, float* momentum_y, float* momentum_z, float* energy, float* fluxes, int* neighbors, float* normals, int n_cells) {
+    cfd_flux<<<n_cells / 256 + 1, 256>>>(density, momentum_x, momentum_y, momentum_z, energy, fluxes, neighbors, normals, n_cells);
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flep_minicu::{analyze, parse};
+
+    #[test]
+    fn every_source_type_checks() {
+        for id in BenchmarkId::ALL {
+            let program = parse(source(id)).unwrap_or_else(|e| panic!("{id}: {e}"));
+            flep_minicu::type_check(&program).unwrap_or_else(|e| panic!("{id}: {e}"));
+        }
+    }
+
+    #[test]
+    fn every_source_parses_and_analyzes() {
+        for id in BenchmarkId::ALL {
+            let program = parse(source(id)).unwrap_or_else(|e| panic!("{id}: {e}"));
+            let info = analyze(&program).unwrap_or_else(|e| panic!("{id}: {e}"));
+            assert_eq!(info.kernels.len(), 1, "{id} must define one kernel");
+            assert_eq!(info.launches.len(), 1, "{id} must have one launch site");
+            assert_eq!(info.kernels[0].name, kernel_name(id), "{id}");
+        }
+    }
+
+    #[test]
+    fn kernel_sizes_follow_table1_ordering() {
+        // VA is the smallest kernel, CFD the largest (Table 1 LoC column).
+        let count = |id: BenchmarkId| {
+            let program = parse(source(id)).unwrap();
+            let info = analyze(&program).unwrap();
+            info.kernels[0].body_statements
+        };
+        let va = count(BenchmarkId::Va);
+        let nn = count(BenchmarkId::Nn);
+        let cfd = count(BenchmarkId::Cfd);
+        let md = count(BenchmarkId::Md);
+        assert!(va <= nn, "VA ({va}) should be smallest vs NN ({nn})");
+        assert!(md < cfd, "MD ({md}) < CFD ({cfd})");
+        assert!(va < cfd, "VA ({va}) < CFD ({cfd})");
+    }
+
+    #[test]
+    fn va_kernel_is_loop_free_and_cfd_has_loops() {
+        let va = parse(source(BenchmarkId::Va)).unwrap();
+        assert!(!analyze(&va).unwrap().kernels[0].has_loop);
+        let cfd = parse(source(BenchmarkId::Cfd)).unwrap();
+        assert!(analyze(&cfd).unwrap().kernels[0].has_loop);
+    }
+
+    #[test]
+    fn mm_uses_shared_memory() {
+        use flep_minicu::estimate_resources;
+        let p = parse(source(BenchmarkId::Mm)).unwrap();
+        let k = p.function(kernel_name(BenchmarkId::Mm)).unwrap();
+        assert_eq!(estimate_resources(k).smem_per_cta, 2048);
+    }
+
+    #[test]
+    fn sources_round_trip_through_printer() {
+        for id in BenchmarkId::ALL {
+            let p1 = parse(source(id)).unwrap();
+            let printed = p1.to_string();
+            let p2 = parse(&printed).unwrap_or_else(|e| panic!("{id}: {e}\n{printed}"));
+            assert_eq!(p1, p2, "{id}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Cloud multi-tenancy: spatial preemption and weighted fairness.
+//!
+//! The paper motivates spatial preemption with cloud platforms "where the
+//! GPU may need to process a large number of short queries from
+//! user-facing interactive applications" (§2.2). This example runs both
+//! halves of that story:
+//!
+//! 1. **Micro-queries vs a batch job** — a stream of trivial-input queries
+//!    keeps preempting a long CFD solve. Spatial preemption (yield 5 of 15
+//!    SMs) is compared with temporal preemption (yield everything).
+//! 2. **Weighted fair sharing** — two tenants with a 2:1 priority ratio
+//!    loop forever under the FFS policy; their GPU shares converge to
+//!    2/3 vs 1/3 while total throughput degradation stays near the
+//!    configured 10% budget (Figs. 13/14).
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example cloud_serving
+//! ```
+
+use flep_core::prelude::*;
+
+fn main() {
+    micro_queries();
+    println!();
+    fair_sharing();
+}
+
+/// Part 1: a batch job repeatedly preempted by short interactive queries.
+fn micro_queries() {
+    let cfg = GpuConfig::k40();
+    let store = ModelStore::train(7);
+    let batch = Benchmark::get(BenchmarkId::Cfd);
+    let query = Benchmark::get(BenchmarkId::Va);
+
+    println!("=== Part 1: micro-queries preempting a batch solver ===");
+    println!(
+        "batch: {} large ({}); queries: 4x {} trivial ({} CTAs, {} SMs)\n",
+        batch.id,
+        batch.expected_standalone(InputClass::Large, 120),
+        query.id,
+        query.profile(InputClass::Trivial).tasks,
+        KernelProfile::of(&query, InputClass::Trivial)
+            .sms_needed(&cfg, query.profile(InputClass::Trivial).tasks),
+    );
+
+    let run = |policy: Policy| {
+        let mut corun = CoRun::new(cfg.clone(), policy).job(
+            JobSpec::new(KernelProfile::of(&batch, InputClass::Large), SimTime::ZERO)
+                .with_priority(1)
+                .with_predicted(store.predict(&batch, InputClass::Large))
+                .with_seed(11),
+        );
+        // Four queries arriving every 2ms.
+        for q in 0..4u64 {
+            corun = corun.job(
+                JobSpec::new(
+                    KernelProfile::of(&query, InputClass::Trivial),
+                    SimTime::from_ms(1) + SimTime::from_ms(2) * q,
+                )
+                .with_priority(2)
+                .with_predicted(store.predict(&query, InputClass::Trivial))
+                .with_seed(100 + q),
+            );
+        }
+        corun.run()
+    };
+
+    for (label, policy) in [
+        ("temporal preemption (yield all 15 SMs)", Policy::hpf()),
+        ("spatial preemption (yield 5 SMs)", Policy::hpf_spatial()),
+    ] {
+        let r = run(policy);
+        let batch_done = r.jobs[0].completed.unwrap();
+        let mean_query_us: f64 = r.jobs[1..]
+            .iter()
+            .map(|j| j.turnaround().unwrap().as_us())
+            .sum::<f64>()
+            / 4.0;
+        println!("{label}:");
+        println!(
+            "  batch completed {batch_done}, mean query turnaround {:.0}us",
+            mean_query_us
+        );
+    }
+}
+
+/// Part 2: two looping tenants under weighted-fair scheduling.
+fn fair_sharing() {
+    let cfg = GpuConfig::k40();
+    let store = ModelStore::train(7);
+    let a = Benchmark::get(BenchmarkId::Pf);
+    let b = Benchmark::get(BenchmarkId::Pl);
+    let horizon = SimTime::from_ms(200);
+
+    println!("=== Part 2: weighted fair sharing (FFS, weights 2:1, max_overhead 10%) ===");
+    let result = CoRun::new(cfg, Policy::Ffs { max_overhead: 0.10 })
+        .job(
+            JobSpec::new(KernelProfile::of(&a, InputClass::Large), SimTime::ZERO)
+                .with_priority(2)
+                .with_predicted(store.predict(&a, InputClass::Large))
+                .looping(),
+        )
+        .job(
+            JobSpec::new(KernelProfile::of(&b, InputClass::Large), SimTime::from_us(5))
+                .with_priority(1)
+                .with_predicted(store.predict(&b, InputClass::Large))
+                .looping(),
+        )
+        .horizon(horizon)
+        .run();
+
+    println!("\n  window      {:>8}  {:>8}", a.id, b.id);
+    let window = SimTime::from_ms(25);
+    let mut t = SimTime::ZERO;
+    while t + window <= horizon {
+        let sa = result.gpu_share(0, t, t + window);
+        let sb = result.gpu_share(1, t, t + window);
+        println!(
+            "  {:>4}-{:<4}  {:>7.1}%  {:>7.1}%",
+            t.as_ms(),
+            (t + window).as_ms(),
+            sa * 100.0,
+            sb * 100.0
+        );
+        t += window;
+    }
+    println!(
+        "\n  completions over {horizon}: {} x{}  {} x{}",
+        a.id, result.jobs[0].completions, b.id, result.jobs[1].completions
+    );
+    println!("  target shares: 66.7% / 33.3%");
+}

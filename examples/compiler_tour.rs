@@ -1,0 +1,70 @@
+//! A tour of the FLEP compilation engine: all three Fig. 4 kernel forms,
+//! the Fig. 5 host state machine, the kernel-slicing baseline, and the
+//! offline amortizing-factor tuner, applied to a real benchmark kernel.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example compiler_tour
+//! ```
+
+use flep_core::prelude::*;
+use flep_compile::slice_transform;
+
+fn main() {
+    let id = BenchmarkId::Spmv;
+    let source = flep_workloads::source(id);
+    let program = parse(source).expect("benchmark sources are valid");
+
+    println!("=== Original kernel ({id}) ===\n{program}");
+
+    for (mode, label) in [
+        (TransformMode::TemporalNaive, "Fig. 4(a): naive temporal"),
+        (
+            TransformMode::TemporalAmortized,
+            "Fig. 4(b): amortized temporal",
+        ),
+        (TransformMode::Spatial, "Fig. 4(c): spatial"),
+    ] {
+        let out = transform(&program, mode).expect("transformable");
+        println!("=== {label} ===\n");
+        // Print just the generated persistent kernel, not the whole unit.
+        let meta = &out.kernels[0];
+        let kernel = out
+            .program
+            .function(&meta.persistent)
+            .expect("generated kernel exists");
+        println!("{kernel}");
+    }
+
+    // The rewritten host code: the Fig. 5 state machine.
+    let out = transform(&program, TransformMode::Spatial).expect("transformable");
+    let host = out
+        .program
+        .functions
+        .iter()
+        .find(|f| f.kind == flep_minicu::FnKind::Host)
+        .expect("host fn");
+    println!("=== Fig. 5: transformed host code ===\n\n{host}");
+
+    // The kernel-slicing baseline transform.
+    let sliced = slice_transform(&program, 120).expect("sliceable");
+    println!("=== Kernel-slicing baseline (120-CTA slices) ===\n\n{sliced}");
+
+    // The offline tuner: smallest amortizing factor under the 4% budget.
+    let cfg = GpuConfig::k40();
+    let bench = Benchmark::get(id);
+    let result = tune(&cfg, &bench);
+    println!("=== Offline amortizing-factor tuning for {id} ===\n");
+    for trial in &result.trials {
+        println!(
+            "  L = {:>4}: overhead {:>6.2}%  {}",
+            trial.amortize,
+            trial.overhead * 100.0,
+            if trial.overhead < 0.04 { "PASS" } else { "fail" }
+        );
+    }
+    println!(
+        "\nchosen L = {} (paper's Table 1: {})",
+        result.chosen, bench.table1_amortize
+    );
+}

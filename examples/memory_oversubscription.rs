@@ -1,0 +1,91 @@
+//! Device-memory oversubscription with the GPUSwap integration — the
+//! future-work extension the paper plans in §8 ("We plan to integrate
+//! GPUSwap into FLEP to handle large working sets").
+//!
+//! Two analytics tenants alternate on one GPU under FLEP/HPF. Their
+//! working sets are measured against a deliberately small 1 GiB device:
+//! when both fit, scheduling is pure FLEP; when each needs 3/4 of device
+//! memory, every preemption-driven handoff also swaps working sets over
+//! PCIe, and the swap traffic becomes visible in both the statistics and
+//! the makespan.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example memory_oversubscription
+//! ```
+
+use flep_core::prelude::*;
+use flep_gpu_sim::SwapManager;
+
+const GIB: u64 = 1 << 30;
+
+fn main() {
+    let store = ModelStore::train(11);
+
+    // A long scan (VA large) and periodic short aggregations (MM small)
+    // from another tenant, equal priority: HPF preempts the scan for each
+    // aggregation (shortest-remaining-time).
+    let run = |working_set: u64| {
+        let mut corun = CoRun::new(GpuConfig::k40(), Policy::hpf())
+            // 1 GiB device, ~10 GB/s PCIe.
+            .with_swap(SwapManager::new(GIB, 10_000.0, SimTime::from_us(10)))
+            .job(
+                JobSpec::new(
+                    KernelProfile::of(&Benchmark::get(BenchmarkId::Va), InputClass::Large),
+                    SimTime::ZERO,
+                )
+                .with_predicted(
+                    store.predict(&Benchmark::get(BenchmarkId::Va), InputClass::Large),
+                )
+                .with_working_set(working_set)
+                .with_seed(1),
+            );
+        for q in 0..3u64 {
+            corun = corun.job(
+                JobSpec::new(
+                    KernelProfile::of(&Benchmark::get(BenchmarkId::Mm), InputClass::Small),
+                    SimTime::from_ms(5) * (q + 1),
+                )
+                .with_predicted(
+                    store.predict(&Benchmark::get(BenchmarkId::Mm), InputClass::Small),
+                )
+                .with_working_set(working_set)
+                .with_seed(10 + q),
+            );
+        }
+        corun.run()
+    };
+
+    println!("1 GiB device; scan tenant (VA large) + 3 aggregation queries (MM small)\n");
+    for (label, ws) in [
+        ("working sets fit (256 MiB each)", GIB / 4),
+        ("oversubscribed (768 MiB each)", GIB * 3 / 4),
+    ] {
+        let result = run(ws);
+        let stats = result.swap_stats.expect("swap enabled");
+        let makespan = result
+            .jobs
+            .iter()
+            .filter_map(|j| j.completed)
+            .max()
+            .expect("all jobs complete");
+        println!("--- {label} ---");
+        println!(
+            "  makespan {makespan}   swap-ins {}   swap-outs {}   moved {} MiB",
+            stats.swap_ins,
+            stats.swap_outs,
+            (stats.bytes_in + stats.bytes_out) >> 20
+        );
+        for j in &result.jobs {
+            println!(
+                "  {:<9} turnaround {:>12}  preemptions {}",
+                j.name,
+                j.turnaround().unwrap().to_string(),
+                j.preemptions
+            );
+        }
+        println!();
+    }
+    println!("oversubscription converts each preemption handoff into PCIe swap traffic —");
+    println!("FLEP still enforces the schedule, but the swap time is charged to every launch.");
+}

@@ -1,0 +1,18 @@
+//! `flep-suite` — the workspace umbrella crate.
+//!
+//! This package exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`) at the repository root. For
+//! library use, depend on [`flep_core`] directly; its
+//! [`prelude`](flep_core::prelude) re-exports everything the examples use.
+//!
+//! ```
+//! use flep_suite::core::prelude::*;
+//!
+//! let bench = Benchmark::get(BenchmarkId::Va);
+//! assert_eq!(bench.table1_amortize, 200);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use flep_core as core;

@@ -1,0 +1,201 @@
+//! End-to-end integration tests: the full FLEP pipeline — mini-CU source →
+//! compilation engine → simulated device → runtime scheduling — plus
+//! functional correctness through preemption under the real scheduler.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use flep_core::prelude::*;
+
+#[test]
+fn all_benchmark_sources_compile_through_the_full_pipeline() {
+    for id in BenchmarkId::ALL {
+        let src = flep_workloads::source(id);
+        let program = parse(src).unwrap_or_else(|e| panic!("{id}: parse: {e}"));
+        let info = analyze(&program).unwrap_or_else(|e| panic!("{id}: sema: {e}"));
+        assert_eq!(info.kernels.len(), 1);
+        for mode in [
+            TransformMode::TemporalNaive,
+            TransformMode::TemporalAmortized,
+            TransformMode::Spatial,
+        ] {
+            let out = transform(&program, mode).unwrap_or_else(|e| panic!("{id} {mode:?}: {e}"));
+            // Generated code round-trips.
+            let printed = out.program.to_string();
+            let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{id} {mode:?}: {e}"));
+            analyze(&reparsed).unwrap_or_else(|e| panic!("{id} {mode:?}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn functional_workload_survives_runtime_preemption() {
+    // Run a real matrix multiplication as the victim under HPF; a
+    // high-priority kernel preempts it mid-flight; the result must still
+    // be exact.
+    let job = flep_workloads::MatMulJob::new(256); // 256 tile tasks (2-3 waves)
+    let total_tasks = job.num_tasks();
+
+    let mut victim = KernelProfile::of(&Benchmark::get(BenchmarkId::Mm), InputClass::Large);
+    victim.total_tasks = total_tasks;
+    victim.task_cost = TaskCost::fixed(SimTime::from_us(300));
+    victim.amortize = 1;
+
+    let hi = KernelProfile::of(&Benchmark::get(BenchmarkId::Spmv), InputClass::Small);
+
+    // The runtime relaunches the victim after preemption; its task_fn must
+    // be reattached per launch. KernelProfile cannot carry closures, so we
+    // run the victim via the scenario API with an explicit preempt/resume
+    // to emulate what the runtime does, asserting identical task coverage.
+    let counter = Arc::new(AtomicU64::new(0));
+    let c1 = counter.clone();
+    let mut f1 = job.task_fn();
+    let mut sc = Scenario::new(GpuConfig::k40());
+    sc.launch_at(
+        SimTime::ZERO,
+        LaunchDesc::new(
+            "mm",
+            GridShape::Persistent {
+                total_tasks,
+                amortize: 1,
+            },
+            TaskCost::fixed(SimTime::from_us(300)),
+        )
+        .with_tag(1)
+        .with_task_fn(Box::new(move |t| {
+            c1.fetch_add(1, Ordering::Relaxed);
+            f1(t);
+        })),
+    );
+    sc.signal_at(SimTime::from_us(500), 1, PreemptSignal::YieldSms(15));
+    let r1 = sc.run();
+    let p = r1.records[&1].preemptions[0];
+    assert!(p.remaining > 0, "preemption must land mid-run");
+
+    let c2 = counter.clone();
+    let mut f2 = job.task_fn();
+    let mut sc2 = Scenario::new(GpuConfig::k40());
+    sc2.launch_at(
+        SimTime::ZERO,
+        LaunchDesc::new(
+            "mm_resume",
+            GridShape::Persistent {
+                total_tasks: p.remaining,
+                amortize: 1,
+            },
+            TaskCost::fixed(SimTime::from_us(300)),
+        )
+        .with_tag(1)
+        .with_first_task(p.tasks_done)
+        .with_task_fn(Box::new(move |t| {
+            c2.fetch_add(1, Ordering::Relaxed);
+            f2(t);
+        })),
+    );
+    let _ = sc2.run();
+
+    assert_eq!(counter.load(Ordering::Relaxed), total_tasks);
+    assert_eq!(job.result(), job.expected());
+
+    // And the runtime-level sanity check: the same shapes schedule fine.
+    let result = CoRun::new(GpuConfig::k40(), Policy::hpf())
+        .job(JobSpec::new(victim, SimTime::ZERO))
+        .job(JobSpec::new(hi, SimTime::from_us(100)))
+        .run();
+    assert!(result.jobs.iter().all(|j| j.completed.is_some()));
+}
+
+#[test]
+fn nearest_neighbor_query_is_exact_after_spatial_preemption() {
+    let job = flep_workloads::NearestNeighborJob::new(10_240, (42.0, 17.0));
+    let total = job.num_tasks();
+    let mut sc = Scenario::new(GpuConfig::k40());
+    sc.launch_at(
+        SimTime::ZERO,
+        LaunchDesc::new(
+            "nn",
+            GridShape::Persistent {
+                total_tasks: total,
+                amortize: 2,
+            },
+            TaskCost::fixed(SimTime::from_us(40)),
+        )
+        .with_tag(1)
+        .with_task_fn(job.task_fn()),
+    );
+    // Spatial signal: SMs 0..7 yield; the rest finish all tasks.
+    sc.signal_at(SimTime::from_us(30), 1, PreemptSignal::YieldSms(8));
+    let r = sc.run();
+    assert!(r.records[&1].completed_at.is_some());
+    assert_eq!(job.k_nearest(10), job.expected_k_nearest(10));
+}
+
+#[test]
+fn paper_narrative_holds_across_policies() {
+    // One scenario, four policies: the orderings the paper's story
+    // depends on.
+    let cfg = GpuConfig::k40();
+    let store = ModelStore::train(3);
+    let long = Benchmark::get(BenchmarkId::Va);
+    let short = Benchmark::get(BenchmarkId::Spmv);
+    let turnaround = |policy: Policy| {
+        let r = CoRun::new(cfg.clone(), policy)
+            .job(
+                JobSpec::new(KernelProfile::of(&long, InputClass::Large), SimTime::ZERO)
+                    .with_predicted(store.predict(&long, InputClass::Large))
+                    .with_seed(1),
+            )
+            .job(
+                JobSpec::new(
+                    KernelProfile::of(&short, InputClass::Small),
+                    SimTime::from_us(20),
+                )
+                .with_predicted(store.predict(&short, InputClass::Small))
+                .with_seed(2),
+            )
+            .run();
+        r.jobs[1].turnaround().unwrap()
+    };
+    let mps = turnaround(Policy::MpsBaseline);
+    let reorder = turnaround(Policy::Reordering);
+    let hpf = turnaround(Policy::hpf());
+    // Reordering cannot beat MPS here (the long kernel already started);
+    // FLEP preemption wins by a large factor.
+    assert!(hpf.as_us() * 10.0 < mps.as_us(), "hpf {hpf} vs mps {mps}");
+    assert!(reorder.as_us() > mps.as_us() * 0.8, "reorder {reorder}");
+}
+
+#[test]
+fn model_predictions_drive_scheduling_not_oracles() {
+    // Feed the runtime deliberately WRONG predictions: claiming the long
+    // kernel is short must suppress the SRT preemption.
+    let cfg = GpuConfig::k40();
+    let long = KernelProfile::of(&Benchmark::get(BenchmarkId::Va), InputClass::Large);
+    let short = KernelProfile::of(&Benchmark::get(BenchmarkId::Mm), InputClass::Small);
+    let r = CoRun::new(cfg, Policy::hpf())
+        .job(
+            JobSpec::new(long, SimTime::ZERO)
+                // Lie: claim VA-large finishes in 100us.
+                .with_predicted(SimTime::from_us(100)),
+        )
+        .job(JobSpec::new(short, SimTime::from_us(50)).with_predicted(SimTime::from_us(1500)))
+        .run();
+    // With the lie, the running kernel's predicted remaining time is tiny,
+    // so the scheduler must NOT preempt it.
+    assert_eq!(r.jobs[0].preemptions, 0);
+}
+
+#[test]
+fn quick_experiment_harness_smoke() {
+    // A fast smoke pass over the harness entry points used by the bench
+    // binaries (full runs live there; shapes are asserted in
+    // tests/experiment_shapes.rs).
+    let cfg = GpuConfig::k40();
+    let t1 = experiments::table1(&cfg);
+    assert_eq!(t1.len(), 8);
+    for row in &t1 {
+        assert_eq!(row.tuned_amortize, row.paper_amortize, "{}", row.id);
+    }
+    let f17 = experiments::fig17_overhead(&cfg);
+    assert_eq!(f17.len(), 8);
+}

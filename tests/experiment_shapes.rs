@@ -1,0 +1,213 @@
+//! Shape tests for the paper's headline results: not the absolute numbers
+//! (our substrate is a simulator, not the authors' K40), but the orderings,
+//! magnitudes, and crossovers every figure reports.
+//!
+//! These run the same harness as the `flep-bench` binaries, at quick
+//! settings; they are the repository's executable claims about fidelity.
+
+use flep_core::prelude::*;
+use flep_metrics::Summary;
+
+fn cfg() -> GpuConfig {
+    GpuConfig::k40()
+}
+
+#[test]
+fn fig01_shape_mps_slowdowns_are_severe() {
+    let rows = experiments::fig01_mps_slowdown(&cfg(), ExpConfig::quick(1));
+    assert_eq!(rows.len(), 28);
+    let values: Vec<f64> = rows.iter().map(|r| r.value).collect();
+    let s = Summary::of(&values);
+    // Paper: up to 32.6X. Shape: severe slowdowns, max in the tens.
+    assert!(s.max > 20.0, "max slowdown {:.1}", s.max);
+    assert!(s.max < 50.0, "max slowdown {:.1}", s.max);
+    assert!(s.mean > 5.0, "mean slowdown {:.1}", s.mean);
+    // The worst pairs put a short kernel behind NN/VA-scale work.
+    assert!(values.iter().all(|&v| v >= 1.0));
+}
+
+#[test]
+fn fig07_shape_prediction_errors() {
+    let errors = experiments::fig07_prediction_errors(ExpConfig::quick(1));
+    assert_eq!(errors.len(), 8);
+    let avg = errors.iter().map(|(_, e)| e).sum::<f64>() / 8.0;
+    // Paper: avg ~6.9%, range ~2.7%..12.2%.
+    assert!(avg > 0.03 && avg < 0.12, "avg {avg:.3}");
+    for &(id, e) in &errors {
+        assert!(e > 0.005 && e < 0.20, "{id}: {e:.3}");
+    }
+    // Regular kernels beat the sparse/neighbor-driven ones.
+    let err_of = |id: BenchmarkId| errors.iter().find(|(i, _)| *i == id).unwrap().1;
+    assert!(err_of(BenchmarkId::Va) < err_of(BenchmarkId::Spmv));
+    assert!(err_of(BenchmarkId::Nn) < err_of(BenchmarkId::Md));
+}
+
+#[test]
+fn fig08_shape_hpf_speedups() {
+    let rows = experiments::fig08_hpf_speedups(&cfg(), ExpConfig::quick(2));
+    assert_eq!(rows.len(), 28);
+    let values: Vec<f64> = rows.iter().map(|r| r.value).collect();
+    let s = Summary::of(&values);
+    // Paper: avg ~10.1X, max ~24.2X, min ~4.1X.
+    assert!(s.mean > 6.0 && s.mean < 16.0, "mean {:.1}", s.mean);
+    assert!(s.max > 15.0 && s.max < 35.0, "max {:.1}", s.max);
+    assert!(s.min > 2.0, "min {:.1}", s.min);
+    // The headline pair: SPMV behind NN is among the largest speedups.
+    let spmv_nn = rows
+        .iter()
+        .find(|r| r.lo == BenchmarkId::Nn && r.hi == BenchmarkId::Spmv)
+        .unwrap()
+        .value;
+    assert!(spmv_nn > s.mean, "SPMV_NN {spmv_nn:.1} should beat the mean");
+}
+
+#[test]
+fn fig09_shape_speedup_decays_with_delay_to_plateau() {
+    let curves = experiments::fig09_delay_sweep(&cfg(), ExpConfig::quick(3));
+    assert_eq!(curves.len(), 4);
+    for curve in curves {
+        let values: Vec<f64> = curve.points.iter().map(|&(_, v)| v).collect();
+        // Starts high, ends at ~1 (delay beyond the victim's runtime).
+        assert!(
+            values[0] > 2.0,
+            "{:?}: zero-delay speedup {:.2}",
+            (curve.lo, curve.hi),
+            values[0]
+        );
+        let last = *values.last().unwrap();
+        assert!(
+            (0.8..1.3).contains(&last),
+            "{:?}: plateau {last:.2}",
+            (curve.lo, curve.hi)
+        );
+        // Roughly monotone decreasing; near the plateau (speedup ~1) the
+        // FLEP overhead makes points wiggle on either side of 1.0.
+        for w in values.windows(2) {
+            assert!(
+                w[1] <= (w[0] * 1.15).max(1.1),
+                "curve not decaying: {values:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig10_11_shape_antt_improves_stp_degrades_slightly() {
+    let rows = experiments::fig10_11_equal_priority(&cfg(), ExpConfig::quick(4));
+    assert_eq!(rows.len(), 28);
+    let antt: Vec<f64> = rows.iter().map(|r| r.antt_improvement).collect();
+    let stp: Vec<f64> = rows.iter().map(|r| r.stp_degradation).collect();
+    let antt_s = Summary::of(&antt);
+    let stp_s = Summary::of(&stp);
+    // Paper: ANTT improvement avg ~8X; STP degradation avg ~5.4%.
+    assert!(antt_s.mean > 3.0 && antt_s.mean < 15.0, "ANTT mean {:.1}", antt_s.mean);
+    assert!(antt_s.max > 8.0, "ANTT max {:.1}", antt_s.max);
+    assert!(
+        stp_s.mean > 0.0 && stp_s.mean < 0.15,
+        "STP degradation mean {:.3}",
+        stp_s.mean
+    );
+}
+
+#[test]
+fn fig12_shape_flep_crushes_reordering_on_triplets() {
+    let rows = experiments::fig12_three_kernel(&cfg(), ExpConfig::quick(5));
+    assert_eq!(rows.len(), 28);
+    let flep: Vec<f64> = rows.iter().map(|r| r.flep_improvement).collect();
+    let reorder: Vec<f64> = rows.iter().map(|r| r.reorder_improvement).collect();
+    let flep_s = Summary::of(&flep);
+    let reorder_s = Summary::of(&reorder);
+    // Paper: FLEP avg ~6.6X (max ~20.2X); reordering ~2.3% (i.e. ~1.02X).
+    assert!(flep_s.mean > 3.0, "FLEP mean {:.2}", flep_s.mean);
+    assert!(flep_s.max > 8.0, "FLEP max {:.2}", flep_s.max);
+    assert!(
+        reorder_s.mean < 1.3,
+        "reordering mean {:.3} should stay near 1",
+        reorder_s.mean
+    );
+    assert!(
+        flep_s.mean > reorder_s.mean * 3.0,
+        "FLEP ({:.1}) must dominate reordering ({:.2})",
+        flep_s.mean,
+        reorder_s.mean
+    );
+}
+
+#[test]
+fn fig15_shape_spatial_cuts_preemption_overhead() {
+    let rows = experiments::fig15_spatial(&cfg(), ExpConfig::quick(6));
+    assert_eq!(rows.len(), 8);
+    let reductions: Vec<f64> = rows.iter().map(|r| r.reduction).collect();
+    let s = Summary::of(&reductions);
+    // Paper: avg ~31% reduction, up to ~41%.
+    assert!(
+        s.mean > 0.10,
+        "mean reduction {:.2} — spatial must help on average",
+        s.mean
+    );
+    assert!(s.max > 0.25, "max reduction {:.2}", s.max);
+    // Spatial overhead below temporal for a clear majority of victims.
+    let wins = rows
+        .iter()
+        .filter(|r| r.spatial_overhead < r.temporal_overhead)
+        .count();
+    assert!(wins >= 6, "spatial won only {wins}/8");
+}
+
+#[test]
+fn fig16_shape_more_sms_help_but_saturate() {
+    let curves = experiments::fig16_sm_sweep(&cfg(), ExpConfig::quick(7));
+    assert_eq!(curves.len(), 4);
+    for curve in curves {
+        let first = curve.points.first().unwrap().1;
+        let best = curve
+            .points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((first - 1.0).abs() < 1e-9, "baseline speedup must be 1.0");
+        // Paper: the largest speedup is only ~2.22X — beneficial but
+        // bounded.
+        assert!(
+            best > 1.2,
+            "{:?}: yielding more SMs should speed the kernel ({best:.2})",
+            (curve.hi, curve.victim)
+        );
+        assert!(best < 2.5, "{:?}: speedup {best:.2} too large", (curve.hi, curve.victim));
+    }
+}
+
+#[test]
+fn fig17_shape_flep_cheap_slicing_expensive_va_reversed() {
+    let rows = experiments::fig17_overhead(&cfg());
+    assert_eq!(rows.len(), 8);
+    let flep_avg = rows.iter().map(|r| r.flep).sum::<f64>() / 8.0;
+    let slicing_avg = rows.iter().map(|r| r.slicing).sum::<f64>() / 8.0;
+    // Paper: FLEP ~2.5% avg (all under the 4% tuner budget); slicing ~8%.
+    assert!(flep_avg < 0.04, "FLEP avg {:.3}", flep_avg);
+    for r in &rows {
+        assert!(r.flep < 0.045, "{}: FLEP overhead {:.3}", r.id, r.flep);
+    }
+    assert!(
+        slicing_avg > flep_avg * 1.5,
+        "slicing ({slicing_avg:.3}) must cost more than FLEP ({flep_avg:.3}) on average"
+    );
+    // Slicing is much worse for the short-task kernels…
+    for id in [BenchmarkId::Cfd, BenchmarkId::Md, BenchmarkId::Spmv, BenchmarkId::Mm] {
+        let row = rows.iter().find(|r| r.id == id).unwrap();
+        assert!(
+            row.slicing > row.flep,
+            "{id}: slicing {:.3} vs flep {:.3}",
+            row.slicing,
+            row.flep
+        );
+    }
+    // …and VA is the one benchmark where slicing substantially wins.
+    let va = rows.iter().find(|r| r.id == BenchmarkId::Va).unwrap();
+    assert!(
+        va.slicing < va.flep,
+        "VA: slicing {:.3} must beat FLEP {:.3}",
+        va.slicing,
+        va.flep
+    );
+}
