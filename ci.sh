@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Hermetic CI entry point: builds, tests, and lints the whole workspace
+# without touching the network. `--offline` is load-bearing — it proves
+# the zero-dependency policy (DESIGN.md §5) holds: every crate in
+# Cargo.lock is a workspace member, so a bare Rust toolchain on an
+# air-gapped machine is enough.
+#
+# Usage: ./ci.sh
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --workspace --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test --workspace -q --offline"
+cargo test --workspace -q --offline
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "ci.sh: all checks passed"

@@ -1,31 +1,110 @@
-//! Criterion micro-benchmarks for the hot paths of the FLEP reproduction:
-//! the event engine, the device dispatcher, the persistent-batch engine,
-//! the transform passes, model training, and whole co-runs.
+//! Micro-benchmarks for the hot paths of the FLEP reproduction: the event
+//! engine, the device dispatcher, the persistent-batch engine, the
+//! transform passes, model training, and whole co-runs.
+//!
+//! Runs on a small in-tree harness (no external benchmarking crate): each
+//! target is warmed up, then timed for a fixed number of samples, and the
+//! median / min / max per-iteration times are reported. Medians are robust
+//! to scheduler noise, which is all a simulation codebase needs to spot
+//! order-of-magnitude regressions.
+//!
+//! Environment knobs: `FLEP_BENCH_SAMPLES` (default 15) and
+//! `FLEP_BENCH_WARMUP` (default 3) control sample counts; a single
+//! command-line argument filters targets by substring, matching the
+//! `cargo bench <filter>` convention.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use flep_core::prelude::*;
 use flep_sim_core::{EventQueue, Scheduler, Simulation, World};
 
-/// Raw event-queue throughput: push/pop of timestamped events.
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("sim_core/event_queue_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                q.push(SimTime::from_ns(i * 37 % 5000), i);
-            }
-            let mut acc = 0u64;
-            while let Some(e) = q.pop() {
-                acc = acc.wrapping_add(e.payload);
-            }
-            acc
-        })
-    });
+/// Number of timed samples per target.
+fn samples() -> u32 {
+    std::env::var("FLEP_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15)
 }
 
-/// Engine dispatch throughput with a self-rescheduling world.
-fn bench_engine(c: &mut Criterion) {
+/// Number of untimed warmup iterations per target.
+fn warmup() -> u32 {
+    std::env::var("FLEP_BENCH_WARMUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Warms up, then times `f` for the configured number of samples and
+/// prints `name  median (min … max)`.
+fn bench<R>(filter: Option<&str>, name: &str, mut f: impl FnMut() -> R) {
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    for _ in 0..warmup() {
+        black_box(f());
+    }
+    let mut times: Vec<Duration> = (0..samples())
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    let median = times[times.len() / 2];
+    println!(
+        "{name:<44} {:>12}  ({} … {})",
+        format_duration(median),
+        format_duration(times[0]),
+        format_duration(times[times.len() - 1]),
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // `cargo bench -- <filter>`; ignore harness flags like `--bench`.
+    let filter = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .map(String::as_str);
+    println!(
+        "{:<44} {:>12}  (min … max over {} samples)",
+        "target",
+        "median",
+        samples()
+    );
+
+    // Raw event-queue throughput: push/pop of timestamped events.
+    bench(filter, "sim_core/event_queue_push_pop_10k", || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.push(SimTime::from_ns(i * 37 % 5000), i);
+        }
+        let mut acc = 0u64;
+        while let Some(e) = q.pop() {
+            acc = acc.wrapping_add(e.payload);
+        }
+        acc
+    });
+
+    // Engine dispatch throughput with a self-rescheduling world.
     struct Ticker {
         remaining: u32,
     }
@@ -38,97 +117,55 @@ fn bench_engine(c: &mut Criterion) {
             }
         }
     }
-    c.bench_function("sim_core/engine_100k_chained_events", |b| {
-        b.iter(|| {
-            let mut sim = Simulation::new(Ticker { remaining: 100_000 });
-            sim.schedule_at(SimTime::ZERO, ());
-            sim.run();
-            sim.dispatched()
-        })
+    bench(filter, "sim_core/engine_100k_chained_events", || {
+        let mut sim = Simulation::new(Ticker { remaining: 100_000 });
+        sim.schedule_at(SimTime::ZERO, ());
+        sim.run();
+        sim.dispatched()
     });
-}
 
-/// A standalone original-kernel run through the full device model.
-fn bench_device_original(c: &mut Criterion) {
-    let bench = Benchmark::get(BenchmarkId::Spmv);
-    c.bench_function("gpu_sim/spmv_large_standalone_original", |b| {
-        b.iter(|| {
-            flep_gpu_sim::run_single(GpuConfig::k40(), bench.original_desc(InputClass::Large))
-        })
+    // A standalone original-kernel run through the full device model.
+    let spmv = Benchmark::get(BenchmarkId::Spmv);
+    bench(filter, "gpu_sim/spmv_large_standalone_original", || {
+        flep_gpu_sim::run_single(GpuConfig::k40(), spmv.original_desc(InputClass::Large))
     });
-}
 
-/// A standalone persistent-kernel run (the FLEP form).
-fn bench_device_persistent(c: &mut Criterion) {
-    let bench = Benchmark::get(BenchmarkId::Spmv);
-    c.bench_function("gpu_sim/spmv_large_standalone_persistent", |b| {
-        b.iter(|| {
-            flep_gpu_sim::run_single(
-                GpuConfig::k40(),
-                bench.persistent_desc(InputClass::Large, bench.table1_amortize),
-            )
-        })
-    });
-}
-
-/// The compilation engine end to end on the largest kernel.
-fn bench_transform(c: &mut Criterion) {
-    let src = flep_workloads::source(BenchmarkId::Cfd);
-    c.bench_function("compile/cfd_parse_analyze_transform", |b| {
-        b.iter(|| {
-            let program = parse(src).unwrap();
-            analyze(&program).unwrap();
-            transform(&program, TransformMode::Spatial).unwrap()
-        })
-    });
-}
-
-/// Ridge model training (8 kernels x 100 samples).
-fn bench_model_training(c: &mut Criterion) {
-    c.bench_function("perfmodel/train_all_models", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            ModelStore::train(seed)
-        })
-    });
-}
-
-/// A full HPF priority co-run (the Fig. 8 unit of work).
-fn bench_hpf_corun(c: &mut Criterion) {
-    let lo = KernelProfile::of(&Benchmark::get(BenchmarkId::Pf), InputClass::Large);
-    let hi = KernelProfile::of(&Benchmark::get(BenchmarkId::Mm), InputClass::Small);
-    c.bench_function("runtime/hpf_priority_corun_pf_mm", |b| {
-        b.iter_batched(
-            || (lo.clone(), hi.clone()),
-            |(lo, hi)| {
-                CoRun::new(GpuConfig::k40(), Policy::hpf())
-                    .job(JobSpec::new(lo, SimTime::ZERO).with_priority(1))
-                    .job(JobSpec::new(hi, SimTime::from_us(10)).with_priority(2))
-                    .run()
-            },
-            BatchSize::SmallInput,
+    // A standalone persistent-kernel run (the FLEP form).
+    bench(filter, "gpu_sim/spmv_large_standalone_persistent", || {
+        flep_gpu_sim::run_single(
+            GpuConfig::k40(),
+            spmv.persistent_desc(InputClass::Large, spmv.table1_amortize),
         )
     });
-}
 
-/// The offline tuner for one benchmark (several profiling runs).
-fn bench_tuner(c: &mut Criterion) {
-    let bench = Benchmark::get(BenchmarkId::Mm);
-    c.bench_function("compile/tune_amortizing_factor_mm", |b| {
-        b.iter(|| tune(&GpuConfig::k40(), &bench))
+    // The compilation engine end to end on the largest kernel.
+    let src = flep_workloads::source(BenchmarkId::Cfd);
+    bench(filter, "compile/cfd_parse_analyze_transform", || {
+        let program = parse(src).unwrap();
+        analyze(&program).unwrap();
+        transform(&program, TransformMode::Spatial).unwrap()
+    });
+
+    // Ridge model training (8 kernels x 100 samples).
+    let mut seed = 0u64;
+    bench(filter, "perfmodel/train_all_models", || {
+        seed += 1;
+        ModelStore::train(seed)
+    });
+
+    // A full HPF priority co-run (the Fig. 8 unit of work).
+    let lo = KernelProfile::of(&Benchmark::get(BenchmarkId::Pf), InputClass::Large);
+    let hi = KernelProfile::of(&Benchmark::get(BenchmarkId::Mm), InputClass::Small);
+    bench(filter, "runtime/hpf_priority_corun_pf_mm", || {
+        CoRun::new(GpuConfig::k40(), Policy::hpf())
+            .job(JobSpec::new(lo.clone(), SimTime::ZERO).with_priority(1))
+            .job(JobSpec::new(hi.clone(), SimTime::from_us(10)).with_priority(2))
+            .run()
+    });
+
+    // The offline tuner for one benchmark (several profiling runs).
+    let mm = Benchmark::get(BenchmarkId::Mm);
+    bench(filter, "compile/tune_amortizing_factor_mm", || {
+        tune(&GpuConfig::k40(), &mm)
     });
 }
-
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_engine,
-    bench_device_original,
-    bench_device_persistent,
-    bench_transform,
-    bench_model_training,
-    bench_hpf_corun,
-    bench_tuner,
-);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! the amortizing-factor trade-off, HPF's preemption-overhead term, and
 //! the one-reader flag-broadcast optimization.
 
-use flep_bench::{exp_config, header};
+use flep_bench::{emit_json, exp_config, header};
 use flep_core::prelude::*;
 
 fn main() {
@@ -14,9 +14,11 @@ fn main() {
         "overhead falls with L; preemption latency grows linearly with L",
     );
     for id in [BenchmarkId::Nn, BenchmarkId::Va] {
+        let rows = experiments::ablation_l_sweep(&cfg, id);
+        emit_json(&format!("ablation_l_sweep_{}", id.name()), &rows);
         println!("\n{id}:");
         println!("  {:>5} {:>10} {:>14}", "L", "overhead", "preempt latency");
-        for row in experiments::ablation_l_sweep(&cfg, id) {
+        for row in rows {
             println!(
                 "  {:>5} {:>9.2}% {:>14}",
                 row.amortize,
@@ -33,6 +35,7 @@ fn main() {
         "naive SRT preempts for gains smaller than the preemption cost; the overhead term declines",
     );
     let a = experiments::ablation_overhead_aware(&cfg, exp_config());
+    emit_json("ablation_overhead_aware", &a);
     println!(
         "overhead-aware: {:>3} preemptions, makespan {}, total waiting {}",
         a.preemptions_aware, a.makespan_aware, a.waiting_aware
@@ -48,8 +51,10 @@ fn main() {
         "§4.1",
         "per-thread polling multiplies the transform overhead by orders of magnitude",
     );
+    let rows = experiments::ablation_per_thread_poll(&cfg);
+    emit_json("ablation_per_thread_poll", &rows);
     println!("{:<6} {:>12} {:>12}", "bench", "broadcast", "per-thread");
-    for row in experiments::ablation_per_thread_poll(&cfg) {
+    for row in rows {
         println!(
             "{:<6} {:>11.1}% {:>11.1}%",
             row.id.name(),

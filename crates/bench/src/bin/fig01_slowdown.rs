@@ -1,6 +1,6 @@
 //! Regenerates Fig. 1: slowdown of high-priority kernels in MPS co-runs.
 
-use flep_bench::{exp_config, header};
+use flep_bench::{emit_json, exp_config, header};
 use flep_core::prelude::*;
 use flep_metrics::Summary;
 
@@ -11,10 +11,18 @@ fn main() {
         "severe slowdowns, up to ~32.6X in the paper",
     );
     let rows = experiments::fig01_mps_slowdown(&GpuConfig::k40(), exp_config());
+    emit_json("fig01_mps_slowdown", &rows);
     println!("{:<12} {:>10}", "pair (A_B)", "slowdown");
     for r in &rows {
-        println!("{:<12} {:>9.1}X", format!("{}_{}", r.hi.name(), r.lo.name()), r.value);
+        println!(
+            "{:<12} {:>9.1}X",
+            format!("{}_{}", r.hi.name(), r.lo.name()),
+            r.value
+        );
     }
     let s = Summary::of(&rows.iter().map(|r| r.value).collect::<Vec<_>>());
-    println!("\nmean {:.1}X   max {:.1}X   min {:.1}X   (paper max: 32.6X)", s.mean, s.max, s.min);
+    println!(
+        "\nmean {:.1}X   max {:.1}X   min {:.1}X   (paper max: 32.6X)",
+        s.mean, s.max, s.min
+    );
 }

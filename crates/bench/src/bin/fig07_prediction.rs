@@ -1,6 +1,6 @@
 //! Regenerates Fig. 7: kernel duration prediction errors.
 
-use flep_bench::{exp_config, header};
+use flep_bench::{emit_json, exp_config, header};
 use flep_core::prelude::*;
 
 fn main() {
@@ -10,6 +10,7 @@ fn main() {
         "avg ~6.9%, range ~2.7%-12.2%; NN/MM/VA regular (low), MD/SPMV irregular (high)",
     );
     let errors = experiments::fig07_prediction_errors(exp_config());
+    emit_json("fig07_prediction_errors", &errors);
     println!("{:<6} {:>10}", "bench", "error");
     for (id, e) in &errors {
         println!("{:<6} {:>9.1}%", id.name(), e * 100.0);

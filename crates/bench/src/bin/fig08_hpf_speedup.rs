@@ -1,7 +1,7 @@
 //! Regenerates Fig. 8: performance improvement for high-priority kernels
 //! under FLEP/HPF over MPS co-runs.
 
-use flep_bench::{exp_config, header};
+use flep_bench::{emit_json, exp_config, header};
 use flep_core::prelude::*;
 use flep_metrics::Summary;
 
@@ -12,10 +12,18 @@ fn main() {
         "avg ~10.1X, max ~24.2X (SPMV_NN), min ~4.1X (MM_PF)",
     );
     let rows = experiments::fig08_hpf_speedups(&GpuConfig::k40(), exp_config());
+    emit_json("fig08_hpf_speedups", &rows);
     println!("{:<12} {:>10}", "pair (A_B)", "speedup");
     for r in &rows {
-        println!("{:<12} {:>9.1}X", format!("{}_{}", r.hi.name(), r.lo.name()), r.value);
+        println!(
+            "{:<12} {:>9.1}X",
+            format!("{}_{}", r.hi.name(), r.lo.name()),
+            r.value
+        );
     }
     let s = Summary::of(&rows.iter().map(|r| r.value).collect::<Vec<_>>());
-    println!("\nmean {:.1}X   max {:.1}X   min {:.1}X   (paper: 10.1X / 24.2X / 4.1X)", s.mean, s.max, s.min);
+    println!(
+        "\nmean {:.1}X   max {:.1}X   min {:.1}X   (paper: 10.1X / 24.2X / 4.1X)",
+        s.mean, s.max, s.min
+    );
 }

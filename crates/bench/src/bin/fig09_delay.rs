@@ -1,6 +1,6 @@
 //! Regenerates Fig. 9: high-priority speedup vs launch delay.
 
-use flep_bench::{exp_config, header};
+use flep_bench::{emit_json, exp_config, header};
 use flep_core::prelude::*;
 
 fn main() {
@@ -10,6 +10,7 @@ fn main() {
         "speedup decays ~linearly with delay and plateaus at ~1 beyond the victim's runtime",
     );
     let curves = experiments::fig09_delay_sweep(&GpuConfig::k40(), exp_config());
+    emit_json("fig09_delay_sweep", &curves);
     for c in curves {
         println!("\npair {}_{}:", c.hi.name(), c.lo.name());
         println!("  {:>12} {:>10}", "delay", "speedup");

@@ -1,6 +1,6 @@
 //! Regenerates Fig. 10: ANTT improvement for equal-priority co-runs.
 
-use flep_bench::{exp_config, header};
+use flep_bench::{emit_json, exp_config, header};
 use flep_core::prelude::*;
 use flep_metrics::Summary;
 
@@ -11,6 +11,7 @@ fn main() {
         "avg ~8X improvement over MPS",
     );
     let rows = experiments::fig10_11_equal_priority(&GpuConfig::k40(), exp_config());
+    emit_json("fig10_antt", &rows);
     println!("{:<12} {:>12}", "pair (S_L)", "ANTT imp.");
     for r in &rows {
         println!(
@@ -20,5 +21,8 @@ fn main() {
         );
     }
     let s = Summary::of(&rows.iter().map(|r| r.antt_improvement).collect::<Vec<_>>());
-    println!("\nmean {:.1}X   max {:.1}X   (paper: 8X avg)", s.mean, s.max);
+    println!(
+        "\nmean {:.1}X   max {:.1}X   (paper: 8X avg)",
+        s.mean, s.max
+    );
 }

@@ -1,7 +1,7 @@
 //! Regenerates Fig. 11: system-throughput degradation for the Fig. 10
 //! co-runs (makespan-based; see EXPERIMENTS.md for the metric note).
 
-use flep_bench::{exp_config, header};
+use flep_bench::{emit_json, exp_config, header};
 use flep_core::prelude::*;
 use flep_metrics::Summary;
 
@@ -12,6 +12,7 @@ fn main() {
         "small degradation, avg ~5.4% in the paper",
     );
     let rows = experiments::fig10_11_equal_priority(&GpuConfig::k40(), exp_config());
+    emit_json("fig11_stp", &rows);
     println!("{:<12} {:>12}", "pair (S_L)", "degradation");
     for r in &rows {
         println!(
@@ -21,5 +22,9 @@ fn main() {
         );
     }
     let s = Summary::of(&rows.iter().map(|r| r.stp_degradation).collect::<Vec<_>>());
-    println!("\nmean {:.1}%   max {:.1}%   (paper: 5.4% avg)", s.mean * 100.0, s.max * 100.0);
+    println!(
+        "\nmean {:.1}%   max {:.1}%   (paper: 5.4% avg)",
+        s.mean * 100.0,
+        s.max * 100.0
+    );
 }

@@ -1,7 +1,7 @@
 //! Regenerates Fig. 12: ANTT improvement on three-kernel co-runs, plus the
 //! kernel-reordering comparison.
 
-use flep_bench::{exp_config, header};
+use flep_bench::{emit_json, exp_config, header};
 use flep_core::prelude::*;
 use flep_metrics::Summary;
 
@@ -12,17 +12,31 @@ fn main() {
         "FLEP avg ~6.6X (max ~20.2X); kernel reordering only ~2.3%",
     );
     let rows = experiments::fig12_three_kernel(&GpuConfig::k40(), exp_config());
-    println!("{:<16} {:>10} {:>12}", "triplet (A_B_C)", "FLEP", "reordering");
+    emit_json("fig12_three_kernel", &rows);
+    println!(
+        "{:<16} {:>10} {:>12}",
+        "triplet (A_B_C)", "FLEP", "reordering"
+    );
     for r in &rows {
         println!(
             "{:<16} {:>9.1}X {:>11.2}X",
-            format!("{}_{}_{}", r.triplet.0.name(), r.triplet.1.name(), r.triplet.2.name()),
+            format!(
+                "{}_{}_{}",
+                r.triplet.0.name(),
+                r.triplet.1.name(),
+                r.triplet.2.name()
+            ),
             r.flep_improvement,
             r.reorder_improvement
         );
     }
     let f = Summary::of(&rows.iter().map(|r| r.flep_improvement).collect::<Vec<_>>());
-    let o = Summary::of(&rows.iter().map(|r| r.reorder_improvement).collect::<Vec<_>>());
+    let o = Summary::of(
+        &rows
+            .iter()
+            .map(|r| r.reorder_improvement)
+            .collect::<Vec<_>>(),
+    );
     println!(
         "\nFLEP mean {:.1}X max {:.1}X   reordering mean {:.2}X   (paper: 6.6X / 20.2X vs ~1.02X)",
         f.mean, f.max, o.mean

@@ -1,7 +1,7 @@
 //! Regenerates Fig. 13: average GPU share for high- and low-priority
 //! kernels under FFS with 2:1 weights.
 
-use flep_bench::{exp_config, header, mean_std};
+use flep_bench::{emit_json, exp_config, header, mean_std};
 use flep_core::prelude::*;
 
 fn main() {
@@ -11,7 +11,11 @@ fn main() {
         "~2/3 for the high-weight kernel, ~1/3 for the low-weight one, narrow error bars",
     );
     let out = experiments::fig13_14_ffs(&GpuConfig::k40(), exp_config());
-    println!("{:>10} {:>16} {:>16}", "window end", "high share", "low share");
+    emit_json("fig13_ffs_share", &out);
+    println!(
+        "{:>10} {:>16} {:>16}",
+        "window end", "high share", "low share"
+    );
     for p in &out.share_curve {
         println!(
             "{:>10} {:>16} {:>16}",

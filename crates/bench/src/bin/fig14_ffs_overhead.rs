@@ -1,7 +1,7 @@
 //! Regenerates Fig. 14: throughput degradation under FFS with
 //! max_overhead = 10%.
 
-use flep_bench::{exp_config, header};
+use flep_bench::{emit_json, exp_config, header};
 use flep_core::prelude::*;
 use flep_metrics::Summary;
 
@@ -12,6 +12,7 @@ fn main() {
         "degradation close to the configured max_overhead (10%) with small variance",
     );
     let out = experiments::fig13_14_ffs(&GpuConfig::k40(), exp_config());
+    emit_json("fig14_ffs_overhead", &out);
     println!("{:<12} {:>12}", "pair (A_B)", "degradation");
     for r in &out.degradation {
         println!(

@@ -1,7 +1,7 @@
 //! Regenerates Fig. 15: preemption-overhead reduction through spatial
 //! preemption.
 
-use flep_bench::{exp_config, header};
+use flep_bench::{emit_json, exp_config, header};
 use flep_core::prelude::*;
 use flep_metrics::Summary;
 
@@ -12,6 +12,7 @@ fn main() {
         "avg ~31% reduction vs temporal preemption, up to ~41%",
     );
     let rows = experiments::fig15_spatial(&GpuConfig::k40(), exp_config());
+    emit_json("fig15_spatial", &rows);
     println!(
         "{:<8} {:>12} {:>12} {:>11}",
         "victim", "temporal", "spatial", "reduction"
@@ -26,5 +27,9 @@ fn main() {
         );
     }
     let s = Summary::of(&rows.iter().map(|r| r.reduction).collect::<Vec<_>>());
-    println!("\nmean reduction {:.0}%   max {:.0}%   (paper: 31% / 41%)", s.mean * 100.0, s.max * 100.0);
+    println!(
+        "\nmean reduction {:.0}%   max {:.0}%   (paper: 31% / 41%)",
+        s.mean * 100.0,
+        s.max * 100.0
+    );
 }

@@ -1,7 +1,7 @@
 //! Regenerates Fig. 16: high-priority kernel performance when yielding
 //! more SMs than needed.
 
-use flep_bench::{exp_config, header};
+use flep_bench::{emit_json, exp_config, header};
 use flep_core::prelude::*;
 
 fn main() {
@@ -11,8 +11,13 @@ fn main() {
         "speedup grows with yielded SMs but saturates; paper max ~2.22X over the minimal yield",
     );
     let curves = experiments::fig16_sm_sweep(&GpuConfig::k40(), exp_config());
+    emit_json("fig16_sm_sweep", &curves);
     for c in curves {
-        println!("\n{} (trivial) preempting {} (large):", c.hi.name(), c.victim.name());
+        println!(
+            "\n{} (trivial) preempting {} (large):",
+            c.hi.name(),
+            c.victim.name()
+        );
         println!("  {:>4} {:>9}", "SMs", "speedup");
         for (sms, speedup) in c.points {
             println!("  {sms:>4} {speedup:>8.2}X");

@@ -1,6 +1,6 @@
 //! Regenerates Fig. 17: single-kernel overhead of FLEP vs kernel slicing.
 
-use flep_bench::header;
+use flep_bench::{emit_json, header};
 use flep_core::prelude::*;
 
 fn main() {
@@ -10,6 +10,7 @@ fn main() {
         "FLEP ~2.5% avg; slicing ~8% avg, much worse for CFD/MD/SPMV/MM, better only for VA",
     );
     let rows = experiments::fig17_overhead(&GpuConfig::k40());
+    emit_json("fig17_overhead", &rows);
     println!("{:<6} {:>10} {:>10}", "bench", "FLEP", "slicing");
     for r in &rows {
         println!(
@@ -21,5 +22,9 @@ fn main() {
     }
     let fa = rows.iter().map(|r| r.flep).sum::<f64>() / rows.len() as f64;
     let sa = rows.iter().map(|r| r.slicing).sum::<f64>() / rows.len() as f64;
-    println!("\nFLEP avg {:.1}%   slicing avg {:.1}%   (paper: 2.5% vs 8%)", fa * 100.0, sa * 100.0);
+    println!(
+        "\nFLEP avg {:.1}%   slicing avg {:.1}%   (paper: 2.5% vs 8%)",
+        fa * 100.0,
+        sa * 100.0
+    );
 }

@@ -3,7 +3,7 @@
 //! benefit — is width-independent; this bin verifies the reproduction
 //! does not secretly depend on the K40's 15 SMs.
 
-use flep_bench::{exp_config, header};
+use flep_bench::{emit_json, exp_config, header};
 use flep_core::prelude::*;
 
 fn main() {
@@ -12,8 +12,10 @@ fn main() {
         "extension (the paper evaluates only the 15-SM K40)",
         "large speedups on every width; magnitude tracks victim/preemptor runtime ratio",
     );
+    let rows = experiments::sensitivity_sm_scaling(exp_config());
+    emit_json("sensitivity_sm_scaling", &rows);
     println!("{:>6} {:>12} {:>10} {:>10}", "SMs", "mean", "min", "max");
-    for row in experiments::sensitivity_sm_scaling(exp_config()) {
+    for row in rows {
         println!(
             "{:>6} {:>11.1}X {:>9.1}X {:>9.1}X",
             row.num_sms, row.mean_speedup, row.min_speedup, row.max_speedup

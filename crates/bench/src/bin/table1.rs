@@ -1,7 +1,7 @@
 //! Regenerates Table 1: benchmark standalone times on three inputs and the
 //! tuned amortizing factors.
 
-use flep_bench::header;
+use flep_bench::{emit_json, header};
 use flep_core::prelude::*;
 
 fn main() {
@@ -11,6 +11,7 @@ fn main() {
         "standalone times match the paper's columns; tuned L equals the paper's amortizing factors",
     );
     let rows = experiments::table1(&GpuConfig::k40());
+    emit_json("table1", &rows);
     println!(
         "{:<6} {:<10} {:>4} {:>12} {:>12} {:>13} {:>8} {:>8}",
         "bench", "suite", "LoC", "large (us)", "small (us)", "trivial (us)", "tuned L", "paper L"

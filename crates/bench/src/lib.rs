@@ -1,13 +1,17 @@
 //! Shared helpers for the `flep-bench` experiment binaries: consistent
-//! table printing and run configuration from environment variables.
+//! table printing, machine-readable JSON emission, and run configuration
+//! from environment variables.
 //!
 //! Each binary under `src/bin/` regenerates one table or figure of the
-//! paper. Set `FLEP_SEED` / `FLEP_REPEATS` to override the defaults.
+//! paper. Set `FLEP_SEED` / `FLEP_REPEATS` to override the defaults, and
+//! `FLEP_JSON` to also emit the structured rows as JSON (see
+//! [`emit_json`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use flep_core::prelude::ExpConfig;
+use flep_sim_core::json::ToJson;
 
 /// Reads the experiment configuration from `FLEP_SEED` / `FLEP_REPEATS`
 /// (defaults: 42 / 3).
@@ -22,6 +26,40 @@ pub fn exp_config() -> ExpConfig {
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
     ExpConfig { seed, repeats }
+}
+
+/// Emits an experiment's structured rows as JSON when `FLEP_JSON` is set.
+///
+/// `FLEP_JSON=-` prints the document to stdout; any other value is treated
+/// as a directory and the document is written to `<dir>/<name>.json`
+/// (creating the directory if needed). Unset means no JSON output, so the
+/// default text tables stay untouched.
+///
+/// The document wraps the rows with the experiment name so files are
+/// self-describing: `{"experiment":"fig17_overhead","rows":...}`.
+pub fn emit_json(name: &str, rows: &dyn ToJson) {
+    let Ok(dest) = std::env::var("FLEP_JSON") else {
+        return;
+    };
+    let doc = flep_sim_core::json::JsonValue::object([
+        ("experiment", name.to_json()),
+        ("rows", rows.to_json()),
+    ]);
+    let rendered = doc.render();
+    if dest == "-" {
+        println!("{rendered}");
+    } else {
+        let dir = std::path::Path::new(&dest);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("FLEP_JSON: cannot create {dest}: {e}");
+            return;
+        }
+        let path = dir.join(format!("{name}.json"));
+        match std::fs::write(&path, rendered + "\n") {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("FLEP_JSON: cannot write {}: {e}", path.display()),
+        }
+    }
 }
 
 /// Prints a header block naming the experiment and the paper reference.

@@ -26,15 +26,13 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use flep_minicu::{
     analyze, estimate_resources, AssignOp, BinOp, Block, Builtin, Expr, FnKind, Function, Param,
     Program, ResourceEstimate, SemaError, Stmt, Type, UnOp,
 };
 
 /// Which Fig. 4 form to generate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransformMode {
     /// Fig. 4(a): temporal preemption, flag polled before every task.
     TemporalNaive,
@@ -64,7 +62,10 @@ impl fmt::Display for TransformError {
             TransformError::Sema(e) => write!(f, "semantic error: {e}"),
             TransformError::NoSuchKernel(k) => write!(f, "no kernel named `{k}`"),
             TransformError::MultiDimGrid(k) => {
-                write!(f, "kernel `{k}` uses a multi-dimensional grid (unsupported)")
+                write!(
+                    f,
+                    "kernel `{k}` uses a multi-dimensional grid (unsupported)"
+                )
             }
         }
     }
@@ -79,7 +80,7 @@ impl From<SemaError> for TransformError {
 }
 
 /// Metadata about one transformed kernel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransformedKernel {
     /// The original kernel name.
     pub original: String,
@@ -99,7 +100,7 @@ pub struct TransformedKernel {
 }
 
 /// The result of running a pass over a translation unit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransformResult {
     /// The transformed program (kernels + rewritten host code).
     pub program: Program,
@@ -135,7 +136,10 @@ pub struct TransformResult {
 /// // Generated code is valid mini-CU.
 /// flep_minicu::parse(&printed).unwrap();
 /// ```
-pub fn transform(program: &Program, mode: TransformMode) -> Result<TransformResult, TransformError> {
+pub fn transform(
+    program: &Program,
+    mode: TransformMode,
+) -> Result<TransformResult, TransformError> {
     analyze(program)?;
 
     let mut out = Program::default();
@@ -279,11 +283,7 @@ fn make_persistent_kernel(kernel: &Function, task_fn: &Function, mode: Transform
         init: None,
     };
 
-    let tid_is_zero = Expr::bin(
-        BinOp::Eq,
-        Expr::Builtin(Builtin::ThreadIdxX),
-        Expr::Int(0),
-    );
+    let tid_is_zero = Expr::bin(BinOp::Eq, Expr::Builtin(Builtin::ThreadIdxX), Expr::Int(0));
     // The flag check that thread 0 performs.
     let stop_cond = match mode {
         TransformMode::TemporalNaive | TransformMode::TemporalAmortized => Expr::bin(
@@ -323,10 +323,7 @@ fn make_persistent_kernel(kernel: &Function, task_fn: &Function, mode: Transform
         then_block: Block::new(vec![Stmt::Assign {
             target: Expr::ident("flep_task_idx"),
             op: AssignOp::Assign,
-            value: Expr::call(
-                "atomicAdd",
-                vec![Expr::ident("flep_counter"), Expr::Int(1)],
-            ),
+            value: Expr::call("atomicAdd", vec![Expr::ident("flep_counter"), Expr::Int(1)]),
         }]),
         else_block: None,
     };
@@ -449,8 +446,7 @@ fn rewrite_launches(block: &mut Block, kernels: &[TransformedKernel]) {
                 // S3 loop: launch the persistent grid; if the runtime
                 // preempts us, wait for a new grant and relaunch to finish
                 // the remaining tasks.
-                let mut flep_args: Vec<Expr> =
-                    args.to_vec();
+                let mut flep_args: Vec<Expr> = args.to_vec();
                 flep_args.push(Expr::call("flep_flag_ptr", vec![id.clone()]));
                 if meta.mode != TransformMode::TemporalNaive {
                     flep_args.push(Expr::call("flep_amortize", vec![id.clone()]));
@@ -599,8 +595,7 @@ mod tests {
         for id in BenchmarkId::ALL {
             let p = parse(source(id)).unwrap();
             let out = crate::slicing::slice_transform(&p, 120).unwrap();
-            flep_minicu::type_check(&out)
-                .unwrap_or_else(|e| panic!("{id}: {e}\n{out}"));
+            flep_minicu::type_check(&out).unwrap_or_else(|e| panic!("{id}: {e}\n{out}"));
         }
     }
 
@@ -613,8 +608,7 @@ mod tests {
                 TransformMode::TemporalAmortized,
                 TransformMode::Spatial,
             ] {
-                let out =
-                    transform(&p, mode).unwrap_or_else(|e| panic!("{id} {mode:?}: {e}"));
+                let out = transform(&p, mode).unwrap_or_else(|e| panic!("{id} {mode:?}: {e}"));
                 let printed = out.program.to_string();
                 parse(&printed).unwrap_or_else(|e| panic!("{id} {mode:?} reparse: {e}"));
                 assert!(
@@ -646,10 +640,7 @@ mod tests {
 
     #[test]
     fn multi_dim_kernels_are_rejected() {
-        let p = parse(
-            "__global__ void k2(float* a) { a[blockIdx.y] = 0.0f; }",
-        )
-        .unwrap();
+        let p = parse("__global__ void k2(float* a) { a[blockIdx.y] = 0.0f; }").unwrap();
         assert_eq!(
             transform(&p, TransformMode::Spatial).unwrap_err(),
             TransformError::MultiDimGrid("k2".into())

@@ -14,8 +14,6 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use flep_minicu::{
     analyze, AssignOp, BinOp, Block, Builtin, Expr, FnKind, Function, Param, Program, SemaError,
     Stmt, Type,
@@ -153,18 +151,10 @@ fn rewrite_launches(block: &mut Block, sliced: &[(String, String)], slice_ctas: 
                 // for (unsigned int flep_s = 0; flep_s < GRID; flep_s += S)
                 //     k_sliced<<<(GRID - flep_s < S ? GRID - flep_s : S), B>>>(args..., flep_s);
                 let grid_e = grid.clone();
-                let remaining = Expr::bin(
-                    BinOp::Sub,
-                    grid_e.clone(),
-                    Expr::ident("flep_s"),
-                );
+                let remaining = Expr::bin(BinOp::Sub, grid_e.clone(), Expr::ident("flep_s"));
                 let slice_lit = Expr::Int(slice_ctas as i64);
                 let this_slice = Expr::Ternary {
-                    cond: Box::new(Expr::bin(
-                        BinOp::Lt,
-                        remaining.clone(),
-                        slice_lit.clone(),
-                    )),
+                    cond: Box::new(Expr::bin(BinOp::Lt, remaining.clone(), slice_lit.clone())),
                     then_expr: Box::new(remaining),
                     else_expr: Box::new(slice_lit.clone()),
                 };
@@ -200,7 +190,7 @@ fn rewrite_launches(block: &mut Block, sliced: &[(String, String)], slice_ctas: 
 }
 
 /// The timing-level slice plan: how many sub-kernels a sliced run issues.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SlicePlan {
     /// CTAs per sub-kernel.
     pub slice_ctas: u64,
@@ -227,7 +217,10 @@ impl SlicePlan {
     /// completes between flag polls, `amortize × device_capacity` CTAs.
     #[must_use]
     pub fn matching_flep_granularity(total_ctas: u64, amortize: u32, capacity: u64) -> Self {
-        SlicePlan::new(total_ctas, u64::from(amortize).saturating_mul(capacity).max(1))
+        SlicePlan::new(
+            total_ctas,
+            u64::from(amortize).saturating_mul(capacity).max(1),
+        )
     }
 }
 
@@ -310,7 +303,11 @@ mod tests {
         );
         let original = run_single(
             clean_cfg(),
-            LaunchDesc::new("k", GridShape::Original { ctas: 480 }, TaskCost::fixed(SimTime::from_us(50))),
+            LaunchDesc::new(
+                "k",
+                GridShape::Original { ctas: 480 },
+                TaskCost::fixed(SimTime::from_us(50)),
+            ),
         );
         let sliced = run_sliced_standalone(clean_cfg(), &desc, SlicePlan::new(480, 120));
         assert_eq!(original, SimTime::from_us(200));
@@ -371,8 +368,8 @@ mod tests {
 
     #[test]
     fn zero_slice_size_rejected() {
-        let p = flep_minicu::parse("__global__ void k(float* a) { a[blockIdx.x] = 0.0f; }")
-            .unwrap();
+        let p =
+            flep_minicu::parse("__global__ void k(float* a) { a[blockIdx.x] = 0.0f; }").unwrap();
         assert_eq!(
             slice_transform(&p, 0).unwrap_err(),
             SliceError::ZeroSliceSize

@@ -7,8 +7,6 @@
 //! kernels execute standalone on a fresh simulated device, and overhead is
 //! the relative makespan difference.
 
-use serde::{Deserialize, Serialize};
-
 use flep_gpu_sim::{run_single, GpuConfig, GridShape, LaunchDesc, TaskCost};
 use flep_sim_core::SimTime;
 use flep_workloads::{Benchmark, InputClass};
@@ -20,7 +18,7 @@ pub const DEFAULT_CANDIDATES: [u32; 11] = [1, 2, 5, 10, 20, 50, 100, 150, 200, 3
 pub const DEFAULT_MAX_OVERHEAD: f64 = 0.04;
 
 /// One candidate's measured overhead.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CandidateResult {
     /// The amortizing factor tried.
     pub amortize: u32,
@@ -29,7 +27,7 @@ pub struct CandidateResult {
 }
 
 /// The tuner's outcome for one kernel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TuneResult {
     /// The chosen (smallest passing) amortizing factor.
     pub chosen: u32,
@@ -45,7 +43,12 @@ pub struct TuneResult {
 /// relative slowdown of the persistent form over the original form running
 /// standalone with noise-free task costs.
 #[must_use]
-pub fn measure_overhead(config: &GpuConfig, bench: &Benchmark, class: InputClass, amortize: u32) -> f64 {
+pub fn measure_overhead(
+    config: &GpuConfig,
+    bench: &Benchmark,
+    class: InputClass,
+    amortize: u32,
+) -> f64 {
     let p = bench.profile(class);
     let cost = TaskCost::fixed(p.task_base);
     let original = run_single(
@@ -123,7 +126,12 @@ pub fn tune_with(
 /// the time a CTA spends finishing its current batch before the next poll,
 /// `L × task_base` (plus the flag visibility latency).
 #[must_use]
-pub fn preemption_latency(config: &GpuConfig, bench: &Benchmark, class: InputClass, amortize: u32) -> SimTime {
+pub fn preemption_latency(
+    config: &GpuConfig,
+    bench: &Benchmark,
+    class: InputClass,
+    amortize: u32,
+) -> SimTime {
     bench.profile(class).task_base * u64::from(amortize) + config.flag_visibility_latency
 }
 

@@ -85,7 +85,9 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_compile(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("usage: flep compile <file.cu> [--mode M] [--slice N]")?;
+    let path = args
+        .first()
+        .ok_or("usage: flep compile <file.cu> [--mode M] [--slice N]")?;
     let program = read_program(path)?;
 
     if let Some(n) = flag_value(args, "--slice") {
@@ -107,7 +109,10 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     for k in &out.kernels {
         eprintln!(
             "//   {} -> {} (id {}, {} blockIdx.x replacement(s), est. {} regs/thread)",
-            k.original, k.persistent, k.kernel_id, k.block_idx_replacements,
+            k.original,
+            k.persistent,
+            k.kernel_id,
+            k.block_idx_replacements,
             k.resources.regs_per_thread
         );
     }
@@ -131,7 +136,11 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
     println!(
         "chosen L = {}{}",
         result.chosen,
-        if result.within_budget { "" } else { " (budget not met; best available)" }
+        if result.within_budget {
+            ""
+        } else {
+            " (budget not met; best available)"
+        }
     );
     Ok(())
 }

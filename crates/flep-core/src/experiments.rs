@@ -4,8 +4,6 @@
 //!
 //! Every function is deterministic given its [`ExpConfig`] seed.
 
-use serde::{Deserialize, Serialize};
-
 use flep_gpu_sim::GpuConfig;
 use flep_metrics::{antt, Turnaround};
 use flep_runtime::{CoRun, CoRunResult, JobSpec, KernelProfile, Policy};
@@ -15,7 +13,7 @@ use flep_workloads::{Benchmark, BenchmarkId, InputClass};
 use crate::models::ModelStore;
 
 /// Configuration shared by all experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExpConfig {
     /// Master seed; everything derives from it.
     pub seed: u64,
@@ -126,7 +124,9 @@ pub fn standalone(config: &GpuConfig, id: BenchmarkId, class: InputClass, seed: 
     let result = CoRun::new(config.clone(), Policy::MpsBaseline)
         .job(JobSpec::new(profile(id, class), SimTime::ZERO).with_seed(seed))
         .run();
-    result.jobs[0].turnaround().expect("standalone run completes")
+    result.jobs[0]
+        .turnaround()
+        .expect("standalone run completes")
 }
 
 // ---------------------------------------------------------------------------
@@ -134,7 +134,7 @@ pub fn standalone(config: &GpuConfig, id: BenchmarkId, class: InputClass, seed: 
 // ---------------------------------------------------------------------------
 
 /// One row of Table 1.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Benchmark.
     pub id: BenchmarkId,
@@ -186,7 +186,7 @@ pub fn table1(config: &GpuConfig) -> Vec<Table1Row> {
 // ---------------------------------------------------------------------------
 
 /// One co-run pair's scalar result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PairResult {
     /// Low-priority / long-running benchmark (large input).
     pub lo: BenchmarkId,
@@ -294,7 +294,7 @@ pub fn fig08_hpf_speedups(config: &GpuConfig, exp: ExpConfig) -> Vec<PairResult>
 // ---------------------------------------------------------------------------
 
 /// One delay-sweep curve.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DelayCurve {
     /// The pair (victim, high-priority kernel).
     pub lo: BenchmarkId,
@@ -366,7 +366,7 @@ pub fn fig09_delay_sweep(config: &GpuConfig, exp: ExpConfig) -> Vec<DelayCurve> 
 
 /// Per-pair ANTT improvement and STP degradation (one run feeds both
 /// figures).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EqualPriorityRow {
     /// The long-running benchmark (large input).
     pub long: BenchmarkId,
@@ -396,7 +396,13 @@ pub fn fig10_11_equal_priority(config: &GpuConfig, exp: ExpConfig) -> Vec<EqualP
                 let single_short = standalone(config, short, InputClass::Small, s2);
                 let run = |policy| {
                     let r = CoRun::new(config.clone(), policy)
-                        .job(predicted_job(&store, long, InputClass::Large, SimTime::ZERO, s1))
+                        .job(predicted_job(
+                            &store,
+                            long,
+                            InputClass::Large,
+                            SimTime::ZERO,
+                            s1,
+                        ))
                         .job(predicted_job(
                             &store,
                             short,
@@ -444,7 +450,7 @@ pub fn fig10_11_equal_priority(config: &GpuConfig, exp: ExpConfig) -> Vec<EqualP
 // ---------------------------------------------------------------------------
 
 /// One triplet's result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TripletRow {
     /// The triplet `A_B_C` (A large, B and C small).
     pub triplet: (BenchmarkId, BenchmarkId, BenchmarkId),
@@ -470,9 +476,27 @@ pub fn fig12_three_kernel(config: &GpuConfig, exp: ExpConfig) -> Vec<TripletRow>
             ];
             let run = |policy| {
                 let r = CoRun::new(config.clone(), policy)
-                    .job(predicted_job(&store, a, InputClass::Large, SimTime::ZERO, s[0]))
-                    .job(predicted_job(&store, b, InputClass::Small, SimTime::from_us(30), s[1]))
-                    .job(predicted_job(&store, c, InputClass::Small, SimTime::from_us(60), s[2]))
+                    .job(predicted_job(
+                        &store,
+                        a,
+                        InputClass::Large,
+                        SimTime::ZERO,
+                        s[0],
+                    ))
+                    .job(predicted_job(
+                        &store,
+                        b,
+                        InputClass::Small,
+                        SimTime::from_us(30),
+                        s[1],
+                    ))
+                    .job(predicted_job(
+                        &store,
+                        c,
+                        InputClass::Small,
+                        SimTime::from_us(60),
+                        s[2],
+                    ))
                     .run();
                 let ts: Vec<Turnaround> = r
                     .jobs
@@ -502,7 +526,7 @@ pub fn fig12_three_kernel(config: &GpuConfig, exp: ExpConfig) -> Vec<TripletRow>
 // ---------------------------------------------------------------------------
 
 /// A share-over-time curve averaged across pairs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SharePoint {
     /// Window end time.
     pub at: SimTime,
@@ -518,7 +542,7 @@ pub struct SharePoint {
 
 /// The FFS experiment output: the Fig. 13 share curves and the Fig. 14
 /// per-pair throughput degradations.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FfsOutcome {
     /// Fig. 13 curve (2:1 weights → 2/3 vs 1/3).
     pub share_curve: Vec<SharePoint>,
@@ -622,7 +646,7 @@ pub fn fig13_14_ffs(config: &GpuConfig, exp: ExpConfig) -> FfsOutcome {
 // ---------------------------------------------------------------------------
 
 /// Per-victim-benchmark preemption-overhead reduction.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SpatialRow {
     /// The victim benchmark (large input, low priority).
     pub victim: BenchmarkId,
@@ -705,7 +729,7 @@ pub fn fig15_spatial(config: &GpuConfig, exp: ExpConfig) -> Vec<SpatialRow> {
 // ---------------------------------------------------------------------------
 
 /// One SM-sweep curve.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SmSweepCurve {
     /// The high-priority (trivial-input) kernel.
     pub hi: BenchmarkId,
@@ -769,7 +793,7 @@ pub fn fig16_sm_sweep(config: &GpuConfig, exp: ExpConfig) -> Vec<SmSweepCurve> {
 // ---------------------------------------------------------------------------
 
 /// Per-benchmark transformation overhead.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OverheadRow {
     /// Benchmark.
     pub id: BenchmarkId,
@@ -803,7 +827,8 @@ pub fn fig17_overhead(config: &GpuConfig) -> Vec<OverheadRow> {
                 capacity,
             );
             let desc = bench.original_desc(InputClass::Large);
-            let original = flep_gpu_sim::run_single(config.clone(), bench.original_desc(InputClass::Large));
+            let original =
+                flep_gpu_sim::run_single(config.clone(), bench.original_desc(InputClass::Large));
             let sliced = flep_compile::run_sliced_standalone(config.clone(), &desc, plan);
             OverheadRow {
                 id,
@@ -831,7 +856,7 @@ pub fn makespan(result: &CoRunResult) -> SimTime {
 
 /// One row of the amortizing-factor sweep: the overhead/latency trade-off
 /// behind the §4.1 tuner and the §7 discussion.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LSweepRow {
     /// The amortizing factor tried.
     pub amortize: u32,
@@ -857,7 +882,7 @@ pub fn ablation_l_sweep(config: &GpuConfig, id: BenchmarkId) -> Vec<LSweepRow> {
 }
 
 /// Outcome of the overhead-aware-HPF ablation on near-tie workloads.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OverheadAwareAblation {
     /// Preemptions with the §5.2.1 overhead term enabled (the paper's
     /// configuration).
@@ -898,9 +923,8 @@ pub fn ablation_overhead_aware(config: &GpuConfig, exp: ExpConfig) -> OverheadAw
             // 28 waves x 2.26us ~ 63us shorter per arrival (40us of which
             // the running job will already have executed).
             p.total_tasks -= 3360 * i;
-            corun = corun.job(
-                JobSpec::new(p, SimTime::from_us(40) * i).with_seed(exp.seed.wrapping_add(i)),
-            );
+            corun = corun
+                .job(JobSpec::new(p, SimTime::from_us(40) * i).with_seed(exp.seed.wrapping_add(i)));
         }
         corun.run()
     };
@@ -919,7 +943,7 @@ pub fn ablation_overhead_aware(config: &GpuConfig, exp: ExpConfig) -> OverheadAw
 /// Per-benchmark overhead comparison for the §4.1 one-reader broadcast
 /// optimization: what the transform would cost if every thread of a CTA
 /// polled the pinned flag and pulled tasks individually.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PollAblationRow {
     /// Benchmark.
     pub id: BenchmarkId,
@@ -945,8 +969,7 @@ pub fn ablation_per_thread_poll(config: &GpuConfig) -> Vec<PollAblationRow> {
                 pull_cost: config.pull_cost * u64::from(bench.resources.threads_per_cta),
                 ..config.clone()
             };
-            let per_thread =
-                flep_compile::measure_overhead(&scaled, &bench, InputClass::Large, l);
+            let per_thread = flep_compile::measure_overhead(&scaled, &bench, InputClass::Large, l);
             PollAblationRow {
                 id,
                 broadcast,
@@ -961,7 +984,7 @@ pub fn ablation_per_thread_poll(config: &GpuConfig) -> Vec<PollAblationRow> {
 // ---------------------------------------------------------------------------
 
 /// Mean HPF speedup on a device of a given SM count.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SensitivityRow {
     /// SMs in the simulated device.
     pub num_sms: u32,
@@ -1034,6 +1057,174 @@ pub fn sensitivity_sm_scaling(exp: ExpConfig) -> Vec<SensitivityRow> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// JSON serialization of every experiment's rows
+// ---------------------------------------------------------------------------
+
+use flep_sim_core::json::{JsonValue, ToJson};
+
+impl ToJson for ExpConfig {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("seed", self.seed.to_json()),
+            ("repeats", self.repeats.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Table1Row {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("id", self.id.to_json()),
+            ("suite", self.suite.to_json()),
+            ("kernel_loc", self.kernel_loc.to_json()),
+            ("large_us", self.large_us.to_json()),
+            ("small_us", self.small_us.to_json()),
+            ("trivial_us", self.trivial_us.to_json()),
+            ("tuned_amortize", self.tuned_amortize.to_json()),
+            ("paper_amortize", self.paper_amortize.to_json()),
+        ])
+    }
+}
+
+impl ToJson for PairResult {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("lo", self.lo.to_json()),
+            ("hi", self.hi.to_json()),
+            ("value", self.value.to_json()),
+        ])
+    }
+}
+
+impl ToJson for DelayCurve {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("lo", self.lo.to_json()),
+            ("hi", self.hi.to_json()),
+            ("points", self.points.to_json()),
+        ])
+    }
+}
+
+impl ToJson for EqualPriorityRow {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("long", self.long.to_json()),
+            ("short", self.short.to_json()),
+            ("antt_improvement", self.antt_improvement.to_json()),
+            ("stp_degradation", self.stp_degradation.to_json()),
+        ])
+    }
+}
+
+impl ToJson for TripletRow {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("triplet", self.triplet.to_json()),
+            ("flep_improvement", self.flep_improvement.to_json()),
+            ("reorder_improvement", self.reorder_improvement.to_json()),
+        ])
+    }
+}
+
+impl ToJson for SharePoint {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("at", self.at.to_json()),
+            ("hi_mean", self.hi_mean.to_json()),
+            ("hi_std", self.hi_std.to_json()),
+            ("lo_mean", self.lo_mean.to_json()),
+            ("lo_std", self.lo_std.to_json()),
+        ])
+    }
+}
+
+impl ToJson for FfsOutcome {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("share_curve", self.share_curve.to_json()),
+            ("degradation", self.degradation.to_json()),
+            ("max_overhead", self.max_overhead.to_json()),
+        ])
+    }
+}
+
+impl ToJson for SpatialRow {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("victim", self.victim.to_json()),
+            ("temporal_overhead", self.temporal_overhead.to_json()),
+            ("spatial_overhead", self.spatial_overhead.to_json()),
+            ("reduction", self.reduction.to_json()),
+        ])
+    }
+}
+
+impl ToJson for SmSweepCurve {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("hi", self.hi.to_json()),
+            ("victim", self.victim.to_json()),
+            ("points", self.points.to_json()),
+        ])
+    }
+}
+
+impl ToJson for OverheadRow {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("id", self.id.to_json()),
+            ("flep", self.flep.to_json()),
+            ("slicing", self.slicing.to_json()),
+        ])
+    }
+}
+
+impl ToJson for LSweepRow {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("amortize", self.amortize.to_json()),
+            ("overhead", self.overhead.to_json()),
+            ("latency", self.latency.to_json()),
+        ])
+    }
+}
+
+impl ToJson for OverheadAwareAblation {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("preemptions_aware", self.preemptions_aware.to_json()),
+            ("preemptions_naive", self.preemptions_naive.to_json()),
+            ("makespan_aware", self.makespan_aware.to_json()),
+            ("makespan_naive", self.makespan_naive.to_json()),
+            ("waiting_aware", self.waiting_aware.to_json()),
+            ("waiting_naive", self.waiting_naive.to_json()),
+        ])
+    }
+}
+
+impl ToJson for PollAblationRow {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("id", self.id.to_json()),
+            ("broadcast", self.broadcast.to_json()),
+            ("per_thread", self.per_thread.to_json()),
+        ])
+    }
+}
+
+impl ToJson for SensitivityRow {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("num_sms", self.num_sms.to_json()),
+            ("mean_speedup", self.mean_speedup.to_json()),
+            ("min_speedup", self.min_speedup.to_json()),
+            ("max_speedup", self.max_speedup.to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1043,7 +1234,12 @@ mod tests {
         let pairs = priority_pairs();
         assert_eq!(pairs.len(), 28);
         // Victims are exactly CFD/NN/PF/PL, 7 pairs each, no self-pairs.
-        for victim in [BenchmarkId::Cfd, BenchmarkId::Nn, BenchmarkId::Pf, BenchmarkId::Pl] {
+        for victim in [
+            BenchmarkId::Cfd,
+            BenchmarkId::Nn,
+            BenchmarkId::Pf,
+            BenchmarkId::Pl,
+        ] {
             assert_eq!(pairs.iter().filter(|(lo, _)| *lo == victim).count(), 7);
         }
         assert!(pairs.iter().all(|(lo, hi)| lo != hi));
@@ -1053,7 +1249,12 @@ mod tests {
     fn equal_priority_pairs_are_the_paper_28() {
         let pairs = equal_priority_pairs();
         assert_eq!(pairs.len(), 28);
-        for short in [BenchmarkId::Md, BenchmarkId::Mm, BenchmarkId::Spmv, BenchmarkId::Va] {
+        for short in [
+            BenchmarkId::Md,
+            BenchmarkId::Mm,
+            BenchmarkId::Spmv,
+            BenchmarkId::Va,
+        ] {
             assert_eq!(pairs.iter().filter(|(_, s)| *s == short).count(), 7);
         }
         assert!(pairs.iter().all(|(long, short)| long != short));
@@ -1082,7 +1283,10 @@ mod tests {
             .expected_standalone(InputClass::Small, 120)
             .as_us();
         let got = (t - cfg.launch_overhead).as_us();
-        assert!(((got - expected) / expected).abs() < 0.03, "{got} vs {expected}");
+        assert!(
+            ((got - expected) / expected).abs() < 0.03,
+            "{got} vs {expected}"
+        );
     }
 
     #[test]

@@ -3,8 +3,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use flep_perfmodel::{KernelFeatures, RidgeModel};
 use flep_sim_core::{SimRng, SimTime};
 use flep_workloads::{Benchmark, BenchmarkId, InputClass};
@@ -16,7 +14,7 @@ pub const TRAINING_SAMPLES: usize = 100;
 pub const DEFAULT_LAMBDA: f64 = 1e-3;
 
 /// A trained model per benchmark kernel.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModelStore {
     models: HashMap<BenchmarkId, RidgeModel>,
     seed: u64,

@@ -69,10 +69,7 @@ pub fn render_timeline(result: &CoRunResult, width: usize) -> String {
             // 120-slot capacity: a full-device kernel renders █, a
             // few-CTA spatial tenant renders ░.
             let frac = (busy.as_ns() as f64 / cell_ns).min(120.0) / 120.0;
-            let active = job.arrival < to
-                && job
-                    .completed
-                    .is_none_or(|c| c > from);
+            let active = job.arrival < to && job.completed.is_none_or(|c| c > from);
             let glyph = if frac > 0.001 {
                 let level = 1 + ((frac * 3.999) as usize).min(3);
                 LEVELS[level]

@@ -1,7 +1,5 @@
 //! The experiment driver: describe a co-run, execute it, read results.
 
-use serde::{Deserialize, Serialize};
-
 use flep_gpu_sim::{GpuConfig, GpuDevice, SwapManager, SwapStats};
 use flep_sim_core::{SimTime, Simulation, Span};
 
@@ -111,7 +109,7 @@ impl CoRun {
 }
 
 /// Results of a co-run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CoRunResult {
     /// Per-job records, in submission order.
     pub jobs: Vec<JobRecord>,
@@ -127,11 +125,7 @@ impl CoRunResult {
     /// Job `idx`'s share of all busy GPU time within `[from, to)`.
     #[must_use]
     pub fn gpu_share(&self, idx: usize, from: SimTime, to: SimTime) -> f64 {
-        let total: SimTime = self
-            .busy_spans
-            .iter()
-            .map(|s| s.clipped(from, to))
-            .sum();
+        let total: SimTime = self.busy_spans.iter().map(|s| s.clipped(from, to)).sum();
         let own: SimTime = self
             .busy_spans
             .iter()

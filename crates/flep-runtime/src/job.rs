@@ -1,7 +1,5 @@
 //! Kernel invocations as the runtime sees them: specs in, records out.
 
-use serde::{Deserialize, Serialize};
-
 use flep_gpu_sim::{GpuConfig, GridShape, LaunchDesc, ResourceUsage, TaskCost};
 use flep_sim_core::SimTime;
 use flep_workloads::{Benchmark, InputClass};
@@ -11,7 +9,7 @@ use flep_workloads::{Benchmark, InputClass};
 /// This is what the transformed CPU code sends to the runtime at a launch
 /// site (§5.1): the kernel's identity, configuration, and the preemption
 /// parameters baked in by the compilation engine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelProfile {
     /// Kernel name (for diagnostics).
     pub name: String,
@@ -108,7 +106,7 @@ impl KernelProfile {
 
 /// Does the job run once or loop forever (the FFS experiments run each
 /// benchmark "in an infinite loop", §6.3.3)?
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RepeatMode {
     /// One invocation.
     Once,
@@ -118,7 +116,7 @@ pub enum RepeatMode {
 }
 
 /// One kernel invocation submitted to the runtime.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
     /// The kernel.
     pub profile: KernelProfile,
@@ -192,7 +190,7 @@ impl JobSpec {
 }
 
 /// The observable outcome of one job.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct JobRecord {
     /// Kernel name.
     pub name: String,

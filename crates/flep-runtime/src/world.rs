@@ -2,8 +2,6 @@
 //! and the preemption/scheduling decision loop, co-simulated with the GPU
 //! device.
 
-use serde::{Deserialize, Serialize};
-
 use flep_gpu_sim::{
     CollectorHarness, GpuDevice, GpuEvent, GridId, HostNotification, PreemptSignal, SwapManager,
     SwapStats,
@@ -14,7 +12,7 @@ use flep_sim_core::{Scheduler, SimTime, Span, World};
 use crate::job::{JobRecord, JobSpec, RepeatMode};
 
 /// The scheduling policy the runtime enforces.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Policy {
     /// §5.2.1: highest-priority-first with shortest-remaining-time among
     /// equal priorities, preempting only when the switch pays for the
@@ -195,7 +193,12 @@ pub struct SystemWorld {
 impl SystemWorld {
     /// Builds the world from job specs.
     #[must_use]
-    pub fn new(device: GpuDevice, policy: Policy, specs: Vec<JobSpec>, horizon: Option<SimTime>) -> Self {
+    pub fn new(
+        device: GpuDevice,
+        policy: Policy,
+        specs: Vec<JobSpec>,
+        horizon: Option<SimTime>,
+    ) -> Self {
         let jobs: Vec<Job> = specs
             .into_iter()
             .map(|spec| {
@@ -278,7 +281,11 @@ impl SystemWorld {
         if job.record.first_granted.is_none() {
             job.record.first_granted = Some(now);
         }
-        let seed = job.spec.seed.wrapping_add(job.launches).wrapping_add(job.completions << 32);
+        let seed = job
+            .spec
+            .seed
+            .wrapping_add(job.launches)
+            .wrapping_add(job.completions << 32);
         job.launches += 1;
         let working_set = job.spec.working_set_bytes;
         let mut desc = match self.policy {
@@ -446,7 +453,11 @@ impl SystemWorld {
         // Epoch length: T * W_i with T from the §5.2.2 constraint
         //   sum(O_i) / (T * sum(W_i)) <= max_overhead.
         let total_overhead: SimTime = (0..n).map(|i| self.preempt_overhead_estimate(i)).sum();
-        let total_weight: u64 = self.jobs.iter().map(|j| u64::from(j.spec.priority.max(1))).sum();
+        let total_weight: u64 = self
+            .jobs
+            .iter()
+            .map(|j| u64::from(j.spec.priority.max(1)))
+            .sum();
         let t = SimTime::from_us_f64(
             total_overhead.as_us() / (max_overhead * total_weight as f64).max(1e-9),
         );
@@ -626,12 +637,7 @@ impl SystemWorld {
 impl World for SystemWorld {
     type Event = SystemEvent;
 
-    fn handle(
-        &mut self,
-        now: SimTime,
-        event: SystemEvent,
-        sched: &mut Scheduler<'_, SystemEvent>,
-    ) {
+    fn handle(&mut self, now: SimTime, event: SystemEvent, sched: &mut Scheduler<'_, SystemEvent>) {
         let mut harness = CollectorHarness::new();
         match event {
             SystemEvent::Gpu(ev) => {

@@ -138,7 +138,10 @@ fn three_kernel_corun_schedules_shortest_first() {
     // §6.3.2's VA_SPMV_MM story: VA (large) is preempted, SPMV (shortest)
     // runs, then MM, then VA resumes.
     let result = CoRun::new(k40(), Policy::hpf())
-        .job(JobSpec::new(profile(BenchmarkId::Va, InputClass::Large), SimTime::ZERO))
+        .job(JobSpec::new(
+            profile(BenchmarkId::Va, InputClass::Large),
+            SimTime::ZERO,
+        ))
         .job(JobSpec::new(
             profile(BenchmarkId::Spmv, InputClass::Small),
             SimTime::from_us(30),
@@ -161,7 +164,10 @@ fn reordering_cannot_rescue_blocked_queue() {
     // Reordering helps only kernels that have not started; the long kernel
     // launched first still blocks (the §6.3.2 ~2.3% result).
     let result = CoRun::new(k40(), Policy::Reordering)
-        .job(JobSpec::new(profile(BenchmarkId::Va, InputClass::Large), SimTime::ZERO))
+        .job(JobSpec::new(
+            profile(BenchmarkId::Va, InputClass::Large),
+            SimTime::ZERO,
+        ))
         .job(JobSpec::new(
             profile(BenchmarkId::Spmv, InputClass::Small),
             SimTime::from_us(30),
@@ -181,7 +187,10 @@ fn reordering_cannot_rescue_blocked_queue() {
 fn spatial_preemption_yields_only_needed_sms() {
     // Victim large + trivial high-priority kernel (40 CTAs -> 5 SMs).
     let result = CoRun::new(k40(), Policy::hpf_spatial())
-        .job(JobSpec::new(profile(BenchmarkId::Cfd, InputClass::Large), SimTime::ZERO).with_priority(1))
+        .job(
+            JobSpec::new(profile(BenchmarkId::Cfd, InputClass::Large), SimTime::ZERO)
+                .with_priority(1),
+        )
         .job(
             JobSpec::new(
                 profile(BenchmarkId::Va, InputClass::Trivial),
@@ -247,9 +256,12 @@ fn ffs_enforces_two_to_one_share() {
                 .looping(),
         )
         .job(
-            JobSpec::new(profile(BenchmarkId::Pl, InputClass::Large), SimTime::from_us(5))
-                .with_priority(1)
-                .looping(),
+            JobSpec::new(
+                profile(BenchmarkId::Pl, InputClass::Large),
+                SimTime::from_us(5),
+            )
+            .with_priority(1)
+            .looping(),
         )
         .horizon(horizon)
         .run();
@@ -274,23 +286,27 @@ fn ffs_enforces_two_to_one_share() {
 fn ffs_respects_overhead_budget() {
     // With a tighter budget the epochs get longer and preemptions rarer.
     let run = |budget: f64| {
-        CoRun::new(k40(), Policy::Ffs { max_overhead: budget })
-            .job(
-                JobSpec::new(profile(BenchmarkId::Pf, InputClass::Large), SimTime::ZERO)
-                    .looping(),
+        CoRun::new(
+            k40(),
+            Policy::Ffs {
+                max_overhead: budget,
+            },
+        )
+        .job(JobSpec::new(profile(BenchmarkId::Pf, InputClass::Large), SimTime::ZERO).looping())
+        .job(
+            JobSpec::new(
+                profile(BenchmarkId::Pl, InputClass::Large),
+                SimTime::from_us(5),
             )
-            .job(
-                JobSpec::new(profile(BenchmarkId::Pl, InputClass::Large), SimTime::from_us(5))
-                    .looping(),
-            )
-            .horizon(SimTime::from_ms(200))
-            .run()
+            .looping(),
+        )
+        .horizon(SimTime::from_ms(200))
+        .run()
     };
     let loose = run(0.10);
     let tight = run(0.01);
-    let preemptions = |r: &flep_runtime::CoRunResult| {
-        r.jobs.iter().map(|j| j.preemptions).sum::<u32>()
-    };
+    let preemptions =
+        |r: &flep_runtime::CoRunResult| r.jobs.iter().map(|j| j.preemptions).sum::<u32>();
     assert!(
         preemptions(&tight) < preemptions(&loose),
         "tight {} vs loose {}",
@@ -323,7 +339,10 @@ fn waiting_time_accounting_is_consistent() {
 fn corun_is_deterministic() {
     let mk = || {
         CoRun::new(k40(), Policy::hpf())
-            .job(JobSpec::new(profile(BenchmarkId::Md, InputClass::Large), SimTime::ZERO).with_seed(7))
+            .job(
+                JobSpec::new(profile(BenchmarkId::Md, InputClass::Large), SimTime::ZERO)
+                    .with_seed(7),
+            )
             .job(
                 JobSpec::new(
                     profile(BenchmarkId::Pf, InputClass::Small),
@@ -342,7 +361,10 @@ fn corun_is_deterministic() {
 #[test]
 fn drain_samples_feed_overhead_profiler() {
     let result = CoRun::new(k40(), Policy::hpf())
-        .job(JobSpec::new(profile(BenchmarkId::Va, InputClass::Large), SimTime::ZERO))
+        .job(JobSpec::new(
+            profile(BenchmarkId::Va, InputClass::Large),
+            SimTime::ZERO,
+        ))
         .job(JobSpec::new(
             profile(BenchmarkId::Mm, InputClass::Small),
             SimTime::from_us(50),

@@ -21,18 +21,30 @@ fn four_priority_levels_preempt_in_order() {
     // preempts the previous one; completions happen in descending
     // priority.
     let result = CoRun::new(GpuConfig::k40(), Policy::hpf())
-        .job(JobSpec::new(profile(BenchmarkId::Va, InputClass::Large), SimTime::ZERO).with_priority(1))
         .job(
-            JobSpec::new(profile(BenchmarkId::Cfd, InputClass::Small), SimTime::from_us(100))
-                .with_priority(2),
+            JobSpec::new(profile(BenchmarkId::Va, InputClass::Large), SimTime::ZERO)
+                .with_priority(1),
         )
         .job(
-            JobSpec::new(profile(BenchmarkId::Pf, InputClass::Small), SimTime::from_us(200))
-                .with_priority(3),
+            JobSpec::new(
+                profile(BenchmarkId::Cfd, InputClass::Small),
+                SimTime::from_us(100),
+            )
+            .with_priority(2),
         )
         .job(
-            JobSpec::new(profile(BenchmarkId::Spmv, InputClass::Small), SimTime::from_us(300))
-                .with_priority(4),
+            JobSpec::new(
+                profile(BenchmarkId::Pf, InputClass::Small),
+                SimTime::from_us(200),
+            )
+            .with_priority(3),
+        )
+        .job(
+            JobSpec::new(
+                profile(BenchmarkId::Spmv, InputClass::Small),
+                SimTime::from_us(300),
+            )
+            .with_priority(4),
         )
         .run();
     assert!(all_complete(&result));
@@ -63,8 +75,11 @@ fn arrival_storm_of_sixteen_jobs_drains() {
     for i in 0..16u64 {
         let id = smalls[(i % 8) as usize];
         corun = corun.job(
-            JobSpec::new(profile(id, InputClass::Small), SimTime::from_us(rng.uniform_u64(0, 500)))
-                .with_seed(i),
+            JobSpec::new(
+                profile(id, InputClass::Small),
+                SimTime::from_us(rng.uniform_u64(0, 500)),
+            )
+            .with_seed(i),
         );
     }
     let result = corun.run();
@@ -90,22 +105,36 @@ fn ffs_three_kernel_corun_shares_match_weights() {
                 .looping(),
         )
         .job(
-            JobSpec::new(profile(BenchmarkId::Pl, InputClass::Large), SimTime::from_us(5))
-                .with_priority(2)
-                .looping(),
+            JobSpec::new(
+                profile(BenchmarkId::Pl, InputClass::Large),
+                SimTime::from_us(5),
+            )
+            .with_priority(2)
+            .looping(),
         )
         .job(
-            JobSpec::new(profile(BenchmarkId::Cfd, InputClass::Large), SimTime::from_us(10))
-                .with_priority(1)
-                .looping(),
+            JobSpec::new(
+                profile(BenchmarkId::Cfd, InputClass::Large),
+                SimTime::from_us(10),
+            )
+            .with_priority(1)
+            .looping(),
         )
         .horizon(horizon)
         .run();
     let from = SimTime::from_ms(30); // skip warmup
     let shares: Vec<f64> = (0..3).map(|i| result.gpu_share(i, from, horizon)).collect();
     assert!((shares[0] - 0.5).abs() < 0.09, "w=3 share {:.3}", shares[0]);
-    assert!((shares[1] - 1.0 / 3.0).abs() < 0.09, "w=2 share {:.3}", shares[1]);
-    assert!((shares[2] - 1.0 / 6.0).abs() < 0.09, "w=1 share {:.3}", shares[2]);
+    assert!(
+        (shares[1] - 1.0 / 3.0).abs() < 0.09,
+        "w=2 share {:.3}",
+        shares[1]
+    );
+    assert!(
+        (shares[2] - 1.0 / 6.0).abs() < 0.09,
+        "w=1 share {:.3}",
+        shares[2]
+    );
 }
 
 #[test]
@@ -124,9 +153,8 @@ fn simultaneous_arrivals_are_deterministic_and_orderly() {
         BenchmarkId::Md,   // 938
     ];
     for (i, id) in order.iter().enumerate() {
-        corun = corun.job(
-            JobSpec::new(profile(*id, InputClass::Small), SimTime::ZERO).with_seed(i as u64),
-        );
+        corun = corun
+            .job(JobSpec::new(profile(*id, InputClass::Small), SimTime::ZERO).with_seed(i as u64));
     }
     let result = corun.run();
     assert!(all_complete(&result));
@@ -167,7 +195,9 @@ fn back_to_back_preemptions_preserve_all_work() {
     );
     assert_eq!(
         victim.tasks_completed,
-        Benchmark::get(BenchmarkId::Va).profile(InputClass::Large).tasks,
+        Benchmark::get(BenchmarkId::Va)
+            .profile(InputClass::Large)
+            .tasks,
         "every task ran exactly once across {} resumes",
         victim.preemptions
     );
@@ -178,7 +208,10 @@ fn reordering_with_idle_gaps_behaves_like_sjf() {
     // With arrivals spaced beyond each kernel's runtime, reordering ==
     // FIFO == SJF; no preemption, everything completes promptly.
     let result = CoRun::new(GpuConfig::k40(), Policy::Reordering)
-        .job(JobSpec::new(profile(BenchmarkId::Spmv, InputClass::Small), SimTime::ZERO))
+        .job(JobSpec::new(
+            profile(BenchmarkId::Spmv, InputClass::Small),
+            SimTime::ZERO,
+        ))
         .job(JobSpec::new(
             profile(BenchmarkId::Mm, InputClass::Small),
             SimTime::from_ms(2),
@@ -191,7 +224,12 @@ fn reordering_with_idle_gaps_behaves_like_sjf() {
     assert!(all_complete(&result));
     for j in &result.jobs {
         assert_eq!(j.preemptions, 0);
-        assert!(j.waiting < SimTime::from_us(50), "{} waited {}", j.name, j.waiting);
+        assert!(
+            j.waiting < SimTime::from_us(50),
+            "{} waited {}",
+            j.name,
+            j.waiting
+        );
     }
 }
 

@@ -108,7 +108,10 @@ fn resume_after_preemption_repays_swap_in_if_evicted() {
 fn jobs_without_working_sets_ignore_the_swap_manager() {
     let result = CoRun::new(GpuConfig::k40(), Policy::hpf())
         .with_swap(small_memory())
-        .job(JobSpec::new(profile(BenchmarkId::Pf, InputClass::Small), SimTime::ZERO))
+        .job(JobSpec::new(
+            profile(BenchmarkId::Pf, InputClass::Small),
+            SimTime::ZERO,
+        ))
         .run();
     let stats = result.swap_stats.unwrap();
     assert_eq!(stats.swap_ins, 0);
@@ -118,7 +121,10 @@ fn jobs_without_working_sets_ignore_the_swap_manager() {
 #[test]
 fn swap_disabled_reports_none() {
     let result = CoRun::new(GpuConfig::k40(), Policy::hpf())
-        .job(JobSpec::new(profile(BenchmarkId::Pf, InputClass::Small), SimTime::ZERO))
+        .job(JobSpec::new(
+            profile(BenchmarkId::Pf, InputClass::Small),
+            SimTime::ZERO,
+        ))
         .run();
     assert!(result.swap_stats.is_none());
 }

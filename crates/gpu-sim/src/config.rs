@@ -1,7 +1,5 @@
 //! Device configuration, per-CTA resource usage, and occupancy computation.
 
-use serde::{Deserialize, Serialize};
-
 use flep_sim_core::SimTime;
 
 /// Static description of the simulated GPU.
@@ -10,7 +8,7 @@ use flep_sim_core::SimTime;
 /// 15 SMs, 2048 threads / 65536 registers / 48 KiB shared memory per SM and
 /// a hardware cap of 16 resident CTAs per SM. With the paper's 256-thread
 /// CTAs this yields 8 CTAs/SM, i.e. the "120 active CTAs" the paper quotes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
     /// Number of streaming multiprocessors.
     pub num_sms: u32,
@@ -123,7 +121,7 @@ impl Default for GpuConfig {
 
 /// Per-CTA hardware resource requirements, as derived by the compiler's
 /// linear scan of the kernel (§4.1) or supplied by the workload spec.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ResourceUsage {
     /// Threads per CTA (the CUDA block size).
     pub threads_per_cta: u32,

@@ -234,9 +234,9 @@ impl GpuDevice {
     /// True when no grid is queued, running, or in flight.
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.grids.values().all(|g| {
-            matches!(g.phase, GridPhase::Completed | GridPhase::Preempted)
-        })
+        self.grids
+            .values()
+            .all(|g| matches!(g.phase, GridPhase::Completed | GridPhase::Preempted))
     }
 
     /// The externally observable phase of a grid, if it exists.
@@ -269,9 +269,8 @@ impl GpuDevice {
     /// Drops retired grids' bookkeeping to bound memory in long experiments.
     /// Phases queried after pruning return `None`.
     pub fn prune_retired(&mut self) {
-        self.grids.retain(|_, g| {
-            !matches!(g.phase, GridPhase::Completed | GridPhase::Preempted)
-        });
+        self.grids
+            .retain(|_, g| !matches!(g.phase, GridPhase::Completed | GridPhase::Preempted));
     }
 
     /// Issues a kernel launch. The grid reaches the device FIFO after the
@@ -595,10 +594,7 @@ impl GpuDevice {
                 grid.phase = GridPhase::Running;
                 let tag = grid.tag;
                 self.trace.record(now, "dispatch_start", tag);
-                harness.notify_host(
-                    now,
-                    HostNotification::DispatchStarted { grid: gid, tag },
-                );
+                harness.notify_host(now, HostNotification::DispatchStarted { grid: gid, tag });
             }
 
             let resident = ResidentCta {
@@ -721,7 +717,10 @@ impl GpuDevice {
         n_tasks: u64,
         harness: &mut dyn GpuHarness,
     ) {
-        let grid = self.grids.get_mut(&gid).expect("BatchDone for unknown grid");
+        let grid = self
+            .grids
+            .get_mut(&gid)
+            .expect("BatchDone for unknown grid");
         grid.completed_tasks += n_tasks;
         let offset = grid.first_task;
         if let Some(f) = grid.task_fn.as_mut() {

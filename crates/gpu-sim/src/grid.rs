@@ -2,16 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use flep_sim_core::{SimRng, SimTime};
 
 use crate::config::ResourceUsage;
 
 /// Identifier of a grid (one kernel launch) on a device.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GridId(pub u64);
 
 impl fmt::Display for GridId {
@@ -21,7 +17,7 @@ impl fmt::Display for GridId {
 }
 
 /// How the grid executes on the device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GridShape {
     /// The untransformed kernel: one CTA per task, dispatched by the
     /// hardware FIFO; not preemptable.
@@ -56,7 +52,7 @@ impl GridShape {
 /// `rel_noise` is the relative standard deviation of a per-task factor
 /// centered at 1. Irregular kernels (SPMV, MD) get larger values; perfectly
 /// regular ones (VA) get ~0.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskCost {
     /// Mean duration of a task at full single-kernel occupancy.
     pub base: SimTime,
@@ -243,7 +239,7 @@ impl fmt::Debug for LaunchDesc {
 /// spatial preemption: CTAs whose `%smid` is below the value exit. A value
 /// of at least the SM count is therefore equivalent to temporal preemption
 /// (yield everything); the paper notes this equivalence explicitly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PreemptSignal {
     /// No preemption requested; CTAs keep pulling tasks.
     None,
@@ -263,7 +259,7 @@ impl PreemptSignal {
 }
 
 /// Lifecycle of a grid as observable from outside the device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GridPhase {
     /// Launched, still in flight to the device (launch overhead).
     InFlight,
@@ -403,11 +399,15 @@ mod tests {
 
     #[test]
     fn launch_desc_builder_chain() {
-        let desc = LaunchDesc::new("k", GridShape::Original { ctas: 1 }, TaskCost::fixed(SimTime::from_us(1)))
-            .with_tag(7)
-            .with_seed(3)
-            .with_mem_intensity(0.5)
-            .with_first_task(10);
+        let desc = LaunchDesc::new(
+            "k",
+            GridShape::Original { ctas: 1 },
+            TaskCost::fixed(SimTime::from_us(1)),
+        )
+        .with_tag(7)
+        .with_seed(3)
+        .with_mem_intensity(0.5)
+        .with_first_task(10);
         assert_eq!(desc.tag, 7);
         assert_eq!(desc.seed, 3);
         assert_eq!(desc.first_task, 10);

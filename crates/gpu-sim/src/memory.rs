@@ -8,17 +8,14 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use bytes::Bytes;
-use serde::{Deserialize, Serialize};
-
 use flep_sim_core::SimTime;
 
 /// Identifier of a device-memory allocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AllocId(u64);
 
 /// Direction of a host↔device copy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransferDir {
     /// Host to device.
     HostToDevice,
@@ -51,7 +48,10 @@ impl fmt::Display for MemoryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MemoryError::OutOfMemory { requested, free } => {
-                write!(f, "device out of memory: requested {requested} B, free {free} B")
+                write!(
+                    f,
+                    "device out of memory: requested {requested} B, free {free} B"
+                )
             }
             MemoryError::UnknownAllocation(id) => write!(f, "unknown allocation {id:?}"),
             MemoryError::CopyOutOfBounds { len, capacity } => {
@@ -80,7 +80,7 @@ pub struct DeviceMemory {
 #[derive(Debug, Clone)]
 struct Allocation {
     size: u64,
-    data: Option<Bytes>,
+    data: Option<Vec<u8>>,
 }
 
 impl DeviceMemory {
@@ -163,7 +163,7 @@ impl DeviceMemory {
     ///
     /// Returns an error for unknown allocations or when the payload exceeds
     /// the allocation.
-    pub fn copy_to_device(&mut self, id: AllocId, data: Bytes) -> Result<SimTime, MemoryError> {
+    pub fn copy_to_device(&mut self, id: AllocId, data: Vec<u8>) -> Result<SimTime, MemoryError> {
         let len = data.len() as u64;
         let alloc = self
             .allocations
@@ -186,12 +186,12 @@ impl DeviceMemory {
     /// # Errors
     ///
     /// Returns [`MemoryError::UnknownAllocation`] for stale handles.
-    pub fn copy_to_host(&self, id: AllocId) -> Result<(Bytes, SimTime), MemoryError> {
+    pub fn copy_to_host(&self, id: AllocId) -> Result<(Vec<u8>, SimTime), MemoryError> {
         let alloc = self
             .allocations
             .get(&id)
             .ok_or(MemoryError::UnknownAllocation(id))?;
-        let data = alloc.data.clone().unwrap_or_else(Bytes::new);
+        let data = alloc.data.clone().unwrap_or_default();
         let t = self.transfer_time(data.len() as u64);
         Ok((data, t))
     }
@@ -252,7 +252,7 @@ mod tests {
     fn round_trip_preserves_bytes() {
         let mut m = mem();
         let a = m.alloc(16).unwrap();
-        let t_up = m.copy_to_device(a, Bytes::from_static(b"hello")).unwrap();
+        let t_up = m.copy_to_device(a, b"hello".to_vec()).unwrap();
         assert!(t_up > SimTime::from_us(5));
         let (data, _) = m.copy_to_host(a).unwrap();
         assert_eq!(&data[..], b"hello");
@@ -263,8 +263,11 @@ mod tests {
         let mut m = mem();
         let a = m.alloc(2).unwrap();
         assert!(matches!(
-            m.copy_to_device(a, Bytes::from_static(b"abc")),
-            Err(MemoryError::CopyOutOfBounds { len: 3, capacity: 2 })
+            m.copy_to_device(a, b"abc".to_vec()),
+            Err(MemoryError::CopyOutOfBounds {
+                len: 3,
+                capacity: 2
+            })
         ));
     }
 

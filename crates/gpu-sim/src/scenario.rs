@@ -130,6 +130,7 @@ enum Ev {
 pub struct Scenario {
     config: GpuConfig,
     actions: Vec<(SimTime, Action)>,
+    trace: bool,
 }
 
 impl Scenario {
@@ -139,7 +140,14 @@ impl Scenario {
         Scenario {
             config,
             actions: Vec::new(),
+            trace: false,
         }
+    }
+
+    /// Records launch/signal/restore events on the device's trace log, for
+    /// inspection via [`ScenarioResult::device`] after the run.
+    pub fn enable_trace(&mut self) {
+        self.trace = true;
     }
 
     /// Schedules a kernel launch at `at`. The descriptor's `tag` keys the
@@ -158,13 +166,13 @@ impl Scenario {
     #[must_use]
     pub fn run(self) -> ScenarioResult {
         let times: Vec<SimTime> = self.actions.iter().map(|&(t, _)| t).collect();
+        let mut device = GpuDevice::new(self.config);
+        if self.trace {
+            device.enable_trace();
+        }
         let world = ScenarioWorld {
-            device: GpuDevice::new(self.config),
-            actions: self
-                .actions
-                .into_iter()
-                .map(|(_, a)| Some(a))
-                .collect(),
+            device,
+            actions: self.actions.into_iter().map(|(_, a)| Some(a)).collect(),
             records: HashMap::new(),
             tag_grids: HashMap::new(),
         };
@@ -209,11 +217,7 @@ impl std::fmt::Debug for ScenarioWorld {
 }
 
 impl ScenarioWorld {
-    fn flush(
-        &mut self,
-        collector: CollectorHarness,
-        sched: &mut Scheduler<'_, Ev>,
-    ) {
+    fn flush(&mut self, collector: CollectorHarness, sched: &mut Scheduler<'_, Ev>) {
         for (at, ev) in collector.gpu_events {
             sched.schedule_at(at, Ev::Gpu(ev));
         }

@@ -1,15 +1,13 @@
 //! The streaming-multiprocessor model: resource slots, residency, and the
 //! intra-SM contention model.
 
-use serde::{Deserialize, Serialize};
-
 use flep_sim_core::SimTime;
 
 use crate::config::{GpuConfig, ResourceUsage};
 use crate::grid::GridId;
 
 /// One CTA currently resident on an SM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResidentCta {
     /// The grid the CTA belongs to.
     pub grid: GridId,
@@ -22,7 +20,7 @@ pub struct ResidentCta {
 }
 
 /// A streaming multiprocessor: tracks resource usage and resident CTAs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Sm {
     id: u32,
     used_threads: u32,
@@ -151,8 +149,7 @@ impl Sm {
     ) -> f64 {
         let c = mem_intensity.max(0.0);
         let occ = cfg.occupancy_per_sm(usage);
-        let full_own_load =
-            f64::from(occ * usage.threads_per_cta) / f64::from(cfg.threads_per_sm);
+        let full_own_load = f64::from(occ * usage.threads_per_cta) / f64::from(cfg.threads_per_sm);
         let load = self.thread_load(cfg);
         (1.0 + c * load) / (1.0 + c * full_own_load)
     }

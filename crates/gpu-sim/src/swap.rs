@@ -10,12 +10,10 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use flep_sim_core::SimTime;
 
 /// Aggregate swap statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SwapStats {
     /// Working sets moved host→device.
     pub swap_ins: u64,

@@ -5,8 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use flep_gpu_sim::{
-    run_single, GpuConfig, GridShape, LaunchDesc, PreemptSignal, ResourceUsage, Scenario,
-    TaskCost,
+    run_single, GpuConfig, GridShape, LaunchDesc, PreemptSignal, ResourceUsage, Scenario, TaskCost,
 };
 use flep_sim_core::SimTime;
 
@@ -425,12 +424,13 @@ fn unlaunchable_kernel_rejected() {
     use flep_gpu_sim::{GpuDevice, LaunchError};
     let mut dev = GpuDevice::new(clean_k40());
     let mut harness = flep_gpu_sim::CollectorHarness::new();
-    let desc = LaunchDesc::new("huge", GridShape::Original { ctas: 1 }, fixed(1))
-        .with_resources(ResourceUsage {
+    let desc = LaunchDesc::new("huge", GridShape::Original { ctas: 1 }, fixed(1)).with_resources(
+        ResourceUsage {
             threads_per_cta: 4096,
             regs_per_thread: 32,
             smem_per_cta: 0,
-        });
+        },
+    );
     let err = dev.launch(SimTime::ZERO, desc, &mut harness).unwrap_err();
     assert!(matches!(err, LaunchError::Unlaunchable { .. }));
 
@@ -573,9 +573,8 @@ fn restore_grid_via_device_api_reaches_full_occupancy() {
         .unwrap();
     pending.extend(harness.gpu_events.drain(..));
 
-    let mut resident = |dev: &GpuDevice| -> u32 {
-        dev.sms().iter().map(|sm| sm.resident_count()).sum()
-    };
+    let mut resident =
+        |dev: &GpuDevice| -> u32 { dev.sms().iter().map(|sm| sm.resident_count()).sum() };
 
     // Helper: run the event loop until a deadline.
     let mut run_until = |dev: &mut GpuDevice,
@@ -584,7 +583,9 @@ fn restore_grid_via_device_api_reaches_full_occupancy() {
                          deadline: SimTime| {
         loop {
             pending.sort_by_key(|&(t, _)| t);
-            let Some(&(t, ev)) = pending.first() else { break };
+            let Some(&(t, ev)) = pending.first() else {
+                break;
+            };
             if t > deadline {
                 break;
             }

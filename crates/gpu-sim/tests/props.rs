@@ -1,16 +1,15 @@
 //! Property-based tests for the GPU device's conservation invariants: no
 //! task is ever lost or duplicated, whatever the workload shape or the
-//! preemption timing.
+//! preemption timing. Runs on the in-tree `flep-check` harness.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
 use flep_gpu_sim::{
     GpuConfig, GridShape, LaunchDesc, PreemptSignal, ResourceUsage, Scenario, TaskCost,
 };
-use flep_sim_core::SimTime;
+use flep_sim_core::check::{check, CheckConfig};
+use flep_sim_core::{assume, require, require_eq, SimRng, SimTime};
 
 fn clean_cfg() -> GpuConfig {
     GpuConfig {
@@ -20,150 +19,212 @@ fn clean_cfg() -> GpuConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// A persistent grid preempted at an arbitrary time partitions its
-    /// tasks exactly: done + remaining == total, and the task function ran
-    /// exactly `done` times.
-    #[test]
-    fn preemption_conserves_tasks(
-        total_tasks in 1u64..5_000,
-        amortize in 1u32..64,
-        task_us in 1u64..40,
-        signal_at_us in 0u64..2_000,
-        yield_sms in 1u32..=15,
-    ) {
-        let counter = Arc::new(AtomicU64::new(0));
-        let c = counter.clone();
-        let mut sc = Scenario::new(clean_cfg());
-        sc.launch_at(
-            SimTime::ZERO,
-            LaunchDesc::new(
-                "prop",
-                GridShape::Persistent { total_tasks, amortize },
-                TaskCost::fixed(SimTime::from_us(task_us)),
+/// A persistent grid preempted at an arbitrary time partitions its tasks
+/// exactly: done + remaining == total, and the task function ran exactly
+/// `done` times.
+#[test]
+fn preemption_conserves_tasks() {
+    check(
+        "preemption_conserves_tasks",
+        CheckConfig::default(),
+        |rng: &mut SimRng| {
+            (
+                rng.uniform_u64(1, 4_999),     // total_tasks
+                rng.uniform_u64(1, 63) as u32, // amortize
+                rng.uniform_u64(1, 39),        // task_us
+                rng.uniform_u64(0, 1_999),     // signal_at_us
+                rng.uniform_u64(1, 15) as u32, // yield_sms
             )
-            .with_tag(1)
-            .with_task_fn(Box::new(move |_| {
-                c.fetch_add(1, Ordering::Relaxed);
-            })),
-        );
-        sc.signal_at(
-            SimTime::from_us(signal_at_us),
-            1,
-            PreemptSignal::YieldSms(yield_sms),
-        );
-        let result = sc.run();
-        let rec = &result.records[&1];
-        let executed = counter.load(Ordering::Relaxed);
-        match (&rec.completed_at, rec.preemptions.first()) {
-            (Some(_), None) => prop_assert_eq!(executed, total_tasks),
-            (None, Some(p)) => {
-                prop_assert_eq!(p.tasks_done + p.remaining, total_tasks);
-                prop_assert_eq!(executed, p.tasks_done);
-                prop_assert!(p.remaining > 0);
+        },
+        |&(total_tasks, amortize, task_us, signal_at_us, yield_sms)| {
+            assume!(total_tasks >= 1 && amortize >= 1 && task_us >= 1);
+            assume!((1..=15).contains(&yield_sms));
+            let counter = Arc::new(AtomicU64::new(0));
+            let c = counter.clone();
+            let mut sc = Scenario::new(clean_cfg());
+            sc.launch_at(
+                SimTime::ZERO,
+                LaunchDesc::new(
+                    "prop",
+                    GridShape::Persistent {
+                        total_tasks,
+                        amortize,
+                    },
+                    TaskCost::fixed(SimTime::from_us(task_us)),
+                )
+                .with_tag(1)
+                .with_task_fn(Box::new(move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                })),
+            );
+            sc.signal_at(
+                SimTime::from_us(signal_at_us),
+                1,
+                PreemptSignal::YieldSms(yield_sms),
+            );
+            let result = sc.run();
+            let rec = &result.records[&1];
+            let executed = counter.load(Ordering::Relaxed);
+            match (&rec.completed_at, rec.preemptions.first()) {
+                (Some(_), None) => require_eq!(executed, total_tasks),
+                (None, Some(p)) => {
+                    require_eq!(p.tasks_done + p.remaining, total_tasks);
+                    require_eq!(executed, p.tasks_done);
+                    require!(p.remaining > 0);
+                }
+                // Spatial yields (< 15 SMs) never retire the grid early: it
+                // completes on the remaining SMs.
+                (Some(_), Some(_)) => require!(false, "completed grid recorded a preemption"),
+                (None, None) => require!(false, "grid neither completed nor preempted"),
             }
-            // Spatial yields (< 15 SMs) never retire the grid early: it
-            // completes on the remaining SMs.
-            (Some(_), Some(_)) => prop_assert!(false, "completed grid recorded a preemption"),
-            (None, None) => prop_assert!(false, "grid neither completed nor preempted"),
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Original grids complete every CTA exactly once whatever the grid
-    /// size, and the makespan respects the wave lower bound.
-    #[test]
-    fn original_grid_runs_each_cta_once(
-        ctas in 1u64..3_000,
-        task_us in 1u64..30,
-    ) {
-        let counter = Arc::new(AtomicU64::new(0));
-        let c = counter.clone();
-        let mut sc = Scenario::new(clean_cfg());
-        sc.launch_at(
-            SimTime::ZERO,
-            LaunchDesc::new(
-                "orig",
-                GridShape::Original { ctas },
-                TaskCost::fixed(SimTime::from_us(task_us)),
+/// Original grids complete every CTA exactly once whatever the grid size,
+/// and the makespan respects the wave lower bound.
+#[test]
+fn original_grid_runs_each_cta_once() {
+    check(
+        "original_grid_runs_each_cta_once",
+        CheckConfig::default(),
+        |rng: &mut SimRng| (rng.uniform_u64(1, 2_999), rng.uniform_u64(1, 29)),
+        |&(ctas, task_us)| {
+            assume!(ctas >= 1 && task_us >= 1);
+            let counter = Arc::new(AtomicU64::new(0));
+            let c = counter.clone();
+            let mut sc = Scenario::new(clean_cfg());
+            sc.launch_at(
+                SimTime::ZERO,
+                LaunchDesc::new(
+                    "orig",
+                    GridShape::Original { ctas },
+                    TaskCost::fixed(SimTime::from_us(task_us)),
+                )
+                .with_tag(1)
+                .with_task_fn(Box::new(move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                })),
+            );
+            let result = sc.run();
+            require_eq!(counter.load(Ordering::Relaxed), ctas);
+            let t = result.records[&1].turnaround().unwrap();
+            let waves = ctas.div_ceil(120);
+            // Lower bound: full-occupancy waves; upper bound: generous slack
+            // for underfilled waves running faster and noise-free tasks.
+            require!(t >= SimTime::from_us(task_us * waves).scale(0.3));
+            require!(t <= SimTime::from_us(task_us * (waves + 1)) + SimTime::from_us(10));
+            Ok(())
+        },
+    );
+}
+
+/// Two kernels launched in any order both eventually complete (no deadlock
+/// in the dispatcher), and tags never mix.
+#[test]
+fn two_kernel_corun_always_drains() {
+    check(
+        "two_kernel_corun_always_drains",
+        CheckConfig::default(),
+        |rng: &mut SimRng| {
+            (
+                rng.uniform_u64(1, 1_499), // a_ctas
+                rng.uniform_u64(1, 1_499), // b_ctas
+                rng.uniform_u64(0, 499),   // gap_us
+                rng.uniform_u64(1, 24),    // a_task
+                rng.uniform_u64(1, 24),    // b_task
             )
-            .with_tag(1)
-            .with_task_fn(Box::new(move |_| {
-                c.fetch_add(1, Ordering::Relaxed);
-            })),
-        );
-        let result = sc.run();
-        prop_assert_eq!(counter.load(Ordering::Relaxed), ctas);
-        let t = result.records[&1].turnaround().unwrap();
-        let waves = ctas.div_ceil(120);
-        // Lower bound: full-occupancy waves; upper bound: generous slack
-        // for underfilled waves running faster and noise-free tasks.
-        prop_assert!(t >= SimTime::from_us(task_us * waves).scale(0.3));
-        prop_assert!(t <= SimTime::from_us(task_us * (waves + 1)) + SimTime::from_us(10));
-    }
+        },
+        |&(a_ctas, b_ctas, gap_us, a_task, b_task)| {
+            assume!(a_ctas >= 1 && b_ctas >= 1 && a_task >= 1 && b_task >= 1);
+            let mut sc = Scenario::new(clean_cfg());
+            sc.launch_at(
+                SimTime::ZERO,
+                LaunchDesc::new(
+                    "a",
+                    GridShape::Original { ctas: a_ctas },
+                    TaskCost::fixed(SimTime::from_us(a_task)),
+                )
+                .with_tag(1),
+            );
+            sc.launch_at(
+                SimTime::from_us(gap_us),
+                LaunchDesc::new(
+                    "b",
+                    GridShape::Original { ctas: b_ctas },
+                    TaskCost::fixed(SimTime::from_us(b_task)),
+                )
+                .with_tag(2),
+            );
+            let result = sc.run();
+            require!(result.records[&1].completed_at.is_some());
+            require!(result.records[&2].completed_at.is_some());
+            // The second kernel never starts before its launch.
+            require!(result.records[&2].dispatch_started.unwrap() >= SimTime::from_us(gap_us));
+            Ok(())
+        },
+    );
+}
 
-    /// Two kernels launched in any order both eventually complete (no
-    /// deadlock in the dispatcher), and tags never mix.
-    #[test]
-    fn two_kernel_corun_always_drains(
-        a_ctas in 1u64..1_500,
-        b_ctas in 1u64..1_500,
-        gap_us in 0u64..500,
-        a_task in 1u64..25,
-        b_task in 1u64..25,
-    ) {
-        let mut sc = Scenario::new(clean_cfg());
-        sc.launch_at(
-            SimTime::ZERO,
-            LaunchDesc::new("a", GridShape::Original { ctas: a_ctas }, TaskCost::fixed(SimTime::from_us(a_task))).with_tag(1),
-        );
-        sc.launch_at(
-            SimTime::from_us(gap_us),
-            LaunchDesc::new("b", GridShape::Original { ctas: b_ctas }, TaskCost::fixed(SimTime::from_us(b_task))).with_tag(2),
-        );
-        let result = sc.run();
-        prop_assert!(result.records[&1].completed_at.is_some());
-        prop_assert!(result.records[&2].completed_at.is_some());
-        // The second kernel never starts before its launch.
-        prop_assert!(result.records[&2].dispatch_started.unwrap() >= SimTime::from_us(gap_us));
-    }
-
-    /// Occupancy is consistent: a grid of CTAs that individually fit is
-    /// always dispatchable, and per-SM residency never exceeds the
-    /// occupancy bound (checked indirectly via busy-span concurrency).
-    #[test]
-    fn occupancy_bound_holds(
-        threads in prop::sample::select(vec![64u32, 128, 256, 512, 1024]),
-        regs in 8u32..64,
-        ctas in 1u64..600,
-    ) {
-        let cfg = clean_cfg();
-        let usage = ResourceUsage { threads_per_cta: threads, regs_per_thread: regs, smem_per_cta: 0 };
-        let occ = cfg.occupancy_per_sm(&usage);
-        prop_assume!(occ > 0);
-        let capacity = cfg.device_capacity(&usage);
-        let mut sc = Scenario::new(cfg);
-        sc.launch_at(
-            SimTime::ZERO,
-            LaunchDesc::new("o", GridShape::Original { ctas }, TaskCost::fixed(SimTime::from_us(10)))
+/// Occupancy is consistent: a grid of CTAs that individually fit is always
+/// dispatchable, and per-SM residency never exceeds the occupancy bound
+/// (checked indirectly via busy-span concurrency).
+#[test]
+fn occupancy_bound_holds() {
+    const THREAD_CHOICES: [u32; 5] = [64, 128, 256, 512, 1024];
+    check(
+        "occupancy_bound_holds",
+        CheckConfig::default(),
+        |rng: &mut SimRng| {
+            (
+                rng.uniform_u64(0, 4),         // index into THREAD_CHOICES
+                rng.uniform_u64(8, 63) as u32, // regs
+                rng.uniform_u64(1, 599),       // ctas
+            )
+        },
+        |&(threads_idx, regs, ctas)| {
+            assume!(threads_idx < 5 && (8..64).contains(&regs) && ctas >= 1);
+            let threads = THREAD_CHOICES[threads_idx as usize];
+            let cfg = clean_cfg();
+            let usage = ResourceUsage {
+                threads_per_cta: threads,
+                regs_per_thread: regs,
+                smem_per_cta: 0,
+            };
+            let occ = cfg.occupancy_per_sm(&usage);
+            assume!(occ > 0);
+            let capacity = cfg.device_capacity(&usage);
+            let mut sc = Scenario::new(cfg);
+            sc.launch_at(
+                SimTime::ZERO,
+                LaunchDesc::new(
+                    "o",
+                    GridShape::Original { ctas },
+                    TaskCost::fixed(SimTime::from_us(10)),
+                )
                 .with_tag(1)
                 .with_resources(usage),
-        );
-        let result = sc.run();
-        prop_assert!(result.records[&1].completed_at.is_some());
-        // Concurrency check: at any instant, at most `capacity` CTAs run.
-        let spans = result.device.busy_spans();
-        let mut events: Vec<(u64, i64)> = Vec::new();
-        for s in spans {
-            events.push((s.start.as_ns(), 1));
-            events.push((s.end.as_ns(), -1));
-        }
-        events.sort();
-        let mut live = 0i64;
-        for (_, delta) in events {
-            live += delta;
-            prop_assert!(live as u64 <= capacity, "{live} concurrent CTAs > capacity {capacity}");
-        }
-    }
+            );
+            let result = sc.run();
+            require!(result.records[&1].completed_at.is_some());
+            // Concurrency check: at any instant, at most `capacity` CTAs run.
+            let spans = result.device.busy_spans();
+            let mut events: Vec<(u64, i64)> = Vec::new();
+            for s in spans {
+                events.push((s.start.as_ns(), 1));
+                events.push((s.end.as_ns(), -1));
+            }
+            events.sort();
+            let mut live = 0i64;
+            for (_, delta) in events {
+                live += delta;
+                require!(
+                    live as u64 <= capacity,
+                    "{live} concurrent CTAs > capacity {capacity}"
+                );
+            }
+            Ok(())
+        },
+    );
 }

@@ -108,5 +108,8 @@ fn launch_overhead_applies_per_stream_launch() {
     // it pays the dependent-kernel start latency (another 8us) before
     // dispatching — the per-slice cost that makes kernel slicing expensive.
     assert_eq!(r.records[&1].completed_at.unwrap(), SimTime::from_us(108));
-    assert_eq!(r.records[&2].dispatch_started.unwrap(), SimTime::from_us(116));
+    assert_eq!(
+        r.records[&2].dispatch_started.unwrap(),
+        SimTime::from_us(116)
+    );
 }

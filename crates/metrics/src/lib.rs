@@ -24,11 +24,10 @@ mod stats;
 pub use stats::Summary;
 
 use flep_sim_core::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Turnaround observations for one kernel in a co-run: the time it took
 /// alone and the time it took in the multiprogrammed schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Turnaround {
     /// Turnaround when run alone on the GPU.
     pub single: SimTime,
@@ -119,7 +118,7 @@ pub fn performance_degradation(waiting: SimTime, execution: SimTime) -> f64 {
 }
 
 /// One kernel's share of GPU time against its target weight.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FairnessEntry {
     /// Measured share of GPU time, in `[0, 1]`.
     pub share: f64,

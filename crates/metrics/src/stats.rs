@@ -1,10 +1,8 @@
 //! Summary statistics for experiment reporting.
 
-use serde::{Deserialize, Serialize};
-
 /// Descriptive statistics of a sample, as printed in the experiment tables
 /// (mean with min/max range and standard deviation for error bars).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub n: usize,

@@ -1,91 +1,145 @@
-//! Property-based tests for metric invariants.
-
-use proptest::prelude::*;
+//! Property-based tests for metric invariants, on the in-tree `flep-check`
+//! harness.
 
 use flep_metrics::{antt, stp, weighted_fairness, FairnessEntry, Summary, Turnaround};
-use flep_sim_core::SimTime;
+use flep_sim_core::check::{check, CheckConfig};
+use flep_sim_core::{require, SimRng, SimTime};
 
-proptest! {
-    /// STP of n kernels never exceeds n and is positive when all
-    /// turnarounds are sensible (multi >= single > 0).
-    #[test]
-    fn stp_bounded_by_job_count(
-        pairs in prop::collection::vec((1u64..100_000, 0u64..100_000), 1..10)
-    ) {
-        let ts: Vec<Turnaround> = pairs
-            .iter()
-            .map(|&(single, extra)| Turnaround {
-                single: SimTime::from_us(single),
-                multi: SimTime::from_us(single + extra),
-            })
-            .collect();
-        let v = stp(&ts);
-        prop_assert!(v > 0.0);
-        prop_assert!(v <= ts.len() as f64 + 1e-9, "STP {v} > n {}", ts.len());
-    }
+/// `(single, extra)` pairs: single in [1, 100_000), extra in [0, 100_000).
+fn gen_pairs(rng: &mut SimRng) -> Vec<(u64, u64)> {
+    let n = rng.uniform_u64(1, 9) as usize;
+    (0..n)
+        .map(|_| (rng.uniform_u64(1, 99_999), rng.uniform_u64(0, 99_999)))
+        .collect()
+}
 
-    /// ANTT is at least 1 when no kernel runs faster co-scheduled than
-    /// alone, and exactly 1 when nothing slows down.
-    #[test]
-    fn antt_at_least_one_without_speedups(
-        pairs in prop::collection::vec((1u64..100_000, 0u64..100_000), 1..10)
-    ) {
-        let ts: Vec<Turnaround> = pairs
-            .iter()
-            .map(|&(single, extra)| Turnaround {
-                single: SimTime::from_us(single),
-                multi: SimTime::from_us(single + extra),
-            })
-            .collect();
-        prop_assert!(antt(&ts) >= 1.0 - 1e-9);
-        let ideal: Vec<Turnaround> = pairs
-            .iter()
-            .map(|&(single, _)| Turnaround {
-                single: SimTime::from_us(single),
-                multi: SimTime::from_us(single),
-            })
-            .collect();
-        prop_assert!((antt(&ideal) - 1.0).abs() < 1e-12);
-    }
+fn turnarounds(pairs: &[(u64, u64)]) -> Vec<Turnaround> {
+    pairs
+        .iter()
+        .map(|&(single, extra)| Turnaround {
+            single: SimTime::from_us(single.max(1)),
+            multi: SimTime::from_us(single.max(1) + extra),
+        })
+        .collect()
+}
 
-    /// Weighted fairness is always in [0, 1] and is 1 exactly when shares
-    /// match the weight proportions.
-    #[test]
-    fn fairness_bounded_and_perfect_at_target(
-        weights in prop::collection::vec(0.1f64..10.0, 1..6)
-    ) {
-        let total: f64 = weights.iter().sum();
-        let perfect: Vec<FairnessEntry> = weights
-            .iter()
-            .map(|&w| FairnessEntry { share: w / total, weight: w })
-            .collect();
-        let f = weighted_fairness(&perfect);
-        prop_assert!((f - 1.0).abs() < 1e-9, "perfect shares scored {f}");
+/// STP of n kernels never exceeds n and is positive when all turnarounds
+/// are sensible (multi >= single > 0).
+#[test]
+fn stp_bounded_by_job_count() {
+    check(
+        "stp_bounded_by_job_count",
+        CheckConfig::default(),
+        gen_pairs,
+        |pairs| {
+            flep_sim_core::assume!(!pairs.is_empty());
+            let ts = turnarounds(pairs);
+            let v = stp(&ts);
+            require!(v > 0.0);
+            require!(v <= ts.len() as f64 + 1e-9, "STP {v} > n {}", ts.len());
+            Ok(())
+        },
+    );
+}
 
-        // Arbitrary (mis)allocation stays within bounds.
-        let skewed: Vec<FairnessEntry> = weights
-            .iter()
-            .enumerate()
-            .map(|(i, &w)| FairnessEntry {
-                share: if i == 0 { 1.0 } else { 0.0 },
-                weight: w,
-            })
-            .collect();
-        let s = weighted_fairness(&skewed);
-        prop_assert!((0.0..=1.0).contains(&s));
-    }
+/// ANTT is at least 1 when no kernel runs faster co-scheduled than alone,
+/// and exactly 1 when nothing slows down.
+#[test]
+fn antt_at_least_one_without_speedups() {
+    check(
+        "antt_at_least_one_without_speedups",
+        CheckConfig::default(),
+        gen_pairs,
+        |pairs| {
+            flep_sim_core::assume!(!pairs.is_empty());
+            let ts = turnarounds(pairs);
+            require!(antt(&ts) >= 1.0 - 1e-9);
+            let ideal: Vec<Turnaround> = ts
+                .iter()
+                .map(|t| Turnaround {
+                    single: t.single,
+                    multi: t.single,
+                })
+                .collect();
+            require!((antt(&ideal) - 1.0).abs() < 1e-12);
+            Ok(())
+        },
+    );
+}
 
-    /// Summary invariants: min <= geo_mean <= mean <= max for positive
-    /// samples (AM-GM), and the CI shrinks as 1/sqrt(n).
-    #[test]
-    fn summary_order_relations(samples in prop::collection::vec(0.1f64..1000.0, 2..50)) {
-        let s = Summary::of(&samples);
-        prop_assert!(s.min <= s.mean + 1e-9);
-        prop_assert!(s.mean <= s.max + 1e-9);
-        prop_assert!(s.geo_mean <= s.mean + 1e-9, "AM-GM violated: {} > {}", s.geo_mean, s.mean);
-        prop_assert!(s.min <= s.geo_mean + 1e-9);
-        let doubled: Vec<f64> = samples.iter().chain(samples.iter()).copied().collect();
-        let s2 = Summary::of(&doubled);
-        prop_assert!(s2.ci95_half_width() <= s.ci95_half_width() + 1e-12);
-    }
+/// Weighted fairness is always in [0, 1] and is 1 exactly when shares
+/// match the weight proportions.
+#[test]
+fn fairness_bounded_and_perfect_at_target() {
+    check(
+        "fairness_bounded_and_perfect_at_target",
+        CheckConfig::default(),
+        |rng: &mut SimRng| {
+            let n = rng.uniform_u64(1, 5) as usize;
+            (0..n)
+                .map(|_| rng.uniform_f64(0.1, 10.0))
+                .collect::<Vec<f64>>()
+        },
+        |weights| {
+            flep_sim_core::assume!(!weights.is_empty());
+            flep_sim_core::assume!(weights.iter().all(|w| (0.1..10.0).contains(w)));
+            let total: f64 = weights.iter().sum();
+            let perfect: Vec<FairnessEntry> = weights
+                .iter()
+                .map(|&w| FairnessEntry {
+                    share: w / total,
+                    weight: w,
+                })
+                .collect();
+            let f = weighted_fairness(&perfect);
+            require!((f - 1.0).abs() < 1e-9, "perfect shares scored {f}");
+
+            // Arbitrary (mis)allocation stays within bounds.
+            let skewed: Vec<FairnessEntry> = weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| FairnessEntry {
+                    share: if i == 0 { 1.0 } else { 0.0 },
+                    weight: w,
+                })
+                .collect();
+            let s = weighted_fairness(&skewed);
+            require!((0.0..=1.0).contains(&s));
+            Ok(())
+        },
+    );
+}
+
+/// Summary invariants: min <= geo_mean <= mean <= max for positive samples
+/// (AM-GM), and the CI shrinks as 1/sqrt(n).
+#[test]
+fn summary_order_relations() {
+    check(
+        "summary_order_relations",
+        CheckConfig::default(),
+        |rng: &mut SimRng| {
+            let n = rng.uniform_u64(2, 49) as usize;
+            (0..n)
+                .map(|_| rng.uniform_f64(0.1, 1000.0))
+                .collect::<Vec<f64>>()
+        },
+        |samples| {
+            flep_sim_core::assume!(samples.len() >= 2);
+            flep_sim_core::assume!(samples.iter().all(|s| (0.1..1000.0).contains(s)));
+            let s = Summary::of(samples);
+            require!(s.min <= s.mean + 1e-9);
+            require!(s.mean <= s.max + 1e-9);
+            require!(
+                s.geo_mean <= s.mean + 1e-9,
+                "AM-GM violated: {} > {}",
+                s.geo_mean,
+                s.mean
+            );
+            require!(s.min <= s.geo_mean + 1e-9);
+            let doubled: Vec<f64> = samples.iter().chain(samples.iter()).copied().collect();
+            let s2 = Summary::of(&doubled);
+            require!(s2.ci95_half_width() <= s.ci95_half_width() + 1e-12);
+            Ok(())
+        },
+    );
 }

@@ -3,10 +3,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A scalar or pointer type.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Type {
     /// `void`
     Void,
@@ -44,7 +42,7 @@ impl fmt::Display for Type {
 }
 
 /// CUDA built-in values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Builtin {
     /// `threadIdx.x`
     ThreadIdxX,
@@ -83,7 +81,7 @@ impl Builtin {
 }
 
 /// Unary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UnOp {
     /// `-x`
     Neg,
@@ -100,7 +98,7 @@ pub enum UnOp {
 }
 
 /// Binary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinOp {
     /// `+`
     Add,
@@ -185,7 +183,7 @@ impl BinOp {
 }
 
 /// Assignment operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AssignOp {
     /// `=`
     Assign,
@@ -214,7 +212,7 @@ impl AssignOp {
 }
 
 /// An expression.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Integer literal.
     Int(i64),
@@ -315,9 +313,7 @@ impl Expr {
             Expr::Binary { lhs, rhs, .. } => {
                 lhs.replace_builtin(from, to) + rhs.replace_builtin(from, to)
             }
-            Expr::Call { args, .. } => {
-                args.iter_mut().map(|a| a.replace_builtin(from, to)).sum()
-            }
+            Expr::Call { args, .. } => args.iter_mut().map(|a| a.replace_builtin(from, to)).sum(),
             Expr::Index { base, index } => {
                 base.replace_builtin(from, to) + index.replace_builtin(from, to)
             }
@@ -336,7 +332,7 @@ impl Expr {
 }
 
 /// A statement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// A local declaration, possibly `__shared__` and possibly an array.
     Decl {
@@ -413,7 +409,7 @@ pub enum Stmt {
 }
 
 /// A sequence of statements.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Block {
     /// The statements.
     pub stmts: Vec<Stmt>,
@@ -444,9 +440,7 @@ impl Block {
 
 fn replace_in_stmt(stmt: &mut Stmt, from: Builtin, to: &Expr) -> usize {
     match stmt {
-        Stmt::Decl { init, .. } => init
-            .as_mut()
-            .map_or(0, |e| e.replace_builtin(from, to)),
+        Stmt::Decl { init, .. } => init.as_mut().map_or(0, |e| e.replace_builtin(from, to)),
         Stmt::Expr(e) => e.replace_builtin(from, to),
         Stmt::Assign { target, value, .. } => {
             target.replace_builtin(from, to) + value.replace_builtin(from, to)
@@ -458,7 +452,9 @@ fn replace_in_stmt(stmt: &mut Stmt, from: Builtin, to: &Expr) -> usize {
         } => {
             cond.replace_builtin(from, to)
                 + then_block.replace_builtin(from, to)
-                + else_block.as_mut().map_or(0, |b| b.replace_builtin(from, to))
+                + else_block
+                    .as_mut()
+                    .map_or(0, |b| b.replace_builtin(from, to))
         }
         Stmt::While { cond, body } => {
             cond.replace_builtin(from, to) + body.replace_builtin(from, to)
@@ -498,8 +494,7 @@ fn stmt_contains_return(stmt: &Stmt) -> bool {
             else_block,
             ..
         } => {
-            then_block.contains_return()
-                || else_block.as_ref().is_some_and(Block::contains_return)
+            then_block.contains_return() || else_block.as_ref().is_some_and(Block::contains_return)
         }
         Stmt::While { body, .. } | Stmt::For { body, .. } => body.contains_return(),
         Stmt::Block(b) => b.contains_return(),
@@ -508,7 +503,7 @@ fn stmt_contains_return(stmt: &Stmt) -> bool {
 }
 
 /// Function flavor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FnKind {
     /// `__global__` — a GPU kernel.
     Global,
@@ -519,7 +514,7 @@ pub enum FnKind {
 }
 
 /// A function parameter.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Param {
     /// Parameter name.
     pub name: String,
@@ -530,7 +525,7 @@ pub struct Param {
 }
 
 /// A function definition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     /// Kind (`__global__`, `__device__`, host).
     pub kind: FnKind,
@@ -545,7 +540,7 @@ pub struct Function {
 }
 
 /// A whole translation unit.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Program {
     /// Top-level functions in source order.
     pub functions: Vec<Function>,
@@ -740,9 +735,13 @@ impl Printer {
                 step,
                 body,
             } => {
-                let init_s = init.as_ref().map_or(String::new(), |s| Self::stmt_inline(s));
+                let init_s = init
+                    .as_ref()
+                    .map_or(String::new(), |s| Self::stmt_inline(s));
                 let cond_s = cond.as_ref().map_or(String::new(), Self::expr);
-                let step_s = step.as_ref().map_or(String::new(), |s| Self::stmt_inline(s));
+                let step_s = step
+                    .as_ref()
+                    .map_or(String::new(), |s| Self::stmt_inline(s));
                 self.line(&format!("for ({init_s}; {cond_s}; {step_s}) {{"));
                 self.block_body(body);
                 self.line("}");

@@ -172,9 +172,7 @@ impl Parser {
     fn starts_type(&self) -> bool {
         matches!(
             self.peek(),
-            Some(
-                Token::KwVoid | Token::KwInt | Token::KwUnsigned | Token::KwFloat | Token::KwBool
-            )
+            Some(Token::KwVoid | Token::KwInt | Token::KwUnsigned | Token::KwFloat | Token::KwBool)
         )
     }
 
@@ -532,9 +530,7 @@ impl Parser {
                         ("blockDim", "y") => Builtin::BlockDimY,
                         ("gridDim", "x") => Builtin::GridDimX,
                         (base, f) => {
-                            return Err(
-                                self.error(format!("unknown builtin member `{base}.{f}`"))
-                            )
+                            return Err(self.error(format!("unknown builtin member `{base}.{f}`")))
                         }
                     };
                     return Ok(Expr::Builtin(b));

@@ -9,13 +9,11 @@
 
 use std::collections::HashSet;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ast::{Block, Expr, Function, Stmt, Type};
 use crate::sema::{visit_exprs, visit_stmts};
 
 /// Estimated per-CTA resource usage of a kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResourceEstimate {
     /// Estimated registers per thread.
     pub regs_per_thread: u32,
@@ -80,10 +78,7 @@ pub fn estimate_resources(kernel: &Function) -> ResourceEstimate {
     });
 
     let depth = max_expr_depth(&kernel.body);
-    let regs = BASE_REGS
-        + kernel.params.len() as u32
-        + 2 * locals.len() as u32
-        + depth;
+    let regs = BASE_REGS + kernel.params.len() as u32 + 2 * locals.len() as u32 + depth;
 
     ResourceEstimate {
         regs_per_thread: regs,
@@ -156,8 +151,7 @@ mod tests {
         "#,
         );
         assert!(
-            estimate_resources(&big).regs_per_thread
-                > estimate_resources(&small).regs_per_thread
+            estimate_resources(&big).regs_per_thread > estimate_resources(&small).regs_per_thread
         );
     }
 

@@ -4,8 +4,6 @@ use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ast::{Block, Builtin, Expr, FnKind, Program, Stmt, Type};
 
 /// A semantic error.
@@ -85,7 +83,7 @@ impl fmt::Display for SemaError {
 impl Error for SemaError {}
 
 /// Summary of one kernel, as used by the compilation engine and workloads.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelInfo {
     /// Kernel name.
     pub name: String,
@@ -101,7 +99,7 @@ pub struct KernelInfo {
 }
 
 /// Summary of one launch site.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LaunchInfo {
     /// The host function containing the launch.
     pub host: String,
@@ -116,7 +114,7 @@ pub struct LaunchInfo {
 }
 
 /// The result of semantic analysis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProgramInfo {
     /// Kernels defined in the program.
     pub kernels: Vec<KernelInfo>,
@@ -506,10 +504,7 @@ mod tests {
 
     #[test]
     fn arity_mismatch_rejected() {
-        let p = parse(
-            "__global__ void k(int a, int b) { } void h() { k<<<1, 1>>>(1); }",
-        )
-        .unwrap();
+        let p = parse("__global__ void k(int a, int b) { } void h() { k<<<1, 1>>>(1); }").unwrap();
         assert_eq!(
             analyze(&p).unwrap_err(),
             SemaError::LaunchArityMismatch {
@@ -531,10 +526,8 @@ mod tests {
 
     #[test]
     fn launch_in_kernel_rejected() {
-        let p = parse(
-            "__global__ void inner() { } __global__ void k() { inner<<<1, 1>>>(); }",
-        )
-        .unwrap();
+        let p = parse("__global__ void inner() { } __global__ void k() { inner<<<1, 1>>>(); }")
+            .unwrap();
         assert!(matches!(
             analyze(&p).unwrap_err(),
             SemaError::LaunchInDeviceCode(_)

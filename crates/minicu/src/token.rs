@@ -3,10 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A lexical token.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Token {
     /// An identifier or non-keyword word.
     Ident(String),
@@ -208,7 +206,7 @@ impl fmt::Display for Token {
 }
 
 /// A token paired with its source line (1-based) for diagnostics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpannedToken {
     /// The token.
     pub token: Token,
@@ -345,7 +343,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedToken>, LexError> {
             while i < bytes.len() && bytes[i].is_ascii_digit() {
                 i += 1;
             }
-            if i < bytes.len() && bytes[i] == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()
+            if i < bytes.len()
+                && bytes[i] == '.'
+                && i + 1 < bytes.len()
+                && bytes[i + 1].is_ascii_digit()
             {
                 is_float = true;
                 i += 1;
@@ -459,7 +460,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedToken>, LexError> {
             '.' => Token::Dot,
             other => return Err(err(format!("unexpected character `{other}`"), line)),
         };
-        out.push(SpannedToken { token: one_tok, line });
+        out.push(SpannedToken {
+            token: one_tok,
+            line,
+        });
         i += 1;
     }
     Ok(out)
@@ -485,11 +489,14 @@ mod tests {
     fn lexes_launch_brackets_vs_shifts() {
         assert_eq!(kinds("<<<"), vec![Token::LaunchOpen]);
         assert_eq!(kinds(">>>"), vec![Token::LaunchClose]);
-        assert_eq!(kinds("a << b"), vec![
-            Token::Ident("a".into()),
-            Token::Shl,
-            Token::Ident("b".into())
-        ]);
+        assert_eq!(
+            kinds("a << b"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Shl,
+                Token::Ident("b".into())
+            ]
+        );
     }
 
     #[test]

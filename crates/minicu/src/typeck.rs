@@ -26,14 +26,8 @@ use crate::ast::{
 /// Device-side built-in function names recognized by the type checker
 /// (their signatures are enforced inline; `atomicAdd` additionally accepts
 /// any scalar pointer as its first argument).
-pub const DEVICE_BUILTINS: [&str; 6] = [
-    "__syncthreads",
-    "atomicAdd",
-    "sqrtf",
-    "fabsf",
-    "min",
-    "max",
-];
+pub const DEVICE_BUILTINS: [&str; 6] =
+    ["__syncthreads", "atomicAdd", "sqrtf", "fabsf", "min", "max"];
 
 /// A type-checking error.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,9 +137,15 @@ impl fmt::Display for TypeError {
                 has_value,
             } => {
                 if *has_value {
-                    write!(f, "in `{function}`: returning a value from a `{declared}` function")
+                    write!(
+                        f,
+                        "in `{function}`: returning a value from a `{declared}` function"
+                    )
                 } else {
-                    write!(f, "in `{function}`: `return;` in a function returning `{declared}`")
+                    write!(
+                        f,
+                        "in `{function}`: `return;` in a function returning `{declared}`"
+                    )
                 }
             }
             TypeError::OutsideLoop { function, what } => {
@@ -287,12 +287,14 @@ impl<'a> Checker<'a> {
                 Builtin::SmId => Type::Uint,
                 _ => Type::Uint,
             }),
-            Expr::Ident(name) => self.lookup(name).cloned().ok_or_else(|| {
-                TypeError::UndefinedVariable {
-                    function: self.fname(),
-                    name: name.clone(),
-                }
-            }),
+            Expr::Ident(name) => {
+                self.lookup(name)
+                    .cloned()
+                    .ok_or_else(|| TypeError::UndefinedVariable {
+                        function: self.fname(),
+                        name: name.clone(),
+                    })
+            }
             Expr::Unary { op, expr } => {
                 let inner = self.type_of(expr)?;
                 match op {
@@ -791,17 +793,14 @@ mod tests {
 
     #[test]
     fn pointer_passed_as_scalar_rejected() {
-        let err = check(
-            "__device__ void g(int n) { } __global__ void k(int* p) { g(p); }",
-        )
-        .unwrap_err();
+        let err =
+            check("__device__ void g(int n) { } __global__ void k(int* p) { g(p); }").unwrap_err();
         assert!(matches!(err, TypeError::Mismatch { .. }), "{err}");
     }
 
     #[test]
     fn unknown_device_call_rejected_but_host_allowed() {
-        let err =
-            check("__global__ void k(float* a) { a[0] = mystery(); }").unwrap_err();
+        let err = check("__global__ void k(float* a) { a[0] = mystery(); }").unwrap_err();
         assert!(matches!(err, TypeError::UnknownDeviceFunction { .. }));
         // Host code may call external/runtime functions.
         check("void h() { unsigned int t = flep_wait_gpu(0); t += 1; }").unwrap();

@@ -2,13 +2,11 @@
 //! runs with different inputs and use the average as an estimate of the
 //! online preemption overhead."
 
-use serde::{Deserialize, Serialize};
-
 use flep_sim_core::SimTime;
 
 /// Accumulates preemption-overhead samples and produces the running
 /// estimate the scheduler consults.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OverheadProfiler {
     samples: Vec<SimTime>,
 }

@@ -5,12 +5,10 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::linalg::Matrix;
 
 /// The four §4.2 features of a kernel invocation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelFeatures {
     /// Grid size (number of CTAs of the original kernel).
     pub grid_size: f64,
@@ -26,7 +24,12 @@ impl KernelFeatures {
     /// The feature vector (without the bias column).
     #[must_use]
     pub fn to_vec(self) -> Vec<f64> {
-        vec![self.grid_size, self.cta_size, self.input_size, self.smem_size]
+        vec![
+            self.grid_size,
+            self.cta_size,
+            self.input_size,
+            self.smem_size,
+        ]
     }
 }
 
@@ -92,7 +95,7 @@ impl Error for TrainError {}
 /// });
 /// assert!((pred - 200.0).abs() < 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RidgeModel {
     /// Per-feature means used for standardization.
     means: Vec<f64>,
@@ -227,8 +230,7 @@ impl RidgeModel {
             })
             .collect();
 
-        let target_mean =
-            (0..rows.len()).map(|i| w_of(i) * targets[i]).sum::<f64>() / total_w;
+        let target_mean = (0..rows.len()).map(|i| w_of(i) * targets[i]).sum::<f64>() / total_w;
         let centered: Vec<f64> = targets
             .iter()
             .enumerate()
@@ -342,8 +344,7 @@ mod tests {
 
     #[test]
     fn larger_lambda_shrinks_weights() {
-        let features: Vec<KernelFeatures> =
-            (1..=50).map(|g| feat(g as f64, g as f64)).collect();
+        let features: Vec<KernelFeatures> = (1..=50).map(|g| feat(g as f64, g as f64)).collect();
         let targets: Vec<f64> = features.iter().map(|f| f.grid_size * 4.0).collect();
         let loose = RidgeModel::fit(&features, &targets, 1e-9).unwrap();
         let tight = RidgeModel::fit(&features, &targets, 1e4).unwrap();

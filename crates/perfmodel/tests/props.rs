@@ -1,92 +1,126 @@
-//! Property-based tests: ridge regression recovers exactly-linear data and
-//! the Cholesky solver inverts random SPD systems.
-
-use proptest::prelude::*;
+//! Property-based tests on the in-tree `flep-check` harness: ridge
+//! regression recovers exactly-linear data and the Cholesky solver inverts
+//! random SPD systems.
 
 use flep_perfmodel::{KernelFeatures, Matrix, RidgeModel};
+use flep_sim_core::check::{check, CheckConfig};
+use flep_sim_core::{assume, require, SimRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// On noise-free linear data, ridge with a tiny penalty predicts
-    /// within a small relative tolerance, for any positive coefficients.
-    #[test]
-    fn ridge_recovers_linear_functions(
-        a in 0.01f64..10.0,
-        b in 0.0f64..5.0,
-        intercept in 0.0f64..100.0,
-    ) {
-        let features: Vec<KernelFeatures> = (1..=60)
-            .map(|i| KernelFeatures {
-                grid_size: f64::from(i) * 10.0,
-                cta_size: 256.0,
-                input_size: f64::from(i) * f64::from(i) * 3.0, // not collinear
-                smem_size: 0.0,
-            })
-            .collect();
-        let targets: Vec<f64> = features
-            .iter()
-            .map(|f| a * f.grid_size + b * f.input_size + intercept)
-            .collect();
-        let model = RidgeModel::fit(&features, &targets, 1e-9).unwrap();
-        for (f, t) in features.iter().zip(&targets) {
-            let p = model.predict(*f);
-            prop_assert!(
-                (p - t).abs() <= 1e-6 * t.abs().max(1.0),
-                "predicted {p} for target {t}"
-            );
-        }
-    }
-
-    /// Weighted and unweighted fits agree when all weights are equal,
-    /// regardless of the (positive) common weight value.
-    #[test]
-    fn uniform_weights_match_unweighted_fit(w in 1e-6f64..1e6) {
-        let features: Vec<KernelFeatures> = (1..=30)
-            .map(|i| KernelFeatures {
-                grid_size: f64::from(i),
-                cta_size: 128.0,
-                input_size: f64::from(i * i),
-                smem_size: 0.0,
-            })
-            .collect();
-        let targets: Vec<f64> = features
-            .iter()
-            .map(|f| 2.0 * f.grid_size + 0.1 * f.input_size + 5.0)
-            .collect();
-        let weights = vec![w; features.len()];
-        let plain = RidgeModel::fit(&features, &targets, 1e-3).unwrap();
-        let weighted = RidgeModel::fit_weighted(&features, &targets, &weights, 1e-3).unwrap();
-        for f in &features {
-            prop_assert!(
-                (plain.predict(*f) - weighted.predict(*f)).abs() < 1e-6,
-                "uniform weights changed the fit"
-            );
-        }
-    }
-
-    /// Cholesky solve inverts random SPD systems `(AᵀA + I) x = b`.
-    #[test]
-    fn spd_solve_round_trips(
-        rows in prop::collection::vec(
-            prop::collection::vec(-10.0f64..10.0, 3),
-            3..12
-        ),
-        x_true in prop::collection::vec(-5.0f64..5.0, 3),
-    ) {
-        let a = Matrix::from_rows(&rows);
-        let mut gram = a.gram();
-        gram.add_diagonal(1.0); // guarantees positive definiteness
-        // b = gram * x_true
-        let mut b = vec![0.0; 3];
-        for (i, bi) in b.iter_mut().enumerate() {
-            for (j, xj) in x_true.iter().enumerate() {
-                *bi += gram.get(i, j) * xj;
+/// On noise-free linear data, ridge with a tiny penalty predicts within a
+/// small relative tolerance, for any positive coefficients.
+#[test]
+fn ridge_recovers_linear_functions() {
+    check(
+        "ridge_recovers_linear_functions",
+        CheckConfig::default(),
+        |rng: &mut SimRng| {
+            (
+                rng.uniform_f64(0.01, 10.0),
+                rng.uniform_f64(0.0, 5.0),
+                rng.uniform_f64(0.0, 100.0),
+            )
+        },
+        |&(a, b, intercept)| {
+            assume!(a >= 0.01 && b >= 0.0 && intercept >= 0.0);
+            let features: Vec<KernelFeatures> = (1..=60)
+                .map(|i| KernelFeatures {
+                    grid_size: f64::from(i) * 10.0,
+                    cta_size: 256.0,
+                    input_size: f64::from(i) * f64::from(i) * 3.0, // not collinear
+                    smem_size: 0.0,
+                })
+                .collect();
+            let targets: Vec<f64> = features
+                .iter()
+                .map(|f| a * f.grid_size + b * f.input_size + intercept)
+                .collect();
+            let model = RidgeModel::fit(&features, &targets, 1e-9).unwrap();
+            for (f, t) in features.iter().zip(&targets) {
+                let p = model.predict(*f);
+                require!(
+                    (p - t).abs() <= 1e-6 * t.abs().max(1.0),
+                    "predicted {p} for target {t}"
+                );
             }
-        }
-        let x = gram.solve_spd(&b).unwrap();
-        for (got, want) in x.iter().zip(&x_true) {
-            prop_assert!((got - want).abs() < 1e-8, "solve drifted: {got} vs {want}");
-        }
-    }
+            Ok(())
+        },
+    );
+}
+
+/// Weighted and unweighted fits agree when all weights are equal,
+/// regardless of the (positive) common weight value.
+#[test]
+fn uniform_weights_match_unweighted_fit() {
+    check(
+        "uniform_weights_match_unweighted_fit",
+        CheckConfig::default(),
+        |rng: &mut SimRng| {
+            // Log-uniform over [1e-6, 1e6] like the original exponent sweep.
+            let exp = rng.uniform_f64(-6.0, 6.0);
+            10f64.powf(exp)
+        },
+        |&w| {
+            assume!(w > 0.0 && w.is_finite());
+            let features: Vec<KernelFeatures> = (1..=30)
+                .map(|i| KernelFeatures {
+                    grid_size: f64::from(i),
+                    cta_size: 128.0,
+                    input_size: f64::from(i * i),
+                    smem_size: 0.0,
+                })
+                .collect();
+            let targets: Vec<f64> = features
+                .iter()
+                .map(|f| 2.0 * f.grid_size + 0.1 * f.input_size + 5.0)
+                .collect();
+            let weights = vec![w; features.len()];
+            let plain = RidgeModel::fit(&features, &targets, 1e-3).unwrap();
+            let weighted = RidgeModel::fit_weighted(&features, &targets, &weights, 1e-3).unwrap();
+            for f in &features {
+                require!(
+                    (plain.predict(*f) - weighted.predict(*f)).abs() < 1e-6,
+                    "uniform weights changed the fit"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Cholesky solve inverts random SPD systems `(AᵀA + I) x = b`.
+#[test]
+fn spd_solve_round_trips() {
+    check(
+        "spd_solve_round_trips",
+        CheckConfig::default(),
+        |rng: &mut SimRng| {
+            let n = rng.uniform_u64(3, 11) as usize;
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..3).map(|_| rng.uniform_f64(-10.0, 10.0)).collect())
+                .collect();
+            let x_true: Vec<f64> = (0..3).map(|_| rng.uniform_f64(-5.0, 5.0)).collect();
+            (rows, x_true)
+        },
+        |(rows, x_true)| {
+            // Shrinking may prune rows or elements; keep the 3-column /
+            // 3-unknown shape contract.
+            assume!(rows.len() >= 3 && rows.iter().all(|r| r.len() == 3));
+            assume!(x_true.len() == 3);
+            let a = Matrix::from_rows(rows);
+            let mut gram = a.gram();
+            gram.add_diagonal(1.0); // guarantees positive definiteness
+                                    // b = gram * x_true
+            let mut b = vec![0.0; 3];
+            for (i, bi) in b.iter_mut().enumerate() {
+                for (j, xj) in x_true.iter().enumerate() {
+                    *bi += gram.get(i, j) * xj;
+                }
+            }
+            let x = gram.solve_spd(&b).unwrap();
+            for (got, want) in x.iter().zip(x_true) {
+                require!((got - want).abs() < 1e-8, "solve drifted: {got} vs {want}");
+            }
+            Ok(())
+        },
+    );
 }

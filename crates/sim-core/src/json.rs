@@ -1,0 +1,305 @@
+//! A minimal JSON document model and emitter.
+//!
+//! The experiment harness serializes its result rows to JSON so figures can
+//! be regenerated and diffed without a plotting stack. The workspace is
+//! hermetic (no third-party crates), so this module provides the thin slice
+//! of serialization actually used: a [`JsonValue`] tree, a [`ToJson`] trait,
+//! and a deterministic emitter. There is deliberately no parser and no
+//! reflection — types opt in by building the tree explicitly, which keeps
+//! the output format an explicit, reviewable contract.
+//!
+//! # Example
+//!
+//! ```
+//! use flep_sim_core::json::{JsonValue, ToJson};
+//!
+//! struct Point { x: f64, y: f64 }
+//!
+//! impl ToJson for Point {
+//!     fn to_json(&self) -> JsonValue {
+//!         JsonValue::object([("x", self.x.to_json()), ("y", self.y.to_json())])
+//!     }
+//! }
+//!
+//! assert_eq!(
+//!     Point { x: 1.5, y: -2.0 }.to_json().render(),
+//!     r#"{"x":1.5,"y":-2.0}"#
+//! );
+//! ```
+
+use std::fmt::Write as _;
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (emitted without a decimal point).
+    Int(i64),
+    /// An unsigned integer (emitted without a decimal point).
+    UInt(u64),
+    /// A finite float. Non-finite values render as `null` per JSON.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object; insertion order is preserved so output is deterministic.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    #[must_use]
+    pub fn object<K: Into<String>>(fields: impl IntoIterator<Item = (K, JsonValue)>) -> Self {
+        JsonValue::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array by converting each element.
+    #[must_use]
+    pub fn array<T: ToJson>(items: impl IntoIterator<Item = T>) -> Self {
+        JsonValue::Array(items.into_iter().map(|v| v.to_json()).collect())
+    }
+
+    /// Renders the value as compact JSON (no whitespace).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            JsonValue::Float(f) => {
+                if f.is_finite() {
+                    // Rust's shortest-roundtrip formatting is deterministic;
+                    // force a decimal point so integral floats stay floats.
+                    let s = format!("{f}");
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`JsonValue`]. The harness's result rows implement this
+/// to define their on-disk format.
+pub trait ToJson {
+    /// Converts `self` into a JSON document.
+    fn to_json(&self) -> JsonValue;
+}
+
+impl ToJson for JsonValue {
+    fn to_json(&self) -> JsonValue {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+macro_rules! to_json_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> JsonValue {
+                JsonValue::UInt(u64::from(*self))
+            }
+        }
+    )*};
+}
+
+to_json_uint!(u8, u16, u32, u64);
+
+impl ToJson for usize {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::UInt(*self as u64)
+    }
+}
+
+macro_rules! to_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> JsonValue {
+                JsonValue::Int(i64::from(*self))
+            }
+        }
+    )*};
+}
+
+to_json_int!(i8, i16, i32, i64);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Float(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Float(f64::from(*self))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.to_owned())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> JsonValue {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            None => JsonValue::Null,
+            Some(v) => v.to_json(),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl ToJson for crate::SimTime {
+    /// Times serialize as integer nanoseconds — lossless and unit-explicit
+    /// via the field name convention (`*_ns` keys in the harness rows).
+    fn to_json(&self) -> JsonValue {
+        JsonValue::UInt(self.as_ns())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(true.to_json().render(), "true");
+        assert_eq!(42u64.to_json().render(), "42");
+        assert_eq!((-7i64).to_json().render(), "-7");
+        assert_eq!(1.5f64.to_json().render(), "1.5");
+        assert_eq!(2.0f64.to_json().render(), "2.0");
+        assert_eq!(f64::NAN.to_json().render(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(
+            "a\"b\\c\nd\u{1}".to_json().render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn arrays_and_objects_preserve_order() {
+        let v = JsonValue::object([
+            ("b", 1u64.to_json()),
+            ("a", JsonValue::array(vec![1u64, 2, 3])),
+        ]);
+        assert_eq!(v.render(), r#"{"b":1,"a":[1,2,3]}"#);
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let v = JsonValue::object([("x", 0.1f64.to_json()), ("y", (1.0f64 / 3.0).to_json())]);
+        assert_eq!(v.render(), v.render());
+        assert_eq!(v.render(), r#"{"x":0.1,"y":0.3333333333333333}"#);
+    }
+
+    #[test]
+    fn simtime_is_integer_ns() {
+        assert_eq!(crate::SimTime::from_us(3).to_json().render(), "3000");
+    }
+}

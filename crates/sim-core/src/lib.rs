@@ -18,9 +18,14 @@
 //! * [`Simulation`] drives a user-supplied [`World`]: each popped event is
 //!   handed to the world together with a [`Scheduler`] handle with which the
 //!   world may schedule follow-up events.
-//! * [`SimRng`] wraps a seeded PRNG and adds the distributions the
-//!   workloads need (uniform, normal, lognormal) so that every experiment
-//!   is reproducible from a single `u64` seed.
+//! * [`SimRng`] is a from-scratch seeded PRNG (SplitMix64-seeded
+//!   xoshiro256\*\*) with the distributions the workloads need (uniform,
+//!   normal, lognormal) so that every experiment is reproducible from a
+//!   single `u64` seed with no third-party dependency.
+//! * [`check`] is the in-tree `flep-check` property-testing harness the
+//!   workspace's property suites run on, and [`json`] the minimal JSON
+//!   emitter used by the experiment harness — both exist so the whole
+//!   workspace builds and tests offline with a bare toolchain.
 //!
 //! # Example
 //!
@@ -53,8 +58,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 mod engine;
 mod event;
+pub mod json;
 mod rng;
 mod time;
 mod trace;

@@ -4,8 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A point in (or span of) virtual time, with nanosecond resolution.
 ///
 /// `SimTime` doubles as an instant and a duration, exactly like a plain
@@ -24,9 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!((a - b).as_ns(), 3_000);
 /// assert_eq!((b - a), SimTime::ZERO); // saturating
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimTime(u64);
 
 impl SimTime {

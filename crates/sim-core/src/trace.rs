@@ -7,13 +7,11 @@
 //! * closed intervals of "who held the resource when" ([`SpanSet`]) used to
 //!   compute GPU-share curves (Fig. 13) and busy-time utilization.
 
-use serde::{Deserialize, Serialize};
-
 use crate::SimTime;
 
 /// One timestamped trace record with a free-form label and an integer tag
 /// (typically a kernel or SM identifier).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// When the event happened.
     pub at: SimTime,
@@ -34,7 +32,7 @@ pub struct TraceEvent {
 /// log.record(SimTime::from_us(5), "finish", 0);
 /// assert_eq!(log.events_labeled("launch").count(), 1);
 /// ```
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct TraceLog {
     events: Vec<TraceEvent>,
     enabled: bool,
@@ -102,7 +100,7 @@ impl TraceLog {
 }
 
 /// A closed interval of virtual time attributed to an owner.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Span {
     /// Interval start (inclusive).
     pub start: SimTime,
@@ -129,7 +127,7 @@ impl Span {
 }
 
 /// A collection of ownership spans with helpers for share computation.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct SpanSet {
     spans: Vec<Span>,
     open: Vec<(u64, SimTime)>,

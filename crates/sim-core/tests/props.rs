@@ -1,85 +1,160 @@
-//! Property-based tests for the simulation engine's core invariants.
+//! Property-based tests for the simulation engine's core invariants,
+//! running on the in-tree `flep-check` harness.
 
-use proptest::prelude::*;
+use flep_sim_core::check::{check, CheckConfig};
+use flep_sim_core::{require, require_eq, EventQueue, SimRng, SimTime, SpanSet};
 
-use flep_sim_core::{EventQueue, SimTime, SpanSet};
-
-proptest! {
-    /// Events always pop in nondecreasing time order, regardless of the
-    /// insertion pattern.
-    #[test]
-    fn event_queue_pops_in_time_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
-        let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.push(SimTime::from_ns(t), i);
-        }
-        let mut last = SimTime::ZERO;
-        let mut count = 0;
-        while let Some(e) = q.pop() {
-            prop_assert!(e.time >= last, "queue went backwards");
-            last = e.time;
-            count += 1;
-        }
-        prop_assert_eq!(count, times.len());
-    }
-
-    /// Events with equal timestamps pop in insertion (FIFO) order.
-    #[test]
-    fn event_queue_is_fifo_within_a_timestamp(
-        groups in prop::collection::vec((0u64..50, 1usize..10), 1..30)
-    ) {
-        let mut q = EventQueue::new();
-        let mut seq = 0usize;
-        for &(t, n) in &groups {
-            for _ in 0..n {
-                q.push(SimTime::from_ns(t), seq);
-                seq += 1;
+/// Events always pop in nondecreasing time order, regardless of the
+/// insertion pattern.
+#[test]
+fn event_queue_pops_in_time_order() {
+    check(
+        "event_queue_pops_in_time_order",
+        CheckConfig::default(),
+        |rng: &mut SimRng| {
+            let n = rng.uniform_u64(1, 199) as usize;
+            (0..n)
+                .map(|_| rng.uniform_u64(0, 999_999))
+                .collect::<Vec<u64>>()
+        },
+        |times| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_ns(t), i);
             }
-        }
-        let mut per_time: std::collections::HashMap<SimTime, Vec<usize>> = Default::default();
-        while let Some(e) = q.pop() {
-            per_time.entry(e.time).or_default().push(e.payload);
-        }
-        for (_, payloads) in per_time {
-            let mut sorted = payloads.clone();
-            sorted.sort_unstable();
-            prop_assert_eq!(payloads, sorted, "same-timestamp events out of FIFO order");
-        }
-    }
+            let mut last = SimTime::ZERO;
+            let mut count = 0;
+            while let Some(e) = q.pop() {
+                require!(e.time >= last, "queue went backwards");
+                last = e.time;
+                count += 1;
+            }
+            require_eq!(count, times.len());
+            Ok(())
+        },
+    );
+}
 
-    /// SimTime saturating subtraction never underflows and addition is
-    /// commutative/associative on safe ranges.
-    #[test]
-    fn simtime_arithmetic_laws(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4, c in 0u64..u64::MAX / 4) {
-        let (ta, tb, tc) = (SimTime::from_ns(a), SimTime::from_ns(b), SimTime::from_ns(c));
-        prop_assert_eq!(ta + tb, tb + ta);
-        prop_assert_eq!((ta + tb) + tc, ta + (tb + tc));
-        prop_assert_eq!((ta - tb) + tb >= ta, true); // saturation only rounds up
-        prop_assert!((ta - tb).as_ns() <= a);
-    }
+/// Events with equal timestamps pop in insertion (FIFO) order.
+#[test]
+fn event_queue_is_fifo_within_a_timestamp() {
+    check(
+        "event_queue_is_fifo_within_a_timestamp",
+        CheckConfig::default(),
+        |rng: &mut SimRng| {
+            let n = rng.uniform_u64(1, 29) as usize;
+            (0..n)
+                .map(|_| (rng.uniform_u64(0, 49), rng.uniform_u64(1, 9)))
+                .collect::<Vec<(u64, u64)>>()
+        },
+        |groups| {
+            let mut q = EventQueue::new();
+            let mut seq = 0usize;
+            for &(t, n) in groups {
+                for _ in 0..n {
+                    q.push(SimTime::from_ns(t), seq);
+                    seq += 1;
+                }
+            }
+            let mut per_time: std::collections::HashMap<SimTime, Vec<usize>> = Default::default();
+            while let Some(e) = q.pop() {
+                per_time.entry(e.time).or_default().push(e.payload);
+            }
+            for (_, payloads) in per_time {
+                let mut sorted = payloads.clone();
+                sorted.sort_unstable();
+                require_eq!(payloads, sorted, "same-timestamp events out of FIFO order");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Scaling by a factor in [0, 2] keeps durations within linear bounds.
-    #[test]
-    fn simtime_scale_bounds(ns in 0u64..1_000_000_000, factor in 0.0f64..2.0) {
-        let t = SimTime::from_ns(ns);
-        let scaled = t.scale(factor);
-        let expected = ns as f64 * factor;
-        prop_assert!((scaled.as_ns() as f64 - expected).abs() <= 1.0);
-    }
+/// SimTime saturating subtraction never underflows and addition is
+/// commutative/associative on safe ranges.
+#[test]
+fn simtime_arithmetic_laws() {
+    check(
+        "simtime_arithmetic_laws",
+        CheckConfig::default(),
+        |rng: &mut SimRng| {
+            (
+                rng.uniform_u64(0, u64::MAX / 4 - 1),
+                rng.uniform_u64(0, u64::MAX / 4 - 1),
+                rng.uniform_u64(0, u64::MAX / 4 - 1),
+            )
+        },
+        |&(a, b, c)| {
+            let (ta, tb, tc) = (
+                SimTime::from_ns(a),
+                SimTime::from_ns(b),
+                SimTime::from_ns(c),
+            );
+            require_eq!(ta + tb, tb + ta);
+            require_eq!((ta + tb) + tc, ta + (tb + tc));
+            require!((ta - tb) + tb >= ta); // saturation only rounds up
+            require!((ta - tb).as_ns() <= a);
+            Ok(())
+        },
+    );
+}
 
-    /// Span shares over any window always sum to ~1 (or 0 for empty sets).
-    #[test]
-    fn span_shares_sum_to_one(
-        spans in prop::collection::vec((0u64..1000, 1u64..500, 0u64..4), 1..40)
-    ) {
-        let mut set = SpanSet::new();
-        for &(start, len, owner) in &spans {
-            set.open(owner, SimTime::from_ns(start));
-            set.close(owner, SimTime::from_ns(start + len));
-        }
-        let from = SimTime::ZERO;
-        let to = SimTime::from_ns(2000);
-        let total: f64 = (0..4).map(|o| set.share_in(o, from, to)).sum();
-        prop_assert!(total == 0.0 || (total - 1.0).abs() < 1e-9, "shares sum {total}");
-    }
+/// Scaling by a factor in [0, 2] keeps durations within linear bounds.
+#[test]
+fn simtime_scale_bounds() {
+    check(
+        "simtime_scale_bounds",
+        CheckConfig::default(),
+        |rng: &mut SimRng| (rng.uniform_u64(0, 999_999_999), rng.uniform_f64(0.0, 2.0)),
+        |&(ns, factor)| {
+            let t = SimTime::from_ns(ns);
+            let scaled = t.scale(factor);
+            let expected = ns as f64 * factor;
+            require!(
+                (scaled.as_ns() as f64 - expected).abs() <= 1.0,
+                "scaled {} vs expected {expected}",
+                scaled.as_ns()
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Span shares over any window always sum to ~1 (or 0 for empty sets).
+#[test]
+fn span_shares_sum_to_one() {
+    check(
+        "span_shares_sum_to_one",
+        CheckConfig::default(),
+        |rng: &mut SimRng| {
+            let n = rng.uniform_u64(1, 39) as usize;
+            (0..n)
+                .map(|_| {
+                    (
+                        rng.uniform_u64(0, 999),
+                        rng.uniform_u64(1, 499),
+                        rng.uniform_u64(0, 3),
+                    )
+                })
+                .collect::<Vec<(u64, u64, u64)>>()
+        },
+        |spans| {
+            let mut set = SpanSet::new();
+            for &(start, len, owner) in spans {
+                // Shrinking can drive `len` to 0; zero-length spans are
+                // outside the generator's contract.
+                let len = len.max(1);
+                set.open(owner, SimTime::from_ns(start));
+                set.close(owner, SimTime::from_ns(start + len));
+            }
+            let from = SimTime::ZERO;
+            let to = SimTime::from_ns(2000);
+            let total: f64 = (0..4).map(|o| set.share_in(o, from, to)).sum();
+            require!(
+                total == 0.0 || (total - 1.0).abs() < 1e-9,
+                "shares sum {total}"
+            );
+            Ok(())
+        },
+    );
 }

@@ -59,7 +59,11 @@ impl VectorAddJob {
     /// The host-computed oracle.
     #[must_use]
     pub fn expected(&self) -> Vec<f32> {
-        self.a.iter().zip(self.b.iter()).map(|(x, y)| x + y).collect()
+        self.a
+            .iter()
+            .zip(self.b.iter())
+            .map(|(x, y)| x + y)
+            .collect()
     }
 
     /// The result buffer as computed so far.
@@ -88,7 +92,10 @@ impl MatMulJob {
     /// Panics if `n` is not a positive multiple of 16.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        assert!(n > 0 && n.is_multiple_of(16), "matrix size must be a multiple of 16");
+        assert!(
+            n > 0 && n.is_multiple_of(16),
+            "matrix size must be a multiple of 16"
+        );
         let a: Vec<f32> = (0..n * n).map(|i| ((i % 13) as f32) - 6.0).collect();
         let b: Vec<f32> = (0..n * n).map(|i| ((i % 7) as f32) * 0.5).collect();
         MatMulJob {

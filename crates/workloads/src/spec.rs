@@ -8,14 +8,12 @@
 //! `flep-compile` re-derives them from the <4% overhead rule (§4.1), and a
 //! test asserts the two agree.
 
-use serde::{Deserialize, Serialize};
-
 use flep_gpu_sim::{GridShape, LaunchDesc, ResourceUsage, TaskCost};
 use flep_perfmodel::KernelFeatures;
 use flep_sim_core::{SimRng, SimTime};
 
 /// The eight evaluation benchmarks (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BenchmarkId {
     /// Rodinia CFD: finite volume solver.
     Cfd,
@@ -70,8 +68,14 @@ impl std::fmt::Display for BenchmarkId {
     }
 }
 
+impl flep_sim_core::json::ToJson for BenchmarkId {
+    fn to_json(&self) -> flep_sim_core::json::JsonValue {
+        flep_sim_core::json::JsonValue::Str(self.name().to_string())
+    }
+}
+
 /// The three input classes of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InputClass {
     /// Needs all SMs; thousands of CTAs; long running.
     Large,
@@ -87,7 +91,7 @@ impl InputClass {
 }
 
 /// Calibrated workload shape for one (benchmark, input class).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InputProfile {
     /// Number of tasks (original-kernel CTAs).
     pub tasks: u64,
@@ -98,7 +102,7 @@ pub struct InputProfile {
 }
 
 /// One benchmark's full specification.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Benchmark {
     /// Which benchmark this is.
     pub id: BenchmarkId,
@@ -302,7 +306,10 @@ impl Benchmark {
     /// All eight benchmark specs in Table 1 order.
     #[must_use]
     pub fn all() -> Vec<Benchmark> {
-        BenchmarkId::ALL.iter().map(|&id| Benchmark::get(id)).collect()
+        BenchmarkId::ALL
+            .iter()
+            .map(|&id| Benchmark::get(id))
+            .collect()
     }
 
     /// The calibrated profile for an input class.
@@ -332,8 +339,8 @@ impl Benchmark {
     #[must_use]
     pub fn spread_contention_factor(&self, tasks: u64, num_sms: u32, threads_per_sm: u32) -> f64 {
         let per_sm = tasks.div_ceil(u64::from(num_sms.max(1)));
-        let load = per_sm as f64 * f64::from(self.resources.threads_per_cta)
-            / f64::from(threads_per_sm);
+        let load =
+            per_sm as f64 * f64::from(self.resources.threads_per_cta) / f64::from(threads_per_sm);
         let c = self.mem_intensity;
         // Normalized to full own-kernel occupancy (load 1.0 at 8x256/2048).
         (1.0 + c * load.min(1.0)) / (1.0 + c)
@@ -488,7 +495,11 @@ mod tests {
                 // bases), so the analytic check is looser there; the
                 // measured check lives in the table1 experiment and the
                 // calibration integration test.
-                let tol = if class == InputClass::Trivial { 0.10 } else { 0.005 };
+                let tol = if class == InputClass::Trivial {
+                    0.10
+                } else {
+                    0.005
+                };
                 assert!(
                     err < tol,
                     "{id} {class:?}: calibrated {got:.1}us vs Table 1 {target}us ({:.2}%)",
@@ -587,7 +598,10 @@ mod tests {
         let b = Benchmark::get(BenchmarkId::Cfd);
         let mut r1 = SimRng::seed_from(5);
         let mut r2 = SimRng::seed_from(5);
-        assert_eq!(b.random_invocation(&mut r1).1, b.random_invocation(&mut r2).1);
+        assert_eq!(
+            b.random_invocation(&mut r1).1,
+            b.random_invocation(&mut r2).1
+        );
     }
 
     #[test]

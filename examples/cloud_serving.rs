@@ -102,10 +102,13 @@ fn fair_sharing() {
                 .looping(),
         )
         .job(
-            JobSpec::new(KernelProfile::of(&b, InputClass::Large), SimTime::from_us(5))
-                .with_priority(1)
-                .with_predicted(store.predict(&b, InputClass::Large))
-                .looping(),
+            JobSpec::new(
+                KernelProfile::of(&b, InputClass::Large),
+                SimTime::from_us(5),
+            )
+            .with_priority(1)
+            .with_predicted(store.predict(&b, InputClass::Large))
+            .looping(),
         )
         .horizon(horizon)
         .run();

@@ -7,8 +7,8 @@
 //! cargo run --release --example compiler_tour
 //! ```
 
-use flep_core::prelude::*;
 use flep_compile::slice_transform;
+use flep_core::prelude::*;
 
 fn main() {
     let id = BenchmarkId::Spmv;
@@ -60,7 +60,11 @@ fn main() {
             "  L = {:>4}: overhead {:>6.2}%  {}",
             trial.amortize,
             trial.overhead * 100.0,
-            if trial.overhead < 0.04 { "PASS" } else { "fail" }
+            if trial.overhead < 0.04 {
+                "PASS"
+            } else {
+                "fail"
+            }
         );
     }
     println!(

@@ -34,9 +34,7 @@ fn main() {
                     KernelProfile::of(&Benchmark::get(BenchmarkId::Va), InputClass::Large),
                     SimTime::ZERO,
                 )
-                .with_predicted(
-                    store.predict(&Benchmark::get(BenchmarkId::Va), InputClass::Large),
-                )
+                .with_predicted(store.predict(&Benchmark::get(BenchmarkId::Va), InputClass::Large))
                 .with_working_set(working_set)
                 .with_seed(1),
             );
@@ -46,9 +44,7 @@ fn main() {
                     KernelProfile::of(&Benchmark::get(BenchmarkId::Mm), InputClass::Small),
                     SimTime::from_ms(5) * (q + 1),
                 )
-                .with_predicted(
-                    store.predict(&Benchmark::get(BenchmarkId::Mm), InputClass::Small),
-                )
+                .with_predicted(store.predict(&Benchmark::get(BenchmarkId::Mm), InputClass::Small))
                 .with_working_set(working_set)
                 .with_seed(10 + q),
             );

@@ -41,8 +41,10 @@ fn main() {
             .run()
     };
 
-    println!("scenario: {} (large, low prio) on the GPU; {} (small, high prio) arrives 10us later\n",
-        batch.id, query.id);
+    println!(
+        "scenario: {} (large, low prio) on the GPU; {} (small, high prio) arrives 10us later\n",
+        batch.id, query.id
+    );
 
     let mps = run(Policy::MpsBaseline);
     let flep = run(Policy::hpf());
@@ -65,19 +67,20 @@ fn main() {
     report("MPS baseline (no preemption)", &mps);
     report("FLEP / HPF", &flep);
 
-    let speedup = mps.jobs[1].turnaround().unwrap().as_us()
-        / flep.jobs[1].turnaround().unwrap().as_us();
-    let batch_cost = flep.jobs[0].turnaround().unwrap().as_us()
-        / mps.jobs[0].turnaround().unwrap().as_us();
-    println!("\nhigh-priority query speedup: {speedup:.1}X (paper reports up to 24.2X for this pair)");
+    let speedup =
+        mps.jobs[1].turnaround().unwrap().as_us() / flep.jobs[1].turnaround().unwrap().as_us();
+    let batch_cost =
+        flep.jobs[0].turnaround().unwrap().as_us() / mps.jobs[0].turnaround().unwrap().as_us();
+    println!(
+        "\nhigh-priority query speedup: {speedup:.1}X (paper reports up to 24.2X for this pair)"
+    );
     println!("batch-kernel turnaround cost: {batch_cost:.3}X");
 
     // Show the preemption internals.
     let drains = &flep.jobs[0].drain_samples;
     println!(
         "preemption drain latency: {} (one amortized batch of L={} tasks + flag latency)",
-        drains[0],
-        batch.table1_amortize
+        drains[0], batch.table1_amortize
     );
 
     println!("\ntimeline (FLEP/HPF):");

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-69b3c4c3d642337d.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-69b3c4c3d642337d: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-c63d0c575e2f2cc4.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-c63d0c575e2f2cc4: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

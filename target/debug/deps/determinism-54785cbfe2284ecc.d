@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-54785cbfe2284ecc.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-54785cbfe2284ecc: tests/determinism.rs
+
+tests/determinism.rs:

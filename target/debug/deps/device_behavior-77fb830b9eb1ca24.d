@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/device_behavior-77fb830b9eb1ca24.d: crates/gpu-sim/tests/device_behavior.rs
+
+/root/repo/target/debug/deps/device_behavior-77fb830b9eb1ca24: crates/gpu-sim/tests/device_behavior.rs
+
+crates/gpu-sim/tests/device_behavior.rs:

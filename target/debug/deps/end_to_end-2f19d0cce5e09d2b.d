@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2f19d0cce5e09d2b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2f19d0cce5e09d2b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiment_shapes-a121abb14bae47da.d: tests/experiment_shapes.rs
+
+/root/repo/target/debug/deps/experiment_shapes-a121abb14bae47da: tests/experiment_shapes.rs
+
+tests/experiment_shapes.rs:

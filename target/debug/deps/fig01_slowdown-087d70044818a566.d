@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_slowdown-087d70044818a566.d: crates/bench/src/bin/fig01_slowdown.rs
+
+/root/repo/target/debug/deps/fig01_slowdown-087d70044818a566: crates/bench/src/bin/fig01_slowdown.rs
+
+crates/bench/src/bin/fig01_slowdown.rs:

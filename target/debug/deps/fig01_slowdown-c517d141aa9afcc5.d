@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_slowdown-c517d141aa9afcc5.d: crates/bench/src/bin/fig01_slowdown.rs
+
+/root/repo/target/debug/deps/fig01_slowdown-c517d141aa9afcc5: crates/bench/src/bin/fig01_slowdown.rs
+
+crates/bench/src/bin/fig01_slowdown.rs:

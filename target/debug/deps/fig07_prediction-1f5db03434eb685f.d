@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_prediction-1f5db03434eb685f.d: crates/bench/src/bin/fig07_prediction.rs
+
+/root/repo/target/debug/deps/fig07_prediction-1f5db03434eb685f: crates/bench/src/bin/fig07_prediction.rs
+
+crates/bench/src/bin/fig07_prediction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_prediction-3525ed2398995ee1.d: crates/bench/src/bin/fig07_prediction.rs
+
+/root/repo/target/debug/deps/fig07_prediction-3525ed2398995ee1: crates/bench/src/bin/fig07_prediction.rs
+
+crates/bench/src/bin/fig07_prediction.rs:

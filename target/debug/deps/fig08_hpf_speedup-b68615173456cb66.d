@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_hpf_speedup-b68615173456cb66.d: crates/bench/src/bin/fig08_hpf_speedup.rs
+
+/root/repo/target/debug/deps/fig08_hpf_speedup-b68615173456cb66: crates/bench/src/bin/fig08_hpf_speedup.rs
+
+crates/bench/src/bin/fig08_hpf_speedup.rs:

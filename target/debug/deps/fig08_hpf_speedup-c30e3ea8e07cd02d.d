@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_hpf_speedup-c30e3ea8e07cd02d.d: crates/bench/src/bin/fig08_hpf_speedup.rs
+
+/root/repo/target/debug/deps/fig08_hpf_speedup-c30e3ea8e07cd02d: crates/bench/src/bin/fig08_hpf_speedup.rs
+
+crates/bench/src/bin/fig08_hpf_speedup.rs:

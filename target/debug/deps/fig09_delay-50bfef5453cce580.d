@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_delay-50bfef5453cce580.d: crates/bench/src/bin/fig09_delay.rs
+
+/root/repo/target/debug/deps/fig09_delay-50bfef5453cce580: crates/bench/src/bin/fig09_delay.rs
+
+crates/bench/src/bin/fig09_delay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_delay-d7d8f8414e4aa1be.d: crates/bench/src/bin/fig09_delay.rs
+
+/root/repo/target/debug/deps/fig09_delay-d7d8f8414e4aa1be: crates/bench/src/bin/fig09_delay.rs
+
+crates/bench/src/bin/fig09_delay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_antt-2edb4d9b11ed9e81.d: crates/bench/src/bin/fig10_antt.rs
+
+/root/repo/target/debug/deps/fig10_antt-2edb4d9b11ed9e81: crates/bench/src/bin/fig10_antt.rs
+
+crates/bench/src/bin/fig10_antt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_antt-390d022aac463a95.d: crates/bench/src/bin/fig10_antt.rs
+
+/root/repo/target/debug/deps/fig10_antt-390d022aac463a95: crates/bench/src/bin/fig10_antt.rs
+
+crates/bench/src/bin/fig10_antt.rs:

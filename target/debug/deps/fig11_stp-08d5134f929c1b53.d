@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_stp-08d5134f929c1b53.d: crates/bench/src/bin/fig11_stp.rs
+
+/root/repo/target/debug/deps/fig11_stp-08d5134f929c1b53: crates/bench/src/bin/fig11_stp.rs
+
+crates/bench/src/bin/fig11_stp.rs:

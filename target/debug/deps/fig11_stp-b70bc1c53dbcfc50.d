@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_stp-b70bc1c53dbcfc50.d: crates/bench/src/bin/fig11_stp.rs
+
+/root/repo/target/debug/deps/fig11_stp-b70bc1c53dbcfc50: crates/bench/src/bin/fig11_stp.rs
+
+crates/bench/src/bin/fig11_stp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_three_kernel-2186b5cdb1029b90.d: crates/bench/src/bin/fig12_three_kernel.rs
+
+/root/repo/target/debug/deps/fig12_three_kernel-2186b5cdb1029b90: crates/bench/src/bin/fig12_three_kernel.rs
+
+crates/bench/src/bin/fig12_three_kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_three_kernel-ff54cf98dce4bc67.d: crates/bench/src/bin/fig12_three_kernel.rs
+
+/root/repo/target/debug/deps/fig12_three_kernel-ff54cf98dce4bc67: crates/bench/src/bin/fig12_three_kernel.rs
+
+crates/bench/src/bin/fig12_three_kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_ffs_share-d622e5c07fb6d5c3.d: crates/bench/src/bin/fig13_ffs_share.rs
+
+/root/repo/target/debug/deps/fig13_ffs_share-d622e5c07fb6d5c3: crates/bench/src/bin/fig13_ffs_share.rs
+
+crates/bench/src/bin/fig13_ffs_share.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_ffs_share-f6c4b006758771b8.d: crates/bench/src/bin/fig13_ffs_share.rs
+
+/root/repo/target/debug/deps/fig13_ffs_share-f6c4b006758771b8: crates/bench/src/bin/fig13_ffs_share.rs
+
+crates/bench/src/bin/fig13_ffs_share.rs:

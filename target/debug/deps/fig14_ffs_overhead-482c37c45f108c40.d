@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_ffs_overhead-482c37c45f108c40.d: crates/bench/src/bin/fig14_ffs_overhead.rs
+
+/root/repo/target/debug/deps/fig14_ffs_overhead-482c37c45f108c40: crates/bench/src/bin/fig14_ffs_overhead.rs
+
+crates/bench/src/bin/fig14_ffs_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_ffs_overhead-bc0c0268679f8431.d: crates/bench/src/bin/fig14_ffs_overhead.rs
+
+/root/repo/target/debug/deps/fig14_ffs_overhead-bc0c0268679f8431: crates/bench/src/bin/fig14_ffs_overhead.rs
+
+crates/bench/src/bin/fig14_ffs_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_spatial-8c54a7cf7b6a4036.d: crates/bench/src/bin/fig15_spatial.rs
+
+/root/repo/target/debug/deps/fig15_spatial-8c54a7cf7b6a4036: crates/bench/src/bin/fig15_spatial.rs
+
+crates/bench/src/bin/fig15_spatial.rs:

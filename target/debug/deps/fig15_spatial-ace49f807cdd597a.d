@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_spatial-ace49f807cdd597a.d: crates/bench/src/bin/fig15_spatial.rs
+
+/root/repo/target/debug/deps/fig15_spatial-ace49f807cdd597a: crates/bench/src/bin/fig15_spatial.rs
+
+crates/bench/src/bin/fig15_spatial.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_sm_sweep-556594f653a9749d.d: crates/bench/src/bin/fig16_sm_sweep.rs
+
+/root/repo/target/debug/deps/fig16_sm_sweep-556594f653a9749d: crates/bench/src/bin/fig16_sm_sweep.rs
+
+crates/bench/src/bin/fig16_sm_sweep.rs:

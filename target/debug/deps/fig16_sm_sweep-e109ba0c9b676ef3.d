@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_sm_sweep-e109ba0c9b676ef3.d: crates/bench/src/bin/fig16_sm_sweep.rs
+
+/root/repo/target/debug/deps/fig16_sm_sweep-e109ba0c9b676ef3: crates/bench/src/bin/fig16_sm_sweep.rs
+
+crates/bench/src/bin/fig16_sm_sweep.rs:

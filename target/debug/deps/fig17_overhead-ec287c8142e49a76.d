@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_overhead-ec287c8142e49a76.d: crates/bench/src/bin/fig17_overhead.rs
+
+/root/repo/target/debug/deps/fig17_overhead-ec287c8142e49a76: crates/bench/src/bin/fig17_overhead.rs
+
+crates/bench/src/bin/fig17_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_overhead-fbc2f0ad9951edb1.d: crates/bench/src/bin/fig17_overhead.rs
+
+/root/repo/target/debug/deps/fig17_overhead-fbc2f0ad9951edb1: crates/bench/src/bin/fig17_overhead.rs
+
+crates/bench/src/bin/fig17_overhead.rs:

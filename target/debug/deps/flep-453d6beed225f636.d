@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flep-453d6beed225f636.d: crates/flep-core/src/bin/flep.rs
+
+/root/repo/target/debug/deps/flep-453d6beed225f636: crates/flep-core/src/bin/flep.rs
+
+crates/flep-core/src/bin/flep.rs:

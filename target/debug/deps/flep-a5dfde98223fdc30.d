@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flep-a5dfde98223fdc30.d: crates/flep-core/src/bin/flep.rs
+
+/root/repo/target/debug/deps/flep-a5dfde98223fdc30: crates/flep-core/src/bin/flep.rs
+
+crates/flep-core/src/bin/flep.rs:

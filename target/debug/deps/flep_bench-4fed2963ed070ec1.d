@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flep_bench-4fed2963ed070ec1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/flep_bench-4fed2963ed070ec1: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flep_bench-b4cfdfadd2f4cd16.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libflep_bench-b4cfdfadd2f4cd16.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libflep_bench-b4cfdfadd2f4cd16.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

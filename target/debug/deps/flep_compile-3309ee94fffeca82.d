@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flep_compile-3309ee94fffeca82.d: crates/flep-compile/src/lib.rs crates/flep-compile/src/passes.rs crates/flep-compile/src/slicing.rs crates/flep-compile/src/tuner.rs
+
+/root/repo/target/debug/deps/flep_compile-3309ee94fffeca82: crates/flep-compile/src/lib.rs crates/flep-compile/src/passes.rs crates/flep-compile/src/slicing.rs crates/flep-compile/src/tuner.rs
+
+crates/flep-compile/src/lib.rs:
+crates/flep-compile/src/passes.rs:
+crates/flep-compile/src/slicing.rs:
+crates/flep-compile/src/tuner.rs:

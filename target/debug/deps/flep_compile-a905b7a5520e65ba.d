@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flep_compile-a905b7a5520e65ba.d: crates/flep-compile/src/lib.rs crates/flep-compile/src/passes.rs crates/flep-compile/src/slicing.rs crates/flep-compile/src/tuner.rs
+
+/root/repo/target/debug/deps/libflep_compile-a905b7a5520e65ba.rlib: crates/flep-compile/src/lib.rs crates/flep-compile/src/passes.rs crates/flep-compile/src/slicing.rs crates/flep-compile/src/tuner.rs
+
+/root/repo/target/debug/deps/libflep_compile-a905b7a5520e65ba.rmeta: crates/flep-compile/src/lib.rs crates/flep-compile/src/passes.rs crates/flep-compile/src/slicing.rs crates/flep-compile/src/tuner.rs
+
+crates/flep-compile/src/lib.rs:
+crates/flep-compile/src/passes.rs:
+crates/flep-compile/src/slicing.rs:
+crates/flep-compile/src/tuner.rs:

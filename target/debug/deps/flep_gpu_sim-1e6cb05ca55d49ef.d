@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flep_gpu_sim-1e6cb05ca55d49ef.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/grid.rs crates/gpu-sim/src/memory.rs crates/gpu-sim/src/scenario.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/swap.rs
+
+/root/repo/target/debug/deps/libflep_gpu_sim-1e6cb05ca55d49ef.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/grid.rs crates/gpu-sim/src/memory.rs crates/gpu-sim/src/scenario.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/swap.rs
+
+/root/repo/target/debug/deps/libflep_gpu_sim-1e6cb05ca55d49ef.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/grid.rs crates/gpu-sim/src/memory.rs crates/gpu-sim/src/scenario.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/swap.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/grid.rs:
+crates/gpu-sim/src/memory.rs:
+crates/gpu-sim/src/scenario.rs:
+crates/gpu-sim/src/sm.rs:
+crates/gpu-sim/src/swap.rs:

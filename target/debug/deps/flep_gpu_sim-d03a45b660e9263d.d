@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flep_gpu_sim-d03a45b660e9263d.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/grid.rs crates/gpu-sim/src/memory.rs crates/gpu-sim/src/scenario.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/swap.rs
+
+/root/repo/target/debug/deps/flep_gpu_sim-d03a45b660e9263d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/grid.rs crates/gpu-sim/src/memory.rs crates/gpu-sim/src/scenario.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/swap.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/grid.rs:
+crates/gpu-sim/src/memory.rs:
+crates/gpu-sim/src/scenario.rs:
+crates/gpu-sim/src/sm.rs:
+crates/gpu-sim/src/swap.rs:

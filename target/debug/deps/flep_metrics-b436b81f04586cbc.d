@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flep_metrics-b436b81f04586cbc.d: crates/metrics/src/lib.rs crates/metrics/src/stats.rs
+
+/root/repo/target/debug/deps/libflep_metrics-b436b81f04586cbc.rlib: crates/metrics/src/lib.rs crates/metrics/src/stats.rs
+
+/root/repo/target/debug/deps/libflep_metrics-b436b81f04586cbc.rmeta: crates/metrics/src/lib.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/stats.rs:

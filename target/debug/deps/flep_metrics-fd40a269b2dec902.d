@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/flep_metrics-fd40a269b2dec902.d: crates/metrics/src/lib.rs crates/metrics/src/stats.rs
+
+/root/repo/target/debug/deps/flep_metrics-fd40a269b2dec902: crates/metrics/src/lib.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/stats.rs:

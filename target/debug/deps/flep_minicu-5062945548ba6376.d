@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flep_minicu-5062945548ba6376.d: crates/minicu/src/lib.rs crates/minicu/src/ast.rs crates/minicu/src/parser.rs crates/minicu/src/resources.rs crates/minicu/src/sema.rs crates/minicu/src/token.rs crates/minicu/src/typeck.rs
+
+/root/repo/target/debug/deps/libflep_minicu-5062945548ba6376.rlib: crates/minicu/src/lib.rs crates/minicu/src/ast.rs crates/minicu/src/parser.rs crates/minicu/src/resources.rs crates/minicu/src/sema.rs crates/minicu/src/token.rs crates/minicu/src/typeck.rs
+
+/root/repo/target/debug/deps/libflep_minicu-5062945548ba6376.rmeta: crates/minicu/src/lib.rs crates/minicu/src/ast.rs crates/minicu/src/parser.rs crates/minicu/src/resources.rs crates/minicu/src/sema.rs crates/minicu/src/token.rs crates/minicu/src/typeck.rs
+
+crates/minicu/src/lib.rs:
+crates/minicu/src/ast.rs:
+crates/minicu/src/parser.rs:
+crates/minicu/src/resources.rs:
+crates/minicu/src/sema.rs:
+crates/minicu/src/token.rs:
+crates/minicu/src/typeck.rs:

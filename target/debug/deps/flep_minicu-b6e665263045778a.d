@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flep_minicu-b6e665263045778a.d: crates/minicu/src/lib.rs crates/minicu/src/ast.rs crates/minicu/src/parser.rs crates/minicu/src/resources.rs crates/minicu/src/sema.rs crates/minicu/src/token.rs crates/minicu/src/typeck.rs
+
+/root/repo/target/debug/deps/flep_minicu-b6e665263045778a: crates/minicu/src/lib.rs crates/minicu/src/ast.rs crates/minicu/src/parser.rs crates/minicu/src/resources.rs crates/minicu/src/sema.rs crates/minicu/src/token.rs crates/minicu/src/typeck.rs
+
+crates/minicu/src/lib.rs:
+crates/minicu/src/ast.rs:
+crates/minicu/src/parser.rs:
+crates/minicu/src/resources.rs:
+crates/minicu/src/sema.rs:
+crates/minicu/src/token.rs:
+crates/minicu/src/typeck.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flep_perfmodel-80bf85b8ab010500.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/linalg.rs crates/perfmodel/src/profiler.rs crates/perfmodel/src/regression.rs
+
+/root/repo/target/debug/deps/flep_perfmodel-80bf85b8ab010500: crates/perfmodel/src/lib.rs crates/perfmodel/src/linalg.rs crates/perfmodel/src/profiler.rs crates/perfmodel/src/regression.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/linalg.rs:
+crates/perfmodel/src/profiler.rs:
+crates/perfmodel/src/regression.rs:

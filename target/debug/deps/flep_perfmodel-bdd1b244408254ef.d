@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flep_perfmodel-bdd1b244408254ef.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/linalg.rs crates/perfmodel/src/profiler.rs crates/perfmodel/src/regression.rs
+
+/root/repo/target/debug/deps/libflep_perfmodel-bdd1b244408254ef.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/linalg.rs crates/perfmodel/src/profiler.rs crates/perfmodel/src/regression.rs
+
+/root/repo/target/debug/deps/libflep_perfmodel-bdd1b244408254ef.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/linalg.rs crates/perfmodel/src/profiler.rs crates/perfmodel/src/regression.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/linalg.rs:
+crates/perfmodel/src/profiler.rs:
+crates/perfmodel/src/regression.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flep_runtime-62b4deb1a69daa26.d: crates/flep-runtime/src/lib.rs crates/flep-runtime/src/driver.rs crates/flep-runtime/src/job.rs crates/flep-runtime/src/world.rs
+
+/root/repo/target/debug/deps/libflep_runtime-62b4deb1a69daa26.rlib: crates/flep-runtime/src/lib.rs crates/flep-runtime/src/driver.rs crates/flep-runtime/src/job.rs crates/flep-runtime/src/world.rs
+
+/root/repo/target/debug/deps/libflep_runtime-62b4deb1a69daa26.rmeta: crates/flep-runtime/src/lib.rs crates/flep-runtime/src/driver.rs crates/flep-runtime/src/job.rs crates/flep-runtime/src/world.rs
+
+crates/flep-runtime/src/lib.rs:
+crates/flep-runtime/src/driver.rs:
+crates/flep-runtime/src/job.rs:
+crates/flep-runtime/src/world.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flep_runtime-7324c5555dee86e7.d: crates/flep-runtime/src/lib.rs crates/flep-runtime/src/driver.rs crates/flep-runtime/src/job.rs crates/flep-runtime/src/world.rs
+
+/root/repo/target/debug/deps/flep_runtime-7324c5555dee86e7: crates/flep-runtime/src/lib.rs crates/flep-runtime/src/driver.rs crates/flep-runtime/src/job.rs crates/flep-runtime/src/world.rs
+
+crates/flep-runtime/src/lib.rs:
+crates/flep-runtime/src/driver.rs:
+crates/flep-runtime/src/job.rs:
+crates/flep-runtime/src/world.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flep_suite-3b3606b02cb5dbc6.d: src/lib.rs
+
+/root/repo/target/debug/deps/flep_suite-3b3606b02cb5dbc6: src/lib.rs
+
+src/lib.rs:

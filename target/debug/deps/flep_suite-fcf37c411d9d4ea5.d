@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flep_suite-fcf37c411d9d4ea5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libflep_suite-fcf37c411d9d4ea5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libflep_suite-fcf37c411d9d4ea5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flep_workloads-a9907ce7dba5bef1.d: crates/workloads/src/lib.rs crates/workloads/src/functional.rs crates/workloads/src/sources.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/flep_workloads-a9907ce7dba5bef1: crates/workloads/src/lib.rs crates/workloads/src/functional.rs crates/workloads/src/sources.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/functional.rs:
+crates/workloads/src/sources.rs:
+crates/workloads/src/spec.rs:

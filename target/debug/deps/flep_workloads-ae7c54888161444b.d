@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flep_workloads-ae7c54888161444b.d: crates/workloads/src/lib.rs crates/workloads/src/functional.rs crates/workloads/src/sources.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libflep_workloads-ae7c54888161444b.rlib: crates/workloads/src/lib.rs crates/workloads/src/functional.rs crates/workloads/src/sources.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libflep_workloads-ae7c54888161444b.rmeta: crates/workloads/src/lib.rs crates/workloads/src/functional.rs crates/workloads/src/sources.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/functional.rs:
+crates/workloads/src/sources.rs:
+crates/workloads/src/spec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-06fa9e605aea2d93.d: crates/sim-core/tests/props.rs
+
+/root/repo/target/debug/deps/props-06fa9e605aea2d93: crates/sim-core/tests/props.rs
+
+crates/sim-core/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-18064d706ebd5a74.d: crates/minicu/tests/props.rs
+
+/root/repo/target/debug/deps/props-18064d706ebd5a74: crates/minicu/tests/props.rs
+
+crates/minicu/tests/props.rs:

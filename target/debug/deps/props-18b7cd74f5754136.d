@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-18b7cd74f5754136.d: crates/metrics/tests/props.rs
+
+/root/repo/target/debug/deps/props-18b7cd74f5754136: crates/metrics/tests/props.rs
+
+crates/metrics/tests/props.rs:

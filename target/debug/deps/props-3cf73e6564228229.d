@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-3cf73e6564228229.d: crates/gpu-sim/tests/props.rs
+
+/root/repo/target/debug/deps/props-3cf73e6564228229: crates/gpu-sim/tests/props.rs
+
+crates/gpu-sim/tests/props.rs:

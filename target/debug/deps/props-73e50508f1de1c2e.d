@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-73e50508f1de1c2e.d: crates/perfmodel/tests/props.rs
+
+/root/repo/target/debug/deps/props-73e50508f1de1c2e: crates/perfmodel/tests/props.rs
+
+crates/perfmodel/tests/props.rs:

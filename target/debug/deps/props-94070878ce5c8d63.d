@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-94070878ce5c8d63.d: crates/flep-runtime/tests/props.rs
+
+/root/repo/target/debug/deps/props-94070878ce5c8d63: crates/flep-runtime/tests/props.rs
+
+crates/flep-runtime/tests/props.rs:

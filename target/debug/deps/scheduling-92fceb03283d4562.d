@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduling-92fceb03283d4562.d: crates/flep-runtime/tests/scheduling.rs
+
+/root/repo/target/debug/deps/scheduling-92fceb03283d4562: crates/flep-runtime/tests/scheduling.rs
+
+crates/flep-runtime/tests/scheduling.rs:

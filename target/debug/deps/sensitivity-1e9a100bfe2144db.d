@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity-1e9a100bfe2144db.d: crates/bench/src/bin/sensitivity.rs
+
+/root/repo/target/debug/deps/sensitivity-1e9a100bfe2144db: crates/bench/src/bin/sensitivity.rs
+
+crates/bench/src/bin/sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity-47cfb1d09b3b7d34.d: crates/bench/src/bin/sensitivity.rs
+
+/root/repo/target/debug/deps/sensitivity-47cfb1d09b3b7d34: crates/bench/src/bin/sensitivity.rs
+
+crates/bench/src/bin/sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streams-69e7172705a0b00b.d: crates/gpu-sim/tests/streams.rs
+
+/root/repo/target/debug/deps/streams-69e7172705a0b00b: crates/gpu-sim/tests/streams.rs
+
+crates/gpu-sim/tests/streams.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-0cdef9c9fde9d630.d: crates/flep-runtime/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-0cdef9c9fde9d630: crates/flep-runtime/tests/stress.rs
+
+crates/flep-runtime/tests/stress.rs:

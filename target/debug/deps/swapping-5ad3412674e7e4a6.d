@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swapping-5ad3412674e7e4a6.d: crates/flep-runtime/tests/swapping.rs
+
+/root/repo/target/debug/deps/swapping-5ad3412674e7e4a6: crates/flep-runtime/tests/swapping.rs
+
+crates/flep-runtime/tests/swapping.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-55f5bea538362300.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-55f5bea538362300: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/check_probe-5e668cb058d16e6e.d: crates/sim-core/examples/check_probe.rs
+
+/root/repo/target/debug/examples/check_probe-5e668cb058d16e6e: crates/sim-core/examples/check_probe.rs
+
+crates/sim-core/examples/check_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cloud_serving-35fc1fe7d33a5ead.d: examples/cloud_serving.rs
+
+/root/repo/target/debug/examples/cloud_serving-35fc1fe7d33a5ead: examples/cloud_serving.rs
+
+examples/cloud_serving.rs:

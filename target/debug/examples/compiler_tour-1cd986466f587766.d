@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compiler_tour-1cd986466f587766.d: examples/compiler_tour.rs
+
+/root/repo/target/debug/examples/compiler_tour-1cd986466f587766: examples/compiler_tour.rs
+
+examples/compiler_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/memory_oversubscription-0fe5e44c0e9de222.d: examples/memory_oversubscription.rs
+
+/root/repo/target/debug/examples/memory_oversubscription-0fe5e44c0e9de222: examples/memory_oversubscription.rs
+
+examples/memory_oversubscription.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/priority_inversion-b814c27aa5da58fb.d: examples/priority_inversion.rs
+
+/root/repo/target/debug/examples/priority_inversion-b814c27aa5da58fb: examples/priority_inversion.rs
+
+examples/priority_inversion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a02f94ed683c855c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a02f94ed683c855c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-ad4341a866c38702.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-ad4341a866c38702: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

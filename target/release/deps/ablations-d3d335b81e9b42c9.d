@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-d3d335b81e9b42c9.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-d3d335b81e9b42c9: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_slowdown-5073ebd8a6dab56d.d: crates/bench/src/bin/fig01_slowdown.rs
+
+/root/repo/target/release/deps/fig01_slowdown-5073ebd8a6dab56d: crates/bench/src/bin/fig01_slowdown.rs
+
+crates/bench/src/bin/fig01_slowdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_slowdown-c3936f6a15702290.d: crates/bench/src/bin/fig01_slowdown.rs
+
+/root/repo/target/release/deps/fig01_slowdown-c3936f6a15702290: crates/bench/src/bin/fig01_slowdown.rs
+
+crates/bench/src/bin/fig01_slowdown.rs:

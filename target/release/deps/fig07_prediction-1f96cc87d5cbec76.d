@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_prediction-1f96cc87d5cbec76.d: crates/bench/src/bin/fig07_prediction.rs
+
+/root/repo/target/release/deps/fig07_prediction-1f96cc87d5cbec76: crates/bench/src/bin/fig07_prediction.rs
+
+crates/bench/src/bin/fig07_prediction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_prediction-4b2af991b5ceb04a.d: crates/bench/src/bin/fig07_prediction.rs
+
+/root/repo/target/release/deps/fig07_prediction-4b2af991b5ceb04a: crates/bench/src/bin/fig07_prediction.rs
+
+crates/bench/src/bin/fig07_prediction.rs:

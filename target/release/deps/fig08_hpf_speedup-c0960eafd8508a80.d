@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_hpf_speedup-c0960eafd8508a80.d: crates/bench/src/bin/fig08_hpf_speedup.rs
+
+/root/repo/target/release/deps/fig08_hpf_speedup-c0960eafd8508a80: crates/bench/src/bin/fig08_hpf_speedup.rs
+
+crates/bench/src/bin/fig08_hpf_speedup.rs:

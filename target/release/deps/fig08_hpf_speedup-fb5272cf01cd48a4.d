@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_hpf_speedup-fb5272cf01cd48a4.d: crates/bench/src/bin/fig08_hpf_speedup.rs
+
+/root/repo/target/release/deps/fig08_hpf_speedup-fb5272cf01cd48a4: crates/bench/src/bin/fig08_hpf_speedup.rs
+
+crates/bench/src/bin/fig08_hpf_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_delay-05748401af300b76.d: crates/bench/src/bin/fig09_delay.rs
+
+/root/repo/target/release/deps/fig09_delay-05748401af300b76: crates/bench/src/bin/fig09_delay.rs
+
+crates/bench/src/bin/fig09_delay.rs:

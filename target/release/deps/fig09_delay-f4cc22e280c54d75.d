@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_delay-f4cc22e280c54d75.d: crates/bench/src/bin/fig09_delay.rs
+
+/root/repo/target/release/deps/fig09_delay-f4cc22e280c54d75: crates/bench/src/bin/fig09_delay.rs
+
+crates/bench/src/bin/fig09_delay.rs:

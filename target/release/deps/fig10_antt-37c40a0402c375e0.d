@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_antt-37c40a0402c375e0.d: crates/bench/src/bin/fig10_antt.rs
+
+/root/repo/target/release/deps/fig10_antt-37c40a0402c375e0: crates/bench/src/bin/fig10_antt.rs
+
+crates/bench/src/bin/fig10_antt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_antt-964225fce6be898e.d: crates/bench/src/bin/fig10_antt.rs
+
+/root/repo/target/release/deps/fig10_antt-964225fce6be898e: crates/bench/src/bin/fig10_antt.rs
+
+crates/bench/src/bin/fig10_antt.rs:

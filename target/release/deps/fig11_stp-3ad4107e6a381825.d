@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_stp-3ad4107e6a381825.d: crates/bench/src/bin/fig11_stp.rs
+
+/root/repo/target/release/deps/fig11_stp-3ad4107e6a381825: crates/bench/src/bin/fig11_stp.rs
+
+crates/bench/src/bin/fig11_stp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_stp-d1c6c4fe548441a5.d: crates/bench/src/bin/fig11_stp.rs
+
+/root/repo/target/release/deps/fig11_stp-d1c6c4fe548441a5: crates/bench/src/bin/fig11_stp.rs
+
+crates/bench/src/bin/fig11_stp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_three_kernel-ee10cc54c9c8f5ac.d: crates/bench/src/bin/fig12_three_kernel.rs
+
+/root/repo/target/release/deps/fig12_three_kernel-ee10cc54c9c8f5ac: crates/bench/src/bin/fig12_three_kernel.rs
+
+crates/bench/src/bin/fig12_three_kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_three_kernel-f406b514e4bcf3bc.d: crates/bench/src/bin/fig12_three_kernel.rs
+
+/root/repo/target/release/deps/fig12_three_kernel-f406b514e4bcf3bc: crates/bench/src/bin/fig12_three_kernel.rs
+
+crates/bench/src/bin/fig12_three_kernel.rs:

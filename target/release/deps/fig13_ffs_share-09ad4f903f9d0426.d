@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_ffs_share-09ad4f903f9d0426.d: crates/bench/src/bin/fig13_ffs_share.rs
+
+/root/repo/target/release/deps/fig13_ffs_share-09ad4f903f9d0426: crates/bench/src/bin/fig13_ffs_share.rs
+
+crates/bench/src/bin/fig13_ffs_share.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_ffs_share-7572a35a0e4d8806.d: crates/bench/src/bin/fig13_ffs_share.rs
+
+/root/repo/target/release/deps/fig13_ffs_share-7572a35a0e4d8806: crates/bench/src/bin/fig13_ffs_share.rs
+
+crates/bench/src/bin/fig13_ffs_share.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_ffs_overhead-576fac899f1f2e70.d: crates/bench/src/bin/fig14_ffs_overhead.rs
+
+/root/repo/target/release/deps/fig14_ffs_overhead-576fac899f1f2e70: crates/bench/src/bin/fig14_ffs_overhead.rs
+
+crates/bench/src/bin/fig14_ffs_overhead.rs:

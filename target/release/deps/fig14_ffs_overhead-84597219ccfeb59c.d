@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_ffs_overhead-84597219ccfeb59c.d: crates/bench/src/bin/fig14_ffs_overhead.rs
+
+/root/repo/target/release/deps/fig14_ffs_overhead-84597219ccfeb59c: crates/bench/src/bin/fig14_ffs_overhead.rs
+
+crates/bench/src/bin/fig14_ffs_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_spatial-c3deab7747b33045.d: crates/bench/src/bin/fig15_spatial.rs
+
+/root/repo/target/release/deps/fig15_spatial-c3deab7747b33045: crates/bench/src/bin/fig15_spatial.rs
+
+crates/bench/src/bin/fig15_spatial.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_spatial-ffda7f3ad195b4c4.d: crates/bench/src/bin/fig15_spatial.rs
+
+/root/repo/target/release/deps/fig15_spatial-ffda7f3ad195b4c4: crates/bench/src/bin/fig15_spatial.rs
+
+crates/bench/src/bin/fig15_spatial.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_sm_sweep-0c3f3b8386d8ed81.d: crates/bench/src/bin/fig16_sm_sweep.rs
+
+/root/repo/target/release/deps/fig16_sm_sweep-0c3f3b8386d8ed81: crates/bench/src/bin/fig16_sm_sweep.rs
+
+crates/bench/src/bin/fig16_sm_sweep.rs:

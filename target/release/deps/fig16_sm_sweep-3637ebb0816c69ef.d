@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_sm_sweep-3637ebb0816c69ef.d: crates/bench/src/bin/fig16_sm_sweep.rs
+
+/root/repo/target/release/deps/fig16_sm_sweep-3637ebb0816c69ef: crates/bench/src/bin/fig16_sm_sweep.rs
+
+crates/bench/src/bin/fig16_sm_sweep.rs:

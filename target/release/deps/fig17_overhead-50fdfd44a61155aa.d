@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_overhead-50fdfd44a61155aa.d: crates/bench/src/bin/fig17_overhead.rs
+
+/root/repo/target/release/deps/fig17_overhead-50fdfd44a61155aa: crates/bench/src/bin/fig17_overhead.rs
+
+crates/bench/src/bin/fig17_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_overhead-7631eccd0ad6705d.d: crates/bench/src/bin/fig17_overhead.rs
+
+/root/repo/target/release/deps/fig17_overhead-7631eccd0ad6705d: crates/bench/src/bin/fig17_overhead.rs
+
+crates/bench/src/bin/fig17_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flep-5b9ad25d16253dca.d: crates/flep-core/src/bin/flep.rs
+
+/root/repo/target/release/deps/flep-5b9ad25d16253dca: crates/flep-core/src/bin/flep.rs
+
+crates/flep-core/src/bin/flep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flep_bench-16bd6f9aa2440a55.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/flep_bench-16bd6f9aa2440a55: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

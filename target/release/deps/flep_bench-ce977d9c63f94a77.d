@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flep_bench-ce977d9c63f94a77.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libflep_bench-ce977d9c63f94a77.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libflep_bench-ce977d9c63f94a77.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

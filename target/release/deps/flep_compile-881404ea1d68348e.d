@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flep_compile-881404ea1d68348e.d: crates/flep-compile/src/lib.rs crates/flep-compile/src/passes.rs crates/flep-compile/src/slicing.rs crates/flep-compile/src/tuner.rs
+
+/root/repo/target/release/deps/libflep_compile-881404ea1d68348e.rlib: crates/flep-compile/src/lib.rs crates/flep-compile/src/passes.rs crates/flep-compile/src/slicing.rs crates/flep-compile/src/tuner.rs
+
+/root/repo/target/release/deps/libflep_compile-881404ea1d68348e.rmeta: crates/flep-compile/src/lib.rs crates/flep-compile/src/passes.rs crates/flep-compile/src/slicing.rs crates/flep-compile/src/tuner.rs
+
+crates/flep-compile/src/lib.rs:
+crates/flep-compile/src/passes.rs:
+crates/flep-compile/src/slicing.rs:
+crates/flep-compile/src/tuner.rs:

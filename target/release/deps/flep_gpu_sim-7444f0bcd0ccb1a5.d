@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/flep_gpu_sim-7444f0bcd0ccb1a5.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/grid.rs crates/gpu-sim/src/memory.rs crates/gpu-sim/src/scenario.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/swap.rs
+
+/root/repo/target/release/deps/libflep_gpu_sim-7444f0bcd0ccb1a5.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/grid.rs crates/gpu-sim/src/memory.rs crates/gpu-sim/src/scenario.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/swap.rs
+
+/root/repo/target/release/deps/libflep_gpu_sim-7444f0bcd0ccb1a5.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/grid.rs crates/gpu-sim/src/memory.rs crates/gpu-sim/src/scenario.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/swap.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/grid.rs:
+crates/gpu-sim/src/memory.rs:
+crates/gpu-sim/src/scenario.rs:
+crates/gpu-sim/src/sm.rs:
+crates/gpu-sim/src/swap.rs:

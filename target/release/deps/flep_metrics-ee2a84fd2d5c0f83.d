@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/flep_metrics-ee2a84fd2d5c0f83.d: crates/metrics/src/lib.rs crates/metrics/src/stats.rs
+
+/root/repo/target/release/deps/libflep_metrics-ee2a84fd2d5c0f83.rlib: crates/metrics/src/lib.rs crates/metrics/src/stats.rs
+
+/root/repo/target/release/deps/libflep_metrics-ee2a84fd2d5c0f83.rmeta: crates/metrics/src/lib.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/flep_minicu-ced4a1f37c56c873.d: crates/minicu/src/lib.rs crates/minicu/src/ast.rs crates/minicu/src/parser.rs crates/minicu/src/resources.rs crates/minicu/src/sema.rs crates/minicu/src/token.rs crates/minicu/src/typeck.rs
+
+/root/repo/target/release/deps/libflep_minicu-ced4a1f37c56c873.rlib: crates/minicu/src/lib.rs crates/minicu/src/ast.rs crates/minicu/src/parser.rs crates/minicu/src/resources.rs crates/minicu/src/sema.rs crates/minicu/src/token.rs crates/minicu/src/typeck.rs
+
+/root/repo/target/release/deps/libflep_minicu-ced4a1f37c56c873.rmeta: crates/minicu/src/lib.rs crates/minicu/src/ast.rs crates/minicu/src/parser.rs crates/minicu/src/resources.rs crates/minicu/src/sema.rs crates/minicu/src/token.rs crates/minicu/src/typeck.rs
+
+crates/minicu/src/lib.rs:
+crates/minicu/src/ast.rs:
+crates/minicu/src/parser.rs:
+crates/minicu/src/resources.rs:
+crates/minicu/src/sema.rs:
+crates/minicu/src/token.rs:
+crates/minicu/src/typeck.rs:

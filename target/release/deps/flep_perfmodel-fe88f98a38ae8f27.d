@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flep_perfmodel-fe88f98a38ae8f27.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/linalg.rs crates/perfmodel/src/profiler.rs crates/perfmodel/src/regression.rs
+
+/root/repo/target/release/deps/libflep_perfmodel-fe88f98a38ae8f27.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/linalg.rs crates/perfmodel/src/profiler.rs crates/perfmodel/src/regression.rs
+
+/root/repo/target/release/deps/libflep_perfmodel-fe88f98a38ae8f27.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/linalg.rs crates/perfmodel/src/profiler.rs crates/perfmodel/src/regression.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/linalg.rs:
+crates/perfmodel/src/profiler.rs:
+crates/perfmodel/src/regression.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flep_runtime-9fc365a7e4029284.d: crates/flep-runtime/src/lib.rs crates/flep-runtime/src/driver.rs crates/flep-runtime/src/job.rs crates/flep-runtime/src/world.rs
+
+/root/repo/target/release/deps/libflep_runtime-9fc365a7e4029284.rlib: crates/flep-runtime/src/lib.rs crates/flep-runtime/src/driver.rs crates/flep-runtime/src/job.rs crates/flep-runtime/src/world.rs
+
+/root/repo/target/release/deps/libflep_runtime-9fc365a7e4029284.rmeta: crates/flep-runtime/src/lib.rs crates/flep-runtime/src/driver.rs crates/flep-runtime/src/job.rs crates/flep-runtime/src/world.rs
+
+crates/flep-runtime/src/lib.rs:
+crates/flep-runtime/src/driver.rs:
+crates/flep-runtime/src/job.rs:
+crates/flep-runtime/src/world.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flep_suite-f9da9384695b7042.d: src/lib.rs
+
+/root/repo/target/release/deps/libflep_suite-f9da9384695b7042.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libflep_suite-f9da9384695b7042.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flep_workloads-366b0d2ba6db1f16.d: crates/workloads/src/lib.rs crates/workloads/src/functional.rs crates/workloads/src/sources.rs crates/workloads/src/spec.rs
+
+/root/repo/target/release/deps/libflep_workloads-366b0d2ba6db1f16.rlib: crates/workloads/src/lib.rs crates/workloads/src/functional.rs crates/workloads/src/sources.rs crates/workloads/src/spec.rs
+
+/root/repo/target/release/deps/libflep_workloads-366b0d2ba6db1f16.rmeta: crates/workloads/src/lib.rs crates/workloads/src/functional.rs crates/workloads/src/sources.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/functional.rs:
+crates/workloads/src/sources.rs:
+crates/workloads/src/spec.rs:

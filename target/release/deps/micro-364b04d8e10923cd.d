@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-364b04d8e10923cd.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-364b04d8e10923cd: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sensitivity-8f938645b2d10562.d: crates/bench/src/bin/sensitivity.rs
+
+/root/repo/target/release/deps/sensitivity-8f938645b2d10562: crates/bench/src/bin/sensitivity.rs
+
+crates/bench/src/bin/sensitivity.rs:

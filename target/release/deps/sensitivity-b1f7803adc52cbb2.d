@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sensitivity-b1f7803adc52cbb2.d: crates/bench/src/bin/sensitivity.rs
+
+/root/repo/target/release/deps/sensitivity-b1f7803adc52cbb2: crates/bench/src/bin/sensitivity.rs
+
+crates/bench/src/bin/sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-7cc097cef4e20e98.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-7cc097cef4e20e98: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

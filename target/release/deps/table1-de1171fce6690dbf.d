@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-de1171fce6690dbf.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-de1171fce6690dbf: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fig07_probe-ee1dbb6996477dd6.d: examples/fig07_probe.rs
+
+/root/repo/target/release/examples/fig07_probe-ee1dbb6996477dd6: examples/fig07_probe.rs
+
+examples/fig07_probe.rs:
