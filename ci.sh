@@ -19,4 +19,12 @@ cargo test --workspace -q --offline
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 
+# Perf smoke: a handful of samples of the event-queue churn targets,
+# recorded to a JSON artifact so the hot-path perf trajectory is on file
+# for every CI run. Not a gate — timings on shared runners are noisy —
+# just a tripwire someone can diff when a simulation suddenly crawls.
+echo "==> perf smoke: event_queue_churn -> BENCH_sim_hot_path.json"
+FLEP_BENCH_SAMPLES=5 FLEP_BENCH_WARMUP=1 FLEP_BENCH_JSON=BENCH_sim_hot_path.json \
+    cargo bench -p flep-bench --offline -q -- event_queue
+
 echo "ci.sh: all checks passed"

@@ -11,12 +11,15 @@
 //! Environment knobs: `FLEP_BENCH_SAMPLES` (default 15) and
 //! `FLEP_BENCH_WARMUP` (default 3) control sample counts; a single
 //! command-line argument filters targets by substring, matching the
-//! `cargo bench <filter>` convention.
+//! `cargo bench <filter>` convention. Set `FLEP_BENCH_JSON=<path>` to
+//! also write the timings of every target that ran as a JSON artifact
+//! (used by the `ci.sh` perf-smoke stage).
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 use flep_core::prelude::*;
+use flep_sim_core::json::JsonValue;
 use flep_sim_core::{EventQueue, Scheduler, Simulation, World};
 
 /// Number of timed samples per target.
@@ -48,9 +51,22 @@ fn format_duration(d: Duration) -> String {
     }
 }
 
-/// Warms up, then times `f` for the configured number of samples and
-/// prints `name  median (min … max)`.
-fn bench<R>(filter: Option<&str>, name: &str, mut f: impl FnMut() -> R) {
+/// One target's timings, kept for the `FLEP_BENCH_JSON` artifact.
+struct BenchRecord {
+    name: String,
+    median: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+/// Warms up, then times `f` for the configured number of samples, prints
+/// `name  median (min … max)`, and records the timings in `results`.
+fn bench<R>(
+    results: &mut Vec<BenchRecord>,
+    filter: Option<&str>,
+    name: &str,
+    mut f: impl FnMut() -> R,
+) {
     if let Some(pat) = filter {
         if !name.contains(pat) {
             return;
@@ -74,6 +90,40 @@ fn bench<R>(filter: Option<&str>, name: &str, mut f: impl FnMut() -> R) {
         format_duration(times[0]),
         format_duration(times[times.len() - 1]),
     );
+    results.push(BenchRecord {
+        name: name.to_string(),
+        median,
+        min: times[0],
+        max: times[times.len() - 1],
+    });
+}
+
+/// Writes the collected timings to `FLEP_BENCH_JSON` (if set) as a
+/// self-describing document: target name plus median/min/max in
+/// nanoseconds.
+fn write_json_artifact(results: &[BenchRecord]) {
+    let Ok(path) = std::env::var("FLEP_BENCH_JSON") else {
+        return;
+    };
+    let doc = JsonValue::object([
+        ("suite", JsonValue::Str("flep-bench micro".into())),
+        ("samples", JsonValue::UInt(u64::from(samples()))),
+        (
+            "results",
+            JsonValue::array(results.iter().map(|r| {
+                JsonValue::object([
+                    ("name", JsonValue::Str(r.name.clone())),
+                    ("median_ns", JsonValue::UInt(r.median.as_nanos() as u64)),
+                    ("min_ns", JsonValue::UInt(r.min.as_nanos() as u64)),
+                    ("max_ns", JsonValue::UInt(r.max.as_nanos() as u64)),
+                ])
+            })),
+        ),
+    ]);
+    match std::fs::write(&path, doc.render() + "\n") {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("FLEP_BENCH_JSON: cannot write {path}: {e}"),
+    }
 }
 
 fn main() {
@@ -90,19 +140,88 @@ fn main() {
         "median",
         samples()
     );
+    let mut results: Vec<BenchRecord> = Vec::new();
 
     // Raw event-queue throughput: push/pop of timestamped events.
-    bench(filter, "sim_core/event_queue_push_pop_10k", || {
-        let mut q = EventQueue::new();
-        for i in 0..10_000u64 {
-            q.push(SimTime::from_ns(i * 37 % 5000), i);
+    bench(
+        &mut results,
+        filter,
+        "sim_core/event_queue_push_pop_10k",
+        || {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_ns(i * 37 % 5000), i);
+            }
+            let mut acc = 0u64;
+            while let Some(e) = q.pop() {
+                acc = acc.wrapping_add(e.payload);
+            }
+            acc
+        },
+    );
+
+    // Steady-state churn with fat (64-byte) payloads: keep ~32k events
+    // pending while popping one and pushing two/zero in alternation, the
+    // access pattern a co-run produces scaled up to a stress depth.
+    // Paired with an inline reference implementation — the
+    // `BinaryHeap<(time, seq, payload)>` the indexed queue replaced — so
+    // a single run measures the speedup from keeping payloads out of the
+    // sift path.
+    type FatPayload = [u64; 8];
+    const CHURN_PREFILL: usize = 32_768;
+    const CHURN_STEPS: usize = 20_000;
+    // Deterministic pseudo-random timestamps, precomputed so the timed
+    // region measures queue operations rather than the generator.
+    let churn_times: Vec<SimTime> = (0..(CHURN_PREFILL + CHURN_STEPS) as u64)
+        .map(|i| {
+            SimTime::from_ns(i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1) % 100_000)
+        })
+        .collect();
+    bench(&mut results, filter, "sim_core/event_queue_churn", || {
+        let mut q: EventQueue<FatPayload> = EventQueue::new();
+        let mut n = 0usize;
+        for _ in 0..CHURN_PREFILL {
+            q.push(churn_times[n], [n as u64; 8]);
+            n += 1;
         }
         let mut acc = 0u64;
-        while let Some(e) = q.pop() {
-            acc = acc.wrapping_add(e.payload);
+        for step in 0..CHURN_STEPS {
+            let e = q.pop().expect("queue stays non-empty");
+            acc = acc.wrapping_add(e.payload[0]);
+            for _ in 0..(step % 2) * 2 {
+                q.push(churn_times[n], [n as u64; 8]);
+                n += 1;
+            }
         }
+        q.clear();
         acc
     });
+    bench(
+        &mut results,
+        filter,
+        "sim_core/event_queue_churn_binheap_ref",
+        || {
+            use std::cmp::Reverse;
+            use std::collections::BinaryHeap;
+            let mut q: BinaryHeap<Reverse<(SimTime, u64, FatPayload)>> = BinaryHeap::new();
+            let mut n = 0usize;
+            for _ in 0..CHURN_PREFILL {
+                q.push(Reverse((churn_times[n], n as u64, [n as u64; 8])));
+                n += 1;
+            }
+            let mut acc = 0u64;
+            for step in 0..CHURN_STEPS {
+                let Reverse((_, _, payload)) = q.pop().expect("queue stays non-empty");
+                acc = acc.wrapping_add(payload[0]);
+                for _ in 0..(step % 2) * 2 {
+                    q.push(Reverse((churn_times[n], n as u64, [n as u64; 8])));
+                    n += 1;
+                }
+            }
+            q.clear();
+            acc
+        },
+    );
 
     // Engine dispatch throughput with a self-rescheduling world.
     struct Ticker {
@@ -117,38 +236,56 @@ fn main() {
             }
         }
     }
-    bench(filter, "sim_core/engine_100k_chained_events", || {
-        let mut sim = Simulation::new(Ticker { remaining: 100_000 });
-        sim.schedule_at(SimTime::ZERO, ());
-        sim.run();
-        sim.dispatched()
-    });
+    bench(
+        &mut results,
+        filter,
+        "sim_core/engine_100k_chained_events",
+        || {
+            let mut sim = Simulation::new(Ticker { remaining: 100_000 });
+            sim.schedule_at(SimTime::ZERO, ());
+            sim.run();
+            sim.dispatched()
+        },
+    );
 
     // A standalone original-kernel run through the full device model.
     let spmv = Benchmark::get(BenchmarkId::Spmv);
-    bench(filter, "gpu_sim/spmv_large_standalone_original", || {
-        flep_gpu_sim::run_single(GpuConfig::k40(), spmv.original_desc(InputClass::Large))
-    });
+    bench(
+        &mut results,
+        filter,
+        "gpu_sim/spmv_large_standalone_original",
+        || flep_gpu_sim::run_single(GpuConfig::k40(), spmv.original_desc(InputClass::Large)),
+    );
 
     // A standalone persistent-kernel run (the FLEP form).
-    bench(filter, "gpu_sim/spmv_large_standalone_persistent", || {
-        flep_gpu_sim::run_single(
-            GpuConfig::k40(),
-            spmv.persistent_desc(InputClass::Large, spmv.table1_amortize),
-        )
-    });
+    bench(
+        &mut results,
+        filter,
+        "gpu_sim/spmv_large_standalone_persistent",
+        || {
+            flep_gpu_sim::run_single(
+                GpuConfig::k40(),
+                spmv.persistent_desc(InputClass::Large, spmv.table1_amortize),
+            )
+        },
+    );
 
     // The compilation engine end to end on the largest kernel.
     let src = flep_workloads::source(BenchmarkId::Cfd);
-    bench(filter, "compile/cfd_parse_analyze_transform", || {
-        let program = parse(src).unwrap();
-        analyze(&program).unwrap();
-        transform(&program, TransformMode::Spatial).unwrap()
-    });
+    bench(
+        &mut results,
+        filter,
+        "compile/cfd_parse_analyze_transform",
+        || {
+            let program = parse(src).unwrap();
+            analyze(&program).unwrap();
+            transform(&program, TransformMode::Spatial).unwrap()
+        },
+    );
 
     // Ridge model training (8 kernels x 100 samples).
     let mut seed = 0u64;
-    bench(filter, "perfmodel/train_all_models", || {
+    bench(&mut results, filter, "perfmodel/train_all_models", || {
         seed += 1;
         ModelStore::train(seed)
     });
@@ -156,16 +293,26 @@ fn main() {
     // A full HPF priority co-run (the Fig. 8 unit of work).
     let lo = KernelProfile::of(&Benchmark::get(BenchmarkId::Pf), InputClass::Large);
     let hi = KernelProfile::of(&Benchmark::get(BenchmarkId::Mm), InputClass::Small);
-    bench(filter, "runtime/hpf_priority_corun_pf_mm", || {
-        CoRun::new(GpuConfig::k40(), Policy::hpf())
-            .job(JobSpec::new(lo.clone(), SimTime::ZERO).with_priority(1))
-            .job(JobSpec::new(hi.clone(), SimTime::from_us(10)).with_priority(2))
-            .run()
-    });
+    bench(
+        &mut results,
+        filter,
+        "runtime/hpf_priority_corun_pf_mm",
+        || {
+            CoRun::new(GpuConfig::k40(), Policy::hpf())
+                .job(JobSpec::new(lo.clone(), SimTime::ZERO).with_priority(1))
+                .job(JobSpec::new(hi.clone(), SimTime::from_us(10)).with_priority(2))
+                .run()
+        },
+    );
 
     // The offline tuner for one benchmark (several profiling runs).
     let mm = Benchmark::get(BenchmarkId::Mm);
-    bench(filter, "compile/tune_amortizing_factor_mm", || {
-        tune(&GpuConfig::k40(), &mm)
-    });
+    bench(
+        &mut results,
+        filter,
+        "compile/tune_amortizing_factor_mm",
+        || tune(&GpuConfig::k40(), &mm),
+    );
+
+    write_json_artifact(&results);
 }

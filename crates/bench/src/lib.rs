@@ -3,8 +3,9 @@
 //! from environment variables.
 //!
 //! Each binary under `src/bin/` regenerates one table or figure of the
-//! paper. Set `FLEP_SEED` / `FLEP_REPEATS` to override the defaults, and
-//! `FLEP_JSON` to also emit the structured rows as JSON (see
+//! paper. Set `FLEP_SEED` / `FLEP_REPEATS` to override the defaults,
+//! `FLEP_THREADS` to control the experiment runner's worker-thread count,
+//! and `FLEP_JSON` to also emit the structured rows as JSON (see
 //! [`emit_json`]).
 
 #![forbid(unsafe_code)]
@@ -13,18 +14,43 @@
 use flep_core::prelude::ExpConfig;
 use flep_sim_core::json::ToJson;
 
+/// Parses environment variable `name` as an unsigned integer, warning on
+/// stderr — naming the variable and the offending value — when it is set
+/// but not parsable, instead of silently falling back to the default.
+fn env_uint<T: std::str::FromStr + std::fmt::Display + Copy>(name: &str, default: T) -> T {
+    match std::env::var(name) {
+        Ok(v) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!(
+                    "{name}: invalid value {v:?} (want an unsigned integer); using {default}"
+                );
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
 /// Reads the experiment configuration from `FLEP_SEED` / `FLEP_REPEATS`
-/// (defaults: 42 / 3).
+/// (defaults: 42 / 3). Unparsable values are reported on stderr and
+/// replaced by the default. `FLEP_REPEATS=0` is also rejected — every
+/// figure needs at least one repeat.
+///
+/// The runner's `FLEP_THREADS` is validated eagerly here too (by asking
+/// the runner for its configured count), so a typo like `FLEP_THREADS=all`
+/// warns once up front rather than mid-experiment.
 #[must_use]
 pub fn exp_config() -> ExpConfig {
-    let seed = std::env::var("FLEP_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(42);
-    let repeats = std::env::var("FLEP_REPEATS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(3);
+    let seed = env_uint("FLEP_SEED", 42u64);
+    let repeats = match env_uint("FLEP_REPEATS", 3u32) {
+        0 => {
+            eprintln!("FLEP_REPEATS: invalid value 0 (want >= 1); using 3");
+            3
+        }
+        n => n,
+    };
+    let _ = flep_core::runner::configured_threads();
     ExpConfig { seed, repeats }
 }
 

@@ -46,6 +46,7 @@
 
 pub mod experiments;
 mod models;
+pub mod runner;
 mod timeline;
 
 pub use models::{ModelStore, DEFAULT_LAMBDA, TRAINING_SAMPLES};
@@ -67,5 +68,5 @@ pub mod prelude {
     pub use flep_workloads::{Benchmark, BenchmarkId, InputClass};
 
     pub use crate::experiments::{self, ExpConfig};
-    pub use crate::{render_timeline, ModelStore};
+    pub use crate::{render_timeline, runner, ModelStore};
 }

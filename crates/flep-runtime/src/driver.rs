@@ -1,7 +1,13 @@
 //! The experiment driver: describe a co-run, execute it, read results.
 
 use flep_gpu_sim::{GpuConfig, GpuDevice, SwapManager, SwapStats};
-use flep_sim_core::{SimTime, Simulation, Span};
+use flep_sim_core::{RunOutcome, SimTime, Simulation, Span};
+
+/// Default event budget for a co-run: far above any legitimate experiment
+/// (the heaviest FFS horizon runs dispatch a few million events), so the
+/// only way to hit it is a genuine event feedback loop — which then aborts
+/// with diagnostics instead of hanging the harness.
+pub const DEFAULT_EVENT_BUDGET: u64 = 1_000_000_000;
 
 use crate::job::{JobRecord, JobSpec};
 use crate::world::{Policy, SystemEvent, SystemWorld};
@@ -79,7 +85,9 @@ impl CoRun {
     /// # Panics
     ///
     /// Panics if a kernel is rejected by the device (unlaunchable CTA
-    /// shapes) — co-run specs are expected to be valid.
+    /// shapes) — co-run specs are expected to be valid — or if the run
+    /// exceeds [`DEFAULT_EVENT_BUDGET`] dispatched events, which indicates
+    /// a runaway event feedback loop rather than a legitimate workload.
     #[must_use]
     pub fn run(self) -> CoRunResult {
         let arrivals: Vec<SimTime> = self.jobs.iter().map(|j| j.arrival).collect();
@@ -96,7 +104,18 @@ impl CoRun {
         for (idx, at) in arrivals.into_iter().enumerate() {
             sim.schedule_at(at, SystemEvent::Arrival(idx));
         }
-        let end_time = sim.run();
+        let end_time = match sim.run_with_budget(DEFAULT_EVENT_BUDGET) {
+            RunOutcome::Completed(t) => t,
+            RunOutcome::BudgetExhausted {
+                now,
+                dispatched,
+                pending,
+            } => panic!(
+                "co-run exceeded the {DEFAULT_EVENT_BUDGET}-event budget — runaway event \
+                 feedback loop? (virtual time {now}, {dispatched} events dispatched, \
+                 {pending} pending)"
+            ),
+        };
         let swap_stats = sim.world().swap_stats();
         let (jobs, busy_spans) = sim.into_world().into_records();
         CoRunResult {

@@ -26,6 +26,6 @@ mod driver;
 mod job;
 mod world;
 
-pub use driver::{CoRun, CoRunResult};
+pub use driver::{CoRun, CoRunResult, DEFAULT_EVENT_BUDGET};
 pub use job::{JobRecord, JobSpec, KernelProfile, RepeatMode};
 pub use world::{Policy, SystemEvent, SystemWorld};

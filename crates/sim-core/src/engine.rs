@@ -73,6 +73,23 @@ pub enum StepOutcome {
     Stopped,
 }
 
+/// How a budgeted run (see [`Simulation::run_with_budget`]) ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The queue drained or the world stopped; the final virtual time.
+    Completed(SimTime),
+    /// The event budget ran out first — almost certainly a runaway event
+    /// feedback loop. The fields are the abort-point diagnostics.
+    BudgetExhausted {
+        /// Virtual time when the budget ran out.
+        now: SimTime,
+        /// Events dispatched over the simulation's lifetime.
+        dispatched: u64,
+        /// Events still pending in the queue.
+        pending: usize,
+    },
+}
+
 /// A discrete-event simulation: a clock, a queue, and a [`World`].
 ///
 /// # Example
@@ -180,6 +197,35 @@ impl<W: World> Simulation<W> {
             match self.step() {
                 StepOutcome::Dispatched => {}
                 StepOutcome::Idle | StepOutcome::Stopped => return self.now,
+            }
+        }
+    }
+
+    /// Runs until the queue drains, the world stops, or `max_events` have
+    /// been dispatched *by this call* — whichever comes first.
+    ///
+    /// Worlds that reschedule themselves unconditionally (a buggy policy
+    /// ping-ponging preemptions, a looping job whose horizon never
+    /// triggers) would make [`Simulation::run`] spin forever; the budget
+    /// turns that hang into a diagnosable [`RunOutcome::BudgetExhausted`]
+    /// carrying the virtual time, total dispatch count, and pending-event
+    /// count at the point of abort.
+    pub fn run_with_budget(&mut self, max_events: u64) -> RunOutcome {
+        let mut spent: u64 = 0;
+        loop {
+            // Only an *exhausted budget with work still pending* is a
+            // runaway; a run that spends exactly its budget and drains is
+            // reported as completed.
+            if spent >= max_events && !self.queue.is_empty() {
+                return RunOutcome::BudgetExhausted {
+                    now: self.now,
+                    dispatched: self.dispatched,
+                    pending: self.queue.len(),
+                };
+            }
+            match self.step() {
+                StepOutcome::Dispatched => spent += 1,
+                StepOutcome::Idle | StepOutcome::Stopped => return RunOutcome::Completed(self.now),
             }
         }
     }
@@ -295,5 +341,61 @@ mod tests {
     fn idle_step_reports_idle() {
         let mut sim = Simulation::new(recorder());
         assert_eq!(sim.step(), StepOutcome::Idle);
+    }
+
+    /// A world that reschedules itself forever: the budget must catch it.
+    struct Runaway;
+    impl World for Runaway {
+        type Event = ();
+        fn handle(&mut self, _now: SimTime, _ev: (), sched: &mut Scheduler<'_, ()>) {
+            sched.schedule_in(SimTime::from_ns(1), ());
+            sched.schedule_in(SimTime::from_ns(2), ());
+        }
+    }
+
+    #[test]
+    fn budget_aborts_runaway_feedback_loop() {
+        let mut sim = Simulation::new(Runaway);
+        sim.schedule_at(SimTime::ZERO, ());
+        match sim.run_with_budget(1_000) {
+            RunOutcome::BudgetExhausted {
+                now,
+                dispatched,
+                pending,
+            } => {
+                assert_eq!(dispatched, 1_000);
+                assert!(now > SimTime::ZERO);
+                // Each event schedules two more: the queue keeps growing.
+                assert!(pending > 1_000, "pending {pending}");
+            }
+            RunOutcome::Completed(_) => panic!("runaway loop must exhaust the budget"),
+        }
+    }
+
+    #[test]
+    fn budget_completion_matches_plain_run() {
+        let mut sim = Simulation::new(recorder());
+        sim.schedule_at(SimTime::ZERO, Ev::Chain);
+        assert_eq!(
+            sim.run_with_budget(1_000_000),
+            RunOutcome::Completed(SimTime::from_us(4))
+        );
+        assert_eq!(sim.dispatched(), 5);
+    }
+
+    #[test]
+    fn budget_counts_only_this_call() {
+        let mut sim = Simulation::new(recorder());
+        for i in 0..4u64 {
+            sim.schedule_at(SimTime::from_us(i), Ev::Mark(i as u32));
+        }
+        // First call spends its whole budget of 2...
+        assert!(matches!(
+            sim.run_with_budget(2),
+            RunOutcome::BudgetExhausted { pending: 2, .. }
+        ));
+        // ...and a fresh call gets a fresh budget for the rest.
+        assert!(matches!(sim.run_with_budget(2), RunOutcome::Completed(_)));
+        assert_eq!(sim.world().seen.len(), 4);
     }
 }

@@ -12,9 +12,11 @@
 //! * [`SimTime`] is a nanosecond-resolution virtual clock value. All paper
 //!   numbers are reported in microseconds; the [`SimTime::as_us`] accessor
 //!   converts for reporting.
-//! * [`EventQueue`] is a binary heap with a monotonically increasing
-//!   sequence number as the tie-breaker, which makes simulations fully
-//!   deterministic even when many events share a timestamp.
+//! * [`EventQueue`] is an indexed 4-ary heap — small `(time, seq, slot)`
+//!   keys in the heap array, payloads parked in a [`Slab`] — with a
+//!   monotonically increasing sequence number as the tie-breaker, which
+//!   makes simulations fully deterministic even when many events share a
+//!   timestamp.
 //! * [`Simulation`] drives a user-supplied [`World`]: each popped event is
 //!   handed to the world together with a [`Scheduler`] handle with which the
 //!   world may schedule follow-up events.
@@ -63,11 +65,13 @@ mod engine;
 mod event;
 pub mod json;
 mod rng;
+mod slab;
 mod time;
 mod trace;
 
-pub use engine::{Scheduler, Simulation, StepOutcome, World};
+pub use engine::{RunOutcome, Scheduler, Simulation, StepOutcome, World};
 pub use event::{EventEntry, EventQueue};
 pub use rng::SimRng;
+pub use slab::Slab;
 pub use time::SimTime;
 pub use trace::{Span, SpanSet, TraceEvent, TraceLog};

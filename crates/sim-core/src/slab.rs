@@ -1,0 +1,194 @@
+//! A slab allocator for event payloads.
+//!
+//! The indexed event queue (see [`crate::EventQueue`]) keeps only small
+//! `(time, seq, slot)` keys in its heap array; the payloads themselves are
+//! parked here and addressed by slot. A free-list threaded through the
+//! vacant entries makes insert/remove O(1) with no per-event allocation
+//! once the slab has grown to the queue's high-water mark.
+
+/// A slot entry: either a parked payload or a link in the free list.
+#[derive(Debug, Clone)]
+enum Entry<T> {
+    /// A live payload.
+    Occupied(T),
+    /// A vacant slot; holds the index of the next free slot (`u32::MAX`
+    /// terminates the list).
+    Vacant(u32),
+}
+
+/// Sentinel terminating the free list.
+const NIL: u32 = u32::MAX;
+
+/// A fixed-key slab: `insert` returns a `u32` slot that stays valid until
+/// `remove`. Slots are recycled in LIFO order, so a steady-state
+/// push/pop workload touches the same few cache lines over and over.
+///
+/// # Example
+///
+/// ```
+/// use flep_sim_core::Slab;
+/// let mut slab = Slab::new();
+/// let a = slab.insert("first");
+/// let b = slab.insert("second");
+/// assert_eq!(slab.remove(a), "first");
+/// // Slot `a` is recycled by the next insert.
+/// assert_eq!(slab.insert("third"), a);
+/// assert_eq!(slab.remove(b), "second");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    /// Head of the free list, or [`NIL`].
+    free_head: u32,
+    /// Number of occupied slots.
+    len: usize,
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    #[must_use]
+    pub fn new() -> Self {
+        Slab {
+            entries: Vec::new(),
+            free_head: NIL,
+            len: 0,
+        }
+    }
+
+    /// Creates an empty slab with room for `capacity` payloads before
+    /// reallocating.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Slab {
+            entries: Vec::with_capacity(capacity),
+            free_head: NIL,
+            len: 0,
+        }
+    }
+
+    /// Parks `value` and returns its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slab would exceed `u32::MAX - 1` slots (the event
+    /// queue never holds that many pending events).
+    pub fn insert(&mut self, value: T) -> u32 {
+        self.len += 1;
+        if self.free_head != NIL {
+            let slot = self.free_head;
+            match self.entries[slot as usize] {
+                Entry::Vacant(next) => self.free_head = next,
+                Entry::Occupied(_) => unreachable!("free list points at an occupied slot"),
+            }
+            self.entries[slot as usize] = Entry::Occupied(value);
+            slot
+        } else {
+            let slot = u32::try_from(self.entries.len()).expect("slab overflow");
+            assert!(slot != NIL, "slab overflow");
+            self.entries.push(Entry::Occupied(value));
+            slot
+        }
+    }
+
+    /// Removes and returns the payload parked at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is vacant or out of bounds — slots come only from
+    /// [`Slab::insert`], so this indicates queue corruption.
+    pub fn remove(&mut self, slot: u32) -> T {
+        let entry = std::mem::replace(
+            &mut self.entries[slot as usize],
+            Entry::Vacant(self.free_head),
+        );
+        match entry {
+            Entry::Occupied(value) => {
+                self.free_head = slot;
+                self.len -= 1;
+                value
+            }
+            Entry::Vacant(next) => {
+                // Undo the replacement so the free list stays intact, then
+                // report the misuse.
+                self.entries[slot as usize] = Entry::Vacant(next);
+                panic!("slab: remove of vacant slot {slot}");
+            }
+        }
+    }
+
+    /// Number of occupied slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no slots are occupied.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops every payload and resets the free list; capacity is kept.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.free_head = NIL;
+        self.len = 0;
+    }
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut slab = Slab::new();
+        let a = slab.insert(10);
+        let b = slab.insert(20);
+        let c = slab.insert(30);
+        assert_eq!(slab.len(), 3);
+        assert_eq!(slab.remove(b), 20);
+        assert_eq!(slab.remove(a), 10);
+        assert_eq!(slab.remove(c), 30);
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn slots_are_recycled_lifo() {
+        let mut slab = Slab::new();
+        let a = slab.insert('a');
+        let b = slab.insert('b');
+        slab.remove(a);
+        slab.remove(b);
+        // LIFO: the most recently freed slot is reused first.
+        assert_eq!(slab.insert('c'), b);
+        assert_eq!(slab.insert('d'), a);
+        // No growth beyond the high-water mark.
+        assert_eq!(slab.entries.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "remove of vacant slot")]
+    fn double_remove_panics() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        slab.remove(a);
+        slab.remove(a);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut slab = Slab::with_capacity(4);
+        slab.insert(1);
+        slab.insert(2);
+        slab.clear();
+        assert!(slab.is_empty());
+        assert_eq!(slab.insert(3), 0);
+    }
+}

@@ -70,6 +70,71 @@ fn event_queue_is_fifo_within_a_timestamp() {
     );
 }
 
+/// The indexed 4-ary queue is observationally identical to a reference
+/// `BinaryHeap` model under arbitrary push/pop/clear interleavings: same
+/// lengths after every operation, same `(time, payload)` stream out.
+#[test]
+fn event_queue_matches_binary_heap_model() {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    check(
+        "event_queue_matches_binary_heap_model",
+        CheckConfig::default(),
+        |rng: &mut SimRng| {
+            let n = rng.uniform_u64(1, 79) as usize;
+            (0..n)
+                .map(|_| (rng.uniform_u64(0, 99), rng.uniform_u64(0, 499)))
+                .collect::<Vec<(u64, u64)>>()
+        },
+        |ops| {
+            let mut q = EventQueue::new();
+            // Model: a plain max-heap of `Reverse<(time, seq)>` with its
+            // own monotonic sequence counter — exactly the seed
+            // implementation this queue replaced.
+            let mut model: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+            let mut next_seq = 0u64;
+            let mut next_payload = 0u64;
+            let pop_both = |q: &mut EventQueue<u64>,
+                            model: &mut BinaryHeap<Reverse<(u64, u64, u64)>>|
+             -> Result<(), flep_sim_core::check::Falsified> {
+                let got = q.pop().map(|e| (e.time.as_ns(), e.payload));
+                let want = model.pop().map(|Reverse((t, _, p))| (t, p));
+                require_eq!(got, want, "pop mismatch");
+                Ok(())
+            };
+            for &(op, arg) in ops {
+                match op % 10 {
+                    // Weighted: pushes dominate so the structures grow
+                    // deep enough to exercise multi-level sifts.
+                    0..=5 => {
+                        let t = arg;
+                        q.push(SimTime::from_ns(t), next_payload);
+                        model.push(Reverse((t, next_seq, next_payload)));
+                        next_seq += 1;
+                        next_payload += 1;
+                    }
+                    6..=8 => pop_both(&mut q, &mut model)?,
+                    _ => {
+                        q.clear();
+                        model.clear();
+                    }
+                }
+                require_eq!(q.len(), model.len(), "length diverged");
+                require_eq!(
+                    q.peek_time().map(|t| t.as_ns()),
+                    model.peek().map(|Reverse((t, _, _))| *t),
+                    "peek diverged"
+                );
+            }
+            while !model.is_empty() || !q.is_empty() {
+                pop_both(&mut q, &mut model)?;
+            }
+            Ok(())
+        },
+    );
+}
+
 /// SimTime saturating subtraction never underflows and addition is
 /// commutative/associative on safe ranges.
 #[test]

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/flep_core-725448992f1e66e1.d: crates/flep-core/src/lib.rs crates/flep-core/src/experiments.rs crates/flep-core/src/models.rs crates/flep-core/src/timeline.rs
+/root/repo/target/debug/deps/flep_core-725448992f1e66e1.d: crates/flep-core/src/lib.rs crates/flep-core/src/experiments.rs crates/flep-core/src/models.rs crates/flep-core/src/runner.rs crates/flep-core/src/timeline.rs
 
-/root/repo/target/debug/deps/flep_core-725448992f1e66e1: crates/flep-core/src/lib.rs crates/flep-core/src/experiments.rs crates/flep-core/src/models.rs crates/flep-core/src/timeline.rs
+/root/repo/target/debug/deps/flep_core-725448992f1e66e1: crates/flep-core/src/lib.rs crates/flep-core/src/experiments.rs crates/flep-core/src/models.rs crates/flep-core/src/runner.rs crates/flep-core/src/timeline.rs
 
 crates/flep-core/src/lib.rs:
 crates/flep-core/src/experiments.rs:
 crates/flep-core/src/models.rs:
+crates/flep-core/src/runner.rs:
 crates/flep-core/src/timeline.rs:

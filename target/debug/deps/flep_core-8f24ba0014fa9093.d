@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/flep_core-8f24ba0014fa9093.d: crates/flep-core/src/lib.rs crates/flep-core/src/experiments.rs crates/flep-core/src/models.rs crates/flep-core/src/timeline.rs
+/root/repo/target/debug/deps/flep_core-8f24ba0014fa9093.d: crates/flep-core/src/lib.rs crates/flep-core/src/experiments.rs crates/flep-core/src/models.rs crates/flep-core/src/runner.rs crates/flep-core/src/timeline.rs
 
-/root/repo/target/debug/deps/libflep_core-8f24ba0014fa9093.rlib: crates/flep-core/src/lib.rs crates/flep-core/src/experiments.rs crates/flep-core/src/models.rs crates/flep-core/src/timeline.rs
+/root/repo/target/debug/deps/libflep_core-8f24ba0014fa9093.rlib: crates/flep-core/src/lib.rs crates/flep-core/src/experiments.rs crates/flep-core/src/models.rs crates/flep-core/src/runner.rs crates/flep-core/src/timeline.rs
 
-/root/repo/target/debug/deps/libflep_core-8f24ba0014fa9093.rmeta: crates/flep-core/src/lib.rs crates/flep-core/src/experiments.rs crates/flep-core/src/models.rs crates/flep-core/src/timeline.rs
+/root/repo/target/debug/deps/libflep_core-8f24ba0014fa9093.rmeta: crates/flep-core/src/lib.rs crates/flep-core/src/experiments.rs crates/flep-core/src/models.rs crates/flep-core/src/runner.rs crates/flep-core/src/timeline.rs
 
 crates/flep-core/src/lib.rs:
 crates/flep-core/src/experiments.rs:
 crates/flep-core/src/models.rs:
+crates/flep-core/src/runner.rs:
 crates/flep-core/src/timeline.rs:

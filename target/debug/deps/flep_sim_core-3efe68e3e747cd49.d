@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/flep_sim_core-3efe68e3e747cd49.d: crates/sim-core/src/lib.rs crates/sim-core/src/check.rs crates/sim-core/src/engine.rs crates/sim-core/src/event.rs crates/sim-core/src/json.rs crates/sim-core/src/rng.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs
+/root/repo/target/debug/deps/flep_sim_core-3efe68e3e747cd49.d: crates/sim-core/src/lib.rs crates/sim-core/src/check.rs crates/sim-core/src/engine.rs crates/sim-core/src/event.rs crates/sim-core/src/json.rs crates/sim-core/src/rng.rs crates/sim-core/src/slab.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs
 
-/root/repo/target/debug/deps/flep_sim_core-3efe68e3e747cd49: crates/sim-core/src/lib.rs crates/sim-core/src/check.rs crates/sim-core/src/engine.rs crates/sim-core/src/event.rs crates/sim-core/src/json.rs crates/sim-core/src/rng.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs
+/root/repo/target/debug/deps/flep_sim_core-3efe68e3e747cd49: crates/sim-core/src/lib.rs crates/sim-core/src/check.rs crates/sim-core/src/engine.rs crates/sim-core/src/event.rs crates/sim-core/src/json.rs crates/sim-core/src/rng.rs crates/sim-core/src/slab.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs
 
 crates/sim-core/src/lib.rs:
 crates/sim-core/src/check.rs:
@@ -8,5 +8,6 @@ crates/sim-core/src/engine.rs:
 crates/sim-core/src/event.rs:
 crates/sim-core/src/json.rs:
 crates/sim-core/src/rng.rs:
+crates/sim-core/src/slab.rs:
 crates/sim-core/src/time.rs:
 crates/sim-core/src/trace.rs:

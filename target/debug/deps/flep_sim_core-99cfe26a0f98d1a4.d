@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/flep_sim_core-99cfe26a0f98d1a4.d: crates/sim-core/src/lib.rs crates/sim-core/src/check.rs crates/sim-core/src/engine.rs crates/sim-core/src/event.rs crates/sim-core/src/json.rs crates/sim-core/src/rng.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs
+/root/repo/target/debug/deps/flep_sim_core-99cfe26a0f98d1a4.d: crates/sim-core/src/lib.rs crates/sim-core/src/check.rs crates/sim-core/src/engine.rs crates/sim-core/src/event.rs crates/sim-core/src/json.rs crates/sim-core/src/rng.rs crates/sim-core/src/slab.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs
 
-/root/repo/target/debug/deps/libflep_sim_core-99cfe26a0f98d1a4.rlib: crates/sim-core/src/lib.rs crates/sim-core/src/check.rs crates/sim-core/src/engine.rs crates/sim-core/src/event.rs crates/sim-core/src/json.rs crates/sim-core/src/rng.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs
+/root/repo/target/debug/deps/libflep_sim_core-99cfe26a0f98d1a4.rlib: crates/sim-core/src/lib.rs crates/sim-core/src/check.rs crates/sim-core/src/engine.rs crates/sim-core/src/event.rs crates/sim-core/src/json.rs crates/sim-core/src/rng.rs crates/sim-core/src/slab.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs
 
-/root/repo/target/debug/deps/libflep_sim_core-99cfe26a0f98d1a4.rmeta: crates/sim-core/src/lib.rs crates/sim-core/src/check.rs crates/sim-core/src/engine.rs crates/sim-core/src/event.rs crates/sim-core/src/json.rs crates/sim-core/src/rng.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs
+/root/repo/target/debug/deps/libflep_sim_core-99cfe26a0f98d1a4.rmeta: crates/sim-core/src/lib.rs crates/sim-core/src/check.rs crates/sim-core/src/engine.rs crates/sim-core/src/event.rs crates/sim-core/src/json.rs crates/sim-core/src/rng.rs crates/sim-core/src/slab.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs
 
 crates/sim-core/src/lib.rs:
 crates/sim-core/src/check.rs:
@@ -10,5 +10,6 @@ crates/sim-core/src/engine.rs:
 crates/sim-core/src/event.rs:
 crates/sim-core/src/json.rs:
 crates/sim-core/src/rng.rs:
+crates/sim-core/src/slab.rs:
 crates/sim-core/src/time.rs:
 crates/sim-core/src/trace.rs:

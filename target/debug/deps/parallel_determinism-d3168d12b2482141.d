@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-d3168d12b2482141.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-d3168d12b2482141: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

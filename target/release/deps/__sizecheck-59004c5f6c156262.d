@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/__sizecheck-59004c5f6c156262.d: crates/bench/src/bin/__sizecheck.rs
+
+/root/repo/target/release/deps/__sizecheck-59004c5f6c156262: crates/bench/src/bin/__sizecheck.rs
+
+crates/bench/src/bin/__sizecheck.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/flep_core-6cc0f9e98207f337.d: crates/flep-core/src/lib.rs crates/flep-core/src/experiments.rs crates/flep-core/src/models.rs crates/flep-core/src/timeline.rs
+/root/repo/target/release/deps/flep_core-6cc0f9e98207f337.d: crates/flep-core/src/lib.rs crates/flep-core/src/experiments.rs crates/flep-core/src/models.rs crates/flep-core/src/runner.rs crates/flep-core/src/timeline.rs
 
-/root/repo/target/release/deps/libflep_core-6cc0f9e98207f337.rlib: crates/flep-core/src/lib.rs crates/flep-core/src/experiments.rs crates/flep-core/src/models.rs crates/flep-core/src/timeline.rs
+/root/repo/target/release/deps/libflep_core-6cc0f9e98207f337.rlib: crates/flep-core/src/lib.rs crates/flep-core/src/experiments.rs crates/flep-core/src/models.rs crates/flep-core/src/runner.rs crates/flep-core/src/timeline.rs
 
-/root/repo/target/release/deps/libflep_core-6cc0f9e98207f337.rmeta: crates/flep-core/src/lib.rs crates/flep-core/src/experiments.rs crates/flep-core/src/models.rs crates/flep-core/src/timeline.rs
+/root/repo/target/release/deps/libflep_core-6cc0f9e98207f337.rmeta: crates/flep-core/src/lib.rs crates/flep-core/src/experiments.rs crates/flep-core/src/models.rs crates/flep-core/src/runner.rs crates/flep-core/src/timeline.rs
 
 crates/flep-core/src/lib.rs:
 crates/flep-core/src/experiments.rs:
 crates/flep-core/src/models.rs:
+crates/flep-core/src/runner.rs:
 crates/flep-core/src/timeline.rs:

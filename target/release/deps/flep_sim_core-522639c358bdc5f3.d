@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/flep_sim_core-522639c358bdc5f3.d: crates/sim-core/src/lib.rs crates/sim-core/src/check.rs crates/sim-core/src/engine.rs crates/sim-core/src/event.rs crates/sim-core/src/json.rs crates/sim-core/src/rng.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs
+/root/repo/target/release/deps/flep_sim_core-522639c358bdc5f3.d: crates/sim-core/src/lib.rs crates/sim-core/src/check.rs crates/sim-core/src/engine.rs crates/sim-core/src/event.rs crates/sim-core/src/json.rs crates/sim-core/src/rng.rs crates/sim-core/src/slab.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs
 
-/root/repo/target/release/deps/libflep_sim_core-522639c358bdc5f3.rlib: crates/sim-core/src/lib.rs crates/sim-core/src/check.rs crates/sim-core/src/engine.rs crates/sim-core/src/event.rs crates/sim-core/src/json.rs crates/sim-core/src/rng.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs
+/root/repo/target/release/deps/libflep_sim_core-522639c358bdc5f3.rlib: crates/sim-core/src/lib.rs crates/sim-core/src/check.rs crates/sim-core/src/engine.rs crates/sim-core/src/event.rs crates/sim-core/src/json.rs crates/sim-core/src/rng.rs crates/sim-core/src/slab.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs
 
-/root/repo/target/release/deps/libflep_sim_core-522639c358bdc5f3.rmeta: crates/sim-core/src/lib.rs crates/sim-core/src/check.rs crates/sim-core/src/engine.rs crates/sim-core/src/event.rs crates/sim-core/src/json.rs crates/sim-core/src/rng.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs
+/root/repo/target/release/deps/libflep_sim_core-522639c358bdc5f3.rmeta: crates/sim-core/src/lib.rs crates/sim-core/src/check.rs crates/sim-core/src/engine.rs crates/sim-core/src/event.rs crates/sim-core/src/json.rs crates/sim-core/src/rng.rs crates/sim-core/src/slab.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs
 
 crates/sim-core/src/lib.rs:
 crates/sim-core/src/check.rs:
@@ -10,5 +10,6 @@ crates/sim-core/src/engine.rs:
 crates/sim-core/src/event.rs:
 crates/sim-core/src/json.rs:
 crates/sim-core/src/rng.rs:
+crates/sim-core/src/slab.rs:
 crates/sim-core/src/time.rs:
 crates/sim-core/src/trace.rs:
