@@ -27,4 +27,12 @@ echo "==> perf smoke: event_queue_churn -> BENCH_sim_hot_path.json"
 FLEP_BENCH_SAMPLES=5 FLEP_BENCH_WARMUP=1 FLEP_BENCH_JSON=BENCH_sim_hot_path.json \
     cargo bench -p flep-bench --offline -q -- event_queue
 
+# Perf smoke for the simulator world hot path: end-to-end co-runs that
+# exercise the dense grid table, the incremental contention counters, and
+# the SM-placement index (DESIGN.md §8). Same contract as above: an
+# artifact, not a gate.
+echo "==> perf smoke: sim_corun -> BENCH_sim_corun.json"
+FLEP_BENCH_SAMPLES=3 FLEP_BENCH_WARMUP=1 FLEP_BENCH_JSON=BENCH_sim_corun.json \
+    cargo bench -p flep-bench --offline -q -- sim_corun
+
 echo "ci.sh: all checks passed"

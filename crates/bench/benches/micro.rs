@@ -314,5 +314,65 @@ fn main() {
         || tune(&GpuConfig::k40(), &mm),
     );
 
+    // Full co-run macro-benchmarks ("sim_corun"): once the event queue is
+    // cheap, the world-side hot path — grid-table lookups, contention
+    // accounting, SM placement — dominates these. CI records them as
+    // BENCH_sim_corun.json so the perf trajectory has a world-side
+    // datapoint alongside event_queue_churn.
+    let victim = KernelProfile::of(&Benchmark::get(BenchmarkId::Spmv), InputClass::Large);
+    let burst = KernelProfile::of(&Benchmark::get(BenchmarkId::Mm), InputClass::Small);
+    bench(
+        &mut results,
+        filter,
+        "runtime/sim_corun_hpf_spatial_bursts",
+        || {
+            // A noisy looping victim under periodic high-priority bursts:
+            // every burst triggers a spatial preemption and a later
+            // restore, exercising signal flips, batch claims, and CTA
+            // placement at full device occupancy.
+            let mut corun = CoRun::new(GpuConfig::k40(), Policy::hpf_spatial())
+                .job(
+                    JobSpec::new(victim.clone(), SimTime::ZERO)
+                        .with_priority(1)
+                        .with_seed(11)
+                        .looping(),
+                )
+                .horizon(SimTime::from_ms(25));
+            for k in 0..6u64 {
+                corun = corun.job(
+                    JobSpec::new(burst.clone(), SimTime::from_ms(3) + SimTime::from_ms(4) * k)
+                        .with_priority(2)
+                        .with_seed(100 + k),
+                );
+            }
+            corun.run()
+        },
+    );
+    bench(
+        &mut results,
+        filter,
+        "runtime/sim_corun_ffs_2to1_share",
+        || {
+            // One Fig. 13 cell at a reduced horizon: two looping persistent
+            // kernels time-sliced 2:1 by FFS — the epoch churn maximizes
+            // preempt/drain/relaunch traffic through the device model.
+            CoRun::new(GpuConfig::k40(), Policy::Ffs { max_overhead: 0.10 })
+                .job(
+                    JobSpec::new(burst.clone(), SimTime::ZERO)
+                        .with_priority(2)
+                        .with_seed(5)
+                        .looping(),
+                )
+                .job(
+                    JobSpec::new(victim.clone(), SimTime::from_us(5))
+                        .with_priority(1)
+                        .with_seed(6)
+                        .looping(),
+                )
+                .horizon(SimTime::from_ms(30))
+                .run()
+        },
+    );
+
     write_json_artifact(&results);
 }

@@ -174,6 +174,7 @@ fn cmd_corun(args: &[String]) -> Result<(), String> {
     let cfg = GpuConfig::k40();
     let store = ModelStore::train(42);
     let result = CoRun::new(cfg, policy)
+        .with_span_trace() // the timeline below renders from spans
         .job(
             JobSpec::new(KernelProfile::of(&bench_a, class_a), SimTime::ZERO)
                 .with_priority(1)

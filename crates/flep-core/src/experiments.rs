@@ -605,7 +605,9 @@ pub fn fig13_14_ffs(config: &GpuConfig, exp: ExpConfig) -> FfsOutcome {
         let (lo, hi) = pairs[p];
         let s1 = cell_seed(root, p, 0);
         let s2 = cell_seed(root, p, 1);
+        // Windowed gpu_share needs per-span residency records.
         let result = CoRun::new(config.clone(), Policy::Ffs { max_overhead })
+            .with_span_trace()
             .job(
                 predicted_job(&store, hi, InputClass::Small, SimTime::ZERO, s2)
                     .with_priority(2)
@@ -1361,6 +1363,7 @@ mod tests {
         let r = flep_runtime::CoRunResult {
             jobs: vec![],
             busy_spans: vec![],
+            busy_totals: vec![],
             end_time: SimTime::from_us(5),
             swap_stats: None,
         };

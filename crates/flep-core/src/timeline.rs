@@ -26,6 +26,7 @@ const WAITING: char = '·';
 /// let lo = KernelProfile::of(&Benchmark::get(BenchmarkId::Nn), InputClass::Large);
 /// let hi = KernelProfile::of(&Benchmark::get(BenchmarkId::Spmv), InputClass::Small);
 /// let result = CoRun::new(GpuConfig::k40(), Policy::hpf())
+///     .with_span_trace() // timelines render from per-span records
 ///     .job(JobSpec::new(lo, SimTime::ZERO).with_priority(1))
 ///     .job(JobSpec::new(hi, SimTime::from_us(10)).with_priority(2))
 ///     .run();
@@ -106,6 +107,7 @@ mod tests {
         let lo = KernelProfile::of(&Benchmark::get(BenchmarkId::Pf), InputClass::Large);
         let hi = KernelProfile::of(&Benchmark::get(BenchmarkId::Mm), InputClass::Small);
         CoRun::new(GpuConfig::k40(), Policy::hpf())
+            .with_span_trace()
             .job(JobSpec::new(lo, SimTime::ZERO).with_priority(1))
             .job(JobSpec::new(hi, SimTime::from_us(40)).with_priority(2))
             .run()

@@ -41,6 +41,7 @@ pub struct CoRun {
     jobs: Vec<JobSpec>,
     horizon: Option<SimTime>,
     swap: Option<SwapManager>,
+    span_trace: bool,
 }
 
 impl CoRun {
@@ -53,7 +54,18 @@ impl CoRun {
             jobs: Vec::new(),
             horizon: None,
             swap: None,
+            span_trace: false,
         }
+    }
+
+    /// Records every CTA-residency interval as a [`Span`] in the result.
+    /// Off by default so long runs (FFS horizons) don't grow an unbounded
+    /// span list; required for [`CoRunResult::gpu_share`] and timeline
+    /// rendering. Per-owner busy totals are collected either way.
+    #[must_use]
+    pub fn with_span_trace(mut self) -> Self {
+        self.span_trace = true;
+        self
     }
 
     /// Adds a job (builder style).
@@ -91,12 +103,9 @@ impl CoRun {
     #[must_use]
     pub fn run(self) -> CoRunResult {
         let arrivals: Vec<SimTime> = self.jobs.iter().map(|j| j.arrival).collect();
-        let mut world = SystemWorld::new(
-            GpuDevice::new(self.config),
-            self.policy,
-            self.jobs,
-            self.horizon,
-        );
+        let mut device = GpuDevice::new(self.config);
+        device.set_span_collection(self.span_trace);
+        let mut world = SystemWorld::new(device, self.policy, self.jobs, self.horizon);
         if let Some(swap) = self.swap {
             world.set_swap(swap);
         }
@@ -117,10 +126,11 @@ impl CoRun {
             ),
         };
         let swap_stats = sim.world().swap_stats();
-        let (jobs, busy_spans) = sim.into_world().into_records();
+        let (jobs, busy_spans, busy_totals) = sim.into_world().into_records();
         CoRunResult {
             jobs,
             busy_spans,
+            busy_totals,
             end_time,
             swap_stats,
         }
@@ -133,7 +143,10 @@ pub struct CoRunResult {
     /// Per-job records, in submission order.
     pub jobs: Vec<JobRecord>,
     /// CTA-residency spans (owner = job index) for GPU-share accounting.
+    /// Empty unless the co-run opted in via [`CoRun::with_span_trace`].
     pub busy_spans: Vec<Span>,
+    /// Total busy GPU time per job index, collected on every run.
+    pub busy_totals: Vec<(u64, SimTime)>,
     /// When the last event fired.
     pub end_time: SimTime,
     /// Swap statistics, when oversubscription was enabled.
@@ -142,6 +155,7 @@ pub struct CoRunResult {
 
 impl CoRunResult {
     /// Job `idx`'s share of all busy GPU time within `[from, to)`.
+    /// Requires [`CoRun::with_span_trace`]; returns 0 otherwise.
     #[must_use]
     pub fn gpu_share(&self, idx: usize, from: SimTime, to: SimTime) -> f64 {
         let total: SimTime = self.busy_spans.iter().map(|s| s.clipped(from, to)).sum();
@@ -155,12 +169,13 @@ impl CoRunResult {
     }
 
     /// Total busy GPU time attributed to job `idx` over the whole run.
+    /// Backed by the always-on per-owner totals, so it works without span
+    /// tracing.
     #[must_use]
     pub fn busy_time(&self, idx: usize) -> SimTime {
-        self.busy_spans
+        self.busy_totals
             .iter()
-            .filter(|s| s.owner == idx as u64)
-            .map(Span::duration)
-            .sum()
+            .find(|(owner, _)| *owner == idx as u64)
+            .map_or(SimTime::ZERO, |&(_, total)| total)
     }
 }

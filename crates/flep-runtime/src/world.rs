@@ -258,9 +258,14 @@ impl SystemWorld {
 
     /// Extracts the per-job records after the run.
     #[must_use]
-    pub fn into_records(self) -> (Vec<JobRecord>, Vec<Span>) {
+    pub fn into_records(self) -> (Vec<JobRecord>, Vec<Span>, Vec<(u64, SimTime)>) {
         let spans = self.device.busy_spans().to_vec();
-        (self.jobs.into_iter().map(|j| j.record).collect(), spans)
+        let totals = self.device.busy_totals().to_vec();
+        (
+            self.jobs.into_iter().map(|j| j.record).collect(),
+            spans,
+            totals,
+        )
     }
 
     /// The device (for span/trace inspection mid-run).

@@ -250,6 +250,7 @@ fn ffs_enforces_two_to_one_share() {
     // GPU shares.
     let horizon = SimTime::from_ms(400);
     let result = CoRun::new(k40(), Policy::Ffs { max_overhead: 0.10 })
+        .with_span_trace() // gpu_share needs spans
         .job(
             JobSpec::new(profile(BenchmarkId::Pf, InputClass::Large), SimTime::ZERO)
                 .with_priority(2)

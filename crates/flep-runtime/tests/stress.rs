@@ -99,6 +99,7 @@ fn ffs_three_kernel_corun_shares_match_weights() {
     // with 3:2:1 weights converge to 1/2, 1/3, 1/6 shares.
     let horizon = SimTime::from_ms(120);
     let result = CoRun::new(GpuConfig::k40(), Policy::Ffs { max_overhead: 0.10 })
+        .with_span_trace() // gpu_share needs spans
         .job(
             JobSpec::new(profile(BenchmarkId::Pf, InputClass::Large), SimTime::ZERO)
                 .with_priority(3)

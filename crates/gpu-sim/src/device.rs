@@ -1,14 +1,15 @@
 //! The GPU device: launch intake, the non-preemptive hardware CTA
 //! dispatcher, and the persistent-threads batch engine.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
-use flep_sim_core::{SimTime, Span, TraceLog};
+use flep_sim_core::{GenSlab, SimTime, Span, TraceLog};
 
 use crate::config::GpuConfig;
 use crate::grid::{Grid, GridId, GridPhase, GridShape, LaunchDesc, PreemptSignal};
+use crate::placement::PlacementIndex;
 use crate::sm::{ResidentCta, Sm};
 
 /// Device-internal events. The embedding world routes these back into
@@ -161,15 +162,40 @@ impl Error for LaunchError {}
 pub struct GpuDevice {
     cfg: GpuConfig,
     sms: Vec<Sm>,
-    grids: HashMap<GridId, Grid>,
+    /// Dense grid table: a [`GridId`] is the grid's generational slab key,
+    /// so every lookup on the event hot path is an array index.
+    grids: GenSlab<Grid>,
     fifo: VecDeque<GridId>,
-    next_grid: u64,
+    /// SMs indexed by `(resident_count, sm_id)` for least-loaded placement.
+    placement: PlacementIndex,
+    /// Persistent grids carrying a non-`None` preemption signal. Visibility
+    /// (`signal_visible_at`) is checked per query, so membership changes
+    /// only at signal/restore/retire time.
+    signalled: Vec<GridId>,
+    /// Reusable phase-two placement buffer (see [`GpuDevice::dispatch`]).
+    placed_buf: Vec<(GridId, u64, u32)>,
     busy_spans: Vec<Span>,
+    /// Whether per-span residency records are kept (totals always are).
+    collect_spans: bool,
+    /// Total busy time per owner tag, maintained regardless of
+    /// `collect_spans` so long runs get accounting without unbounded spans.
+    busy_totals: Vec<(u64, SimTime)>,
     trace: TraceLog,
-    /// Per-stream state: the live grid (head of the stream) and grids
-    /// parked behind it, in launch order.
-    stream_live: HashMap<u32, GridId>,
-    stream_parked: HashMap<u32, VecDeque<GridId>>,
+    /// Per-stream lanes (interned from the launches' stream ids): the live
+    /// grid (head of the stream) and grids parked behind it, in launch
+    /// order.
+    streams: Vec<StreamLane>,
+}
+
+/// State of one CUDA stream on the device.
+#[derive(Debug)]
+struct StreamLane {
+    /// The user-visible stream id this lane was interned from.
+    stream: u32,
+    /// The stream's live grid (the one allowed on the device), if any.
+    live: Option<GridId>,
+    /// Grids launched behind the live one, in launch order.
+    parked: VecDeque<GridId>,
 }
 
 impl fmt::Debug for GpuDevice {
@@ -188,16 +214,20 @@ impl GpuDevice {
     #[must_use]
     pub fn new(cfg: GpuConfig) -> Self {
         let sms = (0..cfg.num_sms).map(Sm::new).collect();
+        let placement = PlacementIndex::new(cfg.num_sms, cfg.max_ctas_per_sm);
         GpuDevice {
             cfg,
             sms,
-            grids: HashMap::new(),
+            grids: GenSlab::new(),
             fifo: VecDeque::new(),
-            next_grid: 0,
+            placement,
+            signalled: Vec::new(),
+            placed_buf: Vec::new(),
             busy_spans: Vec::new(),
+            collect_spans: true,
+            busy_totals: Vec::new(),
             trace: TraceLog::disabled(),
-            stream_live: HashMap::new(),
-            stream_parked: HashMap::new(),
+            streams: Vec::new(),
         }
     }
 
@@ -225,10 +255,26 @@ impl GpuDevice {
     }
 
     /// CTA-residency spans recorded so far (owner = host tag). Used for
-    /// GPU-share accounting (Fig. 13).
+    /// GPU-share accounting (Fig. 13). Empty when span collection is
+    /// disabled via [`GpuDevice::set_span_collection`].
     #[must_use]
     pub fn busy_spans(&self) -> &[Span] {
         &self.busy_spans
+    }
+
+    /// Enables or disables per-span residency recording (on by default).
+    /// Per-owner busy totals ([`GpuDevice::busy_totals`]) are maintained
+    /// either way; disabling spans bounds memory on long runs that only
+    /// need totals.
+    pub fn set_span_collection(&mut self, on: bool) {
+        self.collect_spans = on;
+    }
+
+    /// Total CTA-residency time per owner tag, accumulated since device
+    /// creation. Always maintained, even with span collection off.
+    #[must_use]
+    pub fn busy_totals(&self) -> &[(u64, SimTime)] {
+        &self.busy_totals
     }
 
     /// True when no grid is queued, running, or in flight.
@@ -242,13 +288,13 @@ impl GpuDevice {
     /// The externally observable phase of a grid, if it exists.
     #[must_use]
     pub fn grid_phase(&self, grid: GridId) -> Option<GridPhase> {
-        self.grids.get(&grid).map(|g| g.phase)
+        self.grids.get(grid.0).map(|g| g.phase)
     }
 
     /// Tasks completed so far by a grid.
     #[must_use]
     pub fn grid_tasks_done(&self, grid: GridId) -> Option<u64> {
-        self.grids.get(&grid).map(|g| match g.shape {
+        self.grids.get(grid.0).map(|g| match g.shape {
             GridShape::Original { .. } => g.completed_ctas,
             GridShape::Persistent { .. } => g.completed_tasks,
         })
@@ -257,20 +303,23 @@ impl GpuDevice {
     /// When the grid's first CTA was dispatched.
     #[must_use]
     pub fn grid_dispatch_started(&self, grid: GridId) -> Option<SimTime> {
-        self.grids.get(&grid).and_then(|g| g.dispatch_started)
+        self.grids.get(grid.0).and_then(|g| g.dispatch_started)
     }
 
     /// When the host issued the grid's launch call.
     #[must_use]
     pub fn grid_launched_at(&self, grid: GridId) -> Option<SimTime> {
-        self.grids.get(&grid).map(|g| g.launched_at)
+        self.grids.get(grid.0).map(|g| g.launched_at)
     }
 
     /// Drops retired grids' bookkeeping to bound memory in long experiments.
-    /// Phases queried after pruning return `None`.
+    /// Phases queried after pruning return `None` (the slab's generation
+    /// check catches stale ids even after slot reuse).
     pub fn prune_retired(&mut self) {
         self.grids
             .retain(|_, g| !matches!(g.phase, GridPhase::Completed | GridPhase::Preempted));
+        let grids = &self.grids;
+        self.signalled.retain(|&g| grids.get(g.0).is_some());
     }
 
     /// Issues a kernel launch. The grid reaches the device FIFO after the
@@ -300,9 +349,8 @@ impl GpuDevice {
             }
         }
 
-        let id = GridId(self.next_grid);
-        self.next_grid += 1;
         let extra_delay = desc.extra_launch_delay;
+        let stream_lane = desc.stream.map(|s| self.lane_index(s));
 
         let planned_ctas = match desc.shape {
             GridShape::Original { ctas } => ctas,
@@ -312,7 +360,7 @@ impl GpuDevice {
         };
 
         let grid = Grid {
-            id,
+            id: GridId(0), // patched below, once the slab assigns the key
             name: desc.name,
             tag: desc.tag,
             resources: desc.resources,
@@ -334,15 +382,31 @@ impl GpuDevice {
             dispatch_started: None,
             launched_at: now,
             planned_ctas,
-            stream: desc.stream,
+            stream_lane,
+            threads_on_sm: vec![0; self.cfg.num_sms as usize],
         };
         self.trace.record(now, "launch", grid.tag);
-        self.grids.insert(id, grid);
+        let id = GridId(self.grids.insert(grid));
+        self.grids.get_mut(id.0).expect("just inserted").id = id;
         harness.schedule_gpu(
             now + self.cfg.launch_overhead + extra_delay,
             GpuEvent::LaunchArrived(id),
         );
         Ok(id)
+    }
+
+    /// The lane index for a user stream id, interning a new lane on first
+    /// use.
+    fn lane_index(&mut self, stream: u32) -> u32 {
+        if let Some(i) = self.streams.iter().position(|l| l.stream == stream) {
+            return i as u32;
+        }
+        self.streams.push(StreamLane {
+            stream,
+            live: None,
+            parked: VecDeque::new(),
+        });
+        (self.streams.len() - 1) as u32
     }
 
     /// Writes the pinned preemption flag for a grid. The new value becomes
@@ -352,13 +416,25 @@ impl GpuDevice {
     /// with completion; the paper's runtime tolerates this too).
     pub fn signal(&mut self, now: SimTime, grid: GridId, signal: PreemptSignal) {
         let latency = self.cfg.flag_visibility_latency;
-        if let Some(g) = self.grids.get_mut(&grid) {
-            if matches!(g.phase, GridPhase::Completed | GridPhase::Preempted) {
-                return;
+        let Some(g) = self.grids.get_mut(grid.0) else {
+            return;
+        };
+        if matches!(g.phase, GridPhase::Completed | GridPhase::Preempted) {
+            return;
+        }
+        g.signal = signal;
+        g.signal_visible_at = now + latency;
+        let tag = g.tag;
+        let persistent = matches!(g.shape, GridShape::Persistent { .. });
+        self.trace.record(now, "signal", tag);
+        // Keep the signalled-grid list in sync: only persistent grids with
+        // a live signal contribute "leaving" CTAs to contention queries.
+        if persistent && signal != PreemptSignal::None {
+            if !self.signalled.contains(&grid) {
+                self.signalled.push(grid);
             }
-            g.signal = signal;
-            g.signal_visible_at = now + latency;
-            self.trace.record(now, "signal", g.tag);
+        } else {
+            self.signalled.retain(|&x| x != grid);
         }
     }
 
@@ -372,7 +448,7 @@ impl GpuDevice {
     ///
     /// No-op for retired, original-shape, or unknown grids.
     pub fn restore_grid(&mut self, now: SimTime, grid: GridId, harness: &mut dyn GpuHarness) {
-        let Some(g) = self.grids.get_mut(&grid) else {
+        let Some(g) = self.grids.get_mut(grid.0) else {
             return;
         };
         if !matches!(g.phase, GridPhase::Running | GridPhase::Queued) {
@@ -386,12 +462,15 @@ impl GpuDevice {
         let capacity = self.cfg.device_capacity(&g.resources);
         let live = g.active_ctas + g.pending_ctas;
         let refill = capacity.saturating_sub(live).min(g.unclaimed_tasks());
+        if refill > 0 {
+            g.pending_ctas += refill;
+            g.planned_ctas += refill;
+        }
+        let tag = g.tag;
+        self.signalled.retain(|&x| x != grid);
         if refill == 0 {
             return;
         }
-        g.pending_ctas += refill;
-        g.planned_ctas += refill;
-        let tag = g.tag;
         self.trace.record(now, "restore", tag);
         if !self.fifo.contains(&grid) {
             self.fifo.push_back(grid);
@@ -404,6 +483,11 @@ impl GpuDevice {
     /// persistent CTAs already signalled to yield this SM are about to
     /// leave, so they do not contribute to the sustained load an incoming
     /// batch experiences.
+    ///
+    /// Computed from the SM's total thread occupancy minus the per-SM
+    /// thread totals of signalled persistent grids (see
+    /// [`GpuDevice::signalled`]) — O(signalled grids) instead of a hash
+    /// lookup per resident CTA, with identical integer arithmetic.
     fn effective_contention_factor(
         &self,
         now: SimTime,
@@ -412,14 +496,12 @@ impl GpuDevice {
         mem_intensity: f64,
     ) -> f64 {
         let sm = &self.sms[sm_idx];
-        let mut threads = 0u32;
-        for r in sm.resident() {
-            let leaving = self.grids.get(&r.grid).is_some_and(|g| {
-                matches!(g.shape, GridShape::Persistent { .. })
-                    && g.visible_signal(now).must_exit(sm.id())
-            });
-            if !leaving {
-                threads += r.threads;
+        let mut threads = sm.used_threads();
+        for &gid in &self.signalled {
+            if let Some(g) = self.grids.get(gid.0) {
+                if now >= g.signal_visible_at && g.signal.must_exit(sm.id()) {
+                    threads -= g.threads_on_sm[sm_idx];
+                }
             }
         }
         let load = f64::from(threads) / f64::from(self.cfg.threads_per_sm);
@@ -446,21 +528,22 @@ impl GpuDevice {
     }
 
     fn on_launch_arrived(&mut self, now: SimTime, id: GridId, harness: &mut dyn GpuHarness) {
-        let grid = self.grids.get_mut(&id).expect("launch for unknown grid");
+        let grid = self.grids.get_mut(id.0).expect("launch for unknown grid");
         debug_assert_eq!(grid.phase, GridPhase::InFlight);
         // Same-stream ordering: a grid whose stream still has a live
         // predecessor parks until that predecessor retires.
-        if let Some(stream) = grid.stream {
-            if let Some(&live) = self.stream_live.get(&stream) {
-                if live != id {
-                    self.stream_parked.entry(stream).or_default().push_back(id);
+        if let Some(lane_idx) = grid.stream_lane {
+            let lane = &mut self.streams[lane_idx as usize];
+            match lane.live {
+                Some(live) if live != id => {
+                    lane.parked.push_back(id);
                     return;
                 }
-            } else {
-                self.stream_live.insert(stream, id);
+                Some(_) => {}
+                None => lane.live = Some(id),
             }
         }
-        let grid = self.grids.get_mut(&id).expect("grid vanished");
+        let grid = self.grids.get_mut(id.0).expect("grid vanished");
         grid.phase = GridPhase::Queued;
         self.fifo.push_back(id);
         self.dispatch(now, harness);
@@ -469,23 +552,20 @@ impl GpuDevice {
     /// On retire of a stream's live grid, release its successor into the
     /// device FIFO.
     fn advance_stream(&mut self, now: SimTime, retired: GridId, harness: &mut dyn GpuHarness) {
-        let Some(stream) = self.grids.get(&retired).and_then(|g| g.stream) else {
+        let Some(lane_idx) = self.grids.get(retired.0).and_then(|g| g.stream_lane) else {
             return;
         };
-        if self.stream_live.get(&stream) != Some(&retired) {
+        let lane = &mut self.streams[lane_idx as usize];
+        if lane.live != Some(retired) {
             return;
         }
-        self.stream_live.remove(&stream);
-        let next = self
-            .stream_parked
-            .get_mut(&stream)
-            .and_then(VecDeque::pop_front);
-        if let Some(next_id) = next {
+        lane.live = None;
+        if let Some(next_id) = lane.parked.pop_front() {
             // The successor pays the launch overhead again: starting a
             // dependent kernel involves command-processor work that cannot
             // overlap its predecessor (this is exactly the per-slice cost
             // that makes kernel slicing expensive, Fig. 17).
-            self.stream_live.insert(stream, next_id);
+            lane.live = Some(next_id);
             harness.schedule_gpu(
                 now + self.cfg.launch_overhead,
                 GpuEvent::LaunchArrived(next_id),
@@ -502,10 +582,14 @@ impl GpuDevice {
     /// initial work scheduled, so the contention factor every simultaneous
     /// CTA sees reflects the full post-placement co-residency.
     fn dispatch(&mut self, now: SimTime, harness: &mut dyn GpuHarness) {
-        let mut placed: Vec<(GridId, u64, u32)> = Vec::new();
+        if self.fifo.is_empty() {
+            return; // Invoked after every CTA/batch exit; usually no-op.
+        }
+        let mut placed = std::mem::take(&mut self.placed_buf);
+        debug_assert!(placed.is_empty());
         while let Some(&gid) = self.fifo.front() {
             self.place_grid(now, gid, harness, &mut placed);
-            let fully_dispatched = self.grids[&gid].pending_ctas == 0;
+            let fully_dispatched = self.grids.get(gid.0).expect("grid vanished").pending_ctas == 0;
             if fully_dispatched {
                 self.fifo.pop_front();
                 self.maybe_retire(now, gid, harness);
@@ -513,17 +597,14 @@ impl GpuDevice {
                 break;
             }
         }
-        for (gid, cta_idx, sm_idx) in placed {
-            match self.grids[&gid].shape {
+        for &(gid, cta_idx, sm_idx) in &placed {
+            let grid = self.grids.get(gid.0).expect("grid vanished");
+            match grid.shape {
                 GridShape::Original { .. } => {
-                    let usage = self.grids[&gid].resources;
-                    let factor = self.effective_contention_factor(
-                        now,
-                        sm_idx as usize,
-                        &usage,
-                        self.grids[&gid].mem_intensity,
-                    );
-                    let grid = self.grids.get_mut(&gid).expect("grid vanished");
+                    let (usage, mem) = (grid.resources, grid.mem_intensity);
+                    let factor =
+                        self.effective_contention_factor(now, sm_idx as usize, &usage, mem);
+                    let grid = self.grids.get_mut(gid.0).expect("grid vanished");
                     let dur = grid.task_cost.sample(&mut grid.rng).scale(factor);
                     harness.schedule_gpu(
                         now + dur,
@@ -539,6 +620,8 @@ impl GpuDevice {
                 }
             }
         }
+        placed.clear();
+        self.placed_buf = placed;
     }
 
     /// Places as many pending CTAs of `gid` as fit right now, appending the
@@ -551,7 +634,7 @@ impl GpuDevice {
         placed: &mut Vec<(GridId, u64, u32)>,
     ) {
         loop {
-            let grid = self.grids.get_mut(&gid).expect("dispatch of unknown grid");
+            let grid = self.grids.get_mut(gid.0).expect("dispatch of unknown grid");
             if grid.pending_ctas == 0 {
                 return;
             }
@@ -574,21 +657,23 @@ impl GpuDevice {
             };
             // Least-loaded fitting SM (lowest id breaks ties): the hardware
             // scheduler distributes CTAs across SMs rather than packing.
-            let Some(sm_idx) = self
-                .sms
-                .iter()
-                .enumerate()
-                .filter(|(_, sm)| sm.fits(&self.cfg, &usage) && !sig.must_exit(sm.id()))
-                .min_by_key(|(i, sm)| (sm.resident_count(), *i))
-                .map(|(i, _)| i)
+            // The placement index walks SMs in exactly the
+            // `(resident_count, sm_id)` order the old full scan minimized.
+            let cfg = &self.cfg;
+            let sms = &self.sms;
+            let Some(sm) = self
+                .placement
+                .least_loaded(|i| sms[i as usize].fits(cfg, &usage) && !sig.must_exit(i))
             else {
                 return;
             };
+            let sm_idx = sm as usize;
 
-            let grid = self.grids.get_mut(&gid).expect("grid vanished");
+            let grid = self.grids.get_mut(gid.0).expect("grid vanished");
             let cta_idx = grid.planned_ctas - grid.pending_ctas;
             grid.pending_ctas -= 1;
             grid.active_ctas += 1;
+            grid.threads_on_sm[sm_idx] += usage.threads_per_cta;
             if grid.dispatch_started.is_none() {
                 grid.dispatch_started = Some(now);
                 grid.phase = GridPhase::Running;
@@ -604,7 +689,8 @@ impl GpuDevice {
                 threads: usage.threads_per_cta,
             };
             self.sms[sm_idx].place(&self.cfg, &usage, resident);
-            placed.push((gid, cta_idx, sm_idx as u32));
+            self.placement.on_place(sm);
+            placed.push((gid, cta_idx, sm));
         }
     }
 
@@ -619,11 +705,11 @@ impl GpuDevice {
         harness: &mut dyn GpuHarness,
     ) {
         let factor = {
-            let grid = &self.grids[&gid];
+            let grid = self.grids.get(gid.0).expect("batch for unknown grid");
             let (usage, mem) = (grid.resources, grid.mem_intensity);
             self.effective_contention_factor(now, sm as usize, &usage, mem)
         };
-        let grid = self.grids.get_mut(&gid).expect("batch for unknown grid");
+        let grid = self.grids.get_mut(gid.0).expect("batch for unknown grid");
         let GridShape::Persistent { amortize, .. } = grid.shape else {
             unreachable!("start_batch on original grid");
         };
@@ -687,7 +773,7 @@ impl GpuDevice {
         sm: u32,
         harness: &mut dyn GpuHarness,
     ) {
-        let grid = self.grids.get_mut(&gid).expect("CtaDone for unknown grid");
+        let grid = self.grids.get_mut(gid.0).expect("CtaDone for unknown grid");
         let first_task = grid.first_task;
         if let Some(f) = grid.task_fn.as_mut() {
             f(first_task + cta);
@@ -696,12 +782,10 @@ impl GpuDevice {
         grid.active_ctas -= 1;
         let usage = grid.resources;
         let tag = grid.tag;
+        grid.threads_on_sm[sm as usize] -= usage.threads_per_cta;
         let removed = self.sms[sm as usize].remove(&usage, gid, cta);
-        self.busy_spans.push(Span {
-            start: removed.since,
-            end: now,
-            owner: tag,
-        });
+        self.placement.on_remove(sm);
+        self.record_busy(removed.since, now, tag);
         self.maybe_retire(now, gid, harness);
         self.dispatch(now, harness);
     }
@@ -719,7 +803,7 @@ impl GpuDevice {
     ) {
         let grid = self
             .grids
-            .get_mut(&gid)
+            .get_mut(gid.0)
             .expect("BatchDone for unknown grid");
         grid.completed_tasks += n_tasks;
         let offset = grid.first_task;
@@ -735,12 +819,10 @@ impl GpuDevice {
             grid.active_ctas -= 1;
             let usage = grid.resources;
             let tag = grid.tag;
+            grid.threads_on_sm[sm as usize] -= usage.threads_per_cta;
             let removed = self.sms[sm as usize].remove(&usage, gid, cta);
-            self.busy_spans.push(Span {
-                start: removed.since,
-                end: now,
-                owner: tag,
-            });
+            self.placement.on_remove(sm);
+            self.record_busy(removed.since, now, tag);
             self.maybe_retire(now, gid, harness);
             self.dispatch(now, harness);
         } else {
@@ -748,10 +830,23 @@ impl GpuDevice {
         }
     }
 
+    /// Accrues one CTA-residency interval: always into the per-owner
+    /// totals, and into the span list only when span collection is on.
+    fn record_busy(&mut self, start: SimTime, end: SimTime, owner: u64) {
+        let dur = end.saturating_sub(start);
+        match self.busy_totals.iter_mut().find(|(t, _)| *t == owner) {
+            Some(entry) => entry.1 += dur,
+            None => self.busy_totals.push((owner, dur)),
+        }
+        if self.collect_spans {
+            self.busy_spans.push(Span { start, end, owner });
+        }
+    }
+
     /// Retires a grid whose CTAs have all left the device, emitting the
     /// appropriate notification.
     fn maybe_retire(&mut self, now: SimTime, gid: GridId, harness: &mut dyn GpuHarness) {
-        let grid = self.grids.get_mut(&gid).expect("retire of unknown grid");
+        let grid = self.grids.get_mut(gid.0).expect("retire of unknown grid");
         if grid.active_ctas > 0 || grid.pending_ctas > 0 {
             return;
         }
@@ -807,6 +902,9 @@ impl GpuDevice {
                     );
                 }
                 self.advance_stream(now, gid, harness);
+                // A retired grid has no resident CTAs left, so it no longer
+                // influences contention queries; drop it from the list.
+                self.signalled.retain(|&g| g != gid);
             }
         }
     }

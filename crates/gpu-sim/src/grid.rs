@@ -310,8 +310,12 @@ pub(crate) struct Grid {
     pub(crate) launched_at: SimTime,
     /// Total CTAs this grid will try to place.
     pub(crate) planned_ctas: u64,
-    /// The launch's stream, if any.
-    pub(crate) stream: Option<u32>,
+    /// Index of the launch's interned stream lane on the device, if the
+    /// launch named a stream.
+    pub(crate) stream_lane: Option<u32>,
+    /// Resident thread total per SM, maintained on CTA place/remove so
+    /// contention queries need not walk residents.
+    pub(crate) threads_on_sm: Vec<u32>,
 }
 
 impl Grid {

@@ -56,6 +56,7 @@ mod config;
 mod device;
 mod grid;
 mod memory;
+mod placement;
 mod scenario;
 mod sm;
 mod swap;
@@ -64,6 +65,7 @@ pub use config::{GpuConfig, ResourceUsage};
 pub use device::{GpuDevice, GpuEvent, GpuHarness, HostNotification, LaunchError};
 pub use grid::{GridId, GridPhase, GridShape, LaunchDesc, PreemptSignal, TaskCost, TaskFn};
 pub use memory::{AllocId, DeviceMemory, MemoryError, TransferDir};
+pub use placement::PlacementIndex;
 pub use scenario::{
     run_single, CollectorHarness, LaunchRecord, PreemptionRecord, Scenario, ScenarioResult,
 };

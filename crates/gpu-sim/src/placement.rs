@@ -1,0 +1,156 @@
+//! The SM-placement index: a resident-count-bucketed bitmap over SMs that
+//! answers "least-loaded SM passing a filter" without scanning every SM.
+//!
+//! The hardware CTA dispatcher places each CTA on the SM with the fewest
+//! resident CTAs (lowest `%smid` breaking ties) among those that fit it and
+//! are not excluded by a visible preemption signal. The naive formulation is
+//! a `min_by_key` over all SMs per placed CTA; on the hot path that scan
+//! runs once per CTA placement. This index maintains, per exact resident
+//! count `c`, a bitmap of the SMs currently hosting `c` CTAs, so a query
+//! walks counts in ascending order and SM ids in ascending order within a
+//! count — the identical total order `(resident_count, sm_id)` — and stops
+//! at the first SM the caller's filter accepts.
+
+/// Index over SMs keyed by `(resident_count, sm_id)`, kept in sync by the
+/// device on every CTA place/remove.
+#[derive(Debug, Clone)]
+pub struct PlacementIndex {
+    /// `buckets[c]` is a bitmap (64 SMs per word) of the SMs with exactly
+    /// `c` resident CTAs.
+    buckets: Vec<Vec<u64>>,
+    /// Current resident count per SM (mirror of the bucket an SM is in).
+    counts: Vec<u32>,
+}
+
+impl PlacementIndex {
+    /// Creates the index for `num_sms` SMs, all idle, with resident counts
+    /// bounded by `max_ctas_per_sm`.
+    #[must_use]
+    pub fn new(num_sms: u32, max_ctas_per_sm: u32) -> Self {
+        let words = (num_sms as usize).div_ceil(64).max(1);
+        let mut buckets = vec![vec![0u64; words]; max_ctas_per_sm as usize + 1];
+        for sm in 0..num_sms {
+            buckets[0][sm as usize / 64] |= 1u64 << (sm % 64);
+        }
+        PlacementIndex {
+            buckets,
+            counts: vec![0; num_sms as usize],
+        }
+    }
+
+    /// The resident count the index currently holds for `sm`.
+    #[must_use]
+    pub fn count(&self, sm: u32) -> u32 {
+        self.counts[sm as usize]
+    }
+
+    /// Records a CTA placed on `sm`, moving it one bucket up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SM is already at the maximum resident count — the
+    /// dispatcher must have checked `fits` first.
+    pub fn on_place(&mut self, sm: u32) {
+        let c = self.counts[sm as usize] as usize;
+        assert!(
+            c + 1 < self.buckets.len(),
+            "placement index: SM {sm} beyond max resident count"
+        );
+        let (word, bit) = (sm as usize / 64, 1u64 << (sm % 64));
+        self.buckets[c][word] &= !bit;
+        self.buckets[c + 1][word] |= bit;
+        self.counts[sm as usize] += 1;
+    }
+
+    /// Records a CTA removed from `sm`, moving it one bucket down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index holds no CTAs for the SM — a device bookkeeping
+    /// bug.
+    pub fn on_remove(&mut self, sm: u32) {
+        let c = self.counts[sm as usize] as usize;
+        assert!(c > 0, "placement index: remove from empty SM {sm}");
+        let (word, bit) = (sm as usize / 64, 1u64 << (sm % 64));
+        self.buckets[c][word] &= !bit;
+        self.buckets[c - 1][word] |= bit;
+        self.counts[sm as usize] -= 1;
+    }
+
+    /// The first SM in ascending `(resident_count, sm_id)` order accepted
+    /// by `pred` — exactly the SM a filtered
+    /// `min_by_key(|(id, sm)| (sm.resident_count(), id))` scan would pick.
+    #[must_use]
+    pub fn least_loaded(&self, mut pred: impl FnMut(u32) -> bool) -> Option<u32> {
+        for bucket in &self.buckets {
+            for (wi, &word) in bucket.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let sm = (wi as u32) * 64 + bits.trailing_zeros();
+                    if pred(sm) {
+                        return Some(sm);
+                    }
+                    bits &= bits - 1;
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The naive scan the index replaces, over explicit counts.
+    fn naive(counts: &[u32], mut pred: impl FnMut(u32) -> bool) -> Option<u32> {
+        (0..counts.len() as u32)
+            .filter(|&i| pred(i))
+            .min_by_key(|&i| (counts[i as usize], i))
+    }
+
+    #[test]
+    fn empty_index_prefers_lowest_id() {
+        let idx = PlacementIndex::new(15, 16);
+        assert_eq!(idx.least_loaded(|_| true), Some(0));
+        assert_eq!(idx.least_loaded(|sm| sm >= 7), Some(7));
+        assert_eq!(idx.least_loaded(|_| false), None);
+    }
+
+    #[test]
+    fn tracks_counts_and_matches_naive_order() {
+        let mut idx = PlacementIndex::new(4, 8);
+        // Load SM 0 twice, SM 1 once.
+        idx.on_place(0);
+        idx.on_place(0);
+        idx.on_place(1);
+        let counts = [2, 1, 0, 0];
+        for lo in 0..4 {
+            let got = idx.least_loaded(|sm| sm >= lo);
+            assert_eq!(got, naive(&counts, |sm| sm >= lo), "lo={lo}");
+        }
+        idx.on_remove(0);
+        idx.on_remove(0);
+        assert_eq!(idx.count(0), 0);
+        assert_eq!(idx.least_loaded(|_| true), Some(0));
+    }
+
+    #[test]
+    fn spans_multiple_bitmap_words() {
+        let mut idx = PlacementIndex::new(130, 4);
+        for sm in 0..129 {
+            idx.on_place(sm);
+        }
+        assert_eq!(idx.least_loaded(|_| true), Some(129));
+        idx.on_place(129);
+        assert_eq!(idx.least_loaded(|_| true), Some(0));
+        assert_eq!(idx.least_loaded(|sm| sm > 100), Some(101));
+    }
+
+    #[test]
+    #[should_panic(expected = "remove from empty")]
+    fn remove_from_idle_sm_panics() {
+        let mut idx = PlacementIndex::new(2, 4);
+        idx.on_remove(1);
+    }
+}

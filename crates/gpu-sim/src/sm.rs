@@ -60,6 +60,12 @@ impl Sm {
         self.resident.len() as u32
     }
 
+    /// Total threads of all resident CTAs.
+    #[must_use]
+    pub fn used_threads(&self) -> u32 {
+        self.used_threads
+    }
+
     /// True when no CTAs are resident.
     #[must_use]
     pub fn is_idle(&self) -> bool {

@@ -228,3 +228,88 @@ fn occupancy_bound_holds() {
         },
     );
 }
+
+/// The SM-placement index picks exactly the SM the naive filtered
+/// `min_by_key((resident_count, sm_id))` scan would pick, under random
+/// interleavings of CTA placements, CTA removals, and preemption-signal
+/// flips. This pins the index's total order — buckets ascending by count,
+/// SM ids ascending within a bucket — against the specification it
+/// replaced on the dispatch hot path.
+#[test]
+fn placement_index_matches_naive_scan() {
+    use flep_gpu_sim::{GridId, PlacementIndex, ResidentCta, ResourceUsage, Sm};
+
+    check(
+        "placement_index_matches_naive_scan",
+        CheckConfig::default(),
+        |rng: &mut SimRng| (rng.uniform_u64(0, u64::MAX - 1), rng.uniform_u64(50, 299)),
+        |&(seed, ops)| {
+            let cfg = GpuConfig::k40();
+            let usage = ResourceUsage::typical_256();
+            let mut rng = SimRng::seed_from(seed);
+            let mut sms: Vec<Sm> = (0..cfg.num_sms).map(Sm::new).collect();
+            let mut idx = PlacementIndex::new(cfg.num_sms, cfg.max_ctas_per_sm);
+            let mut sig = PreemptSignal::None;
+            let mut resident: Vec<(u32, u64)> = Vec::new(); // (sm, cta)
+            let mut next_cta = 0u64;
+
+            for _ in 0..ops {
+                // Both answers must agree at every step, for the exact
+                // predicate the dispatcher uses: fits && !must_exit.
+                let got =
+                    idx.least_loaded(|i| sms[i as usize].fits(&cfg, &usage) && !sig.must_exit(i));
+                let want = sms
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, sm)| sm.fits(&cfg, &usage) && !sig.must_exit(*i as u32))
+                    .min_by_key(|(i, sm)| (sm.resident_count(), *i))
+                    .map(|(i, _)| i as u32);
+                require_eq!(got, want);
+                for (i, sm) in sms.iter().enumerate() {
+                    require_eq!(idx.count(i as u32), sm.resident_count(), "SM {i} count");
+                }
+
+                match rng.uniform_u64(0, 9) {
+                    // Place a CTA on the chosen least-loaded SM (if any).
+                    0..=4 => {
+                        if let Some(sm) = got {
+                            let cta = next_cta;
+                            next_cta += 1;
+                            sms[sm as usize].place(
+                                &cfg,
+                                &usage,
+                                ResidentCta {
+                                    grid: GridId(1),
+                                    cta,
+                                    since: SimTime::ZERO,
+                                    threads: usage.threads_per_cta,
+                                },
+                            );
+                            idx.on_place(sm);
+                            resident.push((sm, cta));
+                        }
+                    }
+                    // Remove a random resident CTA.
+                    5..=7 => {
+                        if !resident.is_empty() {
+                            let pick = rng.uniform_u64(0, resident.len() as u64 - 1) as usize;
+                            let (sm, cta) = resident.swap_remove(pick);
+                            sms[sm as usize].remove(&usage, GridId(1), cta);
+                            idx.on_remove(sm);
+                        }
+                    }
+                    // Flip the preemption signal: None or YieldSms(1..=15).
+                    _ => {
+                        let n = rng.uniform_u64(0, u64::from(cfg.num_sms)) as u32;
+                        sig = if n == 0 {
+                            PreemptSignal::None
+                        } else {
+                            PreemptSignal::YieldSms(n)
+                        };
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}

@@ -72,6 +72,6 @@ mod trace;
 pub use engine::{RunOutcome, Scheduler, Simulation, StepOutcome, World};
 pub use event::{EventEntry, EventQueue};
 pub use rng::SimRng;
-pub use slab::Slab;
+pub use slab::{GenSlab, Slab};
 pub use time::SimTime;
 pub use trace::{Span, SpanSet, TraceEvent, TraceLog};

@@ -142,6 +142,183 @@ impl<T> Default for Slab<T> {
     }
 }
 
+/// A slot entry of a [`GenSlab`]: payload-or-free-link plus the slot's
+/// current generation.
+#[derive(Debug, Clone)]
+struct GenEntry<T> {
+    /// Incremented on every removal, so stale keys miss.
+    generation: u32,
+    state: Entry<T>,
+}
+
+/// A generational slab: like [`Slab`], but keys carry the slot's
+/// generation, so a key kept across a remove-and-reuse cycle reads as
+/// *absent* instead of aliasing the slot's new occupant.
+///
+/// This is the state-table flavour of the slab: long-lived entities (the
+/// GPU simulator's grids) hand out their keys to an embedding world that
+/// may legitimately hold on to them past retirement — exactly the lookup
+/// pattern `HashMap<Id, T>` gives, at array-index cost. Slots are recycled
+/// in LIFO order like [`Slab`], so id assignment is deterministic.
+///
+/// # Example
+///
+/// ```
+/// use flep_sim_core::GenSlab;
+/// let mut slab = GenSlab::new();
+/// let a = slab.insert("first");
+/// assert_eq!(slab.get(a), Some(&"first"));
+/// assert_eq!(slab.remove(a), Some("first"));
+/// let b = slab.insert("second"); // reuses the slot...
+/// assert_ne!(a, b);              // ...under a fresh generation
+/// assert_eq!(slab.get(a), None, "stale key must not alias");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GenSlab<T> {
+    entries: Vec<GenEntry<T>>,
+    free_head: u32,
+    len: usize,
+}
+
+impl<T> GenSlab<T> {
+    /// Creates an empty slab.
+    #[must_use]
+    pub fn new() -> Self {
+        GenSlab {
+            entries: Vec::new(),
+            free_head: NIL,
+            len: 0,
+        }
+    }
+
+    /// Packs a slot and generation into a key.
+    fn key(slot: u32, generation: u32) -> u64 {
+        (u64::from(generation) << 32) | u64::from(slot)
+    }
+
+    /// Splits a key into `(slot, generation)`.
+    fn unpack(key: u64) -> (u32, u32) {
+        (key as u32, (key >> 32) as u32)
+    }
+
+    /// Parks `value` and returns its key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slab would exceed `u32::MAX - 1` slots.
+    pub fn insert(&mut self, value: T) -> u64 {
+        self.len += 1;
+        if self.free_head != NIL {
+            let slot = self.free_head;
+            let entry = &mut self.entries[slot as usize];
+            match entry.state {
+                Entry::Vacant(next) => self.free_head = next,
+                Entry::Occupied(_) => unreachable!("free list points at an occupied slot"),
+            }
+            entry.state = Entry::Occupied(value);
+            Self::key(slot, entry.generation)
+        } else {
+            let slot = u32::try_from(self.entries.len()).expect("slab overflow");
+            assert!(slot != NIL, "slab overflow");
+            self.entries.push(GenEntry {
+                generation: 0,
+                state: Entry::Occupied(value),
+            });
+            Self::key(slot, 0)
+        }
+    }
+
+    /// Removes and returns the payload at `key`, or `None` when the key is
+    /// stale (already removed) or was never issued.
+    pub fn remove(&mut self, key: u64) -> Option<T> {
+        let (slot, generation) = Self::unpack(key);
+        let entry = self.entries.get_mut(slot as usize)?;
+        if entry.generation != generation || !matches!(entry.state, Entry::Occupied(_)) {
+            return None;
+        }
+        let state = std::mem::replace(&mut entry.state, Entry::Vacant(self.free_head));
+        entry.generation = entry.generation.wrapping_add(1);
+        self.free_head = slot;
+        self.len -= 1;
+        match state {
+            Entry::Occupied(value) => Some(value),
+            Entry::Vacant(_) => unreachable!("checked occupied above"),
+        }
+    }
+
+    /// The payload at `key`, or `None` for stale/foreign keys.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<&T> {
+        let (slot, generation) = Self::unpack(key);
+        match self.entries.get(slot as usize) {
+            Some(GenEntry {
+                generation: g,
+                state: Entry::Occupied(value),
+            }) if *g == generation => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the payload at `key`, or `None` for stale keys.
+    #[must_use]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut T> {
+        let (slot, generation) = Self::unpack(key);
+        match self.entries.get_mut(slot as usize) {
+            Some(GenEntry {
+                generation: g,
+                state: Entry::Occupied(value),
+            }) if *g == generation => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Iterates the occupied entries in slot order as `(key, &T)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.entries.iter().enumerate().filter_map(|(i, e)| {
+            if let Entry::Occupied(value) = &e.state {
+                Some((Self::key(i as u32, e.generation), value))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Iterates the occupied payloads in slot order.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// Keeps only the entries for which `keep` returns true, freeing the
+    /// rest (their keys become stale).
+    pub fn retain(&mut self, mut keep: impl FnMut(u64, &mut T) -> bool) {
+        for slot in 0..self.entries.len() as u32 {
+            let entry = &mut self.entries[slot as usize];
+            let retained = match &mut entry.state {
+                Entry::Occupied(value) => keep(Self::key(slot, entry.generation), value),
+                Entry::Vacant(_) => continue,
+            };
+            if !retained {
+                entry.state = Entry::Vacant(self.free_head);
+                entry.generation = entry.generation.wrapping_add(1);
+                self.free_head = slot;
+                self.len -= 1;
+            }
+        }
+    }
+
+    /// Number of occupied slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no slots are occupied.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +367,58 @@ mod tests {
         slab.clear();
         assert!(slab.is_empty());
         assert_eq!(slab.insert(3), 0);
+    }
+
+    #[test]
+    fn gen_slab_roundtrip_and_iteration() {
+        let mut slab = GenSlab::new();
+        let a = slab.insert(10);
+        let b = slab.insert(20);
+        let c = slab.insert(30);
+        assert_eq!(slab.len(), 3);
+        assert_eq!(slab.get(b), Some(&20));
+        *slab.get_mut(b).unwrap() += 1;
+        assert_eq!(
+            slab.iter().map(|(_, &v)| v).collect::<Vec<_>>(),
+            vec![10, 21, 30]
+        );
+        assert_eq!(slab.remove(b), Some(21));
+        assert_eq!(slab.values().copied().collect::<Vec<_>>(), vec![10, 30]);
+        assert_eq!(slab.remove(a), Some(10));
+        assert_eq!(slab.remove(c), Some(30));
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn gen_slab_stale_keys_miss_after_reuse() {
+        let mut slab = GenSlab::new();
+        let a = slab.insert('a');
+        assert_eq!(slab.remove(a), Some('a'));
+        let b = slab.insert('b');
+        // Same slot, new generation: the stale key must not alias.
+        assert_eq!(a as u32, b as u32, "slot is recycled LIFO");
+        assert_ne!(a, b);
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.get_mut(a), None);
+        assert_eq!(slab.remove(a), None);
+        assert_eq!(slab.get(b), Some(&'b'));
+    }
+
+    #[test]
+    fn gen_slab_retain_frees_and_recycles() {
+        let mut slab = GenSlab::new();
+        let keys: Vec<u64> = (0..6).map(|i| slab.insert(i)).collect();
+        slab.retain(|_, &mut v| v % 2 == 0);
+        assert_eq!(slab.len(), 3);
+        assert_eq!(slab.values().copied().collect::<Vec<_>>(), vec![0, 2, 4]);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(slab.get(k).is_some(), i % 2 == 0, "key {i}");
+        }
+        // Freed slots are reused (LIFO: highest freed slot first) under
+        // fresh generations.
+        let n = slab.insert(9);
+        assert_eq!(n as u32, 5);
+        assert!(slab.get(keys[5]).is_none());
+        assert_eq!(slab.get(n), Some(&9));
     }
 }

@@ -95,6 +95,7 @@ fn fair_sharing() {
 
     println!("=== Part 2: weighted fair sharing (FFS, weights 2:1, max_overhead 10%) ===");
     let result = CoRun::new(cfg, Policy::Ffs { max_overhead: 0.10 })
+        .with_span_trace() // windowed gpu_share below needs spans
         .job(
             JobSpec::new(KernelProfile::of(&a, InputClass::Large), SimTime::ZERO)
                 .with_priority(2)

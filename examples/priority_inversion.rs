@@ -23,6 +23,7 @@ fn main() {
 
     let run = |policy: Policy| {
         CoRun::new(cfg.clone(), policy)
+            .with_span_trace() // rendered as timelines below
             .job(
                 JobSpec::new(KernelProfile::of(&batch, InputClass::Large), SimTime::ZERO)
                     .with_priority(1)

@@ -58,6 +58,7 @@ fn corun_rendering(seed: u64) -> String {
     let lo = KernelProfile::of(&Benchmark::get(BenchmarkId::Spmv), InputClass::Small);
     let hi = KernelProfile::of(&Benchmark::get(BenchmarkId::Nn), InputClass::Trivial);
     let result = CoRun::new(GpuConfig::k40(), Policy::hpf())
+        .with_span_trace() // the rendering below includes every span
         .job(
             JobSpec::new(lo, SimTime::ZERO)
                 .with_priority(1)
@@ -82,6 +83,106 @@ fn experiment_json(seed: u64) -> String {
     experiments::fig07_prediction_errors(ExpConfig::quick(seed))
         .to_json()
         .render()
+}
+
+/// Drives a noisy persistent kernel through a spatial preemption, a
+/// restore, and a final temporal preemption directly against the device API
+/// (`Scenario` has no restore action), rendering the full device trace plus
+/// a summary of the CTA-residency record. Pinned as a golden: the trace
+/// timestamps encode every RNG draw, contention factor, and placement
+/// decision along the way, so any change to the device's dispatch order or
+/// state layout that is not bit-identical shows up here.
+fn preempt_restore_trace() -> String {
+    use flep_gpu_sim::{CollectorHarness, GpuDevice, GpuEvent, GridId};
+    use flep_sim_core::{Scheduler, Simulation, World};
+
+    enum REv {
+        Gpu(GpuEvent),
+        Launch,
+        Signal(PreemptSignal),
+        Restore,
+    }
+    struct RWorld {
+        device: GpuDevice,
+        grid: Option<GridId>,
+    }
+    impl World for RWorld {
+        type Event = REv;
+        fn handle(&mut self, now: SimTime, ev: REv, sched: &mut Scheduler<'_, REv>) {
+            let mut h = CollectorHarness::new();
+            match ev {
+                REv::Gpu(g) => self.device.handle(now, g, &mut h),
+                REv::Launch => {
+                    let desc = LaunchDesc::new(
+                        "noisy",
+                        GridShape::Persistent {
+                            total_tasks: 40_000,
+                            amortize: 8,
+                        },
+                        TaskCost {
+                            base: SimTime::from_us(10),
+                            rel_noise: 0.25,
+                        },
+                    )
+                    .with_tag(1)
+                    .with_seed(99)
+                    .with_mem_intensity(1.1);
+                    self.grid = Some(self.device.launch(now, desc, &mut h).unwrap());
+                }
+                REv::Signal(sig) => self.device.signal(now, self.grid.unwrap(), sig),
+                REv::Restore => self.device.restore_grid(now, self.grid.unwrap(), &mut h),
+            }
+            for (at, gev) in h.gpu_events {
+                sched.schedule_at(at, REv::Gpu(gev));
+            }
+        }
+    }
+
+    let mut device = GpuDevice::new(GpuConfig::k40());
+    device.enable_trace();
+    let mut sim = Simulation::new(RWorld { device, grid: None });
+    sim.schedule_at(SimTime::ZERO, REv::Launch);
+    sim.schedule_at(
+        SimTime::from_us(300),
+        REv::Signal(PreemptSignal::YieldSms(6)),
+    );
+    sim.schedule_at(SimTime::from_us(900), REv::Restore);
+    sim.schedule_at(
+        SimTime::from_us(1_500),
+        REv::Signal(PreemptSignal::YieldSms(15)),
+    );
+    let end = sim.run();
+    let world = sim.into_world();
+    let mut out = String::new();
+    for ev in world.device.trace().events() {
+        out.push_str(&format!("{} {} tag={}\n", ev.at, ev.label, ev.tag));
+    }
+    let spans = world.device.busy_spans();
+    let span_time: SimTime = spans.iter().map(flep_sim_core::Span::duration).sum();
+    out.push_str(&format!(
+        "end={} tasks={} spans={} span_time={}\n",
+        end,
+        world.device.grid_tasks_done(world.grid.unwrap()).unwrap(),
+        spans.len(),
+        span_time,
+    ));
+    out
+}
+
+/// The pre-PR-4 rendering of [`preempt_restore_trace`], pinned so the
+/// world-state-layout work (dense grid table, incremental contention
+/// accounting, indexed placement) provably changes no observable behavior.
+const PREEMPT_RESTORE_GOLDEN: &str = "0ns launch tag=1\n\
+     8.000us dispatch_start tag=1\n\
+     300.000us signal tag=1\n\
+     900.000us restore tag=1\n\
+     1.500ms signal tag=1\n\
+     1.589ms preempt tag=1\n\
+     end=1.589ms tasks=15360 spans=168 span_time=157.804ms\n";
+
+#[test]
+fn preempt_restore_trace_matches_pinned_golden() {
+    assert_eq!(preempt_restore_trace(), PREEMPT_RESTORE_GOLDEN);
 }
 
 #[test]
