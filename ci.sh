@@ -35,4 +35,20 @@ echo "==> perf smoke: sim_corun -> BENCH_sim_corun.json"
 FLEP_BENCH_SAMPLES=3 FLEP_BENCH_WARMUP=1 FLEP_BENCH_JSON=BENCH_sim_corun.json \
     cargo bench -p flep-bench --offline -q -- sim_corun
 
+# Fault injection: the robustness property suite replayed with a pinned
+# seed (DESIGN.md §9). The same properties run with a fresh seed in the
+# normal test pass above; this pinned pass is the reproducible gate — a
+# failure here is a regression, never bad luck.
+echo "==> fault injection: property suite with pinned seed"
+FLEP_CHECK_SEED=0xF1E9 FLEP_CHECK_CASES=48 \
+    cargo test -p flep-runtime --test faults --offline -q
+
+# Recovery-latency smoke: how long the watchdog's escalation ladder takes
+# to rescue a high-priority kernel under each fault preset, recorded in
+# the same artifact format as the perf smokes above. Simulated time, so
+# fully deterministic — but still an artifact, not a gate.
+echo "==> fault recovery: escalation-ladder latency -> BENCH_fault_recovery.json"
+FLEP_FAULT_SEED=7 FLEP_REPEATS=3 FLEP_BENCH_JSON=BENCH_fault_recovery.json \
+    cargo run --release -p flep-bench --bin fault_recovery --offline -q >/dev/null
+
 echo "ci.sh: all checks passed"

@@ -1,0 +1,75 @@
+//! Measures watchdog recovery latency under injected preemption faults:
+//! for each fault preset (stuck victim, wedged exit, lost doorbell, lost
+//! notification, rejected launches), the high-priority kernel's simulated
+//! arrival-to-completion latency vs. the fault-free baseline, plus the
+//! escalation-ladder histogram that got it there.
+//!
+//! Knobs: `FLEP_FAULT_SEED` picks the fault-plan seed family (default
+//! 42); `FLEP_BENCH_JSON` additionally records the per-preset latencies in
+//! the perf-smoke artifact format (`BENCH_fault_recovery.json` in CI).
+
+use flep_bench::{emit_json, exp_config, header};
+use flep_core::prelude::*;
+use flep_sim_core::json::{JsonValue, ToJson};
+
+fn fault_seed() -> u64 {
+    std::env::var("FLEP_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}
+
+fn main() {
+    header(
+        "Fault recovery — escalation-ladder latency under injected faults",
+        "robustness (paper §3.2/§6 risk analysis)",
+        "every preset recovers; forced drains beat kills; latency within a few drain deadlines of baseline",
+    );
+    let exp = exp_config();
+    let seed = fault_seed();
+    let rows = experiments::fault_recovery(&GpuConfig::k40(), exp, seed);
+    emit_json("fault_recovery", &rows);
+    println!(
+        "{:>18} {:>12} {:>12} {:>12} {:>12} {:>6} {:>14}",
+        "preset", "median", "min", "max", "baseline", "recov", "esc [f/d/k]"
+    );
+    for r in &rows {
+        println!(
+            "{:>18} {:>12} {:>12} {:>12} {:>12} {:>6} {:>14}",
+            r.preset,
+            r.median.to_string(),
+            r.min.to_string(),
+            r.max.to_string(),
+            r.baseline.to_string(),
+            r.recoveries,
+            format!(
+                "{}/{}/{}",
+                r.escalations[0], r.escalations[1], r.escalations[2]
+            ),
+        );
+    }
+
+    // Perf-smoke artifact: same shape as the micro-bench recorder, with
+    // simulated recovery latencies in the `*_ns` fields.
+    if let Ok(path) = std::env::var("FLEP_BENCH_JSON") {
+        let doc = JsonValue::object([
+            ("suite", JsonValue::Str("flep fault recovery".into())),
+            ("samples", exp.repeats.to_json()),
+            (
+                "results",
+                JsonValue::array(rows.iter().map(|r| {
+                    JsonValue::object([
+                        ("name", format!("fault_recovery/{}", r.preset).to_json()),
+                        ("median_ns", r.median.as_ns().to_json()),
+                        ("min_ns", r.min.as_ns().to_json()),
+                        ("max_ns", r.max.as_ns().to_json()),
+                    ])
+                })),
+            ),
+        ]);
+        match std::fs::write(&path, doc.render() + "\n") {
+            Ok(()) => eprintln!("fault-recovery artifact written to {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}

@@ -1119,6 +1119,113 @@ pub fn sensitivity_sm_scaling(exp: ExpConfig) -> Vec<SensitivityRow> {
 }
 
 // ---------------------------------------------------------------------------
+// Fault recovery — watchdog escalation latency under injected faults
+// ---------------------------------------------------------------------------
+
+/// One fault-recovery measurement: the high-priority kernel's
+/// arrival-to-completion latency under a named fault preset, against the
+/// fault-free baseline, plus how the escalation ladder resolved it.
+/// Latencies are *simulated* time — this is a robustness metric, not a
+/// wall-clock one.
+#[derive(Debug, Clone)]
+pub struct FaultRecoveryRow {
+    /// The fault preset exercised.
+    pub preset: &'static str,
+    /// Median high-priority turnaround across repeats, under the preset.
+    pub median: SimTime,
+    /// Fastest repeat.
+    pub min: SimTime,
+    /// Slowest repeat.
+    pub max: SimTime,
+    /// Median fault-free turnaround of the same co-run (the recovery cost
+    /// is `median - baseline`).
+    pub baseline: SimTime,
+    /// Total watchdog recovery events across repeats.
+    pub recoveries: u64,
+    /// Summed escalation histogram `[flag, forced drain, kill]`.
+    pub escalations: [u64; 3],
+}
+
+/// Measures watchdog recovery latency for each fault preset: a
+/// long-running low-priority victim plus a high-priority latecomer whose
+/// preemption the preset breaks in a specific way. Repeats with derived
+/// fault seeds; `fault_seed` (the `FLEP_FAULT_SEED` knob) offsets the
+/// whole family so CI can pin one stream while letting local runs explore.
+#[must_use]
+pub fn fault_recovery(
+    config: &GpuConfig,
+    exp: ExpConfig,
+    fault_seed: u64,
+) -> Vec<FaultRecoveryRow> {
+    use flep_gpu_sim::FaultConfig;
+
+    let presets: [(&'static str, fn(FaultConfig) -> FaultConfig); 5] = [
+        ("stuck_flag", |f| f.with_stuck_flag(1.0)),
+        ("wedged_exit", |f| f.with_stuck_exit(1.0)),
+        ("lost_doorbell", |f| f.with_signal_drop(1.0)),
+        ("lost_notification", |f| f.with_note_drop(1.0)),
+        ("launch_reject", |f| f.with_launch_reject(0.5)),
+    ];
+    let root = exp.seed ^ 0xFA_17;
+    let run = |faults: Option<FaultConfig>, seed: u64| {
+        let lo = KernelProfile::of(&Benchmark::get(BenchmarkId::Va), InputClass::Large);
+        let hi = KernelProfile::of(&Benchmark::get(BenchmarkId::Spmv), InputClass::Small);
+        let mut corun = CoRun::new(config.clone(), Policy::hpf())
+            .job(
+                JobSpec::new(lo, SimTime::ZERO)
+                    .with_priority(1)
+                    .with_seed(seed),
+            )
+            .job(
+                JobSpec::new(hi, SimTime::from_us(200))
+                    .with_priority(2)
+                    .with_seed(seed ^ 0x5EED),
+            );
+        if let Some(f) = faults {
+            corun = corun.with_faults(f);
+        }
+        corun.run()
+    };
+    let turnaround = |r: &CoRunResult| {
+        r.jobs[1]
+            .turnaround()
+            .expect("fault-recovery co-run: the high-priority job must complete")
+    };
+    presets
+        .iter()
+        .enumerate()
+        .map(|(p, (name, apply))| {
+            let mut samples = Vec::new();
+            let mut baselines = Vec::new();
+            let mut recoveries = 0u64;
+            let mut escalations = [0u64; 3];
+            for rep in 0..exp.repeats {
+                let seed = cell_seed(root, p, u64::from(rep));
+                let faults = apply(FaultConfig::quiet(fault_seed.wrapping_add(seed)));
+                let faulted = run(Some(faults), seed);
+                samples.push(turnaround(&faulted));
+                recoveries += faulted.recoveries.len() as u64;
+                for (acc, n) in escalations.iter_mut().zip(faulted.escalations) {
+                    *acc += n;
+                }
+                baselines.push(turnaround(&run(None, seed)));
+            }
+            samples.sort_unstable();
+            baselines.sort_unstable();
+            FaultRecoveryRow {
+                preset: name,
+                median: samples[samples.len() / 2],
+                min: samples[0],
+                max: *samples.last().unwrap(),
+                baseline: baselines[baselines.len() / 2],
+                recoveries,
+                escalations,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
 // JSON serialization of every experiment's rows
 // ---------------------------------------------------------------------------
 
@@ -1286,6 +1393,23 @@ impl ToJson for SensitivityRow {
     }
 }
 
+impl ToJson for FaultRecoveryRow {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("preset", self.preset.to_json()),
+            ("median_ns", self.median.as_ns().to_json()),
+            ("min_ns", self.min.as_ns().to_json()),
+            ("max_ns", self.max.as_ns().to_json()),
+            ("baseline_ns", self.baseline.as_ns().to_json()),
+            ("recoveries", self.recoveries.to_json()),
+            (
+                "escalations",
+                JsonValue::array(self.escalations.iter().map(|&n| n.to_json())),
+            ),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1366,6 +1490,10 @@ mod tests {
             busy_totals: vec![],
             end_time: SimTime::from_us(5),
             swap_stats: None,
+            errors: vec![],
+            recoveries: vec![],
+            faults: vec![],
+            escalations: [0; 3],
         };
         assert_eq!(makespan(&r), SimTime::ZERO);
     }

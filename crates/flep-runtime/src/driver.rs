@@ -1,6 +1,8 @@
 //! The experiment driver: describe a co-run, execute it, read results.
 
-use flep_gpu_sim::{GpuConfig, GpuDevice, SwapManager, SwapStats};
+use flep_gpu_sim::{
+    FaultConfig, FaultEvent, FaultPlan, GpuConfig, GpuDevice, SwapManager, SwapStats,
+};
 use flep_sim_core::{RunOutcome, SimTime, Simulation, Span};
 
 /// Default event budget for a co-run: far above any legitimate experiment
@@ -10,7 +12,7 @@ use flep_sim_core::{RunOutcome, SimTime, Simulation, Span};
 pub const DEFAULT_EVENT_BUDGET: u64 = 1_000_000_000;
 
 use crate::job::{JobRecord, JobSpec};
-use crate::world::{Policy, SystemEvent, SystemWorld};
+use crate::world::{Policy, RecoveryEvent, RuntimeError, SystemEvent, SystemWorld, WatchdogConfig};
 
 /// A complete co-run description.
 ///
@@ -42,6 +44,9 @@ pub struct CoRun {
     horizon: Option<SimTime>,
     swap: Option<SwapManager>,
     span_trace: bool,
+    faults: Option<FaultConfig>,
+    watchdog: Option<WatchdogConfig>,
+    budget: u64,
 }
 
 impl CoRun {
@@ -55,7 +60,39 @@ impl CoRun {
             horizon: None,
             swap: None,
             span_trace: false,
+            faults: None,
+            watchdog: None,
+            budget: DEFAULT_EVENT_BUDGET,
         }
+    }
+
+    /// Injects a seeded fault plan into the device: lost/delayed preempt
+    /// doorbells, victims that stop polling the flag, dropped or delayed
+    /// host notifications, transiently rejected launches. Implies the
+    /// watchdog (with [`WatchdogConfig::default`]) unless one was set
+    /// explicitly — faults without recovery machinery would livelock.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Enables the preemption watchdog: preempt requests carry a deadline
+    /// and escalate flag → forced drain → kill + relaunch on expiry. Off
+    /// by default so fault-free runs replay an identical event stream.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Overrides the event budget (default [`DEFAULT_EVENT_BUDGET`]);
+    /// exhaustion surfaces as [`RuntimeError::EventBudgetExhausted`] in
+    /// the result rather than a panic.
+    #[must_use]
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Records every CTA-residency interval as a [`Span`] in the result.
@@ -94,45 +131,68 @@ impl CoRun {
 
     /// Executes the co-run to completion.
     ///
-    /// # Panics
-    ///
-    /// Panics if a kernel is rejected by the device (unlaunchable CTA
-    /// shapes) — co-run specs are expected to be valid — or if the run
-    /// exceeds [`DEFAULT_EVENT_BUDGET`] dispatched events, which indicates
-    /// a runaway event feedback loop rather than a legitimate workload.
+    /// Failures that used to panic — device-rejected launches, working
+    /// sets that cannot fit, an exhausted event budget — are reported as
+    /// [`CoRunResult::errors`]; watchdog interventions as
+    /// [`CoRunResult::recoveries`].
     #[must_use]
     pub fn run(self) -> CoRunResult {
         let arrivals: Vec<SimTime> = self.jobs.iter().map(|j| j.arrival).collect();
         let mut device = GpuDevice::new(self.config);
         device.set_span_collection(self.span_trace);
+        device.set_fault_plan(self.faults.map(FaultPlan::new));
+        // Fault injection without recovery machinery would livelock on the
+        // first stuck victim, so faults imply a default-configured
+        // watchdog. Fault-free runs keep it off unless explicitly enabled:
+        // its poll events would otherwise perturb `end_time`.
+        let watchdog = self
+            .watchdog
+            .or_else(|| self.faults.map(|_| WatchdogConfig::default()));
         let mut world = SystemWorld::new(device, self.policy, self.jobs, self.horizon);
         if let Some(swap) = self.swap {
             world.set_swap(swap);
+        }
+        if let Some(wd) = watchdog {
+            world.set_watchdog(wd);
         }
         let mut sim = Simulation::new(world);
         for (idx, at) in arrivals.into_iter().enumerate() {
             sim.schedule_at(at, SystemEvent::Arrival(idx));
         }
-        let end_time = match sim.run_with_budget(DEFAULT_EVENT_BUDGET) {
+        if let Some(wd) = watchdog {
+            sim.schedule_at(wd.poll_interval, SystemEvent::Watchdog);
+        }
+        let mut budget_error = None;
+        let end_time = match sim.run_with_budget(self.budget) {
             RunOutcome::Completed(t) => t,
             RunOutcome::BudgetExhausted {
                 now,
                 dispatched,
                 pending,
-            } => panic!(
-                "co-run exceeded the {DEFAULT_EVENT_BUDGET}-event budget — runaway event \
-                 feedback loop? (virtual time {now}, {dispatched} events dispatched, \
-                 {pending} pending)"
-            ),
+            } => {
+                budget_error = Some(RuntimeError::EventBudgetExhausted {
+                    at: now,
+                    dispatched,
+                    pending,
+                });
+                now
+            }
         };
         let swap_stats = sim.world().swap_stats();
-        let (jobs, busy_spans, busy_totals) = sim.into_world().into_records();
+        let (jobs, busy_spans, busy_totals, mut report) = sim.into_world().into_records();
+        if let Some(e) = budget_error {
+            report.errors.push(e);
+        }
         CoRunResult {
             jobs,
             busy_spans,
             busy_totals,
             end_time,
             swap_stats,
+            errors: report.errors,
+            recoveries: report.recoveries,
+            faults: report.faults,
+            escalations: report.escalations,
         }
     }
 }
@@ -151,6 +211,16 @@ pub struct CoRunResult {
     pub end_time: SimTime,
     /// Swap statistics, when oversubscription was enabled.
     pub swap_stats: Option<SwapStats>,
+    /// Structured runtime failures (formerly panics), in occurrence order.
+    pub errors: Vec<RuntimeError>,
+    /// Watchdog recovery actions, in occurrence order.
+    pub recoveries: Vec<RecoveryEvent>,
+    /// Faults the device's injection plan fired (empty without
+    /// [`CoRun::with_faults`]).
+    pub faults: Vec<FaultEvent>,
+    /// Preemption-drain outcomes by the escalation level they needed:
+    /// `[flag, forced drain, kill]`.
+    pub escalations: [u64; 3],
 }
 
 impl CoRunResult {
@@ -166,6 +236,14 @@ impl CoRunResult {
             .map(|s| s.clipped(from, to))
             .sum();
         own.ratio(total)
+    }
+
+    /// True when the run finished without structured errors (individual
+    /// jobs may still have been recovered by the watchdog — see
+    /// [`CoRunResult::recoveries`]).
+    #[must_use]
+    pub fn succeeded(&self) -> bool {
+        self.errors.is_empty()
     }
 
     /// Total busy GPU time attributed to job `idx` over the whole run.

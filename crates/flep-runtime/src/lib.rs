@@ -28,4 +28,7 @@ mod world;
 
 pub use driver::{CoRun, CoRunResult, DEFAULT_EVENT_BUDGET};
 pub use job::{JobRecord, JobSpec, KernelProfile, RepeatMode};
-pub use world::{Policy, SystemEvent, SystemWorld};
+pub use world::{
+    Policy, RecoveryAction, RecoveryEvent, RunReport, RuntimeError, SystemEvent, SystemWorld,
+    WatchdogConfig,
+};

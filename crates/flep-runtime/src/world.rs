@@ -2,14 +2,146 @@
 //! and the preemption/scheduling decision loop, co-simulated with the GPU
 //! device.
 
+use std::fmt;
+
 use flep_gpu_sim::{
-    CollectorHarness, GpuDevice, GpuEvent, GridId, HostNotification, PreemptSignal, SwapManager,
-    SwapStats,
+    CollectorHarness, FaultEvent, GpuDevice, GpuEvent, GpuHarness, GridId, GridPhase,
+    HostNotification, LaunchError, PreemptSignal, SwapManager, SwapStats,
 };
 use flep_perfmodel::OverheadProfiler;
 use flep_sim_core::{Scheduler, SimTime, Span, World};
 
 use crate::job::{JobRecord, JobSpec, RepeatMode};
+
+/// Watchdog configuration: how long a preempt request may go unanswered
+/// before the runtime escalates, and how launch retries back off.
+///
+/// The escalation ladder (tentpole of the robustness work):
+///
+/// 1. **Flag preempt** — the normal path: write the pinned flag, wait for
+///    the victim's CTAs to drain at their next polls.
+/// 2. **Forced drain** (at `signalled_at + drain_deadline`) — the
+///    kernel-slicing-style fallback: evict at batch boundaries below the
+///    poll, which works even when the victim never reads the flag.
+/// 3. **Kill + relaunch** (at `signalled_at + 2 * drain_deadline`) —
+///    evict unconditionally and resume later from the saved task counter
+///    (FLEP's task-pulling makes task granularity the natural resume
+///    point, so only the killed in-flight batches are re-executed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// How often the watchdog wakes to check deadlines and reconcile
+    /// runtime state against the device.
+    pub poll_interval: SimTime,
+    /// Drain deadline per escalation level (see type docs).
+    pub drain_deadline: SimTime,
+    /// Bounded retry count for transiently rejected launches.
+    pub max_launch_retries: u32,
+    /// Base of the exponential launch-retry backoff (doubles per attempt).
+    pub retry_backoff: SimTime,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            poll_interval: SimTime::from_us(200),
+            drain_deadline: SimTime::from_ms(2),
+            max_launch_retries: 12,
+            retry_backoff: SimTime::from_us(20),
+        }
+    }
+}
+
+/// Structured runtime failures, surfaced through
+/// [`crate::CoRunResult::errors`] instead of panics on the hot path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The device permanently rejected a job's launch (invalid shape for
+    /// this device); the job is marked failed and never completes.
+    LaunchFailed {
+        /// Job index.
+        job: usize,
+        /// The device's rejection.
+        error: LaunchError,
+    },
+    /// A transiently rejected launch exhausted its bounded retries.
+    LaunchRetriesExhausted {
+        /// Job index.
+        job: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A job's declared working set can never fit in device memory, so
+    /// swapping cannot make the launch possible.
+    SwapUnsatisfiable {
+        /// Job index.
+        job: usize,
+    },
+    /// The co-run exceeded its event budget — a runaway event feedback
+    /// loop (or an unbounded looping workload without a horizon).
+    EventBudgetExhausted {
+        /// Virtual time when the budget ran out.
+        at: SimTime,
+        /// Events dispatched up to that point.
+        dispatched: u64,
+        /// Events still pending in the queue.
+        pending: usize,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::LaunchFailed { job, error } => {
+                write!(f, "job {job}: launch permanently rejected: {error}")
+            }
+            RuntimeError::LaunchRetriesExhausted { job, attempts } => {
+                write!(
+                    f,
+                    "job {job}: launch still rejected after {attempts} attempts"
+                )
+            }
+            RuntimeError::SwapUnsatisfiable { job } => {
+                write!(f, "job {job}: working set exceeds device memory")
+            }
+            RuntimeError::EventBudgetExhausted {
+                at,
+                dispatched,
+                pending,
+            } => write!(
+                f,
+                "event budget exhausted at {at} ({dispatched} dispatched, {pending} pending)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// A recovery the watchdog performed on a job's behalf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Escalation level 2: forced drain at batch boundaries.
+    ForcedDrain,
+    /// Escalation level 3: kill + relaunch from the saved task counter.
+    Killed,
+    /// A terminal device notification never arrived; the watchdog rebuilt
+    /// it from device state.
+    LostNotification,
+    /// A transiently rejected launch was scheduled for retry (attempt
+    /// number carried).
+    LaunchRetry(u32),
+}
+
+/// One watchdog recovery event, in the order they happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// When the recovery action was taken.
+    pub at: SimTime,
+    /// The job it acted for.
+    pub job: usize,
+    /// What was done.
+    pub action: RecoveryAction,
+}
 
 /// The scheduling policy the runtime enforces.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -126,11 +258,22 @@ struct Job {
     record: JobRecord,
     /// FFS: epoch generation, to ignore stale epoch-expiry events.
     epoch_gen: u64,
+    /// Current escalation level of the in-flight preemption:
+    /// 0 = flag, 1 = forced drain, 2 = killed.
+    escalation: u8,
+    /// SMs the current preemption signal asked the job to yield (the
+    /// watchdog's compliance probe range).
+    signal_sms: u32,
+    /// Consecutive transiently rejected launch attempts.
+    retry_attempts: u32,
+    /// Earliest time the next launch retry may go out (backoff gate).
+    retry_after: Option<SimTime>,
 }
 
 impl Job {
-    fn is_waiting(&self) -> bool {
-        self.state == JobState::Queued
+    /// Waiting and eligible to launch now (any retry backoff has passed).
+    fn is_ready(&self, now: SimTime) -> bool {
+        self.state == JobState::Queued && self.retry_after.is_none_or(|t| t <= now)
     }
 
     fn remaining_tasks(&self) -> u64 {
@@ -166,6 +309,18 @@ pub enum SystemEvent {
         /// Epoch generation, to ignore stale timers.
         gen: u64,
     },
+    /// Watchdog poll tick: reconcile runtime state against the device and
+    /// escalate overdue preemptions. Only scheduled when a watchdog is
+    /// configured, so fault-free runs see an identical event stream.
+    Watchdog,
+    /// The backoff for job `idx`'s transiently rejected launch expired.
+    RetryLaunch {
+        /// Job index.
+        idx: usize,
+    },
+    /// A fault-delayed host notification reaching the runtime at its
+    /// deferred delivery time.
+    Note(HostNotification),
 }
 
 /// The co-simulated system: GPU device + FLEP runtime + workload arrivals.
@@ -188,6 +343,29 @@ pub struct SystemWorld {
     horizon: Option<SimTime>,
     /// Optional GPUSwap-style working-set manager (§8 integration).
     swap: Option<SwapManager>,
+    /// Preemption watchdog, when enabled (always under fault injection).
+    watchdog: Option<WatchdogConfig>,
+    /// Structured runtime failures, in occurrence order.
+    errors: Vec<RuntimeError>,
+    /// Watchdog recoveries, in occurrence order.
+    recoveries: Vec<RecoveryEvent>,
+    /// Preemption-drain outcomes by escalation level reached:
+    /// `[flag, forced drain, kill]`.
+    escalations: [u64; 3],
+}
+
+/// Robustness telemetry extracted alongside the job records after a run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Structured runtime failures, in occurrence order.
+    pub errors: Vec<RuntimeError>,
+    /// Watchdog recoveries, in occurrence order.
+    pub recoveries: Vec<RecoveryEvent>,
+    /// Faults the device's injection plan fired (empty without a plan).
+    pub faults: Vec<FaultEvent>,
+    /// Preemption-drain outcomes by escalation level reached:
+    /// `[flag, forced drain, kill]`.
+    pub escalations: [u64; 3],
 }
 
 impl SystemWorld {
@@ -226,6 +404,10 @@ impl SystemWorld {
                     granted_at: None,
                     record,
                     epoch_gen: 0,
+                    escalation: 0,
+                    signal_sms: 0,
+                    retry_attempts: 0,
+                    retry_after: None,
                 }
             })
             .collect();
@@ -241,7 +423,18 @@ impl SystemWorld {
             ffs_cursor: 0,
             horizon,
             swap: None,
+            watchdog: None,
+            errors: Vec::new(),
+            recoveries: Vec::new(),
+            escalations: [0; 3],
         }
+    }
+
+    /// Enables the preemption watchdog. The driver must also schedule the
+    /// first [`SystemEvent::Watchdog`] tick; every tick re-arms itself
+    /// until all jobs are done.
+    pub fn set_watchdog(&mut self, cfg: WatchdogConfig) {
+        self.watchdog = Some(cfg);
     }
 
     /// Enables working-set swapping: launches whose declared working set
@@ -256,15 +449,22 @@ impl SystemWorld {
         self.swap.as_ref().map(SwapManager::stats)
     }
 
-    /// Extracts the per-job records after the run.
+    /// Extracts the per-job records and robustness telemetry after the run.
     #[must_use]
-    pub fn into_records(self) -> (Vec<JobRecord>, Vec<Span>, Vec<(u64, SimTime)>) {
+    pub fn into_records(self) -> (Vec<JobRecord>, Vec<Span>, Vec<(u64, SimTime)>, RunReport) {
         let spans = self.device.busy_spans().to_vec();
         let totals = self.device.busy_totals().to_vec();
+        let report = RunReport {
+            errors: self.errors,
+            recoveries: self.recoveries,
+            faults: self.device.fault_log().to_vec(),
+            escalations: self.escalations,
+        };
         (
             self.jobs.into_iter().map(|j| j.record).collect(),
             spans,
             totals,
+            report,
         )
     }
 
@@ -280,7 +480,18 @@ impl SystemWorld {
 
     // -- Launch helpers ---------------------------------------------------
 
-    fn launch_job(&mut self, now: SimTime, idx: usize, harness: &mut CollectorHarness) {
+    /// Launches job `idx`'s (next) grid. Returns `false` when no grid went
+    /// out: a transient device rejection (the job re-queues with bounded,
+    /// exponentially backed-off retries) or a permanent failure (the job is
+    /// marked failed and a [`RuntimeError`] recorded) — both former panic
+    /// sites.
+    fn launch_job(
+        &mut self,
+        now: SimTime,
+        idx: usize,
+        harness: &mut CollectorHarness,
+        sched: &mut Scheduler<'_, SystemEvent>,
+    ) -> bool {
         let job = &mut self.jobs[idx];
         job.end_wait(now);
         if job.record.first_granted.is_none() {
@@ -306,19 +517,62 @@ impl SystemWorld {
         };
         if let Some(swap) = self.swap.as_mut() {
             if working_set > 0 {
-                let delay = swap
-                    .acquire(idx as u64, working_set, now)
-                    .expect("working set exceeds device memory: co-run spec invalid");
-                desc = desc.with_extra_launch_delay(delay);
+                match swap.acquire(idx as u64, working_set, now) {
+                    Ok(delay) => desc = desc.with_extra_launch_delay(delay),
+                    Err(_) => {
+                        // No amount of eviction makes this working set fit:
+                        // fail the job instead of poisoning the experiment.
+                        self.errors
+                            .push(RuntimeError::SwapUnsatisfiable { job: idx });
+                        self.jobs[idx].state = JobState::Done;
+                        return false;
+                    }
+                }
             }
         }
-        let grid = self
-            .device
-            .launch(now, desc, harness)
-            .expect("runtime launch rejected by device");
-        job.grid = Some(grid);
-        job.granted_at = Some(now);
-        job.state = JobState::Running;
+        match self.device.launch(now, desc, harness) {
+            Ok(grid) => {
+                let job = &mut self.jobs[idx];
+                job.grid = Some(grid);
+                job.granted_at = Some(now);
+                job.retry_attempts = 0;
+                job.retry_after = None;
+                job.state = JobState::Running;
+                true
+            }
+            Err(e) if e.is_transient() => {
+                let wd = self.watchdog.unwrap_or_default();
+                let job = &mut self.jobs[idx];
+                job.retry_attempts += 1;
+                let attempt = job.retry_attempts;
+                if attempt > wd.max_launch_retries {
+                    self.errors.push(RuntimeError::LaunchRetriesExhausted {
+                        job: idx,
+                        attempts: attempt - 1,
+                    });
+                    self.jobs[idx].state = JobState::Done;
+                    return false;
+                }
+                // Exponential backoff, doubling per consecutive rejection.
+                let backoff = wd.retry_backoff * (1u64 << u64::from((attempt - 1).min(20)));
+                job.state = JobState::Queued;
+                job.begin_wait(now);
+                job.retry_after = Some(now + backoff);
+                self.recoveries.push(RecoveryEvent {
+                    at: now,
+                    job: idx,
+                    action: RecoveryAction::LaunchRetry(attempt),
+                });
+                sched.schedule_at(now + backoff, SystemEvent::RetryLaunch { idx });
+                false
+            }
+            Err(error) => {
+                self.errors
+                    .push(RuntimeError::LaunchFailed { job: idx, error });
+                self.jobs[idx].state = JobState::Done;
+                false
+            }
+        }
     }
 
     /// The running job's live `T_r`: the prediction at grant minus the
@@ -336,6 +590,8 @@ impl SystemWorld {
         let job = &mut self.jobs[idx];
         if let Some(grid) = job.grid {
             job.signalled_at = Some(now);
+            job.signal_sms = sms;
+            job.escalation = 0;
             self.device.signal(now, grid, PreemptSignal::YieldSms(sms));
         }
     }
@@ -352,11 +608,11 @@ impl SystemWorld {
 
     /// The best waiting job: highest priority first, then shortest
     /// remaining predicted time (queues are ordered by `T_r`, §5.2.1).
-    fn best_waiting(&self) -> Option<usize> {
+    fn best_waiting(&self, now: SimTime) -> Option<usize> {
         self.jobs
             .iter()
             .enumerate()
-            .filter(|(_, j)| j.is_waiting())
+            .filter(|(_, j)| j.is_ready(now))
             .min_by(|(ai, a), (bi, b)| {
                 b.spec
                     .priority
@@ -376,17 +632,19 @@ impl SystemWorld {
         overhead_aware: bool,
         forced_yield: Option<u32>,
         harness: &mut CollectorHarness,
+        sched: &mut Scheduler<'_, SystemEvent>,
     ) {
         if self.draining {
             return; // Decisions resume when the victim has drained.
         }
-        let Some(best) = self.best_waiting() else {
+        let Some(best) = self.best_waiting(now) else {
             return;
         };
         match self.gpu_job {
             None => {
-                self.launch_job(now, best, harness);
-                self.gpu_job = Some(best);
+                if self.launch_job(now, best, harness, sched) {
+                    self.gpu_job = Some(best);
+                }
             }
             Some(running) => {
                 let bp = self.jobs[best].spec.priority;
@@ -402,13 +660,19 @@ impl SystemWorld {
                         .sms_needed(self.device.config(), self.jobs[best].remaining_tasks());
                     let needed = forced_yield.unwrap_or(fit).max(fit).min(cfg_sms);
                     if spatial && needed < cfg_sms {
-                        self.signal_preempt(now, running, needed);
-                        self.jobs[running].state = JobState::SharedVictim;
-                        self.shared_victims.push(running);
-                        self.gpu_job = None;
-                        self.launch_job(now, best, harness);
-                        self.jobs[best].state = JobState::RunningShared;
-                        self.gpu_job = Some(best);
+                        // Launch the borrower first: if its launch is
+                        // rejected (fault injection), the victim keeps its
+                        // SMs instead of yielding them to nobody. Both
+                        // calls act at the same instant and neither
+                        // observes the other, so the order does not change
+                        // fault-free runs.
+                        if self.launch_job(now, best, harness, sched) {
+                            self.signal_preempt(now, running, needed);
+                            self.jobs[running].state = JobState::SharedVictim;
+                            self.shared_victims.push(running);
+                            self.jobs[best].state = JobState::RunningShared;
+                            self.gpu_job = Some(best);
+                        }
                     } else {
                         self.signal_preempt(now, running, cfg_sms);
                         self.jobs[running].state = JobState::Draining;
@@ -447,12 +711,14 @@ impl SystemWorld {
         let n = self.jobs.len();
         let Some(pick) = (0..n)
             .map(|k| (self.ffs_cursor + k) % n)
-            .find(|&i| self.jobs[i].is_waiting())
+            .find(|&i| self.jobs[i].is_ready(now))
         else {
             return;
         };
         self.ffs_cursor = (pick + 1) % n;
-        self.launch_job(now, pick, harness);
+        if !self.launch_job(now, pick, harness, sched) {
+            return; // Rotation already advanced; a retry re-enters here.
+        }
         self.gpu_job = Some(pick);
 
         // Epoch length: T * W_i with T from the §5.2.2 constraint
@@ -483,7 +749,7 @@ impl SystemWorld {
                 spatial,
                 overhead_aware,
                 forced_yield,
-            } => self.reschedule_hpf(now, spatial, overhead_aware, forced_yield, harness),
+            } => self.reschedule_hpf(now, spatial, overhead_aware, forced_yield, harness, sched),
             Policy::Ffs { max_overhead } => self.grant_next_ffs(now, max_overhead, harness, sched),
             Policy::MpsBaseline => {
                 // Launch everything that has arrived, immediately; the
@@ -492,23 +758,119 @@ impl SystemWorld {
                     .jobs
                     .iter()
                     .enumerate()
-                    .filter(|(_, j)| j.is_waiting())
+                    .filter(|(_, j)| j.is_ready(now))
                     .map(|(i, _)| i)
                     .collect();
                 for idx in arrived {
-                    self.launch_job(now, idx, harness);
+                    self.launch_job(now, idx, harness, sched);
                 }
             }
             Policy::Reordering => {
                 // No preemption: wait for the device to go idle, then
                 // launch the shortest predicted kernel first.
                 if self.gpu_job.is_none() {
-                    if let Some(best) = self.best_waiting() {
-                        self.launch_job(now, best, harness);
-                        self.gpu_job = Some(best);
+                    if let Some(best) = self.best_waiting(now) {
+                        if self.launch_job(now, best, harness, sched) {
+                            self.gpu_job = Some(best);
+                        }
                     }
                 }
             }
+        }
+    }
+
+    // -- Watchdog ---------------------------------------------------------
+
+    /// One watchdog pass: reconcile runtime job state against device
+    /// ground truth (terminal notifications lost to faults), enforce drain
+    /// deadlines through the escalation ladder, and re-run the scheduling
+    /// decision so backed-off retries and stalled grants make progress.
+    /// Re-arms itself until every job is done.
+    fn watchdog_scan(
+        &mut self,
+        now: SimTime,
+        harness: &mut CollectorHarness,
+        sched: &mut Scheduler<'_, SystemEvent>,
+    ) {
+        let Some(wd) = self.watchdog else { return };
+        for idx in 0..self.jobs.len() {
+            let Some(grid) = self.jobs[idx].grid else {
+                continue;
+            };
+            // A lost DispatchStarted only affects the record; patch it from
+            // the device's own timestamp.
+            if self.jobs[idx].record.first_dispatched.is_none() {
+                if let Some(t) = self.device.grid_dispatch_started(grid) {
+                    self.jobs[idx].record.first_dispatched = Some(t);
+                }
+            }
+            match self.device.grid_phase(grid) {
+                Some(phase @ (GridPhase::Completed | GridPhase::Preempted)) => {
+                    // The grid retired but the runtime still thinks it is
+                    // live: its terminal notification was lost. Rebuild it
+                    // from device state and deliver it through the normal
+                    // path (the stale-note guard drops any late copy).
+                    let done = self.device.grid_tasks_done(grid).unwrap_or(0);
+                    let tag = idx as u64;
+                    let note = if phase == GridPhase::Completed {
+                        HostNotification::Completed {
+                            grid,
+                            tag,
+                            tasks_done: done,
+                        }
+                    } else {
+                        HostNotification::Preempted {
+                            grid,
+                            tag,
+                            tasks_done: done,
+                            remaining_tasks: self.jobs[idx].remaining_tasks() - done,
+                        }
+                    };
+                    self.recoveries.push(RecoveryEvent {
+                        at: now,
+                        job: idx,
+                        action: RecoveryAction::LostNotification,
+                    });
+                    harness.notify_host(now, note);
+                }
+                Some(_) => {
+                    let job = &self.jobs[idx];
+                    let Some(signalled) = job.signalled_at else {
+                        continue;
+                    };
+                    // Compliance probe: does the grid still hold threads on
+                    // SMs the signal told it to vacate? Spatial victims
+                    // legitimately keep running on their remaining SMs, so
+                    // the deadline applies only to the yielded range.
+                    if self.device.grid_threads_below(grid, job.signal_sms) == 0 {
+                        continue;
+                    }
+                    if job.escalation == 0 && now >= signalled + wd.drain_deadline {
+                        self.jobs[idx].escalation = 1;
+                        self.recoveries.push(RecoveryEvent {
+                            at: now,
+                            job: idx,
+                            action: RecoveryAction::ForcedDrain,
+                        });
+                        self.device.force_drain(now, grid);
+                    } else if job.escalation == 1 && now >= signalled + wd.drain_deadline * 2 {
+                        self.jobs[idx].escalation = 2;
+                        self.recoveries.push(RecoveryEvent {
+                            at: now,
+                            job: idx,
+                            action: RecoveryAction::Killed,
+                        });
+                        self.device.kill_grid(now, grid, harness);
+                    }
+                }
+                None => {}
+            }
+        }
+        // Backed-off retries and grants stalled by earlier failures resume
+        // here even when no other event would trigger a decision.
+        self.reschedule(now, harness, sched);
+        if self.jobs.iter().any(|j| j.state != JobState::Done) {
+            sched.schedule_at(now + wd.poll_interval, SystemEvent::Watchdog);
         }
     }
 
@@ -522,6 +884,18 @@ impl SystemWorld {
         sched: &mut Scheduler<'_, SystemEvent>,
     ) {
         let idx = note.tag() as usize;
+        // Stale-note guard: a kill or watchdog reconciliation may already
+        // have resolved this grid on the runtime side while a delayed (or
+        // in-flight) copy of its notification was still travelling. Only
+        // the note matching the job's live grid is acted on; fault-free
+        // runs never take this path (grids outlive their notifications).
+        if !self
+            .jobs
+            .get(idx)
+            .is_some_and(|j| j.grid == Some(note.grid()))
+        {
+            return;
+        }
         match note {
             HostNotification::DispatchStarted { .. } => {
                 let job = &mut self.jobs[idx];
@@ -536,7 +910,11 @@ impl SystemWorld {
                 // Preempted event.
                 if finished_state == JobState::Draining {
                     self.draining = false;
-                    self.jobs[idx].signalled_at = None;
+                }
+                if self.jobs[idx].signalled_at.take().is_some() {
+                    let lvl = usize::from(self.jobs[idx].escalation.min(2));
+                    self.escalations[lvl] += 1;
+                    self.jobs[idx].escalation = 0;
                 }
                 let job = &mut self.jobs[idx];
                 job.tasks_done += tasks_done;
@@ -566,13 +944,18 @@ impl SystemWorld {
                     if matches!(self.policy, Policy::Ffs { .. })
                         && self.gpu_job == Some(idx)
                         && finished_state == JobState::Running
+                        && self.launch_job(now, idx, harness, sched)
                     {
-                        self.launch_job(now, idx, harness);
                         return;
                     }
+                    // (A failed relaunch falls through: the job already
+                    // re-queued or failed inside `launch_job`; give the GPU
+                    // up either way.)
                     let job = &mut self.jobs[idx];
-                    job.state = JobState::Queued;
-                    job.begin_wait(now);
+                    if job.state != JobState::Done {
+                        job.state = JobState::Queued;
+                        job.begin_wait(now);
+                    }
                     if self.gpu_job == Some(idx) {
                         self.gpu_job = None;
                     }
@@ -621,6 +1004,8 @@ impl SystemWorld {
                     let drain = now.saturating_sub(at);
                     job.record.drain_samples.push(drain);
                     self.profilers[idx].record(drain);
+                    self.escalations[usize::from(job.escalation.min(2))] += 1;
+                    job.escalation = 0;
                 }
                 // T_r update (§5.1): scale the prediction by the fraction
                 // of tasks still unprocessed.
@@ -629,6 +1014,9 @@ impl SystemWorld {
                 job.tr = job.te.scale(frac);
                 job.state = JobState::Queued;
                 job.begin_wait(now);
+                // A killed spatial victim lands here too; it no longer
+                // shares the device with anyone.
+                self.shared_victims.retain(|&v| v != idx);
                 if self.gpu_job == Some(idx) {
                     self.gpu_job = None;
                 }
@@ -668,6 +1056,22 @@ impl World for SystemWorld {
                     self.draining = true;
                 }
             }
+            SystemEvent::Watchdog => {
+                self.watchdog_scan(now, &mut harness, sched);
+            }
+            SystemEvent::RetryLaunch { idx } => {
+                // The backoff expired; re-run the scheduling decision if
+                // the job is still waiting (it may have launched, finished,
+                // or failed in the meantime).
+                if self.jobs[idx].state == JobState::Queued {
+                    self.reschedule(now, &mut harness, sched);
+                }
+            }
+            SystemEvent::Note(note) => {
+                // A fault-delayed notification arriving at its deferred
+                // delivery time.
+                self.on_notification(now, note, &mut harness, sched);
+            }
         }
         // Route device-scheduled events and host notifications.
         let notes: Vec<(SimTime, HostNotification)> = harness.notes.drain(..).collect();
@@ -675,6 +1079,11 @@ impl World for SystemWorld {
             sched.schedule_at(at, SystemEvent::Gpu(ev));
         }
         for (at, note) in notes {
+            if at > now {
+                // Fault-delayed: deliver when it lands instead of now.
+                sched.schedule_at(at, SystemEvent::Note(note));
+                continue;
+            }
             let mut h2 = CollectorHarness::new();
             self.on_notification(at, note, &mut h2, sched);
             for (t, ev) in h2.gpu_events {

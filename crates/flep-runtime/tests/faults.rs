@@ -1,0 +1,428 @@
+//! Fault-injection tests for the runtime: directed escalation-ladder
+//! scenarios plus `flep-check` properties asserting that under *any*
+//! random `FaultPlan` every job still completes (or fails with a
+//! structured error), the ladder never livelocks, and fault runs are
+//! deterministic per seed.
+
+use flep_gpu_sim::{FaultConfig, GpuConfig};
+use flep_runtime::{
+    CoRun, CoRunResult, JobSpec, KernelProfile, Policy, RecoveryAction, RuntimeError,
+};
+use flep_sim_core::check::{check, CheckConfig};
+use flep_sim_core::{assume, require, require_eq, SimRng, SimTime};
+use flep_workloads::{Benchmark, BenchmarkId, InputClass};
+
+fn profile(id: BenchmarkId, class: InputClass) -> KernelProfile {
+    KernelProfile::of(&Benchmark::get(id), class)
+}
+
+fn all_complete(r: &CoRunResult) -> bool {
+    r.jobs.iter().all(|j| j.completed.is_some())
+}
+
+/// A low-priority long-running victim plus a high-priority latecomer:
+/// the canonical preemption pair the ladder has to rescue.
+fn victim_pair(faults: FaultConfig) -> CoRunResult {
+    CoRun::new(GpuConfig::k40(), Policy::hpf())
+        .job(
+            JobSpec::new(profile(BenchmarkId::Va, InputClass::Large), SimTime::ZERO)
+                .with_priority(1),
+        )
+        .job(
+            JobSpec::new(
+                profile(BenchmarkId::Spmv, InputClass::Small),
+                SimTime::from_us(200),
+            )
+            .with_priority(2),
+        )
+        .with_faults(faults)
+        .run()
+}
+
+fn count_action(r: &CoRunResult, pred: impl Fn(RecoveryAction) -> bool) -> usize {
+    r.recoveries.iter().filter(|e| pred(e.action)).count()
+}
+
+#[test]
+fn stuck_flag_victim_recovers_via_forced_drain() {
+    // The victim never polls the flag, so the flag preempt can never land;
+    // the watchdog's forced drain (escalation level 2) must rescue the
+    // high-priority job.
+    let r = victim_pair(FaultConfig::quiet(11).with_stuck_flag(1.0));
+    assert!(all_complete(&r), "jobs: {:?}", r.jobs);
+    assert!(r.succeeded(), "errors: {:?}", r.errors);
+    assert!(
+        count_action(&r, |a| a == RecoveryAction::ForcedDrain) >= 1,
+        "recoveries: {:?}",
+        r.recoveries
+    );
+    assert!(r.escalations[1] >= 1, "escalations: {:?}", r.escalations);
+    // High-priority job still finishes well before the stuck victim.
+    assert!(r.jobs[1].completed.unwrap() < r.jobs[0].completed.unwrap());
+}
+
+#[test]
+fn wedged_exit_victim_needs_a_kill() {
+    // The victim sees the flag but a CTA wedges in its exit path: forced
+    // drain cannot help either, only the kill + relaunch rung can.
+    let r = victim_pair(FaultConfig::quiet(12).with_stuck_exit(1.0));
+    assert!(all_complete(&r), "jobs: {:?}", r.jobs);
+    assert!(
+        count_action(&r, |a| a == RecoveryAction::Killed) >= 1,
+        "recoveries: {:?}",
+        r.recoveries
+    );
+    assert!(r.escalations[2] >= 1, "escalations: {:?}", r.escalations);
+    // Task conservation across the kill: the victim re-executes only the
+    // discarded tasks, so completed totals still match exactly.
+    let expected = [
+        Benchmark::get(BenchmarkId::Va)
+            .profile(InputClass::Large)
+            .tasks,
+        Benchmark::get(BenchmarkId::Spmv)
+            .profile(InputClass::Small)
+            .tasks,
+    ];
+    for (j, want) in r.jobs.iter().zip(expected) {
+        assert_eq!(j.tasks_completed, want, "{} task conservation", j.name);
+    }
+}
+
+#[test]
+fn dropped_preempt_signal_recovered_by_watchdog() {
+    // The doorbell write itself is lost: the victim is healthy but never
+    // told to leave. From the runtime's viewpoint this is the same hang as
+    // a stuck victim, and the same ladder recovers it.
+    let r = victim_pair(FaultConfig::quiet(13).with_signal_drop(1.0));
+    assert!(all_complete(&r), "jobs: {:?}", r.jobs);
+    assert!(!r.recoveries.is_empty());
+    assert!(r.escalations[1] + r.escalations[2] >= 1);
+}
+
+#[test]
+fn dropped_notifications_are_reconciled_from_device_state() {
+    // Every host notification is dropped; the watchdog must rebuild the
+    // terminal ones from device ground truth or the run never ends.
+    let r = victim_pair(FaultConfig::quiet(14).with_note_drop(1.0));
+    assert!(all_complete(&r), "jobs: {:?}", r.jobs);
+    assert!(
+        count_action(&r, |a| a == RecoveryAction::LostNotification) >= 2,
+        "recoveries: {:?}",
+        r.recoveries
+    );
+}
+
+#[test]
+fn delayed_notifications_only_delay() {
+    // Delays (not drops) must not lose or duplicate completions.
+    let r = victim_pair(FaultConfig::quiet(15).with_note_delay(1.0, SimTime::from_us(150)));
+    assert!(all_complete(&r), "jobs: {:?}", r.jobs);
+    assert!(r.succeeded(), "errors: {:?}", r.errors);
+}
+
+#[test]
+fn transient_launch_rejections_back_off_and_succeed() {
+    let r = victim_pair(FaultConfig::quiet(16).with_launch_reject(0.5));
+    assert!(all_complete(&r), "jobs: {:?}", r.jobs);
+    assert!(
+        count_action(&r, |a| matches!(a, RecoveryAction::LaunchRetry(_))) >= 1,
+        "recoveries: {:?}",
+        r.recoveries
+    );
+}
+
+#[test]
+fn fault_log_records_what_fired() {
+    let r = victim_pair(FaultConfig::quiet(17).with_stuck_flag(1.0));
+    assert!(
+        !r.faults.is_empty(),
+        "the device fault log should report injected faults"
+    );
+}
+
+#[test]
+fn runaway_looping_job_reports_budget_exhaustion() {
+    // A looping job with no horizon never finishes; the event budget must
+    // surface as a structured error instead of a panic, with the partial
+    // records intact.
+    let r = CoRun::new(GpuConfig::k40(), Policy::hpf())
+        .job(
+            JobSpec::new(profile(BenchmarkId::Nn, InputClass::Trivial), SimTime::ZERO)
+                .with_priority(1)
+                .looping(),
+        )
+        .with_event_budget(50_000)
+        .run();
+    assert!(
+        r.errors
+            .iter()
+            .any(|e| matches!(e, RuntimeError::EventBudgetExhausted { .. })),
+        "errors: {:?}",
+        r.errors
+    );
+    assert!(!r.succeeded());
+    assert!(
+        r.jobs[0].completions > 0,
+        "partial records survive the abort"
+    );
+}
+
+#[test]
+fn acceptance_every_high_priority_job_completes_under_stuck_preemption() {
+    // The PR's acceptance bar: with injected stuck-preemption faults, 100%
+    // of high-priority jobs complete via the escalation ladder and every
+    // recovery is reported.
+    let faults = FaultConfig::quiet(18)
+        .with_stuck_flag(1.0)
+        .with_signal_drop(0.3);
+    let mut corun = CoRun::new(GpuConfig::k40(), Policy::hpf())
+        .job(
+            JobSpec::new(profile(BenchmarkId::Va, InputClass::Large), SimTime::ZERO)
+                .with_priority(1),
+        )
+        .with_faults(faults);
+    for (i, id) in [BenchmarkId::Spmv, BenchmarkId::Pf, BenchmarkId::Nn]
+        .into_iter()
+        .enumerate()
+    {
+        corun = corun.job(
+            JobSpec::new(
+                profile(id, InputClass::Small),
+                SimTime::from_us(150 + 400 * i as u64),
+            )
+            .with_priority(2),
+        );
+    }
+    let r = corun.run();
+    for (i, j) in r.jobs.iter().enumerate().skip(1) {
+        assert!(
+            j.completed.is_some(),
+            "high-priority job {i} never completed"
+        );
+    }
+    assert!(r.jobs[0].completed.is_some(), "victim also completes");
+    assert!(
+        !r.recoveries.is_empty(),
+        "stuck preemptions must be visible as recovery events"
+    );
+    let escalated: u64 = r.escalations[1] + r.escalations[2];
+    assert!(escalated >= 1, "escalations: {:?}", r.escalations);
+}
+
+// -- flep-check properties -----------------------------------------------
+
+/// One generated job: (bench index, arrival_us, priority, seed).
+type JobTuple = (u64, u64, u64, u64);
+
+fn gen_jobs(rng: &mut SimRng, max_jobs: u64) -> Vec<JobTuple> {
+    let n = rng.uniform_u64(1, max_jobs) as usize;
+    (0..n)
+        .map(|_| {
+            (
+                rng.uniform_u64(0, 7),
+                rng.uniform_u64(0, 1_999),
+                rng.uniform_u64(1, 3),
+                rng.u64(),
+            )
+        })
+        .collect()
+}
+
+/// Generated fault knobs, as per-mille rates so scalar shrinking applies,
+/// nested in two 4-tuples (the shrinker covers tuples up to arity 6):
+/// ((seed, reject, sig_drop, sig_delay), (stuck_flag, stuck_exit,
+/// note_drop, note_delay)).
+type FaultTuple = ((u64, u64, u64, u64), (u64, u64, u64, u64));
+
+fn gen_faults(rng: &mut SimRng) -> FaultTuple {
+    (
+        (
+            rng.u64(),
+            // Launch rejections are capped below 1: a job whose every
+            // launch is rejected exhausts its bounded retries and
+            // *correctly* fails; the completion property targets
+            // recoverable faults.
+            rng.uniform_u64(0, 400),
+            rng.uniform_u64(0, 1000),
+            rng.uniform_u64(0, 1000),
+        ),
+        (
+            rng.uniform_u64(0, 1000),
+            rng.uniform_u64(0, 1000),
+            rng.uniform_u64(0, 1000),
+            rng.uniform_u64(0, 1000),
+        ),
+    )
+}
+
+fn faults_of(t: &FaultTuple) -> FaultConfig {
+    let &((seed, reject, sig_drop, sig_delay), (stuck_flag, stuck_exit, note_drop, note_delay)) = t;
+    let pm = |v: u64| v as f64 / 1000.0;
+    FaultConfig::quiet(seed)
+        .with_launch_reject(pm(reject))
+        .with_signal_drop(pm(sig_drop))
+        .with_signal_delay(pm(sig_delay), SimTime::from_us(120))
+        .with_stuck_flag(pm(stuck_flag))
+        .with_stuck_exit(pm(stuck_exit))
+        .with_note_drop(pm(note_drop))
+        .with_note_delay(pm(note_delay), SimTime::from_us(90))
+}
+
+fn corun_of(jobs: &[JobTuple], spatial: bool, faults: FaultConfig) -> CoRun {
+    let policy = if spatial {
+        Policy::hpf_spatial()
+    } else {
+        Policy::hpf()
+    };
+    let mut corun = CoRun::new(GpuConfig::k40(), policy).with_faults(faults);
+    for &(bidx, arrival_us, priority, seed) in jobs {
+        let id = BenchmarkId::ALL[(bidx as usize) % BenchmarkId::ALL.len()];
+        corun = corun.job(
+            JobSpec::new(
+                profile(id, InputClass::Trivial),
+                SimTime::from_us(arrival_us),
+            )
+            .with_priority(priority as u32)
+            .with_seed(seed),
+        );
+    }
+    corun
+}
+
+/// Under any random fault plan, every job either completes with its exact
+/// task count or is reported as a structured launch failure — nothing
+/// hangs, nothing is silently lost, and the escalation ladder terminates
+/// (the run finishes within the event budget).
+#[test]
+fn any_fault_plan_every_job_completes_or_fails_structurally() {
+    check(
+        "any_fault_plan_every_job_completes_or_fails_structurally",
+        CheckConfig::default(),
+        |rng: &mut SimRng| (gen_jobs(rng, 5), rng.bool(), gen_faults(rng)),
+        |(jobs, spatial, faults)| {
+            assume!(!jobs.is_empty());
+            let r = corun_of(jobs, *spatial, faults_of(faults)).run();
+            require!(
+                !r.errors
+                    .iter()
+                    .any(|e| matches!(e, RuntimeError::EventBudgetExhausted { .. })),
+                "escalation ladder livelocked: {:?}",
+                r.errors
+            );
+            for (i, j) in r.jobs.iter().enumerate() {
+                let failed_launch = r.errors.iter().any(|e| {
+                    matches!(
+                        e,
+                        RuntimeError::LaunchRetriesExhausted { job, .. }
+                        | RuntimeError::LaunchFailed { job, .. } if *job == i
+                    )
+                });
+                require!(
+                    j.completed.is_some() || failed_launch,
+                    "job {i} neither completed nor failed structurally: {j:?}"
+                );
+                if j.completed.is_some() {
+                    // Exactly-once task execution across drops, delays,
+                    // forced drains, and kills.
+                    let id = BenchmarkId::ALL[(jobs[i].0 as usize) % BenchmarkId::ALL.len()];
+                    require_eq!(
+                        j.tasks_completed,
+                        Benchmark::get(id).profile(InputClass::Trivial).tasks,
+                        "job {} task conservation",
+                        i
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// High-priority jobs always complete under recoverable fault plans (no
+/// launch rejections): the ladder guarantees eventual preemption.
+#[test]
+fn any_fault_plan_high_priority_always_completes() {
+    check(
+        "any_fault_plan_high_priority_always_completes",
+        CheckConfig::default(),
+        |rng: &mut SimRng| {
+            let mut faults = gen_faults(rng);
+            faults.0 .1 = 0; // no launch rejections: completion must be total
+            (gen_jobs(rng, 5), rng.bool(), faults)
+        },
+        |(jobs, spatial, faults)| {
+            assume!(!jobs.is_empty());
+            let r = corun_of(jobs, *spatial, faults_of(faults)).run();
+            let top = jobs.iter().map(|j| j.2).max().unwrap();
+            for (i, j) in r.jobs.iter().enumerate() {
+                if jobs[i].2 == top {
+                    require!(
+                        j.completed.is_some(),
+                        "high-priority job {i} never completed; recoveries: {:?}",
+                        r.recoveries
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Fault runs are deterministic: the same seed and workload replay to the
+/// same end time, fault log, recovery log, and escalation histogram.
+#[test]
+fn same_fault_seed_replays_identically() {
+    check(
+        "same_fault_seed_replays_identically",
+        CheckConfig::with_cases(24),
+        |rng: &mut SimRng| (gen_jobs(rng, 4), rng.bool(), gen_faults(rng)),
+        |(jobs, spatial, faults)| {
+            assume!(!jobs.is_empty());
+            let a = corun_of(jobs, *spatial, faults_of(faults)).run();
+            let b = corun_of(jobs, *spatial, faults_of(faults)).run();
+            require_eq!(a.end_time, b.end_time, "end time");
+            require_eq!(a.faults.len(), b.faults.len(), "fault log length");
+            require_eq!(a.recoveries, b.recoveries, "recovery log");
+            require_eq!(a.escalations, b.escalations, "escalation histogram");
+            let done_a: Vec<_> = a.jobs.iter().map(|j| j.completed).collect();
+            let done_b: Vec<_> = b.jobs.iter().map(|j| j.completed).collect();
+            require_eq!(done_a, done_b, "completion times");
+            Ok(())
+        },
+    );
+}
+
+/// The ladder is bounded: a preemption needs at most one forced drain and
+/// one kill, so kills never exceed forced drains and every escalated drain
+/// shows up in the histogram.
+#[test]
+fn escalation_ladder_is_bounded() {
+    check(
+        "escalation_ladder_is_bounded",
+        CheckConfig::with_cases(32),
+        |rng: &mut SimRng| (gen_jobs(rng, 4), gen_faults(rng)),
+        |(jobs, faults)| {
+            assume!(!jobs.is_empty());
+            let r = corun_of(jobs, false, faults_of(faults)).run();
+            let forced = r
+                .recoveries
+                .iter()
+                .filter(|e| e.action == RecoveryAction::ForcedDrain)
+                .count() as u64;
+            let killed = r
+                .recoveries
+                .iter()
+                .filter(|e| e.action == RecoveryAction::Killed)
+                .count() as u64;
+            require!(
+                killed <= forced,
+                "a kill always follows a forced drain ({killed} kills, {forced} drains)"
+            );
+            require!(
+                r.escalations[1] + r.escalations[2] <= forced,
+                "histogram counts escalated drains at most once each"
+            );
+            Ok(())
+        },
+    );
+}

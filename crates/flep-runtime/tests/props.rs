@@ -186,3 +186,53 @@ fn top_priority_job_is_never_preempted() {
         },
     );
 }
+
+/// A fault plan whose every rate is zero still owns an RNG stream and (via
+/// the implied watchdog) a polling event source — but neither may leak into
+/// job-visible results: records match a run with the fault layer absent,
+/// and every robustness log stays empty.
+#[test]
+fn quiet_fault_plan_is_invisible() {
+    use flep_gpu_sim::FaultConfig;
+
+    check(
+        "quiet_fault_plan_is_invisible",
+        CheckConfig::default(),
+        |rng: &mut SimRng| (gen_jobs(rng, 4, 1_999, 3), rng.uniform_u64(0, 3), rng.u64()),
+        |(jobs, policy_idx, fault_seed)| {
+            assume!(!jobs.is_empty());
+            assume!(jobs.iter().all(|&(_, _, _, p, _)| p >= 1));
+            let build = |faults: bool| {
+                let mut corun = CoRun::new(GpuConfig::k40(), policy_of(*policy_idx));
+                if faults {
+                    corun = corun.with_faults(FaultConfig::quiet(*fault_seed));
+                }
+                for &(bidx, small, arrival_us, priority, seed) in jobs {
+                    corun = corun.job(
+                        JobSpec::new(
+                            profile(bench_of(bidx), class_of(small)),
+                            SimTime::from_us(arrival_us),
+                        )
+                        .with_priority(priority as u32)
+                        .with_seed(seed),
+                    );
+                }
+                corun.run()
+            };
+            let plain = build(false);
+            let quiet = build(true);
+            require_eq!(plain.jobs, quiet.jobs);
+            require!(quiet.faults.is_empty());
+            require!(quiet.recoveries.is_empty());
+            require!(quiet.errors.is_empty());
+            // `escalations[0]` counts ordinary flag-level preemptions, so
+            // it is free to be non-zero — but it must match the plain run,
+            // and the forced-drain / kill rungs must never fire without
+            // injected faults.
+            require_eq!(plain.escalations, quiet.escalations);
+            require_eq!(quiet.escalations[1], 0);
+            require_eq!(quiet.escalations[2], 0);
+            Ok(())
+        },
+    );
+}

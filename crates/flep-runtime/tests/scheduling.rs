@@ -379,3 +379,31 @@ fn drain_samples_feed_overhead_profiler() {
         assert!(d > SimTime::from_us(2) && d < SimTime::from_us(700), "{d}");
     }
 }
+
+#[test]
+fn fault_layer_is_off_by_default() {
+    // Without `with_faults`/`with_watchdog`, the robustness machinery must
+    // be completely absent from a run's observable result: no fault log, no
+    // recoveries, no errors, no forced-drain or kill escalations — and
+    // `succeeded()` is true. (`escalations[0]` counts ordinary flag
+    // preemptions and may be non-zero in general.)
+    let result = CoRun::new(k40(), Policy::hpf())
+        .job(
+            JobSpec::new(profile(BenchmarkId::Va, InputClass::Small), SimTime::ZERO)
+                .with_priority(1),
+        )
+        .job(
+            JobSpec::new(
+                profile(BenchmarkId::Spmv, InputClass::Trivial),
+                SimTime::from_us(200),
+            )
+            .with_priority(2),
+        )
+        .run();
+    assert!(result.succeeded());
+    assert!(result.errors.is_empty());
+    assert!(result.recoveries.is_empty());
+    assert!(result.faults.is_empty());
+    assert_eq!(result.escalations[1], 0);
+    assert_eq!(result.escalations[2], 0);
+}

@@ -264,3 +264,47 @@ fn hpf_under_mixed_priorities_and_loops_hits_horizon() {
     }
     assert!(result.jobs[0].completions >= 5);
 }
+
+#[test]
+fn stuck_victims_under_a_preemption_storm_all_recover() {
+    use flep_gpu_sim::FaultConfig;
+    use flep_runtime::RecoveryAction;
+
+    // The back-to-back preemption storm, except every persistent grid is
+    // guaranteed to ignore its preemption flag: each preemption must go
+    // through the watchdog's forced drain. Work is still conserved and
+    // every job completes.
+    let mut corun = CoRun::new(GpuConfig::k40(), Policy::hpf())
+        .with_faults(FaultConfig::quiet(21).with_stuck_flag(1.0))
+        .job(
+            JobSpec::new(profile(BenchmarkId::Va, InputClass::Large), SimTime::ZERO)
+                .with_priority(1),
+        );
+    for q in 0..6u64 {
+        corun = corun.job(
+            JobSpec::new(
+                profile(BenchmarkId::Spmv, InputClass::Trivial),
+                SimTime::from_ms(3) * (q + 1),
+            )
+            .with_priority(2)
+            .with_seed(q),
+        );
+    }
+    let result = corun.run();
+    assert!(all_complete(&result));
+    assert!(result.succeeded(), "errors: {:?}", result.errors);
+    let forced = result
+        .recoveries
+        .iter()
+        .filter(|r| r.action == RecoveryAction::ForcedDrain)
+        .count();
+    assert!(forced >= 1, "no forced drains despite stuck victims");
+    assert!(result.escalations[1] >= 1, "{:?}", result.escalations);
+    assert_eq!(
+        result.jobs[0].tasks_completed,
+        Benchmark::get(BenchmarkId::Va)
+            .profile(InputClass::Large)
+            .tasks,
+        "task conservation across forced drains"
+    );
+}

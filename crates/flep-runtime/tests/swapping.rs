@@ -128,3 +128,40 @@ fn swap_disabled_reports_none() {
         .run();
     assert!(result.swap_stats.is_none());
 }
+
+#[test]
+fn unsatisfiable_working_set_is_a_structured_error_not_a_panic() {
+    use flep_runtime::RuntimeError;
+
+    // A working set twice the device's memory can never be admitted. The
+    // run must not panic: the doomed job is parked as a structured
+    // `SwapUnsatisfiable` error and the healthy job runs to completion.
+    let result = CoRun::new(GpuConfig::k40(), Policy::hpf())
+        .with_swap(small_memory())
+        .job(
+            JobSpec::new(profile(BenchmarkId::Mm, InputClass::Small), SimTime::ZERO)
+                .with_working_set(2 * GIB),
+        )
+        .job(
+            JobSpec::new(
+                profile(BenchmarkId::Spmv, InputClass::Small),
+                SimTime::from_us(20),
+            )
+            .with_working_set(GIB / 4),
+        )
+        .run();
+    assert!(!result.succeeded());
+    assert!(
+        result
+            .errors
+            .iter()
+            .any(|e| matches!(e, RuntimeError::SwapUnsatisfiable { job: 0 })),
+        "expected SwapUnsatisfiable for job 0, got {:?}",
+        result.errors
+    );
+    assert!(result.jobs[0].completed.is_none(), "doomed job cannot run");
+    assert!(
+        result.jobs[1].completed.is_some(),
+        "healthy job must be unaffected"
+    );
+}

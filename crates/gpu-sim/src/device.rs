@@ -8,7 +8,8 @@ use std::fmt;
 use flep_sim_core::{GenSlab, SimTime, Span, TraceLog};
 
 use crate::config::GpuConfig;
-use crate::grid::{Grid, GridId, GridPhase, GridShape, LaunchDesc, PreemptSignal};
+use crate::fault::{FaultEvent, FaultPlan, LaunchFault, NoteFault, SignalFault};
+use crate::grid::{Grid, GridId, GridPhase, GridShape, LaunchDesc, PreemptSignal, StuckMode};
 use crate::placement::PlacementIndex;
 use crate::sm::{ResidentCta, Sm};
 
@@ -127,6 +128,14 @@ pub enum LaunchError {
         /// The kernel name.
         name: String,
     },
+    /// The launch was rejected by a transient condition (driver command
+    /// queue full, momentary allocation failure). Unlike the other
+    /// variants this is retryable: the same launch may succeed later.
+    /// Only produced under fault injection.
+    Transient {
+        /// The kernel name.
+        name: String,
+    },
 }
 
 impl fmt::Display for LaunchError {
@@ -141,7 +150,18 @@ impl fmt::Display for LaunchError {
             LaunchError::ZeroAmortize { name } => {
                 write!(f, "kernel `{name}`: amortizing factor must be at least 1")
             }
+            LaunchError::Transient { name } => {
+                write!(f, "kernel `{name}`: transient launch rejection (retryable)")
+            }
         }
+    }
+}
+
+impl LaunchError {
+    /// Whether retrying the same launch later can succeed.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, LaunchError::Transient { .. })
     }
 }
 
@@ -185,6 +205,10 @@ pub struct GpuDevice {
     /// grid (head of the stream) and grids parked behind it, in launch
     /// order.
     streams: Vec<StreamLane>,
+    /// Seeded fault injector. `None` (the default) means the fault layer
+    /// is entirely inert: no RNG draws, no timing changes, bit-identical
+    /// behavior to a build without it.
+    fault: Option<FaultPlan>,
 }
 
 /// State of one CUDA stream on the device.
@@ -209,6 +233,18 @@ impl fmt::Debug for GpuDevice {
     }
 }
 
+/// Invariant message for grid lookups on the dispatch path: an id is only
+/// in the device FIFO while its grid is live (retirement and kill both
+/// remove it before the slab slot could be reused), so a miss here is a
+/// bookkeeping bug, not a recoverable condition.
+const FIFO_INVARIANT: &str =
+    "invariant: a grid id in the device FIFO resolves; retire/kill remove it first";
+/// Invariant message for grid lookups when (re)starting a batch: batches
+/// are only started for CTAs placed in this same call chain, while the
+/// grid is necessarily live.
+const BATCH_INVARIANT: &str =
+    "invariant: batches are only started for freshly placed CTAs of a live grid";
+
 impl GpuDevice {
     /// Creates an idle device.
     #[must_use]
@@ -228,7 +264,19 @@ impl GpuDevice {
             busy_totals: Vec::new(),
             trace: TraceLog::disabled(),
             streams: Vec::new(),
+            fault: None,
         }
+    }
+
+    /// Installs (or removes, with `None`) the seeded fault injector.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// Every fault injected so far (empty without a plan).
+    #[must_use]
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        self.fault.as_ref().map_or(&[], FaultPlan::log)
     }
 
     /// Enables event tracing (disabled by default to bound memory).
@@ -300,6 +348,16 @@ impl GpuDevice {
         })
     }
 
+    /// Total threads the grid currently holds on SMs with `%smid < n_sms`.
+    /// The watchdog's compliance probe: after `YieldSms(n)` a healthy
+    /// victim drains this to zero; a stuck one does not.
+    #[must_use]
+    pub fn grid_threads_below(&self, grid: GridId, n_sms: u32) -> u32 {
+        self.grids.get(grid.0).map_or(0, |g| {
+            g.threads_on_sm.iter().take(n_sms as usize).copied().sum()
+        })
+    }
+
     /// When the grid's first CTA was dispatched.
     #[must_use]
     pub fn grid_dispatch_started(&self, grid: GridId) -> Option<SimTime> {
@@ -349,6 +407,20 @@ impl GpuDevice {
             }
         }
 
+        let persistent = matches!(desc.shape, GridShape::Persistent { .. });
+        let mut stuck = StuckMode::Responsive;
+        if let Some(plan) = self.fault.as_mut() {
+            match plan.on_launch(now, desc.tag, persistent) {
+                LaunchFault::None => {}
+                LaunchFault::Reject => {
+                    self.trace.record(now, "launch_rejected", desc.tag);
+                    return Err(LaunchError::Transient { name: desc.name });
+                }
+                LaunchFault::StuckVictim => stuck = StuckMode::IgnoreFlag,
+                LaunchFault::WedgedExit => stuck = StuckMode::WedgeOnExit,
+            }
+        }
+
         let extra_delay = desc.extra_launch_delay;
         let stream_lane = desc.stream.map(|s| self.lane_index(s));
 
@@ -384,10 +456,20 @@ impl GpuDevice {
             planned_ctas,
             stream_lane,
             threads_on_sm: vec![0; self.cfg.num_sms as usize],
+            stuck,
+            stall_left: if stuck == StuckMode::WedgeOnExit {
+                1
+            } else {
+                0
+            },
+            forced_exit: false,
         };
         self.trace.record(now, "launch", grid.tag);
         let id = GridId(self.grids.insert(grid));
-        self.grids.get_mut(id.0).expect("just inserted").id = id;
+        self.grids
+            .get_mut(id.0)
+            .expect("invariant: a slab key returned by insert is live until removed")
+            .id = id;
         harness.schedule_gpu(
             now + self.cfg.launch_overhead + extra_delay,
             GpuEvent::LaunchArrived(id),
@@ -415,16 +497,32 @@ impl GpuDevice {
     /// Signalling a retired or unknown grid is a no-op (the host may race
     /// with completion; the paper's runtime tolerates this too).
     pub fn signal(&mut self, now: SimTime, grid: GridId, signal: PreemptSignal) {
-        let latency = self.cfg.flag_visibility_latency;
+        let mut latency = self.cfg.flag_visibility_latency;
         let Some(g) = self.grids.get_mut(grid.0) else {
             return;
         };
         if matches!(g.phase, GridPhase::Completed | GridPhase::Preempted) {
             return;
         }
+        let tag = g.tag;
+        if let Some(plan) = self.fault.as_mut() {
+            match plan.on_signal(now, tag) {
+                SignalFault::None => {}
+                SignalFault::Drop => {
+                    // The doorbell write never lands: the grid's flag (and
+                    // the signalled-grid list) stay exactly as they were.
+                    self.trace.record(now, "signal_lost", tag);
+                    return;
+                }
+                SignalFault::Delay(by) => latency += by,
+            }
+        }
+        let g = self
+            .grids
+            .get_mut(grid.0)
+            .expect("grid checked above; fault bookkeeping cannot remove grids");
         g.signal = signal;
         g.signal_visible_at = now + latency;
-        let tag = g.tag;
         let persistent = matches!(g.shape, GridShape::Persistent { .. });
         self.trace.record(now, "signal", tag);
         // Keep the signalled-grid list in sync: only persistent grids with
@@ -459,6 +557,7 @@ impl GpuDevice {
         };
         g.signal = PreemptSignal::None;
         g.signal_visible_at = now;
+        g.forced_exit = false;
         let capacity = self.cfg.device_capacity(&g.resources);
         let live = g.active_ctas + g.pending_ctas;
         let refill = capacity.saturating_sub(live).min(g.unclaimed_tasks());
@@ -475,6 +574,106 @@ impl GpuDevice {
         if !self.fifo.contains(&grid) {
             self.fifo.push_back(grid);
         }
+        self.dispatch(now, harness);
+    }
+
+    /// Escalation level 2: forces a persistent grid to drain at its next
+    /// batch boundaries regardless of the preemption flag, modelling the
+    /// driver's kernel-slicing-style fallback (evict at instrumented slice
+    /// boundaries below the flag poll). Effective even when the victim's
+    /// flag polls are broken ([`StuckMode::IgnoreFlag`]); a CTA wedged in
+    /// its exit path ([`StuckMode::WedgeOnExit`]) still survives this and
+    /// needs a kill.
+    ///
+    /// No-op for retired, original-shape, or unknown grids.
+    pub fn force_drain(&mut self, now: SimTime, grid: GridId) {
+        let Some(g) = self.grids.get_mut(grid.0) else {
+            return;
+        };
+        if matches!(g.phase, GridPhase::Completed | GridPhase::Preempted) {
+            return;
+        }
+        let GridShape::Persistent { .. } = g.shape else {
+            return;
+        };
+        if g.forced_exit {
+            return;
+        }
+        g.forced_exit = true;
+        let tag = g.tag;
+        self.trace.record(now, "force_drain", tag);
+        // Forced grids are "leaving" for contention purposes, exactly like
+        // flag-signalled ones.
+        if !self.signalled.contains(&grid) {
+            self.signalled.push(grid);
+        }
+    }
+
+    /// Escalation level 3: immediately evicts every CTA of the grid and
+    /// retires it, the moral equivalent of `cudaDeviceReset` scoped to one
+    /// grid. Work claimed but not completed is discarded — FLEP's
+    /// task-pulling makes the completed-task counter the resume point, so
+    /// a relaunch re-executes only the discarded tasks (task side effects
+    /// fire on batch *completion*, preserving exactly-once execution).
+    ///
+    /// Emits [`HostNotification::Preempted`] (or `Completed` if the grid
+    /// had in fact finished all tasks) through the normal — fault-prone —
+    /// notification path. No-op for retired or unknown grids.
+    pub fn kill_grid(&mut self, now: SimTime, grid: GridId, harness: &mut dyn GpuHarness) {
+        let Some(g) = self.grids.get_mut(grid.0) else {
+            return;
+        };
+        if matches!(g.phase, GridPhase::Completed | GridPhase::Preempted) {
+            return;
+        }
+        let usage = g.resources;
+        let tag = g.tag;
+        g.pending_ctas = 0;
+        g.active_ctas = 0;
+        // Claimed-but-unfinished batches are lost; roll the claim counter
+        // back so the completed-task counter is the single source of truth
+        // for the resume point.
+        g.next_task = g.completed_tasks;
+        for sm_idx in 0..self.sms.len() {
+            self.grids
+                .get_mut(grid.0)
+                .expect("grid checked above; eviction cannot remove grids")
+                .threads_on_sm[sm_idx] = 0;
+            for evicted in self.sms[sm_idx].evict_grid(&usage, grid) {
+                self.placement.on_remove(sm_idx as u32);
+                self.record_busy(evicted.since, now, tag);
+            }
+        }
+        self.trace.record(now, "kill", tag);
+        let g = self
+            .grids
+            .get_mut(grid.0)
+            .expect("grid checked above; eviction cannot remove grids");
+        let (done, total) = match g.shape {
+            GridShape::Original { ctas } => (g.completed_ctas, ctas),
+            GridShape::Persistent { total_tasks, .. } => (g.completed_tasks, total_tasks),
+        };
+        let note = if done == total {
+            g.phase = GridPhase::Completed;
+            HostNotification::Completed {
+                grid,
+                tag,
+                tasks_done: done,
+            }
+        } else {
+            g.phase = GridPhase::Preempted;
+            HostNotification::Preempted {
+                grid,
+                tag,
+                tasks_done: done,
+                remaining_tasks: total - done,
+            }
+        };
+        self.signalled.retain(|&x| x != grid);
+        self.fifo.retain(|&x| x != grid);
+        self.emit_note(now, note, harness);
+        self.advance_stream(now, grid, harness);
+        // The eviction freed SM resources; let queued grids use them.
         self.dispatch(now, harness);
     }
 
@@ -499,7 +698,10 @@ impl GpuDevice {
         let mut threads = sm.used_threads();
         for &gid in &self.signalled {
             if let Some(g) = self.grids.get(gid.0) {
-                if now >= g.signal_visible_at && g.signal.must_exit(sm.id()) {
+                // What the CTAs will act on, not what the host wrote: a
+                // fault-stuck grid that ignores its flag is *not* leaving,
+                // so its threads still count toward sustained load.
+                if g.poll_signal(now).must_exit(sm.id()) {
                     threads -= g.threads_on_sm[sm_idx];
                 }
             }
@@ -510,6 +712,27 @@ impl GpuDevice {
             f64::from(occ * usage.threads_per_cta) / f64::from(self.cfg.threads_per_sm);
         let c = mem_intensity.max(0.0);
         (1.0 + c * load) / (1.0 + c * full_own_load)
+    }
+
+    /// Delivers a host notification through the fault layer: it may be
+    /// dropped or delayed. All device-originated notifications go through
+    /// here so the interrupt path has a single fault opportunity per note.
+    fn emit_note(&mut self, now: SimTime, note: HostNotification, harness: &mut dyn GpuHarness) {
+        if let Some(plan) = self.fault.as_mut() {
+            match plan.on_note(now, note.tag()) {
+                NoteFault::None => {}
+                NoteFault::Drop => {
+                    self.trace.record(now, "note_lost", note.tag());
+                    return;
+                }
+                NoteFault::Delay(by) => {
+                    self.trace.record(now, "note_delayed", note.tag());
+                    harness.notify_host(now + by, note);
+                    return;
+                }
+            }
+        }
+        harness.notify_host(now, note);
     }
 
     /// Routes a previously scheduled device event.
@@ -528,7 +751,14 @@ impl GpuDevice {
     }
 
     fn on_launch_arrived(&mut self, now: SimTime, id: GridId, harness: &mut dyn GpuHarness) {
-        let grid = self.grids.get_mut(id.0).expect("launch for unknown grid");
+        // A grid killed (or pruned) while its launch was in flight simply
+        // never arrives.
+        let Some(grid) = self.grids.get_mut(id.0) else {
+            return;
+        };
+        if matches!(grid.phase, GridPhase::Completed | GridPhase::Preempted) {
+            return;
+        }
         debug_assert_eq!(grid.phase, GridPhase::InFlight);
         // Same-stream ordering: a grid whose stream still has a live
         // predecessor parks until that predecessor retires.
@@ -543,7 +773,10 @@ impl GpuDevice {
                 None => lane.live = Some(id),
             }
         }
-        let grid = self.grids.get_mut(id.0).expect("grid vanished");
+        let grid = self
+            .grids
+            .get_mut(id.0)
+            .expect("invariant: stream-lane bookkeeping never removes grids");
         grid.phase = GridPhase::Queued;
         self.fifo.push_back(id);
         self.dispatch(now, harness);
@@ -589,7 +822,7 @@ impl GpuDevice {
         debug_assert!(placed.is_empty());
         while let Some(&gid) = self.fifo.front() {
             self.place_grid(now, gid, harness, &mut placed);
-            let fully_dispatched = self.grids.get(gid.0).expect("grid vanished").pending_ctas == 0;
+            let fully_dispatched = self.grids.get(gid.0).expect(FIFO_INVARIANT).pending_ctas == 0;
             if fully_dispatched {
                 self.fifo.pop_front();
                 self.maybe_retire(now, gid, harness);
@@ -598,13 +831,13 @@ impl GpuDevice {
             }
         }
         for &(gid, cta_idx, sm_idx) in &placed {
-            let grid = self.grids.get(gid.0).expect("grid vanished");
+            let grid = self.grids.get(gid.0).expect(FIFO_INVARIANT);
             match grid.shape {
                 GridShape::Original { .. } => {
                     let (usage, mem) = (grid.resources, grid.mem_intensity);
                     let factor =
                         self.effective_contention_factor(now, sm_idx as usize, &usage, mem);
-                    let grid = self.grids.get_mut(gid.0).expect("grid vanished");
+                    let grid = self.grids.get_mut(gid.0).expect(FIFO_INVARIANT);
                     let dur = grid.task_cost.sample(&mut grid.rng).scale(factor);
                     harness.schedule_gpu(
                         now + dur,
@@ -634,7 +867,7 @@ impl GpuDevice {
         placed: &mut Vec<(GridId, u64, u32)>,
     ) {
         loop {
-            let grid = self.grids.get_mut(gid.0).expect("dispatch of unknown grid");
+            let grid = self.grids.get_mut(gid.0).expect(FIFO_INVARIANT);
             if grid.pending_ctas == 0 {
                 return;
             }
@@ -643,7 +876,7 @@ impl GpuDevice {
             // have its not-yet-dispatched CTAs observe the flag on entry and
             // return immediately; model that by dropping them.
             if let GridShape::Persistent { .. } = grid.shape {
-                let sig = grid.visible_signal(now);
+                let sig = grid.poll_signal(now);
                 if (0..self.cfg.num_sms).all(|s| sig.must_exit(s)) {
                     grid.pending_ctas = 0;
                     return;
@@ -652,7 +885,7 @@ impl GpuDevice {
 
             let usage = grid.resources;
             let sig = match grid.shape {
-                GridShape::Persistent { .. } => grid.visible_signal(now),
+                GridShape::Persistent { .. } => grid.poll_signal(now),
                 GridShape::Original { .. } => PreemptSignal::None,
             };
             // Least-loaded fitting SM (lowest id breaks ties): the hardware
@@ -669,7 +902,7 @@ impl GpuDevice {
             };
             let sm_idx = sm as usize;
 
-            let grid = self.grids.get_mut(gid.0).expect("grid vanished");
+            let grid = self.grids.get_mut(gid.0).expect(FIFO_INVARIANT);
             let cta_idx = grid.planned_ctas - grid.pending_ctas;
             grid.pending_ctas -= 1;
             grid.active_ctas += 1;
@@ -679,7 +912,11 @@ impl GpuDevice {
                 grid.phase = GridPhase::Running;
                 let tag = grid.tag;
                 self.trace.record(now, "dispatch_start", tag);
-                harness.notify_host(now, HostNotification::DispatchStarted { grid: gid, tag });
+                self.emit_note(
+                    now,
+                    HostNotification::DispatchStarted { grid: gid, tag },
+                    harness,
+                );
             }
 
             let resident = ResidentCta {
@@ -705,11 +942,11 @@ impl GpuDevice {
         harness: &mut dyn GpuHarness,
     ) {
         let factor = {
-            let grid = self.grids.get(gid.0).expect("batch for unknown grid");
+            let grid = self.grids.get(gid.0).expect(BATCH_INVARIANT);
             let (usage, mem) = (grid.resources, grid.mem_intensity);
             self.effective_contention_factor(now, sm as usize, &usage, mem)
         };
-        let grid = self.grids.get_mut(gid.0).expect("batch for unknown grid");
+        let grid = self.grids.get_mut(gid.0).expect(BATCH_INVARIANT);
         let GridShape::Persistent { amortize, .. } = grid.shape else {
             unreachable!("start_batch on original grid");
         };
@@ -773,7 +1010,14 @@ impl GpuDevice {
         sm: u32,
         harness: &mut dyn GpuHarness,
     ) {
-        let grid = self.grids.get_mut(gid.0).expect("CtaDone for unknown grid");
+        // Same stale-event gate as `on_batch_done`: a killed grid's
+        // in-flight completions must be dropped, not processed.
+        let Some(grid) = self.grids.get_mut(gid.0) else {
+            return;
+        };
+        if matches!(grid.phase, GridPhase::Completed | GridPhase::Preempted) {
+            return;
+        }
         let first_task = grid.first_task;
         if let Some(f) = grid.task_fn.as_mut() {
             f(first_task + cta);
@@ -801,10 +1045,17 @@ impl GpuDevice {
         n_tasks: u64,
         harness: &mut dyn GpuHarness,
     ) {
-        let grid = self
-            .grids
-            .get_mut(gid.0)
-            .expect("BatchDone for unknown grid");
+        // A kill (watchdog escalation) retires a grid while its CTAs'
+        // completion events are still in the queue; those events refer to
+        // work that was forcibly discarded and must be ignored. Without
+        // faults every grid outlives all of its scheduled events, so this
+        // gate never fires.
+        let Some(grid) = self.grids.get_mut(gid.0) else {
+            return;
+        };
+        if matches!(grid.phase, GridPhase::Completed | GridPhase::Preempted) {
+            return;
+        }
         grid.completed_tasks += n_tasks;
         let offset = grid.first_task;
         if let Some(f) = grid.task_fn.as_mut() {
@@ -813,7 +1064,20 @@ impl GpuDevice {
             }
         }
 
-        let must_exit = grid.visible_signal(now).must_exit(sm);
+        let must_exit = grid.poll_signal(now).must_exit(sm);
+        if must_exit && grid.stuck == StuckMode::WedgeOnExit && grid.stall_left > 0 {
+            // The injected wedge fires: the CTA saw the flag but hangs in
+            // its exit path. It stays resident (still occupying the SM and
+            // counting toward contention) and will never schedule another
+            // event; only a kill can reclaim it.
+            grid.stall_left -= 1;
+            let tag = grid.tag;
+            self.trace.record(now, "cta_wedged", tag);
+            if let Some(plan) = self.fault.as_mut() {
+                plan.record_wedge_fired(now, tag);
+            }
+            return;
+        }
         let out_of_work = grid.unclaimed_tasks() == 0;
         if must_exit || out_of_work {
             grid.active_ctas -= 1;
@@ -846,7 +1110,10 @@ impl GpuDevice {
     /// Retires a grid whose CTAs have all left the device, emitting the
     /// appropriate notification.
     fn maybe_retire(&mut self, now: SimTime, gid: GridId, harness: &mut dyn GpuHarness) {
-        let grid = self.grids.get_mut(gid.0).expect("retire of unknown grid");
+        let grid = self
+            .grids
+            .get_mut(gid.0)
+            .expect("invariant: retire is only attempted from paths holding a live grid id");
         if grid.active_ctas > 0 || grid.pending_ctas > 0 {
             return;
         }
@@ -859,13 +1126,14 @@ impl GpuDevice {
                     grid.phase = GridPhase::Completed;
                     let (tag, done) = (grid.tag, grid.completed_ctas);
                     self.trace.record(now, "complete", tag);
-                    harness.notify_host(
+                    self.emit_note(
                         now,
                         HostNotification::Completed {
                             grid: gid,
                             tag,
                             tasks_done: done,
                         },
+                        harness,
                     );
                     self.advance_stream(now, gid, harness);
                 }
@@ -878,20 +1146,21 @@ impl GpuDevice {
                     grid.phase = GridPhase::Completed;
                     let (tag, done) = (grid.tag, grid.completed_tasks);
                     self.trace.record(now, "complete", tag);
-                    harness.notify_host(
+                    self.emit_note(
                         now,
                         HostNotification::Completed {
                             grid: gid,
                             tag,
                             tasks_done: done,
                         },
+                        harness,
                     );
                 } else {
                     grid.phase = GridPhase::Preempted;
                     let (tag, done) = (grid.tag, grid.completed_tasks);
                     let remaining = total_tasks - done;
                     self.trace.record(now, "preempt", tag);
-                    harness.notify_host(
+                    self.emit_note(
                         now,
                         HostNotification::Preempted {
                             grid: gid,
@@ -899,6 +1168,7 @@ impl GpuDevice {
                             tasks_done: done,
                             remaining_tasks: remaining,
                         },
+                        harness,
                     );
                 }
                 self.advance_stream(now, gid, harness);

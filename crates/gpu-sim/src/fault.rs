@@ -1,0 +1,413 @@
+//! Deterministic fault injection for the device model.
+//!
+//! FLEP's flag-based preemption depends on cooperation from every layer
+//! that production GPU stacks routinely fail to provide: the host's flag
+//! write must reach device memory, every victim CTA must actually poll
+//! the flag, launches must be accepted, and completion interrupts must
+//! reach the driver. A [`FaultPlan`] injects exactly those failures —
+//! deterministically, from a seed — so the runtime's recovery ladder can
+//! be exercised and regression-tested like any other code path.
+//!
+//! # Determinism contract
+//!
+//! All fault decisions draw from a dedicated RNG stream
+//! ([`SimRng::stream`] with [`FAULT_STREAM`]) that is independent of
+//! every workload noise stream. Two consequences, both load-bearing:
+//!
+//! * The same `(fault seed, scenario)` pair replays the identical fault
+//!   sequence, so any failing run is replayable from its seed.
+//! * When the device has no plan installed (`faults disabled`), **no
+//!   fault code draws randomness and no event timing changes**: golden
+//!   traces and `FLEP_JSON` bytes are bit-identical to a build without
+//!   the fault layer. The device only consults the plan behind an
+//!   `Option`, and a plan with all rates at zero draws but never fires.
+
+use std::fmt;
+
+use flep_sim_core::{SimRng, SimTime};
+
+/// Stream id of the fault-injection RNG (see [`SimRng::stream`]): chosen
+/// once, never reused by another subsystem.
+pub const FAULT_STREAM: u64 = 0xFA_17_57_BE_A1;
+
+/// Probabilities and magnitudes for each injectable failure class.
+///
+/// All rates are per-opportunity probabilities in `[0, 1]`; zero disables
+/// the class. The default configuration (via [`FaultConfig::quiet`])
+/// injects nothing, which is useful for asserting that merely installing
+/// a plan does not perturb a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the fault RNG stream (`FLEP_FAULT_SEED` in the tools).
+    pub seed: u64,
+    /// Probability that a launch is rejected with a transient
+    /// [`crate::LaunchError::Transient`] (driver queue full / OOM blip).
+    pub launch_reject: f64,
+    /// Probability that a preempt doorbell (flag write) is lost entirely.
+    pub signal_drop: f64,
+    /// Probability that a preempt doorbell is delayed by
+    /// [`FaultConfig::signal_delay_by`] on top of the normal visibility
+    /// latency.
+    pub signal_delay: f64,
+    /// Extra visibility latency applied to delayed doorbells.
+    pub signal_delay_by: SimTime,
+    /// Probability that a persistent grid is a *stuck victim*: its CTAs
+    /// never poll the preemption flag (e.g. the transformed kernel's poll
+    /// was compiled out or the amortizing factor is effectively infinite).
+    /// Flag preemption has no effect; a forced drain still works because
+    /// it evicts at batch boundaries below the poll.
+    pub stuck_flag: f64,
+    /// Probability that a persistent grid wedges one CTA at its first
+    /// preemption-exit point: the CTA sees the flag but never completes
+    /// the exit (livelocked loop body). Neither flag preemption nor a
+    /// forced drain can retire the grid; only a kill does.
+    pub stuck_exit: f64,
+    /// Probability that a host notification (dispatch/completion/preempt
+    /// interrupt) is dropped.
+    pub note_drop: f64,
+    /// Probability that a host notification is delayed by
+    /// [`FaultConfig::note_delay_by`].
+    pub note_delay: f64,
+    /// Extra delivery latency applied to delayed notifications.
+    pub note_delay_by: SimTime,
+}
+
+impl FaultConfig {
+    /// A plan seed with every fault class disabled. Installing this must
+    /// be observationally identical to installing no plan at all.
+    #[must_use]
+    pub fn quiet(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            launch_reject: 0.0,
+            signal_drop: 0.0,
+            signal_delay: 0.0,
+            signal_delay_by: SimTime::from_us(200),
+            stuck_flag: 0.0,
+            stuck_exit: 0.0,
+            note_drop: 0.0,
+            note_delay: 0.0,
+            note_delay_by: SimTime::from_us(100),
+        }
+    }
+
+    /// Sets the transient launch-rejection rate (builder style).
+    #[must_use]
+    pub fn with_launch_reject(mut self, p: f64) -> Self {
+        self.launch_reject = p;
+        self
+    }
+
+    /// Sets the lost-doorbell rate (builder style).
+    #[must_use]
+    pub fn with_signal_drop(mut self, p: f64) -> Self {
+        self.signal_drop = p;
+        self
+    }
+
+    /// Sets the delayed-doorbell rate and delay (builder style).
+    #[must_use]
+    pub fn with_signal_delay(mut self, p: f64, by: SimTime) -> Self {
+        self.signal_delay = p;
+        self.signal_delay_by = by;
+        self
+    }
+
+    /// Sets the stuck-victim (never polls) rate (builder style).
+    #[must_use]
+    pub fn with_stuck_flag(mut self, p: f64) -> Self {
+        self.stuck_flag = p;
+        self
+    }
+
+    /// Sets the wedged-exit (sees flag, never exits) rate (builder
+    /// style).
+    #[must_use]
+    pub fn with_stuck_exit(mut self, p: f64) -> Self {
+        self.stuck_exit = p;
+        self
+    }
+
+    /// Sets the dropped-notification rate (builder style).
+    #[must_use]
+    pub fn with_note_drop(mut self, p: f64) -> Self {
+        self.note_drop = p;
+        self
+    }
+
+    /// Sets the delayed-notification rate and delay (builder style).
+    #[must_use]
+    pub fn with_note_delay(mut self, p: f64, by: SimTime) -> Self {
+        self.note_delay = p;
+        self.note_delay_by = by;
+        self
+    }
+}
+
+/// One injected fault, as recorded in the device's fault log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A launch was rejected with a transient error.
+    LaunchRejected,
+    /// A preempt doorbell (flag write) was lost.
+    SignalDropped,
+    /// A preempt doorbell's visibility was delayed by the given extra
+    /// latency.
+    SignalDelayed(SimTime),
+    /// The grid was marked a stuck victim at launch: its CTAs will never
+    /// observe the preemption flag.
+    StuckVictim,
+    /// The grid was marked wedge-on-exit at launch: one CTA will hang at
+    /// its first preemption exit instead of leaving the SM.
+    WedgedExit,
+    /// The wedge armed by [`FaultKind::WedgedExit`] fired: a CTA that
+    /// should have exited is now hung and will never produce an event.
+    CtaWedged,
+    /// A host notification was dropped.
+    NoteDropped,
+    /// A host notification's delivery was delayed by the given extra
+    /// latency.
+    NoteDelayed(SimTime),
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::LaunchRejected => write!(f, "launch_rejected"),
+            FaultKind::SignalDropped => write!(f, "signal_dropped"),
+            FaultKind::SignalDelayed(by) => write!(f, "signal_delayed+{by}"),
+            FaultKind::StuckVictim => write!(f, "stuck_victim"),
+            FaultKind::WedgedExit => write!(f, "wedged_exit"),
+            FaultKind::CtaWedged => write!(f, "cta_wedged"),
+            FaultKind::NoteDropped => write!(f, "note_dropped"),
+            FaultKind::NoteDelayed(by) => write!(f, "note_delayed+{by}"),
+        }
+    }
+}
+
+/// A fault that fired, stamped with when and against which host tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Simulation time at which the fault was injected.
+    pub at: SimTime,
+    /// Host correlation tag of the affected grid/launch.
+    pub tag: u64,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+/// What the plan decided for one launch attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LaunchFault {
+    /// Accept the launch normally.
+    None,
+    /// Reject with a transient error.
+    Reject,
+    /// Accept, but the grid's CTAs never poll the flag.
+    StuckVictim,
+    /// Accept, but one CTA wedges at its first preemption exit.
+    WedgedExit,
+}
+
+/// What the plan decided for one doorbell write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SignalFault {
+    None,
+    Drop,
+    Delay(SimTime),
+}
+
+/// What the plan decided for one host notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NoteFault {
+    None,
+    Drop,
+    Delay(SimTime),
+}
+
+/// The seeded fault injector installed on a [`crate::GpuDevice`].
+///
+/// Consulted at each fault *opportunity* (launch, signal, notification);
+/// draws from its private stream in a fixed order so the decision
+/// sequence depends only on the seed and the order of opportunities.
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    rng: SimRng,
+    log: Vec<FaultEvent>,
+}
+
+impl fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("cfg", &self.cfg)
+            .field("log", &self.log.len())
+            .finish()
+    }
+}
+
+impl FaultPlan {
+    /// Builds the injector for a configuration, deriving its RNG from the
+    /// dedicated fault stream.
+    #[must_use]
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultPlan {
+            cfg,
+            rng: SimRng::stream(cfg.seed, FAULT_STREAM),
+            log: Vec::new(),
+        }
+    }
+
+    /// The configuration this plan injects.
+    #[must_use]
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Every fault injected so far, in injection order.
+    #[must_use]
+    pub fn log(&self) -> &[FaultEvent] {
+        &self.log
+    }
+
+    fn roll(&mut self, p: f64) -> bool {
+        // Zero-rate classes draw anyway: the draw sequence must depend
+        // only on the opportunity order, not on which rates are enabled,
+        // so tightening one rate never reshuffles another class's faults.
+        self.rng.f64() < p
+    }
+
+    fn record(&mut self, at: SimTime, tag: u64, kind: FaultKind) {
+        self.log.push(FaultEvent { at, tag, kind });
+    }
+
+    /// Decides the fate of one launch attempt. `persistent` gates the
+    /// stuck-victim classes (original-shape grids have no poll loop to
+    /// get stuck in, but their draws still happen — see `roll`).
+    pub(crate) fn on_launch(&mut self, at: SimTime, tag: u64, persistent: bool) -> LaunchFault {
+        let reject = self.roll(self.cfg.launch_reject);
+        let stuck = self.roll(self.cfg.stuck_flag);
+        let wedged = self.roll(self.cfg.stuck_exit);
+        if reject {
+            self.record(at, tag, FaultKind::LaunchRejected);
+            return LaunchFault::Reject;
+        }
+        if persistent && stuck {
+            self.record(at, tag, FaultKind::StuckVictim);
+            return LaunchFault::StuckVictim;
+        }
+        if persistent && wedged {
+            self.record(at, tag, FaultKind::WedgedExit);
+            return LaunchFault::WedgedExit;
+        }
+        LaunchFault::None
+    }
+
+    /// Decides the fate of one doorbell write.
+    pub(crate) fn on_signal(&mut self, at: SimTime, tag: u64) -> SignalFault {
+        let drop = self.roll(self.cfg.signal_drop);
+        let delay = self.roll(self.cfg.signal_delay);
+        if drop {
+            self.record(at, tag, FaultKind::SignalDropped);
+            return SignalFault::Drop;
+        }
+        if delay {
+            let by = self.cfg.signal_delay_by;
+            self.record(at, tag, FaultKind::SignalDelayed(by));
+            return SignalFault::Delay(by);
+        }
+        SignalFault::None
+    }
+
+    /// Decides the fate of one host notification.
+    pub(crate) fn on_note(&mut self, at: SimTime, tag: u64) -> NoteFault {
+        let drop = self.roll(self.cfg.note_drop);
+        let delay = self.roll(self.cfg.note_delay);
+        if drop {
+            self.record(at, tag, FaultKind::NoteDropped);
+            return NoteFault::Drop;
+        }
+        if delay {
+            let by = self.cfg.note_delay_by;
+            self.record(at, tag, FaultKind::NoteDelayed(by));
+            return NoteFault::Delay(by);
+        }
+        NoteFault::None
+    }
+
+    /// Records that an armed wedge fired (called by the device when the
+    /// wedged CTA reaches its exit point).
+    pub(crate) fn record_wedge_fired(&mut self, at: SimTime, tag: u64) {
+        self.record(at, tag, FaultKind::CtaWedged);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_never_fires() {
+        let mut plan = FaultPlan::new(FaultConfig::quiet(7));
+        for i in 0..100 {
+            let t = SimTime::from_us(i);
+            assert_eq!(plan.on_launch(t, i, true), LaunchFault::None);
+            assert_eq!(plan.on_signal(t, i), SignalFault::None);
+            assert_eq!(plan.on_note(t, i), NoteFault::None);
+        }
+        assert!(plan.log().is_empty());
+    }
+
+    #[test]
+    fn decisions_are_seed_deterministic() {
+        let cfg = FaultConfig::quiet(123)
+            .with_launch_reject(0.3)
+            .with_signal_drop(0.4)
+            .with_note_drop(0.2);
+        let run = |cfg: FaultConfig| {
+            let mut plan = FaultPlan::new(cfg);
+            let mut out = Vec::new();
+            for i in 0..64 {
+                let t = SimTime::from_us(i);
+                out.push((
+                    plan.on_launch(t, i, true),
+                    plan.on_signal(t, i),
+                    plan.on_note(t, i),
+                ));
+            }
+            (out, plan.log().len())
+        };
+        assert_eq!(run(cfg), run(cfg));
+        let other = FaultConfig { seed: 124, ..cfg };
+        assert_ne!(run(cfg).0, run(other).0, "fault stream must track the seed");
+    }
+
+    #[test]
+    fn draw_order_is_independent_of_enabled_classes() {
+        // Enabling one class must not reshuffle another's decisions: with
+        // identical seeds, the signal decisions match whether or not
+        // launch rejection is enabled.
+        let base = FaultConfig::quiet(9).with_signal_drop(0.5);
+        let more = base.with_launch_reject(0.5);
+        let signals = |cfg: FaultConfig| {
+            let mut plan = FaultPlan::new(cfg);
+            (0..64)
+                .map(|i| {
+                    let _ = plan.on_launch(SimTime::from_us(i), i, true);
+                    plan.on_signal(SimTime::from_us(i), i)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(signals(base), signals(more));
+    }
+
+    #[test]
+    fn original_grids_never_get_stuck() {
+        let cfg = FaultConfig::quiet(5)
+            .with_stuck_flag(1.0)
+            .with_stuck_exit(1.0);
+        let mut plan = FaultPlan::new(cfg);
+        for i in 0..32 {
+            assert_eq!(plan.on_launch(SimTime::ZERO, i, false), LaunchFault::None);
+        }
+    }
+}

@@ -273,6 +273,21 @@ pub enum GridPhase {
     Preempted,
 }
 
+/// How (if at all) a grid's CTAs misbehave around preemption, decided at
+/// launch time by the device's [`crate::FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StuckMode {
+    /// Healthy: CTAs poll the flag and exit when told to.
+    Responsive,
+    /// CTAs never observe the preemption flag (polls compiled out or the
+    /// amortizing factor is effectively infinite). Flag writes are inert;
+    /// a forced drain still evicts at batch boundaries.
+    IgnoreFlag,
+    /// CTAs see the flag, but the first `stall_left` of them that should
+    /// exit hang instead of leaving the SM. Only a kill recovers.
+    WedgeOnExit,
+}
+
 /// Device-internal grid state.
 pub(crate) struct Grid {
     pub(crate) id: GridId,
@@ -316,6 +331,16 @@ pub(crate) struct Grid {
     /// Resident thread total per SM, maintained on CTA place/remove so
     /// contention queries need not walk residents.
     pub(crate) threads_on_sm: Vec<u32>,
+    /// Fault-injected preemption misbehavior (always `Responsive` without
+    /// an active fault plan).
+    pub(crate) stuck: StuckMode,
+    /// With [`StuckMode::WedgeOnExit`]: how many more exiting CTAs will
+    /// wedge instead of leaving.
+    pub(crate) stall_left: u32,
+    /// Set by a forced drain: overrides the flag (and `IgnoreFlag`
+    /// stuckness) with an unconditional yield-everything, modelling the
+    /// driver's slice-boundary eviction fallback.
+    pub(crate) forced_exit: bool,
 }
 
 impl Grid {
@@ -331,6 +356,21 @@ impl Grid {
     /// Remaining unclaimed tasks (persistent shape).
     pub(crate) fn unclaimed_tasks(&self) -> u64 {
         self.shape.total_tasks() - self.next_task
+    }
+
+    /// The signal a CTA's poll actually *acts on* at `now`: what
+    /// [`Grid::visible_signal`] returns, filtered through fault-injected
+    /// stuckness and overridden by a forced drain. Without faults this is
+    /// exactly `visible_signal` (the default `Responsive`/`forced_exit ==
+    /// false` path), so fault-free behavior is untouched.
+    pub(crate) fn poll_signal(&self, now: SimTime) -> PreemptSignal {
+        if self.forced_exit {
+            return PreemptSignal::YieldSms(u32::MAX);
+        }
+        if self.stuck == StuckMode::IgnoreFlag {
+            return PreemptSignal::None;
+        }
+        self.visible_signal(now)
     }
 }
 

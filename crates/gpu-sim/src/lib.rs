@@ -54,6 +54,7 @@
 
 mod config;
 mod device;
+mod fault;
 mod grid;
 mod memory;
 mod placement;
@@ -63,6 +64,7 @@ mod swap;
 
 pub use config::{GpuConfig, ResourceUsage};
 pub use device::{GpuDevice, GpuEvent, GpuHarness, HostNotification, LaunchError};
+pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultPlan, FAULT_STREAM};
 pub use grid::{GridId, GridPhase, GridShape, LaunchDesc, PreemptSignal, TaskCost, TaskFn};
 pub use memory::{AllocId, DeviceMemory, MemoryError, TransferDir};
 pub use placement::PlacementIndex;

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use flep_sim_core::{Scheduler, SimTime, Simulation, World};
 
 use crate::device::{GpuDevice, GpuEvent, GpuHarness, HostNotification};
+use crate::fault::{FaultConfig, FaultPlan};
 use crate::grid::{GridId, LaunchDesc, PreemptSignal};
 use crate::GpuConfig;
 
@@ -95,6 +96,8 @@ impl LaunchRecord {
 enum Action {
     Launch(Box<LaunchDesc>),
     Signal { tag: u64, signal: PreemptSignal },
+    ForceDrain { tag: u64 },
+    Kill { tag: u64 },
 }
 
 #[derive(Debug)]
@@ -131,6 +134,7 @@ pub struct Scenario {
     config: GpuConfig,
     actions: Vec<(SimTime, Action)>,
     trace: bool,
+    fault: Option<FaultConfig>,
 }
 
 impl Scenario {
@@ -141,7 +145,16 @@ impl Scenario {
             config,
             actions: Vec::new(),
             trace: false,
+            fault: None,
         }
+    }
+
+    /// Installs a seeded fault-injection plan on the scenario's device.
+    /// Launch attempts rejected by an injected transient fault are simply
+    /// skipped (their records never complete); use the runtime's retry
+    /// machinery for recovery behavior.
+    pub fn with_faults(&mut self, cfg: FaultConfig) {
+        self.fault = Some(cfg);
     }
 
     /// Records launch/signal/restore events on the device's trace log, for
@@ -162,6 +175,18 @@ impl Scenario {
         self.actions.push((at, Action::Signal { tag, signal }));
     }
 
+    /// Schedules a forced drain (escalation level 2) at `at` against the
+    /// most recent live grid carrying `tag`.
+    pub fn force_drain_at(&mut self, at: SimTime, tag: u64) {
+        self.actions.push((at, Action::ForceDrain { tag }));
+    }
+
+    /// Schedules a kill (escalation level 3) at `at` against the most
+    /// recent live grid carrying `tag`.
+    pub fn kill_at(&mut self, at: SimTime, tag: u64) {
+        self.actions.push((at, Action::Kill { tag }));
+    }
+
     /// Runs the scenario to completion and returns the records.
     #[must_use]
     pub fn run(self) -> ScenarioResult {
@@ -170,6 +195,7 @@ impl Scenario {
         if self.trace {
             device.enable_trace();
         }
+        device.set_fault_plan(self.fault.map(FaultPlan::new));
         let world = ScenarioWorld {
             device,
             actions: self.actions.into_iter().map(|(_, a)| Some(a)).collect(),
@@ -270,18 +296,31 @@ impl World for ScenarioWorld {
                         if rec.launched_at.is_none() {
                             rec.launched_at = Some(now);
                         }
-                        let gid = self
-                            .device
-                            .launch(now, *desc, &mut collector)
-                            .expect("scenario launch rejected");
-                        rec.grids.push(gid);
-                        self.tag_grids.entry(tag).or_default().push(gid);
+                        match self.device.launch(now, *desc, &mut collector) {
+                            Ok(gid) => {
+                                rec.grids.push(gid);
+                                self.tag_grids.entry(tag).or_default().push(gid);
+                            }
+                            // An injected transient rejection drops the
+                            // scripted launch (scenarios have no retry
+                            // loop; the runtime does).
+                            Err(e) if e.is_transient() => {}
+                            Err(e) => panic!("scenario launch rejected: {e}"),
+                        }
                     }
                     Action::Signal { tag, signal } => {
-                        if let Some(gids) = self.tag_grids.get(&tag) {
-                            if let Some(&gid) = gids.last() {
-                                self.device.signal(now, gid, signal);
-                            }
+                        if let Some(&gid) = self.tag_grids.get(&tag).and_then(|g| g.last()) {
+                            self.device.signal(now, gid, signal);
+                        }
+                    }
+                    Action::ForceDrain { tag } => {
+                        if let Some(&gid) = self.tag_grids.get(&tag).and_then(|g| g.last()) {
+                            self.device.force_drain(now, gid);
+                        }
+                    }
+                    Action::Kill { tag } => {
+                        if let Some(&gid) = self.tag_grids.get(&tag).and_then(|g| g.last()) {
+                            self.device.kill_grid(now, gid, &mut collector);
                         }
                     }
                 }

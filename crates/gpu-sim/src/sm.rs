@@ -121,6 +121,26 @@ impl Sm {
         self.resident.swap_remove(pos)
     }
 
+    /// Forcibly removes every resident CTA of `grid`, returning their
+    /// residency records (in no particular order). Used by the device's
+    /// kill path: unlike [`Sm::remove`], absence is not an error — a kill
+    /// must succeed whatever the grid's residency looks like.
+    pub fn evict_grid(&mut self, usage: &ResourceUsage, grid: GridId) -> Vec<ResidentCta> {
+        let mut evicted = Vec::new();
+        let mut i = 0;
+        while i < self.resident.len() {
+            if self.resident[i].grid == grid {
+                self.used_threads -= usage.threads_per_cta;
+                self.used_regs -= usage.regs_per_thread.saturating_mul(usage.threads_per_cta);
+                self.used_smem -= usage.smem_per_cta;
+                evicted.push(self.resident.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        evicted
+    }
+
     /// Fraction of the SM's thread slots currently occupied, in `[0, 1]`.
     #[must_use]
     pub fn thread_load(&self, cfg: &GpuConfig) -> f64 {

@@ -85,6 +85,90 @@ fn experiment_json(seed: u64) -> String {
         .render()
 }
 
+/// Replicates the exact bytes `flep_bench::emit_json` writes for a figure:
+/// the rows wrapped in a self-describing document, rendered, plus the
+/// trailing newline `std::fs::write` receives.
+fn figure_doc(name: &str, rows: &dyn ToJson) -> String {
+    flep_sim_core::json::JsonValue::object([
+        ("experiment", name.to_json()),
+        ("rows", rows.to_json()),
+    ])
+    .render()
+        + "\n"
+}
+
+/// The `ExpConfig` the pinned figure goldens under `tests/golden/` were
+/// generated with (`FLEP_SEED=3 FLEP_REPEATS=1`).
+fn golden_exp() -> ExpConfig {
+    ExpConfig {
+        seed: 3,
+        repeats: 1,
+    }
+}
+
+/// Drives a preemption scenario under a *seeded fault plan*: the victim is
+/// guaranteed to wedge a CTA at its first preemption exit, doorbells may
+/// drop, and notifications may be delayed. The script then walks the
+/// escalation ladder by hand — flag write, forced drain, kill — and the
+/// rendering pins every trace event *and* every fault-log entry. This is
+/// the faults-enabled counterpart of [`preempt_restore_trace`]: it freezes
+/// the fault RNG stream's draw order, so any change to when or how the
+/// injector consumes randomness shows up as a diff.
+fn faulted_scenario_trace() -> String {
+    use flep_gpu_sim::FaultConfig;
+
+    let mut sc = Scenario::new(GpuConfig::k40());
+    sc.enable_trace();
+    sc.with_faults(
+        FaultConfig::quiet(11)
+            .with_stuck_exit(1.0)
+            .with_signal_drop(0.3)
+            .with_note_delay(0.5, SimTime::from_us(40)),
+    );
+    sc.launch_at(
+        SimTime::ZERO,
+        LaunchDesc::new(
+            "victim",
+            GridShape::Persistent {
+                total_tasks: 40_000,
+                amortize: 10,
+            },
+            TaskCost {
+                base: SimTime::from_us(12),
+                rel_noise: 0.2,
+            },
+        )
+        .with_tag(1)
+        .with_seed(5),
+    );
+    sc.signal_at(SimTime::from_us(400), 1, PreemptSignal::YieldSms(15));
+    sc.force_drain_at(SimTime::from_us(1_200), 1);
+    sc.launch_at(
+        SimTime::from_us(500),
+        LaunchDesc::new(
+            "preemptor",
+            GridShape::Original { ctas: 60 },
+            TaskCost {
+                base: SimTime::from_us(8),
+                rel_noise: 0.1,
+            },
+        )
+        .with_tag(2)
+        .with_seed(6),
+    );
+    sc.kill_at(SimTime::from_ms(4), 1);
+    let result = sc.run();
+    let mut out = String::new();
+    for ev in result.device.trace().events() {
+        out.push_str(&format!("{} {} tag={}\n", ev.at, ev.label, ev.tag));
+    }
+    for f in result.device.fault_log() {
+        out.push_str(&format!("fault {} {} tag={}\n", f.at, f.kind, f.tag));
+    }
+    out.push_str(&format!("end={}\n", result.end_time));
+    out
+}
+
 /// Drives a noisy persistent kernel through a spatial preemption, a
 /// restore, and a final temporal preemption directly against the device API
 /// (`Scenario` has no restore action), rendering the full device trace plus
@@ -183,6 +267,68 @@ const PREEMPT_RESTORE_GOLDEN: &str = "0ns launch tag=1\n\
 #[test]
 fn preempt_restore_trace_matches_pinned_golden() {
     assert_eq!(preempt_restore_trace(), PREEMPT_RESTORE_GOLDEN);
+}
+
+/// The rendering of [`faulted_scenario_trace`], pinned with its fixed
+/// fault seed. Covers both halves of the determinism contract: the fault
+/// injector replays identically for a given seed, and escalation actions
+/// (forced drain, kill) land at reproducible instants.
+const FAULTED_SCENARIO_GOLDEN: &str = "0ns launch tag=1\n\
+     8.000us dispatch_start tag=1\n\
+     8.000us note_delayed tag=1\n\
+     400.000us signal tag=1\n\
+     402.032us cta_wedged tag=1\n\
+     500.000us launch tag=2\n\
+     508.000us dispatch_start tag=2\n\
+     508.000us note_delayed tag=2\n\
+     517.908us complete tag=2\n\
+     517.908us note_delayed tag=2\n\
+     1.200ms force_drain tag=1\n\
+     4.000ms kill tag=1\n\
+     fault 0ns wedged_exit tag=1\n\
+     fault 8.000us note_delayed+40.000us tag=1\n\
+     fault 402.032us cta_wedged tag=1\n\
+     fault 508.000us note_delayed+40.000us tag=2\n\
+     fault 517.908us note_delayed+40.000us tag=2\n\
+     end=4.000ms\n";
+
+#[test]
+fn faulted_scenario_trace_matches_pinned_golden() {
+    assert_eq!(faulted_scenario_trace(), FAULTED_SCENARIO_GOLDEN);
+}
+
+// With faults disabled, the fault layer must be invisible: the figure
+// documents `FLEP_JSON` writes are pinned byte-for-byte against
+// `tests/golden/`, generated before the fault-injection layer landed
+// (`FLEP_SEED=3 FLEP_REPEATS=1 FLEP_THREADS=1`). If one of these fails,
+// something perturbed the fault-free event order or RNG draw sequence —
+// regenerate the goldens only if that perturbation is intentional.
+
+#[test]
+fn fig08_json_is_byte_identical_to_pre_fault_golden() {
+    let rows = experiments::fig08_hpf_speedups(&GpuConfig::k40(), golden_exp());
+    assert_eq!(
+        figure_doc("fig08_hpf_speedups", &rows),
+        include_str!("golden/fig08_hpf_speedups.json"),
+    );
+}
+
+#[test]
+fn fig09_json_is_byte_identical_to_pre_fault_golden() {
+    let curves = experiments::fig09_delay_sweep(&GpuConfig::k40(), golden_exp());
+    assert_eq!(
+        figure_doc("fig09_delay_sweep", &curves),
+        include_str!("golden/fig09_delay_sweep.json"),
+    );
+}
+
+#[test]
+fn fig13_json_is_byte_identical_to_pre_fault_golden() {
+    let out = experiments::fig13_14_ffs(&GpuConfig::k40(), golden_exp());
+    assert_eq!(
+        figure_doc("fig13_ffs_share", &out),
+        include_str!("golden/fig13_ffs_share.json"),
+    );
 }
 
 #[test]
