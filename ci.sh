@@ -51,4 +51,16 @@ echo "==> fault recovery: escalation-ladder latency -> BENCH_fault_recovery.json
 FLEP_FAULT_SEED=7 FLEP_REPEATS=3 FLEP_BENCH_JSON=BENCH_fault_recovery.json \
     cargo run --release -p flep-bench --bin fault_recovery --offline -q >/dev/null
 
+# Serving smoke: the SLO sweep at a reduced horizon with a pinned seed,
+# recorded as a perf artifact. The golden gate is the pinned serve trace
+# (crates/flep-serve/tests/golden_serve.rs, re-run here with a pinned
+# check seed): any drift in arrivals, admission, EDF order, batching, or
+# runtime scheduling fails this stage.
+echo "==> serve smoke: slo sweep -> BENCH_serve_slo.json"
+FLEP_SEED=42 FLEP_REPEATS=1 FLEP_SERVE_HORIZON_MS=200 \
+    FLEP_BENCH_JSON=BENCH_serve_slo.json \
+    cargo run --release -p flep-bench --bin serve_slo --offline -q >/dev/null
+FLEP_CHECK_SEED=0xF1E9 FLEP_CHECK_CASES=48 \
+    cargo test -p flep-serve --offline -q
+
 echo "ci.sh: all checks passed"

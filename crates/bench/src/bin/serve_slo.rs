@@ -1,0 +1,136 @@
+//! The serving-load sweep: goodput and p50/p99/p999 request latency
+//! versus offered load for the reference four-tenant inference mix, under
+//! HPF preemption with the watchdog escalation ladder armed.
+//!
+//! Each load point is one deterministic discrete-event run (one parallel
+//! cell); results are byte-identical across `FLEP_THREADS`. The default
+//! horizon is sized so the whole sweep simulates over a million requests
+//! inside the runtime's default event budget.
+//!
+//! Knobs: `FLEP_SEED` (root seed, default 42); `FLEP_SERVE_HORIZON_MS`
+//! (simulated milliseconds of arrivals per load point, default 2500);
+//! `FLEP_SERVE_LOADS` (comma-separated load multipliers, default
+//! `0.25,0.5,1,1.5,2,3`); `FLEP_REPEATS` (wall-clock samples for the
+//! perf artifact); `FLEP_JSON` / `FLEP_BENCH_JSON` (artifacts).
+
+use flep_bench::{emit_json, exp_config, header};
+use flep_serve::{reference_tenants, sweep_offered_load, LoadPoint, ServeConfig};
+use flep_sim_core::json::{JsonValue, ToJson};
+use flep_sim_core::SimTime;
+use std::time::Instant;
+
+fn horizon() -> SimTime {
+    let ms = std::env::var("FLEP_SERVE_HORIZON_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_500u64);
+    SimTime::from_ms(ms)
+}
+
+fn loads() -> Vec<f64> {
+    let raw = std::env::var("FLEP_SERVE_LOADS").unwrap_or_else(|_| "0.25,0.5,1,1.5,2,3".into());
+    let parsed: Vec<f64> = raw
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&l| l > 0.0)
+        .collect();
+    if parsed.is_empty() {
+        eprintln!("FLEP_SERVE_LOADS: no valid loads in {raw:?}; using defaults");
+        vec![0.25, 0.5, 1.0, 1.5, 2.0, 3.0]
+    } else {
+        parsed
+    }
+}
+
+fn main() {
+    header(
+        "serve_slo — goodput and tail latency vs offered load",
+        "serving frontend over the FLEP runtime (paper §2 motivation, §5 policies)",
+        "goodput tracks offered load until saturation then plateaus; tails grow; high-priority tenants keep their SLOs under overload",
+    );
+    let exp = exp_config();
+    let horizon = horizon();
+    let loads = loads();
+    let base = ServeConfig::new(exp.seed, horizon, reference_tenants());
+
+    // Deterministic results: repeats only sample wall-clock. One warmup
+    // sweep, then `repeats` timed ones; the artifact records the median.
+    let mut points: Vec<LoadPoint> = sweep_offered_load(&base, &loads);
+    let mut wall_ns: Vec<u64> = Vec::new();
+    for _ in 0..exp.repeats {
+        let t0 = Instant::now();
+        points = sweep_offered_load(&base, &loads);
+        wall_ns.push(t0.elapsed().as_nanos() as u64);
+    }
+    wall_ns.sort_unstable();
+    let median_wall = wall_ns[wall_ns.len() / 2];
+
+    emit_json("serve_slo", &points);
+
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12} {:>10} {:>9}",
+        "load", "offered", "goodput", "dropped", "p50", "p99", "p999", "events", "outcome"
+    );
+    let mut total_offered = 0u64;
+    for p in &points {
+        let r = &p.report;
+        let dropped = r.offered() - r.goodput();
+        let (p50, p99, p999) = match r.latency {
+            Some(l) => (l.p50_ns, l.p99_ns, l.p999_ns),
+            None => (0, 0, 0),
+        };
+        total_offered += r.offered();
+        println!(
+            "{:>6.2} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12} {:>10} {:>9}",
+            p.load,
+            r.offered(),
+            r.goodput(),
+            dropped,
+            SimTime::from_ns(p50).to_string(),
+            SimTime::from_ns(p99).to_string(),
+            SimTime::from_ns(p999).to_string(),
+            r.events,
+            r.outcome.name(),
+        );
+    }
+    println!(
+        "total: {} simulated requests across {} load points ({}ms horizon each), sweep wall median {:.2}s",
+        total_offered,
+        points.len(),
+        horizon.as_ns() / 1_000_000,
+        median_wall as f64 / 1e9,
+    );
+
+    if let Ok(path) = std::env::var("FLEP_BENCH_JSON") {
+        let doc = JsonValue::object([
+            ("suite", JsonValue::Str("flep serve slo".into())),
+            ("samples", exp.repeats.to_json()),
+            (
+                "results",
+                JsonValue::array(points.iter().map(|p| {
+                    let (p50, p99, p999) = match p.report.latency {
+                        Some(l) => (l.p50_ns, l.p99_ns, l.p999_ns),
+                        None => (0, 0, 0),
+                    };
+                    // Perf-smoke artifact shape: simulated request
+                    // latency stands in for the timing fields (median =
+                    // p50, max = p999), as fault_recovery does.
+                    JsonValue::object([
+                        ("name", format!("serve_slo/load_{:.2}", p.load).to_json()),
+                        ("median_ns", p50.to_json()),
+                        ("min_ns", p50.to_json()),
+                        ("max_ns", p999.to_json()),
+                        ("p99_ns", p99.to_json()),
+                        ("goodput", p.report.goodput().to_json()),
+                        ("offered", p.report.offered().to_json()),
+                    ])
+                })),
+            ),
+            ("sweep_wall_ns", median_wall.to_json()),
+        ]);
+        match std::fs::write(&path, doc.render() + "\n") {
+            Ok(()) => eprintln!("serve-slo artifact written to {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}

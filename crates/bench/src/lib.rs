@@ -19,16 +19,36 @@ use flep_sim_core::json::ToJson;
 /// but not parsable, instead of silently falling back to the default.
 fn env_uint<T: std::str::FromStr + std::fmt::Display + Copy>(name: &str, default: T) -> T {
     match std::env::var(name) {
-        Ok(v) => match v.parse() {
+        Ok(v) => match parse_uint(name, &v, default) {
             Ok(n) => n,
-            Err(_) => {
-                eprintln!(
-                    "{name}: invalid value {v:?} (want an unsigned integer); using {default}"
-                );
+            Err(warning) => {
+                eprintln!("{warning}");
                 default
             }
         },
         Err(_) => default,
+    }
+}
+
+/// The pure core of [`env_uint`]: parses `raw`, or returns the exact
+/// (stable) warning line printed for an invalid value.
+fn parse_uint<T: std::str::FromStr + std::fmt::Display + Copy>(
+    name: &str,
+    raw: &str,
+    default: T,
+) -> Result<T, String> {
+    raw.parse().map_err(|_| {
+        format!("{name}: invalid value {raw:?} (want an unsigned integer); using {default}")
+    })
+}
+
+/// Validates a repeat count: zero repeats cannot produce a figure, so it
+/// is rejected with the exact warning [`exp_config`] prints.
+fn validate_repeats(n: u32) -> Result<u32, String> {
+    if n == 0 {
+        Err("FLEP_REPEATS: invalid value 0 (want >= 1); using 3".to_string())
+    } else {
+        Ok(n)
     }
 }
 
@@ -43,12 +63,12 @@ fn env_uint<T: std::str::FromStr + std::fmt::Display + Copy>(name: &str, default
 #[must_use]
 pub fn exp_config() -> ExpConfig {
     let seed = env_uint("FLEP_SEED", 42u64);
-    let repeats = match env_uint("FLEP_REPEATS", 3u32) {
-        0 => {
-            eprintln!("FLEP_REPEATS: invalid value 0 (want >= 1); using 3");
+    let repeats = match validate_repeats(env_uint("FLEP_REPEATS", 3u32)) {
+        Ok(n) => n,
+        Err(warning) => {
+            eprintln!("{warning}");
             3
         }
-        n => n,
     };
     let _ = flep_core::runner::configured_threads();
     ExpConfig { seed, repeats }
@@ -131,5 +151,57 @@ mod tests {
     #[test]
     fn mean_std_format() {
         assert_eq!(mean_std(1.234, 0.5), "1.23 ± 0.50");
+    }
+
+    /// The warning lines `exp_config` prints for bad knob values are
+    /// stable, exact strings: they name the knob, the offending value,
+    /// the rule, and the fallback — nothing machine-dependent.
+    #[test]
+    fn bad_seed_warning_text_is_stable() {
+        assert_eq!(parse_uint("FLEP_SEED", "3", 42u64), Ok(3));
+        assert_eq!(
+            parse_uint("FLEP_SEED", "banana", 42u64),
+            Err(r#"FLEP_SEED: invalid value "banana" (want an unsigned integer); using 42"#.into())
+        );
+        assert_eq!(
+            parse_uint("FLEP_SEED", "-1", 42u64),
+            Err(r#"FLEP_SEED: invalid value "-1" (want an unsigned integer); using 42"#.into())
+        );
+        assert_eq!(
+            parse_uint("FLEP_REPEATS", "2.5", 3u32),
+            Err(r#"FLEP_REPEATS: invalid value "2.5" (want an unsigned integer); using 3"#.into())
+        );
+    }
+
+    #[test]
+    fn zero_repeats_warning_text_is_stable() {
+        assert_eq!(validate_repeats(2), Ok(2));
+        assert_eq!(
+            validate_repeats(0),
+            Err("FLEP_REPEATS: invalid value 0 (want >= 1); using 3".into())
+        );
+    }
+
+    /// The `FLEP_THREADS` warning (validated eagerly by `exp_config` via
+    /// the runner) is stable too, with no available-parallelism number
+    /// baked in.
+    #[test]
+    fn bad_threads_warning_text_is_stable() {
+        use flep_core::runner::parse_threads;
+        assert_eq!(parse_threads("8"), Ok(8));
+        assert_eq!(
+            parse_threads("all"),
+            Err(
+                r#"FLEP_THREADS: invalid value "all" (want an integer >= 1); using available parallelism"#
+                    .into()
+            )
+        );
+        assert_eq!(
+            parse_threads("0"),
+            Err(
+                r#"FLEP_THREADS: invalid value "0" (want an integer >= 1); using available parallelism"#
+                    .into()
+            )
+        );
     }
 }

@@ -65,18 +65,29 @@ pub fn configured_threads() -> usize {
             .unwrap_or(1)
     };
     match std::env::var("FLEP_THREADS") {
-        Ok(v) => match v.parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => {
-                eprintln!(
-                    "FLEP_THREADS: invalid value {v:?} (want an integer >= 1); \
-                     using {} (available parallelism)",
-                    default()
-                );
+        Ok(v) => match parse_threads(&v) {
+            Ok(n) => n,
+            Err(warning) => {
+                eprintln!("{warning}");
                 default()
             }
         },
         Err(_) => default(),
+    }
+}
+
+/// Parses a `FLEP_THREADS` value: the thread count for valid input, or
+/// the exact warning line [`configured_threads`] prints for invalid input
+/// (unparsable, or `0`).
+///
+/// The message is deliberately stable — it names the knob and the rule
+/// but no machine-dependent fallback value — so tests can pin it.
+pub fn parse_threads(raw: &str) -> Result<usize, String> {
+    match raw.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "FLEP_THREADS: invalid value {raw:?} (want an integer >= 1); using available parallelism"
+        )),
     }
 }
 

@@ -271,6 +271,40 @@ struct Job {
 }
 
 impl Job {
+    /// Fresh runtime state for a spec (`T_e` from the prediction or the
+    /// wave model; everything else at its arrival defaults).
+    fn from_spec(spec: JobSpec, config: &flep_gpu_sim::GpuConfig) -> Job {
+        let te = spec
+            .predicted
+            .unwrap_or_else(|| spec.profile.estimate_duration(config));
+        let record = JobRecord {
+            name: spec.profile.name.clone(),
+            priority: spec.priority,
+            arrival: spec.arrival,
+            ..JobRecord::default()
+        };
+        Job {
+            spec,
+            state: JobState::Future,
+            te,
+            tr: te,
+            tw: SimTime::ZERO,
+            wait_since: None,
+            tasks_done: 0,
+            grid: None,
+            signalled_at: None,
+            completions: 0,
+            launches: 0,
+            granted_at: None,
+            record,
+            epoch_gen: 0,
+            escalation: 0,
+            signal_sms: 0,
+            retry_attempts: 0,
+            retry_after: None,
+        }
+    }
+
     /// Waiting and eligible to launch now (any retry backoff has passed).
     fn is_ready(&self, now: SimTime) -> bool {
         self.state == JobState::Queued && self.retry_after.is_none_or(|t| t <= now)
@@ -352,6 +386,32 @@ pub struct SystemWorld {
     /// Preemption-drain outcomes by escalation level reached:
     /// `[flag, forced drain, kill]`.
     escalations: [u64; 3],
+    /// Follow-up events produced while handling the current one, drained
+    /// by the driver (or an embedding world) after every [`Self::dispatch`]
+    /// call. Buffering instead of scheduling directly decouples the
+    /// runtime from the engine's `Scheduler`, so a frontend with its own
+    /// event type can embed the runtime; drain order equals push order, so
+    /// `(time, seq)` tie-breaks — and every golden trace — are unchanged.
+    pending: Vec<(SimTime, SystemEvent)>,
+    /// Indices of jobs not yet `Done`, in ascending order. The scheduling
+    /// and watchdog scans iterate this instead of the full job vector, so
+    /// a serving frontend that submits tens of thousands of batch jobs
+    /// over a run pays O(active) per decision rather than O(ever
+    /// submitted). Ascending order keeps every index-order tie-break
+    /// identical to the full-vector loops this replaced.
+    active: Vec<usize>,
+    /// Completion log `(time, job)`, appended on every completed
+    /// invocation; drained by embedding frontends to observe batch
+    /// completions without scanning the records.
+    completed_log: Vec<(SimTime, usize)>,
+    /// Terminal failures `(time, job)` — jobs retired without completing
+    /// (permanent launch rejection, exhausted retries, unsatisfiable
+    /// working set). Frontends must see these or a failed batch would
+    /// leave its tenant waiting forever.
+    failed_log: Vec<(SimTime, usize)>,
+    /// Whether a watchdog tick is currently scheduled (the ladder must be
+    /// re-armed when a job is submitted after the last one finished).
+    watchdog_armed: bool,
 }
 
 /// Robustness telemetry extracted alongside the job records after a run.
@@ -379,37 +439,7 @@ impl SystemWorld {
     ) -> Self {
         let jobs: Vec<Job> = specs
             .into_iter()
-            .map(|spec| {
-                let te = spec
-                    .predicted
-                    .unwrap_or_else(|| spec.profile.estimate_duration(device.config()));
-                let record = JobRecord {
-                    name: spec.profile.name.clone(),
-                    priority: spec.priority,
-                    arrival: spec.arrival,
-                    ..JobRecord::default()
-                };
-                Job {
-                    spec,
-                    state: JobState::Future,
-                    te,
-                    tr: te,
-                    tw: SimTime::ZERO,
-                    wait_since: None,
-                    tasks_done: 0,
-                    grid: None,
-                    signalled_at: None,
-                    completions: 0,
-                    launches: 0,
-                    granted_at: None,
-                    record,
-                    epoch_gen: 0,
-                    escalation: 0,
-                    signal_sms: 0,
-                    retry_attempts: 0,
-                    retry_after: None,
-                }
-            })
+            .map(|spec| Job::from_spec(spec, device.config()))
             .collect();
         let n = jobs.len();
         SystemWorld {
@@ -427,14 +457,50 @@ impl SystemWorld {
             errors: Vec::new(),
             recoveries: Vec::new(),
             escalations: [0; 3],
+            pending: Vec::new(),
+            active: (0..n).collect(),
+            completed_log: Vec::new(),
+            failed_log: Vec::new(),
+            watchdog_armed: false,
         }
     }
 
     /// Enables the preemption watchdog. The driver must also schedule the
     /// first [`SystemEvent::Watchdog`] tick; every tick re-arms itself
-    /// until all jobs are done.
+    /// until all jobs are done, and a later [`Self::submit`] re-arms it.
     pub fn set_watchdog(&mut self, cfg: WatchdogConfig) {
         self.watchdog = Some(cfg);
+        self.watchdog_armed = true;
+    }
+
+    /// Submits a job dynamically at virtual time `now`: the serving
+    /// frontend's dispatch hook. The job enters the waiting queue
+    /// immediately (no [`SystemEvent::Arrival`] needed), a scheduling
+    /// decision runs — so a higher-priority submission preempts the
+    /// running grid through the normal HPF path — and the watchdog is
+    /// re-armed if its ladder had wound down. Returns the job's index.
+    ///
+    /// Follow-up events land in the pending buffer; the embedding world
+    /// must drain them via [`Self::for_each_pending`].
+    pub fn submit(&mut self, now: SimTime, spec: JobSpec) -> usize {
+        let idx = self.jobs.len();
+        let mut job = Job::from_spec(spec, self.device.config());
+        job.state = JobState::Queued;
+        job.begin_wait(now);
+        self.jobs.push(job);
+        self.profilers.push(OverheadProfiler::new());
+        self.active.push(idx);
+        if let Some(wd) = self.watchdog {
+            if !self.watchdog_armed {
+                self.watchdog_armed = true;
+                self.pending
+                    .push((now + wd.poll_interval, SystemEvent::Watchdog));
+            }
+        }
+        let mut harness = CollectorHarness::new();
+        self.reschedule(now, &mut harness);
+        self.route_harness(now, &mut harness);
+        idx
     }
 
     /// Enables working-set swapping: launches whose declared working set
@@ -478,6 +544,45 @@ impl SystemWorld {
         self.horizon.is_some_and(|h| now >= h)
     }
 
+    /// Drains the buffered follow-up events in push order. The driver (or
+    /// embedding world) forwards each to its own event queue; push order
+    /// equals the old direct-scheduling order, so `(time, seq)`
+    /// tie-breaking is preserved exactly.
+    pub fn for_each_pending(&mut self, mut f: impl FnMut(SimTime, SystemEvent)) {
+        // `drain` keeps the buffer's allocation, so steady state is
+        // allocation-free on the hot path.
+        for (at, ev) in self.pending.drain(..) {
+            f(at, ev);
+        }
+    }
+
+    /// Appends and clears the completion log: every `(time, job)`
+    /// invocation completion since the last drain.
+    pub fn drain_completions_into(&mut self, out: &mut Vec<(SimTime, usize)>) {
+        out.append(&mut self.completed_log);
+    }
+
+    /// Appends and clears the failure log: every `(time, job)` terminal
+    /// failure since the last drain.
+    pub fn drain_failures_into(&mut self, out: &mut Vec<(SimTime, usize)>) {
+        out.append(&mut self.failed_log);
+    }
+
+    /// Marks a job `Done` and retires it from the active-index scans.
+    fn retire(&mut self, idx: usize) {
+        self.jobs[idx].state = JobState::Done;
+        if let Ok(pos) = self.active.binary_search(&idx) {
+            self.active.remove(pos);
+        }
+    }
+
+    /// Retires a job that will never complete and logs the failure for
+    /// embedding frontends.
+    fn fail_job(&mut self, now: SimTime, idx: usize) {
+        self.retire(idx);
+        self.failed_log.push((now, idx));
+    }
+
     // -- Launch helpers ---------------------------------------------------
 
     /// Launches job `idx`'s (next) grid. Returns `false` when no grid went
@@ -485,13 +590,7 @@ impl SystemWorld {
     /// exponentially backed-off retries) or a permanent failure (the job is
     /// marked failed and a [`RuntimeError`] recorded) — both former panic
     /// sites.
-    fn launch_job(
-        &mut self,
-        now: SimTime,
-        idx: usize,
-        harness: &mut CollectorHarness,
-        sched: &mut Scheduler<'_, SystemEvent>,
-    ) -> bool {
+    fn launch_job(&mut self, now: SimTime, idx: usize, harness: &mut CollectorHarness) -> bool {
         let job = &mut self.jobs[idx];
         job.end_wait(now);
         if job.record.first_granted.is_none() {
@@ -524,7 +623,7 @@ impl SystemWorld {
                         // fail the job instead of poisoning the experiment.
                         self.errors
                             .push(RuntimeError::SwapUnsatisfiable { job: idx });
-                        self.jobs[idx].state = JobState::Done;
+                        self.fail_job(now, idx);
                         return false;
                     }
                 }
@@ -550,7 +649,7 @@ impl SystemWorld {
                         job: idx,
                         attempts: attempt - 1,
                     });
-                    self.jobs[idx].state = JobState::Done;
+                    self.fail_job(now, idx);
                     return false;
                 }
                 // Exponential backoff, doubling per consecutive rejection.
@@ -563,13 +662,14 @@ impl SystemWorld {
                     job: idx,
                     action: RecoveryAction::LaunchRetry(attempt),
                 });
-                sched.schedule_at(now + backoff, SystemEvent::RetryLaunch { idx });
+                self.pending
+                    .push((now + backoff, SystemEvent::RetryLaunch { idx }));
                 false
             }
             Err(error) => {
                 self.errors
                     .push(RuntimeError::LaunchFailed { job: idx, error });
-                self.jobs[idx].state = JobState::Done;
+                self.fail_job(now, idx);
                 false
             }
         }
@@ -608,10 +708,12 @@ impl SystemWorld {
 
     /// The best waiting job: highest priority first, then shortest
     /// remaining predicted time (queues are ordered by `T_r`, §5.2.1).
+    /// Scans only the active index; the comparator's final index
+    /// tie-break makes the result independent of scan order.
     fn best_waiting(&self, now: SimTime) -> Option<usize> {
-        self.jobs
+        self.active
             .iter()
-            .enumerate()
+            .map(|&i| (i, &self.jobs[i]))
             .filter(|(_, j)| j.is_ready(now))
             .min_by(|(ai, a), (bi, b)| {
                 b.spec
@@ -632,7 +734,6 @@ impl SystemWorld {
         overhead_aware: bool,
         forced_yield: Option<u32>,
         harness: &mut CollectorHarness,
-        sched: &mut Scheduler<'_, SystemEvent>,
     ) {
         if self.draining {
             return; // Decisions resume when the victim has drained.
@@ -642,7 +743,7 @@ impl SystemWorld {
         };
         match self.gpu_job {
             None => {
-                if self.launch_job(now, best, harness, sched) {
+                if self.launch_job(now, best, harness) {
                     self.gpu_job = Some(best);
                 }
             }
@@ -666,7 +767,7 @@ impl SystemWorld {
                         // calls act at the same instant and neither
                         // observes the other, so the order does not change
                         // fault-free runs.
-                        if self.launch_job(now, best, harness, sched) {
+                        if self.launch_job(now, best, harness) {
                             self.signal_preempt(now, running, needed);
                             self.jobs[running].state = JobState::SharedVictim;
                             self.shared_victims.push(running);
@@ -698,13 +799,7 @@ impl SystemWorld {
 
     /// FFS: grant the GPU to the next queued job in rotation and arm its
     /// epoch timer.
-    fn grant_next_ffs(
-        &mut self,
-        now: SimTime,
-        max_overhead: f64,
-        harness: &mut CollectorHarness,
-        sched: &mut Scheduler<'_, SystemEvent>,
-    ) {
+    fn grant_next_ffs(&mut self, now: SimTime, max_overhead: f64, harness: &mut CollectorHarness) {
         if self.gpu_job.is_some() || self.past_horizon(now) {
             return;
         }
@@ -716,7 +811,7 @@ impl SystemWorld {
             return;
         };
         self.ffs_cursor = (pick + 1) % n;
-        if !self.launch_job(now, pick, harness, sched) {
+        if !self.launch_job(now, pick, harness) {
             return; // Rotation already advanced; a retry re-enters here.
         }
         self.gpu_job = Some(pick);
@@ -735,34 +830,31 @@ impl SystemWorld {
         let epoch = t * u64::from(self.jobs[pick].spec.priority.max(1));
         self.jobs[pick].epoch_gen += 1;
         let gen = self.jobs[pick].epoch_gen;
-        sched.schedule_at(now + epoch, SystemEvent::EpochEnd { idx: pick, gen });
+        self.pending
+            .push((now + epoch, SystemEvent::EpochEnd { idx: pick, gen }));
     }
 
-    fn reschedule(
-        &mut self,
-        now: SimTime,
-        harness: &mut CollectorHarness,
-        sched: &mut Scheduler<'_, SystemEvent>,
-    ) {
+    fn reschedule(&mut self, now: SimTime, harness: &mut CollectorHarness) {
         match self.policy {
             Policy::Hpf {
                 spatial,
                 overhead_aware,
                 forced_yield,
-            } => self.reschedule_hpf(now, spatial, overhead_aware, forced_yield, harness, sched),
-            Policy::Ffs { max_overhead } => self.grant_next_ffs(now, max_overhead, harness, sched),
+            } => self.reschedule_hpf(now, spatial, overhead_aware, forced_yield, harness),
+            Policy::Ffs { max_overhead } => self.grant_next_ffs(now, max_overhead, harness),
             Policy::MpsBaseline => {
                 // Launch everything that has arrived, immediately; the
-                // device FIFO provides the (non-preemptive) ordering.
+                // device FIFO provides the (non-preemptive) ordering. The
+                // active list is ascending, so launch order matches the
+                // old full-vector scan.
                 let arrived: Vec<usize> = self
-                    .jobs
+                    .active
                     .iter()
-                    .enumerate()
-                    .filter(|(_, j)| j.is_ready(now))
-                    .map(|(i, _)| i)
+                    .copied()
+                    .filter(|&i| self.jobs[i].is_ready(now))
                     .collect();
                 for idx in arrived {
-                    self.launch_job(now, idx, harness, sched);
+                    self.launch_job(now, idx, harness);
                 }
             }
             Policy::Reordering => {
@@ -770,7 +862,7 @@ impl SystemWorld {
                 // launch the shortest predicted kernel first.
                 if self.gpu_job.is_none() {
                     if let Some(best) = self.best_waiting(now) {
-                        if self.launch_job(now, best, harness, sched) {
+                        if self.launch_job(now, best, harness) {
                             self.gpu_job = Some(best);
                         }
                     }
@@ -785,15 +877,16 @@ impl SystemWorld {
     /// ground truth (terminal notifications lost to faults), enforce drain
     /// deadlines through the escalation ladder, and re-run the scheduling
     /// decision so backed-off retries and stalled grants make progress.
-    /// Re-arms itself until every job is done.
-    fn watchdog_scan(
-        &mut self,
-        now: SimTime,
-        harness: &mut CollectorHarness,
-        sched: &mut Scheduler<'_, SystemEvent>,
-    ) {
+    /// Re-arms itself until every active job is done; a later
+    /// [`Self::submit`] re-arms it again.
+    fn watchdog_scan(&mut self, now: SimTime, harness: &mut CollectorHarness) {
         let Some(wd) = self.watchdog else { return };
-        for idx in 0..self.jobs.len() {
+        // Only active jobs can hold a live grid; states do not change
+        // during this loop (device probes buffer their notifications), so
+        // indexing the ascending active list replays exactly the order of
+        // the full `0..jobs.len()` scan it replaced.
+        for k in 0..self.active.len() {
+            let idx = self.active[k];
             let Some(grid) = self.jobs[idx].grid else {
                 continue;
             };
@@ -868,9 +961,12 @@ impl SystemWorld {
         }
         // Backed-off retries and grants stalled by earlier failures resume
         // here even when no other event would trigger a decision.
-        self.reschedule(now, harness, sched);
-        if self.jobs.iter().any(|j| j.state != JobState::Done) {
-            sched.schedule_at(now + wd.poll_interval, SystemEvent::Watchdog);
+        self.reschedule(now, harness);
+        if self.active.is_empty() {
+            self.watchdog_armed = false;
+        } else {
+            self.pending
+                .push((now + wd.poll_interval, SystemEvent::Watchdog));
         }
     }
 
@@ -881,7 +977,6 @@ impl SystemWorld {
         now: SimTime,
         note: HostNotification,
         harness: &mut CollectorHarness,
-        sched: &mut Scheduler<'_, SystemEvent>,
     ) {
         let idx = note.tag() as usize;
         // Stale-note guard: a kill or watchdog reconciliation may already
@@ -904,6 +999,7 @@ impl SystemWorld {
                 }
             }
             HostNotification::Completed { tasks_done, .. } => {
+                self.completed_log.push((now, idx));
                 let finished_state = self.jobs[idx].state;
                 // A kernel signalled for preemption may complete before any
                 // CTA observes the flag; the drain is then over without a
@@ -944,7 +1040,7 @@ impl SystemWorld {
                     if matches!(self.policy, Policy::Ffs { .. })
                         && self.gpu_job == Some(idx)
                         && finished_state == JobState::Running
-                        && self.launch_job(now, idx, harness, sched)
+                        && self.launch_job(now, idx, harness)
                     {
                         return;
                     }
@@ -960,7 +1056,7 @@ impl SystemWorld {
                         self.gpu_job = None;
                     }
                 } else {
-                    self.jobs[idx].state = JobState::Done;
+                    self.retire(idx);
                     if self.gpu_job == Some(idx) {
                         self.gpu_job = None;
                     }
@@ -986,7 +1082,7 @@ impl SystemWorld {
                             self.shared_victims.retain(|&x| x != v);
                         }
                     }
-                    self.reschedule(now, harness, sched);
+                    self.reschedule(now, harness);
                 }
             }
             HostNotification::Preempted {
@@ -1021,16 +1117,19 @@ impl SystemWorld {
                     self.gpu_job = None;
                 }
                 self.draining = false;
-                self.reschedule(now, harness, sched);
+                self.reschedule(now, harness);
             }
         }
     }
 }
 
-impl World for SystemWorld {
-    type Event = SystemEvent;
-
-    fn handle(&mut self, now: SimTime, event: SystemEvent, sched: &mut Scheduler<'_, SystemEvent>) {
+impl SystemWorld {
+    /// Handles one system event, buffering every follow-up in the pending
+    /// list instead of scheduling it directly. [`World::handle`] is a thin
+    /// wrapper that drains the buffer into the engine's queue; an
+    /// embedding world (the serving frontend) calls this directly and
+    /// drains into its own event type via [`Self::for_each_pending`].
+    pub fn dispatch(&mut self, now: SimTime, event: SystemEvent) {
         let mut harness = CollectorHarness::new();
         match event {
             SystemEvent::Gpu(ev) => {
@@ -1041,7 +1140,7 @@ impl World for SystemWorld {
                 debug_assert_eq!(job.state, JobState::Future);
                 job.state = JobState::Queued;
                 job.begin_wait(now);
-                self.reschedule(now, &mut harness, sched);
+                self.reschedule(now, &mut harness);
             }
             SystemEvent::EpochEnd { idx, gen } => {
                 // Only act on the current epoch, and only if the job is
@@ -1057,42 +1156,61 @@ impl World for SystemWorld {
                 }
             }
             SystemEvent::Watchdog => {
-                self.watchdog_scan(now, &mut harness, sched);
+                self.watchdog_scan(now, &mut harness);
             }
             SystemEvent::RetryLaunch { idx } => {
                 // The backoff expired; re-run the scheduling decision if
                 // the job is still waiting (it may have launched, finished,
                 // or failed in the meantime).
                 if self.jobs[idx].state == JobState::Queued {
-                    self.reschedule(now, &mut harness, sched);
+                    self.reschedule(now, &mut harness);
                 }
             }
             SystemEvent::Note(note) => {
                 // A fault-delayed notification arriving at its deferred
                 // delivery time.
-                self.on_notification(now, note, &mut harness, sched);
+                self.on_notification(now, note, &mut harness);
             }
         }
-        // Route device-scheduled events and host notifications.
+        self.route_harness(now, &mut harness);
+    }
+
+    /// Routes device-scheduled events and host notifications collected in
+    /// `harness` into the pending buffer, processing same-instant
+    /// notifications synchronously (exactly the old in-`handle` routing,
+    /// so the push order — and thus `(time, seq)` tie-breaking — is
+    /// bit-identical).
+    fn route_harness(&mut self, now: SimTime, harness: &mut CollectorHarness) {
         let notes: Vec<(SimTime, HostNotification)> = harness.notes.drain(..).collect();
         for (at, ev) in harness.gpu_events.drain(..) {
-            sched.schedule_at(at, SystemEvent::Gpu(ev));
+            self.pending.push((at, SystemEvent::Gpu(ev)));
         }
         for (at, note) in notes {
             if at > now {
                 // Fault-delayed: deliver when it lands instead of now.
-                sched.schedule_at(at, SystemEvent::Note(note));
+                self.pending.push((at, SystemEvent::Note(note)));
                 continue;
             }
             let mut h2 = CollectorHarness::new();
-            self.on_notification(at, note, &mut h2, sched);
+            self.on_notification(at, note, &mut h2);
             for (t, ev) in h2.gpu_events {
-                sched.schedule_at(t, SystemEvent::Gpu(ev));
+                self.pending.push((t, SystemEvent::Gpu(ev)));
             }
             debug_assert!(
                 h2.notes.is_empty(),
                 "notifications must not recurse synchronously"
             );
+        }
+    }
+}
+
+impl World for SystemWorld {
+    type Event = SystemEvent;
+
+    fn handle(&mut self, now: SimTime, event: SystemEvent, sched: &mut Scheduler<'_, SystemEvent>) {
+        self.dispatch(now, event);
+        for (at, ev) in self.pending.drain(..) {
+            sched.schedule_at(at, ev);
         }
     }
 }

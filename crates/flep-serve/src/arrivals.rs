@@ -1,0 +1,184 @@
+//! Open-loop arrival generators.
+//!
+//! Serving load is open-loop: requests arrive on the wall clock whether or
+//! not the system keeps up, which is what makes overload and SLO misses
+//! observable at all (a closed loop would just slow the clients down).
+
+use flep_sim_core::{SimRng, SimTime};
+
+/// An open-loop arrival process. All rates are in requests per second of
+/// simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant mean rate: exponential
+    /// inter-arrival gaps.
+    Poisson {
+        /// Mean arrival rate, requests per second.
+        rate_per_s: f64,
+    },
+    /// A diurnal/bursty square wave: the first `duty` fraction of every
+    /// `period` runs at `peak_rate_per_s`, the rest at `base_rate_per_s`.
+    /// Within each phase arrivals are Poisson at the phase rate, so the
+    /// trace alternates quiet valleys with bursts that overrun a queue
+    /// provisioned for the mean.
+    Bursty {
+        /// Off-peak arrival rate, requests per second.
+        base_rate_per_s: f64,
+        /// On-peak arrival rate, requests per second.
+        peak_rate_per_s: f64,
+        /// Length of one base+peak cycle.
+        period: SimTime,
+        /// Fraction of the period spent at peak, in `(0, 1)`.
+        duty: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The long-run mean rate, requests per second.
+    #[must_use]
+    pub fn mean_rate_per_s(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_s } => rate_per_s,
+            ArrivalProcess::Bursty {
+                base_rate_per_s,
+                peak_rate_per_s,
+                duty,
+                ..
+            } => duty * peak_rate_per_s + (1.0 - duty) * base_rate_per_s,
+        }
+    }
+
+    /// The same process with every rate multiplied by `factor` — the knob
+    /// the offered-load sweep turns.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> ArrivalProcess {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_s } => ArrivalProcess::Poisson {
+                rate_per_s: rate_per_s * factor,
+            },
+            ArrivalProcess::Bursty {
+                base_rate_per_s,
+                peak_rate_per_s,
+                period,
+                duty,
+            } => ArrivalProcess::Bursty {
+                base_rate_per_s: base_rate_per_s * factor,
+                peak_rate_per_s: peak_rate_per_s * factor,
+                period,
+                duty,
+            },
+        }
+    }
+
+    /// The absolute time of the next arrival strictly after `now`.
+    ///
+    /// Draws one exponential gap at the rate in effect at `now` (for the
+    /// square wave this slightly smears bursts across phase edges, which
+    /// real diurnal traces do too). The gap is floored at 1ns so the
+    /// process always makes progress.
+    #[must_use]
+    pub fn next_after(&self, now: SimTime, rng: &mut SimRng) -> SimTime {
+        let rate = self.rate_at(now);
+        debug_assert!(rate > 0.0, "arrival process with a non-positive rate");
+        // Inverse-CDF exponential draw; `f64()` is in [0, 1) so the log
+        // argument stays positive.
+        let gap_us = -(1.0 - rng.f64()).ln() / rate * 1e6;
+        now + SimTime::from_us_f64(gap_us).max(SimTime::from_ns(1))
+    }
+
+    /// The instantaneous rate at `now`, requests per second.
+    #[must_use]
+    pub fn rate_at(&self, now: SimTime) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_s } => rate_per_s,
+            ArrivalProcess::Bursty {
+                base_rate_per_s,
+                peak_rate_per_s,
+                period,
+                duty,
+            } => {
+                let phase = now.as_ns() % period.as_ns().max(1);
+                let peak_until = period.scale(duty).as_ns();
+                if phase < peak_until {
+                    peak_rate_per_s
+                } else {
+                    base_rate_per_s
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let p = ArrivalProcess::Poisson { rate_per_s: 1000.0 };
+        let mut rng = SimRng::seed_from(7);
+        let mut now = SimTime::ZERO;
+        let n = 20_000;
+        for _ in 0..n {
+            now = p.next_after(now, &mut rng);
+        }
+        // Mean gap should be ~1ms; allow 5% sampling slack.
+        let mean_us = now.as_us() / n as f64;
+        assert!((mean_us - 1000.0).abs() < 50.0, "mean gap {mean_us}us");
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let p = ArrivalProcess::Bursty {
+            base_rate_per_s: 100.0,
+            peak_rate_per_s: 100_000.0,
+            period: SimTime::from_ms(10),
+            duty: 0.2,
+        };
+        let mut rng = SimRng::seed_from(3);
+        let mut now = SimTime::ZERO;
+        for _ in 0..10_000 {
+            let next = p.next_after(now, &mut rng);
+            assert!(next > now);
+            now = next;
+        }
+    }
+
+    #[test]
+    fn bursty_phases_select_rates() {
+        let p = ArrivalProcess::Bursty {
+            base_rate_per_s: 10.0,
+            peak_rate_per_s: 90.0,
+            period: SimTime::from_ms(10),
+            duty: 0.25,
+        };
+        assert_eq!(p.rate_at(SimTime::ZERO), 90.0);
+        assert_eq!(p.rate_at(SimTime::from_us(2_499)), 90.0);
+        assert_eq!(p.rate_at(SimTime::from_us(2_500)), 10.0);
+        assert_eq!(p.rate_at(SimTime::from_ms(10)), 90.0); // next cycle
+        assert!((p.mean_rate_per_s() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_scales_the_mean() {
+        let p = ArrivalProcess::Poisson { rate_per_s: 40.0 };
+        assert!((p.scaled(2.5).mean_rate_per_s() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let p = ArrivalProcess::Poisson { rate_per_s: 500.0 };
+        let run = |seed| {
+            let mut rng = SimRng::seed_from(seed);
+            let mut now = SimTime::ZERO;
+            (0..64)
+                .map(|_| {
+                    now = p.next_after(now, &mut rng);
+                    now
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+}

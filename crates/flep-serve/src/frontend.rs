@@ -1,0 +1,758 @@
+//! The serving frontend world: admission → EDF queue → batch formation →
+//! dispatch into the FLEP runtime.
+//!
+//! [`ServeWorld`] embeds a [`SystemWorld`] rather than wrapping the
+//! [`CoRun`](flep_runtime::CoRun) driver: the frontend owns the event loop
+//! (its event type covers both arrival events and runtime-internal
+//! events), forwards runtime events via [`SystemWorld::dispatch`], and
+//! re-schedules the runtime's buffered follow-ups each step. Jobs enter
+//! through [`SystemWorld::submit`], so a batch submitted for a
+//! high-priority tenant preempts a running low-priority batch through the
+//! ordinary HPF path — flag first, then the watchdog's forced-drain and
+//! kill escalations when the victim ignores it.
+
+use crate::arrivals::ArrivalProcess;
+use crate::queue::{AdmissionControl, DropReason, EdfQueue};
+use flep_gpu_sim::{FaultConfig, FaultPlan, GpuConfig, GpuDevice, TaskCost};
+use flep_metrics::Percentiles;
+use flep_runtime::{
+    JobSpec, KernelProfile, Policy, RecoveryAction, SystemEvent, SystemWorld, WatchdogConfig,
+};
+use flep_sim_core::json::{JsonValue, ToJson};
+use flep_sim_core::{RunOutcome, SimRng, SimTime, Simulation, World};
+use flep_workloads::{InferenceModel, ModelId};
+
+/// One admitted inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Arrival instant.
+    pub arrival: SimTime,
+    /// Latency deadline (`arrival + slo`).
+    pub deadline: SimTime,
+    /// Per-tenant admission sequence number (tie-break witness).
+    pub seq: u64,
+}
+
+/// One tenant: a deployed model, its load, and its scheduling class.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name (stable; appears in reports and golden traces).
+    pub name: String,
+    /// Which inference model this tenant serves.
+    pub model: ModelId,
+    /// Runtime priority: higher preempts lower via HPF.
+    pub priority: u32,
+    /// Open-loop arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Queue depth bound for admission control.
+    pub queue_cap: usize,
+    /// Latency SLO; `None` uses the model's default.
+    pub slo: Option<SimTime>,
+    /// Largest batch formed per dispatch.
+    pub max_batch: u64,
+}
+
+impl TenantSpec {
+    /// A tenant serving `model` with its default SLO and sensible
+    /// serving defaults (queue cap 256, batch cap 32).
+    #[must_use]
+    pub fn new(name: &str, model: ModelId, priority: u32, arrivals: ArrivalProcess) -> TenantSpec {
+        TenantSpec {
+            name: name.to_string(),
+            model,
+            priority,
+            arrivals,
+            queue_cap: 256,
+            slo: None,
+            max_batch: 32,
+        }
+    }
+
+    /// The effective SLO.
+    #[must_use]
+    pub fn effective_slo(&self) -> SimTime {
+        self.slo
+            .unwrap_or_else(|| InferenceModel::get(self.model).slo)
+    }
+}
+
+/// A full serving experiment description.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Root seed; everything (arrivals, kernel noise, faults) derives
+    /// from it deterministically.
+    pub seed: u64,
+    /// Arrivals stop here; the sim then drains to completion.
+    pub horizon: SimTime,
+    /// Runtime scheduling policy (default: HPF).
+    pub policy: Policy,
+    /// Watchdog configuration (always on: serving without the escalation
+    /// ladder would hang on the first stuck victim).
+    pub watchdog: WatchdogConfig,
+    /// Optional seeded fault plan for the device.
+    pub faults: Option<FaultConfig>,
+    /// Event budget for the embedded discrete-event run.
+    pub event_budget: u64,
+    /// The tenants.
+    pub tenants: Vec<TenantSpec>,
+}
+
+impl ServeConfig {
+    /// A config with the given tenants and defaults everywhere else.
+    #[must_use]
+    pub fn new(seed: u64, horizon: SimTime, tenants: Vec<TenantSpec>) -> ServeConfig {
+        ServeConfig {
+            seed,
+            horizon,
+            policy: Policy::hpf(),
+            watchdog: WatchdogConfig::default(),
+            faults: None,
+            event_budget: flep_runtime::DEFAULT_EVENT_BUDGET,
+            tenants,
+        }
+    }
+}
+
+/// Frontend event type: tenant arrivals interleaved with runtime events.
+#[derive(Debug)]
+pub enum ServeEvent {
+    /// A request arrives for tenant `idx`.
+    Arrival {
+        /// Tenant index.
+        tenant: usize,
+    },
+    /// A forwarded FLEP-runtime event.
+    Sys(SystemEvent),
+}
+
+/// Per-tenant serving counters. Every admitted request ends in exactly one
+/// of `completed` (split into `goodput` / `slo_miss`), `expired`, or
+/// `failed`; [`TenantReport::reconciles`] checks the ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Requests the arrival process offered.
+    pub offered: u64,
+    /// Requests past admission control.
+    pub admitted: u64,
+    /// Dropped at the door: deadline already passed.
+    pub dropped_past_deadline: u64,
+    /// Dropped at the door: queue full.
+    pub dropped_queue_full: u64,
+    /// Admitted but expired in the queue before dispatch.
+    pub expired: u64,
+    /// Requests whose batch completed on the GPU.
+    pub completed: u64,
+    /// Completed within the deadline.
+    pub goodput: u64,
+    /// Completed, but late.
+    pub slo_miss: u64,
+    /// Requests lost to a failed batch (permanent launch failure, kill
+    /// without restore, retries exhausted).
+    pub failed: u64,
+    /// Batches submitted to the runtime.
+    pub batches: u64,
+}
+
+struct Tenant {
+    spec: TenantSpec,
+    admission: AdmissionControl,
+    queue: EdfQueue<Request>,
+    rng: SimRng,
+    next_seq: u64,
+    /// Runtime job index of the in-flight batch, if any.
+    inflight: Option<usize>,
+    stats: TenantStats,
+    /// Completed-request latencies, ns.
+    latencies: Vec<u64>,
+}
+
+struct BatchMeta {
+    tenant: usize,
+    requests: Vec<Request>,
+}
+
+/// The serving world: tenant frontends plus the embedded FLEP runtime.
+pub struct ServeWorld {
+    sys: SystemWorld,
+    tenants: Vec<Tenant>,
+    /// Batch metadata indexed by runtime job index.
+    batches: Vec<Option<BatchMeta>>,
+    horizon: SimTime,
+    seed: u64,
+    /// Scratch buffers (kept allocated across events).
+    done_scratch: Vec<(SimTime, usize)>,
+    expired_scratch: Vec<Request>,
+}
+
+impl ServeWorld {
+    /// Builds the world and the initial event set for `cfg`.
+    ///
+    /// Returns the world plus the initial `(time, event)` pairs the
+    /// driver must schedule (first arrival per tenant and the first
+    /// watchdog tick).
+    #[must_use]
+    pub fn new(cfg: &ServeConfig) -> (ServeWorld, Vec<(SimTime, ServeEvent)>) {
+        let mut device = GpuDevice::new(GpuConfig::k40());
+        device.set_fault_plan(cfg.faults.map(FaultPlan::new));
+        let mut sys = SystemWorld::new(device, cfg.policy, Vec::new(), None);
+        sys.set_watchdog(cfg.watchdog);
+
+        let mut initial = Vec::new();
+        let tenants: Vec<Tenant> = cfg
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let mut rng = SimRng::stream(cfg.seed, i as u64);
+                let first = spec.arrivals.next_after(SimTime::ZERO, &mut rng);
+                if first < cfg.horizon {
+                    initial.push((first, ServeEvent::Arrival { tenant: i }));
+                }
+                Tenant {
+                    admission: AdmissionControl {
+                        queue_cap: spec.queue_cap,
+                    },
+                    queue: EdfQueue::new(),
+                    rng,
+                    next_seq: 0,
+                    inflight: None,
+                    stats: TenantStats::default(),
+                    latencies: Vec::new(),
+                    spec: spec.clone(),
+                }
+            })
+            .collect();
+        // `set_watchdog` marks the watchdog armed; the driver owes the
+        // first tick, exactly as in `CoRun::run`.
+        initial.push((
+            cfg.watchdog.poll_interval,
+            ServeEvent::Sys(SystemEvent::Watchdog),
+        ));
+
+        let world = ServeWorld {
+            sys,
+            tenants,
+            batches: Vec::new(),
+            horizon: cfg.horizon,
+            seed: cfg.seed,
+            done_scratch: Vec::new(),
+            expired_scratch: Vec::new(),
+        };
+        (world, initial)
+    }
+
+    fn on_arrival(
+        &mut self,
+        now: SimTime,
+        idx: usize,
+        sched: &mut flep_sim_core::Scheduler<'_, ServeEvent>,
+    ) {
+        let t = &mut self.tenants[idx];
+        t.stats.offered += 1;
+        let deadline = now + t.spec.effective_slo();
+        match t.admission.decide(now, deadline, t.queue.len()) {
+            Ok(()) => {
+                let seq = t.next_seq;
+                t.next_seq += 1;
+                t.queue.push(
+                    deadline,
+                    Request {
+                        arrival: now,
+                        deadline,
+                        seq,
+                    },
+                );
+                t.stats.admitted += 1;
+            }
+            Err(DropReason::PastDeadline) => t.stats.dropped_past_deadline += 1,
+            Err(DropReason::QueueFull) => t.stats.dropped_queue_full += 1,
+        }
+        // Open-loop: the next arrival comes regardless of the admission
+        // outcome. Arrivals stop at the horizon.
+        let next = t.spec.arrivals.next_after(now, &mut t.rng);
+        if next < self.horizon {
+            sched.schedule_at(next, ServeEvent::Arrival { tenant: idx });
+        }
+    }
+
+    /// Settles finished runtime jobs back into request-level accounting.
+    fn reap(&mut self, now: SimTime) {
+        let mut done = std::mem::take(&mut self.done_scratch);
+        done.clear();
+        self.sys.drain_completions_into(&mut done);
+        for &(at, job) in &done {
+            self.settle_batch(at, job, true);
+        }
+        done.clear();
+        self.sys.drain_failures_into(&mut done);
+        for &(at, job) in &done {
+            self.settle_batch(at, job, false);
+        }
+        self.done_scratch = done;
+        let _ = now;
+    }
+
+    fn settle_batch(&mut self, at: SimTime, job: usize, completed: bool) {
+        let Some(meta) = self.batches.get_mut(job).and_then(Option::take) else {
+            return;
+        };
+        let t = &mut self.tenants[meta.tenant];
+        if t.inflight == Some(job) {
+            t.inflight = None;
+        }
+        for req in &meta.requests {
+            if completed {
+                t.stats.completed += 1;
+                t.latencies.push(at.saturating_sub(req.arrival).as_ns());
+                if at <= req.deadline {
+                    t.stats.goodput += 1;
+                } else {
+                    t.stats.slo_miss += 1;
+                }
+            } else {
+                t.stats.failed += 1;
+            }
+        }
+    }
+
+    /// Forms and submits batches until no tenant is eligible. Returns
+    /// whether anything was submitted (a submission can fail synchronously
+    /// inside the runtime, so the caller reaps and retries to fixpoint).
+    fn try_dispatch(&mut self, now: SimTime) -> bool {
+        let mut submitted = false;
+        loop {
+            // Shed requests that already missed while queued, so head
+            // deadlines (the EDF keys below) are live.
+            let mut expired = std::mem::take(&mut self.expired_scratch);
+            for t in &mut self.tenants {
+                expired.clear();
+                t.stats.expired += t.queue.expire_into(now, &mut expired) as u64;
+            }
+            expired.clear();
+            self.expired_scratch = expired;
+
+            // Global EDF across tenants: the eligible tenant (≤1 batch in
+            // flight each) with the earliest head deadline goes first;
+            // ties break on tenant index.
+            let pick = self
+                .tenants
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.inflight.is_none())
+                .filter_map(|(i, t)| t.queue.peek_deadline().map(|d| (d, i)))
+                .min();
+            let Some((_, idx)) = pick else { break };
+            self.submit_batch(now, idx);
+            submitted = true;
+        }
+        submitted
+    }
+
+    fn submit_batch(&mut self, now: SimTime, idx: usize) {
+        let t = &mut self.tenants[idx];
+        let model = InferenceModel::get(t.spec.model);
+        let mut requests = Vec::new();
+        while (requests.len() as u64) < t.spec.max_batch {
+            let Some((_, req)) = t.queue.pop() else { break };
+            requests.push(req);
+        }
+        debug_assert!(!requests.is_empty(), "dispatch picked an empty queue");
+        let batch_no = t.stats.batches;
+        t.stats.batches += 1;
+        // A fresh noise seed per batch, derived from the root seed so the
+        // trace replays bit-identically.
+        let noise_seed = SimRng::stream(self.seed, ((idx as u64) << 40) | batch_no).u64();
+        let profile = KernelProfile {
+            name: format!("{}#{batch_no}", t.spec.name),
+            resources: model.resources,
+            total_tasks: requests.len() as u64,
+            task_cost: TaskCost {
+                base: model.unit_cost,
+                rel_noise: model.rel_noise,
+            },
+            mem_intensity: model.mem_intensity,
+            amortize: model.amortize,
+        };
+        let spec = JobSpec::new(profile, now)
+            .with_priority(t.spec.priority)
+            .with_seed(noise_seed);
+        let job = self.sys.submit(now, spec);
+        self.tenants[idx].inflight = Some(job);
+        if self.batches.len() <= job {
+            self.batches.resize_with(job + 1, || None);
+        }
+        self.batches[job] = Some(BatchMeta {
+            tenant: idx,
+            requests,
+        });
+    }
+
+    /// Read access to the embedded runtime world (for tests).
+    #[must_use]
+    pub fn runtime(&self) -> &SystemWorld {
+        &self.sys
+    }
+
+    fn into_report(self, end_time: SimTime, outcome: ServeOutcome, events: u64) -> ServeReport {
+        // A budget abort strands in-flight batches; their requests are
+        // neither completed nor failed, so count them explicitly to keep
+        // the ledger exact.
+        let mut inflight_by_tenant = vec![0u64; self.tenants.len()];
+        for meta in self.batches.iter().flatten() {
+            inflight_by_tenant[meta.tenant] += meta.requests.len() as u64;
+        }
+        let mut leftover = 0u64;
+        let mut all_latencies: Vec<u64> = self
+            .tenants
+            .iter()
+            .flat_map(|t| t.latencies.iter().copied())
+            .collect();
+        let latency = Percentiles::of_ns(&mut all_latencies);
+        let tenants: Vec<TenantReport> = self
+            .tenants
+            .into_iter()
+            .zip(inflight_by_tenant)
+            .map(|(mut t, inflight_at_end)| {
+                leftover += t.queue.len() as u64 + inflight_at_end;
+                TenantReport {
+                    name: t.spec.name,
+                    model: t.spec.model,
+                    priority: t.spec.priority,
+                    stats: t.stats,
+                    latency: Percentiles::of_ns(&mut t.latencies),
+                    queued_at_end: t.queue.len() as u64,
+                    inflight_at_end,
+                }
+            })
+            .collect();
+        let (_, _, _, report) = self.sys.into_records();
+        let mut recoveries = [0u64; 4];
+        for r in &report.recoveries {
+            match r.action {
+                RecoveryAction::ForcedDrain => recoveries[0] += 1,
+                RecoveryAction::Killed => recoveries[1] += 1,
+                RecoveryAction::LostNotification => recoveries[2] += 1,
+                RecoveryAction::LaunchRetry(_) => recoveries[3] += 1,
+            }
+        }
+        ServeReport {
+            end_time,
+            outcome,
+            events,
+            latency,
+            tenants,
+            escalations: report.escalations,
+            recoveries,
+            runtime_errors: report.errors.len() as u64,
+            faults_fired: report.faults.len() as u64,
+            leftover,
+        }
+    }
+}
+
+impl World for ServeWorld {
+    type Event = ServeEvent;
+
+    fn handle(
+        &mut self,
+        now: SimTime,
+        event: ServeEvent,
+        sched: &mut flep_sim_core::Scheduler<'_, ServeEvent>,
+    ) {
+        match event {
+            ServeEvent::Arrival { tenant } => self.on_arrival(now, tenant, sched),
+            ServeEvent::Sys(e) => self.sys.dispatch(now, e),
+        }
+        // Settle completions/failures, then dispatch; a synchronously
+        // failing submission produces a new failure entry, so iterate to
+        // fixpoint (terminates: every round consumes queued requests).
+        loop {
+            self.reap(now);
+            if !self.try_dispatch(now) {
+                break;
+            }
+        }
+        self.sys
+            .for_each_pending(|at, e| sched.schedule_at(at, ServeEvent::Sys(e)));
+    }
+}
+
+/// How the serving run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// Event queue drained: every admitted request was settled.
+    Drained,
+    /// The event budget ran out first.
+    BudgetExhausted,
+}
+
+impl ServeOutcome {
+    /// Short stable name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServeOutcome::Drained => "drained",
+            ServeOutcome::BudgetExhausted => "budget-exhausted",
+        }
+    }
+}
+
+/// Per-tenant serving results.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Served model.
+    pub model: ModelId,
+    /// Scheduling priority.
+    pub priority: u32,
+    /// The request ledger.
+    pub stats: TenantStats,
+    /// Completed-request latency percentiles (`None` if nothing
+    /// completed).
+    pub latency: Option<Percentiles>,
+    /// Requests still queued when the run ended (0 unless the budget ran
+    /// out).
+    pub queued_at_end: u64,
+    /// Requests stranded inside an in-flight batch when the run ended
+    /// (0 unless the budget ran out).
+    pub inflight_at_end: u64,
+}
+
+impl TenantReport {
+    /// True when the request ledger balances: every offered request is
+    /// accounted for exactly once, and completions split exactly into
+    /// goodput and SLO misses.
+    #[must_use]
+    pub fn reconciles(&self) -> bool {
+        let s = &self.stats;
+        s.offered == s.admitted + s.dropped_past_deadline + s.dropped_queue_full
+            && s.admitted
+                == s.completed + s.expired + s.failed + self.queued_at_end + self.inflight_at_end
+            && s.completed == s.goodput + s.slo_miss
+    }
+}
+
+impl ToJson for TenantReport {
+    fn to_json(&self) -> JsonValue {
+        let s = &self.stats;
+        let (p50, p99, p999) = match self.latency {
+            Some(p) => (p.p50_ns, p.p99_ns, p.p999_ns),
+            None => (0, 0, 0),
+        };
+        JsonValue::object([
+            ("tenant", JsonValue::Str(self.name.clone())),
+            ("model", self.model.to_json()),
+            ("priority", JsonValue::UInt(u64::from(self.priority))),
+            ("offered", JsonValue::UInt(s.offered)),
+            ("admitted", JsonValue::UInt(s.admitted)),
+            (
+                "dropped_past_deadline",
+                JsonValue::UInt(s.dropped_past_deadline),
+            ),
+            ("dropped_queue_full", JsonValue::UInt(s.dropped_queue_full)),
+            ("expired", JsonValue::UInt(s.expired)),
+            ("completed", JsonValue::UInt(s.completed)),
+            ("goodput", JsonValue::UInt(s.goodput)),
+            ("slo_miss", JsonValue::UInt(s.slo_miss)),
+            ("failed", JsonValue::UInt(s.failed)),
+            ("batches", JsonValue::UInt(s.batches)),
+            ("p50_ns", JsonValue::UInt(p50)),
+            ("p99_ns", JsonValue::UInt(p99)),
+            ("p999_ns", JsonValue::UInt(p999)),
+        ])
+    }
+}
+
+/// Whole-run serving results.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// When the last event fired.
+    pub end_time: SimTime,
+    /// How the run ended.
+    pub outcome: ServeOutcome,
+    /// Events dispatched by the discrete-event engine (the budget
+    /// currency).
+    pub events: u64,
+    /// Latency percentiles over every completed request, all tenants
+    /// pooled (`None` if nothing completed).
+    pub latency: Option<Percentiles>,
+    /// Per-tenant ledgers, in config order.
+    pub tenants: Vec<TenantReport>,
+    /// Preemption-drain outcomes by escalation level `[flag, forced
+    /// drain, kill]` (from the runtime).
+    pub escalations: [u64; 3],
+    /// Watchdog recoveries by kind `[forced-drain, killed,
+    /// lost-notification, launch-retry]`.
+    pub recoveries: [u64; 4],
+    /// Structured runtime errors observed.
+    pub runtime_errors: u64,
+    /// Faults the device's injection plan fired.
+    pub faults_fired: u64,
+    /// Requests stranded (queued or in flight) at the end; 0 on a
+    /// drained run.
+    pub leftover: u64,
+}
+
+impl ServeReport {
+    /// Sums a counter over tenants.
+    fn total(&self, f: impl Fn(&TenantStats) -> u64) -> u64 {
+        self.tenants.iter().map(|t| f(&t.stats)).sum()
+    }
+
+    /// Total goodput (requests completed within deadline).
+    #[must_use]
+    pub fn goodput(&self) -> u64 {
+        self.total(|s| s.goodput)
+    }
+
+    /// Total offered requests.
+    #[must_use]
+    pub fn offered(&self) -> u64 {
+        self.total(|s| s.offered)
+    }
+
+    /// True when every tenant's ledger balances.
+    #[must_use]
+    pub fn reconciles(&self) -> bool {
+        self.tenants.iter().all(TenantReport::reconciles)
+    }
+}
+
+impl ToJson for ServeReport {
+    fn to_json(&self) -> JsonValue {
+        let (p50, p99, p999) = match self.latency {
+            Some(p) => (p.p50_ns, p.p99_ns, p.p999_ns),
+            None => (0, 0, 0),
+        };
+        JsonValue::object([
+            ("end_time_ns", JsonValue::UInt(self.end_time.as_ns())),
+            ("outcome", JsonValue::Str(self.outcome.name().to_string())),
+            ("events", JsonValue::UInt(self.events)),
+            ("offered", JsonValue::UInt(self.offered())),
+            ("goodput", JsonValue::UInt(self.goodput())),
+            ("p50_ns", JsonValue::UInt(p50)),
+            ("p99_ns", JsonValue::UInt(p99)),
+            ("p999_ns", JsonValue::UInt(p999)),
+            (
+                "escalations",
+                JsonValue::array(self.escalations.iter().map(|&e| JsonValue::UInt(e))),
+            ),
+            (
+                "recoveries",
+                JsonValue::array(self.recoveries.iter().map(|&e| JsonValue::UInt(e))),
+            ),
+            ("runtime_errors", JsonValue::UInt(self.runtime_errors)),
+            ("faults_fired", JsonValue::UInt(self.faults_fired)),
+            ("leftover", JsonValue::UInt(self.leftover)),
+            (
+                "tenants",
+                JsonValue::array(self.tenants.iter().map(ToJson::to_json)),
+            ),
+        ])
+    }
+}
+
+/// Runs one serving experiment to completion (or budget exhaustion) and
+/// returns the report.
+#[must_use]
+pub fn run_serve(cfg: &ServeConfig) -> ServeReport {
+    let (world, initial) = ServeWorld::new(cfg);
+    let mut sim = Simulation::new(world);
+    for (at, ev) in initial {
+        sim.schedule_at(at, ev);
+    }
+    let (end, outcome) = match sim.run_with_budget(cfg.event_budget) {
+        RunOutcome::Completed(t) => (t, ServeOutcome::Drained),
+        RunOutcome::BudgetExhausted { now, .. } => (now, ServeOutcome::BudgetExhausted),
+    };
+    let events = sim.dispatched();
+    sim.into_world().into_report(end, outcome, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tenant_cfg(seed: u64) -> ServeConfig {
+        ServeConfig::new(
+            seed,
+            SimTime::from_ms(200),
+            vec![
+                TenantSpec::new(
+                    "dlrm",
+                    ModelId::Dlrm,
+                    2,
+                    ArrivalProcess::Poisson { rate_per_s: 2000.0 },
+                ),
+                TenantSpec::new(
+                    "gpt2-gen",
+                    ModelId::Gpt2,
+                    0,
+                    ArrivalProcess::Poisson { rate_per_s: 120.0 },
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn smoke_run_drains_and_reconciles() {
+        let r = run_serve(&two_tenant_cfg(42));
+        assert_eq!(r.outcome, ServeOutcome::Drained);
+        assert_eq!(r.leftover, 0);
+        assert!(r.reconciles(), "ledger must balance: {r:?}");
+        assert!(r.goodput() > 0);
+        assert!(r.offered() >= 400, "200ms at >2000/s offered");
+        for t in &r.tenants {
+            assert!(t.stats.batches > 0, "{} never dispatched", t.name);
+        }
+    }
+
+    #[test]
+    fn same_seed_renders_identical_reports() {
+        let a = run_serve(&two_tenant_cfg(7)).to_json().render();
+        let b = run_serve(&two_tenant_cfg(7)).to_json().render();
+        let c = run_serve(&two_tenant_cfg(8)).to_json().render();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tight_slo_tenant_preempts_long_batches() {
+        // gpt2 batches run ~900us per task; dlrm arrivals every ~500us
+        // with priority 2 must preempt them, so the runtime's drain
+        // ladder fires and dlrm p99 stays well under its 5ms SLO.
+        let r = run_serve(&two_tenant_cfg(42));
+        let drains: u64 = r.escalations.iter().sum();
+        assert!(drains > 0, "no preemption drains recorded: {r:?}");
+        let dlrm = &r.tenants[0];
+        let p99 = dlrm.latency.expect("dlrm completed requests").p99_ns;
+        assert!(
+            p99 < SimTime::from_ms(5).as_ns(),
+            "dlrm p99 {p99}ns blew its SLO"
+        );
+    }
+
+    #[test]
+    fn faulty_device_still_reconciles() {
+        let mut cfg = two_tenant_cfg(42);
+        cfg.faults = Some(
+            flep_gpu_sim::FaultConfig::quiet(99)
+                .with_launch_reject(0.05)
+                .with_signal_drop(0.05),
+        );
+        let r = run_serve(&cfg);
+        assert_eq!(r.outcome, ServeOutcome::Drained);
+        assert!(r.reconciles(), "faulty ledger must still balance: {r:?}");
+        assert!(r.faults_fired > 0, "fault plan never fired");
+    }
+
+    #[test]
+    fn budget_abort_reports_leftover() {
+        let mut cfg = two_tenant_cfg(42);
+        cfg.event_budget = 50;
+        let r = run_serve(&cfg);
+        assert_eq!(r.outcome, ServeOutcome::BudgetExhausted);
+        assert!(r.reconciles(), "aborted ledger must still balance: {r:?}");
+    }
+}

@@ -1,0 +1,185 @@
+//! The per-tenant request queue: earliest-deadline-first with admission
+//! control.
+//!
+//! Built on the sim-core indexed 4-ary heap ([`flep_sim_core::EventQueue`])
+//! with the request **deadline** as the key, so the pop order inherits the
+//! engine's proven `(time, seq)` contract verbatim: earliest deadline
+//! first, FIFO among equal deadlines. No second ordering implementation to
+//! drift from the first.
+
+use flep_sim_core::{EventQueue, SimTime};
+
+/// Why a request was rejected at the door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The deadline was already at or before the arrival instant; no
+    /// schedule can meet it, so no GPU time is spent on it.
+    PastDeadline,
+    /// The tenant's queue is at capacity (load shedding).
+    QueueFull,
+}
+
+impl DropReason {
+    /// Short stable name, used in reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            DropReason::PastDeadline => "past-deadline",
+            DropReason::QueueFull => "queue-full",
+        }
+    }
+}
+
+/// Admission policy for one tenant queue: bounded depth, and no request
+/// whose deadline has already passed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionControl {
+    /// Maximum queued (admitted, not yet dispatched) requests.
+    pub queue_cap: usize,
+}
+
+impl AdmissionControl {
+    /// Decides admission for a request arriving at `now` with `deadline`,
+    /// given the current queue depth.
+    ///
+    /// A deadline **at or before** `now` is rejected: even a zero-cost
+    /// schedule would miss it. The capacity check comes second, so a
+    /// doomed request never evicts room a feasible one could use.
+    pub fn decide(
+        &self,
+        now: SimTime,
+        deadline: SimTime,
+        queue_len: usize,
+    ) -> Result<(), DropReason> {
+        if deadline <= now {
+            return Err(DropReason::PastDeadline);
+        }
+        if queue_len >= self.queue_cap {
+            return Err(DropReason::QueueFull);
+        }
+        Ok(())
+    }
+}
+
+/// An earliest-deadline-first queue with deterministic `(deadline, seq)`
+/// ordering: among equal deadlines, insertion order wins.
+#[derive(Debug, Clone)]
+pub struct EdfQueue<T> {
+    inner: EventQueue<T>,
+}
+
+impl<T> Default for EdfQueue<T> {
+    fn default() -> Self {
+        EdfQueue::new()
+    }
+}
+
+impl<T> EdfQueue<T> {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EdfQueue {
+            inner: EventQueue::new(),
+        }
+    }
+
+    /// Number of queued items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Enqueues `item` with `deadline` as its EDF key.
+    pub fn push(&mut self, deadline: SimTime, item: T) {
+        self.inner.push(deadline, item);
+    }
+
+    /// The earliest queued deadline, if any.
+    #[must_use]
+    pub fn peek_deadline(&self) -> Option<SimTime> {
+        self.inner.peek_time()
+    }
+
+    /// Pops the earliest-deadline item (FIFO among ties).
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.inner.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// Pops every item whose deadline is at or before `now` — already
+    /// missed, so dispatching it would waste GPU time — into `out`.
+    /// Returns how many expired.
+    pub fn expire_into(&mut self, now: SimTime, out: &mut Vec<T>) -> usize {
+        let mut n = 0;
+        while self.peek_deadline().is_some_and(|d| d <= now) {
+            let (_, item) = self.pop().expect("invariant: peeked head exists");
+            out.push(item);
+            n += 1;
+        }
+        n
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimTime {
+        SimTime::from_us(v)
+    }
+
+    #[test]
+    fn pops_in_deadline_order_fifo_on_ties() {
+        let mut q = EdfQueue::new();
+        q.push(us(30), "late");
+        q.push(us(10), "a");
+        q.push(us(10), "b");
+        q.push(us(20), "mid");
+        assert_eq!(q.peek_deadline(), Some(us(10)));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, ["a", "b", "mid", "late"]);
+    }
+
+    #[test]
+    fn expiry_pops_exactly_the_missed_prefix() {
+        let mut q = EdfQueue::new();
+        for d in [5u64, 10, 15, 20] {
+            q.push(us(d), d);
+        }
+        let mut gone = Vec::new();
+        // Deadline == now counts as missed.
+        assert_eq!(q.expire_into(us(10), &mut gone), 2);
+        assert_eq!(gone, [5, 10]);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_deadline(), Some(us(15)));
+        assert_eq!(q.expire_into(us(10), &mut gone), 0);
+    }
+
+    #[test]
+    fn admission_rejects_past_deadlines_before_capacity() {
+        let adm = AdmissionControl { queue_cap: 1 };
+        // Past deadline wins even when the queue is also full.
+        assert_eq!(adm.decide(us(10), us(10), 1), Err(DropReason::PastDeadline));
+        assert_eq!(adm.decide(us(10), us(11), 1), Err(DropReason::QueueFull));
+        assert_eq!(adm.decide(us(10), us(11), 0), Ok(()));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = EdfQueue::new();
+        q.push(us(1), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

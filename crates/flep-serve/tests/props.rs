@@ -1,0 +1,187 @@
+//! Property tests for the serving frontend's EDF queue and admission
+//! control, on the in-tree `flep-check` harness (64+ seeded cases each).
+
+use flep_serve::{AdmissionControl, DropReason, EdfQueue};
+use flep_sim_core::check::{check, CheckConfig};
+use flep_sim_core::{require, require_eq, SimRng, SimTime};
+
+/// A naive reference model of an EDF queue: a plain vector popped by
+/// linear scan for the `(deadline, seq)` minimum. Obviously correct,
+/// obviously slow.
+#[derive(Default)]
+struct NaiveEdf {
+    items: Vec<(SimTime, u64)>,
+    next_seq: u64,
+}
+
+impl NaiveEdf {
+    fn push(&mut self, deadline: SimTime) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.items.push((deadline, seq));
+        seq
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        let at = self
+            .items
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(d, s))| (d, s))
+            .map(|(i, _)| i)?;
+        Some(self.items.remove(at))
+    }
+
+    fn expire(&mut self, now: SimTime) -> Vec<(SimTime, u64)> {
+        let mut gone = Vec::new();
+        while let Some(&(d, _)) = self
+            .items
+            .iter()
+            .min_by_key(|&&(d, s)| (d, s))
+            .filter(|&&(d, _)| d <= now)
+        {
+            let _ = d;
+            let popped = self.pop().expect("invariant: a minimum was just found");
+            gone.push(popped);
+        }
+        gone
+    }
+}
+
+/// Op stream: `(code % 3, value)` where 0 = push(value as deadline),
+/// 1 = pop, 2 = expire(value as now). Values stay in a narrow window so
+/// deadline ties and already-expired pushes both occur often.
+fn gen_ops(rng: &mut SimRng) -> Vec<(u8, u64)> {
+    let n = rng.uniform_u64(1, 60) as usize;
+    (0..n)
+        .map(|_| (rng.uniform_u64(0, 6) as u8, rng.uniform_u64(0, 24)))
+        .collect()
+}
+
+/// The indexed-heap EDF queue agrees with the naive model op for op:
+/// same pop results (deadline and insertion sequence), same expiry sets,
+/// same lengths — under arbitrary push/pop/expire interleavings.
+#[test]
+fn edf_queue_matches_naive_model() {
+    check(
+        "edf_queue_matches_naive_model",
+        CheckConfig::default(),
+        gen_ops,
+        |ops| {
+            let mut real: EdfQueue<u64> = EdfQueue::new();
+            let mut model = NaiveEdf::default();
+            for &(code, value) in ops {
+                match code % 3 {
+                    0 => {
+                        let deadline = SimTime::from_us(value);
+                        let seq = model.push(deadline);
+                        real.push(deadline, seq);
+                    }
+                    1 => {
+                        let got = real.pop();
+                        let want = model.pop().map(|(d, s)| (d, s));
+                        require_eq!(got, want, "pop diverged");
+                    }
+                    _ => {
+                        let now = SimTime::from_us(value);
+                        let mut got = Vec::new();
+                        real.expire_into(now, &mut got);
+                        let want: Vec<u64> =
+                            model.expire(now).into_iter().map(|(_, s)| s).collect();
+                        require_eq!(got, want, "expiry diverged at now={now}");
+                        require!(
+                            real.peek_deadline().is_none_or(|d| d > now),
+                            "live head still expired"
+                        );
+                    }
+                }
+                require_eq!(real.len(), model.items.len(), "length diverged");
+                let head = real.peek_deadline();
+                let model_head = model.items.iter().map(|&(d, _)| d).min();
+                require_eq!(head, model_head, "head deadline diverged");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Draining the queue after any op sequence yields deadlines in
+/// non-decreasing order with FIFO sequence numbers among ties.
+#[test]
+fn edf_drain_order_is_sorted_fifo_on_ties() {
+    check(
+        "edf_drain_order_is_sorted_fifo_on_ties",
+        CheckConfig::default(),
+        gen_ops,
+        |ops| {
+            let mut q: EdfQueue<u64> = EdfQueue::new();
+            let mut seq = 0u64;
+            for &(code, value) in ops {
+                match code % 3 {
+                    0 => {
+                        q.push(SimTime::from_us(value), seq);
+                        seq += 1;
+                    }
+                    1 => {
+                        let _ = q.pop();
+                    }
+                    _ => {
+                        let mut sink = Vec::new();
+                        q.expire_into(SimTime::from_us(value), &mut sink);
+                    }
+                }
+            }
+            let mut drained = Vec::new();
+            while let Some(pair) = q.pop() {
+                drained.push(pair);
+            }
+            for w in drained.windows(2) {
+                let (d0, s0) = w[0];
+                let (d1, s1) = w[1];
+                require!(d0 <= d1, "deadlines out of order: {d0} after {d1}");
+                if d0 == d1 {
+                    require!(s0 < s1, "tie broke LIFO: seq {s0} before {s1}");
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Admission control never admits a request whose deadline has already
+/// passed, never admits past capacity, and admits everything else.
+#[test]
+fn admission_never_admits_past_deadlines() {
+    check(
+        "admission_never_admits_past_deadlines",
+        CheckConfig::default(),
+        |rng| {
+            (
+                rng.uniform_u64(0, 50),  // now (us)
+                rng.uniform_u64(0, 100), // deadline (us)
+                rng.uniform_u64(0, 8),   // queue length
+                rng.uniform_u64(0, 8),   // queue cap
+            )
+        },
+        |&(now_us, deadline_us, len, cap)| {
+            let adm = AdmissionControl {
+                queue_cap: cap as usize,
+            };
+            let now = SimTime::from_us(now_us);
+            let deadline = SimTime::from_us(deadline_us);
+            let decision = adm.decide(now, deadline, len as usize);
+            match decision {
+                Ok(()) => {
+                    require!(deadline > now, "admitted a past deadline");
+                    require!(len < cap, "admitted past capacity");
+                }
+                Err(DropReason::PastDeadline) => require!(deadline <= now),
+                Err(DropReason::QueueFull) => {
+                    require!(deadline > now, "capacity drop hid a past deadline");
+                    require!(len >= cap);
+                }
+            }
+            Ok(())
+        },
+    );
+}

@@ -153,4 +153,37 @@ mod tests {
         let mut idx = PlacementIndex::new(2, 4);
         idx.on_remove(1);
     }
+
+    /// Every SM at `max_ctas_per_sm`: the index keeps answering queries
+    /// from the top bucket (the caller's fit predicate is what rules a
+    /// full SM out), a capacity-aware predicate sees no candidate, and
+    /// freeing a single slot anywhere makes exactly that SM the answer.
+    #[test]
+    fn saturated_device_keeps_order_and_recovers_freed_slot() {
+        const SMS: u32 = 15;
+        const MAX: u32 = 8;
+        let mut idx = PlacementIndex::new(SMS, MAX);
+        for sm in 0..SMS {
+            for _ in 0..MAX {
+                idx.on_place(sm);
+            }
+        }
+        for sm in 0..SMS {
+            assert_eq!(idx.count(sm), MAX);
+        }
+        // Unfiltered: lowest SM id of the (uniform) top bucket.
+        assert_eq!(idx.least_loaded(|_| true), Some(0));
+        assert_eq!(idx.least_loaded(|sm| sm >= 9), Some(9));
+        // A predicate that respects capacity finds nothing to place on.
+        assert_eq!(idx.least_loaded(|sm| idx.count(sm) < MAX), None);
+        // Free one CTA mid-range: that SM becomes the unique least-loaded
+        // answer, in both the filtered and unfiltered views.
+        idx.on_remove(7);
+        assert_eq!(idx.least_loaded(|_| true), Some(7));
+        assert_eq!(idx.least_loaded(|sm| idx.count(sm) < MAX), Some(7));
+        // Re-saturate: back to the full-device answers.
+        idx.on_place(7);
+        assert_eq!(idx.least_loaded(|_| true), Some(0));
+        assert_eq!(idx.least_loaded(|sm| idx.count(sm) < MAX), None);
+    }
 }

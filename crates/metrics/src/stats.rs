@@ -66,6 +66,60 @@ impl Summary {
     }
 }
 
+/// Tail-latency percentiles of a nanosecond sample, as reported by the
+/// serving experiments (p50 for the median user, p99/p999 for the tail
+/// the SLO is really about).
+///
+/// Computed with the nearest-rank method in pure integer arithmetic —
+/// `rank = round(q * (n - 1))` on the sorted sample — so the values are
+/// exact sample elements and bit-identical across platforms and thread
+/// counts (no float interpolation to drift).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Number of samples.
+    pub n: usize,
+    /// Median (50th percentile), in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th percentile, in nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th percentile, in nanoseconds.
+    pub p999_ns: u64,
+}
+
+impl Percentiles {
+    /// Computes the percentiles of a nanosecond sample. Sorts the slice in
+    /// place; returns `None` for an empty sample.
+    #[must_use]
+    pub fn of_ns(samples: &mut [u64]) -> Option<Percentiles> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        Some(Percentiles {
+            n: samples.len(),
+            p50_ns: percentile_ns(samples, 50, 100),
+            p99_ns: percentile_ns(samples, 99, 100),
+            p999_ns: percentile_ns(samples, 999, 1000),
+        })
+    }
+}
+
+/// Nearest-rank percentile `num/den` of an ascending-sorted sample:
+/// `sorted[round(num/den * (n - 1))]`, with the rounding done in integer
+/// arithmetic (half-up) for cross-platform determinism.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn percentile_ns(sorted: &[u64], num: u64, den: u64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "unsorted sample");
+    let n = sorted.len() as u64;
+    let rank = (num * (n - 1) + den / 2) / den;
+    sorted[rank as usize]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +165,33 @@ mod tests {
         let few = Summary::of(&[1.0, 3.0]);
         let many = Summary::of(&[1.0, 3.0, 1.0, 3.0, 1.0, 3.0, 1.0, 3.0]);
         assert!(many.ci95_half_width() < few.ci95_half_width());
+    }
+
+    #[test]
+    fn percentiles_of_small_sample() {
+        let mut v: Vec<u64> = (1..=100).rev().collect();
+        let p = Percentiles::of_ns(&mut v).unwrap();
+        // Sorted 1..=100: rank(q) = round(q * 99).
+        assert_eq!(p.p50_ns, 51); // round(0.5 * 99) = 50 -> value 51
+        assert_eq!(p.p99_ns, 99); // round(0.99 * 99) = 98 -> value 99
+        assert_eq!(p.p999_ns, 100); // round(0.999 * 99) = 99 -> value 100
+        assert_eq!(p.n, 100);
+    }
+
+    #[test]
+    fn percentiles_of_singleton_and_empty() {
+        assert_eq!(Percentiles::of_ns(&mut []), None);
+        let p = Percentiles::of_ns(&mut [7]).unwrap();
+        assert_eq!((p.p50_ns, p.p99_ns, p.p999_ns), (7, 7, 7));
+    }
+
+    #[test]
+    fn percentile_rank_is_monotone_in_q() {
+        let sorted: Vec<u64> = (0..1000).map(|i| i * 3).collect();
+        let p50 = percentile_ns(&sorted, 50, 100);
+        let p99 = percentile_ns(&sorted, 99, 100);
+        let p999 = percentile_ns(&sorted, 999, 1000);
+        assert!(p50 <= p99 && p99 <= p999);
+        assert_eq!(p999, sorted[998]); // round(0.999 * 999) = 998
     }
 }

@@ -383,6 +383,59 @@ mod tests {
         assert_eq!(sim.dispatched(), 5);
     }
 
+    /// The boundary case: spending *exactly* the budget and then draining
+    /// is a completion, not an abort; one event over is an abort with the
+    /// straggler still pending.
+    #[test]
+    fn budget_of_exactly_the_event_count_completes() {
+        // The chain dispatches exactly 5 events.
+        let mut sim = Simulation::new(recorder());
+        sim.schedule_at(SimTime::ZERO, Ev::Chain);
+        assert_eq!(
+            sim.run_with_budget(5),
+            RunOutcome::Completed(SimTime::from_us(4))
+        );
+        assert_eq!(sim.dispatched(), 5);
+
+        // One short, and the last link stays queued.
+        let mut sim = Simulation::new(recorder());
+        sim.schedule_at(SimTime::ZERO, Ev::Chain);
+        match sim.run_with_budget(4) {
+            RunOutcome::BudgetExhausted {
+                now,
+                dispatched,
+                pending,
+            } => {
+                assert_eq!(dispatched, 4);
+                assert_eq!(pending, 1);
+                assert_eq!(now, SimTime::from_us(3));
+            }
+            RunOutcome::Completed(_) => panic!("budget 4 cannot finish a 5-event chain"),
+        }
+    }
+
+    #[test]
+    fn zero_budget_aborts_immediately_with_pending_work() {
+        let mut sim = Simulation::new(recorder());
+        sim.schedule_at(SimTime::from_us(1), Ev::Mark(1));
+        match sim.run_with_budget(0) {
+            RunOutcome::BudgetExhausted {
+                now,
+                dispatched,
+                pending,
+            } => {
+                assert_eq!((now, dispatched, pending), (SimTime::ZERO, 0, 1));
+            }
+            RunOutcome::Completed(_) => panic!("pending work under a zero budget must abort"),
+        }
+        // With nothing queued, even a zero budget completes idle.
+        let mut idle = Simulation::new(recorder());
+        assert_eq!(
+            idle.run_with_budget(0),
+            RunOutcome::Completed(SimTime::ZERO)
+        );
+    }
+
     #[test]
     fn budget_counts_only_this_call() {
         let mut sim = Simulation::new(recorder());

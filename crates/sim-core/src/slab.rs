@@ -404,6 +404,37 @@ mod tests {
         assert_eq!(slab.get(b), Some(&'b'));
     }
 
+    /// The generation counter is 32-bit and wraps: removing at generation
+    /// `u32::MAX` recycles the slot at generation 0. A key from the
+    /// wrapped (pre-wrap) generation still misses; the documented caveat
+    /// is that a key from exactly 2^32 cycles ago becomes bit-identical
+    /// to the fresh key (the ABA horizon of the scheme).
+    #[test]
+    fn gen_slab_stale_keys_miss_at_generation_wraparound() {
+        let mut slab = GenSlab::new();
+        let k0 = slab.insert("first");
+        let (slot, g0) = GenSlab::<&str>::unpack(k0);
+        assert_eq!(g0, 0);
+        // Fast-forward the slot to the final generation, as if 2^32 - 1
+        // remove/insert cycles had happened.
+        slab.entries[slot as usize].generation = u32::MAX;
+        let k_max = GenSlab::<&str>::key(slot, u32::MAX);
+        assert_eq!(slab.get(k0), None, "pre-fast-forward key must be stale");
+        assert_eq!(slab.get(k_max), Some(&"first"));
+        // Removing at u32::MAX wraps the slot's generation to 0...
+        assert_eq!(slab.remove(k_max), Some("first"));
+        assert_eq!(slab.remove(k_max), None, "double remove must miss");
+        assert_eq!(slab.get(k_max), None);
+        // ...so the recycled slot re-issues generation 0: the new key is
+        // bit-identical to the original, and the last pre-wrap key still
+        // misses.
+        let k_new = slab.insert("second");
+        assert_eq!(k_new, k0, "wraparound re-issues the generation-0 key");
+        assert_eq!(slab.get(k_max), None, "wrapped-generation key aliased");
+        assert_eq!(slab.remove(k_max), None);
+        assert_eq!(slab.get(k_new), Some(&"second"));
+    }
+
     #[test]
     fn gen_slab_retain_frees_and_recycles() {
         let mut slab = GenSlab::new();

@@ -1,0 +1,161 @@
+//! The DL-inference serving mix: per-request cost models for the
+//! multi-tenant serving frontend (`flep-serve`).
+//!
+//! The FLEP evaluation co-runs batch benchmarks; a serving frontend needs
+//! request-granular kernels instead. Following the DL-inference
+//! characterization literature (Shepherd-style serving stacks; Gilman &
+//! Walls' GPU concurrency study), the mix spans four latency classes —
+//! a sub-100µs recommendation model up to a near-millisecond generative
+//! decoder — each with an SLO that is a small multiple of its standalone
+//! latency. One *task* in the simulated grid is one *request*, so a batch
+//! of `k` requests launches a persistent grid with `total_tasks = k` and
+//! preemption keeps its task-granular resume semantics.
+
+use flep_gpu_sim::ResourceUsage;
+use flep_sim_core::SimTime;
+
+/// The four serving models, in ascending per-request cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ModelId {
+    /// Recommendation CTR model (DLRM-style): tiny per-request cost,
+    /// tight SLO, embedding-lookup memory traffic.
+    Dlrm,
+    /// Image classifier (ResNet-50-style): small per-request cost.
+    Resnet,
+    /// Encoder QA model (BERT-base-style): medium per-request cost.
+    Bert,
+    /// Generative decoder (GPT-2-style): large per-request cost, loose
+    /// SLO, irregular per-request durations (output-length variance).
+    Gpt2,
+}
+
+impl ModelId {
+    /// All models, ascending per-request cost.
+    pub const ALL: [ModelId; 4] = [ModelId::Dlrm, ModelId::Resnet, ModelId::Bert, ModelId::Gpt2];
+
+    /// Short stable name (used in reports and golden traces).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelId::Dlrm => "dlrm",
+            ModelId::Resnet => "resnet50",
+            ModelId::Bert => "bert-qa",
+            ModelId::Gpt2 => "gpt2-gen",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl flep_sim_core::json::ToJson for ModelId {
+    fn to_json(&self) -> flep_sim_core::json::JsonValue {
+        flep_sim_core::json::JsonValue::Str(self.name().to_string())
+    }
+}
+
+/// The serving-relevant cost model of one deployed inference model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceModel {
+    /// Which model.
+    pub id: ModelId,
+    /// GPU time of one request (one task) at full single-kernel occupancy.
+    pub unit_cost: SimTime,
+    /// Relative per-request duration noise (generative models vary with
+    /// output length; classifiers barely vary).
+    pub rel_noise: f64,
+    /// Per-CTA resource usage of the serving kernel.
+    pub resources: ResourceUsage,
+    /// Contention-model slope (embedding lookups are memory-bound).
+    pub mem_intensity: f64,
+    /// Tasks per persistent-CTA batch pull — the preemption granularity
+    /// chosen by the <4% overhead rule, exactly as for the Table 1 mix.
+    pub amortize: u32,
+    /// Default latency SLO: a request completing later counts against
+    /// goodput. A small multiple of the standalone latency, tighter (in
+    /// multiples) for the cheaper interactive models.
+    pub slo: SimTime,
+}
+
+impl InferenceModel {
+    /// The calibrated spec of one model.
+    #[must_use]
+    pub fn get(id: ModelId) -> InferenceModel {
+        match id {
+            ModelId::Dlrm => InferenceModel {
+                id,
+                unit_cost: SimTime::from_us(45),
+                rel_noise: 0.05,
+                resources: ResourceUsage::typical_256(),
+                mem_intensity: 0.5,
+                amortize: 8,
+                slo: SimTime::from_ms(5),
+            },
+            ModelId::Resnet => InferenceModel {
+                id,
+                unit_cost: SimTime::from_us(120),
+                rel_noise: 0.02,
+                resources: ResourceUsage::typical_256(),
+                mem_intensity: 0.2,
+                amortize: 4,
+                slo: SimTime::from_ms(10),
+            },
+            ModelId::Bert => InferenceModel {
+                id,
+                unit_cost: SimTime::from_us(350),
+                rel_noise: 0.03,
+                resources: ResourceUsage::typical_256(),
+                mem_intensity: 0.3,
+                amortize: 2,
+                slo: SimTime::from_ms(25),
+            },
+            ModelId::Gpt2 => InferenceModel {
+                id,
+                unit_cost: SimTime::from_us(900),
+                rel_noise: 0.08,
+                resources: ResourceUsage::typical_256(),
+                mem_intensity: 0.35,
+                amortize: 1,
+                slo: SimTime::from_ms(60),
+            },
+        }
+    }
+
+    /// The full mix in [`ModelId::ALL`] order.
+    #[must_use]
+    pub fn mix() -> [InferenceModel; 4] {
+        ModelId::ALL.map(InferenceModel::get)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_ordered_by_unit_cost_and_slo() {
+        let mix = InferenceModel::mix();
+        for pair in mix.windows(2) {
+            assert!(pair[0].unit_cost < pair[1].unit_cost);
+            assert!(pair[0].slo < pair[1].slo, "tighter SLO for cheaper model");
+        }
+    }
+
+    #[test]
+    fn slos_leave_headroom_over_standalone_latency() {
+        // An SLO below the standalone batch-1 latency would be
+        // unservable; each model's SLO is at least 10x its unit cost.
+        for m in InferenceModel::mix() {
+            assert!(m.slo.as_ns() >= 10 * m.unit_cost.as_ns(), "{}", m.id);
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = ModelId::ALL.iter().map(ModelId::name).collect();
+        assert_eq!(names, ["dlrm", "resnet50", "bert-qa", "gpt2-gen"]);
+    }
+}

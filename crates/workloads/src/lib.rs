@@ -30,9 +30,11 @@
 #![warn(missing_docs)]
 
 mod functional;
+mod inference;
 mod sources;
 mod spec;
 
 pub use functional::{MatMulJob, NearestNeighborJob, VectorAddJob};
+pub use inference::{InferenceModel, ModelId};
 pub use sources::{kernel_name, source};
 pub use spec::{Benchmark, BenchmarkId, InputClass, InputProfile};
