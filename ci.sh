@@ -5,62 +5,165 @@
 # Cargo.lock is a workspace member, so a bare Rust toolchain on an
 # air-gapped machine is enough.
 #
-# Usage: ./ci.sh
+# Usage: ./ci.sh [stage]
+#
+# With no argument every stage runs in order. With a stage name only that
+# stage runs (after whatever build it needs): build, test, fmt,
+# hot-path, sim-corun, faults, fault-recovery, serve, cluster-smoke,
+# perf-gate.
 set -eu
 
 cd "$(dirname "$0")"
+ROOT="$PWD"
 
-echo "==> cargo build --workspace --release --offline"
-cargo build --workspace --release --offline
+stage_build() {
+    echo "==> cargo build --workspace --release --offline"
+    cargo build --workspace --release --offline
+}
 
-echo "==> cargo test --workspace -q --offline"
-cargo test --workspace -q --offline
+stage_test() {
+    echo "==> cargo test --workspace -q --offline"
+    cargo test --workspace -q --offline
+}
 
-echo "==> cargo fmt --all --check"
-cargo fmt --all --check
+stage_fmt() {
+    echo "==> cargo fmt --all --check"
+    cargo fmt --all --check
+}
 
 # Perf smoke: a handful of samples of the event-queue churn targets,
 # recorded to a JSON artifact so the hot-path perf trajectory is on file
 # for every CI run. Not a gate — timings on shared runners are noisy —
 # just a tripwire someone can diff when a simulation suddenly crawls.
-echo "==> perf smoke: event_queue_churn -> BENCH_sim_hot_path.json"
-FLEP_BENCH_SAMPLES=5 FLEP_BENCH_WARMUP=1 FLEP_BENCH_JSON=BENCH_sim_hot_path.json \
-    cargo bench -p flep-bench --offline -q -- event_queue
+stage_hot_path() {
+    echo "==> perf smoke: event_queue_churn -> BENCH_sim_hot_path.json"
+    FLEP_BENCH_SAMPLES=5 FLEP_BENCH_WARMUP=1 \
+        FLEP_BENCH_JSON="$ROOT/BENCH_sim_hot_path.json" \
+        cargo bench -p flep-bench --offline -q -- event_queue
+}
 
 # Perf smoke for the simulator world hot path: end-to-end co-runs that
 # exercise the dense grid table, the incremental contention counters, and
-# the SM-placement index (DESIGN.md §8). Same contract as above: an
-# artifact, not a gate.
-echo "==> perf smoke: sim_corun -> BENCH_sim_corun.json"
-FLEP_BENCH_SAMPLES=3 FLEP_BENCH_WARMUP=1 FLEP_BENCH_JSON=BENCH_sim_corun.json \
-    cargo bench -p flep-bench --offline -q -- sim_corun
+# the SM-placement index (DESIGN.md §8). The artifact feeds the perf-gate
+# stage below.
+stage_sim_corun() {
+    echo "==> perf smoke: sim_corun -> BENCH_sim_corun.json"
+    FLEP_BENCH_SAMPLES=3 FLEP_BENCH_WARMUP=1 \
+        FLEP_BENCH_JSON="$ROOT/BENCH_sim_corun.json" \
+        cargo bench -p flep-bench --offline -q -- sim_corun
+}
 
 # Fault injection: the robustness property suite replayed with a pinned
 # seed (DESIGN.md §9). The same properties run with a fresh seed in the
 # normal test pass above; this pinned pass is the reproducible gate — a
 # failure here is a regression, never bad luck.
-echo "==> fault injection: property suite with pinned seed"
-FLEP_CHECK_SEED=0xF1E9 FLEP_CHECK_CASES=48 \
-    cargo test -p flep-runtime --test faults --offline -q
+stage_faults() {
+    echo "==> fault injection: property suite with pinned seed"
+    FLEP_CHECK_SEED=0xF1E9 FLEP_CHECK_CASES=48 \
+        cargo test -p flep-runtime --test faults --offline -q
+}
 
 # Recovery-latency smoke: how long the watchdog's escalation ladder takes
 # to rescue a high-priority kernel under each fault preset, recorded in
 # the same artifact format as the perf smokes above. Simulated time, so
 # fully deterministic — but still an artifact, not a gate.
-echo "==> fault recovery: escalation-ladder latency -> BENCH_fault_recovery.json"
-FLEP_FAULT_SEED=7 FLEP_REPEATS=3 FLEP_BENCH_JSON=BENCH_fault_recovery.json \
-    cargo run --release -p flep-bench --bin fault_recovery --offline -q >/dev/null
+stage_fault_recovery() {
+    echo "==> fault recovery: escalation-ladder latency -> BENCH_fault_recovery.json"
+    FLEP_FAULT_SEED=7 FLEP_REPEATS=3 \
+        FLEP_BENCH_JSON="$ROOT/BENCH_fault_recovery.json" \
+        cargo run --release -p flep-bench --bin fault_recovery --offline -q >/dev/null
+}
 
 # Serving smoke: the SLO sweep at a reduced horizon with a pinned seed,
-# recorded as a perf artifact. The golden gate is the pinned serve trace
+# recorded as a perf artifact (which also feeds the perf-gate stage). The
+# golden gate is the pinned serve trace
 # (crates/flep-serve/tests/golden_serve.rs, re-run here with a pinned
 # check seed): any drift in arrivals, admission, EDF order, batching, or
 # runtime scheduling fails this stage.
-echo "==> serve smoke: slo sweep -> BENCH_serve_slo.json"
-FLEP_SEED=42 FLEP_REPEATS=1 FLEP_SERVE_HORIZON_MS=200 \
-    FLEP_BENCH_JSON=BENCH_serve_slo.json \
-    cargo run --release -p flep-bench --bin serve_slo --offline -q >/dev/null
-FLEP_CHECK_SEED=0xF1E9 FLEP_CHECK_CASES=48 \
-    cargo test -p flep-serve --offline -q
+stage_serve() {
+    echo "==> serve smoke: slo sweep -> BENCH_serve_slo.json"
+    FLEP_SEED=42 FLEP_REPEATS=1 FLEP_SERVE_HORIZON_MS=200 \
+        FLEP_BENCH_JSON="$ROOT/BENCH_serve_slo.json" \
+        cargo run --release -p flep-bench --bin serve_slo --offline -q >/dev/null
+    FLEP_CHECK_SEED=0xF1E9 FLEP_CHECK_CASES=48 \
+        cargo test -p flep-serve --offline -q
+}
 
-echo "ci.sh: all checks passed"
+# Cluster smoke (DESIGN.md §11): the pinned-seed failover suites — device
+# failure domains, kill-migrate-restart recovery, ledger reconciliation —
+# plus the cluster failover sweep recorded as BENCH_cluster.json. The
+# sweep's deterministic rows are compared across worker-thread counts:
+# any byte of divergence between a serial and a parallel run fails the
+# stage.
+stage_cluster_smoke() {
+    echo "==> cluster smoke: failover suites + sweep -> BENCH_cluster.json"
+    cargo test -p flep-runtime --test cluster --offline -q
+    cargo test -p flep-serve --test failover --offline -q
+    FLEP_SEED=42 FLEP_REPEATS=1 \
+        FLEP_BENCH_JSON="$ROOT/BENCH_cluster.json" FLEP_JSON=- \
+        FLEP_THREADS=1 \
+        cargo run --release -p flep-bench --bin cluster_failover --offline -q \
+        | grep '^{' > "$ROOT/target/cluster_rows_t1.json"
+    FLEP_SEED=42 FLEP_REPEATS=1 FLEP_JSON=- FLEP_THREADS=8 \
+        cargo run --release -p flep-bench --bin cluster_failover --offline -q \
+        | grep '^{' > "$ROOT/target/cluster_rows_t8.json"
+    if ! cmp -s "$ROOT/target/cluster_rows_t1.json" "$ROOT/target/cluster_rows_t8.json"; then
+        echo "cluster smoke: sweep rows differ between FLEP_THREADS=1 and 8" >&2
+        exit 1
+    fi
+    echo "cluster smoke: sweep rows byte-identical at FLEP_THREADS=1 and 8"
+}
+
+# Perf-regression gate: fails if the medians just recorded by the
+# sim-corun or serve stages regressed more than FLEP_PERF_TOLERANCE
+# percent (default 15) against the checked-in baselines. sim_corun
+# medians are wall-clock (the tolerance absorbs runner noise);
+# serve_slo medians are simulated latency, so any drift there is a real
+# behavior change.
+stage_perf_gate() {
+    echo "==> perf gate: BENCH_sim_corun.json / BENCH_serve_slo.json vs baselines/"
+    cargo run --release -p flep-bench --bin perf_gate --offline -q -- \
+        "$ROOT/BENCH_sim_corun.json" "$ROOT/baselines/BENCH_sim_corun.json"
+    cargo run --release -p flep-bench --bin perf_gate --offline -q -- \
+        "$ROOT/BENCH_serve_slo.json" "$ROOT/baselines/BENCH_serve_slo.json"
+}
+
+run_stage() {
+    case "$1" in
+        build) stage_build ;;
+        test) stage_test ;;
+        fmt) stage_fmt ;;
+        hot-path) stage_hot_path ;;
+        sim-corun) stage_sim_corun ;;
+        faults) stage_faults ;;
+        fault-recovery) stage_fault_recovery ;;
+        serve) stage_serve ;;
+        cluster-smoke) stage_cluster_smoke ;;
+        perf-gate) stage_perf_gate ;;
+        *)
+            echo "ci.sh: unknown stage '$1' (want build, test, fmt, hot-path," >&2
+            echo "       sim-corun, faults, fault-recovery, serve, cluster-smoke, perf-gate)" >&2
+            exit 2
+            ;;
+    esac
+}
+
+mkdir -p "$ROOT/target"
+if [ $# -ge 1 ]; then
+    for s in "$@"; do
+        run_stage "$s"
+    done
+    echo "ci.sh: stage(s) passed: $*"
+else
+    stage_build
+    stage_test
+    stage_fmt
+    stage_hot_path
+    stage_sim_corun
+    stage_faults
+    stage_fault_recovery
+    stage_serve
+    stage_cluster_smoke
+    stage_perf_gate
+    echo "ci.sh: all checks passed"
+fi

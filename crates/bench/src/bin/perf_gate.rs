@@ -1,0 +1,100 @@
+//! The perf-regression gate: compares a freshly produced perf artifact
+//! against its checked-in baseline and exits nonzero when any shared
+//! benchmark's `median_ns` regressed more than the tolerance.
+//!
+//! Usage: `perf_gate <current.json> <baseline.json>`
+//!
+//! A missing baseline skips the gate with a warning (first run on a new
+//! benchmark suite); a missing or unparsable *current* artifact is an
+//! error — the producing stage was supposed to have just written it.
+//!
+//! Knob: `FLEP_PERF_TOLERANCE` — allowed regression in percent
+//! (default 15).
+
+use flep_bench::gate::{compare, parse_artifact, GateEntry};
+use std::process::ExitCode;
+
+fn tolerance() -> f64 {
+    match std::env::var("FLEP_PERF_TOLERANCE") {
+        Ok(v) => {
+            match v.parse::<f64>() {
+                Ok(t) if t >= 0.0 => t,
+                _ => {
+                    eprintln!("FLEP_PERF_TOLERANCE: invalid value {v:?} (want a percentage >= 0); using 15");
+                    15.0
+                }
+            }
+        }
+        Err(_) => 15.0,
+    }
+}
+
+fn load(path: &str, what: &str) -> Result<Vec<GateEntry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{what} {path}: {e}"))?;
+    parse_artifact(&text).map_err(|e| format!("{what} {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [current_path, baseline_path] = args.as_slice() else {
+        eprintln!("usage: perf_gate <current.json> <baseline.json>");
+        return ExitCode::FAILURE;
+    };
+
+    if !std::path::Path::new(baseline_path).exists() {
+        eprintln!(
+            "perf_gate: no baseline at {baseline_path}; skipping (record one to arm the gate)"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let current = match load(current_path, "current artifact") {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match load(baseline_path, "baseline") {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let tol = tolerance();
+    let rows = compare(&current, &baseline, tol);
+    println!(
+        "perf_gate: {} vs {} (tolerance {tol}%)",
+        current_path, baseline_path
+    );
+    println!(
+        "{:<40} {:>14} {:>14} {:>8}",
+        "benchmark", "baseline_ns", "current_ns", "ratio"
+    );
+    for r in &rows {
+        println!(
+            "{:<40} {:>14} {:>14} {:>7.3}{}",
+            r.name,
+            r.baseline_ns,
+            r.current_ns,
+            r.ratio,
+            if r.regressed { " REGRESSED" } else { "" },
+        );
+    }
+    let unmatched = current.len() - rows.len();
+    if unmatched > 0 {
+        eprintln!("perf_gate: {unmatched} benchmark(s) have no baseline entry (skipped)");
+    }
+
+    let regressed = rows.iter().filter(|r| r.regressed).count();
+    if regressed > 0 {
+        eprintln!(
+            "perf_gate: FAIL — {regressed} benchmark(s) regressed more than {tol}% vs {baseline_path}"
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("perf_gate: ok ({} compared)", rows.len());
+        ExitCode::SUCCESS
+    }
+}

@@ -14,6 +14,7 @@
 //! perf artifact); `FLEP_JSON` / `FLEP_BENCH_JSON` (artifacts).
 
 use flep_bench::{emit_json, exp_config, header};
+use flep_metrics::{percentile_ns, tail_triple_ns};
 use flep_serve::{reference_tenants, sweep_offered_load, LoadPoint, ServeConfig};
 use flep_sim_core::json::{JsonValue, ToJson};
 use flep_sim_core::SimTime;
@@ -63,7 +64,7 @@ fn main() {
         wall_ns.push(t0.elapsed().as_nanos() as u64);
     }
     wall_ns.sort_unstable();
-    let median_wall = wall_ns[wall_ns.len() / 2];
+    let median_wall = percentile_ns(&wall_ns, 50, 100);
 
     emit_json("serve_slo", &points);
 
@@ -75,10 +76,7 @@ fn main() {
     for p in &points {
         let r = &p.report;
         let dropped = r.offered() - r.goodput();
-        let (p50, p99, p999) = match r.latency {
-            Some(l) => (l.p50_ns, l.p99_ns, l.p999_ns),
-            None => (0, 0, 0),
-        };
+        let (p50, p99, p999) = tail_triple_ns(r.latency);
         total_offered += r.offered();
         println!(
             "{:>6.2} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12} {:>10} {:>9}",
@@ -108,10 +106,7 @@ fn main() {
             (
                 "results",
                 JsonValue::array(points.iter().map(|p| {
-                    let (p50, p99, p999) = match p.report.latency {
-                        Some(l) => (l.p50_ns, l.p99_ns, l.p999_ns),
-                        None => (0, 0, 0),
-                    };
+                    let (p50, p99, p999) = tail_triple_ns(p.report.latency);
                     // Perf-smoke artifact shape: simulated request
                     // latency stands in for the timing fields (median =
                     // p50, max = p999), as fault_recovery does.

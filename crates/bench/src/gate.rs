@@ -1,0 +1,215 @@
+//! The perf-regression gate: parses perf-smoke artifacts (`BENCH_*.json`)
+//! and compares each benchmark's `median_ns` against a checked-in
+//! baseline, flagging medians that regressed beyond a tolerance.
+//!
+//! `flep-sim-core`'s JSON module is an emitter only, so this module
+//! carries its own reader — deliberately minimal, scoped to the artifact
+//! shape the perf smokes emit: a flat `"results"` array of objects with
+//! a `"name"` string and a `"median_ns"` unsigned integer. Anything
+//! outside that shape is reported as a parse error rather than guessed
+//! at.
+
+/// One benchmark's median as recorded in an artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateEntry {
+    /// Benchmark name (the artifact's `name` field).
+    pub name: String,
+    /// Recorded median, nanoseconds.
+    pub median_ns: u64,
+}
+
+/// One baseline-vs-current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline median, nanoseconds.
+    pub baseline_ns: u64,
+    /// Current median, nanoseconds.
+    pub current_ns: u64,
+    /// `current / baseline` (infinite for a zero baseline with nonzero
+    /// current).
+    pub ratio: f64,
+    /// Whether the current median exceeds the tolerance.
+    pub regressed: bool,
+}
+
+/// Extracts the `results` entries from an artifact document.
+///
+/// # Errors
+///
+/// Returns a description when the document has no `results` array or an
+/// entry lacks `name`/`median_ns`.
+pub fn parse_artifact(text: &str) -> Result<Vec<GateEntry>, String> {
+    let start = text
+        .find("\"results\":[")
+        .ok_or_else(|| "no \"results\" array".to_string())?
+        + "\"results\":[".len();
+    let mut entries = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut obj_start = None;
+    for (i, c) in text[start..].char_indices() {
+        let pos = start + i;
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => {
+                if depth == 0 {
+                    obj_start = Some(pos);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.checked_sub(1).ok_or("unbalanced braces")?;
+                if depth == 0 {
+                    let obj = &text[obj_start.take().ok_or("stray '}'")?..=pos];
+                    entries.push(parse_entry(obj)?);
+                }
+            }
+            ']' if depth == 0 => return Ok(entries),
+            _ => {}
+        }
+    }
+    Err("unterminated results array".into())
+}
+
+/// Parses one flat results object.
+fn parse_entry(obj: &str) -> Result<GateEntry, String> {
+    let name = string_field(obj, "name").ok_or_else(|| format!("entry without name: {obj}"))?;
+    let median_ns =
+        uint_field(obj, "median_ns").ok_or_else(|| format!("{name}: no median_ns field"))?;
+    Ok(GateEntry { name, median_ns })
+}
+
+/// The string value of `"key":"..."` in a flat object (no escape
+/// processing beyond passing `\"` through — artifact names never contain
+/// escapes).
+fn string_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = &obj[at..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// The unsigned-integer value of `"key":123` in a flat object.
+fn uint_field(obj: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let digits: String = obj[at..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Compares current medians against the baseline at `tolerance_percent`.
+///
+/// Benchmarks present only on one side are skipped (renames and new
+/// benchmarks must not fail the gate); the caller can surface them from
+/// the row count. A zero baseline median never regresses — there is
+/// nothing meaningful to be 15% worse than.
+#[must_use]
+pub fn compare(
+    current: &[GateEntry],
+    baseline: &[GateEntry],
+    tolerance_percent: f64,
+) -> Vec<GateRow> {
+    current
+        .iter()
+        .filter_map(|c| {
+            let b = baseline.iter().find(|b| b.name == c.name)?;
+            let ratio = if b.median_ns == 0 {
+                if c.median_ns == 0 {
+                    1.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                c.median_ns as f64 / b.median_ns as f64
+            };
+            let limit = (b.median_ns as f64) * (1.0 + tolerance_percent / 100.0);
+            Some(GateRow {
+                name: c.name.clone(),
+                baseline_ns: b.median_ns,
+                current_ns: c.median_ns,
+                ratio,
+                regressed: b.median_ns > 0 && c.median_ns as f64 > limit,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{"suite":"flep micro","samples":3,"results":[{"name":"a/b","median_ns":100,"min_ns":90,"max_ns":110},{"name":"c","median_ns":250}],"sweep_wall_ns":5}"#;
+
+    #[test]
+    fn parses_artifact_entries() {
+        let e = parse_artifact(DOC).unwrap();
+        assert_eq!(
+            e,
+            vec![
+                GateEntry {
+                    name: "a/b".into(),
+                    median_ns: 100
+                },
+                GateEntry {
+                    name: "c".into(),
+                    median_ns: 250
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_shapeless_documents() {
+        assert!(parse_artifact("{}").is_err());
+        assert!(parse_artifact(r#"{"results":["#).is_err());
+        assert!(parse_artifact(r#"{"results":[{"median_ns":1}]}"#).is_err());
+        assert!(parse_artifact(r#"{"results":[{"name":"x"}]}"#).is_err());
+    }
+
+    #[test]
+    fn empty_results_array_is_empty_not_an_error() {
+        assert_eq!(parse_artifact(r#"{"results":[]}"#).unwrap(), vec![]);
+    }
+
+    fn entry(name: &str, median_ns: u64) -> GateEntry {
+        GateEntry {
+            name: name.into(),
+            median_ns,
+        }
+    }
+
+    #[test]
+    fn compare_flags_only_over_tolerance() {
+        let baseline = [entry("a", 100), entry("b", 100), entry("c", 100)];
+        let current = [entry("a", 114), entry("b", 116), entry("c", 90)];
+        let rows = compare(&current, &baseline, 15.0);
+        assert_eq!(
+            rows.iter().map(|r| r.regressed).collect::<Vec<_>>(),
+            vec![false, true, false]
+        );
+        assert!((rows[1].ratio - 1.16).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_skips_unmatched_and_zero_baselines() {
+        let baseline = [entry("gone", 100), entry("z", 0)];
+        let current = [entry("new", 500), entry("z", 400)];
+        let rows = compare(&current, &baseline, 15.0);
+        // "new" has no baseline; "z"'s zero baseline cannot regress.
+        assert_eq!(rows.len(), 1);
+        assert!(!rows[0].regressed);
+        assert!(rows[0].ratio.is_infinite());
+    }
+}

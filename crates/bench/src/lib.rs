@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
+
 use flep_core::prelude::ExpConfig;
 use flep_sim_core::json::ToJson;
 

@@ -1,0 +1,954 @@
+//! The GPU cluster: N simulated devices behind one scheduler, with
+//! per-device failure domains and kill-migrate-restart recovery.
+//!
+//! Each device is a full [`SystemWorld`] shard (its own FIFO, watchdog
+//! ladder, and fault plan); the cluster adds the layers a fleet needs on
+//! top:
+//!
+//! * **Placement** — every submitted job goes to the least-loaded healthy
+//!   device, measured in resident threads with a deterministic
+//!   `(load, active jobs, device id)` tie-break — the same discipline the
+//!   intra-device [`PlacementIndex`](flep_gpu_sim::PlacementIndex) uses
+//!   for SMs, lifted one level up.
+//! * **Failure domains** — device-scoped faults (hang, transient loss,
+//!   permanent death) fire per device from a private RNG stream
+//!   ([`DeviceFaultPlan`]); a fault on one device cannot perturb another
+//!   device's event stream or fault draws.
+//! * **Migration** — FLEP's task-counter checkpoint makes a killed grid
+//!   resumable *anywhere*: when a device is lost, every unfinished job is
+//!   folded back to its completed-task counter and relaunched on a
+//!   survivor ([`RecoveryAction::Migrated`]), bounded by a migration
+//!   budget ([`RuntimeError::MigrationFailed`] past it).
+//! * **Drain-and-deregister** — a device can be taken out of rotation
+//!   gracefully: no new placements, resident jobs run to completion, then
+//!   the device deregisters.
+//!
+//! # Determinism
+//!
+//! With one device and no device faults, a cluster run is byte-identical
+//! to driving the underlying [`SystemWorld`] directly: the cluster wraps
+//! each shard event one-to-one and preserves buffer drain order, so the
+//! engine assigns identical `(time, seq)` keys. Device faults draw from
+//! per-device streams seeded independently of every workload stream, so
+//! enabling them never reshuffles grid-level fault draws, and all cluster
+//! decisions (placement, migration targets) are pure functions of
+//! deterministic state — `FLEP_THREADS` cannot change any byte of output.
+
+use std::collections::VecDeque;
+
+use flep_gpu_sim::{
+    DeviceFaultConfig, DeviceFaultKind, DeviceFaultPlan, FaultConfig, FaultPlan, GpuConfig,
+    GpuDevice,
+};
+use flep_sim_core::{RunOutcome, Scheduler, SimTime, Simulation, World};
+
+use crate::driver::DEFAULT_EVENT_BUDGET;
+use crate::job::{JobRecord, JobSpec};
+use crate::world::{
+    Policy, RecoveryAction, RecoveryEvent, RuntimeError, SystemEvent, SystemWorld, WatchdogConfig,
+};
+
+/// Cluster-wide configuration: the per-device template plus the failure
+/// and migration policy.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of devices (at least 1).
+    pub devices: u32,
+    /// Per-device hardware configuration (all devices identical).
+    pub gpu: GpuConfig,
+    /// Scheduling policy, applied per shard.
+    pub policy: Policy,
+    /// Watchdog configuration, applied per shard. `None` keeps the
+    /// watchdog off (so fault-free runs replay [`CoRun`](crate::CoRun)'s
+    /// exact event stream) — unless any fault injection is configured,
+    /// which implies a default watchdog exactly as `CoRun` does.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Grid-level fault injection. Each device derives its own plan from
+    /// this seed (device 0 uses it verbatim, so a one-device cluster
+    /// replays single-device runs bit-for-bit).
+    pub grid_faults: Option<FaultConfig>,
+    /// Device-level fault injection (hang / transient loss / death).
+    pub device_faults: Option<DeviceFaultConfig>,
+    /// Scripted device faults `(time, device, kind)` — injected in
+    /// addition to (and independent of) the seeded plan; the reproducible
+    /// way to stage "device 3 dies mid-run" scenarios.
+    pub scripted_faults: Vec<(SimTime, u32, DeviceFaultKind)>,
+    /// Migration budget per job: one more eviction than this fails the
+    /// job with [`RuntimeError::MigrationFailed`].
+    pub max_migrations: u32,
+}
+
+impl ClusterConfig {
+    /// A cluster of `devices` identical GPUs with default watchdog and
+    /// migration settings and no fault injection.
+    #[must_use]
+    pub fn new(devices: u32, gpu: GpuConfig, policy: Policy) -> Self {
+        ClusterConfig {
+            devices: devices.max(1),
+            gpu,
+            policy,
+            watchdog: None,
+            grid_faults: None,
+            device_faults: None,
+            scripted_faults: Vec::new(),
+            max_migrations: 8,
+        }
+    }
+}
+
+/// Lifecycle of one device in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceState {
+    /// In rotation, accepting placements.
+    Healthy,
+    /// Hung: resident work executes but doorbells are lost; still accepts
+    /// placements (the host cannot tell a hang from a slow drain until
+    /// the watchdog escalates).
+    Hung,
+    /// Transiently lost; rejoins after the reset latency.
+    Resetting,
+    /// Being drained for deregistration: no new placements, resident jobs
+    /// run to completion.
+    Draining,
+    /// Permanently out (death, or drain completed).
+    Dead,
+}
+
+/// What happened to a device, for the cluster's device-event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceEventKind {
+    /// A device fault fired (seeded or scripted).
+    Fault(DeviceFaultKind),
+    /// The device rejoined rotation (hang cleared or reset finished).
+    Restored,
+    /// A graceful drain was requested.
+    DrainStarted,
+    /// The drain finished; the device deregistered.
+    Deregistered,
+}
+
+/// One entry of the device lifecycle log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// Which device.
+    pub device: u32,
+    /// What happened.
+    pub kind: DeviceEventKind,
+}
+
+/// Events circulating in a cluster simulation.
+#[derive(Debug)]
+pub enum ClusterEvent {
+    /// A shard-internal event, routed to device `device`'s world.
+    Shard {
+        /// Owning device.
+        device: u32,
+        /// The wrapped runtime event.
+        ev: SystemEvent,
+    },
+    /// Pre-registered job `idx` arrives and is placed.
+    Arrival(usize),
+    /// A device fault fires on `device`.
+    DeviceFault {
+        /// The failing device.
+        device: u32,
+        /// The fault class.
+        kind: DeviceFaultKind,
+    },
+    /// Device `device` rejoins rotation, if its generation still matches
+    /// (a later fault invalidates earlier restores).
+    DeviceRestore {
+        /// The recovering device.
+        device: u32,
+        /// Generation stamp taken when the restore was scheduled.
+        gen: u64,
+    },
+}
+
+/// Where a cluster job currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CJobState {
+    /// Registered, waiting for its arrival event.
+    Future,
+    /// Placed on a device (shard job index inside).
+    Placed { device: u32, shard_job: usize },
+    /// Evicted (or arrived) with no eligible device; waiting for one.
+    Parked,
+    /// Finished all tasks.
+    Done,
+    /// Abandoned (launch failure or migration budget exhausted).
+    Failed,
+}
+
+/// Cluster-level per-job state.
+#[derive(Debug)]
+struct ClusterJob {
+    spec: JobSpec,
+    state: CJobState,
+    /// Absolute tasks completed across all incarnations.
+    done: u64,
+    /// Evictions survived so far.
+    migrations: u32,
+    /// Device of the last incarnation (for migration provenance).
+    last_device: Option<u32>,
+    /// Records of dead incarnations, folded in migration order.
+    record: Option<JobRecord>,
+}
+
+/// One device shard: a full runtime world plus its failure-domain state.
+struct Shard {
+    sys: SystemWorld,
+    state: DeviceState,
+    /// Bumped on every state transition; stale restore events (scheduled
+    /// before a newer fault) carry an older generation and are dropped.
+    gen: u64,
+    plan: Option<DeviceFaultPlan>,
+    /// Shard job index → cluster job index.
+    map: Vec<usize>,
+}
+
+/// The cluster: shards plus placement, migration, and accounting.
+pub struct GpuCluster {
+    shards: Vec<Shard>,
+    fault_cfg: DeviceFaultConfig,
+    max_migrations: u32,
+    jobs: Vec<ClusterJob>,
+    /// Jobs waiting for any eligible device, FIFO.
+    parked: VecDeque<usize>,
+    /// Cluster-level errors (device loss, migration failures).
+    errors: Vec<RuntimeError>,
+    /// Cluster-level recoveries (migrations).
+    recoveries: Vec<RecoveryEvent>,
+    device_events: Vec<DeviceEvent>,
+    completed_log: Vec<(SimTime, usize)>,
+    failed_log: Vec<(SimTime, usize)>,
+    /// `(time, job)` per completed migration, for frontend accounting.
+    migrated_log: Vec<(SimTime, usize)>,
+    pending: Vec<(SimTime, ClusterEvent)>,
+    scratch: Vec<(SimTime, usize)>,
+}
+
+impl std::fmt::Debug for GpuCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuCluster")
+            .field("devices", &self.shards.len())
+            .field("jobs", &self.jobs.len())
+            .field("parked", &self.parked.len())
+            .finish()
+    }
+}
+
+/// Salts the grid-fault seed per device so sibling devices draw
+/// independent fault sequences. Device 0 keeps the seed verbatim: a
+/// one-device cluster replays existing single-device goldens bit-for-bit.
+fn salt_seed(seed: u64, device: u32) -> u64 {
+    seed ^ u64::from(device).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl GpuCluster {
+    /// Builds the cluster and the initial events the driver must
+    /// schedule: one watchdog tick per device, each device's first seeded
+    /// fault, then the scripted faults in config order.
+    #[must_use]
+    pub fn new(cfg: &ClusterConfig) -> (GpuCluster, Vec<(SimTime, ClusterEvent)>) {
+        let n = cfg.devices.max(1);
+        // Faults without recovery machinery would livelock, so any fault
+        // injection implies a default watchdog — the `CoRun` rule.
+        let has_faults = cfg.grid_faults.is_some()
+            || cfg.device_faults.is_some()
+            || !cfg.scripted_faults.is_empty();
+        let watchdog = cfg
+            .watchdog
+            .or_else(|| has_faults.then(WatchdogConfig::default));
+        let mut initial = Vec::new();
+        let mut shards = Vec::with_capacity(n as usize);
+        for d in 0..n {
+            let mut device = GpuDevice::new(cfg.gpu.clone());
+            device.set_span_collection(false);
+            if let Some(gf) = cfg.grid_faults {
+                let salted = FaultConfig {
+                    seed: salt_seed(gf.seed, d),
+                    ..gf
+                };
+                device.set_fault_plan(Some(FaultPlan::new(salted)));
+            }
+            let mut sys = SystemWorld::new(device, cfg.policy, Vec::new(), None);
+            if let Some(wd) = watchdog {
+                sys.set_watchdog(wd);
+                initial.push((
+                    wd.poll_interval,
+                    ClusterEvent::Shard {
+                        device: d,
+                        ev: SystemEvent::Watchdog,
+                    },
+                ));
+            }
+            let plan = cfg.device_faults.map(|fc| DeviceFaultPlan::new(fc, d));
+            shards.push(Shard {
+                sys,
+                state: DeviceState::Healthy,
+                gen: 0,
+                plan,
+                map: Vec::new(),
+            });
+        }
+        // Draw each device's first seeded fault (device order).
+        for (d, shard) in shards.iter_mut().enumerate() {
+            if let Some(plan) = shard.plan.as_mut() {
+                if let Some((at, kind)) = plan.next_fault() {
+                    initial.push((
+                        at,
+                        ClusterEvent::DeviceFault {
+                            device: d as u32,
+                            kind,
+                        },
+                    ));
+                }
+            }
+        }
+        for &(at, device, kind) in &cfg.scripted_faults {
+            if device < n {
+                initial.push((at, ClusterEvent::DeviceFault { device, kind }));
+            }
+        }
+        let cluster = GpuCluster {
+            shards,
+            fault_cfg: cfg
+                .device_faults
+                .unwrap_or_else(|| DeviceFaultConfig::quiet(0)),
+            max_migrations: cfg.max_migrations,
+            jobs: Vec::new(),
+            parked: VecDeque::new(),
+            errors: Vec::new(),
+            recoveries: Vec::new(),
+            device_events: Vec::new(),
+            completed_log: Vec::new(),
+            failed_log: Vec::new(),
+            migrated_log: Vec::new(),
+            pending: Vec::new(),
+            scratch: Vec::new(),
+        };
+        (cluster, initial)
+    }
+
+    /// Number of devices (in any state).
+    #[must_use]
+    pub fn devices(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// A device's current lifecycle state.
+    #[must_use]
+    pub fn device_state(&self, device: u32) -> DeviceState {
+        self.shards[device as usize].state
+    }
+
+    /// The device lifecycle log.
+    #[must_use]
+    pub fn device_events(&self) -> &[DeviceEvent] {
+        &self.device_events
+    }
+
+    /// Completed migrations so far.
+    #[must_use]
+    pub fn migrations(&self) -> u64 {
+        self.migrated_log.len() as u64
+    }
+
+    /// Pre-registers a job without placing it; an
+    /// [`ClusterEvent::Arrival`] with the returned index places it at its
+    /// arrival time. Used by the [`ClusterRun`] driver so cluster job
+    /// indices match spec order regardless of arrival times.
+    pub fn register(&mut self, spec: JobSpec) -> usize {
+        let idx = self.jobs.len();
+        self.jobs.push(ClusterJob {
+            spec,
+            state: CJobState::Future,
+            done: 0,
+            migrations: 0,
+            last_device: None,
+            record: None,
+        });
+        idx
+    }
+
+    /// Submits a job dynamically at `now` (the serving frontend's hook):
+    /// registers and immediately places it on the least-loaded eligible
+    /// device. Returns the cluster job index.
+    pub fn submit(&mut self, now: SimTime, spec: JobSpec) -> usize {
+        let idx = self.register(spec);
+        self.place(now, idx);
+        idx
+    }
+
+    /// The least-loaded eligible device: fewest resident threads, then
+    /// fewest active jobs (so same-instant submissions spread before any
+    /// CTA dispatches), then lowest device id.
+    fn pick_device(&self) -> Option<u32> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.state, DeviceState::Healthy | DeviceState::Hung))
+            .min_by_key(|(d, s)| (s.sys.device().resident_threads(), s.sys.active_count(), *d))
+            .map(|(d, _)| d as u32)
+    }
+
+    /// Places (or parks) cluster job `idx`, resuming from its saved task
+    /// counter. Emits the [`RecoveryAction::Migrated`] record when this
+    /// placement completes a migration.
+    fn place(&mut self, now: SimTime, idx: usize) {
+        debug_assert!(matches!(
+            self.jobs[idx].state,
+            CJobState::Future | CJobState::Parked
+        ));
+        let Some(device) = self.pick_device() else {
+            self.jobs[idx].state = CJobState::Parked;
+            if !self.parked.contains(&idx) {
+                self.parked.push_back(idx);
+            }
+            return;
+        };
+        let job = &mut self.jobs[idx];
+        let spec = job.spec.clone().resuming_from(job.done);
+        let from = job.last_device;
+        job.last_device = Some(device);
+        let shard = &mut self.shards[device as usize];
+        let shard_job = shard.sys.submit(now, spec);
+        debug_assert_eq!(shard_job, shard.map.len());
+        shard.map.push(idx);
+        self.jobs[idx].state = CJobState::Placed { device, shard_job };
+        if let Some(from) = from {
+            self.recoveries.push(RecoveryEvent {
+                at: now,
+                job: idx,
+                action: RecoveryAction::Migrated { from, to: device },
+            });
+            self.migrated_log.push((now, idx));
+        }
+        self.absorb_shard(now, device);
+    }
+
+    /// Pulls a shard's completion/failure logs and buffered follow-up
+    /// events into the cluster after any interaction with it.
+    fn absorb_shard(&mut self, now: SimTime, device: u32) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let shard = &mut self.shards[device as usize];
+
+        scratch.clear();
+        shard.sys.drain_completions_into(&mut scratch);
+        for &(t, sidx) in &scratch {
+            let cidx = shard.map[sidx];
+            let job = &mut self.jobs[cidx];
+            job.done = job.spec.profile.total_tasks;
+            job.state = CJobState::Done;
+            self.completed_log.push((t, cidx));
+        }
+
+        scratch.clear();
+        let shard = &mut self.shards[device as usize];
+        shard.sys.drain_failures_into(&mut scratch);
+        for &(t, sidx) in &scratch {
+            let cidx = shard.map[sidx];
+            self.jobs[cidx].state = CJobState::Failed;
+            self.failed_log.push((t, cidx));
+        }
+
+        scratch.clear();
+        self.scratch = scratch;
+
+        let mut pending = std::mem::take(&mut self.pending);
+        self.shards[device as usize]
+            .sys
+            .for_each_pending(|at, ev| pending.push((at, ClusterEvent::Shard { device, ev })));
+        self.pending = pending;
+
+        // A draining device deregisters the moment its last job retires.
+        let shard = &mut self.shards[device as usize];
+        if shard.state == DeviceState::Draining && shard.sys.active_count() == 0 {
+            shard.state = DeviceState::Dead;
+            shard.gen += 1;
+            self.device_events.push(DeviceEvent {
+                at: now,
+                device,
+                kind: DeviceEventKind::Deregistered,
+            });
+        }
+    }
+
+    /// Starts a graceful drain: the device leaves the placement rotation
+    /// immediately, resident jobs run to completion, then it deregisters.
+    pub fn drain_device(&mut self, now: SimTime, device: u32) {
+        let shard = &mut self.shards[device as usize];
+        if !matches!(shard.state, DeviceState::Healthy | DeviceState::Hung) {
+            return;
+        }
+        self.device_events.push(DeviceEvent {
+            at: now,
+            device,
+            kind: DeviceEventKind::DrainStarted,
+        });
+        shard.state = DeviceState::Draining;
+        shard.gen += 1;
+        if shard.sys.active_count() == 0 {
+            shard.state = DeviceState::Dead;
+            self.device_events.push(DeviceEvent {
+                at: now,
+                device,
+                kind: DeviceEventKind::Deregistered,
+            });
+        }
+    }
+
+    /// Applies one device fault (seeded or scripted), then draws the
+    /// shard's next seeded fault so the per-device schedule stays chained.
+    fn on_device_fault(&mut self, now: SimTime, device: u32, kind: DeviceFaultKind) {
+        let d = device as usize;
+        if self.shards[d].state == DeviceState::Dead {
+            return; // Dead devices neither fault further nor re-chain.
+        }
+        self.device_events.push(DeviceEvent {
+            at: now,
+            device,
+            kind: DeviceEventKind::Fault(kind),
+        });
+        match kind {
+            DeviceFaultKind::Hang => {
+                // Only a healthy (or draining) device can hang; a device
+                // already hung or resetting keeps its current trajectory.
+                if matches!(
+                    self.shards[d].state,
+                    DeviceState::Healthy | DeviceState::Draining
+                ) {
+                    let was_draining = self.shards[d].state == DeviceState::Draining;
+                    self.shards[d].sys.device_mut().set_doorbells_lost(true);
+                    if !was_draining {
+                        self.shards[d].state = DeviceState::Hung;
+                    }
+                    self.shards[d].gen += 1;
+                    let gen = self.shards[d].gen;
+                    self.pending.push((
+                        now + self.fault_cfg.hang_duration,
+                        ClusterEvent::DeviceRestore { device, gen },
+                    ));
+                }
+            }
+            DeviceFaultKind::TransientLoss => {
+                if !matches!(self.shards[d].state, DeviceState::Resetting) {
+                    self.errors.push(RuntimeError::DeviceLost {
+                        device,
+                        permanent: false,
+                    });
+                    // Leave rotation *before* evacuating, or the evicted
+                    // jobs would be placed right back on this device.
+                    self.shards[d].state = DeviceState::Resetting;
+                    self.shards[d].gen += 1;
+                    let gen = self.shards[d].gen;
+                    self.evacuate(now, device);
+                    self.pending.push((
+                        now + self.fault_cfg.reset_latency,
+                        ClusterEvent::DeviceRestore { device, gen },
+                    ));
+                }
+            }
+            DeviceFaultKind::Death => {
+                self.errors.push(RuntimeError::DeviceLost {
+                    device,
+                    permanent: true,
+                });
+                self.shards[d].state = DeviceState::Dead;
+                self.shards[d].gen += 1;
+                self.evacuate(now, device);
+                self.device_events.push(DeviceEvent {
+                    at: now,
+                    device,
+                    kind: DeviceEventKind::Deregistered,
+                });
+            }
+        }
+        // Chain the next seeded fault (dead devices stop drawing).
+        if self.shards[d].state != DeviceState::Dead {
+            if let Some(plan) = self.shards[d].plan.as_mut() {
+                if let Some((at, next)) = plan.next_fault() {
+                    debug_assert!(at > now);
+                    self.pending
+                        .push((at, ClusterEvent::DeviceFault { device, kind: next }));
+                }
+            }
+        }
+    }
+
+    /// Kill-migrate-restart: decommissions a lost device's world, folds
+    /// every evicted job back to its completed-task counter, and
+    /// relaunches each on a survivor (or parks it when none is eligible).
+    fn evacuate(&mut self, now: SimTime, device: u32) {
+        // Settle completions that already landed before taking the world
+        // apart, so a finished job is never "migrated".
+        self.absorb_shard(now, device);
+        let evicted = self.shards[device as usize].sys.decommission(now);
+        for e in evicted {
+            let cidx = self.shards[device as usize].map[e.idx];
+            let job = &mut self.jobs[cidx];
+            debug_assert!(matches!(job.state, CJobState::Placed { .. }));
+            job.done = e.tasks_done;
+            fold_record(&mut job.record, e.record);
+            let total = job.spec.profile.total_tasks;
+            if job.done >= total {
+                // The grid had in fact finished; only its notification was
+                // lost with the device. Count the completion here.
+                job.state = CJobState::Done;
+                self.completed_log.push((now, cidx));
+                continue;
+            }
+            job.migrations += 1;
+            if job.migrations > self.max_migrations {
+                let attempts = job.migrations - 1;
+                job.state = CJobState::Failed;
+                self.errors.push(RuntimeError::MigrationFailed {
+                    job: cidx,
+                    attempts,
+                });
+                self.failed_log.push((now, cidx));
+                continue;
+            }
+            job.state = CJobState::Parked;
+            self.place(now, cidx);
+        }
+    }
+
+    /// Handles a device rejoining rotation after a hang or reset.
+    fn on_device_restore(&mut self, now: SimTime, device: u32, gen: u64) {
+        let d = device as usize;
+        if self.shards[d].gen != gen {
+            return; // A newer fault superseded this restore.
+        }
+        match self.shards[d].state {
+            DeviceState::Hung => {
+                self.shards[d].sys.device_mut().set_doorbells_lost(false);
+                self.shards[d].state = DeviceState::Healthy;
+            }
+            DeviceState::Resetting => {
+                self.shards[d].state = DeviceState::Healthy;
+            }
+            DeviceState::Draining => {
+                // A hang during a drain clears without rejoining rotation.
+                self.shards[d].sys.device_mut().set_doorbells_lost(false);
+                return;
+            }
+            _ => return,
+        }
+        self.device_events.push(DeviceEvent {
+            at: now,
+            device,
+            kind: DeviceEventKind::Restored,
+        });
+        // Capacity is back: land every parked job (FIFO order).
+        while let Some(idx) = self.parked.pop_front() {
+            if self.jobs[idx].state == CJobState::Parked {
+                self.place(now, idx);
+                if self.jobs[idx].state == CJobState::Parked {
+                    break; // Re-parked: still no capacity; stop trying.
+                }
+            }
+        }
+    }
+
+    /// Routes one cluster event.
+    pub fn dispatch(&mut self, now: SimTime, ev: ClusterEvent) {
+        match ev {
+            ClusterEvent::Shard { device, ev } => {
+                self.shards[device as usize].sys.dispatch(now, ev);
+                self.absorb_shard(now, device);
+            }
+            ClusterEvent::Arrival(idx) => {
+                if self.jobs[idx].state == CJobState::Future {
+                    self.place(now, idx);
+                }
+            }
+            ClusterEvent::DeviceFault { device, kind } => {
+                self.on_device_fault(now, device, kind);
+            }
+            ClusterEvent::DeviceRestore { device, gen } => {
+                self.on_device_restore(now, device, gen);
+            }
+        }
+    }
+
+    /// Drains the buffered follow-up events in push order (see
+    /// [`SystemWorld::for_each_pending`]; the same discipline one level
+    /// up).
+    pub fn for_each_pending(&mut self, mut f: impl FnMut(SimTime, ClusterEvent)) {
+        for (at, ev) in self.pending.drain(..) {
+            f(at, ev);
+        }
+    }
+
+    /// Appends and clears the cluster completion log (`(time, job)`).
+    pub fn drain_completions_into(&mut self, out: &mut Vec<(SimTime, usize)>) {
+        out.append(&mut self.completed_log);
+    }
+
+    /// Appends and clears the cluster failure log (`(time, job)`).
+    pub fn drain_failures_into(&mut self, out: &mut Vec<(SimTime, usize)>) {
+        out.append(&mut self.failed_log);
+    }
+
+    /// Appends and clears the migration log (`(time, job)`).
+    pub fn drain_migrations_into(&mut self, out: &mut Vec<(SimTime, usize)>) {
+        out.append(&mut self.migrated_log);
+    }
+
+    /// Extracts the merged per-job records and cluster telemetry.
+    #[must_use]
+    pub fn into_result(self, end_time: SimTime) -> ClusterResult {
+        let mut jobs: Vec<ClusterJob> = self.jobs;
+        let mut errors = Vec::new();
+        let mut recoveries = Vec::new();
+        let mut escalations = [0u64; 3];
+        let mut faults_fired = 0u64;
+        // Shard telemetry first (device order, matching a single-device
+        // run's layout), then the cluster's own entries.
+        for shard in self.shards {
+            let map = shard.map;
+            let (records, _, _, report) = shard.sys.into_records();
+            for (sidx, record) in records.into_iter().enumerate() {
+                fold_record(&mut jobs[map[sidx]].record, record);
+            }
+            for mut e in report.errors {
+                remap_error(&mut e, &map);
+                errors.push(e);
+            }
+            for mut r in report.recoveries {
+                r.job = map[r.job];
+                recoveries.push(r);
+            }
+            for (i, n) in report.escalations.iter().enumerate() {
+                escalations[i] += n;
+            }
+            faults_fired += report.faults.len() as u64;
+        }
+        errors.extend(self.errors);
+        recoveries.extend(self.recoveries);
+        let migrations = recoveries
+            .iter()
+            .filter(|r| matches!(r.action, RecoveryAction::Migrated { .. }))
+            .count() as u64;
+        let mut completed = 0u64;
+        let mut failed = 0u64;
+        let mut stranded = 0u64;
+        let records = jobs
+            .iter_mut()
+            .map(|j| {
+                match j.state {
+                    CJobState::Done => completed += 1,
+                    CJobState::Failed => failed += 1,
+                    _ => stranded += 1,
+                }
+                j.record.take().unwrap_or_else(|| JobRecord {
+                    name: j.spec.profile.name.clone(),
+                    priority: j.spec.priority,
+                    arrival: j.spec.arrival,
+                    ..JobRecord::default()
+                })
+            })
+            .collect();
+        ClusterResult {
+            jobs: records,
+            end_time,
+            errors,
+            recoveries,
+            escalations,
+            faults_fired,
+            device_events: self.device_events,
+            migrations,
+            completed,
+            failed,
+            stranded,
+        }
+    }
+}
+
+/// Folds one incarnation's record into the job's accumulator: counters
+/// add, first-observation timestamps keep the earliest incarnation's
+/// value, and the completion stamp comes from whichever incarnation
+/// finished. With a single incarnation this is the identity.
+fn fold_record(acc: &mut Option<JobRecord>, mut inc: JobRecord) {
+    match acc {
+        None => *acc = Some(inc),
+        Some(base) => {
+            base.first_granted = base.first_granted.or(inc.first_granted);
+            base.first_dispatched = base.first_dispatched.or(inc.first_dispatched);
+            base.completed = base.completed.or(inc.completed);
+            base.preemptions += inc.preemptions;
+            base.waiting += inc.waiting;
+            base.completions += inc.completions;
+            base.tasks_completed += inc.tasks_completed;
+            base.drain_samples.append(&mut inc.drain_samples);
+        }
+    }
+}
+
+/// Rewrites a shard-local job index inside an error to the cluster index.
+fn remap_error(e: &mut RuntimeError, map: &[usize]) {
+    match e {
+        RuntimeError::LaunchFailed { job, .. }
+        | RuntimeError::LaunchRetriesExhausted { job, .. }
+        | RuntimeError::SwapUnsatisfiable { job }
+        | RuntimeError::MigrationFailed { job, .. } => *job = map[*job],
+        RuntimeError::EventBudgetExhausted { .. } | RuntimeError::DeviceLost { .. } => {}
+    }
+}
+
+impl World for GpuCluster {
+    type Event = ClusterEvent;
+
+    fn handle(
+        &mut self,
+        now: SimTime,
+        event: ClusterEvent,
+        sched: &mut Scheduler<'_, ClusterEvent>,
+    ) {
+        self.dispatch(now, event);
+        for (at, ev) in self.pending.drain(..) {
+            sched.schedule_at(at, ev);
+        }
+        // A seeded device-fault plan re-arms itself after every draw, so
+        // it outlives the workload: left alone, the run would only end
+        // when every device has died. Once all jobs have settled there is
+        // nothing left for faults to hit — stop instead of simulating the
+        // cluster's slow death by injection. (Faults-off runs never take
+        // this path, preserving exact CoRun equivalence.)
+        if !self.jobs.is_empty()
+            && self.shards.iter().any(|s| s.plan.is_some())
+            && self
+                .jobs
+                .iter()
+                .all(|j| matches!(j.state, CJobState::Done | CJobState::Failed))
+        {
+            sched.stop();
+        }
+    }
+}
+
+/// A complete cluster run description — the [`CoRun`](crate::CoRun)
+/// analog, one level up.
+#[derive(Debug)]
+pub struct ClusterRun {
+    cfg: ClusterConfig,
+    jobs: Vec<JobSpec>,
+    budget: u64,
+}
+
+impl ClusterRun {
+    /// Starts an empty cluster run.
+    #[must_use]
+    pub fn new(cfg: ClusterConfig) -> Self {
+        ClusterRun {
+            cfg,
+            jobs: Vec::new(),
+            budget: DEFAULT_EVENT_BUDGET,
+        }
+    }
+
+    /// Adds a job (builder style). Cluster job indices follow the order
+    /// jobs are added, independent of arrival times.
+    #[must_use]
+    pub fn job(mut self, spec: JobSpec) -> Self {
+        self.jobs.push(spec);
+        self
+    }
+
+    /// Overrides the event budget (builder style).
+    #[must_use]
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Executes the run to completion (or budget exhaustion).
+    #[must_use]
+    pub fn run(self) -> ClusterResult {
+        let (mut cluster, initial) = GpuCluster::new(&self.cfg);
+        let arrivals: Vec<SimTime> = self.jobs.iter().map(|j| j.arrival).collect();
+        for spec in self.jobs {
+            cluster.register(spec);
+        }
+        let mut sim = Simulation::new(cluster);
+        // Arrivals first, then the cluster's own initial events — the
+        // same seq-order discipline as `CoRun::run`.
+        for (idx, at) in arrivals.into_iter().enumerate() {
+            sim.schedule_at(at, ClusterEvent::Arrival(idx));
+        }
+        for (at, ev) in initial {
+            sim.schedule_at(at, ev);
+        }
+        let mut budget_error = None;
+        let end_time = match sim.run_with_budget(self.budget) {
+            RunOutcome::Completed(t) => t,
+            RunOutcome::BudgetExhausted {
+                now,
+                dispatched,
+                pending,
+            } => {
+                budget_error = Some(RuntimeError::EventBudgetExhausted {
+                    at: now,
+                    dispatched,
+                    pending,
+                });
+                now
+            }
+        };
+        let mut result = sim.into_world().into_result(end_time);
+        if let Some(e) = budget_error {
+            result.errors.push(e);
+        }
+        result
+    }
+}
+
+/// Results of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterResult {
+    /// Per-job records in registration order, merged across incarnations
+    /// (a migrated job's counters accumulate over every device it ran
+    /// on).
+    pub jobs: Vec<JobRecord>,
+    /// When the last event fired.
+    pub end_time: SimTime,
+    /// Structured failures: per-shard errors (job indices remapped to
+    /// cluster indices) then cluster-level ones.
+    pub errors: Vec<RuntimeError>,
+    /// Recovery actions: per-shard ladders then cluster migrations.
+    pub recoveries: Vec<RecoveryEvent>,
+    /// Preemption-drain outcomes summed across shards.
+    pub escalations: [u64; 3],
+    /// Grid-level faults fired across all shards.
+    pub faults_fired: u64,
+    /// The device lifecycle log.
+    pub device_events: Vec<DeviceEvent>,
+    /// Completed migrations.
+    pub migrations: u64,
+    /// Jobs that finished all tasks.
+    pub completed: u64,
+    /// Jobs abandoned (launch failure or migration budget).
+    pub failed: u64,
+    /// Jobs neither finished nor failed at the end (parked with no
+    /// capacity, or stranded by a budget abort).
+    pub stranded: u64,
+}
+
+impl ClusterResult {
+    /// True when every registered job is accounted exactly once:
+    /// completed, failed, or stranded.
+    #[must_use]
+    pub fn reconciles(&self) -> bool {
+        self.completed + self.failed + self.stranded == self.jobs.len() as u64
+    }
+
+    /// True when no structured errors were recorded.
+    #[must_use]
+    pub fn succeeded(&self) -> bool {
+        self.errors.is_empty()
+    }
+}

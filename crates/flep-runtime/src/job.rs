@@ -136,6 +136,12 @@ pub struct JobSpec {
     /// resident pay the swap-in time as extra launch latency (the GPUSwap
     /// integration the paper plans in §8).
     pub working_set_bytes: u64,
+    /// Tasks already completed by an earlier incarnation of this job on
+    /// another device — the cluster migration resume point. The runtime
+    /// starts the job's task counter here, so its first launch pulls from
+    /// `resume_from` exactly as a post-kill relaunch would (FLEP's
+    /// task-counter checkpoint is what makes cross-device migration safe).
+    pub resume_from: u64,
 }
 
 impl JobSpec {
@@ -150,7 +156,16 @@ impl JobSpec {
             seed: 0,
             repeat: RepeatMode::Once,
             working_set_bytes: 0,
+            resume_from: 0,
         }
+    }
+
+    /// Resumes the job from a saved task counter (builder style): used by
+    /// the cluster layer when relaunching a migrated job on a survivor.
+    #[must_use]
+    pub fn resuming_from(mut self, tasks_done: u64) -> Self {
+        self.resume_from = tasks_done;
+        self
     }
 
     /// Sets the priority (builder style).

@@ -17,18 +17,25 @@
 //!
 //! Experiments are described with [`CoRun`] and return [`CoRunResult`]
 //! records; the world itself ([`SystemWorld`]) is public for tests that
-//! need event-level control.
+//! need event-level control. [`GpuCluster`] shards the runtime across N
+//! simulated devices with per-device failure domains and
+//! kill-migrate-restart recovery; [`ClusterRun`] is its driver.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cluster;
 mod driver;
 mod job;
 mod world;
 
+pub use cluster::{
+    ClusterConfig, ClusterEvent, ClusterResult, ClusterRun, DeviceEvent, DeviceEventKind,
+    DeviceState, GpuCluster,
+};
 pub use driver::{CoRun, CoRunResult, DEFAULT_EVENT_BUDGET};
 pub use job::{JobRecord, JobSpec, KernelProfile, RepeatMode};
 pub use world::{
-    Policy, RecoveryAction, RecoveryEvent, RunReport, RuntimeError, SystemEvent, SystemWorld,
-    WatchdogConfig,
+    EvictedJob, Policy, RecoveryAction, RecoveryEvent, RunReport, RuntimeError, SystemEvent,
+    SystemWorld, WatchdogConfig,
 };

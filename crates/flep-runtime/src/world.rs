@@ -86,6 +86,23 @@ pub enum RuntimeError {
         /// Events still pending in the queue.
         pending: usize,
     },
+    /// A whole device left the cluster: transient loss (it rejoins after
+    /// the reset latency) or permanent death. Every grid resident on it
+    /// was evicted and handed to the migration path.
+    DeviceLost {
+        /// The device that was lost.
+        device: u32,
+        /// Whether the loss is permanent (death) or transient (reset).
+        permanent: bool,
+    },
+    /// A migrated job exhausted the cluster's migration budget (or no
+    /// surviving device could host it) and was abandoned.
+    MigrationFailed {
+        /// Cluster job index.
+        job: usize,
+        /// Migration attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -111,6 +128,16 @@ impl fmt::Display for RuntimeError {
                 f,
                 "event budget exhausted at {at} ({dispatched} dispatched, {pending} pending)"
             ),
+            RuntimeError::DeviceLost { device, permanent } => {
+                let kind = if *permanent { "died" } else { "reset" };
+                write!(f, "device {device} {kind}: resident grids evicted")
+            }
+            RuntimeError::MigrationFailed { job, attempts } => {
+                write!(
+                    f,
+                    "job {job}: abandoned after {attempts} migration attempts"
+                )
+            }
         }
     }
 }
@@ -130,6 +157,14 @@ pub enum RecoveryAction {
     /// A transiently rejected launch was scheduled for retry (attempt
     /// number carried).
     LaunchRetry(u32),
+    /// The cluster killed the job's device-resident state and relaunched
+    /// it on a survivor, resuming from the saved task counter.
+    Migrated {
+        /// Device the job was evicted from.
+        from: u32,
+        /// Device it was relaunched on.
+        to: u32,
+    },
 }
 
 /// One watchdog recovery event, in the order they happened.
@@ -283,14 +318,24 @@ impl Job {
             arrival: spec.arrival,
             ..JobRecord::default()
         };
+        // A migrated incarnation resumes at the saved task counter; its
+        // remaining-time prediction shrinks by the fraction already done.
+        let resume = spec.resume_from.min(spec.profile.total_tasks);
+        let tr = if resume == 0 {
+            te
+        } else {
+            let frac =
+                (spec.profile.total_tasks - resume) as f64 / spec.profile.total_tasks.max(1) as f64;
+            te.scale(frac)
+        };
         Job {
             spec,
             state: JobState::Future,
             te,
-            tr: te,
+            tr,
             tw: SimTime::ZERO,
             wait_since: None,
-            tasks_done: 0,
+            tasks_done: resume,
             grid: None,
             signalled_at: None,
             completions: 0,
@@ -412,6 +457,22 @@ pub struct SystemWorld {
     /// Whether a watchdog tick is currently scheduled (the ladder must be
     /// re-armed when a job is submitted after the last one finished).
     watchdog_armed: bool,
+}
+
+/// One job evicted by [`SystemWorld::decommission`]: everything the
+/// cluster layer needs to relaunch it on a surviving device.
+#[derive(Debug)]
+pub struct EvictedJob {
+    /// The job's index in *this* world (the cluster maps it back to its
+    /// own job table).
+    pub idx: usize,
+    /// The spec as submitted to this world.
+    pub spec: JobSpec,
+    /// Absolute tasks completed so far (including any earlier
+    /// incarnations' `resume_from` offset) — the migration resume point.
+    pub tasks_done: u64,
+    /// This incarnation's partial record, for cross-device aggregation.
+    pub record: JobRecord,
 }
 
 /// Robustness telemetry extracted alongside the job records after a run.
@@ -538,6 +599,93 @@ impl SystemWorld {
     #[must_use]
     pub fn device(&self) -> &GpuDevice {
         &self.device
+    }
+
+    /// Mutable device access, for the cluster's device-fault layer
+    /// (doorbell gating on a hang).
+    pub fn device_mut(&mut self) -> &mut GpuDevice {
+        &mut self.device
+    }
+
+    /// Jobs not yet done or failed — the cluster placement layer's
+    /// same-instant load tie-breaker.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Device-level failure: resets the device (evicting every resident
+    /// CTA with **no** host notifications — a lost device cannot
+    /// interrupt the host), folds each live grid's completed-task counter
+    /// into its job, and retires every unfinished job, returning their
+    /// resume snapshots in ascending job order for the cluster's
+    /// migration path. Completions that already reached the logs are
+    /// untouched; the caller should drain them first.
+    ///
+    /// After this call the world is inert: no grids, no active jobs, and
+    /// any stale in-flight events (GPU completions, launch arrivals,
+    /// retries, watchdog ticks) are dropped by the existing staleness
+    /// guards when they fire.
+    pub fn decommission(&mut self, now: SimTime) -> Vec<EvictedJob> {
+        // First reconcile grids that retired *before* the reset but whose
+        // terminal notification is still in flight (it will be dropped by
+        // the stale-note guard once the job's grid link is cleared here):
+        // their progress lives only in device state, and missing it would
+        // re-run completed tasks after migration.
+        for k in 0..self.active.len() {
+            let idx = self.active[k];
+            let Some(grid) = self.jobs[idx].grid else {
+                continue;
+            };
+            if let Some(GridPhase::Completed | GridPhase::Preempted) = self.device.grid_phase(grid)
+            {
+                let done = self.device.grid_tasks_done(grid).unwrap_or(0);
+                let job = &mut self.jobs[idx];
+                job.grid = None;
+                job.tasks_done += done;
+                job.record.tasks_completed += done;
+                job.signalled_at = None;
+                job.escalation = 0;
+            }
+        }
+        for reset in self.device.reset(now) {
+            let idx = reset.tag as usize;
+            let Some(job) = self.jobs.get_mut(idx) else {
+                continue;
+            };
+            // Only fold the eviction snapshot of the job's *live* grid; a
+            // stale retired grid of the same job was already accounted.
+            if job.grid != Some(reset.grid) {
+                continue;
+            }
+            job.grid = None;
+            job.tasks_done += reset.tasks_done;
+            job.record.tasks_completed += reset.tasks_done;
+            // An unresolved preemption drain dies with the device; it
+            // reached no escalation outcome, so it is not counted.
+            job.signalled_at = None;
+            job.escalation = 0;
+        }
+        let evicted_indices: Vec<usize> = self.active.clone();
+        let mut out = Vec::with_capacity(evicted_indices.len());
+        for idx in evicted_indices {
+            let job = &mut self.jobs[idx];
+            job.end_wait(now);
+            job.grid = None;
+            job.retry_after = None;
+            out.push(EvictedJob {
+                idx,
+                spec: job.spec.clone(),
+                tasks_done: job.tasks_done,
+                record: std::mem::take(&mut job.record),
+            });
+            job.state = JobState::Done;
+        }
+        self.active.clear();
+        self.gpu_job = None;
+        self.draining = false;
+        self.shared_victims.clear();
+        out
     }
 
     fn past_horizon(&self, now: SimTime) -> bool {

@@ -209,6 +209,105 @@ fn acceptance_every_high_priority_job_completes_under_stuck_preemption() {
     assert!(escalated >= 1, "escalations: {:?}", r.escalations);
 }
 
+#[test]
+fn kill_fires_while_forced_drain_still_in_flight() {
+    // Edge case: the forced drain is *dispatched* (rung 2) but the victim
+    // wedges in its exit path, so the drain never finishes; the kill rung
+    // must fire on the same victim while the drain is still nominally in
+    // flight. CFD's single huge tasks make the window wide, and a tight
+    // drain deadline makes the ladder climb quickly.
+    let wd = flep_runtime::WatchdogConfig {
+        drain_deadline: SimTime::from_us(300),
+        ..flep_runtime::WatchdogConfig::default()
+    };
+    let r = CoRun::new(GpuConfig::k40(), Policy::hpf())
+        .job(
+            JobSpec::new(profile(BenchmarkId::Cfd, InputClass::Large), SimTime::ZERO)
+                .with_priority(1),
+        )
+        .job(
+            JobSpec::new(
+                profile(BenchmarkId::Spmv, InputClass::Small),
+                SimTime::from_us(200),
+            )
+            .with_priority(2),
+        )
+        .with_faults(FaultConfig::quiet(21).with_stuck_exit(1.0))
+        .with_watchdog(wd)
+        .run();
+    assert!(all_complete(&r), "jobs: {:?}", r.jobs);
+    // The ladder reached both rungs for the same victim, in order:
+    // the first ForcedDrain precedes the first Kill.
+    let first_drain = r
+        .recoveries
+        .iter()
+        .position(|e| e.action == RecoveryAction::ForcedDrain);
+    let first_kill = r
+        .recoveries
+        .iter()
+        .position(|e| e.action == RecoveryAction::Killed);
+    let (drain, kill) = (
+        first_drain.expect("forced drain fired"),
+        first_kill.expect("kill fired"),
+    );
+    assert!(drain < kill, "recoveries: {:?}", r.recoveries);
+    assert!(r.escalations[2] >= 1, "escalations: {:?}", r.escalations);
+    // Task conservation across the drain-then-kill pile-up: nothing runs
+    // twice, nothing is lost.
+    let expected = [
+        Benchmark::get(BenchmarkId::Cfd)
+            .profile(InputClass::Large)
+            .tasks,
+        Benchmark::get(BenchmarkId::Spmv)
+            .profile(InputClass::Small)
+            .tasks,
+    ];
+    for (j, want) in r.jobs.iter().zip(expected) {
+        assert_eq!(j.tasks_completed, want, "{} task conservation", j.name);
+    }
+}
+
+#[test]
+fn wedged_victim_recovering_late_is_not_double_escalated() {
+    // Edge case: the victim wedges (so the ladder escalates to a kill),
+    // *and* its terminal notifications are delayed — the killed grid's
+    // stale completion note arrives after the relaunch. The stale-note
+    // guard must drop it: the job completes exactly once, its task total
+    // is exact, and the recovery ledger reconciles (each kill is preceded
+    // by its own forced drain; histogram counts each drain once).
+    let faults = FaultConfig::quiet(22)
+        .with_stuck_exit(1.0)
+        .with_note_delay(1.0, SimTime::from_us(400));
+    let r = victim_pair(faults);
+    assert!(all_complete(&r), "jobs: {:?}", r.jobs);
+    let drains = count_action(&r, |a| a == RecoveryAction::ForcedDrain);
+    let kills = count_action(&r, |a| a == RecoveryAction::Killed);
+    assert!(kills >= 1, "recoveries: {:?}", r.recoveries);
+    assert!(
+        kills <= drains,
+        "every kill is preceded by its own drain ({kills} kills, {drains} drains)"
+    );
+    // Exactly-once completion accounting despite the late stale notes.
+    for j in &r.jobs {
+        assert_eq!(j.completions, 1, "{} completed exactly once", j.name);
+    }
+    let expected = [
+        Benchmark::get(BenchmarkId::Va)
+            .profile(InputClass::Large)
+            .tasks,
+        Benchmark::get(BenchmarkId::Spmv)
+            .profile(InputClass::Small)
+            .tasks,
+    ];
+    for (j, want) in r.jobs.iter().zip(expected) {
+        assert_eq!(j.tasks_completed, want, "{} task conservation", j.name);
+    }
+    assert!(
+        r.escalations[1] + r.escalations[2] <= drains as u64,
+        "histogram never double-counts an escalated drain"
+    );
+}
+
 // -- flep-check properties -----------------------------------------------
 
 /// One generated job: (bench index, arrival_us, priority, seed).

@@ -1,22 +1,30 @@
 //! The serving frontend world: admission → EDF queue → batch formation →
 //! dispatch into the FLEP runtime.
 //!
-//! [`ServeWorld`] embeds a [`SystemWorld`] rather than wrapping the
+//! [`ServeWorld`] embeds a [`GpuCluster`] rather than wrapping the
 //! [`CoRun`](flep_runtime::CoRun) driver: the frontend owns the event loop
-//! (its event type covers both arrival events and runtime-internal
-//! events), forwards runtime events via [`SystemWorld::dispatch`], and
-//! re-schedules the runtime's buffered follow-ups each step. Jobs enter
-//! through [`SystemWorld::submit`], so a batch submitted for a
-//! high-priority tenant preempts a running low-priority batch through the
-//! ordinary HPF path — flag first, then the watchdog's forced-drain and
-//! kill escalations when the victim ignores it.
+//! (its event type covers both arrival events and cluster-internal
+//! events), forwards cluster events via [`GpuCluster::dispatch`], and
+//! re-schedules the cluster's buffered follow-ups each step. Batches enter
+//! through [`GpuCluster::submit`], which places each on the least-loaded
+//! healthy device; within a device a high-priority batch preempts a
+//! running low-priority batch through the ordinary HPF path — flag first,
+//! then the watchdog's forced-drain and kill escalations when the victim
+//! ignores it. Device failures (hang / transient loss / death) evict
+//! resident batches and migrate them to survivors, so goodput degrades
+//! with lost capacity instead of losing requests.
+//!
+//! With one device and no device faults the cluster is a transparent
+//! wrapper: event streams — and therefore golden traces — are
+//! byte-identical to the previous direct-embedding frontend.
 
 use crate::arrivals::ArrivalProcess;
 use crate::queue::{AdmissionControl, DropReason, EdfQueue};
-use flep_gpu_sim::{FaultConfig, FaultPlan, GpuConfig, GpuDevice, TaskCost};
-use flep_metrics::Percentiles;
+use flep_gpu_sim::{DeviceFaultConfig, DeviceFaultKind, FaultConfig, GpuConfig, TaskCost};
+use flep_metrics::{tail_triple_ns, Percentiles};
 use flep_runtime::{
-    JobSpec, KernelProfile, Policy, RecoveryAction, SystemEvent, SystemWorld, WatchdogConfig,
+    ClusterConfig, ClusterEvent, GpuCluster, JobSpec, KernelProfile, Policy, RecoveryAction,
+    WatchdogConfig,
 };
 use flep_sim_core::json::{JsonValue, ToJson};
 use flep_sim_core::{RunOutcome, SimRng, SimTime, Simulation, World};
@@ -89,10 +97,20 @@ pub struct ServeConfig {
     /// Watchdog configuration (always on: serving without the escalation
     /// ladder would hang on the first stuck victim).
     pub watchdog: WatchdogConfig,
-    /// Optional seeded fault plan for the device.
+    /// Optional seeded grid-fault plan. Each device derives its own plan
+    /// from this seed (device 0 uses it verbatim).
     pub faults: Option<FaultConfig>,
     /// Event budget for the embedded discrete-event run.
     pub event_budget: u64,
+    /// Number of simulated GPUs behind the frontend (default 1).
+    pub devices: u32,
+    /// Seeded device-fault injection (hang / transient loss / death).
+    pub device_faults: Option<DeviceFaultConfig>,
+    /// Scripted device faults `(time, device, kind)` — the reproducible
+    /// way to stage "device k dies mid-run" scenarios.
+    pub scripted_device_faults: Vec<(SimTime, u32, DeviceFaultKind)>,
+    /// Per-batch migration budget before the batch fails structurally.
+    pub max_migrations: u32,
     /// The tenants.
     pub tenants: Vec<TenantSpec>,
 }
@@ -108,12 +126,16 @@ impl ServeConfig {
             watchdog: WatchdogConfig::default(),
             faults: None,
             event_budget: flep_runtime::DEFAULT_EVENT_BUDGET,
+            devices: 1,
+            device_faults: None,
+            scripted_device_faults: Vec::new(),
+            max_migrations: 8,
             tenants,
         }
     }
 }
 
-/// Frontend event type: tenant arrivals interleaved with runtime events.
+/// Frontend event type: tenant arrivals interleaved with cluster events.
 #[derive(Debug)]
 pub enum ServeEvent {
     /// A request arrives for tenant `idx`.
@@ -121,8 +143,9 @@ pub enum ServeEvent {
         /// Tenant index.
         tenant: usize,
     },
-    /// A forwarded FLEP-runtime event.
-    Sys(SystemEvent),
+    /// A forwarded cluster event (shard-internal runtime events plus
+    /// device faults and restores).
+    Sys(ClusterEvent),
 }
 
 /// Per-tenant serving counters. Every admitted request ends in exactly one
@@ -151,6 +174,10 @@ pub struct TenantStats {
     pub failed: u64,
     /// Batches submitted to the runtime.
     pub batches: u64,
+    /// Batches of this tenant migrated to another device after a device
+    /// loss (informational; migrated batches still settle as completed or
+    /// failed, so this is *not* part of the request ledger).
+    pub migrated: u64,
 }
 
 struct Tenant {
@@ -171,11 +198,12 @@ struct BatchMeta {
     requests: Vec<Request>,
 }
 
-/// The serving world: tenant frontends plus the embedded FLEP runtime.
+/// The serving world: tenant frontends plus the embedded GPU cluster.
 pub struct ServeWorld {
-    sys: SystemWorld,
+    cluster: GpuCluster,
     tenants: Vec<Tenant>,
-    /// Batch metadata indexed by runtime job index.
+    /// Batch metadata indexed by cluster job index (stable across
+    /// migrations).
     batches: Vec<Option<BatchMeta>>,
     horizon: SimTime,
     seed: u64,
@@ -188,14 +216,21 @@ impl ServeWorld {
     /// Builds the world and the initial event set for `cfg`.
     ///
     /// Returns the world plus the initial `(time, event)` pairs the
-    /// driver must schedule (first arrival per tenant and the first
-    /// watchdog tick).
+    /// driver must schedule (first arrival per tenant, then the cluster's
+    /// own initial events: per-device watchdog ticks and fault draws).
     #[must_use]
     pub fn new(cfg: &ServeConfig) -> (ServeWorld, Vec<(SimTime, ServeEvent)>) {
-        let mut device = GpuDevice::new(GpuConfig::k40());
-        device.set_fault_plan(cfg.faults.map(FaultPlan::new));
-        let mut sys = SystemWorld::new(device, cfg.policy, Vec::new(), None);
-        sys.set_watchdog(cfg.watchdog);
+        let ccfg = ClusterConfig {
+            devices: cfg.devices,
+            gpu: GpuConfig::k40(),
+            policy: cfg.policy,
+            watchdog: Some(cfg.watchdog),
+            grid_faults: cfg.faults,
+            device_faults: cfg.device_faults,
+            scripted_faults: cfg.scripted_device_faults.clone(),
+            max_migrations: cfg.max_migrations,
+        };
+        let (cluster, cluster_initial) = GpuCluster::new(&ccfg);
 
         let mut initial = Vec::new();
         let tenants: Vec<Tenant> = cfg
@@ -222,15 +257,16 @@ impl ServeWorld {
                 }
             })
             .collect();
-        // `set_watchdog` marks the watchdog armed; the driver owes the
-        // first tick, exactly as in `CoRun::run`.
-        initial.push((
-            cfg.watchdog.poll_interval,
-            ServeEvent::Sys(SystemEvent::Watchdog),
-        ));
+        // The cluster's own initial events (per-device watchdog ticks and
+        // first fault draws) come after the arrivals — for one device this
+        // is exactly the old single-tick order, so traces replay
+        // byte-identically.
+        for (at, ev) in cluster_initial {
+            initial.push((at, ServeEvent::Sys(ev)));
+        }
 
         let world = ServeWorld {
-            sys,
+            cluster,
             tenants,
             batches: Vec::new(),
             horizon: cfg.horizon,
@@ -275,16 +311,26 @@ impl ServeWorld {
         }
     }
 
-    /// Settles finished runtime jobs back into request-level accounting.
+    /// Settles finished cluster jobs back into request-level accounting.
     fn reap(&mut self, now: SimTime) {
         let mut done = std::mem::take(&mut self.done_scratch);
+        // Migrations first (they precede any completion of the same batch
+        // and don't settle requests — the batch is still in flight on its
+        // new device); counted per tenant for visibility.
         done.clear();
-        self.sys.drain_completions_into(&mut done);
+        self.cluster.drain_migrations_into(&mut done);
+        for &(_, job) in &done {
+            if let Some(meta) = self.batches.get(job).and_then(Option::as_ref) {
+                self.tenants[meta.tenant].stats.migrated += 1;
+            }
+        }
+        done.clear();
+        self.cluster.drain_completions_into(&mut done);
         for &(at, job) in &done {
             self.settle_batch(at, job, true);
         }
         done.clear();
-        self.sys.drain_failures_into(&mut done);
+        self.cluster.drain_failures_into(&mut done);
         for &(at, job) in &done {
             self.settle_batch(at, job, false);
         }
@@ -376,7 +422,7 @@ impl ServeWorld {
         let spec = JobSpec::new(profile, now)
             .with_priority(t.spec.priority)
             .with_seed(noise_seed);
-        let job = self.sys.submit(now, spec);
+        let job = self.cluster.submit(now, spec);
         self.tenants[idx].inflight = Some(job);
         if self.batches.len() <= job {
             self.batches.resize_with(job + 1, || None);
@@ -387,10 +433,10 @@ impl ServeWorld {
         });
     }
 
-    /// Read access to the embedded runtime world (for tests).
+    /// Read access to the embedded cluster (for tests).
     #[must_use]
-    pub fn runtime(&self) -> &SystemWorld {
-        &self.sys
+    pub fn cluster(&self) -> &GpuCluster {
+        &self.cluster
     }
 
     fn into_report(self, end_time: SimTime, outcome: ServeOutcome, events: u64) -> ServeReport {
@@ -425,14 +471,18 @@ impl ServeWorld {
                 }
             })
             .collect();
-        let (_, _, _, report) = self.sys.into_records();
+        let devices = self.cluster.devices();
+        let result = self.cluster.into_result(end_time);
+        // Migrations are counted separately so the four-slot recovery
+        // histogram (a pinned golden shape) stays stable.
         let mut recoveries = [0u64; 4];
-        for r in &report.recoveries {
+        for r in &result.recoveries {
             match r.action {
                 RecoveryAction::ForcedDrain => recoveries[0] += 1,
                 RecoveryAction::Killed => recoveries[1] += 1,
                 RecoveryAction::LostNotification => recoveries[2] += 1,
                 RecoveryAction::LaunchRetry(_) => recoveries[3] += 1,
+                RecoveryAction::Migrated { .. } => {}
             }
         }
         ServeReport {
@@ -441,11 +491,14 @@ impl ServeWorld {
             events,
             latency,
             tenants,
-            escalations: report.escalations,
+            escalations: result.escalations,
             recoveries,
-            runtime_errors: report.errors.len() as u64,
-            faults_fired: report.faults.len() as u64,
+            runtime_errors: result.errors.len() as u64,
+            faults_fired: result.faults_fired,
             leftover,
+            devices,
+            migrations: result.migrations,
+            device_events: result.device_events.len() as u64,
         }
     }
 }
@@ -461,7 +514,7 @@ impl World for ServeWorld {
     ) {
         match event {
             ServeEvent::Arrival { tenant } => self.on_arrival(now, tenant, sched),
-            ServeEvent::Sys(e) => self.sys.dispatch(now, e),
+            ServeEvent::Sys(e) => self.cluster.dispatch(now, e),
         }
         // Settle completions/failures, then dispatch; a synchronously
         // failing submission produces a new failure entry, so iterate to
@@ -472,7 +525,7 @@ impl World for ServeWorld {
                 break;
             }
         }
-        self.sys
+        self.cluster
             .for_each_pending(|at, e| sched.schedule_at(at, ServeEvent::Sys(e)));
     }
 }
@@ -536,10 +589,7 @@ impl TenantReport {
 impl ToJson for TenantReport {
     fn to_json(&self) -> JsonValue {
         let s = &self.stats;
-        let (p50, p99, p999) = match self.latency {
-            Some(p) => (p.p50_ns, p.p99_ns, p.p999_ns),
-            None => (0, 0, 0),
-        };
+        let (p50, p99, p999) = tail_triple_ns(self.latency);
         JsonValue::object([
             ("tenant", JsonValue::Str(self.name.clone())),
             ("model", self.model.to_json()),
@@ -592,6 +642,12 @@ pub struct ServeReport {
     /// Requests stranded (queued or in flight) at the end; 0 on a
     /// drained run.
     pub leftover: u64,
+    /// Devices behind the frontend.
+    pub devices: u32,
+    /// Batches migrated to a surviving device after a device loss.
+    pub migrations: u64,
+    /// Device lifecycle events recorded (faults, restores, drains).
+    pub device_events: u64,
 }
 
 impl ServeReport {
@@ -621,11 +677,8 @@ impl ServeReport {
 
 impl ToJson for ServeReport {
     fn to_json(&self) -> JsonValue {
-        let (p50, p99, p999) = match self.latency {
-            Some(p) => (p.p50_ns, p.p99_ns, p.p999_ns),
-            None => (0, 0, 0),
-        };
-        JsonValue::object([
+        let (p50, p99, p999) = tail_triple_ns(self.latency);
+        let mut fields = vec![
             ("end_time_ns", JsonValue::UInt(self.end_time.as_ns())),
             ("outcome", JsonValue::Str(self.outcome.name().to_string())),
             ("events", JsonValue::UInt(self.events)),
@@ -649,7 +702,16 @@ impl ToJson for ServeReport {
                 "tenants",
                 JsonValue::array(self.tenants.iter().map(ToJson::to_json)),
             ),
-        ])
+        ];
+        // Cluster telemetry appears only when the run actually used the
+        // cluster dimension (multiple devices or device faults), so
+        // single-device golden traces stay byte-identical.
+        if self.devices > 1 || self.migrations > 0 || self.device_events > 0 {
+            fields.push(("devices", JsonValue::UInt(u64::from(self.devices))));
+            fields.push(("migrations", JsonValue::UInt(self.migrations)));
+            fields.push(("device_events", JsonValue::UInt(self.device_events)));
+        }
+        JsonValue::object(fields)
     }
 }
 

@@ -209,6 +209,26 @@ pub struct GpuDevice {
     /// is entirely inert: no RNG draws, no timing changes, bit-identical
     /// behavior to a build without it.
     fault: Option<FaultPlan>,
+    /// Device-hang state: while set, every doorbell write is lost before
+    /// it reaches the flag (the command processor is wedged). Resident
+    /// CTAs keep executing. Set/cleared by the cluster's device-fault
+    /// layer; never consults the RNG, so it cannot perturb fault draws.
+    doorbells_lost: bool,
+}
+
+/// One grid's progress snapshot returned by [`GpuDevice::reset`], the
+/// host-side record the cluster uses to migrate work to a survivor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResetGrid {
+    /// The grid that was evicted (its id is dead after the reset).
+    pub grid: GridId,
+    /// Host correlation tag.
+    pub tag: u64,
+    /// Tasks (or CTAs, for original-shape grids) completed before the
+    /// reset — the exactly-once resume point.
+    pub tasks_done: u64,
+    /// Tasks left unprocessed; zero means the grid had actually finished.
+    pub remaining_tasks: u64,
 }
 
 /// State of one CUDA stream on the device.
@@ -265,6 +285,7 @@ impl GpuDevice {
             trace: TraceLog::disabled(),
             streams: Vec::new(),
             fault: None,
+            doorbells_lost: false,
         }
     }
 
@@ -505,6 +526,13 @@ impl GpuDevice {
             return;
         }
         let tag = g.tag;
+        if self.doorbells_lost {
+            // Device hang: the write never crosses the bus. Checked before
+            // the per-signal fault draw so a hung device's lost doorbells
+            // do not consume (and thereby reshuffle) the fault stream.
+            self.trace.record(now, "signal_lost", tag);
+            return;
+        }
         if let Some(plan) = self.fault.as_mut() {
             match plan.on_signal(now, tag) {
                 SignalFault::None => {}
@@ -675,6 +703,96 @@ impl GpuDevice {
         self.advance_stream(now, grid, harness);
         // The eviction freed SM resources; let queued grids use them.
         self.dispatch(now, harness);
+    }
+
+    /// Sets or clears the device-hang doorbell gate (see
+    /// [`GpuDevice::signal`]). Installed by the cluster layer when a
+    /// device-scoped hang fault fires.
+    pub fn set_doorbells_lost(&mut self, lost: bool) {
+        self.doorbells_lost = lost;
+    }
+
+    /// Whether doorbell writes are currently being lost to a device hang.
+    #[must_use]
+    pub fn doorbells_lost(&self) -> bool {
+        self.doorbells_lost
+    }
+
+    /// Total threads resident across all SMs right now: the cluster
+    /// placement layer's load metric (least-loaded device first).
+    #[must_use]
+    pub fn resident_threads(&self) -> u64 {
+        self.sms.iter().map(|sm| u64::from(sm.used_threads())).sum()
+    }
+
+    /// Device-level reset: evicts every CTA, retires every live grid, and
+    /// clears the FIFO, stream lanes, and signal state — the simulated
+    /// equivalent of a driver-level device reset (transient loss) or the
+    /// final state of a dead device.
+    ///
+    /// Unlike [`GpuDevice::kill_grid`] this emits **no** host
+    /// notifications: a lost device cannot interrupt the host. The host
+    /// learns each grid's resume point from the returned snapshots
+    /// (slab-slot order, so deterministic). Work claimed but not completed
+    /// is rolled back exactly as in a kill, preserving exactly-once task
+    /// execution across a migration.
+    pub fn reset(&mut self, now: SimTime) -> Vec<ResetGrid> {
+        let live: Vec<GridId> = self
+            .grids
+            .iter()
+            .filter(|(_, g)| !matches!(g.phase, GridPhase::Completed | GridPhase::Preempted))
+            .map(|(k, _)| GridId(k))
+            .collect();
+        let mut out = Vec::with_capacity(live.len());
+        for gid in live {
+            let g = self
+                .grids
+                .get_mut(gid.0)
+                .expect("invariant: ids collected above are live; nothing removes them here");
+            let usage = g.resources;
+            let tag = g.tag;
+            g.pending_ctas = 0;
+            g.active_ctas = 0;
+            g.next_task = g.completed_tasks;
+            for sm_idx in 0..self.sms.len() {
+                self.grids
+                    .get_mut(gid.0)
+                    .expect("invariant: eviction cannot remove grids")
+                    .threads_on_sm[sm_idx] = 0;
+                for evicted in self.sms[sm_idx].evict_grid(&usage, gid) {
+                    self.placement.on_remove(sm_idx as u32);
+                    self.record_busy(evicted.since, now, tag);
+                }
+            }
+            let g = self
+                .grids
+                .get_mut(gid.0)
+                .expect("invariant: eviction cannot remove grids");
+            let (done, total) = match g.shape {
+                GridShape::Original { ctas } => (g.completed_ctas, ctas),
+                GridShape::Persistent { total_tasks, .. } => (g.completed_tasks, total_tasks),
+            };
+            g.phase = if done == total {
+                GridPhase::Completed
+            } else {
+                GridPhase::Preempted
+            };
+            self.trace.record(now, "device_reset_evict", tag);
+            out.push(ResetGrid {
+                grid: gid,
+                tag,
+                tasks_done: done,
+                remaining_tasks: total - done,
+            });
+        }
+        self.fifo.clear();
+        self.signalled.clear();
+        for lane in &mut self.streams {
+            lane.live = None;
+            lane.parked.clear();
+        }
+        self.doorbells_lost = false;
+        out
     }
 
     /// The contention factor a kernel with `usage`/`mem_intensity` sees on

@@ -30,6 +30,11 @@ use flep_sim_core::{SimRng, SimTime};
 /// once, never reused by another subsystem.
 pub const FAULT_STREAM: u64 = 0xFA_17_57_BE_A1;
 
+/// Stream id of the *device-scoped* fault RNG. Each device's plan XORs
+/// its device id into the stream, so every failure domain replays its own
+/// independent fault sequence from one cluster seed.
+pub const DEVICE_FAULT_STREAM: u64 = 0xDE_71_CE_FA_11;
+
 /// Probabilities and magnitudes for each injectable failure class.
 ///
 /// All rates are per-opportunity probabilities in `[0, 1]`; zero disables
@@ -341,6 +346,161 @@ impl FaultPlan {
     }
 }
 
+/// One injected *device-level* fault class: the whole device, not a
+/// single grid, is the failure domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DeviceFaultKind {
+    /// The device hangs: every doorbell write is lost until the hang
+    /// clears (simulating a wedged command processor). Resident work
+    /// keeps executing; only host→device signalling is dead.
+    Hang,
+    /// The device is lost transiently (driver reset / ECC storm): all
+    /// resident grids are evicted and the device rejoins after the
+    /// configured reset latency.
+    TransientLoss,
+    /// The device dies permanently: all resident grids are evicted and
+    /// the device never rejoins.
+    Death,
+}
+
+impl fmt::Display for DeviceFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceFaultKind::Hang => write!(f, "device_hang"),
+            DeviceFaultKind::TransientLoss => write!(f, "device_transient_loss"),
+            DeviceFaultKind::Death => write!(f, "device_death"),
+        }
+    }
+}
+
+/// Rates and magnitudes for device-scoped fault injection.
+///
+/// Rates are events per simulated second of wall time; zero disables the
+/// class. As with [`FaultConfig`], the all-zero configuration draws no
+/// randomness and perturbs nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceFaultConfig {
+    /// Seed of the device-fault RNG stream.
+    pub seed: u64,
+    /// Device hangs per simulated second.
+    pub hang_per_s: f64,
+    /// Transient device losses per simulated second.
+    pub loss_per_s: f64,
+    /// Permanent device deaths per simulated second.
+    pub death_per_s: f64,
+    /// How long a hang lasts before doorbells recover.
+    pub hang_duration: SimTime,
+    /// How long a transient loss keeps the device out (simulated driver
+    /// reset latency).
+    pub reset_latency: SimTime,
+}
+
+impl DeviceFaultConfig {
+    /// A device-fault seed with every class disabled.
+    #[must_use]
+    pub fn quiet(seed: u64) -> Self {
+        DeviceFaultConfig {
+            seed,
+            hang_per_s: 0.0,
+            loss_per_s: 0.0,
+            death_per_s: 0.0,
+            hang_duration: SimTime::from_ms(1),
+            reset_latency: SimTime::from_ms(5),
+        }
+    }
+
+    /// Sets the hang rate and duration (builder style).
+    #[must_use]
+    pub fn with_hangs(mut self, per_s: f64, duration: SimTime) -> Self {
+        self.hang_per_s = per_s;
+        self.hang_duration = duration;
+        self
+    }
+
+    /// Sets the transient-loss rate and reset latency (builder style).
+    #[must_use]
+    pub fn with_losses(mut self, per_s: f64, reset_latency: SimTime) -> Self {
+        self.loss_per_s = per_s;
+        self.reset_latency = reset_latency;
+        self
+    }
+
+    /// Sets the permanent-death rate (builder style).
+    #[must_use]
+    pub fn with_deaths(mut self, per_s: f64) -> Self {
+        self.death_per_s = per_s;
+        self
+    }
+
+    /// Total event rate across all classes, in events per second.
+    #[must_use]
+    pub fn total_rate(&self) -> f64 {
+        self.hang_per_s + self.loss_per_s + self.death_per_s
+    }
+}
+
+/// The per-device fault schedule: a Poisson process over the combined
+/// rate, with each arrival classified by a second draw. Both draws happen
+/// for every arrival regardless of which classes are enabled, so (as with
+/// [`FaultPlan`]) tightening one rate never reshuffles another class.
+pub struct DeviceFaultPlan {
+    cfg: DeviceFaultConfig,
+    rng: SimRng,
+    /// Time of the last scheduled arrival (the process is sampled
+    /// lazily, strictly forward).
+    cursor: SimTime,
+}
+
+impl fmt::Debug for DeviceFaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeviceFaultPlan")
+            .field("cfg", &self.cfg)
+            .field("cursor", &self.cursor)
+            .finish()
+    }
+}
+
+impl DeviceFaultPlan {
+    /// Builds the schedule for one device. The RNG stream folds the
+    /// device id in so sibling devices fail independently.
+    #[must_use]
+    pub fn new(cfg: DeviceFaultConfig, device_id: u32) -> Self {
+        DeviceFaultPlan {
+            cfg,
+            rng: SimRng::stream(cfg.seed, DEVICE_FAULT_STREAM ^ u64::from(device_id)),
+            cursor: SimTime::ZERO,
+        }
+    }
+
+    /// The configuration this plan follows.
+    #[must_use]
+    pub fn config(&self) -> &DeviceFaultConfig {
+        &self.cfg
+    }
+
+    /// Draws the next device fault strictly after the current cursor, or
+    /// `None` if every class is disabled. Exactly two draws per arrival
+    /// (inter-arrival + class), always in that order.
+    pub fn next_fault(&mut self) -> Option<(SimTime, DeviceFaultKind)> {
+        let total = self.cfg.total_rate();
+        if total <= 0.0 {
+            return None;
+        }
+        let gap_us = -(1.0 - self.rng.f64()).ln() / total * 1e6;
+        let pick = self.rng.f64() * total;
+        let at = self.cursor + SimTime::from_us_f64(gap_us).max(SimTime::from_ns(1));
+        self.cursor = at;
+        let kind = if pick < self.cfg.hang_per_s {
+            DeviceFaultKind::Hang
+        } else if pick < self.cfg.hang_per_s + self.cfg.loss_per_s {
+            DeviceFaultKind::TransientLoss
+        } else {
+            DeviceFaultKind::Death
+        };
+        Some((at, kind))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,6 +558,65 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(signals(base), signals(more));
+    }
+
+    #[test]
+    fn quiet_device_plan_draws_nothing() {
+        let mut plan = DeviceFaultPlan::new(DeviceFaultConfig::quiet(11), 0);
+        for _ in 0..8 {
+            assert_eq!(plan.next_fault(), None);
+        }
+    }
+
+    #[test]
+    fn device_plan_is_seed_and_device_deterministic() {
+        let cfg = DeviceFaultConfig::quiet(42)
+            .with_hangs(50.0, SimTime::from_ms(1))
+            .with_losses(20.0, SimTime::from_ms(5))
+            .with_deaths(5.0);
+        let seq = |cfg: DeviceFaultConfig, dev: u32| {
+            let mut plan = DeviceFaultPlan::new(cfg, dev);
+            (0..32)
+                .map(|_| plan.next_fault().unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(seq(cfg, 3), seq(cfg, 3));
+        assert_ne!(seq(cfg, 3), seq(cfg, 4), "devices must fail independently");
+        let other = DeviceFaultConfig { seed: 43, ..cfg };
+        assert_ne!(seq(cfg, 3), seq(other, 3));
+    }
+
+    #[test]
+    fn device_plan_arrivals_advance_strictly() {
+        let cfg = DeviceFaultConfig::quiet(7).with_deaths(1000.0);
+        let mut plan = DeviceFaultPlan::new(cfg, 1);
+        let mut last = SimTime::ZERO;
+        for _ in 0..64 {
+            let (at, kind) = plan.next_fault().unwrap();
+            assert!(at > last);
+            assert_eq!(kind, DeviceFaultKind::Death);
+            last = at;
+        }
+    }
+
+    #[test]
+    fn device_plan_class_mix_tracks_rates() {
+        let cfg = DeviceFaultConfig::quiet(99)
+            .with_hangs(30.0, SimTime::from_ms(1))
+            .with_losses(30.0, SimTime::from_ms(2))
+            .with_deaths(30.0);
+        let mut plan = DeviceFaultPlan::new(cfg, 0);
+        let mut counts = [0u32; 3];
+        for _ in 0..600 {
+            match plan.next_fault().unwrap().1 {
+                DeviceFaultKind::Hang => counts[0] += 1,
+                DeviceFaultKind::TransientLoss => counts[1] += 1,
+                DeviceFaultKind::Death => counts[2] += 1,
+            }
+        }
+        for c in counts {
+            assert!((100..300).contains(&c), "class mix skewed: {counts:?}");
+        }
     }
 
     #[test]

@@ -63,8 +63,11 @@ mod sm;
 mod swap;
 
 pub use config::{GpuConfig, ResourceUsage};
-pub use device::{GpuDevice, GpuEvent, GpuHarness, HostNotification, LaunchError};
-pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultPlan, FAULT_STREAM};
+pub use device::{GpuDevice, GpuEvent, GpuHarness, HostNotification, LaunchError, ResetGrid};
+pub use fault::{
+    DeviceFaultConfig, DeviceFaultKind, DeviceFaultPlan, FaultConfig, FaultEvent, FaultKind,
+    FaultPlan, DEVICE_FAULT_STREAM, FAULT_STREAM,
+};
 pub use grid::{GridId, GridPhase, GridShape, LaunchDesc, PreemptSignal, TaskCost, TaskFn};
 pub use memory::{AllocId, DeviceMemory, MemoryError, TransferDir};
 pub use placement::PlacementIndex;

@@ -21,7 +21,7 @@
 
 mod stats;
 
-pub use stats::{percentile_ns, Percentiles, Summary};
+pub use stats::{percentile_ns, tail_triple_ns, Percentiles, Summary};
 
 use flep_sim_core::SimTime;
 

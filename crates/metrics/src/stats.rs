@@ -104,6 +104,20 @@ impl Percentiles {
     }
 }
 
+/// The `(p50, p99, p999)` nanosecond triple of an optional percentile
+/// summary, zeroed when no sample completed.
+///
+/// This is the one place the "no data" convention lives: every report
+/// table and JSON artifact that prints a tail triple goes through here
+/// instead of re-matching `Option<Percentiles>` locally.
+#[must_use]
+pub fn tail_triple_ns(latency: Option<Percentiles>) -> (u64, u64, u64) {
+    match latency {
+        Some(p) => (p.p50_ns, p.p99_ns, p.p999_ns),
+        None => (0, 0, 0),
+    }
+}
+
 /// Nearest-rank percentile `num/den` of an ascending-sorted sample:
 /// `sorted[round(num/den * (n - 1))]`, with the rounding done in integer
 /// arithmetic (half-up) for cross-platform determinism.
@@ -183,6 +197,13 @@ mod tests {
         assert_eq!(Percentiles::of_ns(&mut []), None);
         let p = Percentiles::of_ns(&mut [7]).unwrap();
         assert_eq!((p.p50_ns, p.p99_ns, p.p999_ns), (7, 7, 7));
+    }
+
+    #[test]
+    fn tail_triple_unwraps_and_zeroes() {
+        assert_eq!(tail_triple_ns(None), (0, 0, 0));
+        let p = Percentiles::of_ns(&mut [10, 20, 30]).unwrap();
+        assert_eq!(tail_triple_ns(Some(p)), (p.p50_ns, p.p99_ns, p.p999_ns));
     }
 
     #[test]
