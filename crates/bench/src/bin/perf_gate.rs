@@ -1,31 +1,35 @@
-//! The perf-regression gate: compares a freshly produced perf artifact
-//! against its checked-in baseline and exits nonzero when any shared
+//! The perf-regression gate: compares freshly produced perf artifacts
+//! against their checked-in baselines and exits nonzero when any shared
 //! benchmark's `median_ns` regressed more than the tolerance.
 //!
-//! Usage: `perf_gate <current.json> <baseline.json>`
+//! Usage: `perf_gate <current.json> <baseline.json> [<current2> <baseline2> ...]`
 //!
-//! A missing baseline skips the gate with a warning (first run on a new
-//! benchmark suite); a missing or unparsable *current* artifact is an
-//! error — the producing stage was supposed to have just written it.
+//! Every pair is compared and every regressing row is printed before the
+//! process exits — one bad artifact never hides another. A missing
+//! baseline skips that pair with a warning (first run on a new benchmark
+//! suite); a missing or unparsable *current* artifact is an error — the
+//! producing stage was supposed to have just written it.
 //!
 //! Knob: `FLEP_PERF_TOLERANCE` — allowed regression in percent
-//! (default 15).
+//! (default 15). The applied value and where it came from are printed in
+//! the header so a CI log is self-explanatory.
 
 use flep_bench::gate::{compare, parse_artifact, GateEntry};
 use std::process::ExitCode;
 
-fn tolerance() -> f64 {
+/// The tolerance to apply plus a human-readable provenance tag.
+fn tolerance() -> (f64, &'static str) {
     match std::env::var("FLEP_PERF_TOLERANCE") {
-        Ok(v) => {
-            match v.parse::<f64>() {
-                Ok(t) if t >= 0.0 => t,
-                _ => {
-                    eprintln!("FLEP_PERF_TOLERANCE: invalid value {v:?} (want a percentage >= 0); using 15");
-                    15.0
-                }
+        Ok(v) => match v.parse::<f64>() {
+            Ok(t) if t >= 0.0 => (t, "from FLEP_PERF_TOLERANCE"),
+            _ => {
+                eprintln!(
+                    "FLEP_PERF_TOLERANCE: invalid value {v:?} (want a percentage >= 0); using 15"
+                );
+                (15.0, "default; FLEP_PERF_TOLERANCE was invalid")
             }
-        }
-        Err(_) => 15.0,
+        },
+        Err(_) => (15.0, "default; set FLEP_PERF_TOLERANCE to override"),
     }
 }
 
@@ -34,40 +38,20 @@ fn load(path: &str, what: &str) -> Result<Vec<GateEntry>, String> {
     parse_artifact(&text).map_err(|e| format!("{what} {path}: {e}"))
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let [current_path, baseline_path] = args.as_slice() else {
-        eprintln!("usage: perf_gate <current.json> <baseline.json>");
-        return ExitCode::FAILURE;
-    };
-
+/// Compares one `(current, baseline)` pair, printing every row. Returns
+/// `Ok(regressed_row_count)` or an error string for a broken artifact.
+fn gate_pair(current_path: &str, baseline_path: &str, tol: f64) -> Result<usize, String> {
     if !std::path::Path::new(baseline_path).exists() {
         eprintln!(
             "perf_gate: no baseline at {baseline_path}; skipping (record one to arm the gate)"
         );
-        return ExitCode::SUCCESS;
+        return Ok(0);
     }
-    let current = match load(current_path, "current artifact") {
-        Ok(e) => e,
-        Err(e) => {
-            eprintln!("perf_gate: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let baseline = match load(baseline_path, "baseline") {
-        Ok(e) => e,
-        Err(e) => {
-            eprintln!("perf_gate: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let current = load(current_path, "current artifact")?;
+    let baseline = load(baseline_path, "baseline")?;
 
-    let tol = tolerance();
     let rows = compare(&current, &baseline, tol);
-    println!(
-        "perf_gate: {} vs {} (tolerance {tol}%)",
-        current_path, baseline_path
-    );
+    println!("perf_gate: {current_path} vs {baseline_path}");
     println!(
         "{:<40} {:>14} {:>14} {:>8}",
         "benchmark", "baseline_ns", "current_ns", "ratio"
@@ -86,15 +70,52 @@ fn main() -> ExitCode {
     if unmatched > 0 {
         eprintln!("perf_gate: {unmatched} benchmark(s) have no baseline entry (skipped)");
     }
-
     let regressed = rows.iter().filter(|r| r.regressed).count();
     if regressed > 0 {
         eprintln!(
-            "perf_gate: FAIL — {regressed} benchmark(s) regressed more than {tol}% vs {baseline_path}"
+            "perf_gate: {regressed} benchmark(s) regressed more than {tol}% vs {baseline_path}"
+        );
+    } else {
+        println!("perf_gate: ok ({} compared)", rows.len());
+    }
+    Ok(regressed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.len() % 2 != 0 {
+        eprintln!("usage: perf_gate <current.json> <baseline.json> [<current2> <baseline2> ...]");
+        return ExitCode::FAILURE;
+    }
+
+    let (tol, tol_source) = tolerance();
+    println!(
+        "perf_gate: tolerance {tol}% ({tol_source}); {} artifact pair(s)",
+        args.len() / 2
+    );
+
+    // Walk every pair before deciding the exit code so a regression in
+    // the first artifact cannot mask one in the last.
+    let mut total_regressed = 0usize;
+    let mut broken = 0usize;
+    for pair in args.chunks_exact(2) {
+        match gate_pair(&pair[0], &pair[1], tol) {
+            Ok(n) => total_regressed += n,
+            Err(e) => {
+                eprintln!("perf_gate: {e}");
+                broken += 1;
+            }
+        }
+    }
+
+    if total_regressed > 0 || broken > 0 {
+        eprintln!(
+            "perf_gate: FAIL — {total_regressed} regressed row(s), {broken} unreadable artifact(s) across {} pair(s)",
+            args.len() / 2
         );
         ExitCode::FAILURE
     } else {
-        println!("perf_gate: ok ({} compared)", rows.len());
+        println!("perf_gate: all pairs ok");
         ExitCode::SUCCESS
     }
 }

@@ -27,6 +27,7 @@
 mod cluster;
 mod driver;
 mod job;
+mod poll;
 mod world;
 
 pub use cluster::{

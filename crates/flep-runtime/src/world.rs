@@ -12,6 +12,7 @@ use flep_perfmodel::OverheadProfiler;
 use flep_sim_core::{Scheduler, SimTime, Span, World};
 
 use crate::job::{JobRecord, JobSpec, RepeatMode};
+use crate::poll::PollWheel;
 
 /// Watchdog configuration: how long a preempt request may go unanswered
 /// before the runtime escalates, and how launch retries back off.
@@ -457,6 +458,21 @@ pub struct SystemWorld {
     /// Whether a watchdog tick is currently scheduled (the ladder must be
     /// re-armed when a job is submitted after the last one finished).
     watchdog_armed: bool,
+    /// Jobs currently holding a live grid — the coalesced poll wheel a
+    /// watchdog tick fans out over (DESIGN.md §12). Registered on grid
+    /// launch, deregistered on retire/evict; ascending-index iteration
+    /// replays exactly the order of the full active-list scan it
+    /// replaced.
+    poll_wheel: PollWheel,
+    /// Reusable event-collection harness for [`Self::dispatch`] /
+    /// [`Self::submit`] — taken at entry, restored after routing, so the
+    /// per-event hot path performs no Vec allocations.
+    scratch: CollectorHarness,
+    /// Reusable harness for synchronous same-instant notification
+    /// processing inside [`Self::route_harness`].
+    scratch_sync: CollectorHarness,
+    /// Reusable note staging buffer for [`Self::route_harness`].
+    scratch_notes: Vec<(SimTime, HostNotification)>,
 }
 
 /// One job evicted by [`SystemWorld::decommission`]: everything the
@@ -523,6 +539,10 @@ impl SystemWorld {
             completed_log: Vec::new(),
             failed_log: Vec::new(),
             watchdog_armed: false,
+            poll_wheel: PollWheel::default(),
+            scratch: CollectorHarness::new(),
+            scratch_sync: CollectorHarness::new(),
+            scratch_notes: Vec::new(),
         }
     }
 
@@ -558,9 +578,10 @@ impl SystemWorld {
                     .push((now + wd.poll_interval, SystemEvent::Watchdog));
             }
         }
-        let mut harness = CollectorHarness::new();
+        let mut harness = std::mem::take(&mut self.scratch);
         self.reschedule(now, &mut harness);
         self.route_harness(now, &mut harness);
+        self.scratch = harness;
         idx
     }
 
@@ -682,6 +703,7 @@ impl SystemWorld {
             job.state = JobState::Done;
         }
         self.active.clear();
+        self.poll_wheel.clear();
         self.gpu_job = None;
         self.draining = false;
         self.shared_victims.clear();
@@ -779,6 +801,7 @@ impl SystemWorld {
         }
         match self.device.launch(now, desc, harness) {
             Ok(grid) => {
+                self.poll_wheel.register(idx);
                 let job = &mut self.jobs[idx];
                 job.grid = Some(grid);
                 job.granted_at = Some(now);
@@ -1029,13 +1052,17 @@ impl SystemWorld {
     /// [`Self::submit`] re-arms it again.
     fn watchdog_scan(&mut self, now: SimTime, harness: &mut CollectorHarness) {
         let Some(wd) = self.watchdog else { return };
-        // Only active jobs can hold a live grid; states do not change
-        // during this loop (device probes buffer their notifications), so
-        // indexing the ascending active list replays exactly the order of
-        // the full `0..jobs.len()` scan it replaced.
-        for k in 0..self.active.len() {
-            let idx = self.active[k];
+        // Fan out over the poll wheel: exactly the jobs holding a live
+        // grid, in ascending index order — the same jobs, in the same
+        // order, the full active-list scan this replaced acted on (it
+        // skipped grid-less jobs). The successor scan tolerates mid-tick
+        // register/deregister; states do not change during this loop
+        // (device probes buffer their notifications).
+        let mut cur = None;
+        while let Some(idx) = self.poll_wheel.next_after(cur) {
+            cur = Some(idx);
             let Some(grid) = self.jobs[idx].grid else {
+                debug_assert!(false, "poll wheel holds only jobs with live grids");
                 continue;
             };
             // A lost DispatchStarted only affects the record; patch it from
@@ -1147,6 +1174,9 @@ impl SystemWorld {
                 }
             }
             HostNotification::Completed { tasks_done, .. } => {
+                // The grid is retiring below; a looping FFS relaunch
+                // re-registers through `launch_job`.
+                self.poll_wheel.deregister(idx);
                 self.completed_log.push((now, idx));
                 let finished_state = self.jobs[idx].state;
                 // A kernel signalled for preemption may complete before any
@@ -1238,6 +1268,7 @@ impl SystemWorld {
                 remaining_tasks,
                 ..
             } => {
+                self.poll_wheel.deregister(idx);
                 let job = &mut self.jobs[idx];
                 job.tasks_done += tasks_done;
                 job.record.tasks_completed += tasks_done;
@@ -1278,7 +1309,10 @@ impl SystemWorld {
     /// embedding world (the serving frontend) calls this directly and
     /// drains into its own event type via [`Self::for_each_pending`].
     pub fn dispatch(&mut self, now: SimTime, event: SystemEvent) {
-        let mut harness = CollectorHarness::new();
+        // Reuse the persistent scratch harness: `take` leaves a fresh
+        // (allocation-free) default behind, and the restore below hands
+        // the drained buffers' capacity back for the next event.
+        let mut harness = std::mem::take(&mut self.scratch);
         match event {
             SystemEvent::Gpu(ev) => {
                 self.device.handle(now, ev, &mut harness);
@@ -1321,27 +1355,35 @@ impl SystemWorld {
             }
         }
         self.route_harness(now, &mut harness);
+        self.scratch = harness;
     }
 
     /// Routes device-scheduled events and host notifications collected in
     /// `harness` into the pending buffer, processing same-instant
     /// notifications synchronously (exactly the old in-`handle` routing,
     /// so the push order — and thus `(time, seq)` tie-breaking — is
-    /// bit-identical).
+    /// bit-identical). All staging goes through persistent scratch
+    /// buffers, so the steady-state (note-free) hot path allocates
+    /// nothing.
     fn route_harness(&mut self, now: SimTime, harness: &mut CollectorHarness) {
-        let notes: Vec<(SimTime, HostNotification)> = harness.notes.drain(..).collect();
         for (at, ev) in harness.gpu_events.drain(..) {
             self.pending.push((at, SystemEvent::Gpu(ev)));
         }
-        for (at, note) in notes {
+        if harness.notes.is_empty() {
+            return;
+        }
+        let mut notes = std::mem::take(&mut self.scratch_notes);
+        debug_assert!(notes.is_empty());
+        notes.extend(harness.notes.drain(..));
+        let mut h2 = std::mem::take(&mut self.scratch_sync);
+        for (at, note) in notes.drain(..) {
             if at > now {
                 // Fault-delayed: deliver when it lands instead of now.
                 self.pending.push((at, SystemEvent::Note(note)));
                 continue;
             }
-            let mut h2 = CollectorHarness::new();
             self.on_notification(at, note, &mut h2);
-            for (t, ev) in h2.gpu_events {
+            for (t, ev) in h2.gpu_events.drain(..) {
                 self.pending.push((t, SystemEvent::Gpu(ev)));
             }
             debug_assert!(
@@ -1349,6 +1391,8 @@ impl SystemWorld {
                 "notifications must not recurse synchronously"
             );
         }
+        self.scratch_sync = h2;
+        self.scratch_notes = notes;
     }
 }
 

@@ -7,6 +7,7 @@
 use flep_gpu_sim::{FaultConfig, GpuConfig};
 use flep_runtime::{
     CoRun, CoRunResult, JobSpec, KernelProfile, Policy, RecoveryAction, RuntimeError,
+    WatchdogConfig,
 };
 use flep_sim_core::check::{check, CheckConfig};
 use flep_sim_core::{assume, require, require_eq, SimRng, SimTime};
@@ -127,6 +128,46 @@ fn transient_launch_rejections_back_off_and_succeed() {
     assert!(
         count_action(&r, |a| matches!(a, RecoveryAction::LaunchRetry(_))) >= 1,
         "recoveries: {:?}",
+        r.recoveries
+    );
+}
+
+#[test]
+fn poll_wheel_has_no_ghost_polls() {
+    // Fault-free with the watchdog armed: every grid registers on launch
+    // and deregisters on retirement, often within one poll interval. A
+    // tick visiting a job after its grid retired (a ghost poll) would
+    // see device phase `Completed` against live runtime state and
+    // synthesize a `LostNotification` recovery — so a clean run must
+    // end with an empty recovery log and an untouched escalation ladder.
+    let r = CoRun::new(GpuConfig::k40(), Policy::hpf())
+        .job(JobSpec::new(
+            profile(BenchmarkId::Spmv, InputClass::Small),
+            SimTime::ZERO,
+        ))
+        .with_watchdog(WatchdogConfig::default())
+        .run();
+    assert!(all_complete(&r), "jobs: {:?}", r.jobs);
+    assert!(r.recoveries.is_empty(), "ghost polls: {:?}", r.recoveries);
+    assert_eq!(r.escalations, [0, 0, 0]);
+
+    // Single job, no preemption, every host notification dropped: the
+    // watchdog's reconciliation poll is the only way the completion can
+    // land, and it must land exactly once. A wheel that failed to
+    // deregister the job when the synthesized note retired it would
+    // re-reconcile the same grid on every subsequent tick.
+    let r = CoRun::new(GpuConfig::k40(), Policy::hpf())
+        .job(JobSpec::new(
+            profile(BenchmarkId::Va, InputClass::Small),
+            SimTime::ZERO,
+        ))
+        .with_faults(FaultConfig::quiet(21).with_note_drop(1.0))
+        .run();
+    assert!(all_complete(&r), "jobs: {:?}", r.jobs);
+    assert_eq!(
+        count_action(&r, |a| a == RecoveryAction::LostNotification),
+        1,
+        "one lost completion must be reconciled by exactly one poll: {:?}",
         r.recoveries
     );
 }

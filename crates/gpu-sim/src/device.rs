@@ -409,11 +409,11 @@ impl GpuDevice {
     /// Returns [`LaunchError`] when the kernel can never be dispatched
     /// (zero occupancy), the grid is empty, or a persistent grid has a zero
     /// amortizing factor.
-    pub fn launch(
+    pub fn launch<H: GpuHarness + ?Sized>(
         &mut self,
         now: SimTime,
         desc: LaunchDesc,
-        harness: &mut dyn GpuHarness,
+        harness: &mut H,
     ) -> Result<GridId, LaunchError> {
         let occ = self.cfg.occupancy_per_sm(&desc.resources);
         if occ == 0 {
@@ -477,6 +477,8 @@ impl GpuDevice {
             planned_ctas,
             stream_lane,
             threads_on_sm: vec![0; self.cfg.num_sms as usize],
+            full_own_load: f64::from(occ * desc.resources.threads_per_cta)
+                / f64::from(self.cfg.threads_per_sm),
             stuck,
             stall_left: if stuck == StuckMode::WedgeOnExit {
                 1
@@ -573,7 +575,12 @@ impl GpuDevice {
     /// original grid's task-counter allocation.
     ///
     /// No-op for retired, original-shape, or unknown grids.
-    pub fn restore_grid(&mut self, now: SimTime, grid: GridId, harness: &mut dyn GpuHarness) {
+    pub fn restore_grid<H: GpuHarness + ?Sized>(
+        &mut self,
+        now: SimTime,
+        grid: GridId,
+        harness: &mut H,
+    ) {
         let Some(g) = self.grids.get_mut(grid.0) else {
             return;
         };
@@ -647,7 +654,12 @@ impl GpuDevice {
     /// Emits [`HostNotification::Preempted`] (or `Completed` if the grid
     /// had in fact finished all tasks) through the normal — fault-prone —
     /// notification path. No-op for retired or unknown grids.
-    pub fn kill_grid(&mut self, now: SimTime, grid: GridId, harness: &mut dyn GpuHarness) {
+    pub fn kill_grid<H: GpuHarness + ?Sized>(
+        &mut self,
+        now: SimTime,
+        grid: GridId,
+        harness: &mut H,
+    ) {
         let Some(g) = self.grids.get_mut(grid.0) else {
             return;
         };
@@ -805,29 +817,31 @@ impl GpuDevice {
     /// thread totals of signalled persistent grids (see
     /// [`GpuDevice::signalled`]) — O(signalled grids) instead of a hash
     /// lookup per resident CTA, with identical integer arithmetic.
+    /// `full_own_load` is the kernel's cached own-SM thread load
+    /// ([`Grid::full_own_load`]) — a launch-time constant, so passing it
+    /// in keeps this query free of per-call occupancy arithmetic.
     fn effective_contention_factor(
         &self,
         now: SimTime,
         sm_idx: usize,
-        usage: &crate::config::ResourceUsage,
+        full_own_load: f64,
         mem_intensity: f64,
     ) -> f64 {
         let sm = &self.sms[sm_idx];
         let mut threads = sm.used_threads();
-        for &gid in &self.signalled {
-            if let Some(g) = self.grids.get(gid.0) {
-                // What the CTAs will act on, not what the host wrote: a
-                // fault-stuck grid that ignores its flag is *not* leaving,
-                // so its threads still count toward sustained load.
-                if g.poll_signal(now).must_exit(sm.id()) {
-                    threads -= g.threads_on_sm[sm_idx];
+        if !self.signalled.is_empty() {
+            for &gid in &self.signalled {
+                if let Some(g) = self.grids.get(gid.0) {
+                    // What the CTAs will act on, not what the host wrote: a
+                    // fault-stuck grid that ignores its flag is *not* leaving,
+                    // so its threads still count toward sustained load.
+                    if g.poll_signal(now).must_exit(sm.id()) {
+                        threads -= g.threads_on_sm[sm_idx];
+                    }
                 }
             }
         }
         let load = f64::from(threads) / f64::from(self.cfg.threads_per_sm);
-        let occ = self.cfg.occupancy_per_sm(usage);
-        let full_own_load =
-            f64::from(occ * usage.threads_per_cta) / f64::from(self.cfg.threads_per_sm);
         let c = mem_intensity.max(0.0);
         (1.0 + c * load) / (1.0 + c * full_own_load)
     }
@@ -835,7 +849,12 @@ impl GpuDevice {
     /// Delivers a host notification through the fault layer: it may be
     /// dropped or delayed. All device-originated notifications go through
     /// here so the interrupt path has a single fault opportunity per note.
-    fn emit_note(&mut self, now: SimTime, note: HostNotification, harness: &mut dyn GpuHarness) {
+    fn emit_note<H: GpuHarness + ?Sized>(
+        &mut self,
+        now: SimTime,
+        note: HostNotification,
+        harness: &mut H,
+    ) {
         if let Some(plan) = self.fault.as_mut() {
             match plan.on_note(now, note.tag()) {
                 NoteFault::None => {}
@@ -854,7 +873,7 @@ impl GpuDevice {
     }
 
     /// Routes a previously scheduled device event.
-    pub fn handle(&mut self, now: SimTime, ev: GpuEvent, harness: &mut dyn GpuHarness) {
+    pub fn handle<H: GpuHarness + ?Sized>(&mut self, now: SimTime, ev: GpuEvent, harness: &mut H) {
         match ev {
             GpuEvent::LaunchArrived(id) => self.on_launch_arrived(now, id, harness),
             GpuEvent::CtaDone { grid, cta, sm } => self.on_cta_done(now, grid, cta, sm, harness),
@@ -868,7 +887,12 @@ impl GpuDevice {
         }
     }
 
-    fn on_launch_arrived(&mut self, now: SimTime, id: GridId, harness: &mut dyn GpuHarness) {
+    fn on_launch_arrived<H: GpuHarness + ?Sized>(
+        &mut self,
+        now: SimTime,
+        id: GridId,
+        harness: &mut H,
+    ) {
         // A grid killed (or pruned) while its launch was in flight simply
         // never arrives.
         let Some(grid) = self.grids.get_mut(id.0) else {
@@ -902,7 +926,12 @@ impl GpuDevice {
 
     /// On retire of a stream's live grid, release its successor into the
     /// device FIFO.
-    fn advance_stream(&mut self, now: SimTime, retired: GridId, harness: &mut dyn GpuHarness) {
+    fn advance_stream<H: GpuHarness + ?Sized>(
+        &mut self,
+        now: SimTime,
+        retired: GridId,
+        harness: &mut H,
+    ) {
         let Some(lane_idx) = self.grids.get(retired.0).and_then(|g| g.stream_lane) else {
             return;
         };
@@ -932,7 +961,7 @@ impl GpuDevice {
     /// hardware's round-robin CTA distribution), and only then is their
     /// initial work scheduled, so the contention factor every simultaneous
     /// CTA sees reflects the full post-placement co-residency.
-    fn dispatch(&mut self, now: SimTime, harness: &mut dyn GpuHarness) {
+    fn dispatch<H: GpuHarness + ?Sized>(&mut self, now: SimTime, harness: &mut H) {
         if self.fifo.is_empty() {
             return; // Invoked after every CTA/batch exit; usually no-op.
         }
@@ -952,9 +981,8 @@ impl GpuDevice {
             let grid = self.grids.get(gid.0).expect(FIFO_INVARIANT);
             match grid.shape {
                 GridShape::Original { .. } => {
-                    let (usage, mem) = (grid.resources, grid.mem_intensity);
-                    let factor =
-                        self.effective_contention_factor(now, sm_idx as usize, &usage, mem);
+                    let (own, mem) = (grid.full_own_load, grid.mem_intensity);
+                    let factor = self.effective_contention_factor(now, sm_idx as usize, own, mem);
                     let grid = self.grids.get_mut(gid.0).expect(FIFO_INVARIANT);
                     let dur = grid.task_cost.sample(&mut grid.rng).scale(factor);
                     harness.schedule_gpu(
@@ -977,11 +1005,11 @@ impl GpuDevice {
 
     /// Places as many pending CTAs of `gid` as fit right now, appending the
     /// placements to `placed` for phase-two scheduling.
-    fn place_grid(
+    fn place_grid<H: GpuHarness + ?Sized>(
         &mut self,
         now: SimTime,
         gid: GridId,
-        harness: &mut dyn GpuHarness,
+        harness: &mut H,
         placed: &mut Vec<(GridId, u64, u32)>,
     ) {
         loop {
@@ -1051,18 +1079,18 @@ impl GpuDevice {
 
     /// Claims the next batch of up to `L` tasks for a persistent CTA and
     /// schedules its completion.
-    fn start_batch(
+    fn start_batch<H: GpuHarness + ?Sized>(
         &mut self,
         now: SimTime,
         gid: GridId,
         cta: u64,
         sm: u32,
-        harness: &mut dyn GpuHarness,
+        harness: &mut H,
     ) {
         let factor = {
             let grid = self.grids.get(gid.0).expect(BATCH_INVARIANT);
-            let (usage, mem) = (grid.resources, grid.mem_intensity);
-            self.effective_contention_factor(now, sm as usize, &usage, mem)
+            let (own, mem) = (grid.full_own_load, grid.mem_intensity);
+            self.effective_contention_factor(now, sm as usize, own, mem)
         };
         let grid = self.grids.get_mut(gid.0).expect(BATCH_INVARIANT);
         let GridShape::Persistent { amortize, .. } = grid.shape else {
@@ -1120,13 +1148,13 @@ impl GpuDevice {
         );
     }
 
-    fn on_cta_done(
+    fn on_cta_done<H: GpuHarness + ?Sized>(
         &mut self,
         now: SimTime,
         gid: GridId,
         cta: u64,
         sm: u32,
-        harness: &mut dyn GpuHarness,
+        harness: &mut H,
     ) {
         // Same stale-event gate as `on_batch_done`: a killed grid's
         // in-flight completions must be dropped, not processed.
@@ -1153,7 +1181,7 @@ impl GpuDevice {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn on_batch_done(
+    fn on_batch_done<H: GpuHarness + ?Sized>(
         &mut self,
         now: SimTime,
         gid: GridId,
@@ -1161,7 +1189,7 @@ impl GpuDevice {
         sm: u32,
         first_task: u64,
         n_tasks: u64,
-        harness: &mut dyn GpuHarness,
+        harness: &mut H,
     ) {
         // A kill (watchdog escalation) retires a grid while its CTAs'
         // completion events are still in the queue; those events refer to
@@ -1227,7 +1255,7 @@ impl GpuDevice {
 
     /// Retires a grid whose CTAs have all left the device, emitting the
     /// appropriate notification.
-    fn maybe_retire(&mut self, now: SimTime, gid: GridId, harness: &mut dyn GpuHarness) {
+    fn maybe_retire<H: GpuHarness + ?Sized>(&mut self, now: SimTime, gid: GridId, harness: &mut H) {
         let grid = self
             .grids
             .get_mut(gid.0)

@@ -331,6 +331,12 @@ pub(crate) struct Grid {
     /// Resident thread total per SM, maintained on CTA place/remove so
     /// contention queries need not walk residents.
     pub(crate) threads_on_sm: Vec<u32>,
+    /// Cached `occupancy * threads_per_cta / threads_per_sm` — the thread
+    /// load this kernel puts on an SM it fully owns. A pure function of
+    /// the launch resources and the device config, so it is computed once
+    /// at launch (with the exact expression the per-batch contention
+    /// query used) instead of on every batch claim.
+    pub(crate) full_own_load: f64,
     /// Fault-injected preemption misbehavior (always `Responsive` without
     /// an active fault plan).
     pub(crate) stuck: StuckMode,

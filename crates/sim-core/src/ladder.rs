@@ -1,0 +1,516 @@
+//! The ladder-queue backend: a calendar-style bucketed priority queue.
+//!
+//! FLEP's simulated timeline is dominated by near-periodic polling events
+//! (batch completions every `L · task_cost`, watchdog ticks every
+//! `poll_interval`), which is the textbook best case for bucketed event
+//! queues: most pushes land a roughly constant horizon ahead of the
+//! clock, so dropping a key into the right time bucket is O(1) and the
+//! sort work is deferred until a bucket's narrow window is actually
+//! reached — by which point it holds only a handful of keys.
+//!
+//! # Structure
+//!
+//! Three tiers, in pop order (the classic ladder-queue layout):
+//!
+//! * **Bottom** — a sorted `Vec<u128>` of packed keys drained through a
+//!   cursor; the head of the queue. `min_key` is a single indexed load.
+//! * **Rungs** — a ladder of bucket arrays. Each rung divides a time
+//!   window into [`NB`] equal buckets of width `2^shift` ns. When the
+//!   bottom drains, the next non-empty bucket of the *finest* rung is
+//!   sorted and promoted to become the new bottom. A bucket holding more
+//!   than [`SPAWN_THRESHOLD`] keys is not sorted directly: it is *spilled*
+//!   into a freshly spawned finer rung (width `2^(shift-6)`) first, so no
+//!   single promotion ever sorts a large run — this is the "spill ladder"
+//!   that bounds promotion cost even when a coarse bucket swallows a
+//!   burst.
+//! * **Top** — an unsorted overflow list for keys beyond the coarsest
+//!   rung's window. When the ladder runs dry, a new coarsest rung is
+//!   rebuilt from the top, recalibrating its start and bucket width from
+//!   the *observed* key span (`shift_for_span`), so bucket widths track
+//!   the live event-interval distribution with no tuning knob.
+//!
+//! # Exactness
+//!
+//! All ordering is integer order on the packed `(time << 64 | seq << 24 |
+//! slot)` key word (see [`crate::PackedKey`]): within a bucket an
+//! unstable sort of unique `u128`s reproduces `(time, seq)` FIFO order
+//! *exactly*, so the ladder and the 4-ary heap are observationally
+//! identical — a property pinned by the flep-check equivalence suite.
+//!
+//! Boundary arithmetic is carried in `u128` (`bottom_limit`, rung ends),
+//! so timestamps at the far edge of the epoch (near `u64::MAX`) bucket
+//! correctly instead of saturating — the epoch-rollover edge the property
+//! suite drives explicitly.
+
+use crate::event::{EventQueueImpl, PackedKey};
+
+/// Buckets per rung (a power of two so bucket indexing is a shift).
+const NB: usize = 64;
+/// `log2(NB)`: each spawned rung refines bucket width by this many bits.
+const NB_SHIFT: u32 = 6;
+/// Promoting a bucket larger than this spills it into a finer rung
+/// instead of sorting it wholesale.
+const SPAWN_THRESHOLD: usize = 48;
+/// Ladder depth cap. Width shrinks by `NB_SHIFT` bits per level, so 11
+/// levels already reach 1 ns buckets from the widest possible rung; 16 is
+/// unreachable headroom (same-timestamp pileups stop spawning at
+/// `shift == 0` and sort instead, which FIFO-orders them by `seq`).
+const MAX_RUNGS: usize = 16;
+/// A live bottom run longer than this is spilled back into the ladder
+/// (the classic ladder-queue bottom-overflow rule): without it, a push
+/// pattern that keeps landing below `bottom_limit` degenerates into
+/// insertion sort on an ever-growing array.
+const BOTTOM_SPILL: usize = 128;
+/// How much of the bottom's head survives a spill — the keys about to
+/// pop anyway, so `min_key` stays a single load.
+const BOTTOM_KEEP: usize = 32;
+
+/// One rung: a window starting at `start`, divided into [`NB`] buckets of
+/// width `2^shift` nanoseconds. Buckets before `base` are consumed.
+#[derive(Debug, Clone, Default)]
+struct Rung {
+    /// Left edge (ns) of bucket 0.
+    start: u64,
+    /// Bucket width exponent: width = `1 << shift` ns.
+    shift: u32,
+    /// One-past-the-end of this rung's *owned* window, in `u128` so a
+    /// rung reaching past `u64::MAX` does not saturate. May be tighter
+    /// than `start + NB << shift`: a child rung is capped at its parent
+    /// bucket's edge (and a bottom-spill rung at the old `bottom_limit`)
+    /// so overlapping windows never claim each other's keys — a push
+    /// landing in a finer rung while an earlier key for the same instant
+    /// range still sits in a coarser one would pop out of order.
+    end: u128,
+    /// First unconsumed bucket index.
+    base: usize,
+    /// The buckets; unsorted packed keys.
+    buckets: Vec<Vec<u128>>,
+}
+
+impl Rung {
+    /// The pop boundary after consuming bucket `b`: everything earlier
+    /// lives in the bottom (or was popped). Clamped to the owned window
+    /// so a capped rung hands over exactly at its parent's edge.
+    fn limit_after(&self, b: usize) -> u128 {
+        (u128::from(self.start) + (((b as u128) + 1) << self.shift)).min(self.end)
+    }
+
+    /// The bucket holding timestamp `t` (caller guarantees `t` is inside
+    /// the window).
+    fn index_of(&self, t: u64) -> usize {
+        ((t - self.start) >> self.shift) as usize
+    }
+}
+
+/// The ladder-queue backend. See the module docs for the structure; the
+/// public surface is the sealed [`EventQueueImpl`] contract.
+#[derive(Debug, Clone)]
+pub struct LadderCore {
+    /// Sorted head run; `bottom[cursor..]` are live.
+    bottom: Vec<u128>,
+    /// First live index in `bottom`.
+    cursor: usize,
+    /// Every live key with `time < bottom_limit` is in the bottom. Kept
+    /// in `u128` so the limit can exceed `u64::MAX` (epoch rollover).
+    bottom_limit: u128,
+    /// The ladder; `rungs[0]` is the coarsest, the last is draining.
+    rungs: Vec<Rung>,
+    /// Retired rungs kept so their bucket allocations are reused.
+    spare: Vec<Rung>,
+    /// Unsorted keys at/after the coarsest rung's end.
+    top: Vec<u128>,
+    /// Total live keys.
+    len: usize,
+    /// Bucket-width exponent for the first rung built before any span has
+    /// been observed (seeded by queue self-calibration).
+    init_shift: u32,
+}
+
+impl LadderCore {
+    /// Creates an empty ladder whose first rung uses `2^init_shift` ns
+    /// buckets (later rungs recalibrate from observed spans).
+    #[must_use]
+    pub fn new(init_shift: u32) -> Self {
+        LadderCore {
+            bottom: Vec::new(),
+            cursor: 0,
+            bottom_limit: 0,
+            rungs: Vec::new(),
+            spare: Vec::new(),
+            top: Vec::new(),
+            len: 0,
+            init_shift: init_shift.min(63),
+        }
+    }
+
+    /// Builds a ladder from keys already in ascending key order (the
+    /// backend-migration path). The keys seed the top and the first
+    /// bucket promotion runs immediately, so the rung geometry is
+    /// calibrated from the migrated span and the pop sequence continues
+    /// exactly where the previous backend stopped. (Dumping the keys
+    /// into the bottom instead would leave `bottom_limit` past the whole
+    /// set and turn every later push into insertion sort.)
+    #[must_use]
+    pub fn from_sorted(keys: Vec<PackedKey>, init_shift: u32) -> Self {
+        debug_assert!(keys.windows(2).all(|w| w[0].before(&w[1])));
+        let mut l = LadderCore::new(init_shift);
+        l.len = keys.len();
+        l.top = keys.into_iter().map(|k| k.0).collect();
+        if l.len > 0 {
+            l.refill_bottom();
+        }
+        l
+    }
+
+    /// The smallest bucket-width exponent whose [`NB`] buckets cover a
+    /// key span of `span` nanoseconds.
+    #[must_use]
+    pub fn shift_for_span(span: u64) -> u32 {
+        let bits = 64 - span.leading_zeros();
+        bits.saturating_sub(NB_SHIFT)
+    }
+
+    /// A fresh (or recycled) rung at `start` with `2^shift` ns buckets,
+    /// owning the window `[start, end)` (`end` at most `start + NB <<
+    /// shift`; tighter when capped at a parent's edge).
+    fn take_rung(&mut self, start: u64, shift: u32, end: u128) -> Rung {
+        let mut r = self.spare.pop().unwrap_or_default();
+        debug_assert!(r.buckets.iter().all(Vec::is_empty));
+        debug_assert!(end <= u128::from(start) + ((NB as u128) << shift));
+        r.buckets.resize_with(NB, Vec::new);
+        r.start = start;
+        r.shift = shift;
+        r.end = end;
+        r.base = 0;
+        r
+    }
+
+    /// Refills the bottom from the ladder/top. Caller guarantees the
+    /// bottom is empty and `len > 0`; on return the bottom is non-empty.
+    fn refill_bottom(&mut self) {
+        loop {
+            let depth = self.rungs.len();
+            let Some(r) = self.rungs.last_mut() else {
+                // Ladder dry: rebuild the coarsest rung from the top,
+                // recalibrating start and width from the observed span.
+                debug_assert!(!self.top.is_empty(), "len > 0 but nothing is live");
+                let mut min_t = u64::MAX;
+                let mut max_t = 0u64;
+                for &k in &self.top {
+                    let t = PackedKey(k).time_ns();
+                    min_t = min_t.min(t);
+                    max_t = max_t.max(t);
+                }
+                let shift = if min_t == max_t {
+                    self.init_shift
+                } else {
+                    Self::shift_for_span(max_t - min_t)
+                };
+                let end = u128::from(min_t) + ((NB as u128) << shift);
+                let mut r = self.take_rung(min_t, shift, end);
+                for k in self.top.drain(..) {
+                    let idx = r.index_of(PackedKey(k).time_ns());
+                    r.buckets[idx].push(k);
+                }
+                self.bottom_limit = u128::from(min_t);
+                self.rungs.push(r);
+                continue;
+            };
+            let Some(b) = (r.base..NB).find(|&b| !r.buckets[b].is_empty()) else {
+                // Rung fully consumed; retire it (keeping its buckets'
+                // capacity) and resume its parent — or the top.
+                let dead = self.rungs.pop().expect("last_mut saw a rung");
+                self.spare.push(dead);
+                continue;
+            };
+            if r.shift > 0 && r.buckets[b].len() > SPAWN_THRESHOLD && depth < MAX_RUNGS {
+                // Spill: too many keys to sort in one promotion. Spawn a
+                // finer rung covering exactly this bucket's window and
+                // redistribute; the loop then drains the child.
+                let child_start = r.start + ((b as u64) << r.shift);
+                let child_shift = r.shift.saturating_sub(NB_SHIFT);
+                // The child owns exactly this bucket's window; a shift
+                // below NB_SHIFT would otherwise make it wider than the
+                // bucket and shadow the parent's unconsumed buckets.
+                let child_end = r.limit_after(b);
+                r.base = b + 1;
+                let mut keys = std::mem::take(&mut r.buckets[b]);
+                let mut child = self.take_rung(child_start, child_shift, child_end);
+                for k in keys.drain(..) {
+                    let idx = child.index_of(PackedKey(k).time_ns());
+                    child.buckets[idx].push(k);
+                }
+                // Hand the emptied buffer back so the parent bucket keeps
+                // its capacity for future pushes.
+                self.rungs.last_mut().expect("parent rung exists").buckets[b] = keys;
+                self.rungs.push(child);
+                continue;
+            }
+            // Promote: sort this bucket's keys into the bottom. Unstable
+            // sort on unique packed words is exact (time, seq) order.
+            self.bottom.extend(r.buckets[b].drain(..));
+            r.base = b + 1;
+            self.bottom_limit = r.limit_after(b);
+            self.bottom.sort_unstable();
+            self.cursor = 0;
+            return;
+        }
+    }
+
+    /// Bottom overflow: re-buckets the tail of the live bottom run into
+    /// a fresh finest rung so pushes below `bottom_limit` stay O(1)
+    /// amortised. The split happens at a time boundary (equal-timestamp
+    /// keys never straddle bottom and rung, preserving FIFO), and the
+    /// new rung's window covers `[t_split, bottom_limit)` gaplessly so
+    /// every future push below the old limit still has a home.
+    fn spill_bottom(&mut self) {
+        let pivot = self.cursor + BOTTOM_KEEP;
+        let t_split = PackedKey(self.bottom[pivot]).time_ns();
+        let live = &self.bottom[self.cursor..];
+        let split = self.cursor + live.partition_point(|&k| PackedKey(k).time_ns() < t_split);
+        if split == self.cursor {
+            // The whole live run shares one timestamp: splitting would
+            // empty the bottom. Leave it; the sorted insert is still
+            // FIFO-exact, just not O(1).
+            return;
+        }
+        // Width so that NB buckets cover [t_split, bottom_limit); the
+        // u64 cap keeps the subtraction sane if the limit sits past the
+        // epoch edge (the rung then covers every representable time).
+        let span = u64::try_from(self.bottom_limit - 1 - u128::from(t_split)).unwrap_or(u64::MAX);
+        let mut r = self.take_rung(t_split, Self::shift_for_span(span), self.bottom_limit);
+        for k in self.bottom.drain(split..) {
+            let idx = r.index_of(PackedKey(k).time_ns());
+            r.buckets[idx].push(k);
+        }
+        self.rungs.push(r);
+        self.bottom_limit = u128::from(t_split);
+    }
+}
+
+impl crate::event::sealed::Sealed for LadderCore {}
+
+impl EventQueueImpl for LadderCore {
+    fn push_key(&mut self, key: PackedKey) {
+        let t = key.time_ns();
+        let tk = u128::from(t);
+        self.len += 1;
+        if self.len == 1 {
+            // Empty queue: restart the bottom right at this key.
+            self.bottom.clear();
+            self.cursor = 0;
+            self.bottom.push(key.0);
+            self.bottom_limit = tk + 1;
+            while let Some(dead) = self.rungs.pop() {
+                self.spare.push(dead);
+            }
+            debug_assert!(self.top.is_empty());
+            return;
+        }
+        if tk < self.bottom_limit {
+            // Inside the already-promoted window (same-instant follow-ups
+            // land here): binary-insert into the live run. The run is one
+            // bucket wide, so the shift is short in steady state — and if
+            // a push pattern keeps feeding it, the overflow rule spills
+            // the tail back into the ladder before it grows quadratic.
+            let live = &self.bottom[self.cursor..];
+            let pos = self.cursor + live.partition_point(|&k| k < key.0);
+            self.bottom.insert(pos, key.0);
+            if self.bottom.len() - self.cursor > BOTTOM_SPILL && self.rungs.len() < MAX_RUNGS {
+                self.spill_bottom();
+            }
+            return;
+        }
+        // Finest-to-coarsest: the first rung whose window contains the key
+        // owns it (finer rungs cover earlier, already-opened windows, and
+        // every rung's `end` is capped at its parent's edge, so windows
+        // tile without shadowing).
+        for r in self.rungs.iter_mut().rev() {
+            if tk < r.end {
+                let idx = r.index_of(t);
+                debug_assert!(idx >= r.base, "push into a consumed bucket");
+                r.buckets[idx].push(key.0);
+                return;
+            }
+        }
+        self.top.push(key.0);
+    }
+
+    fn pop_min(&mut self) -> Option<PackedKey> {
+        if self.len == 0 {
+            return None;
+        }
+        debug_assert!(self.cursor < self.bottom.len(), "bottom invariant broken");
+        let k = self.bottom[self.cursor];
+        self.cursor += 1;
+        self.len -= 1;
+        if self.cursor == self.bottom.len() {
+            self.bottom.clear();
+            self.cursor = 0;
+            if self.len > 0 {
+                self.refill_bottom();
+            }
+        }
+        Some(PackedKey(k))
+    }
+
+    fn min_key(&self) -> Option<PackedKey> {
+        // Invariant: the bottom is non-empty whenever the queue is.
+        self.bottom.get(self.cursor).map(|&k| PackedKey(k))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        self.bottom.clear();
+        self.cursor = 0;
+        self.bottom_limit = 0;
+        while let Some(mut dead) = self.rungs.pop() {
+            for b in &mut dead.buckets {
+                b.clear();
+            }
+            dead.base = 0;
+            self.spare.push(dead);
+        }
+        self.top.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimTime;
+
+    fn key(t: u64, seq: u64) -> PackedKey {
+        PackedKey::new(SimTime::from_ns(t), seq, 0)
+    }
+
+    /// Drains the ladder, asserting strict ascending key order.
+    fn drain_sorted(l: &mut LadderCore) -> Vec<PackedKey> {
+        let mut out = Vec::new();
+        while let Some(k) = l.pop_min() {
+            if let Some(prev) = out.last() {
+                assert!(PackedKey::before(prev, &k), "pop order broke");
+            }
+            out.push(k);
+        }
+        assert_eq!(l.len(), 0);
+        out
+    }
+
+    #[test]
+    fn empty_ladder_behaves() {
+        let mut l = LadderCore::new(9);
+        assert_eq!(l.pop_min(), None);
+        assert_eq!(l.min_key(), None);
+        assert_eq!(l.len(), 0);
+    }
+
+    #[test]
+    fn periodic_pattern_round_trips() {
+        let mut l = LadderCore::new(9);
+        let mut seq = 0u64;
+        // Steady-state timer pattern: hold 256 keys, pop-and-reschedule.
+        for i in 0..256u64 {
+            l.push_key(key(i * 700, seq));
+            seq += 1;
+        }
+        let mut last = 0u64;
+        for _ in 0..10_000 {
+            let k = l.pop_min().unwrap();
+            assert!(k.time_ns() >= last);
+            last = k.time_ns();
+            l.push_key(key(last + 256 * 700, seq));
+            seq += 1;
+        }
+        assert_eq!(l.len(), 256);
+        drain_sorted(&mut l);
+    }
+
+    #[test]
+    fn same_timestamp_pileup_is_fifo() {
+        // Thousands of keys at one instant: spawning stops at shift 0 and
+        // the sort must order them by seq (FIFO).
+        let mut l = LadderCore::new(3);
+        l.push_key(key(5, 0));
+        for s in 1..4_000u64 {
+            l.push_key(key(1_000, s));
+        }
+        assert_eq!(l.pop_min().unwrap().seq(), 0);
+        let out = drain_sorted(&mut l);
+        let seqs: Vec<u64> = out.iter().map(|k| k.seq()).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn push_below_bottom_limit_lands_at_head() {
+        let mut l = LadderCore::new(9);
+        for s in 0..200u64 {
+            l.push_key(key(10_000 + s * 13, s));
+        }
+        // Drain a few so the bottom window is open...
+        for _ in 0..3 {
+            l.pop_min();
+        }
+        // ...then push at (and below) the current head time.
+        let head = l.min_key().unwrap().time_ns();
+        l.push_key(key(head, 500));
+        l.push_key(key(1, 501));
+        assert_eq!(l.pop_min().unwrap().seq(), 501);
+        drain_sorted(&mut l);
+    }
+
+    #[test]
+    fn epoch_rollover_edge_buckets_correctly() {
+        let mut l = LadderCore::new(9);
+        l.push_key(key(u64::MAX, 2));
+        l.push_key(key(u64::MAX - 1, 1));
+        l.push_key(key(0, 0));
+        l.push_key(key(u64::MAX, 3));
+        let out = drain_sorted(&mut l);
+        assert_eq!(
+            out.iter().map(|k| k.seq()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        // And again after going empty (reset path at the epoch edge).
+        l.push_key(key(u64::MAX, 4));
+        l.push_key(key(u64::MAX, 5));
+        let out = drain_sorted(&mut l);
+        assert_eq!(out.iter().map(|k| k.seq()).collect::<Vec<_>>(), vec![4, 5]);
+    }
+
+    #[test]
+    fn burst_into_one_bucket_spawns_spill_rung() {
+        // A coarse first rung with everything in one bucket: promotion
+        // must spill into finer rungs, never sort the burst wholesale.
+        let mut l = LadderCore::new(9);
+        l.push_key(key(0, 0));
+        // 10k keys spread over ~1ms, plus one far outlier so the rebuilt
+        // rung is maximally coarse.
+        for s in 1..10_000u64 {
+            l.push_key(key(1_000_000 + (s * 97) % 1_000_000, s));
+        }
+        l.push_key(key(u64::MAX / 2, 10_000));
+        let out = drain_sorted(&mut l);
+        assert_eq!(out.len(), 10_001);
+    }
+
+    #[test]
+    fn clear_resets_and_reuses() {
+        let mut l = LadderCore::new(9);
+        for s in 0..1_000u64 {
+            l.push_key(key(s * 31, s));
+        }
+        l.pop_min();
+        l.clear();
+        assert_eq!(l.len(), 0);
+        assert_eq!(l.min_key(), None);
+        for s in 0..100u64 {
+            l.push_key(key(s * 7, s));
+        }
+        assert_eq!(drain_sorted(&mut l).len(), 100);
+    }
+}

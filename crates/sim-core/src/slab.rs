@@ -319,6 +319,131 @@ impl<T> GenSlab<T> {
     }
 }
 
+/// Per-slot marker in a [`SoaSlab`]'s packed metadata array: the slot is
+/// occupied (its payload lives in the cold array).
+const OCCUPIED: u32 = u32::MAX - 1;
+
+/// A structure-of-arrays slab: the event queue's payload arena.
+///
+/// [`Slab`] stores an array of `payload-or-free-link` enums, so walking
+/// the free list strides over payload-sized entries — for a fat event
+/// enum that is a cache line (or more) per hop. `SoaSlab` splits the two
+/// planes: the *hot* per-slot metadata (free-list link or the
+/// [`OCCUPIED`] marker) lives in a packed parallel `u32` array that
+/// allocation traffic touches exclusively, and the *cold* payloads sit
+/// out-of-line in their own array, touched exactly twice per event (the
+/// write at push, the move-out at pop).
+///
+/// Same contract as [`Slab`]: `insert` returns a `u32` slot valid until
+/// `remove`, slots recycle in LIFO order (steady-state churn touches the
+/// same few metadata words over and over), and removing a vacant slot
+/// panics — the queue's corruption tripwire.
+///
+/// # Example
+///
+/// ```
+/// use flep_sim_core::SoaSlab;
+/// let mut slab = SoaSlab::new();
+/// let a = slab.insert("first");
+/// let b = slab.insert("second");
+/// assert_eq!(slab.remove(a), "first");
+/// // Slot `a` is recycled by the next insert.
+/// assert_eq!(slab.insert("third"), a);
+/// assert_eq!(slab.remove(b), "second");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SoaSlab<T> {
+    /// Hot plane: per-slot free-list link, or [`OCCUPIED`].
+    meta: Vec<u32>,
+    /// Cold plane: the payloads, parallel to `meta`. `None` iff vacant.
+    vals: Vec<Option<T>>,
+    /// Head of the free list, or [`NIL`].
+    free_head: u32,
+    /// Number of occupied slots.
+    len: usize,
+}
+
+impl<T> SoaSlab<T> {
+    /// Creates an empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        SoaSlab {
+            meta: Vec::new(),
+            vals: Vec::new(),
+            free_head: NIL,
+            len: 0,
+        }
+    }
+
+    /// Parks `value` and returns its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena would exceed `u32::MAX - 2` slots (the event
+    /// queue never holds that many pending events).
+    pub fn insert(&mut self, value: T) -> u32 {
+        self.len += 1;
+        if self.free_head != NIL {
+            let slot = self.free_head;
+            self.free_head = self.meta[slot as usize];
+            self.meta[slot as usize] = OCCUPIED;
+            self.vals[slot as usize] = Some(value);
+            slot
+        } else {
+            let slot = u32::try_from(self.meta.len()).expect("slab overflow");
+            assert!(slot < OCCUPIED, "slab overflow");
+            self.meta.push(OCCUPIED);
+            self.vals.push(Some(value));
+            slot
+        }
+    }
+
+    /// Removes and returns the payload parked at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is vacant or out of bounds — slots come only from
+    /// [`SoaSlab::insert`], so this indicates queue corruption.
+    pub fn remove(&mut self, slot: u32) -> T {
+        assert!(
+            self.meta.get(slot as usize) == Some(&OCCUPIED),
+            "slab: remove of vacant slot {slot}"
+        );
+        self.meta[slot as usize] = self.free_head;
+        self.free_head = slot;
+        self.len -= 1;
+        self.vals[slot as usize]
+            .take()
+            .expect("occupied slot holds a payload")
+    }
+
+    /// Number of occupied slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no slots are occupied.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops every payload and resets the free list; capacity is kept.
+    pub fn clear(&mut self) {
+        self.meta.clear();
+        self.vals.clear();
+        self.free_head = NIL;
+        self.len = 0;
+    }
+}
+
+impl<T> Default for SoaSlab<T> {
+    fn default() -> Self {
+        SoaSlab::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

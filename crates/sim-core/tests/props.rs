@@ -135,6 +135,101 @@ fn event_queue_matches_binary_heap_model() {
     );
 }
 
+/// The ladder backend, the 4-ary heap backend, and the self-calibrating
+/// auto queue (which migrates heap → ladder mid-stream) are
+/// observationally identical under adversarial interleavings: same
+/// `(time, payload)` pop stream, same lengths, same peeks after every
+/// operation.
+///
+/// Four generation regimes steer the ladder through its hard paths:
+/// same-timestamp pileups (FIFO tie-breaking carries all ordering),
+/// narrow burst windows (buckets overflow `SPAWN_THRESHOLD` and spill
+/// into finer rungs; pushes below the promoted bottom hit the
+/// bottom-overflow rule), and timestamps hugging `u64::MAX` (rung edges
+/// cross the epoch boundary and must not saturate).
+#[test]
+fn ladder_and_heap_backends_are_observationally_identical() {
+    check(
+        "ladder_and_heap_backends_are_observationally_identical",
+        CheckConfig {
+            cases: 128,
+            ..CheckConfig::default()
+        },
+        |rng: &mut SimRng| {
+            let regime = rng.uniform_u64(0, 3);
+            let n = rng.uniform_u64(1, 299) as usize;
+            let ops = (0..n)
+                .map(|_| (rng.uniform_u64(0, 9), rng.uniform_u64(0, u64::MAX - 1)))
+                .collect::<Vec<(u64, u64)>>();
+            (regime, ops)
+        },
+        |&(regime, ref ops)| {
+            let time_of = |raw: u64| -> u64 {
+                match regime {
+                    // Wide span: rebuilt rungs calibrate a coarse width.
+                    0 => raw % 1_000_000,
+                    // Same-instant pileups: pure FIFO tie-breaking.
+                    1 => raw % 4,
+                    // Narrow bursts: bucket spills + bottom overflow.
+                    2 => raw % 600,
+                    // Epoch edge: rung windows reach past u64::MAX.
+                    _ => u64::MAX - raw % 96,
+                }
+            };
+            let mut queues = [
+                EventQueue::new(),
+                EventQueue::new_heap(),
+                EventQueue::new_ladder(),
+            ];
+            let mut payload = 0u64;
+            for &(op, raw) in ops {
+                match op {
+                    // Weighted toward pushes so queues get deep enough to
+                    // trigger auto-migration (64-push window) and spills.
+                    0..=6 => {
+                        let t = SimTime::from_ns(time_of(raw));
+                        for q in &mut queues {
+                            q.push(t, payload);
+                        }
+                        payload += 1;
+                    }
+                    7..=8 => {
+                        let [a, h, l] = &mut queues;
+                        let pops = [a.pop(), h.pop(), l.pop()]
+                            .map(|e| e.map(|e| (e.time.as_ns(), e.payload)));
+                        require_eq!(pops[0], pops[1], "auto vs heap pop diverged");
+                        require_eq!(pops[1], pops[2], "heap vs ladder pop diverged");
+                    }
+                    _ => {
+                        for q in &mut queues {
+                            q.clear();
+                        }
+                    }
+                }
+                let lens = [queues[0].len(), queues[1].len(), queues[2].len()];
+                require_eq!(lens[0], lens[1], "auto vs heap length diverged");
+                require_eq!(lens[1], lens[2], "heap vs ladder length diverged");
+                let peeks = [
+                    queues[0].peek_time(),
+                    queues[1].peek_time(),
+                    queues[2].peek_time(),
+                ];
+                require_eq!(peeks[0], peeks[1], "auto vs heap peek diverged");
+                require_eq!(peeks[1], peeks[2], "heap vs ladder peek diverged");
+            }
+            while !queues.iter().all(EventQueue::is_empty) {
+                let [a, h, l] = &mut queues;
+                let pops =
+                    [a.pop(), h.pop(), l.pop()].map(|e| e.map(|e| (e.time.as_ns(), e.payload)));
+                require_eq!(pops[0], pops[1], "auto vs heap drain diverged");
+                require_eq!(pops[1], pops[2], "heap vs ladder drain diverged");
+                require!(pops[0].is_some(), "drain loop with all queues empty");
+            }
+            Ok(())
+        },
+    );
+}
+
 /// SimTime saturating subtraction never underflows and addition is
 /// commutative/associative on safe ranges.
 #[test]
