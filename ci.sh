@@ -8,9 +8,9 @@
 # Usage: ./ci.sh [stage]
 #
 # With no argument every stage runs in order. With a stage name only that
-# stage runs (after whatever build it needs): build, test, fmt,
+# stage runs (after whatever build it needs): build, test, fmt, clippy,
 # hot-path, sim-corun, faults, fault-recovery, serve, cluster-smoke,
-# queue-ablation, perf-gate.
+# cluster-scale, queue-ablation, perf-gate.
 set -eu
 
 cd "$(dirname "$0")"
@@ -31,6 +31,11 @@ stage_fmt() {
     cargo fmt --all --check
 }
 
+stage_clippy() {
+    echo "==> cargo clippy --workspace --offline -- -D warnings"
+    cargo clippy --workspace --offline -- -D warnings
+}
+
 # Perf smoke: a handful of samples of the event-queue churn targets,
 # recorded to a JSON artifact so the hot-path perf trajectory is on file
 # for every CI run. Not a gate — timings on shared runners are noisy —
@@ -40,6 +45,13 @@ stage_hot_path() {
     FLEP_BENCH_SAMPLES=5 FLEP_BENCH_WARMUP=1 \
         FLEP_BENCH_JSON="$ROOT/BENCH_sim_hot_path.json" \
         cargo bench -p flep-bench --offline -q -- event_queue
+    # The frozen Box-Muller noise stream in isolation (~half of every
+    # sim_corun median), so perf work on the machinery has a number to
+    # subtract. Wall-clock context only — no baseline, never gated.
+    echo "==> perf smoke: noise_stream -> BENCH_noise_stream.json"
+    FLEP_BENCH_SAMPLES=5 FLEP_BENCH_WARMUP=1 \
+        FLEP_BENCH_JSON="$ROOT/BENCH_noise_stream.json" \
+        cargo bench -p flep-bench --offline -q -- noise_stream
 }
 
 # Perf smoke for the simulator world hot path: end-to-end co-runs that
@@ -99,7 +111,7 @@ stage_cluster_smoke() {
     echo "==> cluster smoke: failover suites + sweep -> BENCH_cluster.json"
     cargo test -p flep-runtime --test cluster --offline -q
     cargo test -p flep-serve --test failover --offline -q
-    FLEP_SEED=42 FLEP_REPEATS=1 \
+    FLEP_SEED=42 FLEP_REPEATS=3 \
         FLEP_BENCH_JSON="$ROOT/BENCH_cluster.json" FLEP_JSON=- \
         FLEP_THREADS=1 \
         cargo run --release -p flep-bench --bin cluster_failover --offline -q \
@@ -112,6 +124,34 @@ stage_cluster_smoke() {
         exit 1
     fi
     echo "cluster smoke: sweep rows byte-identical at FLEP_THREADS=1 and 8"
+}
+
+# Cluster scale-out (DESIGN.md §13): the partitioned-scheduler headline.
+# The full sweep (d = 8..1024, watchdog armed, faults off so the epoch
+# driver engages) records BENCH_cluster_scale.json for the perf gate:
+# `makespan_*` rows are deterministic simulated time, and the permille
+# ratio row pins per-device wall-clock at d=1024 to within the gated
+# bound of d=8. A reduced sweep is then replayed at FLEP_THREADS=1 and 8
+# and its deterministic rows compared byte-for-byte, the same
+# thread-count gate the failover sweep gets.
+stage_cluster_scale() {
+    echo "==> cluster scale-out: sweep -> BENCH_cluster_scale.json"
+    FLEP_SEED=42 FLEP_REPEATS=3 FLEP_THREADS=1 \
+        FLEP_BENCH_JSON="$ROOT/BENCH_cluster_scale.json" \
+        cargo run --release -p flep-bench --bin cluster_scale --offline -q
+    FLEP_SEED=42 FLEP_REPEATS=1 FLEP_SCALE_DEVICES=8,64 FLEP_JSON=- \
+        FLEP_THREADS=1 \
+        cargo run --release -p flep-bench --bin cluster_scale --offline -q \
+        | grep '^{' > "$ROOT/target/scale_rows_t1.json"
+    FLEP_SEED=42 FLEP_REPEATS=1 FLEP_SCALE_DEVICES=8,64 FLEP_JSON=- \
+        FLEP_THREADS=8 \
+        cargo run --release -p flep-bench --bin cluster_scale --offline -q \
+        | grep '^{' > "$ROOT/target/scale_rows_t8.json"
+    if ! cmp -s "$ROOT/target/scale_rows_t1.json" "$ROOT/target/scale_rows_t8.json"; then
+        echo "cluster scale: sweep rows differ between FLEP_THREADS=1 and 8" >&2
+        exit 1
+    fi
+    echo "cluster scale: sweep rows byte-identical at FLEP_THREADS=1 and 8"
 }
 
 # Queue ablation (DESIGN.md §12): the tier-1 golden suites replayed with
@@ -134,8 +174,8 @@ stage_queue_ablation() {
 }
 
 # Perf-regression gate: fails if the medians recorded by the sim-corun,
-# serve, fault-recovery, cluster-smoke, or queue-ablation stages
-# regressed more than FLEP_PERF_TOLERANCE percent (default 15) against
+# serve, fault-recovery, cluster-smoke, cluster-scale, or queue-ablation
+# stages regressed more than FLEP_PERF_TOLERANCE percent (default 15) against
 # the checked-in baselines. One invocation checks every pair and
 # reports every regressing row before failing, so a regression in the
 # first artifact cannot mask one in the last. sim_corun and
@@ -149,6 +189,7 @@ stage_perf_gate() {
         "$ROOT/BENCH_serve_slo.json" "$ROOT/baselines/BENCH_serve_slo.json" \
         "$ROOT/BENCH_fault_recovery.json" "$ROOT/baselines/BENCH_fault_recovery.json" \
         "$ROOT/BENCH_cluster.json" "$ROOT/baselines/BENCH_cluster.json" \
+        "$ROOT/BENCH_cluster_scale.json" "$ROOT/baselines/BENCH_cluster_scale.json" \
         "$ROOT/BENCH_queue_ablation.json" "$ROOT/baselines/BENCH_queue_ablation.json"
 }
 
@@ -157,18 +198,20 @@ run_stage() {
         build) stage_build ;;
         test) stage_test ;;
         fmt) stage_fmt ;;
+        clippy) stage_clippy ;;
         hot-path) stage_hot_path ;;
         sim-corun) stage_sim_corun ;;
         faults) stage_faults ;;
         fault-recovery) stage_fault_recovery ;;
         serve) stage_serve ;;
         cluster-smoke) stage_cluster_smoke ;;
+        cluster-scale) stage_cluster_scale ;;
         queue-ablation) stage_queue_ablation ;;
         perf-gate) stage_perf_gate ;;
         *)
-            echo "ci.sh: unknown stage '$1' (want build, test, fmt, hot-path," >&2
-            echo "       sim-corun, faults, fault-recovery, serve, cluster-smoke," >&2
-            echo "       queue-ablation, perf-gate)" >&2
+            echo "ci.sh: unknown stage '$1' (want build, test, fmt, clippy," >&2
+            echo "       hot-path, sim-corun, faults, fault-recovery, serve," >&2
+            echo "       cluster-smoke, cluster-scale, queue-ablation, perf-gate)" >&2
             exit 2
             ;;
     esac
@@ -184,12 +227,14 @@ else
     stage_build
     stage_test
     stage_fmt
+    stage_clippy
     stage_hot_path
     stage_sim_corun
     stage_faults
     stage_fault_recovery
     stage_serve
     stage_cluster_smoke
+    stage_cluster_scale
     stage_queue_ablation
     stage_perf_gate
     echo "ci.sh: all checks passed"

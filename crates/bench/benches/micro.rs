@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 
 use flep_core::prelude::*;
 use flep_sim_core::json::JsonValue;
-use flep_sim_core::{EventQueue, Scheduler, Simulation, World};
+use flep_sim_core::{EventQueue, Scheduler, SimRng, Simulation, World};
 
 /// Number of timed samples per target.
 fn samples() -> u32 {
@@ -219,6 +219,28 @@ fn main() {
                 }
             }
             q.clear();
+            acc
+        },
+    );
+
+    // The bit-identity-frozen noise stream in isolation: co-run worlds
+    // draw a Box-Muller `noise_factor` per simulated kernel segment, and
+    // that draw sequence is pinned by every golden, so it can never be
+    // swapped for a cheaper generator. Profiling the sim_corun macros
+    // showed these draws account for roughly half their median (~5.4ms of
+    // the 10.9ms hpf run); this target times 1M draws of the exact frozen
+    // sequence so future perf claims can cite machinery-only time by
+    // subtracting it out.
+    bench(
+        &mut results,
+        filter,
+        "sim_core/noise_stream_boxmuller_1m",
+        || {
+            let mut rng = SimRng::seed_from(11);
+            let mut acc = 0.0f64;
+            for _ in 0..1_000_000u32 {
+                acc += rng.noise_factor(0.3);
+            }
             acc
         },
     );

@@ -83,7 +83,7 @@ fn gate_pair(current_path: &str, baseline_path: &str, tol: f64) -> Result<usize,
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.len() % 2 != 0 {
+    if args.is_empty() || !args.len().is_multiple_of(2) {
         eprintln!("usage: perf_gate <current.json> <baseline.json> [<current2> <baseline2> ...]");
         return ExitCode::FAILURE;
     }

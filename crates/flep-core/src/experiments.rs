@@ -1159,7 +1159,8 @@ pub fn fault_recovery(
 ) -> Vec<FaultRecoveryRow> {
     use flep_gpu_sim::FaultConfig;
 
-    let presets: [(&'static str, fn(FaultConfig) -> FaultConfig); 5] = [
+    type FaultPreset = (&'static str, fn(FaultConfig) -> FaultConfig);
+    let presets: [FaultPreset; 5] = [
         ("stuck_flag", |f| f.with_stuck_flag(1.0)),
         ("wedged_exit", |f| f.with_stuck_exit(1.0)),
         ("lost_doorbell", |f| f.with_signal_drop(1.0)),

@@ -40,7 +40,9 @@ use flep_gpu_sim::{
     DeviceFaultConfig, DeviceFaultKind, DeviceFaultPlan, FaultConfig, FaultPlan, GpuConfig,
     GpuDevice,
 };
-use flep_sim_core::{RunOutcome, Scheduler, SimTime, Simulation, World};
+use flep_sim_core::{
+    EventQueue, PartitionedSimulation, RunOutcome, Scheduler, SimTime, Simulation, World,
+};
 
 use crate::driver::DEFAULT_EVENT_BUDGET;
 use crate::job::{JobRecord, JobSpec};
@@ -831,6 +833,145 @@ impl World for GpuCluster {
     }
 }
 
+/// Routes a cluster event to its [`PartitionedQueue`] partition: shard
+/// events to `device + 1`, everything cluster-level (arrivals, device
+/// faults/restores) to the control partition 0.
+///
+/// [`PartitionedQueue`]: flep_sim_core::PartitionedQueue
+fn route_cluster_event(ev: &ClusterEvent) -> u32 {
+    match ev {
+        ClusterEvent::Shard { device, .. } => device + 1,
+        _ => 0,
+    }
+}
+
+/// How [`ClusterRun`] steps the cluster (DESIGN.md §13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepMode {
+    /// Choose automatically: [`StepMode::Epoch`] when the run has no
+    /// device-level faults (seeded or scripted), [`StepMode::Merged`]
+    /// otherwise. The `FLEP_CLUSTER_MODE` environment variable
+    /// (`epoch` / `merged` / `flat`) overrides the automatic choice.
+    #[default]
+    Auto,
+    /// Per-device event streams stepped independently (in parallel across
+    /// `FLEP_THREADS` workers) up to the next cluster-level interaction
+    /// timestamp, with a barrier there. Byte-identical to `Flat` for
+    /// eligible runs; falls back to `Merged` when device faults make the
+    /// streams interact between barriers.
+    Epoch,
+    /// Per-device queues merged through the sim-core cursor into the
+    /// exact flat `(time, seq)` total order — byte-identical to `Flat`
+    /// for *every* run, faults included.
+    Merged,
+    /// The pre-partitioning single global queue; kept as the reference
+    /// implementation the equivalence tests compare against.
+    Flat,
+}
+
+/// `FLEP_THREADS` as the epoch driver's worker count. Unlike the bench
+/// runner (which defaults to all cores), stepping inside one run defaults
+/// to 1: the bench harness already parallelizes across cells, and nesting
+/// both would oversubscribe. Output is byte-identical either way.
+fn epoch_threads() -> usize {
+    std::env::var("FLEP_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// `FLEP_CLUSTER_MODE` as a [`StepMode`] override, if set and valid.
+fn env_step_mode() -> Option<StepMode> {
+    match std::env::var("FLEP_CLUSTER_MODE").ok()?.trim() {
+        "epoch" => Some(StepMode::Epoch),
+        "merged" => Some(StepMode::Merged),
+        "flat" => Some(StepMode::Flat),
+        _ => None,
+    }
+}
+
+/// Drains one device stream: every event strictly before `bound` (all of
+/// them when `None`), capped at `cap` dispatches. Follow-ups the shard
+/// emits go straight back into its own stream with device-local sequence
+/// numbers — the same relative order the flat queue would assign, since a
+/// device's pushes arrive in the same order either way.
+fn step_stream(
+    shard: &mut Shard,
+    stream: &mut EventQueue<SystemEvent>,
+    bound: Option<SimTime>,
+    cap: u64,
+) -> (u64, Option<SimTime>) {
+    let mut count = 0u64;
+    let mut last = None;
+    while count < cap {
+        let entry = match bound {
+            Some(b) => stream.pop_before(b),
+            None => stream.pop(),
+        };
+        let Some(entry) = entry else { break };
+        shard.sys.dispatch(entry.time, entry.payload);
+        shard.sys.for_each_pending(|at, ev| stream.push(at, ev));
+        last = Some(entry.time);
+        count += 1;
+    }
+    (count, last)
+}
+
+/// Combines two `(dispatch count, last timestamp)` accumulators.
+fn merge_step(a: (u64, Option<SimTime>), b: (u64, Option<SimTime>)) -> (u64, Option<SimTime>) {
+    let last = match (a.1, b.1) {
+        (Some(x), Some(y)) => Some(x.max(y)),
+        (x, y) => x.or(y),
+    };
+    (a.0 + b.0, last)
+}
+
+/// Streams a shard chunk sequentially; the unit of work one epoch worker
+/// executes.
+fn step_chunk(
+    shards: &mut [Shard],
+    streams: &mut [EventQueue<SystemEvent>],
+    bound: Option<SimTime>,
+    cap: u64,
+) -> (u64, Option<SimTime>) {
+    shards
+        .iter_mut()
+        .zip(streams.iter_mut())
+        .map(|(s, q)| step_stream(s, q, bound, cap))
+        .fold((0, None), merge_step)
+}
+
+/// Steps every device stream up to `bound`, fanning chunks of devices out
+/// across `threads` scoped workers. Device streams are independent
+/// between cluster-level timestamps (see [`ClusterRun::run`]'s epoch-mode
+/// docs), so the split changes wall-clock only — never a byte of output.
+fn step_streams(
+    shards: &mut [Shard],
+    streams: &mut [EventQueue<SystemEvent>],
+    bound: Option<SimTime>,
+    cap: u64,
+    threads: usize,
+) -> (u64, Option<SimTime>) {
+    // Spawning per epoch only pays off with enough devices per worker;
+    // small clusters step inline.
+    if threads <= 1 || shards.len() < threads.max(8) {
+        return step_chunk(shards, streams, bound, cap);
+    }
+    let chunk = shards.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .chunks_mut(chunk)
+            .zip(streams.chunks_mut(chunk))
+            .map(|(sc, qc)| scope.spawn(move || step_chunk(sc, qc, bound, cap)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("epoch worker panicked"))
+            .fold((0, None), merge_step)
+    })
+}
+
 /// A complete cluster run description — the [`CoRun`](crate::CoRun)
 /// analog, one level up.
 #[derive(Debug)]
@@ -838,6 +979,7 @@ pub struct ClusterRun {
     cfg: ClusterConfig,
     jobs: Vec<JobSpec>,
     budget: u64,
+    mode: StepMode,
 }
 
 impl ClusterRun {
@@ -848,6 +990,7 @@ impl ClusterRun {
             cfg,
             jobs: Vec::new(),
             budget: DEFAULT_EVENT_BUDGET,
+            mode: StepMode::Auto,
         }
     }
 
@@ -866,14 +1009,66 @@ impl ClusterRun {
         self
     }
 
+    /// Pins the stepping mode (builder style), overriding both the
+    /// automatic choice and `FLEP_CLUSTER_MODE`. The equivalence tests
+    /// use this to drive the same run through every mode.
+    #[must_use]
+    pub fn with_step_mode(mut self, mode: StepMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Whether epoch stepping reproduces the flat event order for this
+    /// configuration: true exactly when no device-level faults (seeded or
+    /// scripted) can create cross-device interactions between arrival
+    /// timestamps. Grid-level fault injection stays eligible — those
+    /// draws, retries, and watchdog escalations are all shard-local.
+    fn epoch_eligible(&self) -> bool {
+        self.cfg.device_faults.is_none() && self.cfg.scripted_faults.is_empty()
+    }
+
     /// Executes the run to completion (or budget exhaustion).
+    ///
+    /// # Stepping modes
+    ///
+    /// The default ([`StepMode::Auto`]) picks partitioned *epoch*
+    /// stepping for runs without device-level faults and the merged
+    /// partitioned driver otherwise; both produce byte-identical results
+    /// to the flat reference driver (DESIGN.md §13 gives the ordering
+    /// argument, and the `partition` test suite enforces it).
     #[must_use]
     pub fn run(self) -> ClusterResult {
+        let mode = match self.mode {
+            StepMode::Auto => env_step_mode().unwrap_or(StepMode::Auto),
+            pinned => pinned,
+        };
+        match mode {
+            StepMode::Flat => self.run_flat(),
+            StepMode::Merged => self.run_merged(),
+            StepMode::Epoch | StepMode::Auto => {
+                if self.epoch_eligible() {
+                    self.run_epoch()
+                } else {
+                    self.run_merged()
+                }
+            }
+        }
+    }
+
+    /// Builds the cluster, registers the jobs, and returns it together
+    /// with the job arrival times (registration order).
+    fn build(&mut self) -> (GpuCluster, Vec<(SimTime, ClusterEvent)>, Vec<SimTime>) {
         let (mut cluster, initial) = GpuCluster::new(&self.cfg);
         let arrivals: Vec<SimTime> = self.jobs.iter().map(|j| j.arrival).collect();
-        for spec in self.jobs {
+        for spec in self.jobs.drain(..) {
             cluster.register(spec);
         }
+        (cluster, initial, arrivals)
+    }
+
+    /// The reference driver: one flat global queue.
+    fn run_flat(mut self) -> ClusterResult {
+        let (cluster, initial, arrivals) = self.build();
         let mut sim = Simulation::new(cluster);
         // Arrivals first, then the cluster's own initial events — the
         // same seq-order discipline as `CoRun::run`.
@@ -900,6 +1095,140 @@ impl ClusterRun {
             }
         };
         let mut result = sim.into_world().into_result(end_time);
+        if let Some(e) = budget_error {
+            result.errors.push(e);
+        }
+        result
+    }
+
+    /// Per-device queues merged through the sim-core cursor: the same
+    /// push order receives the same global sequence numbers, so the pop
+    /// order — and therefore every byte of the result — matches the flat
+    /// driver exactly, while each device's events churn a small
+    /// cache-resident queue instead of one cluster-wide heap.
+    fn run_merged(mut self) -> ClusterResult {
+        let partitions = self.cfg.devices.max(1) as usize + 1;
+        let (cluster, initial, arrivals) = self.build();
+        let mut sim = PartitionedSimulation::new(cluster, partitions, route_cluster_event);
+        for (idx, at) in arrivals.into_iter().enumerate() {
+            sim.schedule_at(at, ClusterEvent::Arrival(idx));
+        }
+        for (at, ev) in initial {
+            sim.schedule_at(at, ev);
+        }
+        let mut budget_error = None;
+        let end_time = match sim.run_with_budget(self.budget) {
+            RunOutcome::Completed(t) => t,
+            RunOutcome::BudgetExhausted {
+                now,
+                dispatched,
+                pending,
+            } => {
+                budget_error = Some(RuntimeError::EventBudgetExhausted {
+                    at: now,
+                    dispatched,
+                    pending,
+                });
+                now
+            }
+        };
+        let mut result = sim.into_world().into_result(end_time);
+        if let Some(e) = budget_error {
+            result.errors.push(e);
+        }
+        result
+    }
+
+    /// Epoch stepping: device streams run independently — and in parallel
+    /// — up to the next cluster-level timestamp, with a barrier there.
+    ///
+    /// # Why this reproduces the flat order
+    ///
+    /// For eligible runs (no device faults) the only cluster-level events
+    /// are the pre-scheduled job arrivals, which carry the globally
+    /// lowest sequence numbers; every run-time event is shard-local and
+    /// all its follow-ups target the same shard. At a shared timestamp
+    /// the flat driver therefore dispatches arrivals before any shard
+    /// event (lower seq), and orders each device's own events by that
+    /// device's push order — exactly what "drain streams strictly below
+    /// the bound, then dispatch the bound's arrivals, device-local FIFO
+    /// within a stream" produces. Events of *different* devices at equal
+    /// timestamps commute: a shard event touches only its shard, and the
+    /// completion/failure bookkeeping both orders produce is absorbed
+    /// per-device in device order at the barrier, which no result field
+    /// observes differently.
+    fn run_epoch(mut self) -> ClusterResult {
+        let (mut cluster, initial, arrivals) = self.build();
+        let n = cluster.shards.len();
+        let threads = epoch_threads();
+        // The control stream holds cluster-level events; one per-device
+        // stream holds each shard's (device-local FIFO ordering).
+        let mut control: EventQueue<ClusterEvent> = EventQueue::new();
+        let mut streams: Vec<EventQueue<SystemEvent>> = (0..n).map(|_| EventQueue::new()).collect();
+        fn route(
+            control: &mut EventQueue<ClusterEvent>,
+            streams: &mut [EventQueue<SystemEvent>],
+            at: SimTime,
+            ev: ClusterEvent,
+        ) {
+            match ev {
+                ClusterEvent::Shard { device, ev } => streams[device as usize].push(at, ev),
+                other => control.push(at, other),
+            }
+        }
+        for (idx, at) in arrivals.into_iter().enumerate() {
+            control.push(at, ClusterEvent::Arrival(idx));
+        }
+        for (at, ev) in initial {
+            route(&mut control, &mut streams, at, ev);
+        }
+        let mut spent: u64 = 0;
+        let mut end = SimTime::ZERO;
+        let mut budget_error = None;
+        loop {
+            // Epoch: drain every stream strictly below the next
+            // cluster-level timestamp (fully, when none is left). Each
+            // stream is capped at the remaining budget, so the abort
+            // point is deterministic at any `FLEP_THREADS`.
+            let bound = control.peek_time();
+            let cap = self.budget.saturating_sub(spent);
+            let (count, last) =
+                step_streams(&mut cluster.shards, &mut streams, bound, cap, threads);
+            spent += count;
+            if let Some(t) = last {
+                end = end.max(t);
+            }
+            // Barrier: fold shard outputs (completions, failures) into
+            // the cluster's job table, in device order.
+            for d in 0..n as u32 {
+                cluster.absorb_shard(end, d);
+            }
+            debug_assert!(cluster.pending.is_empty(), "epoch workers route directly");
+            let pending = control.len() + streams.iter().map(EventQueue::len).sum::<usize>();
+            if spent >= self.budget && pending > 0 {
+                budget_error = Some(RuntimeError::EventBudgetExhausted {
+                    at: end,
+                    dispatched: spent,
+                    pending,
+                });
+                break;
+            }
+            // Cluster-level interaction point: dispatch everything at the
+            // bound timestamp, routing follow-ups to their streams.
+            let Some(t) = bound else { break };
+            end = end.max(t);
+            while control.peek_time() == Some(t) {
+                let entry = control.pop().expect("peeked control event");
+                spent += 1;
+                cluster.dispatch(t, entry.payload);
+                let mut pending = std::mem::take(&mut cluster.pending);
+                for (at, ev) in pending.drain(..) {
+                    route(&mut control, &mut streams, at, ev);
+                }
+                cluster.pending = pending;
+            }
+        }
+        let mut result = cluster.into_result(end);
         if let Some(e) = budget_error {
             result.errors.push(e);
         }

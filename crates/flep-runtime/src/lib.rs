@@ -32,11 +32,11 @@ mod world;
 
 pub use cluster::{
     ClusterConfig, ClusterEvent, ClusterResult, ClusterRun, DeviceEvent, DeviceEventKind,
-    DeviceState, GpuCluster,
+    DeviceState, GpuCluster, StepMode,
 };
 pub use driver::{CoRun, CoRunResult, DEFAULT_EVENT_BUDGET};
 pub use job::{JobRecord, JobSpec, KernelProfile, RepeatMode};
 pub use world::{
-    EvictedJob, Policy, RecoveryAction, RecoveryEvent, RunReport, RuntimeError, SystemEvent,
-    SystemWorld, WatchdogConfig,
+    EvictedJob, Policy, RecoveryAction, RecoveryEvent, RunRecords, RunReport, RuntimeError,
+    SystemEvent, SystemWorld, WatchdogConfig,
 };

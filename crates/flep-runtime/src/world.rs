@@ -491,6 +491,11 @@ pub struct EvictedJob {
     pub record: JobRecord,
 }
 
+/// Everything a finished run hands back ([`SystemWorld::into_records`]):
+/// per-job records, device busy spans, per-SM `(sm, busy)` totals, and the
+/// robustness report.
+pub type RunRecords = (Vec<JobRecord>, Vec<Span>, Vec<(u64, SimTime)>, RunReport);
+
 /// Robustness telemetry extracted alongside the job records after a run.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -599,7 +604,7 @@ impl SystemWorld {
 
     /// Extracts the per-job records and robustness telemetry after the run.
     #[must_use]
-    pub fn into_records(self) -> (Vec<JobRecord>, Vec<Span>, Vec<(u64, SimTime)>, RunReport) {
+    pub fn into_records(self) -> RunRecords {
         let spans = self.device.busy_spans().to_vec();
         let totals = self.device.busy_totals().to_vec();
         let report = RunReport {
@@ -1159,10 +1164,10 @@ impl SystemWorld {
         // in-flight) copy of its notification was still travelling. Only
         // the note matching the job's live grid is acted on; fault-free
         // runs never take this path (grids outlive their notifications).
-        if !self
+        if self
             .jobs
             .get(idx)
-            .is_some_and(|j| j.grid == Some(note.grid()))
+            .is_none_or(|j| j.grid != Some(note.grid()))
         {
             return;
         }
@@ -1374,7 +1379,7 @@ impl SystemWorld {
         }
         let mut notes = std::mem::take(&mut self.scratch_notes);
         debug_assert!(notes.is_empty());
-        notes.extend(harness.notes.drain(..));
+        notes.append(&mut harness.notes);
         let mut h2 = std::mem::take(&mut self.scratch_sync);
         for (at, note) in notes.drain(..) {
             if at > now {

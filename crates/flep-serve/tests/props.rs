@@ -79,7 +79,7 @@ fn edf_queue_matches_naive_model() {
                     }
                     1 => {
                         let got = real.pop();
-                        let want = model.pop().map(|(d, s)| (d, s));
+                        let want = model.pop();
                         require_eq!(got, want, "pop diverged");
                     }
                     _ => {

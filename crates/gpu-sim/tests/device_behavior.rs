@@ -571,16 +571,16 @@ fn restore_grid_via_device_api_reaches_full_occupancy() {
             &mut harness,
         )
         .unwrap();
-    pending.extend(harness.gpu_events.drain(..));
+    pending.append(&mut harness.gpu_events);
 
-    let mut resident =
+    let resident =
         |dev: &GpuDevice| -> u32 { dev.sms().iter().map(|sm| sm.resident_count()).sum() };
 
     // Helper: run the event loop until a deadline.
-    let mut run_until = |dev: &mut GpuDevice,
-                         pending: &mut Vec<(SimTime, GpuEvent)>,
-                         now: &mut SimTime,
-                         deadline: SimTime| {
+    let run_until = |dev: &mut GpuDevice,
+                     pending: &mut Vec<(SimTime, GpuEvent)>,
+                     now: &mut SimTime,
+                     deadline: SimTime| {
         loop {
             pending.sort_by_key(|&(t, _)| t);
             let Some(&(t, ev)) = pending.first() else {
@@ -607,7 +607,7 @@ fn restore_grid_via_device_api_reaches_full_occupancy() {
 
     let mut h = CollectorHarness::new();
     dev.restore_grid(now, grid, &mut h);
-    pending.extend(h.gpu_events.drain(..));
+    pending.append(&mut h.gpu_events);
     run_until(&mut dev, &mut pending, &mut now, SimTime::from_us(41));
     assert_eq!(resident(&dev), 120, "restore refills to capacity");
 }

@@ -446,7 +446,20 @@ impl<E> EventQueue<E> {
     /// Schedules `payload` to fire at absolute time `time`.
     pub fn push(&mut self, time: SimTime, payload: E) {
         let seq = self.next_seq;
-        self.next_seq += 1;
+        self.push_with_seq(time, seq, payload);
+    }
+
+    /// Schedules `payload` with an externally assigned sequence number.
+    ///
+    /// [`PartitionedQueue`](crate::PartitionedQueue) stamps one global
+    /// counter across its partitions so the merged pop order reproduces a
+    /// single flat queue's `(time, seq)` total order exactly. The local
+    /// counter is bumped past `seq` so interleaving with plain [`push`]
+    /// calls can never reuse a sequence number.
+    ///
+    /// [`push`]: EventQueue::push
+    pub(crate) fn push_with_seq(&mut self, time: SimTime, seq: u64, payload: E) {
+        self.next_seq = self.next_seq.max(seq + 1);
         let slot = self.payloads.insert(payload);
         debug_assert!(seq < 1 << (64 - SLOT_BITS), "event queue seq overflow");
         debug_assert!(u64::from(slot) <= SLOT_MASK, "event queue slot overflow");
@@ -512,15 +525,34 @@ impl<E> EventQueue<E> {
         })
     }
 
-    /// The timestamp of the earliest pending event.
-    #[must_use]
-    pub fn peek_time(&self) -> Option<SimTime> {
-        let key = match &self.backend {
+    /// Removes and returns the earliest event only if it fires strictly
+    /// before `bound`; leaves the queue untouched otherwise.
+    ///
+    /// The epoch driver in `flep-runtime` drains each device stream up to
+    /// (but not including) the next cross-device interaction timestamp
+    /// with this.
+    pub fn pop_before(&mut self, bound: SimTime) -> Option<EventEntry<E>> {
+        if self.peek_time()? < bound {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// The full packed `(time, seq, slot)` key of the earliest pending
+    /// event — the merge cursor compares these to validate its entries.
+    pub(crate) fn min_packed(&self) -> Option<PackedKey> {
+        match &self.backend {
             Backend::Heap(h) => h.min_key(),
             Backend::Ladder(l) => l.min_key(),
             Backend::Calibrating { heap, .. } => heap.min_key(),
-        };
-        key.map(PackedKey::time)
+        }
+    }
+
+    /// The timestamp of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.min_packed().map(PackedKey::time)
     }
 
     /// Number of pending events.
@@ -706,7 +738,7 @@ mod tests {
         let mut n = 0;
         while let Some(e) = deep.pop() {
             let k = (e.time, e.seq);
-            assert!(last.map_or(true, |p| p < k), "order broke across migration");
+            assert!(last.is_none_or(|p| p < k), "order broke across migration");
             last = Some(k);
             n += 1;
         }

@@ -248,7 +248,7 @@ impl LadderCore {
             }
             // Promote: sort this bucket's keys into the bottom. Unstable
             // sort on unique packed words is exact (time, seq) order.
-            self.bottom.extend(r.buckets[b].drain(..));
+            self.bottom.append(&mut r.buckets[b]);
             r.base = b + 1;
             self.bottom_limit = r.limit_after(b);
             self.bottom.sort_unstable();

@@ -67,6 +67,7 @@ mod engine;
 mod event;
 pub mod json;
 mod ladder;
+mod partition;
 mod rng;
 mod slab;
 mod time;
@@ -75,6 +76,7 @@ mod trace;
 pub use engine::{RunOutcome, Scheduler, Simulation, StepOutcome, World};
 pub use event::{EventEntry, EventQueue, EventQueueImpl, HeapCore, PackedKey, CALIBRATION_WINDOW};
 pub use ladder::LadderCore;
+pub use partition::{PartitionedQueue, PartitionedSimulation};
 pub use rng::SimRng;
 pub use slab::{GenSlab, Slab, SoaSlab};
 pub use time::SimTime;
