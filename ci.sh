@@ -10,7 +10,7 @@
 # With no argument every stage runs in order. With a stage name only that
 # stage runs (after whatever build it needs): build, test, fmt, clippy,
 # hot-path, sim-corun, faults, fault-recovery, serve, cluster-smoke,
-# cluster-scale, queue-ablation, perf-gate.
+# cluster-scale, chaos-smoke, queue-ablation, perf-gate.
 set -eu
 
 cd "$(dirname "$0")"
@@ -154,6 +154,34 @@ stage_cluster_scale() {
     echo "cluster scale: sweep rows byte-identical at FLEP_THREADS=1 and 8"
 }
 
+# Chaos smoke (DESIGN.md §14): the health-aware control plane under
+# seeded correlated outages. The pinned-seed chaos and breaker suites
+# prove ledger conservation, quarantine isolation, and bounded-fault
+# liveness; the chaos sweep (rate x topology) records BENCH_chaos.json
+# for the perf gate, and its deterministic rows are compared between a
+# serial and a parallel run — any byte of divergence fails the stage.
+stage_chaos_smoke() {
+    echo "==> chaos smoke: chaos + breaker + brownout suites"
+    FLEP_CHECK_SEED=0xF1E9 FLEP_CHECK_CASES=32 \
+        cargo test -p flep-runtime --test chaos --offline -q
+    cargo test -p flep-runtime --test breaker --offline -q
+    cargo test -p flep-serve --test brownout --offline -q
+    echo "==> chaos sweep -> BENCH_chaos.json"
+    FLEP_SEED=42 FLEP_REPEATS=3 \
+        FLEP_BENCH_JSON="$ROOT/BENCH_chaos.json" FLEP_JSON=- \
+        FLEP_THREADS=1 \
+        cargo run --release -p flep-bench --bin chaos_sweep --offline -q \
+        | grep '^{' > "$ROOT/target/chaos_rows_t1.json"
+    FLEP_SEED=42 FLEP_REPEATS=1 FLEP_JSON=- FLEP_THREADS=8 \
+        cargo run --release -p flep-bench --bin chaos_sweep --offline -q \
+        | grep '^{' > "$ROOT/target/chaos_rows_t8.json"
+    if ! cmp -s "$ROOT/target/chaos_rows_t1.json" "$ROOT/target/chaos_rows_t8.json"; then
+        echo "chaos smoke: sweep rows differ between FLEP_THREADS=1 and 8" >&2
+        exit 1
+    fi
+    echo "chaos smoke: sweep rows byte-identical at FLEP_THREADS=1 and 8"
+}
+
 # Queue ablation (DESIGN.md §12): the tier-1 golden suites replayed with
 # each event-queue backend forced, proving the ladder queue and the
 # 4-ary heap produce byte-identical simulations — same pinned traces,
@@ -174,8 +202,8 @@ stage_queue_ablation() {
 }
 
 # Perf-regression gate: fails if the medians recorded by the sim-corun,
-# serve, fault-recovery, cluster-smoke, cluster-scale, or queue-ablation
-# stages regressed more than FLEP_PERF_TOLERANCE percent (default 15) against
+# serve, fault-recovery, cluster-smoke, cluster-scale, chaos-smoke, or
+# queue-ablation stages regressed more than FLEP_PERF_TOLERANCE percent (default 15) against
 # the checked-in baselines. One invocation checks every pair and
 # reports every regressing row before failing, so a regression in the
 # first artifact cannot mask one in the last. sim_corun and
@@ -190,6 +218,7 @@ stage_perf_gate() {
         "$ROOT/BENCH_fault_recovery.json" "$ROOT/baselines/BENCH_fault_recovery.json" \
         "$ROOT/BENCH_cluster.json" "$ROOT/baselines/BENCH_cluster.json" \
         "$ROOT/BENCH_cluster_scale.json" "$ROOT/baselines/BENCH_cluster_scale.json" \
+        "$ROOT/BENCH_chaos.json" "$ROOT/baselines/BENCH_chaos.json" \
         "$ROOT/BENCH_queue_ablation.json" "$ROOT/baselines/BENCH_queue_ablation.json"
 }
 
@@ -206,12 +235,14 @@ run_stage() {
         serve) stage_serve ;;
         cluster-smoke) stage_cluster_smoke ;;
         cluster-scale) stage_cluster_scale ;;
+        chaos-smoke) stage_chaos_smoke ;;
         queue-ablation) stage_queue_ablation ;;
         perf-gate) stage_perf_gate ;;
         *)
             echo "ci.sh: unknown stage '$1' (want build, test, fmt, clippy," >&2
             echo "       hot-path, sim-corun, faults, fault-recovery, serve," >&2
-            echo "       cluster-smoke, cluster-scale, queue-ablation, perf-gate)" >&2
+            echo "       cluster-smoke, cluster-scale, chaos-smoke," >&2
+            echo "       queue-ablation, perf-gate)" >&2
             exit 2
             ;;
     esac
@@ -235,6 +266,7 @@ else
     stage_serve
     stage_cluster_smoke
     stage_cluster_scale
+    stage_chaos_smoke
     stage_queue_ablation
     stage_perf_gate
     echo "ci.sh: all checks passed"

@@ -76,6 +76,81 @@ pub fn exp_config() -> ExpConfig {
     ExpConfig { seed, repeats }
 }
 
+/// Default correlated-outage rates for the chaos sweep (events per
+/// simulated second, fleet-wide).
+pub const CHAOS_RATES_DEFAULT: &str = "0,400,1600";
+
+/// Default failure topologies for the chaos sweep (`ZxRxD` form:
+/// zones × racks-per-zone × devices-per-rack).
+pub const CHAOS_TOPOS_DEFAULT: &str = "1x1x8,2x2x2,4x2x1";
+
+/// The pure core of the `FLEP_CHAOS_RATES` knob: parses a comma-separated
+/// list of correlated-outage rates (events per simulated second), or
+/// returns the exact (stable) warning line printed for an invalid value.
+/// Every entry must parse as a finite number `>= 0`.
+pub fn parse_chaos_rates(raw: &str) -> Result<Vec<f64>, String> {
+    let parsed: Option<Vec<f64>> = raw
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite() && *v >= 0.0)
+        })
+        .collect();
+    match parsed {
+        Some(rates) if !rates.is_empty() => Ok(rates),
+        _ => Err(format!(
+            "FLEP_CHAOS_RATES: invalid value {raw:?} (want comma-separated rates/s >= 0); \
+             using {CHAOS_RATES_DEFAULT}"
+        )),
+    }
+}
+
+/// The pure core of the `FLEP_CHAOS_TOPOS` knob: parses a comma-separated
+/// list of `ZxRxD` failure topologies, or returns the exact (stable)
+/// warning line printed for an invalid value. Every level must be an
+/// integer `>= 1`.
+pub fn parse_chaos_topos(raw: &str) -> Result<Vec<flep_gpu_sim::FailureTopology>, String> {
+    let invalid = || {
+        format!(
+            "FLEP_CHAOS_TOPOS: invalid value {raw:?} (want comma-separated ZxRxD topologies); \
+             using {CHAOS_TOPOS_DEFAULT}"
+        )
+    };
+    let mut topos = Vec::new();
+    for spec in raw.split(',') {
+        let levels: Vec<u32> = spec
+            .trim()
+            .split('x')
+            .map(|s| s.parse::<u32>().ok().filter(|&v| v >= 1))
+            .collect::<Option<_>>()
+            .ok_or_else(invalid)?;
+        let [zones, racks, devices] = levels[..] else {
+            return Err(invalid());
+        };
+        topos.push(flep_gpu_sim::FailureTopology::new(zones, racks, devices));
+    }
+    if topos.is_empty() {
+        return Err(invalid());
+    }
+    Ok(topos)
+}
+
+/// Reads a chaos-sweep knob through its pure parser, warning on stderr —
+/// with the parser's exact message — when the value is invalid, and
+/// falling back to `default`.
+pub fn env_chaos<T>(name: &str, default: &str, parse: impl Fn(&str) -> Result<T, String>) -> T {
+    let raw = std::env::var(name).unwrap_or_else(|_| default.to_string());
+    match parse(&raw) {
+        Ok(v) => v,
+        Err(warning) => {
+            eprintln!("{warning}");
+            parse(default).expect("default parses")
+        }
+    }
+}
+
 /// Emits an experiment's structured rows as JSON when `FLEP_JSON` is set.
 ///
 /// `FLEP_JSON=-` prints the document to stdout; any other value is treated
@@ -182,6 +257,55 @@ mod tests {
             validate_repeats(0),
             Err("FLEP_REPEATS: invalid value 0 (want >= 1); using 3".into())
         );
+    }
+
+    /// The chaos-sweep knob warnings are stable, exact strings too: knob,
+    /// offending value, rule, fallback.
+    #[test]
+    fn bad_chaos_rates_warning_text_is_stable() {
+        assert_eq!(parse_chaos_rates("0, 150,600"), Ok(vec![0.0, 150.0, 600.0]));
+        for bad in ["", "fast", "10,-5", "10,inf", "10,,20"] {
+            assert_eq!(
+                parse_chaos_rates(bad),
+                Err(format!(
+                    "FLEP_CHAOS_RATES: invalid value {bad:?} (want comma-separated rates/s >= 0); \
+                     using 0,400,1600"
+                ))
+            );
+        }
+    }
+
+    #[test]
+    fn bad_chaos_topos_warning_text_is_stable() {
+        use flep_gpu_sim::FailureTopology;
+        assert_eq!(
+            parse_chaos_topos("1x1x8, 2x2x2"),
+            Ok(vec![
+                FailureTopology::new(1, 1, 8),
+                FailureTopology::new(2, 2, 2)
+            ])
+        );
+        for bad in ["", "2x2", "2x2x2x2", "0x1x8", "axbxc", "2x2x2,"] {
+            assert_eq!(
+                parse_chaos_topos(bad),
+                Err(format!(
+                    "FLEP_CHAOS_TOPOS: invalid value {bad:?} \
+                     (want comma-separated ZxRxD topologies); using 1x1x8,2x2x2,4x2x1"
+                ))
+            );
+        }
+    }
+
+    /// The baked-in defaults must themselves parse (the env reader falls
+    /// back to them on a bad value).
+    #[test]
+    fn chaos_defaults_parse() {
+        assert_eq!(parse_chaos_rates(CHAOS_RATES_DEFAULT).unwrap().len(), 3);
+        let topos = parse_chaos_topos(CHAOS_TOPOS_DEFAULT).unwrap();
+        assert_eq!(topos.len(), 3);
+        for t in topos {
+            assert_eq!(t.devices(), 8, "chaos cells compare equal fleet sizes");
+        }
     }
 
     /// The `FLEP_THREADS` warning (validated eagerly by `exp_config` via

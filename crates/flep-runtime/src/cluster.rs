@@ -22,6 +22,22 @@
 //! * **Drain-and-deregister** — a device can be taken out of rotation
 //!   gracefully: no new placements, resident jobs run to completion, then
 //!   the device deregisters.
+//! * **Correlated failure domains** — an optional `zone → rack → device`
+//!   topology ([`FailureTopology`]) with fleet-level outage events
+//!   (zone-wide transient loss, rack power-cycles with staggered
+//!   per-device rejoin latencies) drawn on their own RNG stream
+//!   ([`CorrelatedFaultPlan`]), so real burst-failure regimes replay
+//!   exactly from a seed.
+//! * **Health scoring and circuit breaking** — with
+//!   [`ClusterConfig::health`] set, every fault decays into a per-device
+//!   EWMA score; past the threshold the breaker opens and quarantines
+//!   the device out of rotation even while it looks healthy, and only a
+//!   completed deterministic probe grid re-admits it
+//!   (closed → open → half-open, DESIGN.md §14).
+//! * **Placement constraints** — tenant anti-affinity and
+//!   spread-across-failure-domain ([`PlacementConfig`]) layer extra key
+//!   components onto the least-loaded index, keeping the same
+//!   deterministic tie-breaking.
 //!
 //! # Determinism
 //!
@@ -37,18 +53,26 @@
 use std::collections::VecDeque;
 
 use flep_gpu_sim::{
-    DeviceFaultConfig, DeviceFaultKind, DeviceFaultPlan, FaultConfig, FaultPlan, GpuConfig,
-    GpuDevice,
+    CorrelatedFaultConfig, CorrelatedFaultKind, CorrelatedFaultPlan, DeviceFaultConfig,
+    DeviceFaultKind, DeviceFaultPlan, FailureTopology, FaultConfig, FaultPlan, GpuConfig,
+    GpuDevice, ResourceUsage, TaskCost,
 };
+use flep_metrics::RecoverySummary;
 use flep_sim_core::{
     EventQueue, PartitionedSimulation, RunOutcome, Scheduler, SimTime, Simulation, World,
 };
 
 use crate::driver::DEFAULT_EVENT_BUDGET;
-use crate::job::{JobRecord, JobSpec};
+use crate::health::{BreakerState, DeviceHealth, HealthConfig};
+use crate::job::{JobRecord, JobSpec, KernelProfile};
 use crate::world::{
     Policy, RecoveryAction, RecoveryEvent, RuntimeError, SystemEvent, SystemWorld, WatchdogConfig,
 };
+
+/// Shard-job sentinel marking a breaker probe grid: probes live in the
+/// shard's job table but have no cluster job, so every `map` lookup must
+/// treat this value specially.
+const PROBE: usize = usize::MAX;
 
 /// Cluster-wide configuration: the per-device template plus the failure
 /// and migration policy.
@@ -78,6 +102,36 @@ pub struct ClusterConfig {
     /// Migration budget per job: one more eviction than this fails the
     /// job with [`RuntimeError::MigrationFailed`].
     pub max_migrations: u32,
+    /// The `zone → rack → device` failure-domain tree. `None` treats the
+    /// fleet as one flat rack in one zone (for correlated-fault targeting
+    /// and the spread placement constraint alike).
+    pub topology: Option<FailureTopology>,
+    /// Seeded correlated outage injection (zone outages, rack
+    /// power-cycles). `None` draws nothing.
+    pub correlated_faults: Option<CorrelatedFaultConfig>,
+    /// Scripted correlated outages — the reproducible way to stage "zone
+    /// 0 drops at t" scenarios, independent of the seeded plan.
+    pub scripted_correlated: Vec<(SimTime, CorrelatedFaultKind)>,
+    /// Health scoring + circuit breaker. `None` (the default) keeps the
+    /// control plane purely reactive — byte-identical to builds without
+    /// the health layer.
+    pub health: Option<HealthConfig>,
+    /// Placement constraints layered onto the least-loaded index.
+    pub placement: PlacementConfig,
+}
+
+/// Optional placement constraints. Both default off, which degrades the
+/// placement key exactly to the original
+/// `(resident threads, active jobs, device id)` tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlacementConfig {
+    /// Prefer devices hosting fewer jobs of the submitting tenant
+    /// (spreads one tenant's jobs across devices before load decides).
+    pub anti_affinity: bool,
+    /// Prefer failure domains (racks) hosting fewer jobs of the
+    /// submitting tenant, so one rack outage cannot take out all of a
+    /// tenant's work. Ranked after anti-affinity, before load.
+    pub spread: bool,
 }
 
 impl ClusterConfig {
@@ -94,6 +148,11 @@ impl ClusterConfig {
             device_faults: None,
             scripted_faults: Vec::new(),
             max_migrations: 8,
+            topology: None,
+            correlated_faults: None,
+            scripted_correlated: Vec::new(),
+            health: None,
+            placement: PlacementConfig::default(),
         }
     }
 }
@@ -121,12 +180,23 @@ pub enum DeviceState {
 pub enum DeviceEventKind {
     /// A device fault fired (seeded or scripted).
     Fault(DeviceFaultKind),
+    /// The device was caught in a correlated outage (its zone dropped or
+    /// its rack power-cycled); applied as a transient loss with the
+    /// outage's own rejoin latency.
+    CorrelatedFault(CorrelatedFaultKind),
     /// The device rejoined rotation (hang cleared or reset finished).
     Restored,
     /// A graceful drain was requested.
     DrainStarted,
     /// The drain finished; the device deregistered.
     Deregistered,
+    /// The circuit breaker opened: quarantined out of rotation.
+    Quarantined,
+    /// A breaker probe grid was launched (breaker half-open).
+    ProbeLaunched,
+    /// A probe completed; the breaker closed and the device rejoined the
+    /// rotation.
+    Readmitted,
 }
 
 /// One entry of the device lifecycle log.
@@ -166,6 +236,17 @@ pub enum ClusterEvent {
         device: u32,
         /// Generation stamp taken when the restore was scheduled.
         gen: u64,
+    },
+    /// A correlated outage (zone/rack) fires across its failure domain.
+    CorrelatedFault {
+        /// The outage class and target domain.
+        kind: CorrelatedFaultKind,
+    },
+    /// The breaker's re-admission attempt for `device` comes due: launch
+    /// a probe if the device looks healthy, otherwise back off.
+    BreakerProbe {
+        /// The quarantined device.
+        device: u32,
     },
 }
 
@@ -207,8 +288,10 @@ struct Shard {
     /// before a newer fault) carry an older generation and are dropped.
     gen: u64,
     plan: Option<DeviceFaultPlan>,
-    /// Shard job index → cluster job index.
+    /// Shard job index → cluster job index ([`PROBE`] for probe grids).
     map: Vec<usize>,
+    /// Health score + breaker position (untouched when health is off).
+    health: DeviceHealth,
 }
 
 /// The cluster: shards plus placement, migration, and accounting.
@@ -216,6 +299,15 @@ pub struct GpuCluster {
     shards: Vec<Shard>,
     fault_cfg: DeviceFaultConfig,
     max_migrations: u32,
+    /// Failure-domain tree (flat single-rack when not configured).
+    topo: FailureTopology,
+    /// Correlated outage magnitudes (durations/staggers), also used for
+    /// scripted correlated events.
+    corr_cfg: CorrelatedFaultConfig,
+    /// Seeded correlated outage schedule.
+    corr_plan: Option<CorrelatedFaultPlan>,
+    health_cfg: Option<HealthConfig>,
+    placement: PlacementConfig,
     jobs: Vec<ClusterJob>,
     /// Jobs waiting for any eligible device, FIFO.
     parked: VecDeque<usize>,
@@ -228,8 +320,14 @@ pub struct GpuCluster {
     failed_log: Vec<(SimTime, usize)>,
     /// `(time, job)` per completed migration, for frontend accounting.
     migrated_log: Vec<(SimTime, usize)>,
+    /// `(time, job, device)` per placement — the evidence trail the
+    /// quarantine invariant checks. Only recorded when health is on, so
+    /// serving-scale runs without a breaker pay nothing.
+    placements: Vec<(SimTime, usize, u32)>,
     pending: Vec<(SimTime, ClusterEvent)>,
     scratch: Vec<(SimTime, usize)>,
+    /// Scratch for placement-constraint tallies (one slot per device).
+    tenant_scratch: Vec<u32>,
 }
 
 impl std::fmt::Debug for GpuCluster {
@@ -260,7 +358,9 @@ impl GpuCluster {
         // injection implies a default watchdog — the `CoRun` rule.
         let has_faults = cfg.grid_faults.is_some()
             || cfg.device_faults.is_some()
-            || !cfg.scripted_faults.is_empty();
+            || !cfg.scripted_faults.is_empty()
+            || cfg.correlated_faults.is_some()
+            || !cfg.scripted_correlated.is_empty();
         let watchdog = cfg
             .watchdog
             .or_else(|| has_faults.then(WatchdogConfig::default));
@@ -294,6 +394,7 @@ impl GpuCluster {
                 gen: 0,
                 plan,
                 map: Vec::new(),
+                health: DeviceHealth::default(),
             });
         }
         // Draw each device's first seeded fault (device order).
@@ -315,12 +416,38 @@ impl GpuCluster {
                 initial.push((at, ClusterEvent::DeviceFault { device, kind }));
             }
         }
+        // The failure-domain tree: configured, or the whole fleet as one
+        // flat rack. Correlated targeting and spread placement both use it.
+        let topo = cfg.topology.unwrap_or_else(|| FailureTopology::flat(n));
+        // An all-quiet config (both rates zero) draws nothing and must
+        // not count as a live fault source either — otherwise the
+        // settled-early-stop below would cut the run at a different point
+        // than the identical config-free run.
+        let mut corr_plan = cfg
+            .correlated_faults
+            .filter(|cc| cc.total_rate() > 0.0)
+            .map(|cc| CorrelatedFaultPlan::new(cc, topo));
+        if let Some(plan) = corr_plan.as_mut() {
+            if let Some((at, kind)) = plan.next_event() {
+                initial.push((at, ClusterEvent::CorrelatedFault { kind }));
+            }
+        }
+        for &(at, kind) in &cfg.scripted_correlated {
+            initial.push((at, ClusterEvent::CorrelatedFault { kind }));
+        }
         let cluster = GpuCluster {
             shards,
             fault_cfg: cfg
                 .device_faults
                 .unwrap_or_else(|| DeviceFaultConfig::quiet(0)),
             max_migrations: cfg.max_migrations,
+            topo,
+            corr_cfg: cfg
+                .correlated_faults
+                .unwrap_or_else(|| CorrelatedFaultConfig::quiet(0)),
+            corr_plan,
+            health_cfg: cfg.health,
+            placement: cfg.placement,
             jobs: Vec::new(),
             parked: VecDeque::new(),
             errors: Vec::new(),
@@ -329,8 +456,10 @@ impl GpuCluster {
             completed_log: Vec::new(),
             failed_log: Vec::new(),
             migrated_log: Vec::new(),
+            placements: Vec::new(),
             pending: Vec::new(),
             scratch: Vec::new(),
+            tenant_scratch: Vec::new(),
         };
         (cluster, initial)
     }
@@ -385,16 +514,90 @@ impl GpuCluster {
         idx
     }
 
+    /// Whether a device can take new placements: in-rotation lifecycle
+    /// state *and* a closed breaker.
+    fn eligible(&self, d: usize) -> bool {
+        let s = &self.shards[d];
+        matches!(s.state, DeviceState::Healthy | DeviceState::Hung)
+            && s.health.breaker == BreakerState::Closed
+    }
+
+    /// Devices currently accepting placements — the serving frontend's
+    /// surviving-capacity signal for brownout tiers.
+    #[must_use]
+    pub fn placement_eligible(&self) -> u32 {
+        (0..self.shards.len()).filter(|&d| self.eligible(d)).count() as u32
+    }
+
+    /// A device's breaker position.
+    #[must_use]
+    pub fn breaker_state(&self, device: u32) -> BreakerState {
+        self.shards[device as usize].health.breaker
+    }
+
+    /// The placement log `(time, job, device)` — recorded only when
+    /// health is configured (the chaos suite's quarantine evidence).
+    #[must_use]
+    pub fn placements(&self) -> &[(SimTime, usize, u32)] {
+        &self.placements
+    }
+
     /// The least-loaded eligible device: fewest resident threads, then
     /// fewest active jobs (so same-instant submissions spread before any
-    /// CTA dispatches), then lowest device id.
-    fn pick_device(&self) -> Option<u32> {
-        self.shards
+    /// CTA dispatches), then lowest device id. Placement constraints
+    /// prepend tenant tallies to that key — anti-affinity (same-tenant
+    /// jobs on the device), then domain spread (same-tenant jobs in the
+    /// device's rack) — and are identically zero when disabled, so the
+    /// constrained key degrades to the original tuple byte-for-byte.
+    fn pick_device(&mut self, tenant: Option<u32>) -> Option<u32> {
+        let constrained =
+            (self.placement.anti_affinity || self.placement.spread) && tenant.is_some();
+        let mut tenant_scratch = std::mem::take(&mut self.tenant_scratch);
+        if constrained {
+            // Same-tenant active-job tally per device, one O(jobs) pass.
+            tenant_scratch.clear();
+            tenant_scratch.resize(self.shards.len(), 0);
+            for job in &self.jobs {
+                if let CJobState::Placed { device, .. } = job.state {
+                    if job.spec.tenant == tenant {
+                        tenant_scratch[device as usize] += 1;
+                    }
+                }
+            }
+        }
+        let rack_count = |d: usize| -> u32 {
+            self.topo
+                .rack_devices(self.topo.rack_of(d as u32))
+                .map(|rd| tenant_scratch.get(rd as usize).copied().unwrap_or(0))
+                .sum()
+        };
+        let picked = self
+            .shards
             .iter()
             .enumerate()
-            .filter(|(_, s)| matches!(s.state, DeviceState::Healthy | DeviceState::Hung))
-            .min_by_key(|(d, s)| (s.sys.device().resident_threads(), s.sys.active_count(), *d))
-            .map(|(d, _)| d as u32)
+            .filter(|&(d, _)| self.eligible(d))
+            .min_by_key(|&(d, s)| {
+                let anti = if constrained && self.placement.anti_affinity {
+                    tenant_scratch[d]
+                } else {
+                    0
+                };
+                let spread = if constrained && self.placement.spread {
+                    rack_count(d)
+                } else {
+                    0
+                };
+                (
+                    anti,
+                    spread,
+                    s.sys.device().resident_threads(),
+                    s.sys.active_count(),
+                    d,
+                )
+            })
+            .map(|(d, _)| d as u32);
+        self.tenant_scratch = tenant_scratch;
+        picked
     }
 
     /// Places (or parks) cluster job `idx`, resuming from its saved task
@@ -405,13 +608,16 @@ impl GpuCluster {
             self.jobs[idx].state,
             CJobState::Future | CJobState::Parked
         ));
-        let Some(device) = self.pick_device() else {
+        let Some(device) = self.pick_device(self.jobs[idx].spec.tenant) else {
             self.jobs[idx].state = CJobState::Parked;
             if !self.parked.contains(&idx) {
                 self.parked.push_back(idx);
             }
             return;
         };
+        if self.health_cfg.is_some() {
+            self.placements.push((now, idx, device));
+        }
         let job = &mut self.jobs[idx];
         let spec = job.spec.clone().resuming_from(job.done);
         let from = job.last_device;
@@ -437,11 +643,17 @@ impl GpuCluster {
     fn absorb_shard(&mut self, now: SimTime, device: u32) {
         let mut scratch = std::mem::take(&mut self.scratch);
         let shard = &mut self.shards[device as usize];
+        let mut probe_done = false;
+        let mut probe_failed = false;
 
         scratch.clear();
         shard.sys.drain_completions_into(&mut scratch);
         for &(t, sidx) in &scratch {
             let cidx = shard.map[sidx];
+            if cidx == PROBE {
+                probe_done = true;
+                continue;
+            }
             let job = &mut self.jobs[cidx];
             job.done = job.spec.profile.total_tasks;
             job.state = CJobState::Done;
@@ -453,12 +665,22 @@ impl GpuCluster {
         shard.sys.drain_failures_into(&mut scratch);
         for &(t, sidx) in &scratch {
             let cidx = shard.map[sidx];
+            if cidx == PROBE {
+                probe_failed = true;
+                continue;
+            }
             self.jobs[cidx].state = CJobState::Failed;
             self.failed_log.push((t, cidx));
         }
 
         scratch.clear();
         self.scratch = scratch;
+        if probe_done {
+            self.on_probe_done(now, device);
+        }
+        if probe_failed {
+            self.on_probe_failed(now, device);
+        }
 
         let mut pending = std::mem::take(&mut self.pending);
         self.shards[device as usize]
@@ -535,24 +757,11 @@ impl GpuCluster {
                         ClusterEvent::DeviceRestore { device, gen },
                     ));
                 }
+                self.note_fault(now, device, |hc| hc.hang_weight);
             }
             DeviceFaultKind::TransientLoss => {
-                if !matches!(self.shards[d].state, DeviceState::Resetting) {
-                    self.errors.push(RuntimeError::DeviceLost {
-                        device,
-                        permanent: false,
-                    });
-                    // Leave rotation *before* evacuating, or the evicted
-                    // jobs would be placed right back on this device.
-                    self.shards[d].state = DeviceState::Resetting;
-                    self.shards[d].gen += 1;
-                    let gen = self.shards[d].gen;
-                    self.evacuate(now, device);
-                    self.pending.push((
-                        now + self.fault_cfg.reset_latency,
-                        ClusterEvent::DeviceRestore { device, gen },
-                    ));
-                }
+                self.transient_loss(now, device, self.fault_cfg.reset_latency);
+                self.note_fault(now, device, |hc| hc.loss_weight);
             }
             DeviceFaultKind::Death => {
                 self.errors.push(RuntimeError::DeviceLost {
@@ -581,6 +790,216 @@ impl GpuCluster {
         }
     }
 
+    /// Transient device loss with an explicit rejoin latency: the shared
+    /// core of the seeded `TransientLoss` class and every correlated
+    /// outage. No-op if the device is already resetting or dead.
+    fn transient_loss(&mut self, now: SimTime, device: u32, rejoin_after: SimTime) {
+        let d = device as usize;
+        if matches!(
+            self.shards[d].state,
+            DeviceState::Resetting | DeviceState::Dead
+        ) {
+            return;
+        }
+        self.errors.push(RuntimeError::DeviceLost {
+            device,
+            permanent: false,
+        });
+        // Leave rotation *before* evacuating, or the evicted jobs would
+        // be placed right back on this device.
+        self.shards[d].state = DeviceState::Resetting;
+        self.shards[d].gen += 1;
+        let gen = self.shards[d].gen;
+        self.evacuate(now, device);
+        self.pending.push((
+            now + rejoin_after,
+            ClusterEvent::DeviceRestore { device, gen },
+        ));
+    }
+
+    /// Expands one correlated outage over its failure domain: every
+    /// affected device (ascending id) takes a transient loss with the
+    /// outage's own rejoin latency — shared for a zone outage, staggered
+    /// per rack position for a power-cycle — then the next seeded
+    /// correlated event is chained.
+    fn on_correlated_fault(&mut self, now: SimTime, kind: CorrelatedFaultKind) {
+        let n = self.shards.len() as u32;
+        let targets: Vec<(u32, SimTime)> = match kind {
+            CorrelatedFaultKind::ZoneOutage { zone } => self
+                .topo
+                .zone_devices(zone)
+                .filter(|&d| d < n)
+                .map(|d| (d, self.corr_cfg.zone_outage_duration))
+                .collect(),
+            CorrelatedFaultKind::RackPowerCycle { rack } => self
+                .topo
+                .rack_devices(rack)
+                .filter(|&d| d < n)
+                .enumerate()
+                .map(|(i, d)| {
+                    (
+                        d,
+                        self.corr_cfg.rack_reset_base + self.corr_cfg.rack_reset_stagger * i as u64,
+                    )
+                })
+                .collect(),
+        };
+        for (device, rejoin_after) in targets {
+            if self.shards[device as usize].state == DeviceState::Dead {
+                continue;
+            }
+            self.device_events.push(DeviceEvent {
+                at: now,
+                device,
+                kind: DeviceEventKind::CorrelatedFault(kind),
+            });
+            self.transient_loss(now, device, rejoin_after);
+            self.note_fault(now, device, |hc| hc.loss_weight);
+        }
+        if let Some(plan) = self.corr_plan.as_mut() {
+            if let Some((at, next)) = plan.next_event() {
+                debug_assert!(at > now);
+                self.pending
+                    .push((at, ClusterEvent::CorrelatedFault { kind: next }));
+            }
+        }
+    }
+
+    /// Feeds one fault observation into a device's health score and runs
+    /// the breaker state machine: past the threshold the breaker opens
+    /// (quarantine), a fault during probation re-opens it, and any open
+    /// breaker keeps exactly one probe scheduled. No-op without a health
+    /// config, and never for dead devices (nothing to re-admit).
+    fn note_fault(&mut self, now: SimTime, device: u32, weight: impl Fn(&HealthConfig) -> f64) {
+        let Some(hc) = self.health_cfg else { return };
+        let d = device as usize;
+        if self.shards[d].state == DeviceState::Dead {
+            return;
+        }
+        let health = &mut self.shards[d].health;
+        let score = health.observe(now, weight(&hc), hc.ewma_tau);
+        match health.breaker {
+            BreakerState::Closed if score >= hc.open_threshold => {
+                health.breaker = BreakerState::Open;
+                self.device_events.push(DeviceEvent {
+                    at: now,
+                    device,
+                    kind: DeviceEventKind::Quarantined,
+                });
+                self.schedule_probe(now, device);
+            }
+            BreakerState::HalfOpen => {
+                // The device faulted while its probe was in flight: the
+                // probation failed, back off harder.
+                health.breaker = BreakerState::Open;
+                health.probe_failures = health.probe_failures.saturating_add(1);
+                self.schedule_probe(now, device);
+            }
+            BreakerState::Open => self.schedule_probe(now, device),
+            BreakerState::Closed => {}
+        }
+    }
+
+    /// Arms the (single) re-admission probe for an open breaker, with the
+    /// exponential-backoff cooldown.
+    fn schedule_probe(&mut self, now: SimTime, device: u32) {
+        let Some(hc) = self.health_cfg else { return };
+        let health = &mut self.shards[device as usize].health;
+        if health.probe_pending {
+            return;
+        }
+        health.probe_pending = true;
+        self.pending.push((
+            now + hc.probe_delay(health.probe_failures),
+            ClusterEvent::BreakerProbe { device },
+        ));
+    }
+
+    /// The probe timer fired: if the device looks healthy, enter
+    /// half-open and launch the probe grid; if it is mid-fault, count a
+    /// failed attempt and back off; if it died, stay open forever.
+    fn on_breaker_probe(&mut self, now: SimTime, device: u32) {
+        let Some(hc) = self.health_cfg else { return };
+        let d = device as usize;
+        self.shards[d].health.probe_pending = false;
+        if self.shards[d].health.breaker != BreakerState::Open {
+            return;
+        }
+        match self.shards[d].state {
+            DeviceState::Dead => {} // Permanent: never re-admitted.
+            DeviceState::Healthy => {
+                self.shards[d].health.breaker = BreakerState::HalfOpen;
+                self.device_events.push(DeviceEvent {
+                    at: now,
+                    device,
+                    kind: DeviceEventKind::ProbeLaunched,
+                });
+                let spec = probe_spec(now, &hc);
+                let shard = &mut self.shards[d];
+                let shard_job = shard.sys.submit(now, spec);
+                debug_assert_eq!(shard_job, shard.map.len());
+                shard.map.push(PROBE);
+                self.absorb_shard(now, device);
+            }
+            // Hung / resetting / draining: not probe-worthy yet.
+            _ => {
+                let health = &mut self.shards[d].health;
+                health.probe_failures = health.probe_failures.saturating_add(1);
+                self.schedule_probe(now, device);
+            }
+        }
+    }
+
+    /// A probe grid completed: if the breaker is still half-open the
+    /// device has earned its way back — close the breaker, reset the
+    /// backoff, and land parked jobs. A completion arriving after a
+    /// fresh fault already re-opened the breaker proves nothing.
+    fn on_probe_done(&mut self, now: SimTime, device: u32) {
+        if self.health_cfg.is_none()
+            || self.shards[device as usize].health.breaker != BreakerState::HalfOpen
+        {
+            return;
+        }
+        let health = &mut self.shards[device as usize].health;
+        health.breaker = BreakerState::Closed;
+        health.probe_failures = 0;
+        // A clean probation wipes the score: re-admission is a fresh
+        // start, not a countdown to re-tripping on stale history.
+        health.score = 0.0;
+        self.device_events.push(DeviceEvent {
+            at: now,
+            device,
+            kind: DeviceEventKind::Readmitted,
+        });
+        self.land_parked(now);
+    }
+
+    /// A probe grid failed terminally (e.g. launch retries exhausted):
+    /// the probation failed without a device fault — back off and retry.
+    fn on_probe_failed(&mut self, now: SimTime, device: u32) {
+        if self.health_cfg.is_none() {
+            return;
+        }
+        let health = &mut self.shards[device as usize].health;
+        if health.breaker == BreakerState::HalfOpen {
+            health.breaker = BreakerState::Open;
+            health.probe_failures = health.probe_failures.saturating_add(1);
+            self.schedule_probe(now, device);
+        }
+    }
+
+    /// Lands parked jobs FIFO while capacity lasts.
+    fn land_parked(&mut self, now: SimTime) {
+        while let Some(idx) = self.parked.pop_front() {
+            if self.jobs[idx].state == CJobState::Parked {
+                self.place(now, idx);
+                if self.jobs[idx].state == CJobState::Parked {
+                    break; // Re-parked: still no capacity; stop trying.
+                }
+            }
+        }
+    }
+
     /// Kill-migrate-restart: decommissions a lost device's world, folds
     /// every evicted job back to its completed-task counter, and
     /// relaunches each on a survivor (or parks it when none is eligible).
@@ -591,6 +1010,17 @@ impl GpuCluster {
         let evicted = self.shards[device as usize].sys.decommission(now);
         for e in evicted {
             let cidx = self.shards[device as usize].map[e.idx];
+            if cidx == PROBE {
+                // The probe grid died with its device: a failed probation.
+                self.on_probe_failed(now, device);
+                continue;
+            }
+            // Each job actually forced off this device (not merely
+            // finished with a lost notification) is one more strike —
+            // flapping devices accumulate migration weight.
+            if e.tasks_done < self.jobs[cidx].spec.profile.total_tasks {
+                self.note_fault(now, device, |hc| hc.migration_weight);
+            }
             let job = &mut self.jobs[cidx];
             debug_assert!(matches!(job.state, CJobState::Placed { .. }));
             job.done = e.tasks_done;
@@ -645,15 +1075,11 @@ impl GpuCluster {
             device,
             kind: DeviceEventKind::Restored,
         });
-        // Capacity is back: land every parked job (FIFO order).
-        while let Some(idx) = self.parked.pop_front() {
-            if self.jobs[idx].state == CJobState::Parked {
-                self.place(now, idx);
-                if self.jobs[idx].state == CJobState::Parked {
-                    break; // Re-parked: still no capacity; stop trying.
-                }
-            }
-        }
+        // Capacity is back: land every parked job (FIFO order). With the
+        // breaker open the device is restored but still quarantined, so
+        // landing only helps if *other* capacity exists — which is
+        // exactly what `place` checks.
+        self.land_parked(now);
     }
 
     /// Routes one cluster event.
@@ -673,6 +1099,12 @@ impl GpuCluster {
             }
             ClusterEvent::DeviceRestore { device, gen } => {
                 self.on_device_restore(now, device, gen);
+            }
+            ClusterEvent::CorrelatedFault { kind } => {
+                self.on_correlated_fault(now, kind);
+            }
+            ClusterEvent::BreakerProbe { device } => {
+                self.on_breaker_probe(now, device);
             }
         }
     }
@@ -715,15 +1147,20 @@ impl GpuCluster {
             let map = shard.map;
             let (records, _, _, report) = shard.sys.into_records();
             for (sidx, record) in records.into_iter().enumerate() {
-                fold_record(&mut jobs[map[sidx]].record, record);
+                if map[sidx] != PROBE {
+                    fold_record(&mut jobs[map[sidx]].record, record);
+                }
             }
             for mut e in report.errors {
-                remap_error(&mut e, &map);
-                errors.push(e);
+                if remap_error(&mut e, &map) {
+                    errors.push(e);
+                }
             }
             for mut r in report.recoveries {
                 r.job = map[r.job];
-                recoveries.push(r);
+                if r.job != PROBE {
+                    recoveries.push(r);
+                }
             }
             for (i, n) in report.escalations.iter().enumerate() {
                 escalations[i] += n;
@@ -732,10 +1169,16 @@ impl GpuCluster {
         }
         errors.extend(self.errors);
         recoveries.extend(self.recoveries);
-        let migrations = recoveries
-            .iter()
-            .filter(|r| matches!(r.action, RecoveryAction::Migrated { .. }))
-            .count() as u64;
+        let mut summary = summarize_recoveries(&recoveries);
+        for ev in &self.device_events {
+            match ev.kind {
+                DeviceEventKind::Quarantined => summary.quarantines += 1,
+                DeviceEventKind::ProbeLaunched => summary.probes += 1,
+                DeviceEventKind::Readmitted => summary.readmissions += 1,
+                _ => {}
+            }
+        }
+        let migrations = summary.migrations;
         let mut completed = 0u64;
         let mut failed = 0u64;
         let mut stranded = 0u64;
@@ -767,8 +1210,27 @@ impl GpuCluster {
             completed,
             failed,
             stranded,
+            summary,
+            placements: self.placements,
         }
     }
+}
+
+/// Folds a recovery-event list into the shared [`RecoverySummary`]
+/// counters (quarantines/probes/readmissions/shed are counted by their
+/// own producers).
+pub(crate) fn summarize_recoveries(recoveries: &[RecoveryEvent]) -> RecoverySummary {
+    let mut s = RecoverySummary::default();
+    for r in recoveries {
+        match r.action {
+            RecoveryAction::ForcedDrain => s.forced_drains += 1,
+            RecoveryAction::Killed => s.kills += 1,
+            RecoveryAction::LostNotification => s.lost_notifications += 1,
+            RecoveryAction::LaunchRetry(_) => s.launch_retries += 1,
+            RecoveryAction::Migrated { .. } => s.migrations += 1,
+        }
+    }
+    s
 }
 
 /// Folds one incarnation's record into the job's accumulator: counters
@@ -792,14 +1254,37 @@ fn fold_record(acc: &mut Option<JobRecord>, mut inc: JobRecord) {
 }
 
 /// Rewrites a shard-local job index inside an error to the cluster index.
-fn remap_error(e: &mut RuntimeError, map: &[usize]) {
+/// Returns `false` for errors belonging to probe grids (which have no
+/// cluster job to charge; the breaker already accounted the failure).
+fn remap_error(e: &mut RuntimeError, map: &[usize]) -> bool {
     match e {
         RuntimeError::LaunchFailed { job, .. }
         | RuntimeError::LaunchRetriesExhausted { job, .. }
         | RuntimeError::SwapUnsatisfiable { job }
-        | RuntimeError::MigrationFailed { job, .. } => *job = map[*job],
-        RuntimeError::EventBudgetExhausted { .. } | RuntimeError::DeviceLost { .. } => {}
+        | RuntimeError::MigrationFailed { job, .. } => {
+            *job = map[*job];
+            *job != PROBE
+        }
+        RuntimeError::EventBudgetExhausted { .. } | RuntimeError::DeviceLost { .. } => true,
     }
+}
+
+/// The deterministic re-admission probe: a tiny low-priority persistent
+/// grid that exercises launch, dispatch, and completion doorbells without
+/// meaningfully competing with real work.
+fn probe_spec(now: SimTime, hc: &HealthConfig) -> JobSpec {
+    JobSpec::new(
+        KernelProfile {
+            name: "breaker_probe".to_string(),
+            resources: ResourceUsage::typical_256(),
+            total_tasks: hc.probe_tasks.max(1),
+            task_cost: TaskCost::fixed(SimTime::from_us(5)),
+            mem_intensity: 0.0,
+            amortize: 1,
+        },
+        now,
+    )
+    .with_priority(0)
 }
 
 impl World for GpuCluster {
@@ -822,7 +1307,7 @@ impl World for GpuCluster {
         // cluster's slow death by injection. (Faults-off runs never take
         // this path, preserving exact CoRun equivalence.)
         if !self.jobs.is_empty()
-            && self.shards.iter().any(|s| s.plan.is_some())
+            && (self.corr_plan.is_some() || self.shards.iter().any(|s| s.plan.is_some()))
             && self
                 .jobs
                 .iter()
@@ -881,13 +1366,35 @@ fn epoch_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// `FLEP_CLUSTER_MODE` as a [`StepMode`] override, if set and valid.
+/// Parses a `FLEP_CLUSTER_MODE` value: the step mode for valid input, or
+/// the exact warning line [`env_step_mode`] prints for invalid input.
+///
+/// The message is deliberately stable — it names the knob, the accepted
+/// values, and the fallback rule — so tests can pin it (the same
+/// discipline as `flep-core`'s `parse_threads`).
+pub fn parse_cluster_mode(raw: &str) -> Result<StepMode, String> {
+    match raw.trim() {
+        "epoch" => Ok(StepMode::Epoch),
+        "merged" => Ok(StepMode::Merged),
+        "flat" => Ok(StepMode::Flat),
+        _ => Err(format!(
+            "FLEP_CLUSTER_MODE: invalid value {raw:?} (want epoch, merged, or flat); using automatic selection"
+        )),
+    }
+}
+
+/// `FLEP_CLUSTER_MODE` as a [`StepMode`] override, if set and valid;
+/// invalid values warn once on stderr instead of silently defaulting.
 fn env_step_mode() -> Option<StepMode> {
-    match std::env::var("FLEP_CLUSTER_MODE").ok()?.trim() {
-        "epoch" => Some(StepMode::Epoch),
-        "merged" => Some(StepMode::Merged),
-        "flat" => Some(StepMode::Flat),
-        _ => None,
+    match std::env::var("FLEP_CLUSTER_MODE") {
+        Ok(v) => match parse_cluster_mode(&v) {
+            Ok(mode) => Some(mode),
+            Err(warning) => {
+                eprintln!("{warning}");
+                None
+            }
+        },
+        Err(_) => None,
     }
 }
 
@@ -1023,8 +1530,13 @@ impl ClusterRun {
     /// scripted) can create cross-device interactions between arrival
     /// timestamps. Grid-level fault injection stays eligible — those
     /// draws, retries, and watchdog escalations are all shard-local.
+    /// Correlated outages are device-level faults with extra blast
+    /// radius, so they disqualify epoch stepping the same way.
     fn epoch_eligible(&self) -> bool {
-        self.cfg.device_faults.is_none() && self.cfg.scripted_faults.is_empty()
+        self.cfg.device_faults.is_none()
+            && self.cfg.scripted_faults.is_empty()
+            && self.cfg.correlated_faults.is_none()
+            && self.cfg.scripted_correlated.is_empty()
     }
 
     /// Executes the run to completion (or budget exhaustion).
@@ -1265,6 +1777,12 @@ pub struct ClusterResult {
     /// Jobs neither finished nor failed at the end (parked with no
     /// capacity, or stranded by a budget abort).
     pub stranded: u64,
+    /// Structured recovery tally across every layer: watchdog ladder,
+    /// migrations, breaker quarantines/probes/re-admissions.
+    pub summary: RecoverySummary,
+    /// The placement log `(time, job, device)`; recorded only when
+    /// health is configured (empty otherwise).
+    pub placements: Vec<(SimTime, usize, u32)>,
 }
 
 impl ClusterResult {
@@ -1279,5 +1797,31 @@ impl ClusterResult {
     #[must_use]
     pub fn succeeded(&self) -> bool {
         self.errors.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_mode_parses_valid_values() {
+        assert_eq!(parse_cluster_mode("epoch"), Ok(StepMode::Epoch));
+        assert_eq!(parse_cluster_mode("merged"), Ok(StepMode::Merged));
+        assert_eq!(parse_cluster_mode(" flat "), Ok(StepMode::Flat));
+    }
+
+    #[test]
+    fn cluster_mode_warning_text_is_pinned() {
+        assert_eq!(
+            parse_cluster_mode("turbo"),
+            Err(
+                "FLEP_CLUSTER_MODE: invalid value \"turbo\" (want epoch, merged, or flat); \
+                 using automatic selection"
+                    .to_string()
+            )
+        );
+        assert!(parse_cluster_mode("").is_err());
+        assert!(parse_cluster_mode("EPOCH").is_err());
     }
 }

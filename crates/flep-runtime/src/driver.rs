@@ -238,6 +238,15 @@ impl CoRunResult {
         own.ratio(total)
     }
 
+    /// The structured recovery tally of this run — the shared
+    /// [`RecoverySummary`](flep_metrics::RecoverySummary) counters folded
+    /// from [`CoRunResult::recoveries`], replacing per-test ad-hoc
+    /// counting.
+    #[must_use]
+    pub fn recovery_summary(&self) -> flep_metrics::RecoverySummary {
+        crate::cluster::summarize_recoveries(&self.recoveries)
+    }
+
     /// True when the run finished without structured errors (individual
     /// jobs may still have been recovered by the watchdog — see
     /// [`CoRunResult::recoveries`]).

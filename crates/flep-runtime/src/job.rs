@@ -142,6 +142,10 @@ pub struct JobSpec {
     /// `resume_from` exactly as a post-kill relaunch would (FLEP's
     /// task-counter checkpoint is what makes cross-device migration safe).
     pub resume_from: u64,
+    /// Owning tenant, for the cluster's placement constraints (tenant
+    /// anti-affinity, spread-across-failure-domain). `None` — and any
+    /// value while those constraints are off — changes nothing.
+    pub tenant: Option<u32>,
 }
 
 impl JobSpec {
@@ -157,6 +161,7 @@ impl JobSpec {
             repeat: RepeatMode::Once,
             working_set_bytes: 0,
             resume_from: 0,
+            tenant: None,
         }
     }
 
@@ -200,6 +205,14 @@ impl JobSpec {
     #[must_use]
     pub fn with_working_set(mut self, bytes: u64) -> Self {
         self.working_set_bytes = bytes;
+        self
+    }
+
+    /// Tags the job with its owning tenant (builder style) — consumed by
+    /// the cluster's placement constraints.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = Some(tenant);
         self
     }
 }

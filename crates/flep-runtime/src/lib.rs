@@ -26,15 +26,17 @@
 
 mod cluster;
 mod driver;
+mod health;
 mod job;
 mod poll;
 mod world;
 
 pub use cluster::{
-    ClusterConfig, ClusterEvent, ClusterResult, ClusterRun, DeviceEvent, DeviceEventKind,
-    DeviceState, GpuCluster, StepMode,
+    parse_cluster_mode, ClusterConfig, ClusterEvent, ClusterResult, ClusterRun, DeviceEvent,
+    DeviceEventKind, DeviceState, GpuCluster, PlacementConfig, StepMode,
 };
 pub use driver::{CoRun, CoRunResult, DEFAULT_EVENT_BUDGET};
+pub use health::{BreakerState, DeviceHealth, HealthConfig};
 pub use job::{JobRecord, JobSpec, KernelProfile, RepeatMode};
 pub use world::{
     EvictedJob, Policy, RecoveryAction, RecoveryEvent, RunRecords, RunReport, RuntimeError,

@@ -1,0 +1,225 @@
+//! The deterministic chaos harness: for seeded correlated-fault schedules
+//! over arbitrary failure topologies — with health scoring, the circuit
+//! breaker, and placement constraints all engaged — the control plane
+//! must keep its invariants:
+//!
+//! * **Ledger conservation** — every registered job ends exactly once as
+//!   completed, failed, or stranded.
+//! * **No double-run** — a one-shot job never completes twice and never
+//!   executes more tasks than it has, across any number of migrations.
+//! * **Quarantine isolation** — a device whose breaker is open receives
+//!   no placements until it is readmitted.
+//! * **Bounded-fault liveness** — correlated outages are transient, so
+//!   every run settles every job (no stranded work, no event-budget
+//!   abort) no matter how hard the chaos schedule hits.
+//!
+//! Runs on the in-tree `flep-check` harness: seeded schedules, scalar
+//! shrinking toward the minimal failing chaos configuration.
+
+use flep_gpu_sim::{CorrelatedFaultConfig, FailureTopology, GpuConfig};
+use flep_runtime::{
+    ClusterConfig, ClusterResult, ClusterRun, DeviceEvent, DeviceEventKind, HealthConfig, JobSpec,
+    KernelProfile, PlacementConfig, Policy, RuntimeError,
+};
+use flep_sim_core::check::{check, CheckConfig};
+use flep_sim_core::{assume, require, require_eq, SimRng, SimTime};
+use flep_workloads::{Benchmark, BenchmarkId, InputClass};
+
+/// One chaos case: topology levels, the two correlated rates (events per
+/// simulated second), job count, and the root seed. Plain scalars so the
+/// harness shrinks toward the minimal failing schedule.
+type ChaosCase = (u32, u32, u32, u64, u64, u64);
+
+fn gen_case(rng: &mut SimRng) -> ChaosCase {
+    (
+        rng.uniform_u64(1, 3) as u32,                                // zones
+        rng.uniform_u64(1, 2) as u32,                                // racks per zone
+        rng.uniform_u64(1, 2) as u32,                                // devices per rack
+        rng.uniform_u64(0, 2000),                                    // zone-outage rate per s
+        rng.uniform_u64(0, 2000).max(1) ^ (rng.u64() & 0xFFFF_FFFF), // seed entropy
+        rng.uniform_u64(1, 6),                                       // jobs
+    )
+}
+
+fn run_case(&(zones, racks, dpr, zone_rate, seed, njobs): &ChaosCase) -> ClusterResult {
+    let topo = FailureTopology::new(zones, racks, dpr);
+    let mut cfg = ClusterConfig::new(topo.devices(), GpuConfig::k40(), Policy::hpf());
+    cfg.topology = Some(topo);
+    cfg.health = Some(HealthConfig::default().with_threshold(1.0));
+    cfg.placement = PlacementConfig {
+        anti_affinity: true,
+        spread: true,
+    };
+    // Both correlated classes on: zone outages at the generated rate,
+    // rack power-cycles at half of it. Transient only — no permanent
+    // deaths — so liveness must hold regardless of how hard this hits.
+    cfg.correlated_faults = Some(
+        CorrelatedFaultConfig::quiet(seed)
+            .with_zone_outages(zone_rate as f64, SimTime::from_ms(1))
+            .with_rack_cycles(
+                zone_rate as f64 / 2.0,
+                SimTime::from_us(500),
+                SimTime::from_us(100),
+            ),
+    );
+    cfg.max_migrations = 16;
+    let mut run = ClusterRun::new(cfg);
+    for i in 0..njobs {
+        let id = BenchmarkId::ALL[(seed.wrapping_add(i) as usize) % BenchmarkId::ALL.len()];
+        run = run.job(
+            JobSpec::new(
+                KernelProfile::of(&Benchmark::get(id), InputClass::Trivial),
+                SimTime::from_us(200 * i),
+            )
+            .with_priority(1 + (i as u32 % 3))
+            .with_tenant(i as u32 % 3)
+            .with_seed(seed ^ i),
+        );
+    }
+    run.run()
+}
+
+/// Per-device quarantine intervals `(open_at, readmit_at)` from the
+/// device-event log; an interval still open at the end closes at
+/// `SimTime::MAX`.
+fn quarantine_intervals(events: &[DeviceEvent], devices: u32) -> Vec<Vec<(SimTime, SimTime)>> {
+    let mut intervals = vec![Vec::new(); devices as usize];
+    let mut open: Vec<Option<SimTime>> = vec![None; devices as usize];
+    for e in events {
+        let d = e.device as usize;
+        match e.kind {
+            DeviceEventKind::Quarantined => open[d] = Some(e.at),
+            DeviceEventKind::Readmitted => {
+                if let Some(at) = open[d].take() {
+                    intervals[d].push((at, e.at));
+                }
+            }
+            _ => {}
+        }
+    }
+    for (d, o) in open.into_iter().enumerate() {
+        if let Some(at) = o {
+            intervals[d].push((at, SimTime::MAX));
+        }
+    }
+    intervals
+}
+
+#[test]
+fn chaos_schedules_preserve_control_plane_invariants() {
+    check(
+        "chaos_invariants",
+        CheckConfig::with_cases(32),
+        gen_case,
+        |case| {
+            assume!(case.5 >= 1);
+            let r = run_case(case);
+
+            // Ledger conservation: every job settles exactly once.
+            require!(
+                r.reconciles(),
+                "completed {} + failed {} + stranded {} != jobs {}",
+                r.completed,
+                r.failed,
+                r.stranded,
+                r.jobs.len()
+            );
+
+            // No double-run: one-shot jobs complete at most once and never
+            // execute more tasks than they have, migrations included.
+            for (i, j) in r.jobs.iter().enumerate() {
+                require!(
+                    j.completions <= 1,
+                    "job {i} ({}) completed {} times",
+                    j.name,
+                    j.completions
+                );
+            }
+
+            // Quarantine isolation: no placement lands strictly inside a
+            // breaker-open window.
+            let devices = case.0 * case.1 * case.2;
+            let intervals = quarantine_intervals(&r.device_events, devices);
+            for &(at, job, device) in &r.placements {
+                for &(open, close) in &intervals[device as usize] {
+                    require!(
+                        !(at > open && at < close),
+                        "job {job} placed on device {device} at {at} inside \
+                         quarantine window [{open}, {close})"
+                    );
+                }
+            }
+
+            // Bounded-fault liveness: all faults are transient, so nothing
+            // strands and the event budget is never the thing that stops
+            // the run.
+            require_eq!(r.stranded, 0, "transient-only chaos stranded work");
+            for e in &r.errors {
+                require!(
+                    !matches!(e, RuntimeError::EventBudgetExhausted { .. }),
+                    "chaos run aborted on event budget: {e:?}"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn chaos_runs_replay_deterministically() {
+    check(
+        "chaos_replay",
+        CheckConfig::with_cases(8),
+        gen_case,
+        |case| {
+            assume!(case.5 >= 1);
+            let a = run_case(case);
+            let b = run_case(case);
+            require_eq!(a.jobs, b.jobs);
+            require_eq!(a.end_time, b.end_time);
+            require_eq!(a.summary, b.summary);
+            require_eq!(a.placements, b.placements);
+            require_eq!(a.device_events, b.device_events);
+            Ok(())
+        },
+    );
+}
+
+/// The quiet chaos configuration (both rates zero) is byte-identical to
+/// no correlated config at all — the faults-off anchor of the chaos
+/// layer, as a plain test so it always runs even if the generator never
+/// shrinks to zero.
+#[test]
+fn quiet_chaos_config_is_transparent() {
+    let base = &(2u32, 2u32, 2u32, 0u64, 77u64, 4u64);
+    let quiet = run_case(base);
+    let mut cfg = ClusterConfig::new(8, GpuConfig::k40(), Policy::hpf());
+    // A quiet correlated config still implies the watchdog (the CoRun
+    // rule); arm it explicitly on the no-config side for a fair diff.
+    cfg.watchdog = Some(flep_runtime::WatchdogConfig::default());
+    cfg.topology = Some(FailureTopology::new(2, 2, 2));
+    cfg.health = Some(HealthConfig::default().with_threshold(1.0));
+    cfg.placement = PlacementConfig {
+        anti_affinity: true,
+        spread: true,
+    };
+    cfg.max_migrations = 16;
+    let mut run = ClusterRun::new(cfg);
+    for i in 0..4u64 {
+        let id = BenchmarkId::ALL[(77usize + i as usize) % BenchmarkId::ALL.len()];
+        run = run.job(
+            JobSpec::new(
+                KernelProfile::of(&Benchmark::get(id), InputClass::Trivial),
+                SimTime::from_us(200 * i),
+            )
+            .with_priority(1 + (i as u32 % 3))
+            .with_tenant(i as u32 % 3)
+            .with_seed(77 ^ i),
+        );
+    }
+    let none = run.run();
+    assert_eq!(quiet.jobs, none.jobs);
+    assert_eq!(quiet.end_time, none.end_time);
+    assert_eq!(quiet.device_events, none.device_events);
+    assert_eq!(quiet.summary, none.summary);
+}

@@ -1,0 +1,153 @@
+//! Graceful degradation under lost capacity: brownout tiers.
+//!
+//! When failure domains take devices out of the placement rotation —
+//! zone outages, rack power cycles, quarantines by the runtime's circuit
+//! breaker — the frontend's offered load no longer fits the surviving
+//! fleet. Without a policy, the overload lands arbitrarily: every tenant's
+//! queue deepens, every tenant's tail latency blows through its SLO, and
+//! the highest-value work degrades exactly as much as the lowest.
+//!
+//! A [`BrownoutConfig`] makes the degradation *graceful* instead: it maps
+//! the live capacity fraction (placement-eligible devices over fleet
+//! size) to an admission floor, shedding the lowest-priority and
+//! loosest-SLO requests at the door so the surviving capacity is spent on
+//! the work that matters most. Shedding is exact bookkeeping, not silent
+//! loss — every shed request lands in the tenant's `shed` counter and the
+//! report ledger still reconciles to the request
+//! (`offered = admitted + dropped + shed`).
+//!
+//! The decision is a pure function of `(capacity, priority, slo)` — no
+//! state, no randomness — so brownout runs replay byte-identically and a
+//! config with no tiers (or a run at full capacity) never sheds anything.
+
+use flep_sim_core::SimTime;
+
+/// One degradation tier: while live capacity is below `capacity_below`,
+/// requests from tenants below the priority floor (or with SLOs looser
+/// than the optional bound) are shed at the door.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrownoutTier {
+    /// The tier activates while `eligible_devices / fleet_size` is
+    /// strictly below this fraction.
+    pub capacity_below: f64,
+    /// Tenants with `priority < min_priority` are shed.
+    pub min_priority: u32,
+    /// When set, tenants whose effective SLO is *looser* (larger) than
+    /// this are shed too — batch-y best-effort work goes first even when
+    /// priorities tie.
+    pub slo_above: Option<SimTime>,
+}
+
+/// The brownout policy: a set of tiers, evaluated independently. A
+/// request is shed when *any* active tier sheds it, so overlapping tiers
+/// compose monotonically — less capacity can only shed more.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BrownoutConfig {
+    /// The tiers. Empty means brownout never sheds.
+    pub tiers: Vec<BrownoutTier>,
+}
+
+impl BrownoutConfig {
+    /// A priority-only ladder from `(capacity_below, min_priority)`
+    /// pairs — the common shape: lose a quarter of the fleet, shed
+    /// best-effort; lose half, shed everything but the top class.
+    #[must_use]
+    pub fn by_priority(tiers: &[(f64, u32)]) -> BrownoutConfig {
+        BrownoutConfig {
+            tiers: tiers
+                .iter()
+                .map(|&(capacity_below, min_priority)| BrownoutTier {
+                    capacity_below,
+                    min_priority,
+                    slo_above: None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Adds an SLO-based tier (builder style): below `capacity_below`,
+    /// shed any tenant whose effective SLO is looser than `slo_above`.
+    #[must_use]
+    pub fn with_slo_tier(mut self, capacity_below: f64, slo_above: SimTime) -> BrownoutConfig {
+        self.tiers.push(BrownoutTier {
+            capacity_below,
+            min_priority: 0,
+            slo_above: Some(slo_above),
+        });
+        self
+    }
+
+    /// Whether a request of `priority` with effective SLO `slo` is shed
+    /// at live capacity fraction `capacity` (eligible devices / fleet).
+    #[must_use]
+    pub fn sheds(&self, capacity: f64, priority: u32, slo: SimTime) -> bool {
+        self.tiers
+            .iter()
+            .filter(|t| capacity < t.capacity_below)
+            .any(|t| priority < t.min_priority || t.slo_above.is_some_and(|bound| slo > bound))
+    }
+
+    /// True when no tier can ever activate.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tiers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_capacity_sheds_nothing() {
+        let b = BrownoutConfig::by_priority(&[(0.75, 1), (0.5, 2)]);
+        for prio in 0..4 {
+            assert!(!b.sheds(1.0, prio, SimTime::from_ms(5)));
+        }
+    }
+
+    #[test]
+    fn priority_ladder_sheds_lowest_first() {
+        let b = BrownoutConfig::by_priority(&[(0.75, 1), (0.5, 2)]);
+        // Mild brownout: only the best-effort class sheds.
+        assert!(b.sheds(0.6, 0, SimTime::from_ms(5)));
+        assert!(!b.sheds(0.6, 1, SimTime::from_ms(5)));
+        // Deep brownout: everything below the top class sheds.
+        assert!(b.sheds(0.4, 0, SimTime::from_ms(5)));
+        assert!(b.sheds(0.4, 1, SimTime::from_ms(5)));
+        assert!(!b.sheds(0.4, 2, SimTime::from_ms(5)));
+    }
+
+    #[test]
+    fn slo_tier_sheds_loose_slos_regardless_of_priority() {
+        let b = BrownoutConfig::default().with_slo_tier(0.75, SimTime::from_ms(50));
+        assert!(b.sheds(0.5, 9, SimTime::from_ms(200)));
+        assert!(!b.sheds(0.5, 0, SimTime::from_ms(5)));
+        assert!(!b.sheds(0.8, 9, SimTime::from_ms(200)), "tier inactive");
+    }
+
+    #[test]
+    fn shedding_is_monotone_in_capacity() {
+        let b = BrownoutConfig::by_priority(&[(0.9, 1), (0.6, 2), (0.3, 3)])
+            .with_slo_tier(0.5, SimTime::from_ms(20));
+        let caps = [1.0, 0.95, 0.8, 0.55, 0.45, 0.25, 0.0];
+        for prio in 0..4 {
+            for slo_ms in [1u64, 100] {
+                let slo = SimTime::from_ms(slo_ms);
+                let mut prev = false;
+                for &c in &caps {
+                    let now = b.sheds(c, prio, slo);
+                    assert!(now || !prev, "shedding regressed at capacity {c}");
+                    prev = now;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_config_never_sheds() {
+        let b = BrownoutConfig::default();
+        assert!(b.is_empty());
+        assert!(!b.sheds(0.0, 0, SimTime::from_ms(1_000)));
+    }
+}

@@ -19,12 +19,16 @@
 //! byte-identical to the previous direct-embedding frontend.
 
 use crate::arrivals::ArrivalProcess;
+use crate::brownout::BrownoutConfig;
 use crate::queue::{AdmissionControl, DropReason, EdfQueue};
-use flep_gpu_sim::{DeviceFaultConfig, DeviceFaultKind, FaultConfig, GpuConfig, TaskCost};
-use flep_metrics::{tail_triple_ns, Percentiles};
+use flep_gpu_sim::{
+    CorrelatedFaultConfig, CorrelatedFaultKind, DeviceFaultConfig, DeviceFaultKind,
+    FailureTopology, FaultConfig, GpuConfig, TaskCost,
+};
+use flep_metrics::{tail_triple_ns, Percentiles, RecoverySummary};
 use flep_runtime::{
-    ClusterConfig, ClusterEvent, GpuCluster, JobSpec, KernelProfile, Policy, RecoveryAction,
-    WatchdogConfig,
+    ClusterConfig, ClusterEvent, GpuCluster, HealthConfig, JobSpec, KernelProfile, PlacementConfig,
+    Policy, RecoveryAction, WatchdogConfig,
 };
 use flep_sim_core::json::{JsonValue, ToJson};
 use flep_sim_core::{PartitionedSimulation, RunOutcome, SimRng, SimTime, World};
@@ -111,6 +115,23 @@ pub struct ServeConfig {
     pub scripted_device_faults: Vec<(SimTime, u32, DeviceFaultKind)>,
     /// Per-batch migration budget before the batch fails structurally.
     pub max_migrations: u32,
+    /// Failure topology of the fleet (`None` = flat: every device its
+    /// own rack and zone).
+    pub topology: Option<FailureTopology>,
+    /// Seeded correlated-outage injection (zone outages, rack power
+    /// cycles) over the topology.
+    pub correlated_faults: Option<CorrelatedFaultConfig>,
+    /// Scripted correlated faults `(time, kind)` — the reproducible way
+    /// to stage "zone 0 goes dark mid-run" scenarios.
+    pub scripted_correlated: Vec<(SimTime, CorrelatedFaultKind)>,
+    /// Per-device health scoring and circuit breaking (`None` = off).
+    pub health: Option<HealthConfig>,
+    /// Placement constraints (tenant anti-affinity, spread across racks).
+    pub placement: PlacementConfig,
+    /// Graceful-degradation tiers: under lost capacity, shed the
+    /// lowest-priority / loosest-SLO arrivals at the door (`None` = never
+    /// shed).
+    pub brownout: Option<BrownoutConfig>,
     /// The tenants.
     pub tenants: Vec<TenantSpec>,
 }
@@ -130,6 +151,12 @@ impl ServeConfig {
             device_faults: None,
             scripted_device_faults: Vec::new(),
             max_migrations: 8,
+            topology: None,
+            correlated_faults: None,
+            scripted_correlated: Vec::new(),
+            health: None,
+            placement: PlacementConfig::default(),
+            brownout: None,
             tenants,
         }
     }
@@ -161,6 +188,8 @@ pub struct TenantStats {
     pub dropped_past_deadline: u64,
     /// Dropped at the door: queue full.
     pub dropped_queue_full: u64,
+    /// Shed at the door by a brownout tier (degraded capacity).
+    pub shed: u64,
     /// Admitted but expired in the queue before dispatch.
     pub expired: u64,
     /// Requests whose batch completed on the GPU.
@@ -207,6 +236,10 @@ pub struct ServeWorld {
     batches: Vec<Option<BatchMeta>>,
     horizon: SimTime,
     seed: u64,
+    /// Fleet size (denominator of the brownout capacity fraction).
+    fleet: u32,
+    /// Graceful-degradation policy, if any.
+    brownout: Option<BrownoutConfig>,
     /// Scratch buffers (kept allocated across events).
     done_scratch: Vec<(SimTime, usize)>,
     expired_scratch: Vec<Request>,
@@ -229,6 +262,11 @@ impl ServeWorld {
             device_faults: cfg.device_faults,
             scripted_faults: cfg.scripted_device_faults.clone(),
             max_migrations: cfg.max_migrations,
+            topology: cfg.topology,
+            correlated_faults: cfg.correlated_faults,
+            scripted_correlated: cfg.scripted_correlated.clone(),
+            health: cfg.health,
+            placement: cfg.placement,
         };
         let (cluster, cluster_initial) = GpuCluster::new(&ccfg);
 
@@ -271,6 +309,8 @@ impl ServeWorld {
             batches: Vec::new(),
             horizon: cfg.horizon,
             seed: cfg.seed,
+            fleet: cfg.devices.max(1),
+            brownout: cfg.brownout.clone().filter(|b| !b.is_empty()),
             done_scratch: Vec::new(),
             expired_scratch: Vec::new(),
         };
@@ -283,8 +323,26 @@ impl ServeWorld {
         idx: usize,
         sched: &mut flep_sim_core::Scheduler<'_, ServeEvent>,
     ) {
+        // Brownout gate: under degraded capacity, the lowest-priority /
+        // loosest-SLO classes are shed before admission control even
+        // looks at them. The capacity fraction reads the cluster's live
+        // placement eligibility, so breaker quarantines count as lost
+        // capacity exactly like zone outages.
+        let shed = self.brownout.as_ref().is_some_and(|b| {
+            let capacity = f64::from(self.cluster.placement_eligible()) / f64::from(self.fleet);
+            let spec = &self.tenants[idx].spec;
+            b.sheds(capacity, spec.priority, spec.effective_slo())
+        });
         let t = &mut self.tenants[idx];
         t.stats.offered += 1;
+        if shed {
+            t.stats.shed += 1;
+            let next = t.spec.arrivals.next_after(now, &mut t.rng);
+            if next < self.horizon {
+                sched.schedule_at(next, ServeEvent::Arrival { tenant: idx });
+            }
+            return;
+        }
         let deadline = now + t.spec.effective_slo();
         match t.admission.decide(now, deadline, t.queue.len()) {
             Ok(()) => {
@@ -421,7 +479,8 @@ impl ServeWorld {
         };
         let spec = JobSpec::new(profile, now)
             .with_priority(t.spec.priority)
-            .with_seed(noise_seed);
+            .with_seed(noise_seed)
+            .with_tenant(idx as u32);
         let job = self.cluster.submit(now, spec);
         self.tenants[idx].inflight = Some(job);
         if self.batches.len() <= job {
@@ -472,7 +531,10 @@ impl ServeWorld {
             })
             .collect();
         let devices = self.cluster.devices();
+        let shed_total: u64 = tenants.iter().map(|t| t.stats.shed).sum();
         let result = self.cluster.into_result(end_time);
+        let mut summary = result.summary;
+        summary.shed = shed_total;
         // Migrations are counted separately so the four-slot recovery
         // histogram (a pinned golden shape) stays stable.
         let mut recoveries = [0u64; 4];
@@ -499,6 +561,7 @@ impl ServeWorld {
             devices,
             migrations: result.migrations,
             device_events: result.device_events.len() as u64,
+            summary,
         }
     }
 }
@@ -579,7 +642,7 @@ impl TenantReport {
     #[must_use]
     pub fn reconciles(&self) -> bool {
         let s = &self.stats;
-        s.offered == s.admitted + s.dropped_past_deadline + s.dropped_queue_full
+        s.offered == s.admitted + s.dropped_past_deadline + s.dropped_queue_full + s.shed
             && s.admitted
                 == s.completed + s.expired + s.failed + self.queued_at_end + self.inflight_at_end
             && s.completed == s.goodput + s.slo_miss
@@ -590,7 +653,7 @@ impl ToJson for TenantReport {
     fn to_json(&self) -> JsonValue {
         let s = &self.stats;
         let (p50, p99, p999) = tail_triple_ns(self.latency);
-        JsonValue::object([
+        let mut fields = vec![
             ("tenant", JsonValue::Str(self.name.clone())),
             ("model", self.model.to_json()),
             ("priority", JsonValue::UInt(u64::from(self.priority))),
@@ -610,7 +673,13 @@ impl ToJson for TenantReport {
             ("p50_ns", JsonValue::UInt(p50)),
             ("p99_ns", JsonValue::UInt(p99)),
             ("p999_ns", JsonValue::UInt(p999)),
-        ])
+        ];
+        // Brownout telemetry appears only when something was actually
+        // shed, so pre-brownout golden traces stay byte-identical.
+        if s.shed > 0 {
+            fields.push(("shed", JsonValue::UInt(s.shed)));
+        }
+        JsonValue::object(fields)
     }
 }
 
@@ -648,6 +717,10 @@ pub struct ServeReport {
     pub migrations: u64,
     /// Device lifecycle events recorded (faults, restores, drains).
     pub device_events: u64,
+    /// Structured recovery tally (watchdog actions, migrations, breaker
+    /// quarantines/probes/readmissions, brownout sheds) — the shared
+    /// [`RecoverySummary`] counters, empty on a clean run.
+    pub summary: RecoverySummary,
 }
 
 impl ServeReport {
@@ -710,6 +783,12 @@ impl ToJson for ServeReport {
             fields.push(("devices", JsonValue::UInt(u64::from(self.devices))));
             fields.push(("migrations", JsonValue::UInt(self.migrations)));
             fields.push(("device_events", JsonValue::UInt(self.device_events)));
+        }
+        // The structured recovery summary renders only when something
+        // actually happened (it serializes nonzero counters only), so
+        // clean golden traces stay byte-identical.
+        if !self.summary.is_empty() {
+            fields.push(("recovery_summary", self.summary.to_json()));
         }
         JsonValue::object(fields)
     }

@@ -34,11 +34,13 @@
 #![warn(missing_docs)]
 
 mod arrivals;
+mod brownout;
 mod frontend;
 mod queue;
 mod sweep;
 
 pub use arrivals::ArrivalProcess;
+pub use brownout::{BrownoutConfig, BrownoutTier};
 pub use frontend::{
     run_serve, Request, ServeConfig, ServeOutcome, ServeReport, ServeWorld, TenantReport,
     TenantSpec,

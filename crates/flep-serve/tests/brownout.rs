@@ -1,0 +1,151 @@
+//! Graceful degradation end-to-end: an 8-device fleet split into two
+//! zones loses zone 0 for a third of the run. The brownout tier must
+//! shed exactly the lowest-priority class at the door while capacity is
+//! degraded — with an exact shed ledger (offered = admitted + dropped +
+//! shed) — and goodput for the surviving classes must track the
+//! surviving device-time share instead of collapsing.
+
+use flep_gpu_sim::{CorrelatedFaultConfig, CorrelatedFaultKind, FailureTopology};
+use flep_serve::{run_serve, ArrivalProcess, BrownoutConfig, ServeConfig, ServeReport, TenantSpec};
+use flep_sim_core::json::ToJson;
+use flep_sim_core::SimTime;
+use flep_workloads::ModelId;
+
+const HORIZON_MS: u64 = 60;
+const OUTAGE_MS: u64 = 20;
+
+/// Eight tenants, two of each model class (same mix the failover suite
+/// uses): Dlrm at priority 3 down to Gpt2 at priority 0 — the class the
+/// brownout tier sacrifices first.
+fn fleet_tenants() -> Vec<TenantSpec> {
+    let classes = [
+        (ModelId::Dlrm, 3u32, 20_000.0),
+        (ModelId::Resnet, 2, 8_000.0),
+        (ModelId::Bert, 1, 2_500.0),
+        (ModelId::Gpt2, 0, 300.0),
+    ];
+    (0..8)
+        .map(|i| {
+            let (model, priority, rate) = classes[i % classes.len()];
+            TenantSpec::new(
+                &format!("t{i}-{model:?}"),
+                model,
+                priority,
+                ArrivalProcess::Poisson { rate_per_s: rate },
+            )
+        })
+        .collect()
+}
+
+/// Two zones of four devices each, with a brownout tier that sheds
+/// priority-0 work whenever more than a quarter of the fleet is out.
+fn zoned_cfg(seed: u64) -> ServeConfig {
+    let mut cfg = ServeConfig::new(seed, SimTime::from_ms(HORIZON_MS), fleet_tenants());
+    cfg.devices = 8;
+    cfg.topology = Some(FailureTopology::new(2, 1, 4));
+    cfg.brownout = Some(BrownoutConfig::by_priority(&[(0.75, 1)]));
+    cfg
+}
+
+/// The same config with zone 0 scripted dark for `OUTAGE_MS` starting a
+/// third of the way in. The quiet correlated config (rates zero) draws
+/// nothing; it only supplies the outage duration for the scripted event.
+fn outage_cfg(seed: u64) -> ServeConfig {
+    let mut cfg = zoned_cfg(seed);
+    cfg.correlated_faults = Some(
+        CorrelatedFaultConfig::quiet(seed).with_zone_outages(0.0, SimTime::from_ms(OUTAGE_MS)),
+    );
+    cfg.scripted_correlated = vec![(
+        SimTime::from_ms(HORIZON_MS / 3),
+        CorrelatedFaultKind::ZoneOutage { zone: 0 },
+    )];
+    cfg.max_migrations = 16;
+    cfg
+}
+
+fn assert_ledger_exact(r: &ServeReport, label: &str) {
+    assert!(r.reconciles(), "{label}: ledger must balance: {r:?}");
+    for t in &r.tenants {
+        let s = &t.stats;
+        assert!(
+            s.completed + s.expired + s.failed <= s.admitted,
+            "{label}/{}: over-settled ledger: {s:?}",
+            t.name
+        );
+    }
+}
+
+#[test]
+fn zone_outage_sheds_lowest_priority_and_holds_goodput() {
+    let clean = run_serve(&zoned_cfg(2025));
+    let degraded = run_serve(&outage_cfg(2025));
+
+    assert_ledger_exact(&clean, "clean");
+    assert_ledger_exact(&degraded, "degraded");
+    // The shed gate runs before any arrival-process draw, so the offered
+    // tape is identical whether or not anything was shed.
+    assert_eq!(clean.offered(), degraded.offered(), "same arrival tape");
+
+    // The brownout tier engaged, and only against priority-0 tenants:
+    // everything above the tier's floor rides out the outage un-shed.
+    let shed_total: u64 = degraded.tenants.iter().map(|t| t.stats.shed).sum();
+    assert!(shed_total > 0, "outage never tripped the brownout tier");
+    for t in &degraded.tenants {
+        if t.priority > 0 {
+            assert_eq!(t.stats.shed, 0, "{} shed above the tier floor", t.name);
+        }
+    }
+    // Exact shed attribution: the run summary's shed counter is the sum
+    // of the per-tenant ledgers, nothing more.
+    assert_eq!(degraded.summary.shed, shed_total, "shed ledger drifted");
+    // Breadcrumbs of the outage itself: zone 0's four devices each log
+    // the correlated fault and their restore.
+    assert!(
+        degraded.device_events >= 8,
+        "4 faults + 4 restores expected: {degraded:?}"
+    );
+
+    // Goodput tracks surviving capacity: zone 0 (half the fleet) dark
+    // for a third of the horizon leaves ~5/6 of the clean device-time,
+    // and shedding the priority-0 class frees the survivors to keep the
+    // protected classes near clean — never better than clean by more
+    // than noise.
+    let ratio = degraded.goodput() as f64 / clean.goodput() as f64;
+    assert!(
+        (0.80..=1.02).contains(&ratio),
+        "goodput ratio {ratio:.4} outside the surviving-capacity band \
+         (clean {}, degraded {})",
+        clean.goodput(),
+        degraded.goodput()
+    );
+}
+
+/// The shed counter and recovery summary surface in the rendered report
+/// of a degraded run — and only then.
+#[test]
+fn degraded_report_carries_shed_and_summary_keys() {
+    let degraded = run_serve(&outage_cfg(7)).to_json().render();
+    assert!(degraded.contains("\"shed\""), "report: {degraded}");
+    assert!(degraded.contains("\"recovery_summary\""));
+    let clean = run_serve(&zoned_cfg(7)).to_json().render();
+    assert!(!clean.contains("\"shed\""), "clean report: {clean}");
+}
+
+/// An armed-but-idle brownout config is transparent: with full capacity
+/// the tier never sheds, and the report is byte-identical to a run with
+/// no brownout and no topology configured at all.
+#[test]
+fn idle_brownout_config_is_byte_identical() {
+    let mut plain = ServeConfig::new(11, SimTime::from_ms(HORIZON_MS), fleet_tenants());
+    plain.devices = 8;
+    let a = run_serve(&plain).to_json().render();
+    let b = run_serve(&zoned_cfg(11)).to_json().render();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn degraded_runs_replay_byte_identically() {
+    let a = run_serve(&outage_cfg(99)).to_json().render();
+    let b = run_serve(&outage_cfg(99)).to_json().render();
+    assert_eq!(a, b);
+}

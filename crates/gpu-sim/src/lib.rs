@@ -61,6 +61,7 @@ mod placement;
 mod scenario;
 mod sm;
 mod swap;
+mod topology;
 
 pub use config::{GpuConfig, ResourceUsage};
 pub use device::{GpuDevice, GpuEvent, GpuHarness, HostNotification, LaunchError, ResetGrid};
@@ -76,3 +77,7 @@ pub use scenario::{
 };
 pub use sm::{ResidentCta, Sm};
 pub use swap::{SwapManager, SwapStats, WorkingSetTooLarge};
+pub use topology::{
+    CorrelatedFaultConfig, CorrelatedFaultKind, CorrelatedFaultPlan, FailureTopology,
+    CORRELATED_FAULT_STREAM,
+};

@@ -1,0 +1,389 @@
+//! Failure topology and correlated outage injection.
+//!
+//! The per-device fault plans in [`crate::fault`] treat every device as
+//! an independent failure domain. Real fleets do not fail that way:
+//! devices share racks (one power feed, one PDU breaker) and racks share
+//! zones (one network spine, one cooling loop), so faults arrive in
+//! correlated bursts — a rack power-cycles and every device in it resets
+//! with slightly staggered bring-up latencies, or a whole zone drops for
+//! the duration of a network partition. [`FailureTopology`] describes the
+//! `zone → rack → device` tree and [`CorrelatedFaultPlan`] draws those
+//! burst events from a dedicated RNG stream.
+//!
+//! # Determinism contract
+//!
+//! Identical to [`crate::FaultPlan`]'s: the plan draws from its own
+//! stream ([`CORRELATED_FAULT_STREAM`]), independent of every workload
+//! and per-device fault stream, with a fixed number of draws per arrival
+//! (inter-arrival gap, class, target — always all three, in that order).
+//! A quiet configuration draws nothing, so correlated-faults-off runs
+//! are byte-identical to builds without this module; any chaos run
+//! replays exactly from its seed.
+
+use std::fmt;
+use std::ops::Range;
+
+use flep_sim_core::{SimRng, SimTime};
+
+/// Stream id of the correlated-outage RNG (see [`SimRng::stream`]):
+/// chosen once, never reused by another subsystem.
+pub const CORRELATED_FAULT_STREAM: u64 = 0xC0_44_E1_A7_ED;
+
+/// The `zone → rack → device` failure-domain tree. Devices are numbered
+/// row-major: device ids `[0, devices_per_rack)` form rack 0, racks
+/// `[0, racks_per_zone)` form zone 0, and so on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureTopology {
+    /// Number of zones (at least 1).
+    pub zones: u32,
+    /// Racks per zone (at least 1).
+    pub racks_per_zone: u32,
+    /// Devices per rack (at least 1).
+    pub devices_per_rack: u32,
+}
+
+impl FailureTopology {
+    /// Builds a topology, clamping every level to at least 1.
+    #[must_use]
+    pub fn new(zones: u32, racks_per_zone: u32, devices_per_rack: u32) -> Self {
+        FailureTopology {
+            zones: zones.max(1),
+            racks_per_zone: racks_per_zone.max(1),
+            devices_per_rack: devices_per_rack.max(1),
+        }
+    }
+
+    /// A topology with every device in one rack of one zone — the
+    /// degenerate tree in which correlated faults hit everything.
+    #[must_use]
+    pub fn flat(devices: u32) -> Self {
+        FailureTopology::new(1, 1, devices)
+    }
+
+    /// Total devices in the tree.
+    #[must_use]
+    pub fn devices(&self) -> u32 {
+        self.zones * self.racks_per_zone * self.devices_per_rack
+    }
+
+    /// Total racks in the tree.
+    #[must_use]
+    pub fn racks(&self) -> u32 {
+        self.zones * self.racks_per_zone
+    }
+
+    /// The rack a device belongs to (global rack id).
+    #[must_use]
+    pub fn rack_of(&self, device: u32) -> u32 {
+        (device / self.devices_per_rack).min(self.racks().saturating_sub(1))
+    }
+
+    /// The zone a device belongs to.
+    #[must_use]
+    pub fn zone_of(&self, device: u32) -> u32 {
+        (self.rack_of(device) / self.racks_per_zone).min(self.zones - 1)
+    }
+
+    /// Device ids of one rack, in ascending order.
+    #[must_use]
+    pub fn rack_devices(&self, rack: u32) -> Range<u32> {
+        let rack = rack.min(self.racks().saturating_sub(1));
+        let start = rack * self.devices_per_rack;
+        start..start + self.devices_per_rack
+    }
+
+    /// Device ids of one zone, in ascending order.
+    #[must_use]
+    pub fn zone_devices(&self, zone: u32) -> Range<u32> {
+        let zone = zone.min(self.zones - 1);
+        let per_zone = self.racks_per_zone * self.devices_per_rack;
+        let start = zone * per_zone;
+        start..start + per_zone
+    }
+}
+
+impl fmt::Display for FailureTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}x{}",
+            self.zones, self.racks_per_zone, self.devices_per_rack
+        )
+    }
+}
+
+/// One correlated outage event: a whole failure domain, not a single
+/// device, is the blast radius.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CorrelatedFaultKind {
+    /// A zone drops transiently (network partition / cooling trip): every
+    /// device in the zone is lost and every one rejoins together after
+    /// the configured outage duration.
+    ZoneOutage {
+        /// The affected zone.
+        zone: u32,
+    },
+    /// A rack power-cycles: every device in the rack is lost and each
+    /// rejoins with its own staggered bring-up latency (position in the
+    /// rack × the configured stagger, on top of the base reset).
+    RackPowerCycle {
+        /// The affected (global) rack id.
+        rack: u32,
+    },
+}
+
+impl fmt::Display for CorrelatedFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorrelatedFaultKind::ZoneOutage { zone } => write!(f, "zone_outage@z{zone}"),
+            CorrelatedFaultKind::RackPowerCycle { rack } => write!(f, "rack_power_cycle@r{rack}"),
+        }
+    }
+}
+
+/// Rates and magnitudes for correlated outage injection. Rates are events
+/// per simulated second across the whole fleet; zero disables the class.
+/// The all-zero configuration draws no randomness and perturbs nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrelatedFaultConfig {
+    /// Seed of the correlated-outage RNG stream.
+    pub seed: u64,
+    /// Zone outages per simulated second (fleet-wide; the zone is drawn
+    /// uniformly per event).
+    pub zone_outage_per_s: f64,
+    /// How long a zone outage keeps its devices out.
+    pub zone_outage_duration: SimTime,
+    /// Rack power-cycles per simulated second (fleet-wide; the rack is
+    /// drawn uniformly per event).
+    pub rack_cycle_per_s: f64,
+    /// Base bring-up latency after a rack power-cycle.
+    pub rack_reset_base: SimTime,
+    /// Extra bring-up latency per device position within the rack, so
+    /// rack members rejoin staggered instead of thundering back at once.
+    pub rack_reset_stagger: SimTime,
+}
+
+impl CorrelatedFaultConfig {
+    /// A correlated-outage seed with every class disabled.
+    #[must_use]
+    pub fn quiet(seed: u64) -> Self {
+        CorrelatedFaultConfig {
+            seed,
+            zone_outage_per_s: 0.0,
+            zone_outage_duration: SimTime::from_ms(4),
+            rack_cycle_per_s: 0.0,
+            rack_reset_base: SimTime::from_ms(2),
+            rack_reset_stagger: SimTime::from_us(250),
+        }
+    }
+
+    /// Sets the zone-outage rate and duration (builder style).
+    #[must_use]
+    pub fn with_zone_outages(mut self, per_s: f64, duration: SimTime) -> Self {
+        self.zone_outage_per_s = per_s;
+        self.zone_outage_duration = duration;
+        self
+    }
+
+    /// Sets the rack power-cycle rate and bring-up latencies (builder
+    /// style).
+    #[must_use]
+    pub fn with_rack_cycles(mut self, per_s: f64, base: SimTime, stagger: SimTime) -> Self {
+        self.rack_cycle_per_s = per_s;
+        self.rack_reset_base = base;
+        self.rack_reset_stagger = stagger;
+        self
+    }
+
+    /// Total event rate across all classes, in events per second.
+    #[must_use]
+    pub fn total_rate(&self) -> f64 {
+        self.zone_outage_per_s + self.rack_cycle_per_s
+    }
+}
+
+/// The fleet-wide correlated outage schedule: a Poisson process over the
+/// combined rate, each arrival classified and targeted by further draws.
+/// Exactly three draws per arrival (gap, class, target), always in that
+/// order, so tightening one rate never reshuffles the other class — the
+/// same discipline as [`crate::DeviceFaultPlan`].
+pub struct CorrelatedFaultPlan {
+    cfg: CorrelatedFaultConfig,
+    topo: FailureTopology,
+    rng: SimRng,
+    cursor: SimTime,
+}
+
+impl fmt::Debug for CorrelatedFaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CorrelatedFaultPlan")
+            .field("cfg", &self.cfg)
+            .field("topo", &self.topo)
+            .field("cursor", &self.cursor)
+            .finish()
+    }
+}
+
+impl CorrelatedFaultPlan {
+    /// Builds the fleet schedule, deriving its RNG from the dedicated
+    /// correlated-outage stream.
+    #[must_use]
+    pub fn new(cfg: CorrelatedFaultConfig, topo: FailureTopology) -> Self {
+        CorrelatedFaultPlan {
+            cfg,
+            topo,
+            rng: SimRng::stream(cfg.seed, CORRELATED_FAULT_STREAM),
+            cursor: SimTime::ZERO,
+        }
+    }
+
+    /// The configuration this plan follows.
+    #[must_use]
+    pub fn config(&self) -> &CorrelatedFaultConfig {
+        &self.cfg
+    }
+
+    /// The topology events are targeted at.
+    #[must_use]
+    pub fn topology(&self) -> &FailureTopology {
+        &self.topo
+    }
+
+    /// Draws the next correlated outage strictly after the cursor, or
+    /// `None` if every class is disabled.
+    pub fn next_event(&mut self) -> Option<(SimTime, CorrelatedFaultKind)> {
+        let total = self.cfg.total_rate();
+        if total <= 0.0 {
+            return None;
+        }
+        let gap_us = -(1.0 - self.rng.f64()).ln() / total * 1e6;
+        let pick = self.rng.f64() * total;
+        let target = self.rng.f64();
+        let at = self.cursor + SimTime::from_us_f64(gap_us).max(SimTime::from_ns(1));
+        self.cursor = at;
+        let kind = if pick < self.cfg.zone_outage_per_s {
+            let zone = ((target * f64::from(self.topo.zones)) as u32).min(self.topo.zones - 1);
+            CorrelatedFaultKind::ZoneOutage { zone }
+        } else {
+            let racks = self.topo.racks();
+            let rack = ((target * f64::from(racks)) as u32).min(racks - 1);
+            CorrelatedFaultKind::RackPowerCycle { rack }
+        };
+        Some((at, kind))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_maps_devices_row_major() {
+        let t = FailureTopology::new(2, 3, 4);
+        assert_eq!(t.devices(), 24);
+        assert_eq!(t.racks(), 6);
+        assert_eq!(t.rack_of(0), 0);
+        assert_eq!(t.rack_of(7), 1);
+        assert_eq!(t.zone_of(11), 0);
+        assert_eq!(t.zone_of(12), 1);
+        assert_eq!(t.rack_devices(1), 4..8);
+        assert_eq!(t.zone_devices(1), 12..24);
+        for d in 0..t.devices() {
+            assert!(t.rack_devices(t.rack_of(d)).contains(&d));
+            assert!(t.zone_devices(t.zone_of(d)).contains(&d));
+        }
+    }
+
+    #[test]
+    fn degenerate_levels_clamp_to_one() {
+        let t = FailureTopology::new(0, 0, 0);
+        assert_eq!(t.devices(), 1);
+        assert_eq!(t.rack_of(0), 0);
+        assert_eq!(t.zone_of(0), 0);
+        assert_eq!(FailureTopology::flat(8).to_string(), "1x1x8");
+    }
+
+    #[test]
+    fn quiet_plan_draws_nothing() {
+        let mut plan = CorrelatedFaultPlan::new(
+            CorrelatedFaultConfig::quiet(3),
+            FailureTopology::new(2, 2, 2),
+        );
+        for _ in 0..8 {
+            assert_eq!(plan.next_event(), None);
+        }
+    }
+
+    #[test]
+    fn plan_is_seed_deterministic_and_strictly_advancing() {
+        let cfg = CorrelatedFaultConfig::quiet(11)
+            .with_zone_outages(40.0, SimTime::from_ms(4))
+            .with_rack_cycles(80.0, SimTime::from_ms(2), SimTime::from_us(250));
+        let topo = FailureTopology::new(2, 2, 2);
+        let seq = |cfg: CorrelatedFaultConfig| {
+            let mut plan = CorrelatedFaultPlan::new(cfg, topo);
+            (0..64)
+                .map(|_| plan.next_event().unwrap())
+                .collect::<Vec<_>>()
+        };
+        let a = seq(cfg);
+        assert_eq!(a, seq(cfg));
+        assert_ne!(a, seq(CorrelatedFaultConfig { seed: 12, ..cfg }));
+        let mut last = SimTime::ZERO;
+        for (at, _) in a {
+            assert!(at > last);
+            last = at;
+        }
+    }
+
+    #[test]
+    fn targets_stay_inside_the_topology() {
+        let cfg = CorrelatedFaultConfig::quiet(7)
+            .with_zone_outages(50.0, SimTime::from_ms(1))
+            .with_rack_cycles(50.0, SimTime::from_ms(1), SimTime::from_us(100));
+        let topo = FailureTopology::new(3, 2, 2);
+        let mut plan = CorrelatedFaultPlan::new(cfg, topo);
+        let mut zones = 0u32;
+        let mut racks = 0u32;
+        for _ in 0..400 {
+            match plan.next_event().unwrap().1 {
+                CorrelatedFaultKind::ZoneOutage { zone } => {
+                    assert!(zone < topo.zones);
+                    zones += 1;
+                }
+                CorrelatedFaultKind::RackPowerCycle { rack } => {
+                    assert!(rack < topo.racks());
+                    racks += 1;
+                }
+            }
+        }
+        assert!(
+            zones > 100 && racks > 100,
+            "class mix skewed: {zones}/{racks}"
+        );
+    }
+
+    #[test]
+    fn enabling_one_class_never_reshuffles_the_other() {
+        // With both classes enabled vs only racks, the arrival times drawn
+        // are identical (the class draw happens either way).
+        let topo = FailureTopology::new(2, 2, 1);
+        let racks_only = CorrelatedFaultConfig::quiet(5).with_rack_cycles(
+            60.0,
+            SimTime::from_ms(1),
+            SimTime::from_us(50),
+        );
+        let times = |cfg: CorrelatedFaultConfig, scale: f64| {
+            let mut plan = CorrelatedFaultPlan::new(cfg, topo);
+            (0..32)
+                .map(|_| plan.next_event().unwrap().0.as_ns() as f64 * scale)
+                .collect::<Vec<_>>()
+        };
+        // Same total rate split differently: gap draws come from the same
+        // stream positions, so the arrival sequence matches.
+        let both = racks_only
+            .with_zone_outages(30.0, SimTime::from_ms(1))
+            .with_rack_cycles(30.0, SimTime::from_ms(1), SimTime::from_us(50));
+        assert_eq!(times(racks_only, 1.0), times(both, 1.0));
+    }
+}

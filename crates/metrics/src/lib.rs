@@ -19,8 +19,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod recovery;
 mod stats;
 
+pub use recovery::RecoverySummary;
 pub use stats::{percentile_ns, tail_triple_ns, Percentiles, Summary};
 
 use flep_sim_core::SimTime;
